@@ -1,0 +1,147 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Section VII) plus ablations and bechamel micro-benchmarks.
+
+     dune exec bench/main.exe            -- all experiments, default scale
+     dune exec bench/main.exe fig7       -- a single figure
+     dune exec bench/main.exe -- --scale 80   -- bigger documents
+     dune exec bench/main.exe micro      -- bechamel micro-benchmarks
+*)
+
+let base_scale = ref 40
+
+let run_fig7 () = Experiments.print_fig7 (Experiments.fig7 ~base:!base_scale ())
+
+let run_fig8 () =
+  let persons = !base_scale * 16 in
+  Experiments.print_fig8 ~persons (Experiments.fig8 ~persons ())
+
+let run_fig9 () = Experiments.print_fig9 (Experiments.fig9 ~base:!base_scale ())
+
+let run_fig10_11 () =
+  let rows = Experiments.fig10_11 ~base:(!base_scale / 4 * 10) () in
+  Experiments.print_fig10 rows;
+  Experiments.print_fig11 rows
+
+let run_fig10 () =
+  Experiments.print_fig10 (Experiments.fig10_11 ~base:(!base_scale / 4 * 10) ())
+
+let run_fig11 () =
+  Experiments.print_fig11 (Experiments.fig10_11 ~base:(!base_scale / 4 * 10) ())
+
+let run_ablations () =
+  Experiments.ablation_code_motion ~persons:(!base_scale * 4) ();
+  Experiments.ablation_bulk ~persons:!base_scale ();
+  Experiments.ablation_cost_model ~persons:(!base_scale * 2) ()
+
+let run_verify () = Experiments.verify ~persons:(!base_scale * 2) ()
+let run_workloads () = Experiments.workload_suite ~persons:(!base_scale * 2) ()
+
+(* ---- bechamel micro-benchmarks --------------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let store () = Xd_xml.Store.create () in
+  let people_xml =
+    let st = store () in
+    Xd_xml.Serializer.doc
+      (Xd_xml.Store.add st
+         (Xd_xml.Doc.of_tree (Xd_xmark.Generator.people_tree ~seed:1 ~persons:50)))
+  in
+  let parsed =
+    let st = store () in
+    Xd_xml.Parser.parse ~store:st ~uri:"p.xml" people_xml
+  in
+  let persons_nodes =
+    List.filter
+      (fun n -> Xd_xml.Node.name n = "person")
+      (Xd_xml.Node.descendants (Xd_xml.Node.doc_node parsed))
+  in
+  let test_parse =
+    Test.make ~name:"xml-parse-50-persons"
+      (Staged.stage (fun () -> Xd_xml.Parser.parse_doc people_xml))
+  in
+  let test_serialize =
+    Test.make ~name:"xml-serialize-50-persons"
+      (Staged.stage (fun () -> Xd_xml.Serializer.doc parsed))
+  in
+  let test_projection =
+    Test.make ~name:"runtime-projection-50-persons"
+      (Staged.stage (fun () ->
+           Xd_projection.Runtime.project ~used:persons_nodes ~returned:[] parsed))
+  in
+  let q = Xd_lang.Parser.parse_query {|doc("p.xml")/descendant::age|} in
+  let test_eval =
+    Test.make ~name:"xquery-descendant-age"
+      (Staged.stage (fun () ->
+           let st = store () in
+           let _ = Xd_xml.Parser.parse ~store:st ~uri:"p.xml" people_xml in
+           Xd_lang.Eval.run_query st q))
+  in
+  let test_decompose =
+    Test.make ~name:"decompose-benchmark-query"
+      (Staged.stage (fun () ->
+           Xd_core.Decompose.decompose Xd_core.Strategy.By_projection
+             (Xd_lang.Parser.parse_query Experiments.benchmark_query)))
+  in
+  let tests =
+    [ test_parse; test_serialize; test_projection; test_eval; test_decompose ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-34s %12.0f ns/run\n" name est
+        | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+      results
+  in
+  print_endline "== bechamel micro-benchmarks ==";
+  List.iter (fun t -> benchmark t) tests
+
+(* ---- driver ------------------------------------------------------------------ *)
+
+let all () =
+  run_verify ();
+  run_fig7 ();
+  run_fig8 ();
+  run_fig9 ();
+  run_fig10_11 ();
+  run_workloads ();
+  run_ablations ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> []
+    | "--scale" :: n :: rest ->
+      base_scale := int_of_string n;
+      parse rest
+    | x :: rest -> x :: parse rest
+  in
+  match parse (List.tl args) with
+  | [] | [ "all" ] -> all ()
+  | cmds ->
+    List.iter
+      (function
+        | "fig7" -> run_fig7 ()
+        | "fig8" -> run_fig8 ()
+        | "fig9" -> run_fig9 ()
+        | "fig10" -> run_fig10 ()
+        | "fig11" -> run_fig11 ()
+        | "fig10_11" | "fig1011" -> run_fig10_11 ()
+        | "ablation" | "ablations" -> run_ablations ()
+        | "verify" -> run_verify ()
+        | "workloads" -> run_workloads ()
+        | "micro" -> micro ()
+        | other ->
+          Printf.eprintf
+            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|verify|micro|all)\n"
+            other;
+          exit 1)
+      cmds

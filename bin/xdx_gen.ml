@@ -1,0 +1,66 @@
+(* xdx-gen — write XMark-shaped benchmark documents to disk, for use with
+   the xdxq CLI.
+
+     xdx-gen --persons 100 --seed 42 --out-people people.xml --out-auctions auctions.xml
+*)
+
+open Cmdliner
+
+let persons_arg =
+  Arg.(value & opt int 100 & info [ "persons"; "p" ] ~docv:"N" ~doc:"Number of persons.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let out_people_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-people" ] ~docv:"FILE" ~doc:"Write the site (people) document here.")
+
+let out_auctions_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-auctions" ] ~docv:"FILE"
+        ~doc:"Write the open-auctions document here.")
+
+let write path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+
+let run persons seed out_people out_auctions =
+  if out_people = None && out_auctions = None then begin
+    prerr_endline "nothing to do: give --out-people and/or --out-auctions";
+    1
+  end
+  else begin
+    let store = Xd_xml.Store.create () in
+    (match out_people with
+    | Some path ->
+      let d =
+        Xd_xml.Store.add store
+          (Xd_xml.Doc.of_tree (Xd_xmark.Generator.people_tree ~seed ~persons))
+      in
+      write path (Xd_xml.Serializer.doc d)
+    | None -> ());
+    (match out_auctions with
+    | Some path ->
+      let d =
+        Xd_xml.Store.add store
+          (Xd_xml.Doc.of_tree (Xd_xmark.Generator.auctions_tree ~seed ~persons))
+      in
+      write path (Xd_xml.Serializer.doc d)
+    | None -> ());
+    0
+  end
+
+let cmd =
+  let doc = "generate XMark-shaped benchmark documents" in
+  Cmd.v
+    (Cmd.info "xdx-gen" ~version:"1.0" ~doc)
+    Term.(const run $ persons_arg $ seed_arg $ out_people_arg $ out_auctions_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,180 @@
+(* xdxq — run an XQuery over simulated XRPC peers under a chosen
+   distribution strategy.
+
+     xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain] QUERY
+
+   QUERY is a file name, or a literal query with --query. Documents are
+   loaded onto named peers; the query addresses them as
+   doc("xrpc://HOST/NAME"). Documents for the special host "client" are
+   local to the querying peer and addressed as doc("NAME"). *)
+
+open Cmdliner
+
+let strategy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "data-shipping" | "ds" -> Ok (`Fixed Xd_core.Strategy.Data_shipping)
+    | "by-value" | "value" -> Ok (`Fixed Xd_core.Strategy.By_value)
+    | "by-fragment" | "fragment" -> Ok (`Fixed Xd_core.Strategy.By_fragment)
+    | "by-projection" | "projection" ->
+      Ok (`Fixed Xd_core.Strategy.By_projection)
+    | "auto" -> Ok `Auto
+    | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt = function
+    | `Fixed s -> Format.pp_print_string fmt (Xd_core.Strategy.to_string s)
+    | `Auto -> Format.pp_print_string fmt "auto"
+  in
+  Arg.conv (parse, print)
+
+let docs_arg =
+  let doc = "Load FILE onto peer HOST as document NAME (HOST/NAME=FILE)." in
+  Arg.(value & opt_all string [] & info [ "doc"; "d" ] ~docv:"HOST/NAME=FILE" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Distribution strategy: data-shipping, by-value, by-fragment, \
+     by-projection, or auto (pick by the cost model)."
+  in
+  Arg.(
+    value
+    & opt strategy_conv (`Fixed Xd_core.Strategy.By_projection)
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc)
+
+let explain_arg =
+  let doc = "Print the decomposed plan before executing." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let stats_arg =
+  let doc = "Print transfer and timing statistics after executing." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let code_motion_arg =
+  let doc = "Apply distributed code motion." in
+  Arg.(value & flag & info [ "code-motion" ] ~doc)
+
+let query_string_arg =
+  let doc = "Give the query inline instead of in a file." in
+  Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
+
+let query_file_arg =
+  let doc = "Query file." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_doc_spec s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad --doc %S (expected HOST/NAME=FILE)" s)
+  | Some eq -> (
+    let target = String.sub s 0 eq in
+    let file = String.sub s (eq + 1) (String.length s - eq - 1) in
+    match String.index_opt target '/' with
+    | None -> Error (Printf.sprintf "bad --doc %S (expected HOST/NAME=FILE)" s)
+    | Some sl ->
+      Ok
+        ( String.sub target 0 sl,
+          String.sub target (sl + 1) (String.length target - sl - 1),
+          file ))
+
+let run docs strategy explain stats code_motion query_string query_file =
+  let query_src =
+    match (query_string, query_file) with
+    | Some q, _ -> Ok q
+    | None, Some f -> Ok (read_file f)
+    | None, None -> Error "no query given (positional FILE or --query)"
+  in
+  match query_src with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok src -> (
+    let net = Xd_xrpc.Network.create () in
+    let client = Xd_xrpc.Network.new_peer net "client" in
+    let load spec =
+      match parse_doc_spec spec with
+      | Error e ->
+        prerr_endline e;
+        exit 1
+      | Ok (host, name, file) ->
+        let peer =
+          if host = "client" then client
+          else
+            match Hashtbl.find_opt net.Xd_xrpc.Network.peers host with
+            | Some p -> p
+            | None -> Xd_xrpc.Network.new_peer net host
+        in
+        ignore (Xd_xrpc.Peer.load_xml peer ~doc_name:name (read_file file))
+    in
+    List.iter load docs;
+    match Xd_lang.Parser.parse_query src with
+    | exception Xd_lang.Parser.Error (msg, pos) ->
+      Printf.eprintf "parse error at offset %d: %s\n" pos msg;
+      1
+    | exception Xd_lang.Lexer.Error (msg, pos) ->
+      Printf.eprintf "lex error at offset %d: %s\n" pos msg;
+      1
+    | q -> (
+      (match Xd_lang.Static.check q with
+      | [] -> ()
+      | errors ->
+        List.iter
+          (fun e -> Format.eprintf "static error: %a@." Xd_lang.Static.pp_error e)
+          errors;
+        exit 1);
+      let strategy =
+        match strategy with
+        | `Fixed s -> s
+        | `Auto ->
+          let s = Xd_core.Cost.choose ~code_motion net q in
+          Format.eprintf "auto strategy: %s@."
+            (Xd_core.Strategy.to_string s);
+          List.iter
+            (fun e -> Format.eprintf "  %a@." Xd_core.Cost.pp_estimate e)
+            (Xd_core.Cost.estimate_all ~code_motion net q);
+          s
+      in
+      if explain then begin
+        let plan = Xd_core.Decompose.decompose ~code_motion strategy q in
+        Format.printf "%a@." Xd_core.Decompose.explain plan
+      end;
+      match Xd_core.Executor.run ~code_motion net ~client strategy q with
+      | exception Xd_lang.Env.Dynamic_error msg ->
+        Printf.eprintf "dynamic error: %s\n" msg;
+        1
+      | exception Xd_lang.Value.Type_error msg ->
+        Printf.eprintf "type error: %s\n" msg;
+        1
+      | r ->
+        print_endline (Xd_lang.Value.serialize r.Xd_core.Executor.value);
+        if stats then begin
+          let t = r.Xd_core.Executor.timing in
+          Printf.eprintf
+            "strategy: %s\nmessages: %d (%d bytes), documents fetched: %d \
+             bytes\ntimes: wall %.3fms, serialize %.3fms, shred %.3fms, \
+             remote %.3fms, network(sim) %.3fms\n"
+            (Xd_core.Strategy.to_string strategy)
+            t.Xd_core.Executor.messages t.Xd_core.Executor.message_bytes
+            t.Xd_core.Executor.document_bytes
+            (t.Xd_core.Executor.wall_s *. 1000.)
+            (t.Xd_core.Executor.serialize_s *. 1000.)
+            (t.Xd_core.Executor.shred_s *. 1000.)
+            (t.Xd_core.Executor.remote_exec_s *. 1000.)
+            (t.Xd_core.Executor.network_s *. 1000.)
+        end;
+        0))
+
+let cmd =
+  let doc = "distributed XQuery over simulated XRPC peers" in
+  let info = Cmd.info "xdxq" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
+      $ code_motion_arg $ query_string_arg $ query_file_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,65 @@
+(* The paper's introduction example: employees stored locally, departments
+   at a remote XRPC-capable peer. The decomposer pushes the department
+   predicate to the remote side instead of fetching the whole document.
+
+     dune exec examples/federated_join.exe
+*)
+
+let employees =
+  {|<employees>
+      <emp dept="sales"><name>Iris</name></emp>
+      <emp dept="engineering"><name>Joao</name></emp>
+      <emp dept="catering"><name>Kim</name></emp>
+      <emp dept="engineering"><name>Lena</name></emp>
+    </employees>|}
+
+(* the remote document is large: many departments, each with bulky data the
+   query never needs *)
+let depts =
+  let dept i name =
+    Printf.sprintf
+      "<dept name=%S><building>%d</building><budget>%d</budget><notes>%s</notes></dept>"
+      name i (100000 + (i * 13))
+      (String.concat " " (List.init 40 (fun _ -> "lorem")))
+  in
+  "<depts>"
+  ^ String.concat ""
+      (List.mapi dept
+         ([ "sales"; "engineering" ]
+         @ List.init 60 (fun i -> Printf.sprintf "aux%d" i)))
+  ^ "</depts>"
+
+let query =
+  {|for $e in doc("employees.xml")/child::employees/child::emp
+    where $e/attribute::dept = doc("xrpc://example.org/depts.xml")/child::depts/child::dept/attribute::name
+    return $e|}
+
+let () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let remote = Xd_xrpc.Network.new_peer net "example.org" in
+  ignore (Xd_xrpc.Peer.load_xml client ~doc_name:"employees.xml" employees);
+  ignore (Xd_xrpc.Peer.load_xml remote ~doc_name:"depts.xml" depts);
+
+  let q = Xd_lang.Parser.parse_query query in
+
+  print_endline "query:";
+  print_endline query;
+  Printf.printf "\nremote document size: %d bytes\n\n" (String.length depts);
+
+  List.iter
+    (fun strategy ->
+      let r = Xd_core.Executor.run net ~client strategy q in
+      let t = r.Xd_core.Executor.timing in
+      Printf.printf "%-20s shipped %6d bytes (%d msgs, %d docs)  result: %s\n"
+        (Xd_core.Strategy.to_string strategy)
+        (t.Xd_core.Executor.message_bytes + t.Xd_core.Executor.document_bytes)
+        t.Xd_core.Executor.messages
+        (t.Xd_core.Executor.document_bytes / max 1 (String.length depts))
+        (Xd_lang.Value.serialize r.Xd_core.Executor.value))
+    Xd_core.Strategy.all;
+
+  print_endline "\npass-by-fragment plan:";
+  Format.printf "%a"
+    Xd_core.Decompose.explain
+    (Xd_core.Decompose.decompose Xd_core.Strategy.By_fragment q)

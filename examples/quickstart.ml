@@ -1,0 +1,70 @@
+(* Quickstart: run an XQuery locally, then distribute the same query over
+   two peers and compare the strategies.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* 1. A purely local query: parse a document, run XQuery over it. *)
+  let store = Xd_xml.Store.create () in
+  let _doc =
+    Xd_xml.Parser.parse ~store ~uri:"team.xml"
+      {|<team>
+          <member><name>Ying</name><role>phd</role></member>
+          <member><name>Nan</name><role>postdoc</role></member>
+          <member><name>Peter</name><role>prof</role></member>
+        </team>|}
+  in
+  let result =
+    Xd_lang.Eval.run store
+      {|for $m in doc("team.xml")/team/member
+        where $m/role != "prof"
+        return <junior>{string($m/name)}</junior>|}
+  in
+  print_endline "-- local query --";
+  print_endline (Xd_lang.Value.serialize result);
+
+  (* 2. The same data split over two peers of a (simulated) network. *)
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let hr = Xd_xrpc.Network.new_peer net "hr.example.org" in
+  let payroll = Xd_xrpc.Network.new_peer net "payroll.example.org" in
+  ignore
+    (Xd_xrpc.Peer.load_xml hr ~doc_name:"members.xml"
+       {|<team>
+           <member id="m1"><name>Ying</name><role>phd</role></member>
+           <member id="m2"><name>Nan</name><role>postdoc</role></member>
+           <member id="m3"><name>Peter</name><role>prof</role></member>
+         </team>|});
+  ignore
+    (Xd_xrpc.Peer.load_xml payroll ~doc_name:"salaries.xml"
+       {|<salaries>
+           <salary ref="m1">2200</salary>
+           <salary ref="m2">3300</salary>
+           <salary ref="m3">6400</salary>
+         </salaries>|});
+
+  (* a join across the two peers, written as plain XQuery over xrpc:// URIs *)
+  let query =
+    Xd_lang.Parser.parse_query
+      {|for $m in doc("xrpc://hr.example.org/members.xml")/child::team/child::member
+        for $s in doc("xrpc://payroll.example.org/salaries.xml")/child::salaries/child::salary
+        where $m/attribute::id = $s/attribute::ref and $m/child::role != "prof"
+        return element pay { attribute who { string($m/child::name) }, string($s) }|}
+  in
+
+  print_endline "\n-- distributed query, per strategy --";
+  List.iter
+    (fun strategy ->
+      let r = Xd_core.Executor.run net ~client strategy query in
+      Printf.printf "%-20s  %5d message bytes, %6d document bytes -> %s\n"
+        (Xd_core.Strategy.to_string strategy)
+        r.Xd_core.Executor.timing.Xd_core.Executor.message_bytes
+        r.Xd_core.Executor.timing.Xd_core.Executor.document_bytes
+        (Xd_lang.Value.serialize r.Xd_core.Executor.value))
+    Xd_core.Strategy.all;
+
+  (* 3. Inspect what the decomposer did under pass-by-fragment. *)
+  print_endline "\n-- pass-by-fragment plan --";
+  let plan = Xd_core.Decompose.decompose Xd_core.Strategy.By_fragment query in
+  Format.printf "%a" Xd_core.Decompose.explain plan

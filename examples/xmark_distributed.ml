@@ -1,0 +1,46 @@
+(* The paper's Section VII benchmark at a small scale: the XMark semijoin
+   over two peers, executed under all four strategies, with the cost
+   breakdown of Fig. 8.
+
+     dune exec examples/xmark_distributed.exe
+*)
+
+module E = Xd_core.Executor
+
+let benchmark_query =
+  {|(let $t := let $s := doc("xrpc://peer1/xmk.xml")/child::site/child::people/child::person
+               return for $x in $s return if ($x/descendant::age < 40) then $x else ()
+     return for $e in (let $c := doc("xrpc://peer2/xmk.auctions.xml")
+                       return $c/descendant::open_auction)
+            return if ($e/child::seller/attribute::person = $t/attribute::id)
+                   then $e/child::annotation else ())/child::author|}
+
+let () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let peer1 = Xd_xrpc.Network.new_peer net "peer1" in
+  let peer2 = Xd_xrpc.Network.new_peer net "peer2" in
+  let b1, b2 =
+    Xd_xmark.Generator.load_pair ~persons:120 ~people_peer:peer1
+      ~auctions_peer:peer2 ~people_doc:"xmk.xml"
+      ~auctions_doc:"xmk.auctions.xml" ()
+  in
+  Printf.printf "documents: people %d bytes at peer1, auctions %d bytes at peer2\n\n"
+    b1 b2;
+  let q = Xd_lang.Parser.parse_query benchmark_query in
+  let reference = E.run_local net ~client q in
+  Printf.printf "reference result: %d author nodes\n\n"
+    (List.length reference);
+  Printf.printf "%-20s %9s %9s %6s   %8s %8s %8s %8s\n" "strategy" "msg B"
+    "doc B" "equal" "ser ms" "shred ms" "remote ms" "net ms";
+  List.iter
+    (fun strategy ->
+      let r = E.run net ~client strategy q in
+      let t = r.E.timing in
+      Printf.printf "%-20s %9d %9d %6b   %8.2f %8.2f %8.2f %8.3f\n"
+        (Xd_core.Strategy.to_string strategy)
+        t.E.message_bytes t.E.document_bytes
+        (Xd_lang.Value.deep_equal r.E.value reference)
+        (t.E.serialize_s *. 1000.) (t.E.shred_s *. 1000.)
+        (t.E.remote_exec_s *. 1000.) (t.E.network_s *. 1000.))
+    Xd_core.Strategy.all

@@ -1,0 +1,112 @@
+(* Distributed code motion (Section IV, Example 4.3): a subexpression of a
+   remote body that depends only on a function parameter is better
+   evaluated on the caller side — ship the (small, atomized) result as an
+   extra parameter instead of shipping the nodes it is computed from.
+
+   We move maximal forward-axis step chains rooted at a parameter variable
+   whose value is consumed atomically (comparison / arithmetic operand or
+   argument of a value-consuming builtin), the exact shape of the paper's
+   $para1/child::id example. This is safe under every passing semantics:
+   the chain is evaluated on the caller's original nodes and only its
+   atomized value crosses the wire. *)
+
+module Ast = Xd_lang.Ast
+
+let value_consumers = Xd_projection.Analysis.value_consumers
+
+(* Is [e] a chain of forward axis steps over Var_ref of one of [params]?
+   Returns the parameter name. *)
+let rec param_chain params (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Var_ref v when List.mem v params -> Some v
+  | Ast.Step (ctx, ax, _) when Ast.classify_axis ax = Ast.Fwd ->
+    param_chain params ctx
+  | _ -> None
+
+(* A chain is movable when it has at least one step (moving a bare Var_ref
+   is pointless) and its consumer atomizes it. *)
+let consumed_by_value (parent : Ast.expr option) =
+  match parent with
+  | Some { Ast.desc = Ast.Value_cmp _ | Ast.Arith _; _ } -> true
+  | Some { Ast.desc = Ast.Fun_call (name, _); _ } ->
+    List.mem name value_consumers
+  | _ -> false
+
+let apply_to_execute_at (x : Ast.execute_at) =
+  let params = List.map fst x.Ast.params in
+  (* collect maximal movable chains with their consumers *)
+  let moves = ref [] in
+  let rec scan parent (e : Ast.expr) =
+    let is_chain_with_step =
+      match e.Ast.desc with
+      | Ast.Step _ -> param_chain params e
+      | _ -> None
+    in
+    match is_chain_with_step with
+    | Some v when consumed_by_value parent ->
+      let key = Xd_lang.Pp.expr_to_string e in
+      if not (List.exists (fun (k, _, _) -> k = key) !moves) then
+        moves := (key, v, e) :: !moves
+    | _ -> List.iter (scan (Some e)) (Ast.children e)
+  in
+  scan None x.Ast.body;
+  if !moves = [] then Ast.mk (Ast.Execute_at x)
+  else begin
+    let moves = List.rev !moves in
+    let fresh_params =
+      List.map
+        (fun (key, _v, chain) ->
+          let w = Printf.sprintf "cm__%d" (Ast.mk (Ast.Seq [])).Ast.id in
+          (key, w, chain))
+        moves
+    in
+    (* replace each chain occurrence in the body by the new parameter *)
+    let rec rewrite (e : Ast.expr) =
+      let key = Xd_lang.Pp.expr_to_string e in
+      match List.find_opt (fun (k, _, _) -> k = key) fresh_params with
+      | Some (_, w, _) when param_chain params e <> None -> Ast.var w
+      | _ -> Ast.with_children e (List.map rewrite (Ast.children e))
+    in
+    let body = rewrite x.Ast.body in
+    (* caller-side argument expression: the chain itself, evaluated in the
+       caller scope where the original parameter argument is bound via a
+       let (the paper's `let $l := $t` step). *)
+    let extra =
+      List.map
+        (fun (_, w, chain) ->
+          let arg_of_param v =
+            match List.assoc_opt v x.Ast.params with
+            | Some a -> a
+            | None -> Ast.var v
+          in
+          let rec rebase (c : Ast.expr) =
+            match c.Ast.desc with
+            | Ast.Var_ref v when List.mem v params ->
+              Ast.refresh_ids (arg_of_param v)
+            | _ -> Ast.with_children c (List.map rebase (Ast.children c))
+          in
+          (* atomize: the paper's fcn2new takes xs:string* — only the
+             values cross the wire, never the nodes *)
+          (w, Ast.fun_call "data" [ Ast.refresh_ids (rebase chain) ]))
+        fresh_params
+    in
+    (* drop original parameters no longer referenced *)
+    let still_used v =
+      let found = ref false in
+      Ast.iter
+        (fun e ->
+          match e.Ast.desc with
+          | Ast.Var_ref w when w = v -> found := true
+          | _ -> ())
+        body;
+      !found
+    in
+    let kept = List.filter (fun (v, _) -> still_used v) x.Ast.params in
+    Ast.mk_execute_at ~host:x.Ast.host ~params:(kept @ extra) ~body
+  end
+
+let rec apply (e : Ast.expr) =
+  let e = Ast.with_children e (List.map apply (Ast.children e)) in
+  match e.Ast.desc with
+  | Ast.Execute_at x -> apply_to_execute_at x
+  | _ -> e

@@ -1,0 +1,13 @@
+(** Distributed code motion (Section IV, Example 4.3): a remote-body
+    subexpression depending only on a function parameter is evaluated at
+    the caller instead, and its {e atomized} value ships as an extra
+    parameter (the paper's [xs:string*] fcn2new). Moved shapes are maximal
+    forward-axis chains over a parameter whose consumer atomizes them —
+    safe under every passing semantics. *)
+
+val param_chain :
+  Xd_lang.Ast.var list -> Xd_lang.Ast.expr -> Xd_lang.Ast.var option
+
+val consumed_by_value : Xd_lang.Ast.expr option -> bool
+val apply_to_execute_at : Xd_lang.Ast.execute_at -> Xd_lang.Ast.expr
+val apply : Xd_lang.Ast.expr -> Xd_lang.Ast.expr

@@ -1,0 +1,205 @@
+(* Decomposition insertion conditions.
+
+   Section IV (pass-by-value, conservative), Section V (pass-by-fragment)
+   and Section VI (pass-by-projection) define which subgraph roots rs are
+   valid decomposition points I(G). The restrictions are imposed
+   symmetrically on expressions using the *result* of rs and on how the
+   remote expression uses its shipped *parameters*:
+
+     useResult(n, rs) — n outside Gs with n ⤳ rs
+     useParam(n, rs)  — n inside Gs depending on a vertex outside Gs
+
+   i.   no reverse/horizontal axis step on shipped nodes
+        (lifted by pass-by-projection);
+   ii.  no node comparison / node-set operation on shipped nodes
+        (by-fragment and by-projection: only when the consuming vertex
+        depends on two fn:doc() applications with the same URI —
+        hasMatchingDoc);
+   iii. no axis step over potentially mixed/unordered/overlapping
+        sequences; the dangerous producers m are ExprSeq and NodeSetExpr,
+        plus — under pass-by-value only — ForExpr, OrderExpr and
+        overlapping axis steps (bulk RPC and fragment-order preservation
+        lift those); same hasMatchingDoc guard as ii under the enhanced
+        semantics;
+   iv.  no fn:root/fn:id/fn:idref on shipped nodes (lifted by
+        pass-by-projection). Unknown (non-inlinable) user function calls
+        are treated like condition-iv vertices, conservatively. *)
+
+module Ast = Xd_lang.Ast
+module Dg = Xd_dgraph.Dgraph
+
+let known_builtins =
+  [ "doc"; "collection"; "root"; "id"; "idref"; "base-uri"; "document-uri";
+    "static-base-uri"; "default-collation"; "current-dateTime"; "true";
+    "false"; "not"; "boolean"; "count"; "empty"; "exists"; "zero-or-one";
+    "exactly-one"; "one-or-more"; "string"; "data"; "number"; "concat";
+    "string-length"; "contains"; "starts-with"; "ends-with"; "substring";
+    "string-join"; "normalize-space"; "upper-case"; "lower-case";
+    "substring-before"; "substring-after"; "sum"; "avg"; "max"; "min"; "abs";
+    "floor"; "ceiling"; "round"; "distinct-values"; "reverse"; "subsequence";
+    "item-at"; "insert-before"; "remove"; "deep-equal"; "name"; "local-name";
+    "error" ]
+
+(* condition-iii dangerous producers, per strategy *)
+let bad_mixer strategy (m : Ast.expr) =
+  match m.Ast.desc with
+  | Ast.Seq es when List.length es >= 2 -> true
+  | Ast.Node_set _ -> true
+  | Ast.For _ | Ast.Order_by _ -> strategy = Strategy.By_value
+  | Ast.Step (_, ax, _) ->
+    strategy = Strategy.By_value && not (Ast.non_overlapping_axis ax)
+  | _ -> false
+
+type ctx = {
+  g : Dg.t;
+  strategy : Strategy.t;
+  all : Ast.expr list;
+  outgoing : (int, (int * int) list) Hashtbl.t; (* memo: rs -> varrefs out *)
+}
+
+let make_ctx strategy g =
+  { g; strategy; all = Dg.vertices g; outgoing = Hashtbl.create 32 }
+
+let outgoing ctx rs =
+  match Hashtbl.find_opt ctx.outgoing rs with
+  | Some o -> o
+  | None ->
+    let o = Dg.outgoing_varrefs ctx.g rs in
+    Hashtbl.replace ctx.outgoing rs o;
+    o
+
+let use_result ctx n rs =
+  (not (Dg.parse_reaches ctx.g rs n.Ast.id)) && Dg.depends ctx.g n.Ast.id rs
+
+let use_param ctx n rs =
+  Dg.parse_reaches ctx.g rs n.Ast.id
+  && List.exists (fun (vr, _) -> Dg.depends ctx.g n.Ast.id vr) (outgoing ctx rs)
+
+let uses ctx n rs = use_result ctx n rs || use_param ctx n rs
+
+(* hasMatchingDoc guard applied to the consuming vertex under the enhanced
+   passing semantics; pass-by-value forbids unconditionally. *)
+let guard ctx n =
+  match ctx.strategy with
+  | Strategy.By_value | Strategy.Data_shipping -> true
+  | Strategy.By_fragment | Strategy.By_projection ->
+    Dg.has_matching_doc ctx.g n.Ast.id
+
+let violates_i ctx rs n =
+  ctx.strategy <> Strategy.By_projection
+  &&
+  match n.Ast.desc with
+  | Ast.Step (_, ax, _) -> (
+    match Ast.classify_axis ax with
+    | Ast.Rev | Ast.Hor -> uses ctx n rs
+    | Ast.Fwd -> false)
+  | _ -> false
+
+let violates_ii ctx rs n =
+  match n.Ast.desc with
+  | Ast.Node_cmp _ | Ast.Node_set _ -> uses ctx n rs && guard ctx n
+  | _ -> false
+
+let violates_iii ctx rs n =
+  match n.Ast.desc with
+  | Ast.Step (_, _, _) ->
+    let result_side () =
+      use_result ctx n rs
+      && List.exists
+           (fun m -> bad_mixer ctx.strategy m && Dg.depends ctx.g rs m.Ast.id)
+           ctx.all
+    in
+    let param_side () =
+      Dg.parse_reaches ctx.g rs n.Ast.id
+      && List.exists
+           (fun (vr, binder) ->
+             Dg.depends ctx.g n.Ast.id vr
+             && List.exists
+                  (fun m ->
+                    bad_mixer ctx.strategy m && Dg.depends ctx.g binder m.Ast.id)
+                  ctx.all)
+           (outgoing ctx rs)
+    in
+    (result_side () || param_side ()) && guard ctx n
+  | _ -> false
+
+let violates_iv ctx rs n =
+  ctx.strategy <> Strategy.By_projection
+  &&
+  match n.Ast.desc with
+  | Ast.Fun_call (("root" | "id" | "idref"), _) -> uses ctx n rs
+  | _ -> false
+
+(* XQUF safety (Section IX future work): an update must execute where its
+   target lives. A candidate rs is invalid when (a) some update's target
+   consumes rs's result from outside (the target would be a shipped copy),
+   or (b) an update inside rs targets data arriving through a parameter
+   (again a copy). Pushing an update *with* its genuine target is handled
+   by the placement pass in Decompose. *)
+let violates_update ctx rs n =
+  match Ast.update_target n with
+  | None -> false
+  | Some tgt ->
+    (if Dg.parse_reaches ctx.g rs n.Ast.id then
+       List.exists
+         (fun (vr, _) -> Dg.depends ctx.g tgt.Ast.id vr)
+         (outgoing ctx rs)
+     else Dg.depends ctx.g tgt.Ast.id rs)
+
+(* Unknown user functions (recursive, not inlined): conservatively treat
+   any use relationship as disqualifying under every strategy. *)
+let violates_unknown_call ctx rs n =
+  match n.Ast.desc with
+  | Ast.Fun_call (name, _) when not (List.mem name known_builtins) ->
+    uses ctx n rs || Dg.parse_reaches ctx.g rs n.Ast.id
+  | _ -> false
+
+let valid_d_point ctx rs =
+  not
+    (List.exists
+       (fun n ->
+         violates_i ctx rs n || violates_ii ctx rs n || violates_iii ctx rs n
+         || violates_iv ctx rs n
+         || violates_unknown_call ctx rs n
+         || violates_update ctx rs n)
+       ctx.all)
+
+(* I(G): all valid decomposition points. *)
+let d_points ctx =
+  List.filter (fun v -> valid_d_point ctx v.Ast.id) ctx.all
+
+(* Interesting decomposition points I'(G), Section IV:
+   (a) highest vertex of its URI-dependency equivalence class,
+   (b) depends on at least one document,
+   (c) applies at least one axis step, and references an xrpc:// URI. *)
+let site_set ctx v =
+  List.sort_uniq compare (List.map (fun d -> d.Dg.site) (Dg.uri_deps ctx.g v))
+
+let interesting_points ctx =
+  let dps = d_points ctx in
+  List.filter
+    (fun v ->
+      let deps = Dg.uri_deps ctx.g v.Ast.id in
+      let sites = site_set ctx v.Ast.id in
+      (* (b) at least one document dependency *)
+      List.exists
+        (fun d -> match d.Dg.uri with Dg.Uri _ | Dg.Wildcard -> true | Dg.Constr -> false)
+        deps
+      (* (a) highest *valid* vertex of its URI-dependency equivalence
+         class (the paper's class root modulo validity; cf. the footnote
+         replacing Var roots by their value expressions) *)
+      && not
+           (List.exists
+              (fun u ->
+                u.Ast.id <> v.Ast.id
+                && Dg.parse_reaches ctx.g u.Ast.id v.Ast.id
+                && site_set ctx u.Ast.id = sites)
+              dps)
+      (* (c) applies at least one axis step, on xrpc-addressed data *)
+      && List.exists
+           (fun n ->
+             (match n.Ast.desc with Ast.Step _ -> true | _ -> false)
+             && Dg.parse_reaches ctx.g v.Ast.id n.Ast.id)
+           ctx.all
+      && Dg.xrpc_hosts deps <> [])
+    dps

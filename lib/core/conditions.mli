@@ -1,0 +1,36 @@
+(** Decomposition insertion conditions (Sections IV, V, VI).
+
+    A subgraph root rs is a valid decomposition point iff no vertex n
+    violates any condition, where the restrictions apply symmetrically to
+    uses of rs's result and to the remote body's uses of its shipped
+    parameters:
+
+    - i: no reverse/horizontal axis step on shipped nodes (lifted by
+      pass-by-projection);
+    - ii: no node comparison / node-set operation on shipped nodes
+      (by-fragment/by-projection: only under hasMatchingDoc);
+    - iii: no axis step over possibly mixed/unordered/overlapping
+      sequences; pass-by-value also forbids ForExpr/OrderExpr/overlapping
+      axes as producers (bulk RPC and fragment ordering lift those);
+    - iv: no fn:root/id/idref on shipped nodes (lifted by
+      pass-by-projection). Unknown user function calls are treated
+      conservatively. *)
+
+val known_builtins : string list
+val bad_mixer : Strategy.t -> Xd_lang.Ast.expr -> bool
+
+type ctx
+
+val make_ctx : Strategy.t -> Xd_dgraph.Dgraph.t -> ctx
+val use_result : ctx -> Xd_lang.Ast.expr -> int -> bool
+val use_param : ctx -> Xd_lang.Ast.expr -> int -> bool
+val violates_update : ctx -> int -> Xd_lang.Ast.expr -> bool
+val valid_d_point : ctx -> int -> bool
+
+val d_points : ctx -> Xd_lang.Ast.expr list
+(** I(G): all valid decomposition points. *)
+
+val interesting_points : ctx -> Xd_lang.Ast.expr list
+(** I'(G): highest valid vertex of each URI-dependency equivalence class
+    that depends on at least one document, applies at least one axis step,
+    and references an xrpc:// URI (Section IV, Example 4.2). *)

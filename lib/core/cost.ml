@@ -1,0 +1,139 @@
+(* A static transfer-cost model over decomposed plans — a first cut at the
+   paper's future-work question of optimization quality: given the
+   documents' real sizes at their peers, estimate how many bytes each
+   strategy will move, and pick the cheapest.
+
+   The model walks the rewritten plan:
+   - every xrpc document referenced *outside* any execute-at is fetched
+     whole (data shipping): its real serialized size counts fully;
+   - a document referenced *inside* an execute-at executing at its owner
+     peer is reduced to an estimated response: a per-semantics reduction
+     factor times the document size (calibrated on the Section VII
+     benchmark: by-value ships selected full subtrees, by-fragment adds
+     dedup and parameter re-shipping, by-projection ships skeletons);
+   - a document referenced inside an execute-at at a *different* peer is
+     fetched whole by that server.
+
+   The factors are deliberately coarse — the model's job is ranking, not
+   prediction; the test suite checks that the predicted ranking matches
+   the measured Fig. 7 ranking. *)
+
+module Ast = Xd_lang.Ast
+module Dg = Xd_dgraph.Dgraph
+
+type estimate = {
+  strategy : Strategy.t;
+  fetched_bytes : int; (* full documents moved (data shipping) *)
+  response_bytes_est : int; (* estimated message payloads *)
+  overhead_bytes : int; (* per-message envelope overhead *)
+}
+
+let total e = e.fetched_bytes + e.response_bytes_est + e.overhead_bytes
+
+let reduction_factor = function
+  | Strategy.Data_shipping -> 1.0
+  | Strategy.By_value -> 0.45
+  | Strategy.By_fragment -> 0.30
+  | Strategy.By_projection -> 0.06
+
+let envelope_overhead = 400 (* bytes per request/response pair *)
+
+(* Serialized size of a document at its owning peer, if resolvable. *)
+let doc_size net uri =
+  match Dg.split_xrpc_uri uri with
+  | None -> None
+  | Some (host, name) -> (
+    match Xd_xrpc.Network.find_peer net host with
+    | exception _ -> None
+    | peer -> (
+      match Xd_xrpc.Peer.find_doc peer name with
+      | Some d -> Some (host, Xd_xml.Serializer.doc_bytes d)
+      | None -> None))
+
+(* Collect (uri, enclosing execute-at host option) for every literal doc
+   call in the plan body. *)
+let doc_sites body =
+  let acc = ref [] in
+  let rec go host_ctx (e : Ast.expr) =
+    (match e.Ast.desc with
+    | Ast.Fun_call (("doc" | "collection"), [ { Ast.desc = Ast.Literal (Ast.A_string u); _ } ])
+      ->
+      acc := (u, host_ctx) :: !acc
+    | _ -> ());
+    match e.Ast.desc with
+    | Ast.Execute_at x ->
+      let host =
+        match x.Ast.host.Ast.desc with
+        | Ast.Literal (Ast.A_string h) -> Some h
+        | _ -> None
+      in
+      go host_ctx x.Ast.host;
+      List.iter (fun (_, pe) -> go host_ctx pe) x.Ast.params;
+      go host x.Ast.body
+    | _ -> List.iter (go host_ctx) (Ast.children e)
+  in
+  go None body;
+  List.rev !acc
+
+let estimate net (plan : Decompose.plan) : estimate =
+  let strategy = plan.Decompose.strategy in
+  let sites = doc_sites plan.Decompose.query.Ast.body in
+  let calls =
+    let n = ref 0 in
+    Ast.iter
+      (fun e ->
+        match e.Ast.desc with Ast.Execute_at _ -> incr n | _ -> ())
+      plan.Decompose.query.Ast.body;
+    !n
+  in
+  let fetched = ref 0 and responses = ref 0.0 in
+  let seen_fetch = Hashtbl.create 8 in
+  List.iter
+    (fun (uri, ctx_host) ->
+      match doc_size net uri with
+      | None -> () (* local document: no transfer *)
+      | Some (owner, bytes) -> (
+        match ctx_host with
+        | Some h when h = owner ->
+          (* executed at the owner: only the (reduced) response travels *)
+          responses := !responses +. (reduction_factor strategy *. float_of_int bytes)
+        | _ ->
+          (* fetched whole (by the client, or by a foreign server) *)
+          if not (Hashtbl.mem seen_fetch (uri, ctx_host)) then begin
+            Hashtbl.replace seen_fetch (uri, ctx_host) ();
+            fetched := !fetched + bytes
+          end))
+    sites;
+  {
+    strategy;
+    fetched_bytes = !fetched;
+    response_bytes_est = int_of_float !responses;
+    overhead_bytes = calls * envelope_overhead;
+  }
+
+(* Estimate every strategy (sharing nothing: each gets its own plan). *)
+let estimate_all ?code_motion net (q : Ast.query) =
+  List.map
+    (fun s -> estimate net (Decompose.decompose ?code_motion s q))
+    Strategy.all
+
+(* Pick the strategy with the lowest estimated transfer. Updating queries
+   are pinned to a function-shipping strategy (by-projection) since data
+   shipping cannot run them at all. *)
+let choose ?code_motion net (q : Ast.query) : Strategy.t =
+  if Ast.contains_update q.Ast.body then Strategy.By_projection
+  else
+    let ests = estimate_all ?code_motion net q in
+    let best =
+      List.fold_left
+        (fun acc e -> match acc with
+          | Some b when total b <= total e -> Some b
+          | _ -> Some e)
+        None ests
+    in
+    match best with Some e -> e.strategy | None -> Strategy.Data_shipping
+
+let pp_estimate fmt e =
+  Fmt.pf fmt "%-20s fetched=%8dB responses~%8dB overhead=%5dB total~%8dB"
+    (Strategy.to_string e.strategy)
+    e.fetched_bytes e.response_bytes_est e.overhead_bytes (total e)

@@ -1,0 +1,29 @@
+(** A static transfer-cost model over decomposed plans — a first cut at the
+    paper's future-work question of optimization quality. Estimates, per
+    strategy, how many bytes a query will move given the real document
+    sizes at their peers, and picks the cheapest strategy. The model's job
+    is *ranking* (validated against the measured Fig. 7 ordering), not
+    absolute prediction. *)
+
+type estimate = {
+  strategy : Strategy.t;
+  fetched_bytes : int;  (** full documents moved (data shipping) *)
+  response_bytes_est : int;  (** estimated message payloads *)
+  overhead_bytes : int;  (** per-call envelope overhead *)
+}
+
+val total : estimate -> int
+val reduction_factor : Strategy.t -> float
+val envelope_overhead : int
+
+val estimate : Xd_xrpc.Network.t -> Decompose.plan -> estimate
+val estimate_all :
+  ?code_motion:bool -> Xd_xrpc.Network.t -> Xd_lang.Ast.query ->
+  estimate list
+
+val choose :
+  ?code_motion:bool -> Xd_xrpc.Network.t -> Xd_lang.Ast.query -> Strategy.t
+(** Lowest estimated transfer; updating queries are pinned to
+    pass-by-projection (data shipping cannot run them). *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

@@ -1,0 +1,32 @@
+(** The decomposition driver: inline → normalize → interesting points →
+    XRPCExpr insertion → (optional) distributed code motion →
+    (by-projection) projection-path filling. *)
+
+type plan = {
+  strategy : Strategy.t;
+  query : Xd_lang.Ast.query;  (** the rewritten query *)
+  inserted : (int * string) list;  (** (subgraph root id, host) pushed *)
+  d_points : int list;  (** I(G), diagnostics *)
+  i_points : int list;  (** I'(G), diagnostics *)
+}
+
+exception Update_placement of string
+(** An updating expression's single affected peer cannot be identified at
+    compile time (the paper's Section IX restriction on decomposing
+    XQUF). *)
+
+val single_host : Xd_dgraph.Dgraph.t -> int -> string option
+(** The one xrpc host all of a vertex's document dependencies live at, if
+    any — multi-host points (like the query root) stay local; placement is
+    the paper's future work. *)
+
+val place_updates : Xd_lang.Ast.expr -> Xd_lang.Ast.expr
+(** Wrap every remote-targeting update in an execute-at at its single
+    affected peer. @raise Update_placement when no single peer exists. *)
+
+val decompose : ?code_motion:bool -> Strategy.t -> Xd_lang.Ast.query -> plan
+(** @raise Update_placement for non-decomposable updating queries (never
+    under {!Strategy.Data_shipping}, where updates run wherever their
+    documents were fetched — see the executor's fetched-copy guard). *)
+
+val explain : Format.formatter -> plan -> unit

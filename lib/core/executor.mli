@@ -1,0 +1,42 @@
+(** End-to-end distributed execution: decompose under a strategy, run at a
+    client peer against the simulated network, collect the Fig. 8 cost
+    breakdown. *)
+
+type timing = {
+  wall_s : float;
+  local_exec_s : float;  (** wall minus the measured buckets *)
+  serialize_s : float;
+  shred_s : float;
+  remote_exec_s : float;
+  network_s : float;  (** simulated wire time *)
+  message_bytes : int;
+  document_bytes : int;
+  messages : int;
+}
+
+val total_time : timing -> float
+(** Computation wall time plus simulated network time — the paper's
+    "total execution time". *)
+
+type run = {
+  value : Xd_lang.Value.t;
+  plan : Decompose.plan;
+  timing : timing;
+}
+
+val run :
+  ?record:Xd_xrpc.Session.recorded list ref ->
+  ?bulk:bool ->
+  ?code_motion:bool ->
+  Xd_xrpc.Network.t ->
+  client:Xd_xrpc.Peer.t ->
+  Strategy.t ->
+  Xd_lang.Ast.query ->
+  run
+
+val run_local :
+  Xd_xrpc.Network.t -> client:Xd_xrpc.Peer.t -> Xd_lang.Ast.query ->
+  Xd_lang.Value.t
+(** Reference semantics: every peer's documents resolve directly in the
+    owning store, with exact node identity and no cost accounting. Any
+    decomposition must be deep-equal to this. *)

@@ -1,0 +1,80 @@
+(* User-function inlining. The paper's XCore (Table II) expresses a whole
+   query as a single Expr; to analyze queries written with user-defined
+   functions we inline non-recursive calls (parameters become
+   let-bindings), refreshing vertex ids. Recursive or too-deep calls are
+   left in place; the insertion conditions then treat the enclosing
+   expressions conservatively. *)
+
+module Ast = Xd_lang.Ast
+module Smap = Map.Make (String)
+
+let max_depth = 8
+
+let rec inline_expr funcs depth (e : Ast.expr) : Ast.expr =
+  let e = Ast.with_children e (List.map (inline_expr funcs depth) (Ast.children e)) in
+  match e.Ast.desc with
+  | Ast.Fun_call (name, args) when depth < max_depth -> (
+    match Smap.find_opt name funcs with
+    | None -> e
+    | Some f ->
+      (* rename formals to fresh names to avoid capture, then bind args *)
+      let body = Ast.refresh_ids f.Ast.f_body in
+      let bindings =
+        List.map2
+          (fun (v, _ty) arg ->
+            let fresh = Printf.sprintf "%s__inl%d" v (Ast.mk (Ast.Seq [])).Ast.id in
+            (v, fresh, arg))
+          f.Ast.f_params args
+      in
+      let body =
+        List.fold_left
+          (fun b (v, fresh, _) -> Ast.rename_var ~from:v ~to_:fresh b)
+          body bindings
+      in
+      let body = inline_expr funcs (depth + 1) body in
+      List.fold_right
+        (fun (_, fresh, arg) b -> Ast.mk (Ast.Let (fresh, arg, b)))
+        bindings body)
+  | _ -> e
+
+(* Detect (mutual) recursion with a simple call-graph reachability check. *)
+let recursive_functions (funcs : Ast.func list) =
+  let names = List.map (fun f -> f.Ast.f_name) funcs in
+  let calls f =
+    let acc = ref [] in
+    Ast.iter
+      (fun e ->
+        match e.Ast.desc with
+        | Ast.Fun_call (n, _) when List.mem n names -> acc := n :: !acc
+        | _ -> ())
+      f.Ast.f_body;
+    !acc
+  in
+  let direct = List.map (fun f -> (f.Ast.f_name, calls f)) funcs in
+  let reaches start =
+    let visited = Hashtbl.create 8 in
+    let rec go n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.replace visited n ();
+        List.iter go (Option.value ~default:[] (List.assoc_opt n direct))
+      end
+    in
+    List.iter go (Option.value ~default:[] (List.assoc_opt start direct));
+    Hashtbl.mem visited start
+  in
+  List.filter reaches names
+
+let inline_query (q : Ast.query) : Ast.query =
+  let rec_names = recursive_functions q.Ast.funcs in
+  let inlinable =
+    List.filter (fun f -> not (List.mem f.Ast.f_name rec_names)) q.Ast.funcs
+  in
+  let fmap =
+    List.fold_left (fun m f -> Smap.add f.Ast.f_name f m) Smap.empty inlinable
+  in
+  let funcs =
+    List.map
+      (fun f -> { f with Ast.f_body = inline_expr fmap 0 f.Ast.f_body })
+      q.Ast.funcs
+  in
+  { Ast.funcs; body = inline_expr fmap 0 q.Ast.body }

@@ -1,0 +1,9 @@
+(** User-function inlining: the paper's XCore expresses a query as a
+    single Expr, so non-recursive calls are inlined (parameters become
+    let-bindings, ids refreshed). Recursive functions are detected and
+    left in place; the insertion conditions then treat them
+    conservatively. *)
+
+val max_depth : int
+val recursive_functions : Xd_lang.Ast.func list -> string list
+val inline_query : Xd_lang.Ast.query -> Xd_lang.Ast.query

@@ -1,0 +1,18 @@
+(* XRPCExpr insertion (Section III-B): replace the subgraph rooted at a
+   chosen decomposition point with an execute-at expression whose body is
+   that subgraph and whose parameters are the variables referenced inside
+   but bound outside (the outgoing varref edges). Parameters keep their
+   variable names, so the body needs no rewriting. *)
+
+module Ast = Xd_lang.Ast
+
+let rec replace_vertex (e : Ast.expr) target_id make_new =
+  if e.Ast.id = target_id then make_new e
+  else
+    Ast.with_children e
+      (List.map (fun c -> replace_vertex c target_id make_new) (Ast.children e))
+
+let insert_execute_at ~host body rs_id =
+  replace_vertex body rs_id (fun rs ->
+      let params = List.map (fun v -> (v, Ast.var v)) (Ast.free_vars rs) in
+      Ast.mk_execute_at ~host:(Ast.str host) ~params ~body:rs)

@@ -1,0 +1,11 @@
+(** XRPCExpr insertion (Section III-B): replace the subgraph rooted at a
+    decomposition point with an execute-at whose body is that subgraph and
+    whose parameters are its free variables (the outgoing varref edges).
+    Parameters keep their names, so the body needs no rewriting. *)
+
+val replace_vertex :
+  Xd_lang.Ast.expr -> int -> (Xd_lang.Ast.expr -> Xd_lang.Ast.expr) ->
+  Xd_lang.Ast.expr
+
+val insert_execute_at :
+  host:string -> Xd_lang.Ast.expr -> int -> Xd_lang.Ast.expr

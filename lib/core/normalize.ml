@@ -1,0 +1,81 @@
+(* XCore normalization (Section IV): re-order let-bindings, moving each as
+   deep into the query as possible — to just above the lowest common
+   ancestor (in parse-edge terms) of all references to its variable. This
+   converts varref dependencies into parse dependencies, which is what
+   makes the URI-dependency-based i-point detection effective (compare Qc2
+   vs Qn2 in Table III).
+
+   Safety rules beyond the paper's description:
+   - a binding is never pushed across a for/order-by *body* boundary (it
+     would be re-evaluated per iteration, changing constructed-node
+     identity and multiplicity) nor into an execute-at body (it would move
+     local computation to the remote peer);
+   - a binding is never pushed under a binder that captures one of the free
+     variables of its right-hand side;
+   - a binding whose variable is unused is dropped (XCore is pure). *)
+
+module Ast = Xd_lang.Ast
+
+let count_free_occurrences v e =
+  let rec go bound acc e =
+    match e.Ast.desc with
+    | Ast.Var_ref w when w = v && not bound -> acc + 1
+    | _ ->
+      let cs = Ast.children e and bnd = Ast.bound_in_children e in
+      List.fold_left2
+        (fun acc c extra -> go (bound || List.mem v extra) acc c)
+        acc cs bnd
+  in
+  go false 0 e
+
+(* May the binding [v := e1] descend from [parent] into its [i]-th child?
+   [extra] = variables [parent] binds in that child. *)
+let may_descend parent i extra e1_free =
+  let barrier =
+    match parent.Ast.desc with
+    | Ast.For (_, _, _) -> i = 1 (* the body *)
+    | Ast.Order_by (_, _, specs, _) -> i >= 1 + List.length specs (* body *)
+    | Ast.Execute_at x -> i = List.length x.Ast.params + 1 (* remote body *)
+    | _ -> false
+  in
+  (not barrier) && not (List.exists (fun w -> List.mem w e1_free) extra)
+
+(* Push the binding v := e1 as deep as possible into [body]; returns the
+   rewritten body (with the Let re-inserted at the lowest admissible
+   point). *)
+let rec push_binding v e1 body =
+  let e1_free = Ast.free_vars e1 in
+  let cs = Ast.children body and bnd = Ast.bound_in_children body in
+  (* children that contain free occurrences of v *)
+  let occupied =
+    List.mapi
+      (fun i (c, extra) ->
+        if List.mem v extra then (i, c, extra, 0)
+        else (i, c, extra, count_free_occurrences v c))
+      (List.combine cs bnd)
+  in
+  let with_occ = List.filter (fun (_, _, _, n) -> n > 0) occupied in
+  match with_occ with
+  | [ (i, c, extra, _) ]
+    when may_descend body i extra e1_free
+         && (match body.Ast.desc with Ast.Var_ref _ -> false | _ -> true) ->
+    let c' = push_binding v e1 c in
+    Ast.with_children body
+      (List.mapi (fun j x -> if j = i then c' else x) cs)
+  | _ -> Ast.mk (Ast.Let (v, e1, body))
+
+let rec normalize (e : Ast.expr) : Ast.expr =
+  match e.Ast.desc with
+  | Ast.Let (v, e1, e2) ->
+    let e1 = normalize e1 in
+    let e2 = normalize e2 in
+    if count_free_occurrences v e2 = 0 then e2 else push_binding v e1 e2
+  | _ ->
+    Ast.with_children e (List.map normalize (Ast.children e))
+
+let normalize_query (q : Ast.query) : Ast.query =
+  {
+    Ast.funcs =
+      List.map (fun f -> { f with Ast.f_body = normalize f.Ast.f_body }) q.Ast.funcs;
+    Ast.body = normalize q.Ast.body;
+  }

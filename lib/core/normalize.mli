@@ -1,0 +1,13 @@
+(** XCore normalization (Section IV): push each let-binding to just above
+    the lowest common ancestor of its references, converting varref
+    dependencies into parse dependencies (Qc2 → Qn2 of Table III).
+
+    Safety rules beyond the paper: bindings never cross a for/order-by
+    body boundary (re-evaluation would change constructed-node identity
+    and multiplicity) or an execute-at body; never move under a binder
+    capturing a free variable of their right-hand side; unused bindings
+    are dropped (XCore is pure). *)
+
+val count_free_occurrences : Xd_lang.Ast.var -> Xd_lang.Ast.expr -> int
+val normalize : Xd_lang.Ast.expr -> Xd_lang.Ast.expr
+val normalize_query : Xd_lang.Ast.query -> Xd_lang.Ast.query

@@ -1,0 +1,51 @@
+(* Fill the relative projection paths of every execute-at vertex
+   (Section VI, "Relative projection paths"):
+
+     Urel/Rrel(param)  — analysis of the remote body with each parameter
+                         bound to its own anchor; suffixes rooted at the
+                         parameter anchor;
+     Urel/Rrel(xrpc)   — analysis of the whole query, where each execute-at
+                         result is an anchor; suffixes rooted at the
+                         execute-at's anchor.
+
+   The paths are stored as strings on the (mutable) execute_at record and
+   shipped in the <projection-paths> message element. Parameters for which
+   analysis overflowed are left without paths; the runtime then falls back
+   to shipping full subtrees (pass-by-fragment behaviour), which is always
+   safe. *)
+
+module Ast = Xd_lang.Ast
+module An = Xd_projection.Analysis
+
+let path_strings = List.map Xd_projection.Path.to_string
+
+let fill ~funcs (body : Ast.expr) =
+  (* whole-query pass for result paths *)
+  let whole = An.run ~funcs ~env:[] body in
+  let fill_one (x : Ast.execute_at) id =
+    (* result paths *)
+    (if not whole.An.overflow then begin
+       let u, r = An.relative_paths whole (An.xrpc_anchor id) in
+       x.Ast.result_paths <- (path_strings u, path_strings r)
+     end);
+    (* parameter paths *)
+    let env =
+      List.map
+        (fun (v, _) -> (v, [ { An.root = An.R_anchor v; steps = [] } ]))
+        x.Ast.params
+    in
+    let res = An.run ~funcs ~env x.Ast.body in
+    if not res.An.overflow then
+      x.Ast.param_paths <-
+        List.map
+          (fun (v, _) ->
+            let u, r = An.relative_paths res v in
+            (v, path_strings u, path_strings r))
+          x.Ast.params
+  in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Execute_at x -> fill_one x e.Ast.id
+      | _ -> ())
+    body

@@ -1,0 +1,10 @@
+(** Fill the relative projection paths of every execute-at vertex
+    (Section VI, "Relative projection paths"): Urel/Rrel per parameter
+    from analyzing the remote body with parameter anchors, and Urel/Rrel
+    of each call's result from analyzing the whole query with execute-at
+    anchors. Parameters whose analysis overflowed keep no paths — the
+    runtime then ships full subtrees (by-fragment behaviour), which is
+    always safe. *)
+
+val path_strings : Xd_projection.Path.t list -> string list
+val fill : funcs:Xd_lang.Ast.func list -> Xd_lang.Ast.expr -> unit

@@ -1,0 +1,232 @@
+(* The dependency graph (d-graph) of Section III. Vertices are the AST
+   expression nodes themselves (each carries a unique id); parse edges are
+   the AST edges; a varref edge connects each variable reference to the
+   value expression of its binder (the paper routes it through a Var vertex
+   whose only parse child is that value expression — same reachability).
+
+   Reachability notions:
+     parse_reaches v u  —  v ⤳p u  (u in the parse subtree of v; reflexive)
+     depends x y        —  x ⤳ y   (reachable via parse and varref edges;
+                                     reflexive)
+
+   The URI dependency set D(v) of Section IV tags every fn:doc() call site
+   reachable from v via parse edges with its vertex id; computed URIs
+   become wildcards; element constructors get an artificial per-site URI.
+   [extended_uri_deps] unions D over everything reachable via ⤳, which is
+   the conservative version of the footnote-3 refinement used by the
+   by-fragment / by-projection conditions (hasMatchingDoc). *)
+
+module Ast = Xd_lang.Ast
+module Iset = Set.Make (Int)
+
+type uri_kind = Uri of string | Wildcard | Constr
+
+type uri_dep = { uri : uri_kind; site : int }
+
+let uri_kind_to_string = function
+  | Uri u -> u
+  | Wildcard -> "*"
+  | Constr -> "#constructed"
+
+let pp_uri_dep fmt d =
+  Fmt.pf fmt "%s::v%d" (uri_kind_to_string d.uri) d.site
+
+type t = {
+  root : Ast.expr;
+  by_id : (int, Ast.expr) Hashtbl.t;
+  parent : (int, int) Hashtbl.t; (* AST child -> parent *)
+  binder : (int, int) Hashtbl.t; (* varref id -> binder value-expr id *)
+  uses : (int, int list) Hashtbl.t; (* binder value-expr id -> varref ids *)
+  mutable reach_memo : (int, Iset.t) Hashtbl.t;
+  mutable deps_memo : (int, uri_dep list) Hashtbl.t;
+}
+
+(* Scope environment: variable name -> value-expression id of its binder. *)
+let build (root : Ast.expr) =
+  let by_id = Hashtbl.create 256 in
+  let parent = Hashtbl.create 256 in
+  let binder = Hashtbl.create 64 in
+  let uses = Hashtbl.create 64 in
+  let add_use b r =
+    Hashtbl.replace uses b (r :: Option.value ~default:[] (Hashtbl.find_opt uses b))
+  in
+  let rec go scope (e : Ast.expr) =
+    Hashtbl.replace by_id e.Ast.id e;
+    (match e.desc with
+    | Ast.Var_ref v -> (
+      match List.assoc_opt v scope with
+      | Some bid ->
+        Hashtbl.replace binder e.Ast.id bid;
+        add_use bid e.Ast.id
+      | None -> () (* free variable of the whole query/function body *))
+    | _ -> ());
+    let cs = Ast.children e in
+    let bnd = Ast.bound_in_children e in
+    (* a variable bound by this node maps to the vertex of its value expr *)
+    let value_vertex_for v =
+      match e.desc with
+      | Ast.For (v', e1, _) when v' = v -> Some e1.Ast.id
+      | Ast.Let (v', e1, _) when v' = v -> Some e1.Ast.id
+      | Ast.Order_by (v', e1, _, _) when v' = v -> Some e1.Ast.id
+      | Ast.Typeswitch (e0, _, _, _) -> Some e0.Ast.id
+      | Ast.Execute_at x -> (
+        match List.assoc_opt v x.params with
+        | Some pe -> Some pe.Ast.id
+        | None -> None)
+      | _ -> None
+    in
+    List.iter2
+      (fun child extra ->
+        Hashtbl.replace parent child.Ast.id e.Ast.id;
+        let scope' =
+          List.fold_left
+            (fun sc v ->
+              match value_vertex_for v with
+              | Some vid -> (v, vid) :: sc
+              | None -> sc)
+            scope extra
+        in
+        go scope' child)
+      cs bnd
+  in
+  go [] root;
+  {
+    root;
+    by_id;
+    parent;
+    binder;
+    uses;
+    reach_memo = Hashtbl.create 64;
+    deps_memo = Hashtbl.create 64;
+  }
+
+let vertex t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Dgraph.vertex: unknown id %d" id)
+
+let vertices t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_id []
+
+let parent_of t id = Hashtbl.find_opt t.parent id
+
+let binder_of t id = Hashtbl.find_opt t.binder id
+
+let varrefs_of t binder_value_id =
+  Option.value ~default:[] (Hashtbl.find_opt t.uses binder_value_id)
+
+(* v ⤳p u : u is in the parse subtree of v (reflexive). Walk up from u. *)
+let parse_reaches t v u =
+  let rec up x = x = v || (match parent_of t x with Some p -> up p | None -> false) in
+  up u
+
+(* Full dependency reachability x ⤳ y over parse + varref edges,
+   memoized per source vertex. *)
+let reachable_set t x =
+  match Hashtbl.find_opt t.reach_memo x with
+  | Some s -> s
+  | None ->
+    let visited = ref Iset.empty in
+    let rec dfs id =
+      if not (Iset.mem id !visited) then begin
+        visited := Iset.add id !visited;
+        let e = vertex t id in
+        List.iter (fun c -> dfs c.Ast.id) (Ast.children e);
+        match binder_of t id with Some b -> dfs b | None -> ()
+      end
+    in
+    dfs x;
+    Hashtbl.replace t.reach_memo x !visited;
+    !visited
+
+let depends t x y = Iset.mem y (reachable_set t x)
+
+let in_subgraph t rs n = parse_reaches t rs n
+
+(* Varref edges leaving the subgraph of rs: references inside whose binder
+   value expression lies outside. These become the XRPC parameters. *)
+let outgoing_varrefs t rs =
+  Hashtbl.fold
+    (fun vr b acc ->
+      if parse_reaches t rs vr && not (parse_reaches t rs b) then
+        (vr, b) :: acc
+      else acc)
+    t.binder []
+
+(* ---- URI dependency sets ---------------------------------------------- *)
+
+let direct_uri_deps_of_vertex (e : Ast.expr) =
+  match e.desc with
+  | Ast.Fun_call (("doc" | "collection"), args) -> (
+    match args with
+    | [ { desc = Ast.Literal (Ast.A_string u); _ } ] ->
+      [ { uri = Uri u; site = e.Ast.id } ]
+    | _ -> [ { uri = Wildcard; site = e.Ast.id } ])
+  | Ast.Elem_constr _ | Ast.Doc_constr _ | Ast.Text_constr _
+  | Ast.Attr_constr _ ->
+    [ { uri = Constr; site = e.Ast.id } ]
+  | _ -> []
+
+(* D(v): doc call sites reachable via parse edges only. *)
+let uri_deps t v =
+  match Hashtbl.find_opt t.deps_memo v with
+  | Some d -> d
+  | None ->
+    let e = vertex t v in
+    let acc = ref [] in
+    Ast.iter (fun x -> acc := direct_uri_deps_of_vertex x @ !acc) e;
+    let d = !acc in
+    Hashtbl.replace t.deps_memo v d;
+    d
+
+(* Extended D over full dependency reachability (footnote 3, conservative):
+   every doc site any vertex reachable from v depends on. *)
+let extended_uri_deps t v =
+  let s = reachable_set t v in
+  Iset.fold
+    (fun id acc -> direct_uri_deps_of_vertex (vertex t id) @ acc)
+    s []
+
+let uris_match a b =
+  match (a, b) with
+  | Uri x, Uri y -> x = y
+  | Wildcard, (Uri _ | Wildcard) | Uri _, Wildcard -> true
+  | Constr, _ | _, Constr -> false
+
+(* hasMatchingDoc: two *distinct* fn:doc call sites with matching URIs —
+   the mixed-call danger (the paper's definition has an evident vi = vj
+   typo; the prose requires two different applications). *)
+let has_matching_doc_in deps =
+  let rec go = function
+    | [] -> false
+    | d :: rest ->
+      List.exists (fun d' -> d'.site <> d.site && uris_match d.uri d'.uri) rest
+      || go rest
+  in
+  go deps
+
+let has_matching_doc t v = has_matching_doc_in (extended_uri_deps t v)
+
+(* Hosts referenced by xrpc:// URIs in D(v). *)
+let xrpc_prefix = "xrpc://"
+
+let split_xrpc_uri u =
+  (* xrpc://host/path -> Some (host, path) *)
+  let n = String.length xrpc_prefix in
+  if String.length u > n && String.sub u 0 n = xrpc_prefix then
+    let rest = String.sub u n (String.length u - n) in
+    match String.index_opt rest '/' with
+    | Some i ->
+      Some
+        ( String.sub rest 0 i,
+          String.sub rest (i + 1) (String.length rest - i - 1) )
+    | None -> Some (rest, "")
+  else None
+
+let xrpc_hosts deps =
+  List.filter_map
+    (fun d ->
+      match d.uri with
+      | Uri u -> Option.map fst (split_xrpc_uri u)
+      | Wildcard | Constr -> None)
+    deps
+  |> List.sort_uniq compare

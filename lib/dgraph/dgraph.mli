@@ -1,0 +1,67 @@
+(** The dependency graph (d-graph) of Section III.
+
+    Vertices are the AST expression nodes (each carries a unique id);
+    parse edges are the AST edges; a varref edge connects every variable
+    reference to the value expression of its binder (the paper routes it
+    through a Var vertex whose only parse child is that value expression —
+    same reachability). *)
+
+module Ast = Xd_lang.Ast
+module Iset : Set.S with type elt = int
+
+(** A fn:doc call site in a URI dependency set: literal URI, computed URI
+    (wildcard), or a node constructor (artificial per-site URI). *)
+type uri_kind = Uri of string | Wildcard | Constr
+
+type uri_dep = { uri : uri_kind; site : int  (** call-site vertex id *) }
+
+val uri_kind_to_string : uri_kind -> string
+val pp_uri_dep : Format.formatter -> uri_dep -> unit
+
+type t
+
+val build : Ast.expr -> t
+val vertex : t -> int -> Ast.expr
+val vertices : t -> Ast.expr list
+val parent_of : t -> int -> int option
+val binder_of : t -> int -> int option
+(** Varref edge target: the binder's value-expression vertex. *)
+
+val varrefs_of : t -> int -> int list
+
+val parse_reaches : t -> int -> int -> bool
+(** [parse_reaches g v u] — v ⤳p u (u in v's parse subtree; reflexive). *)
+
+val reachable_set : t -> int -> Iset.t
+val depends : t -> int -> int -> bool
+(** [depends g x y] — x ⤳ y over parse and varref edges (reflexive). *)
+
+val in_subgraph : t -> int -> int -> bool
+
+val outgoing_varrefs : t -> int -> (int * int) list
+(** Varref edges leaving the subgraph of a vertex: [(varref vertex, binder
+    value vertex)] pairs. These become the XRPC parameters at insertion. *)
+
+val direct_uri_deps_of_vertex : Ast.expr -> uri_dep list
+
+val uri_deps : t -> int -> uri_dep list
+(** D(v) of Section IV: doc call sites reachable via parse edges. *)
+
+val extended_uri_deps : t -> int -> uri_dep list
+(** D over full ⤳ reachability — the conservative footnote-3 refinement
+    used by the hasMatchingDoc guard. *)
+
+val uris_match : uri_kind -> uri_kind -> bool
+
+val has_matching_doc_in : uri_dep list -> bool
+(** Two *distinct* call sites with matching URIs — the mixed-call danger
+    (the paper's definition has an evident [vi = vj] typo; the prose
+    requires two different applications). *)
+
+val has_matching_doc : t -> int -> bool
+
+val xrpc_prefix : string
+val split_xrpc_uri : string -> (string * string) option
+(** [split_xrpc_uri "xrpc://host/doc.xml"] is [Some ("host", "doc.xml")]. *)
+
+val xrpc_hosts : uri_dep list -> string list

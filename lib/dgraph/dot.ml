@@ -1,0 +1,88 @@
+(* Graphviz export of dependency graphs, in the style of the paper's
+   Fig. 2: solid arrows are parse edges, dashed arrows are varref edges,
+   vertices are labelled with their grammar rule and salient value. *)
+
+module Ast = Xd_lang.Ast
+
+let rule_label (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Literal (Ast.A_string s) ->
+    let s = if String.length s > 18 then String.sub s 0 15 ^ "..." else s in
+    Printf.sprintf "Literal[%s]" s
+  | Ast.Literal (Ast.A_int i) -> Printf.sprintf "Literal[%d]" i
+  | Ast.Literal (Ast.A_float f) -> Printf.sprintf "Literal[%g]" f
+  | Ast.Literal (Ast.A_bool b) -> Printf.sprintf "Literal[%b]" b
+  | Ast.Var_ref v -> Printf.sprintf "VarRef[$%s]" v
+  | Ast.Seq [] -> "()"
+  | Ast.Seq _ -> "ExprSeq"
+  | Ast.For (v, _, _) -> Printf.sprintf "ForExpr[$%s]" v
+  | Ast.Let (v, _, _) -> Printf.sprintf "LetExpr[$%s]" v
+  | Ast.If _ -> "IfExpr"
+  | Ast.Typeswitch _ -> "Typeswitch"
+  | Ast.Value_cmp (op, _, _) ->
+    Printf.sprintf "CompExpr[%s]" (Xd_lang.Pp.value_comp_name op)
+  | Ast.Node_cmp (op, _, _) ->
+    Printf.sprintf "NodeCmp[%s]" (Xd_lang.Pp.node_comp_name op)
+  | Ast.Arith (op, _, _) ->
+    Printf.sprintf "Arith[%s]" (Xd_lang.Pp.arith_op_name op)
+  | Ast.And _ -> "And"
+  | Ast.Or _ -> "Or"
+  | Ast.Order_by _ -> "OrderExpr"
+  | Ast.Node_set (op, _, _) ->
+    Printf.sprintf "NodeSetExpr[%s]" (Xd_lang.Pp.set_op_name op)
+  | Ast.Doc_constr _ -> "Constructor[document]"
+  | Ast.Text_constr _ -> "Constructor[text]"
+  | Ast.Elem_constr (Ast.Fixed_name n, _) ->
+    Printf.sprintf "Constructor[<%s>]" n
+  | Ast.Elem_constr (Ast.Computed_name _, _) -> "Constructor[element]"
+  | Ast.Attr_constr _ -> "Constructor[attribute]"
+  | Ast.Step (_, ax, t) ->
+    Printf.sprintf "AxisStep[%s::%s]" (Xd_lang.Pp.axis_name ax)
+      (Xd_lang.Pp.node_test_name t)
+  | Ast.Fun_call (n, _) -> Printf.sprintf "FunCall[%s]" n
+  | Ast.Execute_at _ -> "XRPCExpr"
+  | Ast.Insert_node _ -> "InsertExpr"
+  | Ast.Delete_node _ -> "DeleteExpr"
+  | Ast.Replace_value _ -> "ReplaceExpr"
+  | Ast.Rename_node _ -> "RenameExpr"
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(name = "dgraph") (g : Dgraph.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  let vs =
+    List.sort (fun a b -> compare a.Ast.id b.Ast.id) (Dgraph.vertices g)
+  in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [label=\"v%d:%s\"];\n" v.Ast.id v.Ast.id
+           (escape (rule_label v))))
+    vs;
+  (* parse edges *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  v%d -> v%d;\n" v.Ast.id c.Ast.id))
+        (Ast.children v))
+    vs;
+  (* varref edges *)
+  List.iter
+    (fun v ->
+      match Dgraph.binder_of g v.Ast.id with
+      | Some b ->
+        Buffer.add_string buf
+          (Printf.sprintf "  v%d -> v%d [style=dashed, constraint=false];\n"
+             v.Ast.id b)
+      | None -> ())
+    vs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

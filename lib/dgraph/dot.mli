@@ -1,0 +1,5 @@
+(** Graphviz export of dependency graphs, in the style of the paper's
+    Fig. 2: solid arrows are parse edges, dashed arrows varref edges. *)
+
+val rule_label : Xd_lang.Ast.expr -> string
+val to_dot : ?name:string -> Dgraph.t -> string

@@ -1,0 +1,9 @@
+(* Function-name normalization: the "fn:" prefix is stripped at parse time
+   so builtins are identified by their local name ("doc", "root", "id", ...)
+   everywhere downstream (evaluator, decomposition conditions, projection
+   path analysis). Other prefixes (user modules, xrpc:) are kept. *)
+
+let normalize name =
+  if String.length name > 3 && String.sub name 0 3 = "fn:" then
+    String.sub name 3 (String.length name - 3)
+  else name

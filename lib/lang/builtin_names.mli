@@ -1,0 +1,5 @@
+(** Function-name normalization: the [fn:] prefix is stripped at parse
+    time, so builtins are identified by local name everywhere downstream
+    (evaluator, insertion conditions, path analysis). *)
+
+val normalize : string -> string

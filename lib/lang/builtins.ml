@@ -1,0 +1,405 @@
+(* The builtin function library. Classes per the paper's Problem 5:
+   - class 1 (static context): static-base-uri, default-collation,
+     current-dateTime — read from the dynamic environment, which XRPC
+     propagates in message attributes;
+   - class 2 (node dynamic context): base-uri, document-uri — the XRPC
+     runtime overrides these with xrpc: wrappers for shipped nodes;
+   - class 3/4 (non-descendant access): root, id, idref — supported locally;
+     remotely only under pass-by-projection.
+   Being schemaless, id/idref treat attributes named "id" as IDs and
+   "idref"/"idrefs" as IDREFs (documented simplification). *)
+
+module X = Xd_xml
+
+let err = Env.dynamic_error
+
+let arity name n args =
+  if List.length args <> n then
+    err "%s expects %d argument(s), got %d" name n (List.length args)
+
+let one_node name (v : Value.t) =
+  match v with
+  | [ Value.N n ] -> n
+  | _ -> err "%s expects a single node" name
+
+let opt_node name (v : Value.t) =
+  match v with
+  | [] -> None
+  | [ Value.N n ] -> Some n
+  | _ -> err "%s expects at most one node" name
+
+let doubles v = List.map Value.atom_to_double (Value.atomize v)
+
+let strings v = List.map Value.atom_to_string (Value.atomize v)
+
+let node_doc_elements n =
+  let root = X.Node.root n in
+  List.filter
+    (fun x -> X.Node.kind x = X.Node.Element)
+    (X.Node.descendant_or_self root)
+
+let id_attrs = [ "id"; "xml:id" ]
+let idref_attrs = [ "idref"; "idrefs" ]
+
+let lookup_by_attr names values ctx =
+  let wanted = strings values in
+  let wanted =
+    List.concat_map (fun s -> String.split_on_char ' ' s) wanted
+    |> List.filter (fun s -> s <> "")
+  in
+  List.filter
+    (fun e ->
+      List.exists
+        (fun a ->
+          List.mem (X.Node.name a) names
+          && List.exists
+               (fun w ->
+                 List.mem w
+                   (String.split_on_char ' ' (X.Node.string_value a)))
+               wanted)
+        (X.Node.attributes e))
+    (node_doc_elements ctx)
+
+let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  let reg name f = Hashtbl.replace t name f in
+
+  (* ---- documents and node context ---- *)
+  reg "doc" (fun env args ->
+      arity "fn:doc" 1 args;
+      match args with
+      | [ v ] ->
+        let uri = Value.string_value v in
+        let d = env.Env.resolve_doc env uri in
+        [ Value.N (X.Node.doc_node d) ]
+      | _ -> assert false);
+  reg "collection" (fun env args ->
+      arity "fn:collection" 1 args;
+      match args with
+      | [ v ] ->
+        let uri = Value.string_value v in
+        let d = env.Env.resolve_doc env uri in
+        [ Value.N (X.Node.doc_node d) ]
+      | _ -> assert false);
+  reg "root" (fun _ args ->
+      arity "fn:root" 1 args;
+      match opt_node "fn:root" (List.hd args) with
+      | None -> []
+      | Some n -> [ Value.N (X.Node.root n) ]);
+  reg "id" (fun _ args ->
+      match args with
+      | [ vals; ctx ] ->
+        let ctx = one_node "fn:id" ctx in
+        List.map (fun n -> Value.N n) (lookup_by_attr id_attrs vals ctx)
+      | _ -> err "fn:id expects 2 arguments (values, context node)");
+  reg "idref" (fun _ args ->
+      match args with
+      | [ vals; ctx ] ->
+        let ctx = one_node "fn:idref" ctx in
+        List.map (fun n -> Value.N n) (lookup_by_attr idref_attrs vals ctx)
+      | _ -> err "fn:idref expects 2 arguments (values, context node)");
+  reg "base-uri" (fun _ args ->
+      arity "fn:base-uri" 1 args;
+      match opt_node "fn:base-uri" (List.hd args) with
+      | None -> []
+      | Some n -> (
+        match X.Node.document_uri n with
+        | Some u -> Value.of_string u
+        | None -> []));
+  reg "document-uri" (fun _ args ->
+      arity "fn:document-uri" 1 args;
+      match opt_node "fn:document-uri" (List.hd args) with
+      | None -> []
+      | Some n -> (
+        if X.Node.kind n <> X.Node.Document then []
+        else
+          match X.Node.document_uri n with
+          | Some u -> Value.of_string u
+          | None -> []));
+
+  (* ---- static context (class 1) ---- *)
+  reg "static-base-uri" (fun env args ->
+      arity "fn:static-base-uri" 0 args;
+      Value.of_string env.Env.static_base_uri);
+  reg "default-collation" (fun env args ->
+      arity "fn:default-collation" 0 args;
+      Value.of_string env.Env.default_collation);
+  reg "current-dateTime" (fun env args ->
+      arity "fn:current-dateTime" 0 args;
+      Value.of_string env.Env.current_datetime);
+
+  (* ---- booleans ---- *)
+  reg "true" (fun _ args ->
+      arity "fn:true" 0 args;
+      Value.of_bool true);
+  reg "false" (fun _ args ->
+      arity "fn:false" 0 args;
+      Value.of_bool false);
+  reg "not" (fun _ args ->
+      arity "fn:not" 1 args;
+      Value.of_bool (not (Value.effective_boolean_value (List.hd args))));
+  reg "boolean" (fun _ args ->
+      arity "fn:boolean" 1 args;
+      Value.of_bool (Value.effective_boolean_value (List.hd args)));
+
+  (* ---- cardinality ---- *)
+  reg "count" (fun _ args ->
+      arity "fn:count" 1 args;
+      Value.of_int (List.length (List.hd args)));
+  reg "empty" (fun _ args ->
+      arity "fn:empty" 1 args;
+      Value.of_bool (List.hd args = []));
+  reg "exists" (fun _ args ->
+      arity "fn:exists" 1 args;
+      Value.of_bool (List.hd args <> []));
+  reg "zero-or-one" (fun _ args ->
+      arity "fn:zero-or-one" 1 args;
+      match List.hd args with
+      | ([] | [ _ ]) as v -> v
+      | _ -> err "fn:zero-or-one: more than one item");
+  reg "exactly-one" (fun _ args ->
+      arity "fn:exactly-one" 1 args;
+      match List.hd args with
+      | [ _ ] as v -> v
+      | _ -> err "fn:exactly-one: not exactly one item");
+  reg "one-or-more" (fun _ args ->
+      arity "fn:one-or-more" 1 args;
+      match List.hd args with
+      | [] -> err "fn:one-or-more: empty sequence"
+      | v -> v);
+
+  (* ---- strings ---- *)
+  reg "string" (fun _ args ->
+      arity "fn:string" 1 args;
+      Value.of_string (Value.string_value (List.hd args)));
+  reg "data" (fun _ args ->
+      arity "fn:data" 1 args;
+      List.map (fun a -> Value.A a) (Value.atomize (List.hd args)));
+  reg "number" (fun _ args ->
+      arity "fn:number" 1 args;
+      Value.of_float (Value.to_double (List.hd args)));
+  reg "concat" (fun _ args ->
+      if List.length args < 2 then err "fn:concat expects at least 2 arguments";
+      Value.of_string (String.concat "" (List.map Value.string_value args)));
+  reg "string-length" (fun _ args ->
+      arity "fn:string-length" 1 args;
+      Value.of_int (String.length (Value.string_value (List.hd args))));
+  reg "contains" (fun _ args ->
+      arity "fn:contains" 2 args;
+      match args with
+      | [ a; b ] ->
+        let s = Value.string_value a and sub = Value.string_value b in
+        let n = String.length sub in
+        let found = ref (n = 0) in
+        for i = 0 to String.length s - n do
+          if (not !found) && String.sub s i n = sub then found := true
+        done;
+        Value.of_bool !found
+      | _ -> assert false);
+  reg "starts-with" (fun _ args ->
+      arity "fn:starts-with" 2 args;
+      match args with
+      | [ a; b ] ->
+        let s = Value.string_value a and p = Value.string_value b in
+        Value.of_bool
+          (String.length s >= String.length p
+          && String.sub s 0 (String.length p) = p)
+      | _ -> assert false);
+  reg "ends-with" (fun _ args ->
+      arity "fn:ends-with" 2 args;
+      match args with
+      | [ a; b ] ->
+        let s = Value.string_value a and p = Value.string_value b in
+        let ls = String.length s and lp = String.length p in
+        Value.of_bool (ls >= lp && String.sub s (ls - lp) lp = p)
+      | _ -> assert false);
+  reg "substring" (fun _ args ->
+      match args with
+      | [ s; start ] ->
+        let s = Value.string_value s in
+        let st = int_of_float (Value.to_double start) in
+        let st = max 1 st in
+        if st > String.length s then Value.of_string ""
+        else Value.of_string (String.sub s (st - 1) (String.length s - st + 1))
+      | [ s; start; len ] ->
+        let s = Value.string_value s in
+        let st = int_of_float (Value.to_double start) in
+        let ln = int_of_float (Value.to_double len) in
+        let first = max 1 st in
+        let last = min (String.length s) (st + ln - 1) in
+        if last < first then Value.of_string ""
+        else Value.of_string (String.sub s (first - 1) (last - first + 1))
+      | _ -> err "fn:substring expects 2 or 3 arguments");
+  reg "string-join" (fun _ args ->
+      arity "fn:string-join" 2 args;
+      match args with
+      | [ parts; sep ] ->
+        Value.of_string (String.concat (Value.string_value sep) (strings parts))
+      | _ -> assert false);
+  reg "normalize-space" (fun _ args ->
+      arity "fn:normalize-space" 1 args;
+      let s = Value.string_value (List.hd args) in
+      let words =
+        String.split_on_char ' '
+          (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s)
+        |> List.filter (fun w -> w <> "")
+      in
+      Value.of_string (String.concat " " words));
+  reg "upper-case" (fun _ args ->
+      arity "fn:upper-case" 1 args;
+      Value.of_string (String.uppercase_ascii (Value.string_value (List.hd args))));
+  reg "lower-case" (fun _ args ->
+      arity "fn:lower-case" 1 args;
+      Value.of_string (String.lowercase_ascii (Value.string_value (List.hd args))));
+  reg "substring-before" (fun _ args ->
+      arity "fn:substring-before" 2 args;
+      match args with
+      | [ a; b ] ->
+        let s = Value.string_value a and sub = Value.string_value b in
+        let n = String.length sub in
+        let res = ref "" in
+        (try
+           for i = 0 to String.length s - n do
+             if String.sub s i n = sub then begin
+               res := String.sub s 0 i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Value.of_string !res
+      | _ -> assert false);
+  reg "substring-after" (fun _ args ->
+      arity "fn:substring-after" 2 args;
+      match args with
+      | [ a; b ] ->
+        let s = Value.string_value a and sub = Value.string_value b in
+        let n = String.length sub in
+        let res = ref "" in
+        (try
+           for i = 0 to String.length s - n do
+             if String.sub s i n = sub then begin
+               res := String.sub s (i + n) (String.length s - i - n);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Value.of_string !res
+      | _ -> assert false);
+
+  (* ---- numerics and aggregates ---- *)
+  let agg name f =
+    reg name (fun _ args ->
+        arity ("fn:" ^ name) 1 args;
+        match doubles (List.hd args) with [] -> [] | ds -> f ds)
+  in
+  agg "avg" (fun ds ->
+      Value.of_float (List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)));
+  agg "max" (fun ds -> Value.of_float (List.fold_left Float.max neg_infinity ds));
+  agg "min" (fun ds -> Value.of_float (List.fold_left Float.min infinity ds));
+  reg "sum" (fun _ args ->
+      arity "fn:sum" 1 args;
+      match doubles (List.hd args) with
+      | [] -> Value.of_int 0
+      | ds -> Value.of_float (List.fold_left ( +. ) 0.0 ds));
+  reg "abs" (fun _ args ->
+      arity "fn:abs" 1 args;
+      Value.of_float (Float.abs (Value.to_double (List.hd args))));
+  reg "floor" (fun _ args ->
+      arity "fn:floor" 1 args;
+      Value.of_float (Float.floor (Value.to_double (List.hd args))));
+  reg "ceiling" (fun _ args ->
+      arity "fn:ceiling" 1 args;
+      Value.of_float (Float.ceil (Value.to_double (List.hd args))));
+  reg "round" (fun _ args ->
+      arity "fn:round" 1 args;
+      Value.of_float (Float.round (Value.to_double (List.hd args))));
+
+  (* ---- sequences ---- *)
+  reg "distinct-values" (fun _ args ->
+      arity "fn:distinct-values" 1 args;
+      let atoms = Value.atomize (List.hd args) in
+      let rec dedup seen = function
+        | [] -> List.rev seen
+        | a :: rest ->
+          if List.exists (Value.atom_equal a) seen then dedup seen rest
+          else dedup (a :: seen) rest
+      in
+      List.map (fun a -> Value.A a) (dedup [] atoms));
+  reg "reverse" (fun _ args ->
+      arity "fn:reverse" 1 args;
+      List.rev (List.hd args));
+  reg "subsequence" (fun _ args ->
+      match args with
+      | [ v; start ] ->
+        let st = int_of_float (Value.to_double start) in
+        List.filteri (fun i _ -> i + 1 >= st) v
+      | [ v; start; len ] ->
+        let st = int_of_float (Value.to_double start) in
+        let ln = int_of_float (Value.to_double len) in
+        List.filteri (fun i _ -> i + 1 >= st && i + 1 < st + ln) v
+      | _ -> err "fn:subsequence expects 2 or 3 arguments");
+  reg "item-at" (fun _ args ->
+      arity "fn:item-at" 2 args;
+      match args with
+      | [ v; idx ] -> (
+        let i = int_of_float (Value.to_double idx) in
+        match List.nth_opt v (i - 1) with None -> [] | Some it -> [ it ])
+      | _ -> assert false);
+  reg "insert-before" (fun _ args ->
+      arity "fn:insert-before" 3 args;
+      match args with
+      | [ v; pos; ins ] ->
+        let p = max 1 (int_of_float (Value.to_double pos)) in
+        let rec go i = function
+          | [] -> ins
+          | x :: rest when i = p -> ins @ (x :: rest)
+          | x :: rest -> x :: go (i + 1) rest
+        in
+        go 1 v
+      | _ -> assert false);
+  reg "remove" (fun _ args ->
+      arity "fn:remove" 2 args;
+      match args with
+      | [ v; pos ] ->
+        let p = int_of_float (Value.to_double pos) in
+        List.filteri (fun i _ -> i + 1 <> p) v
+      | _ -> assert false);
+  reg "deep-equal" (fun _ args ->
+      arity "fn:deep-equal" 2 args;
+      match args with
+      | [ a; b ] -> Value.of_bool (Value.deep_equal a b)
+      | _ -> assert false);
+
+  (* ---- names ---- *)
+  reg "name" (fun _ args ->
+      arity "fn:name" 1 args;
+      match opt_node "fn:name" (List.hd args) with
+      | None -> Value.of_string ""
+      | Some n -> Value.of_string (X.Node.name n));
+  reg "local-name" (fun _ args ->
+      arity "fn:local-name" 1 args;
+      match opt_node "fn:local-name" (List.hd args) with
+      | None -> Value.of_string ""
+      | Some n ->
+        let nm = X.Node.name n in
+        let local =
+          match String.rindex_opt nm ':' with
+          | Some i -> String.sub nm (i + 1) (String.length nm - i - 1)
+          | None -> nm
+        in
+        Value.of_string local);
+
+  (* paper-fidelity aliases: in XRPC, fn:base-uri / fn:document-uri on
+     shipped nodes are substituted by xrpc: wrappers reading the message
+     attributes; in this implementation shredded documents adopt the
+     origin base-uri directly, so the wrappers coincide with the plain
+     functions *)
+  reg "xrpc:base-uri" (fun env args ->
+      (Hashtbl.find t "base-uri") env args);
+  reg "xrpc:document-uri" (fun env args ->
+      (Hashtbl.find t "document-uri") env args);
+
+  reg "error" (fun _ args ->
+      let msg = match args with v :: _ -> Value.string_value v | [] -> "fn:error" in
+      err "%s" msg);
+  t

@@ -1,0 +1,13 @@
+(** The builtin function library, keyed by local name ([fn:] stripped).
+
+    Relative to the paper's Problem 5 classification:
+    class 1 (static context: static-base-uri, default-collation,
+    current-dateTime) reads the dynamic environment, which XRPC propagates
+    in message attributes; class 2 (base-uri, document-uri) works on
+    shipped nodes because fragments carry their origin base-uri; classes
+    3/4 (root, id, idref) work locally and — remotely — only under
+    pass-by-projection. Being schemaless, id/idref treat attributes named
+    "id"/"xml:id" as IDs and "idref"/"idrefs" as IDREFs. *)
+
+val table : unit -> (string, Env.t -> Value.t list -> Value.t) Hashtbl.t
+(** A fresh table with every builtin registered. *)

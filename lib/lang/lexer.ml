@@ -1,0 +1,264 @@
+(* Hand-written lexer with one-token lookahead under parser control. The
+   parser can rewind to the raw character position of the current token
+   (needed to switch into XML mode for direct element constructors). XQuery
+   comments "(: ... :)" nest. Keywords are not reserved; the parser decides
+   contextually whether a NAME is a keyword. *)
+
+exception Error of string * int
+
+type token =
+  | NAME of string (* QName, possibly prefixed: fn:doc, xs:string *)
+  | STR of string
+  | INT of int
+  | FLOAT of float
+  | LPAR
+  | RPAR
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN (* := *)
+  | DOLLAR
+  | SLASH
+  | DSLASH (* // *)
+  | DCOLON (* :: *)
+  | AT
+  | DOT
+  | DOTDOT
+  | STAR
+  | PLUS
+  | MINUS
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LTLT (* << *)
+  | GTGT (* >> *)
+  | PIPE
+  | QMARK
+  | EOF
+
+let token_to_string = function
+  | NAME s -> s
+  | STR s -> Printf.sprintf "%S" s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | LPAR -> "("
+  | RPAR -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> ":="
+  | DOLLAR -> "$"
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | DCOLON -> "::"
+  | AT -> "@"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | LTLT -> "<<"
+  | GTGT -> ">>"
+  | PIPE -> "|"
+  | QMARK -> "?"
+  | EOF -> "<eof>"
+
+type t = {
+  src : string;
+  mutable pos : int; (* position after the current token *)
+  mutable tok : token;
+  mutable tok_start : int; (* raw position where the current token began *)
+}
+
+let fail lx msg = raise (Error (msg, lx.tok_start))
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  || Char.code c >= 128
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+let rec skip_ws_comments lx =
+  let n = String.length lx.src in
+  while lx.pos < n && is_ws lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  if lx.pos + 1 < n && lx.src.[lx.pos] = '(' && lx.src.[lx.pos + 1] = ':' then begin
+    (* nested XQuery comment *)
+    let depth = ref 1 in
+    lx.pos <- lx.pos + 2;
+    while !depth > 0 do
+      if lx.pos + 1 >= n then raise (Error ("unterminated comment", lx.pos));
+      if lx.src.[lx.pos] = '(' && lx.src.[lx.pos + 1] = ':' then begin
+        incr depth;
+        lx.pos <- lx.pos + 2
+      end
+      else if lx.src.[lx.pos] = ':' && lx.src.[lx.pos + 1] = ')' then begin
+        decr depth;
+        lx.pos <- lx.pos + 2
+      end
+      else lx.pos <- lx.pos + 1
+    done;
+    skip_ws_comments lx
+  end
+
+let scan_string lx quote =
+  let buf = Buffer.create 16 in
+  let n = String.length lx.src in
+  let rec loop () =
+    if lx.pos >= n then raise (Error ("unterminated string literal", lx.pos));
+    let c = lx.src.[lx.pos] in
+    if c = quote then
+      if lx.pos + 1 < n && lx.src.[lx.pos + 1] = quote then begin
+        (* doubled quote = escaped quote *)
+        Buffer.add_char buf quote;
+        lx.pos <- lx.pos + 2;
+        loop ()
+      end
+      else lx.pos <- lx.pos + 1
+    else begin
+      Buffer.add_char buf c;
+      lx.pos <- lx.pos + 1;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let scan_name lx =
+  let start = lx.pos in
+  let n = String.length lx.src in
+  while lx.pos < n && is_name_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  (* optional prefix:local — but beware of "::" (axis separator) and ":=" *)
+  if
+    lx.pos + 1 < n
+    && lx.src.[lx.pos] = ':'
+    && is_name_start lx.src.[lx.pos + 1]
+    && not (lx.pos + 1 < n && lx.src.[lx.pos + 1] = ':')
+  then begin
+    lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_name_char lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  String.sub lx.src start (lx.pos - start)
+
+let scan_number lx =
+  let start = lx.pos in
+  let n = String.length lx.src in
+  while lx.pos < n && is_digit lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  let is_float = ref false in
+  if
+    lx.pos + 1 < n
+    && lx.src.[lx.pos] = '.'
+    && is_digit lx.src.[lx.pos + 1]
+  then begin
+    is_float := true;
+    lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  if lx.pos < n && (lx.src.[lx.pos] = 'e' || lx.src.[lx.pos] = 'E') then begin
+    is_float := true;
+    lx.pos <- lx.pos + 1;
+    if lx.pos < n && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-') then
+      lx.pos <- lx.pos + 1;
+    while lx.pos < n && is_digit lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  let s = String.sub lx.src start (lx.pos - start) in
+  if !is_float then FLOAT (float_of_string s) else INT (int_of_string s)
+
+let scan lx =
+  skip_ws_comments lx;
+  lx.tok_start <- lx.pos;
+  let n = String.length lx.src in
+  if lx.pos >= n then EOF
+  else
+    let c = lx.src.[lx.pos] in
+    let c2 = if lx.pos + 1 < n then lx.src.[lx.pos + 1] else '\000' in
+    let two tok =
+      lx.pos <- lx.pos + 2;
+      tok
+    in
+    let one tok =
+      lx.pos <- lx.pos + 1;
+      tok
+    in
+    match (c, c2) with
+    | '"', _ | '\'', _ ->
+      lx.pos <- lx.pos + 1;
+      STR (scan_string lx c)
+    | ':', '=' -> two ASSIGN
+    | ':', ':' -> two DCOLON
+    | '/', '/' -> two DSLASH
+    | '.', '.' -> two DOTDOT
+    | '!', '=' -> two NE
+    | '<', '=' -> two LE
+    | '<', '<' -> two LTLT
+    | '>', '=' -> two GE
+    | '>', '>' -> two GTGT
+    | '(', _ -> one LPAR
+    | ')', _ -> one RPAR
+    | '{', _ -> one LBRACE
+    | '}', _ -> one RBRACE
+    | '[', _ -> one LBRACKET
+    | ']', _ -> one RBRACKET
+    | ',', _ -> one COMMA
+    | ';', _ -> one SEMI
+    | '$', _ -> one DOLLAR
+    | '/', _ -> one SLASH
+    | '@', _ -> one AT
+    | '.', _ -> one DOT
+    | '*', _ -> one STAR
+    | '+', _ -> one PLUS
+    | '-', _ -> one MINUS
+    | '=', _ -> one EQ
+    | '<', _ -> one LT
+    | '>', _ -> one GT
+    | '|', _ -> one PIPE
+    | '?', _ -> one QMARK
+    | c, _ when is_digit c -> scan_number lx
+    | c, _ when is_name_start c -> NAME (scan_name lx)
+    | c, _ -> raise (Error (Printf.sprintf "unexpected character %C" c, lx.pos))
+
+let create src =
+  let lx = { src; pos = 0; tok = EOF; tok_start = 0 } in
+  lx.tok <- scan lx;
+  lx
+
+let current lx = lx.tok
+let advance lx = lx.tok <- scan lx
+
+(* Raw character position where the current token starts; used by the
+   parser to enter XML mode for direct constructors. *)
+let raw_start lx = lx.tok_start
+
+(* Resume tokenizing from raw position [p] (after XML-mode reading). *)
+let resume_at lx p =
+  lx.pos <- p;
+  lx.tok <- scan lx

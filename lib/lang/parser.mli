@@ -1,0 +1,23 @@
+(** Recursive-descent parser producing XCore ASTs.
+
+    Surface XQuery conveniences are desugared at parse time so downstream
+    analysis sees only Table II constructs:
+    - predicates [E[p]] become [for $dot in E return if (p') then $dot
+      else ()] (integer-literal predicates use the [item-at] builtin);
+    - [where] clauses become conditionals;
+    - [//], [@name], [..], [.] expand to explicit steps;
+    - direct constructors become computed constructors;
+    - [execute at {h} {f(a)}] becomes an [Execute_at] with fresh
+      parameters (rules 27/28).
+
+    Keywords are recognized contextually; the [fn:] prefix of builtin
+    calls is stripped (see {!Builtin_names}). *)
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+val parse_query : string -> Ast.query
+(** Parse [declare function …;]* followed by the query body. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (no prolog). *)

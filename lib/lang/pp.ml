@@ -1,0 +1,207 @@
+(* Pretty-printer for XCore expressions. Output is re-parseable by
+   [Parser.parse_expr_string]; tests rely on the round-trip. *)
+
+open Format
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let axis_name = function
+  | Ast.Child -> "child"
+  | Ast.Descendant -> "descendant"
+  | Ast.Descendant_or_self -> "descendant-or-self"
+  | Ast.Self -> "self"
+  | Ast.Attribute -> "attribute"
+  | Ast.Parent -> "parent"
+  | Ast.Ancestor -> "ancestor"
+  | Ast.Ancestor_or_self -> "ancestor-or-self"
+  | Ast.Following -> "following"
+  | Ast.Following_sibling -> "following-sibling"
+  | Ast.Preceding -> "preceding"
+  | Ast.Preceding_sibling -> "preceding-sibling"
+
+let node_test_name = function
+  | Ast.Name_test n -> n
+  | Ast.Wildcard -> "*"
+  | Ast.Kind_node -> "node()"
+  | Ast.Kind_text -> "text()"
+  | Ast.Kind_comment -> "comment()"
+  | Ast.Kind_element None -> "element()"
+  | Ast.Kind_element (Some n) -> Printf.sprintf "element(%s)" n
+  | Ast.Kind_attribute None -> "attribute()"
+  | Ast.Kind_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+
+let value_comp_name = function
+  | Ast.Eq -> "="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let node_comp_name = function
+  | Ast.Is -> "is"
+  | Ast.Precedes -> "<<"
+  | Ast.Follows -> ">>"
+
+let set_op_name = function
+  | Ast.Union -> "union"
+  | Ast.Intersect -> "intersect"
+  | Ast.Except -> "except"
+
+let arith_op_name = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "div"
+  | Ast.Idiv -> "idiv"
+  | Ast.Mod -> "mod"
+
+let occurrence_name = function
+  | Ast.Occ_one -> ""
+  | Ast.Occ_opt -> "?"
+  | Ast.Occ_star -> "*"
+  | Ast.Occ_plus -> "+"
+
+let sequence_type_name = function
+  | Ast.St_empty -> "empty-sequence()"
+  | Ast.St_items (it, occ) ->
+    let base =
+      match it with
+      | Ast.It_node -> "node()"
+      | Ast.It_element None -> "element()"
+      | Ast.It_element (Some n) -> Printf.sprintf "element(%s)" n
+      | Ast.It_attribute None -> "attribute()"
+      | Ast.It_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+      | Ast.It_text -> "text()"
+      | Ast.It_document -> "document-node()"
+      | Ast.It_atomic n -> n
+      | Ast.It_item -> "item()"
+    in
+    base ^ occurrence_name occ
+
+(* FLWOR / conditional / typeswitch / execute-at expressions are
+   ExprSingle forms that cannot appear bare as operator operands; printing
+   them parenthesized keeps the output re-parseable in every position. *)
+let rec pp_expr fmt (e : Ast.expr) =
+  match e.desc with
+  | Ast.For _ | Ast.Let _ | Ast.If _ | Ast.Typeswitch _ | Ast.Order_by _
+  | Ast.Execute_at _ | Ast.Insert_node _ | Ast.Delete_node _
+  | Ast.Replace_value _ | Ast.Rename_node _ ->
+    Format.fprintf fmt "(%a)" pp_expr_raw e
+  | _ -> pp_expr_raw fmt e
+
+and pp_expr_raw fmt (e : Ast.expr) =
+  match e.desc with
+  | Ast.Literal (Ast.A_string s) -> fprintf fmt "\"%s\"" (escape_string s)
+  | Ast.Literal (Ast.A_int i) -> fprintf fmt "%d" i
+  | Ast.Literal (Ast.A_float f) -> fprintf fmt "%s" (Printf.sprintf "%.12g" f)
+  | Ast.Literal (Ast.A_bool b) -> fprintf fmt "%s()" (if b then "true" else "false")
+  | Ast.Var_ref v -> fprintf fmt "$%s" v
+  | Ast.Seq es ->
+    fprintf fmt "(@[%a@])" (pp_print_list ~pp_sep:(fun f () -> fprintf f ",@ ") pp_expr) es
+  | Ast.For (v, e1, e2) ->
+    fprintf fmt "@[<hv 2>for $%s in %a@ return %a@]" v pp_expr e1 pp_expr e2
+  | Ast.Let (v, e1, e2) ->
+    fprintf fmt "@[<hv 2>let $%s := %a@ return %a@]" v pp_expr e1 pp_expr e2
+  | Ast.If (c, t, f) ->
+    fprintf fmt "@[<hv 2>if (%a)@ then %a@ else %a@]" pp_expr c pp_expr t
+      pp_expr f
+  | Ast.Typeswitch (e0, cases, dv, dflt) ->
+    fprintf fmt "@[<hv 2>typeswitch (%a)" pp_expr e0;
+    List.iter
+      (fun (v, st, b) ->
+        fprintf fmt "@ case $%s as %s return %a" v (sequence_type_name st)
+          pp_expr b)
+      cases;
+    fprintf fmt "@ default $%s return %a@]" dv pp_expr dflt
+  | Ast.Value_cmp (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp_expr a (value_comp_name op) pp_expr b
+  | Ast.Node_cmp (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp_expr a (node_comp_name op) pp_expr b
+  | Ast.Arith (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp_expr a (arith_op_name op) pp_expr b
+  | Ast.And (a, b) -> fprintf fmt "(%a and %a)" pp_expr a pp_expr b
+  | Ast.Or (a, b) -> fprintf fmt "(%a or %a)" pp_expr a pp_expr b
+  | Ast.Order_by (v, e1, specs, body) ->
+    fprintf fmt "@[<hv 2>for $%s in %a@ order by %a@ return %a@]" v pp_expr e1
+      (pp_print_list
+         ~pp_sep:(fun f () -> fprintf f ",@ ")
+         (fun f (s, asc) ->
+           fprintf f "%a %s" pp_expr s (if asc then "ascending" else "descending")))
+      specs pp_expr body
+  | Ast.Node_set (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp_expr a (set_op_name op) pp_expr b
+  | Ast.Doc_constr e1 -> fprintf fmt "document {%a}" pp_expr e1
+  | Ast.Text_constr e1 -> fprintf fmt "text {%a}" pp_expr e1
+  | Ast.Elem_constr (Ast.Fixed_name n, e1) ->
+    fprintf fmt "element %s {%a}" n pp_expr e1
+  | Ast.Elem_constr (Ast.Computed_name ne, e1) ->
+    fprintf fmt "element {%a} {%a}" pp_expr ne pp_expr e1
+  | Ast.Attr_constr (Ast.Fixed_name n, e1) ->
+    fprintf fmt "attribute %s {%a}" n pp_expr e1
+  | Ast.Attr_constr (Ast.Computed_name ne, e1) ->
+    fprintf fmt "attribute {%a} {%a}" pp_expr ne pp_expr e1
+  | Ast.Step (e1, axis, test) ->
+    let atomic_ctx =
+      match e1.desc with
+      | Ast.Var_ref _ | Ast.Fun_call _ | Ast.Step _ | Ast.Literal _ | Ast.Seq _
+        ->
+        true
+      | _ -> false
+    in
+    if atomic_ctx then
+      fprintf fmt "%a/%s::%s" pp_expr e1 (axis_name axis) (node_test_name test)
+    else
+      fprintf fmt "(%a)/%s::%s" pp_expr e1 (axis_name axis)
+        (node_test_name test)
+  | Ast.Fun_call (n, args) ->
+    fprintf fmt "%s(@[%a@])" n
+      (pp_print_list ~pp_sep:(fun f () -> fprintf f ",@ ") pp_expr)
+      args
+  | Ast.Execute_at x ->
+    fprintf fmt "@[<hv 2>execute at {%a}@ function (@[%a@])@ {%a}@]" pp_expr
+      x.host
+      (pp_print_list
+         ~pp_sep:(fun f () -> fprintf f ",@ ")
+         (fun f (v, e1) -> fprintf f "$%s := %a" v pp_expr e1))
+      x.params pp_expr x.body
+  | Ast.Insert_node (src, pos, tgt) ->
+    fprintf fmt "@[<hv 2>insert node %a %s %a@]" pp_expr src
+      (match pos with
+      | Ast.Into -> "into"
+      | Ast.Before -> "before"
+      | Ast.After -> "after")
+      pp_expr tgt
+  | Ast.Delete_node tgt -> fprintf fmt "delete node %a" pp_expr tgt
+  | Ast.Replace_value (tgt, v) ->
+    fprintf fmt "@[<hv 2>replace value of node %a with %a@]" pp_expr tgt
+      pp_expr v
+  | Ast.Rename_node (tgt, n) ->
+    fprintf fmt "@[<hv 2>rename node %a as %a@]" pp_expr tgt pp_expr n
+
+let pp_func fmt (f : Ast.func) =
+  fprintf fmt "@[<hv 2>declare function %s(@[%a@])%s {@ %a };@]" f.f_name
+    (pp_print_list
+       ~pp_sep:(fun fm () -> fprintf fm ",@ ")
+       (fun fm (v, ty) ->
+         match ty with
+         | None -> fprintf fm "$%s" v
+         | Some t -> fprintf fm "$%s as %s" v (sequence_type_name t)))
+    f.f_params
+    (match f.f_return with
+    | None -> ""
+    | Some t -> " as " ^ sequence_type_name t)
+    pp_expr f.f_body
+
+let pp_query fmt (q : Ast.query) =
+  List.iter (fun f -> fprintf fmt "%a@." pp_func f) q.funcs;
+  fprintf fmt "%a@." pp_expr q.body
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let query_to_string q = Format.asprintf "%a" pp_query q

@@ -1,0 +1,20 @@
+(** Pretty-printer for XCore. The output is re-parseable by
+    {!Parser.parse_expr_string} / {!Parser.parse_query}; the test suite
+    relies on the round trip. Also exports the name tables shared with the
+    projection-path syntax. *)
+
+val escape_string : string -> string
+val axis_name : Ast.axis -> string
+val node_test_name : Ast.node_test -> string
+val value_comp_name : Ast.value_comp -> string
+val node_comp_name : Ast.node_comp -> string
+val set_op_name : Ast.set_op -> string
+val arith_op_name : Ast.arith_op -> string
+val occurrence_name : Ast.occurrence -> string
+val sequence_type_name : Ast.sequence_type -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_query : Format.formatter -> Ast.query -> unit
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string

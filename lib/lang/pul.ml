@@ -1,0 +1,24 @@
+(* The pending update list type (XQUF subset). Kept in its own module so
+   the dynamic environment can hold a PUL without depending on the update
+   application machinery. *)
+
+module X = Xd_xml
+
+type pending =
+  | P_insert of X.Node.t * Ast.insert_pos * X.Doc.tree list
+      (* target node, position, already-copied content *)
+  | P_delete of X.Node.t
+  | P_replace_value of X.Node.t * string
+  | P_rename of X.Node.t * string
+
+let target_of = function
+  | P_insert (n, _, _) | P_delete n | P_replace_value (n, _) | P_rename (n, _)
+    ->
+    n
+
+type t = { mutable pending : pending list (* reversed *) }
+
+let create () = { pending = [] }
+let add t p = t.pending <- p :: t.pending
+let list t = List.rev t.pending
+let is_empty t = t.pending = []

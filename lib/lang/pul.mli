@@ -1,0 +1,18 @@
+(** The pending update list (XQUF subset): updating expressions append
+    here; application happens when the query completes (snapshot
+    semantics). *)
+
+type pending =
+  | P_insert of Xd_xml.Node.t * Ast.insert_pos * Xd_xml.Doc.tree list
+  | P_delete of Xd_xml.Node.t
+  | P_replace_value of Xd_xml.Node.t * string
+  | P_rename of Xd_xml.Node.t * string
+
+val target_of : pending -> Xd_xml.Node.t
+
+type t
+
+val create : unit -> t
+val add : t -> pending -> unit
+val list : t -> pending list
+val is_empty : t -> bool

@@ -1,0 +1,126 @@
+(* Static checks: run before evaluation or decomposition to reject queries
+   that would only fail at runtime — unbound variables, unknown functions,
+   wrong arities, duplicate parameters/functions. The check is
+   scope-precise (it follows the same binder structure as the evaluator)
+   and collects *all* errors rather than stopping at the first. *)
+
+type error = {
+  vertex : int; (* AST vertex id where the problem sits *)
+  message : string;
+}
+
+let pp_error fmt e = Fmt.pf fmt "v%d: %s" e.vertex e.message
+
+(* builtins are resolved against the default table; custom engines can pass
+   additional names *)
+let default_builtin_names () =
+  let t = Builtins.table () in
+  Hashtbl.fold (fun name _ acc -> name :: acc) t []
+
+(* Minimum/maximum arities of builtins that are not fixed-arity. *)
+let builtin_arity_ok name n =
+  match name with
+  | "concat" -> n >= 2
+  | "substring" | "subsequence" -> n = 2 || n = 3
+  | "error" -> n <= 1
+  | "doc" | "collection" | "root" | "not" | "boolean" | "count" | "empty"
+  | "exists" | "string" | "data" | "number" | "string-length"
+  | "normalize-space" | "upper-case" | "lower-case" | "name" | "local-name"
+  | "base-uri" | "document-uri" | "zero-or-one" | "exactly-one"
+  | "one-or-more" | "distinct-values" | "reverse" | "abs" | "floor"
+  | "ceiling" | "round" | "sum" | "avg" | "max" | "min" ->
+    n = 1
+  | "contains" | "starts-with" | "ends-with" | "string-join" | "deep-equal"
+  | "substring-before" | "substring-after" | "id" | "idref" | "item-at"
+  | "remove" ->
+    n = 2
+  | "insert-before" -> n = 3
+  | "true" | "false" | "static-base-uri" | "default-collation"
+  | "current-dateTime" ->
+    n = 0
+  | _ -> true (* unknown to the arity table: accept *)
+
+let check_expr ~funcs ~builtins ?(bound = []) (e : Ast.expr) : error list =
+  let errors = ref [] in
+  let err vertex fmt =
+    Format.kasprintf (fun message -> errors := { vertex; message } :: !errors) fmt
+  in
+  let fun_arity name =
+    List.find_map
+      (fun f ->
+        if f.Ast.f_name = name then Some (List.length f.Ast.f_params) else None)
+      funcs
+  in
+  let rec go scope (x : Ast.expr) =
+    (match x.Ast.desc with
+    | Ast.Var_ref v ->
+      if not (List.mem v scope) then err x.Ast.id "unbound variable $%s" v
+    | Ast.Fun_call (name, args) -> (
+      let n = List.length args in
+      match fun_arity name with
+      | Some arity ->
+        if n <> arity then
+          err x.Ast.id "function %s expects %d argument(s), got %d" name arity n
+      | None ->
+        if not (List.mem name builtins) then
+          err x.Ast.id "unknown function %s()" name
+        else if not (builtin_arity_ok name n) then
+          err x.Ast.id "wrong number of arguments (%d) for fn:%s" n name)
+    | Ast.Execute_at ea ->
+      let names = List.map fst ea.Ast.params in
+      if List.length (List.sort_uniq compare names) <> List.length names then
+        err x.Ast.id "duplicate execute-at parameter names"
+    | _ -> ());
+    match x.Ast.desc with
+    | Ast.Execute_at ea ->
+      (* rule 27: the remote body is a closed function — it sees only its
+         parameters, never the caller's scope *)
+      go scope ea.Ast.host;
+      List.iter (fun (_, pe) -> go scope pe) ea.Ast.params;
+      go (List.map fst ea.Ast.params) ea.Ast.body
+    | _ ->
+      List.iter2
+        (fun child extra -> go (extra @ scope) child)
+        (Ast.children x) (Ast.bound_in_children x)
+  in
+  go bound e;
+  List.rev !errors
+
+let check (q : Ast.query) : error list =
+  let builtins = default_builtin_names () in
+  let fnames = List.map (fun f -> f.Ast.f_name) q.Ast.funcs in
+  let dup_errors =
+    let rec dups = function
+      | [] -> []
+      | n :: rest when List.mem n rest ->
+        [ { vertex = 0; message = "duplicate function declaration " ^ n } ]
+        @ dups rest
+      | _ :: rest -> dups rest
+    in
+    dups fnames
+  in
+  let func_errors =
+    List.concat_map
+      (fun f ->
+        let params = List.map fst f.Ast.f_params in
+        let dup_params =
+          if List.length (List.sort_uniq compare params) <> List.length params
+          then
+            [
+              {
+                vertex = f.Ast.f_body.Ast.id;
+                message = "duplicate parameter in function " ^ f.Ast.f_name;
+              };
+            ]
+          else []
+        in
+        dup_params
+        @ check_expr ~funcs:q.Ast.funcs ~builtins ~bound:params f.Ast.f_body)
+      q.Ast.funcs
+  in
+  dup_errors @ func_errors @ check_expr ~funcs:q.Ast.funcs ~builtins q.Ast.body
+
+let check_exn q =
+  match check q with
+  | [] -> ()
+  | e :: _ -> Env.dynamic_error "static error: %s" e.message

@@ -1,0 +1,21 @@
+(** Static checks, run before evaluation or decomposition: unbound
+    variables, unknown functions, wrong arities, duplicate declarations.
+    Scope-precise (follows the evaluator's binder structure) and collects
+    every error. *)
+
+type error = { vertex : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val default_builtin_names : unit -> string list
+val builtin_arity_ok : string -> int -> bool
+
+val check_expr :
+  funcs:Ast.func list ->
+  builtins:string list ->
+  ?bound:Ast.var list ->
+  Ast.expr ->
+  error list
+
+val check : Ast.query -> error list
+val check_exn : Ast.query -> unit
+(** @raise Env.Dynamic_error on the first error. *)

@@ -1,0 +1,184 @@
+(* XQUF subset (the paper's Section IX future work): pending update lists
+   and their application.
+
+   Updating expressions evaluate to the empty sequence and append to the
+   dynamic context's pending update list (PUL); the PUL is applied when the
+   query completes — snapshot semantics: the query result is computed
+   against the pre-update state. Applying an update rebuilds the target
+   document (the store is immutable-per-document) and re-registers it
+   under the same document id and URI, so subsequent queries see the new
+   content while node handles held by the old result keep pointing at the
+   untouched old version. *)
+
+module X = Xd_xml
+open Pul
+
+(* Convert a value into copied content trees (XQUF copies inserted
+   content); adjacent atoms merge into one text node. *)
+let content_of_value (v : Value.t) : X.Doc.tree list =
+  let rec tree_of_node n =
+    match X.Node.kind n with
+    | X.Node.Element ->
+      X.Doc.E
+        ( X.Node.name n,
+          List.map
+            (fun a -> (X.Node.name a, X.Node.string_value a))
+            (X.Node.attributes n),
+          List.map tree_of_node (X.Node.children n) )
+    | X.Node.Text -> X.Doc.T (X.Node.string_value n)
+    | X.Node.Comment -> X.Doc.C (X.Node.string_value n)
+    | X.Node.Pi -> X.Doc.P (X.Node.name n, X.Node.string_value n)
+    | X.Node.Document ->
+      (* splice document content *)
+      X.Doc.E ("#doc", [], List.map tree_of_node (X.Node.children n))
+    | X.Node.Attribute ->
+      Env.dynamic_error "cannot insert a bare attribute node"
+  in
+  let rec go prev_atom acc = function
+    | [] -> List.rev acc
+    | Value.N n :: rest -> (
+      match tree_of_node n with
+      | X.Doc.E ("#doc", _, kids) -> go false (List.rev_append kids acc) rest
+      | t -> go false (t :: acc) rest)
+    | Value.A a :: rest ->
+      let s = Value.atom_to_string a in
+      let acc =
+        match acc with
+        | X.Doc.T prev :: tl when prev_atom -> X.Doc.T (prev ^ " " ^ s) :: tl
+        | _ -> X.Doc.T s :: acc
+      in
+      go true acc rest
+  in
+  go false [] v
+
+(* ---- application ---------------------------------------------------- *)
+
+(* Per-document rebuild: walk the original tree, consulting index-keyed
+   edit maps. Inserted content is emitted via the builder. *)
+let apply_to_doc (d : X.Doc.t) (edits : pending list) : X.Doc.t =
+  let deletes = Hashtbl.create 8 in
+  let inserts_into = Hashtbl.create 8 in
+  let inserts_before = Hashtbl.create 8 in
+  let inserts_after = Hashtbl.create 8 in
+  let replacements = Hashtbl.create 8 in
+  let renames = Hashtbl.create 8 in
+  let attr_deletes = Hashtbl.create 8 in
+  let attr_replacements = Hashtbl.create 8 in
+  let attr_renames = Hashtbl.create 8 in
+  let add tbl k v =
+    Hashtbl.replace tbl k (Option.value ~default:[] (Hashtbl.find_opt tbl k) @ v)
+  in
+  List.iter
+    (fun p ->
+      let n = target_of p in
+      let idx = X.Node.index n in
+      if X.Node.is_attribute n then
+        let key = (idx, X.Node.name n) in
+        match p with
+        | P_delete _ -> Hashtbl.replace attr_deletes key ()
+        | P_replace_value (_, s) -> Hashtbl.replace attr_replacements key s
+        | P_rename (_, nm) -> Hashtbl.replace attr_renames key nm
+        | P_insert _ ->
+          Env.dynamic_error "cannot insert into an attribute node"
+      else
+        match p with
+        | P_delete _ -> Hashtbl.replace deletes idx ()
+        | P_insert (_, Ast.Into, content) -> add inserts_into idx content
+        | P_insert (_, Ast.Before, content) -> add inserts_before idx content
+        | P_insert (_, Ast.After, content) -> add inserts_after idx content
+        | P_replace_value (_, s) -> Hashtbl.replace replacements idx s
+        | P_rename (_, nm) -> Hashtbl.replace renames idx nm)
+    edits;
+  let b = X.Doc.Builder.create ?uri:(X.Doc.uri d) () in
+  let emit_trees ts =
+    List.iter
+      (fun t ->
+        let rec go = function
+          | X.Doc.E (n, attrs, kids) ->
+            X.Doc.Builder.start_element b n attrs;
+            List.iter go kids;
+            X.Doc.Builder.end_element b
+          | X.Doc.T s -> X.Doc.Builder.text b s
+          | X.Doc.C s -> X.Doc.Builder.comment b s
+          | X.Doc.P (t, v) -> X.Doc.Builder.pi b t v
+        in
+        go t)
+      ts
+  in
+  let find tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+  let rec emit i =
+    if not (Hashtbl.mem deletes i) then begin
+      emit_trees (find inserts_before i);
+      (match d.X.Doc.kind.(i) with
+      | X.Doc.Element ->
+        let name =
+          Option.value ~default:d.X.Doc.name.(i) (Hashtbl.find_opt renames i)
+        in
+        let attrs =
+          match d.X.Doc.attr_first.(i) with
+          | -1 -> []
+          | first ->
+            List.filter_map
+              (fun k ->
+                let an = d.X.Doc.attr_name.(first + k) in
+                if Hashtbl.mem attr_deletes (i, an) then None
+                else
+                  let an' =
+                    Option.value ~default:an
+                      (Hashtbl.find_opt attr_renames (i, an))
+                  in
+                  let av =
+                    Option.value
+                      ~default:d.X.Doc.attr_value.(first + k)
+                      (Hashtbl.find_opt attr_replacements (i, an))
+                  in
+                  Some (an', av))
+              (List.init d.X.Doc.attr_count.(i) Fun.id)
+        in
+        X.Doc.Builder.start_element b name attrs;
+        (match Hashtbl.find_opt replacements i with
+        | Some s -> X.Doc.Builder.text b s (* replace value of element *)
+        | None -> emit_children i);
+        emit_trees (find inserts_into i);
+        X.Doc.Builder.end_element b
+      | X.Doc.Text ->
+        X.Doc.Builder.text b
+          (Option.value ~default:d.X.Doc.value.(i) (Hashtbl.find_opt replacements i))
+      | X.Doc.Comment ->
+        X.Doc.Builder.comment b
+          (Option.value ~default:d.X.Doc.value.(i) (Hashtbl.find_opt replacements i))
+      | X.Doc.Pi ->
+        X.Doc.Builder.pi b
+          (Option.value ~default:d.X.Doc.name.(i) (Hashtbl.find_opt renames i))
+          d.X.Doc.value.(i)
+      | X.Doc.Document -> emit_children i);
+      emit_trees (find inserts_after i)
+    end
+  and emit_children i =
+    let stop = i + d.X.Doc.size.(i) in
+    let j = ref (i + 1) in
+    while !j <= stop do
+      emit !j;
+      j := !j + d.X.Doc.size.(!j) + 1
+    done
+  in
+  emit_children 0;
+  emit_trees (find inserts_into 0);
+  X.Doc.Builder.finish b
+
+(* Apply a pending update list: group by target document, rebuild each, and
+   re-register the result in the owning store under the same id and URI. *)
+let apply (store : X.Store.t) (pul : pending list) : int =
+  let by_doc = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      let d = (target_of p).X.Node.doc in
+      Hashtbl.replace by_doc d.X.Doc.did
+        (d, p :: (Option.value ~default:(d, []) (Hashtbl.find_opt by_doc d.X.Doc.did) |> snd)))
+    pul;
+  Hashtbl.iter
+    (fun _ (d, edits) ->
+      let d' = apply_to_doc d (List.rev edits) in
+      ignore (X.Store.replace_doc store d d'))
+    by_doc;
+  List.length pul

@@ -1,0 +1,16 @@
+(** XQUF application (the paper's Section IX future work).
+
+    Updating expressions accumulate a pending update list during
+    evaluation; {!apply} rebuilds each touched document and re-registers it
+    in its store under the same id and URI (snapshot semantics: results
+    computed before application keep reading the old version). *)
+
+val content_of_value : Value.t -> Xd_xml.Doc.tree list
+(** Copy a value into insertable content trees (XQUF copies inserted
+    nodes); adjacent atoms merge into one text node. *)
+
+val apply_to_doc : Xd_xml.Doc.t -> Pul.pending list -> Xd_xml.Doc.t
+
+val apply : Xd_xml.Store.t -> Pul.pending list -> int
+(** Apply a PUL, grouping by target document. Returns the number of
+    primitives applied. *)

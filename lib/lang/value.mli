@@ -1,0 +1,61 @@
+(** Runtime values: sequences of items (nodes or typed atomics), with the
+    XQuery atomization, comparison and effective-boolean-value rules of the
+    XCore subset. Operating schemaless, node atomization yields
+    xs:untypedAtomic, which promotes to double next to a number and
+    compares as a string next to a string. *)
+
+exception Type_error of string
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type atom =
+  | String of string
+  | Integer of int
+  | Double of float
+  | Boolean of bool
+  | Untyped of string
+
+type item = N of Xd_xml.Node.t | A of atom
+type t = item list
+
+val of_node : Xd_xml.Node.t -> t
+val of_bool : bool -> t
+val of_int : int -> t
+val of_float : float -> t
+val of_string : string -> t
+val empty : t
+
+val nodes_of : t -> Xd_xml.Node.t list
+(** @raise Type_error if the sequence contains atomic items. *)
+
+val atom_to_string : atom -> string
+val atomize_item : item -> atom
+val atomize : t -> atom list
+val atom_to_double : atom -> float
+
+val compare_atoms : Ast.value_comp -> atom -> atom -> bool
+(** One pairwise general comparison with untyped promotion.
+    @raise Type_error on incomparable types. *)
+
+val general_compare : Ast.value_comp -> t -> t -> bool
+(** Existential general comparison over two sequences. *)
+
+val effective_boolean_value : t -> bool
+val string_value : t -> string
+val to_double : t -> float
+val arith : Ast.arith_op -> t -> t -> t
+
+val order_compare : atom option -> atom option -> int
+(** [order by] key comparison; empty sorts first. *)
+
+val atom_equal : atom -> atom -> bool
+val deep_equal : t -> t -> bool
+(** fn:deep-equal over whole sequences — the paper's query-equivalence
+    notion. *)
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp_item : Format.formatter -> item -> unit
+val pp : Format.formatter -> t -> unit
+
+val serialize : t -> string
+(** Render as a query result: nodes as XML, atoms space-separated. *)

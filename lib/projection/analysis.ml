@@ -1,0 +1,283 @@
+(* Compile-time projection path analysis (Section VI-A), extended from
+   Marian & Siméon with reverse/horizontal axes and the root()/id()/idref()
+   pseudo-steps (rules DOC1/DOC2/ROOT/ID of the paper).
+
+   For every expression we compute the *returned* paths (nodes the value may
+   contain) and accumulate two consumed sets:
+     - used:        nodes needed bare, as structural anchors
+                    (identity tests, counting, loop iteration);
+     - value_needed: nodes whose string value / subtree is needed
+                    (atomization, construction content, shipping).
+   In Algorithm 1 terms, [used] feeds U and [value_needed] feeds R.
+
+   Paths are rooted either at a fn:doc()/constructor site or at a named
+   anchor. Anchors stand for XRPC function parameters and for the results
+   of execute-at expressions, so the relative suffixes Urel/Rrel that the
+   by-projection message format needs are simply the analysis paths rooted
+   at the corresponding anchor. *)
+
+module Ast = Xd_lang.Ast
+module Smap = Map.Make (String)
+
+type root =
+  | R_doc of string * int (* literal URI, call-site vertex id *)
+  | R_doc_any of int (* computed URI (wildcard) *)
+  | R_constr of int (* constructor site *)
+  | R_anchor of string (* parameter or execute-at result anchor *)
+
+type apath = { root : root; steps : Path.pstep list }
+
+let root_to_string = function
+  | R_doc (u, v) -> Printf.sprintf "doc(%s::v%d)" u v
+  | R_doc_any v -> Printf.sprintf "doc(*::v%d)" v
+  | R_constr v -> Printf.sprintf "doc(v%d::v%d)" v v
+  | R_anchor a -> Printf.sprintf "$%s" a
+
+let apath_to_string p =
+  match p.steps with
+  | [] -> root_to_string p.root
+  | steps ->
+    root_to_string p.root ^ "/"
+    ^ String.concat "/" (List.map Path.step_to_string steps)
+
+let max_steps = 24
+let max_paths = 128
+let max_inline_depth = 8
+
+(* The anchor name used for the result of an execute-at vertex. *)
+let xrpc_anchor id = Printf.sprintf "#xrpc%d" id
+
+type state = {
+  mutable used : apath list;
+  mutable value_needed : apath list;
+  funcs : Ast.func Smap.t;
+  mutable overflow : bool;
+}
+
+let add_path set p = if List.mem p set then set else p :: set
+
+let extend st step paths =
+  List.map
+    (fun p ->
+      if List.length p.steps >= max_steps then begin
+        st.overflow <- true;
+        { p with steps = p.steps }
+      end
+      else { p with steps = p.steps @ [ step ] })
+    paths
+
+let note_used st ps = List.iter (fun p -> st.used <- add_path st.used p) ps
+
+let note_value st ps =
+  List.iter (fun p -> st.value_needed <- add_path st.value_needed p) ps
+
+let union a b = List.fold_left add_path a b
+
+(* Pass-through builtins: result paths = paths of the first argument. *)
+let passthrough_first =
+  [ "reverse"; "zero-or-one"; "exactly-one"; "one-or-more"; "subsequence";
+    "item-at"; "remove"; "distinct-nodes" ]
+
+(* Builtins whose arguments are consumed by value (atomization). *)
+let value_consumers =
+  [ "string"; "data"; "number"; "concat"; "string-length"; "contains";
+    "starts-with"; "ends-with"; "substring"; "string-join"; "normalize-space";
+    "upper-case"; "lower-case"; "substring-before"; "substring-after"; "sum";
+    "avg"; "max"; "min"; "abs"; "floor"; "ceiling"; "round";
+    "distinct-values"; "deep-equal"; "error"; "boolean" ]
+
+(* Builtins whose arguments are consumed as bare anchors. *)
+let anchor_consumers =
+  [ "count"; "empty"; "exists"; "not"; "name"; "local-name"; "base-uri";
+    "document-uri" ]
+
+let rec analyze st depth (env : apath list Smap.t) (e : Ast.expr) : apath list
+    =
+  let an env x = analyze st depth env x in
+  match e.desc with
+  | Ast.Literal _ -> []
+  | Ast.Var_ref v -> (
+    match Smap.find_opt v env with Some ps -> ps | None -> [])
+  | Ast.Seq es -> List.fold_left (fun acc x -> union acc (an env x)) [] es
+  | Ast.For (v, e1, e2) ->
+    let p1 = an env e1 in
+    note_used st p1;
+    analyze st depth (Smap.add v p1 env) e2
+  | Ast.Let (v, e1, e2) ->
+    let p1 = an env e1 in
+    analyze st depth (Smap.add v p1 env) e2
+  | Ast.If (c, t, f) ->
+    note_used st (an env c);
+    union (an env t) (an env f)
+  | Ast.Typeswitch (e0, cases, dv, dflt) ->
+    let p0 = an env e0 in
+    note_used st p0;
+    let branch acc (v, _st, b) =
+      union acc (analyze st depth (Smap.add v p0 env) b)
+    in
+    let acc = List.fold_left branch [] cases in
+    union acc (analyze st depth (Smap.add dv p0 env) dflt)
+  | Ast.Value_cmp (_, a, b) | Ast.Arith (_, a, b) ->
+    note_value st (an env a);
+    note_value st (an env b);
+    []
+  | Ast.Node_cmp (_, a, b) ->
+    note_used st (an env a);
+    note_used st (an env b);
+    []
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+    note_used st (an env a);
+    note_used st (an env b);
+    []
+  | Ast.Order_by (v, e1, specs, body) ->
+    let p1 = an env e1 in
+    note_used st p1;
+    let env' = Smap.add v p1 env in
+    List.iter (fun (s, _) -> note_value st (analyze st depth env' s)) specs;
+    analyze st depth env' body
+  | Ast.Node_set (_, a, b) -> union (an env a) (an env b)
+  | Ast.Doc_constr c | Ast.Text_constr c ->
+    note_value st (an env c);
+    [ { root = R_constr e.id; steps = [] } ]
+  | Ast.Elem_constr (ns, c) | Ast.Attr_constr (ns, c) ->
+    (match ns with
+    | Ast.Computed_name n -> note_value st (an env n)
+    | Ast.Fixed_name _ -> ());
+    note_value st (an env c);
+    [ { root = R_constr e.id; steps = [] } ]
+  | Ast.Step (e1, axis, test) ->
+    let p1 = an env e1 in
+    (* for a forward step the context nodes are ancestors of the result and
+       are kept implicitly; reverse/horizontal steps navigate away from the
+       context, so the context nodes must be kept explicitly *)
+    (match Ast.classify_axis axis with
+    | Ast.Rev | Ast.Hor -> note_used st p1
+    | Ast.Fwd -> ());
+    extend st (Path.Axis (axis, test)) p1
+  | Ast.Execute_at x ->
+    note_value st (an env x.host);
+    (* Parameters are *not* consumed wholesale: only the parts the remote
+       body touches need to travel. Analyzing the body with parameters
+       bound to their argument paths propagates the remote demands back to
+       the argument roots — this is what makes the request projection of
+       the paper's experiment ship only $t/attribute::id. The body's own
+       returned paths stay at the callee (the response projection is
+       driven by the caller's use of the result anchor). *)
+    let param_env =
+      List.fold_left
+        (fun m (v, pe) -> Smap.add v (an env pe) m)
+        Smap.empty x.params
+    in
+    let _body_returned = analyze st depth param_env x.body in
+    [ { root = R_anchor (xrpc_anchor e.id); steps = [] } ]
+  | Ast.Fun_call (name, args) -> analyze_call st depth env e name args
+  | Ast.Insert_node (src, _, tgt) ->
+    (* inserted content is copied (value-needed); the target is a bare
+       anchor the rebuild walks from *)
+    note_value st (an env src);
+    note_used st (an env tgt);
+    []
+  | Ast.Delete_node tgt ->
+    note_used st (an env tgt);
+    []
+  | Ast.Replace_value (tgt, v) | Ast.Rename_node (tgt, v) ->
+    note_used st (an env tgt);
+    note_value st (an env v);
+    []
+
+and analyze_call st depth env e name args =
+  let an x = analyze st depth env x in
+  match (name, args) with
+  | ("doc" | "collection"), [ { desc = Ast.Literal (Ast.A_string u); _ } ] ->
+    [ { root = R_doc (u, e.Ast.id); steps = [] } ]
+  | ("doc" | "collection"), args ->
+    List.iter (fun a -> note_value st (an a)) args;
+    [ { root = R_doc_any e.Ast.id; steps = [] } ]
+  | "root", [ a ] -> extend st Path.Root_fn (an a)
+  | "id", [ vals; ctx ] ->
+    note_value st (an vals);
+    extend st Path.Id_fn (an ctx)
+  | "idref", [ vals; ctx ] ->
+    note_value st (an vals);
+    extend st Path.Idref_fn (an ctx)
+  | "insert-before", [ a; pos; b ] ->
+    note_value st (an pos);
+    union (an a) (an b)
+  | _ when List.mem name passthrough_first -> (
+    match args with
+    | [] -> []
+    | first :: rest ->
+      List.iter (fun a -> note_value st (an a)) rest;
+      an first)
+  | _ when List.mem name value_consumers ->
+    List.iter (fun a -> note_value st (an a)) args;
+    []
+  | _ when List.mem name anchor_consumers ->
+    List.iter (fun a -> note_used st (an a)) args;
+    []
+  | ( ("true" | "false" | "static-base-uri" | "default-collation"
+      | "current-dateTime"),
+      _ ) ->
+    []
+  | _ -> (
+    (* user-defined function: inline-analyze its body with parameters bound
+       to the argument paths; recursion / excessive depth degrades to the
+       conservative "ship everything reachable" approximation. *)
+    match Smap.find_opt name st.funcs with
+    | Some f when depth < max_inline_depth ->
+      let env' =
+        List.fold_left2
+          (fun acc (v, _ty) arg -> Smap.add v (an arg) acc)
+          Smap.empty f.Ast.f_params args
+      in
+      analyze st (depth + 1) env' f.Ast.f_body
+    | _ ->
+      st.overflow <- true;
+      let arg_paths = List.concat_map an args in
+      note_value st arg_paths;
+      let deep =
+        extend st (Path.Axis (Ast.Descendant_or_self, Ast.Kind_node)) arg_paths
+      in
+      note_value st deep;
+      union arg_paths deep)
+
+type result = {
+  returned : apath list;
+  used : apath list;
+  value_needed : apath list;
+  overflow : bool;
+}
+
+let run ~funcs ~env expr =
+  let fmap =
+    List.fold_left (fun m f -> Smap.add f.Ast.f_name f m) Smap.empty funcs
+  in
+  let st = { used = []; value_needed = []; funcs = fmap; overflow = false } in
+  let env =
+    List.fold_left (fun m (v, ps) -> Smap.add v ps m) Smap.empty env
+  in
+  let returned = analyze st 0 env expr in
+  let clip l = if List.length l > max_paths then (st.overflow <- true; l) else l in
+  {
+    returned = clip returned;
+    used = clip st.used;
+    value_needed = clip st.value_needed;
+    overflow = st.overflow;
+  }
+
+(* Suffixes of paths rooted at a given anchor. *)
+let suffixes_at anchor paths =
+  List.filter_map
+    (fun p ->
+      match p.root with
+      | R_anchor a when a = anchor -> Some p.steps
+      | _ -> None)
+    paths
+  |> List.sort_uniq compare
+
+(* Used/returned relative paths for an anchor, per the allSuffixes scheme:
+   U from [used], R from [value_needed] plus [returned]. *)
+let relative_paths (r : result) anchor =
+  let u = suffixes_at anchor r.used in
+  let ret = suffixes_at anchor (r.value_needed @ r.returned) in
+  (u, ret)

@@ -1,0 +1,58 @@
+(** Compile-time projection path analysis (Section VI-A), extended from
+    Marian & Siméon with reverse/horizontal axes and the
+    root()/id()/idref() pseudo-steps (rules DOC1/DOC2/ROOT/ID).
+
+    For every expression the analysis computes the {e returned} paths
+    (nodes the value may contain) and accumulates two consumed sets:
+    {e used} (nodes needed bare, as structural anchors: identity tests,
+    counting, loop iteration) and {e value_needed} (nodes whose subtree is
+    needed: atomization, construction, shipping). In Algorithm 1 terms,
+    [used] feeds U and [value_needed] feeds R.
+
+    Paths are rooted at fn:doc()/constructor sites or at named {e anchors}
+    standing for XRPC function parameters and execute-at results, so the
+    relative suffixes Urel/Rrel the by-projection messages need are simply
+    the analysis paths rooted at the corresponding anchor. *)
+
+type root =
+  | R_doc of string * int  (** literal URI, call-site vertex id *)
+  | R_doc_any of int  (** computed URI *)
+  | R_constr of int  (** constructor site *)
+  | R_anchor of string  (** parameter or execute-at result anchor *)
+
+type apath = { root : root; steps : Path.pstep list }
+
+val root_to_string : root -> string
+val apath_to_string : apath -> string
+
+val max_steps : int
+val max_paths : int
+val max_inline_depth : int
+
+val xrpc_anchor : int -> string
+(** Anchor name for the result of the execute-at vertex with this id. *)
+
+val value_consumers : string list
+(** Builtins whose arguments are consumed by value (atomized). Shared with
+    distributed code motion. *)
+
+type result = {
+  returned : apath list;
+  used : apath list;
+  value_needed : apath list;
+  overflow : bool;
+      (** true when the analysis degraded (recursion, path blow-up); the
+          runtime then falls back to shipping full subtrees *)
+}
+
+val run :
+  funcs:Xd_lang.Ast.func list ->
+  env:(string * apath list) list ->
+  Xd_lang.Ast.expr ->
+  result
+
+val suffixes_at : string -> apath list -> Path.pstep list list
+
+val relative_paths : result -> string -> Path.t list * Path.t list
+(** [(Urel, Rrel)] for an anchor: U from [used], R from [value_needed] and
+    [returned]. *)

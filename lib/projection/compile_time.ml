@@ -1,0 +1,20 @@
+(* Compile-time projection baseline (Marian & Siméon style), used by the
+   Fig. 10 / Fig. 11 precision comparison. Absolute projection paths are
+   evaluated from the document root without any knowledge of runtime
+   selections, then the same core projection (Algorithm 1) is applied. The
+   runtime technique starts instead from the materialized, already-filtered
+   context — hence its higher precision. *)
+
+module X = Xd_xml
+
+(* Evaluate an absolute path (a relative path anchored at the document
+   node) on a document. *)
+let eval_absolute (p : Path.t) (d : X.Doc.t) =
+  Path.eval p [ X.Node.doc_node d ]
+
+let project ?schema ~used_paths ~returned_paths (d : X.Doc.t) =
+  let used = List.concat_map (fun p -> eval_absolute p d) used_paths in
+  let returned = List.concat_map (fun p -> eval_absolute p d) returned_paths in
+  (* no LCA trimming: the projected document is re-loaded and queried with
+     root-anchored paths, so the ancestor chain from the root must stay *)
+  Runtime.project ?schema ~trim_lca:false ~used ~returned d

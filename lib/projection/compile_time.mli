@@ -1,0 +1,14 @@
+(** Compile-time projection baseline (Marian & Siméon style) for the
+    Fig. 10 / Fig. 11 precision comparison: absolute projection paths are
+    evaluated from the document root, selection-blind, then the same core
+    projection is applied (without LCA trimming, as the result is
+    re-queried with root-anchored paths). *)
+
+val eval_absolute : Path.t -> Xd_xml.Doc.t -> Xd_xml.Node.t list
+
+val project :
+  ?schema:(string -> string list) ->
+  used_paths:Path.t list ->
+  returned_paths:Path.t list ->
+  Xd_xml.Doc.t ->
+  Runtime.projected

@@ -1,0 +1,30 @@
+(** Projection paths (the paper's Table V grammar): forward, reverse and
+    horizontal axis steps plus the root()/id()/idref() pseudo-steps.
+
+    A value of this type is a *relative* suffix — the form shipped inside
+    by-projection XRPC messages and evaluated at runtime against a
+    materialized context sequence. The empty path (printed ".") denotes
+    the context itself. *)
+
+type pstep =
+  | Axis of Xd_lang.Ast.axis * Xd_lang.Ast.node_test
+  | Root_fn
+  | Id_fn
+  | Idref_fn
+
+type t = pstep list
+
+val empty : t
+
+exception Parse_error of string
+
+val step_to_string : pstep -> string
+val to_string : t -> string
+val of_string : string -> t
+(** Inverse of {!to_string}. @raise Parse_error on malformed input. *)
+
+val eval : t -> Xd_xml.Node.t list -> Xd_xml.Node.t list
+(** Evaluate on a context sequence with the ordinary axis machinery.
+    Per Section VI-B, id()/idref() conservatively select all elements
+    carrying an ID/IDREF attribute in the context documents (the value
+    argument is unknown to the path abstraction). *)

@@ -1,0 +1,37 @@
+(** Runtime XML projection — Algorithm 1 of the paper.
+
+    Inputs are the *materialized* used and returned node sets (from
+    evaluating relative projection paths on actual parameter/result
+    sequences), which is what makes the runtime technique more precise
+    than compile-time projection: selections have already pruned the
+    context. The traversal is top-down over the pre-order array with O(1)
+    subtree skipping. *)
+
+type projected = {
+  doc : Xd_xml.Doc.t;  (** unregistered projected document ([did = -1]) *)
+  map : (int, int) Hashtbl.t;  (** original tree index → projected index *)
+  content_root : int;  (** projected index of the (possibly trimmed) root *)
+  orig_content_root : int;
+  kept : int;  (** number of original tree nodes kept *)
+}
+
+val tree_index : Xd_xml.Node.t -> int
+
+val project :
+  ?schema:(string -> string list) ->
+  ?trim_lca:bool ->
+  used:Xd_xml.Node.t list ->
+  returned:Xd_xml.Node.t list ->
+  Xd_xml.Doc.t ->
+  projected
+(** Project one document. Used nodes are kept bare, returned nodes with
+    their whole subtree, plus all ancestors. [schema name] returns the
+    mandatory (minOccurs ≥ 1) child element names kept by the
+    schema-aware variant. [trim_lca] (default true) applies the paper's
+    post-processing — descend to the lowest common ancestor of the
+    projection nodes; pass [false] for root-anchored load-and-query
+    baselines. The index [map] is what the XRPC marshaller uses to emit
+    fragid/nodeid references. *)
+
+val group_by_doc :
+  Xd_xml.Node.t list -> (Xd_xml.Doc.t * Xd_xml.Node.t list) list

@@ -1,0 +1,271 @@
+(* A deterministic XMark-shaped data generator (Schmidt et al., VLDB 2002).
+
+   The paper's evaluation splits the XMark data over two peers: a people
+   document (site/people/person elements) and an auctions document
+   (site/open_auctions/open_auction elements). We generate both shapes with the
+   attributes and elements the benchmark query touches (person/@id,
+   person//age, open_auction/seller/@person, annotation/author/@person)
+   plus realistic filler (names, addresses, profiles with interests,
+   auction descriptions, bidders) so that selectivities and projection
+   gains behave like the real generator's output.
+
+   Sizes are controlled by the number of persons; auctions scale at the
+   XMark ratio of roughly one open auction per two persons. Everything is
+   driven by a seeded PRNG (splitmix-style), so documents are reproducible
+   bit-for-bit. *)
+
+module X = Xd_xml
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (seed * 2654435761 + 12345) }
+
+let next r =
+  (* splitmix64 *)
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int r bound = Int64.to_int (Int64.rem (Int64.logand (next r) Int64.max_int) (Int64.of_int bound))
+
+let pick r arr = arr.(int r (Array.length arr))
+
+let first_names =
+  [| "Ying"; "Nan"; "Peter"; "Anna"; "Jose"; "Mehmet"; "Wei"; "Fatima";
+     "Ivan"; "Chen"; "Maria"; "John"; "Aisha"; "Lars"; "Elena"; "Raj";
+     "Yuki"; "Omar"; "Lucia"; "Sven" |]
+
+let last_names =
+  [| "Zhang"; "Tang"; "Boncz"; "Smith"; "Garcia"; "Yilmaz"; "Wang"; "Khan";
+     "Petrov"; "Li"; "Rossi"; "Brown"; "Diallo"; "Larsen"; "Popova"; "Patel";
+     "Sato"; "Hassan"; "Lopez"; "Berg" |]
+
+let cities =
+  [| "Amsterdam"; "Beijing"; "Paris"; "Istanbul"; "Moscow"; "Lagos"; "Tokyo";
+     "Lima"; "Cairo"; "Oslo" |]
+
+let countries =
+  [| "Netherlands"; "China"; "France"; "Turkey"; "Russia"; "Nigeria";
+     "Japan"; "Peru"; "Egypt"; "Norway" |]
+
+let interests =
+  [| "books"; "music"; "antiques"; "computers"; "stamps"; "coins"; "art";
+     "travel"; "gardening"; "photography" |]
+
+let words =
+  [| "page"; "gold"; "shadow"; "river"; "market"; "silver"; "ancient";
+     "rare"; "signed"; "first"; "edition"; "mint"; "condition"; "original";
+     "vintage"; "classic"; "limited"; "unique"; "antique"; "collector" |]
+
+let sentence r n =
+  String.concat " " (List.init n (fun _ -> pick r words))
+
+(* ---- people document -------------------------------------------------- *)
+
+let person r i =
+  let name = pick r first_names ^ " " ^ pick r last_names in
+  let age = 18 + int r 52 in
+  let n_interests = int r 4 in
+  X.Doc.E
+    ( "person",
+      [ ("id", Printf.sprintf "person%d" i) ],
+      [
+        X.Doc.E ("name", [], [ X.Doc.T name ]);
+        X.Doc.E
+          ( "emailaddress",
+            [],
+            [
+              X.Doc.T
+                (Printf.sprintf "mailto:%s%d@example.org"
+                   (String.lowercase_ascii (pick r last_names))
+                   i);
+            ] );
+        X.Doc.E
+          ( "address",
+            [],
+            [
+              X.Doc.E ("street", [], [ X.Doc.T (Printf.sprintf "%d %s St" (1 + int r 99) (pick r words)) ]);
+              X.Doc.E ("city", [], [ X.Doc.T (pick r cities) ]);
+              X.Doc.E ("country", [], [ X.Doc.T (pick r countries) ]);
+              X.Doc.E ("zipcode", [], [ X.Doc.T (string_of_int (10000 + int r 89999)) ]);
+            ] );
+        X.Doc.E
+          ( "profile",
+            [ ("income", Printf.sprintf "%d.%02d" (20000 + int r 80000) (int r 100)) ],
+            X.Doc.E ("age", [], [ X.Doc.T (string_of_int age) ])
+            :: X.Doc.E
+                 ( "education",
+                   [],
+                   [
+                     X.Doc.T
+                       (pick r
+                          [| "High School"; "College"; "Graduate School"; "Other" |]);
+                   ] )
+            :: List.init n_interests (fun _ ->
+                   X.Doc.E ("interest", [ ("category", pick r interests) ], []))
+          );
+        X.Doc.E ("homepage", [], [ X.Doc.T (Printf.sprintf "http://www.example.org/~u%d" i) ]);
+        X.Doc.E ("creditcard", [], [ X.Doc.T (Printf.sprintf "%04d %04d %04d %04d" (int r 10000) (int r 10000) (int r 10000) (int r 10000)) ]);
+      ] )
+
+(* The paper's first document is a full XMark site document (persons are
+   only a fraction of it); the benchmark query touches just
+   site/people/person, so the remaining sections are the realistic filler
+   that function shipping avoids moving. *)
+
+let item r i =
+  X.Doc.E
+    ( "item",
+      [ ("id", Printf.sprintf "item%d" i) ],
+      [
+        X.Doc.E ("location", [], [ X.Doc.T (pick r countries) ]);
+        X.Doc.E ("quantity", [], [ X.Doc.T (string_of_int (1 + int r 10)) ]);
+        X.Doc.E ("name", [], [ X.Doc.T (sentence r 2) ]);
+        X.Doc.E ("payment", [], [ X.Doc.T "Creditcard, Money order" ]);
+        X.Doc.E
+          ( "description",
+            [],
+            [ X.Doc.E ("text", [], [ X.Doc.T (sentence r (15 + int r 30)) ]) ] );
+        X.Doc.E ("shipping", [], [ X.Doc.T "Will ship internationally" ]);
+        X.Doc.E
+          ( "incategory",
+            [ ("category", Printf.sprintf "category%d" (int r 20)) ],
+            [] );
+      ] )
+
+let category r i =
+  X.Doc.E
+    ( "category",
+      [ ("id", Printf.sprintf "category%d" i) ],
+      [
+        X.Doc.E ("name", [], [ X.Doc.T (sentence r 2) ]);
+        X.Doc.E
+          ( "description",
+            [],
+            [ X.Doc.E ("text", [], [ X.Doc.T (sentence r (10 + int r 15)) ]) ] );
+      ] )
+
+let closed_auction r ~persons i =
+  X.Doc.E
+    ( "closed_auction",
+      [],
+      [
+        X.Doc.E ("seller", [ ("person", Printf.sprintf "person%d" (int r persons)) ], []);
+        X.Doc.E ("buyer", [ ("person", Printf.sprintf "person%d" (int r persons)) ], []);
+        X.Doc.E ("itemref", [ ("item", Printf.sprintf "item%d" i) ], []);
+        X.Doc.E ("price", [], [ X.Doc.T (Printf.sprintf "%d.%02d" (5 + int r 400) (int r 100)) ]);
+        X.Doc.E ("date", [], [ X.Doc.T (Printf.sprintf "%02d/%02d/2008" (1 + int r 12) (1 + int r 28)) ]);
+        X.Doc.E ("quantity", [], [ X.Doc.T (string_of_int (1 + int r 3)) ]);
+        X.Doc.E
+          ( "annotation",
+            [],
+            [
+              X.Doc.E ("author", [ ("person", Printf.sprintf "person%d" (int r persons)) ], []);
+              X.Doc.E
+                ( "description",
+                  [],
+                  [ X.Doc.E ("text", [], [ X.Doc.T (sentence r (8 + int r 16)) ]) ] );
+            ] );
+      ] )
+
+let people_tree ~seed ~persons =
+  let r = rng seed in
+  let items = persons * 2 in
+  X.Doc.E
+    ( "site",
+      [],
+      [
+        X.Doc.E
+          ( "regions",
+            [],
+            [
+              X.Doc.E ("europe", [], List.init (items / 2) (fun i -> item r i));
+              X.Doc.E
+                ( "namerica",
+                  [],
+                  List.init (items - (items / 2)) (fun i -> item r (i + (items / 2))) );
+            ] );
+        X.Doc.E ("categories", [], List.init 20 (fun i -> category r i));
+        X.Doc.E ("people", [], List.init persons (fun i -> person r i));
+        X.Doc.E
+          ( "closed_auctions",
+            [],
+            List.init (max 1 (persons / 2)) (fun i -> closed_auction r ~persons i) );
+      ] )
+
+(* ---- auctions document ------------------------------------------------ *)
+
+let open_auction r ~persons i =
+  let n_bidders = int r 4 in
+  let seller = int r persons in
+  let author = int r persons in
+  X.Doc.E
+    ( "open_auction",
+      [ ("id", Printf.sprintf "open_auction%d" i) ],
+      [
+        X.Doc.E ("initial", [], [ X.Doc.T (Printf.sprintf "%d.%02d" (1 + int r 300) (int r 100)) ]);
+        X.Doc.E ("reserve", [], [ X.Doc.T (Printf.sprintf "%d.%02d" (50 + int r 500) (int r 100)) ]);
+      ]
+      @ List.init n_bidders (fun b ->
+            X.Doc.E
+              ( "bidder",
+                [],
+                [
+                  X.Doc.E ("date", [], [ X.Doc.T (Printf.sprintf "%02d/%02d/2008" (1 + int r 12) (1 + int r 28)) ]);
+                  X.Doc.E ("personref", [ ("person", Printf.sprintf "person%d" (int r persons)) ], []);
+                  X.Doc.E ("increase", [], [ X.Doc.T (Printf.sprintf "%d.%02d" (1 + int r 50) (int r 100)) ]);
+                  X.Doc.E ("time", [], [ X.Doc.T (Printf.sprintf "%02d:%02d:%02d" (int r 24) (int r 60) (b * 7 mod 60)) ]);
+                ] ))
+      @ [
+          X.Doc.E ("current", [], [ X.Doc.T (Printf.sprintf "%d.%02d" (10 + int r 800) (int r 100)) ]);
+          X.Doc.E ("itemref", [ ("item", Printf.sprintf "item%d" (int r (persons * 2))) ], []);
+          X.Doc.E ("seller", [ ("person", Printf.sprintf "person%d" seller) ], []);
+          X.Doc.E
+            ( "annotation",
+              [],
+              [
+                X.Doc.E ("author", [ ("person", Printf.sprintf "person%d" author) ], []);
+                X.Doc.E
+                  ( "description",
+                    [],
+                    [ X.Doc.E ("text", [], [ X.Doc.T (sentence r (8 + int r 20)) ]) ] );
+                X.Doc.E ("happiness", [], [ X.Doc.T (string_of_int (1 + int r 10)) ]);
+              ] );
+          X.Doc.E ("quantity", [], [ X.Doc.T (string_of_int (1 + int r 5)) ]);
+          X.Doc.E ("type", [], [ X.Doc.T (if int r 2 = 0 then "Regular" else "Featured") ]);
+          X.Doc.E ("interval", [], [
+            X.Doc.E ("start", [], [ X.Doc.T "01/01/2008" ]);
+            X.Doc.E ("end", [], [ X.Doc.T "12/31/2008" ]);
+          ]);
+        ] )
+
+let auctions_tree ~seed ~persons =
+  let r = rng (seed + 7919) in
+  let auctions = max 1 (persons / 2) in
+  X.Doc.E
+    ( "site",
+      [],
+      [
+        X.Doc.E
+          ( "open_auctions",
+            [],
+            List.init auctions (fun i -> open_auction r ~persons i) );
+      ] )
+
+(* ---- loading ----------------------------------------------------------- *)
+
+(* Load a people/auctions pair on two peers; returns the serialized sizes
+   (the x-axis of Fig. 7/9). *)
+let load_pair ?(seed = 42) ~persons ~(people_peer : Xd_xrpc.Peer.t)
+    ~(auctions_peer : Xd_xrpc.Peer.t) ~people_doc ~auctions_doc () =
+  let pd =
+    Xd_xrpc.Peer.load_tree people_peer ~doc_name:people_doc
+      (people_tree ~seed ~persons)
+  in
+  let ad =
+    Xd_xrpc.Peer.load_tree auctions_peer ~doc_name:auctions_doc
+      (auctions_tree ~seed ~persons)
+  in
+  (X.Serializer.doc_bytes pd, X.Serializer.doc_bytes ad)

@@ -1,0 +1,36 @@
+(** Deterministic XMark-shaped data generator (Schmidt et al., VLDB 2002).
+
+    The paper's evaluation splits XMark over two peers: the full site
+    document (regions/items, categories, people, closed auctions — the
+    benchmark query touches only site/people/person) and an open-auctions
+    document. Generation is driven by a splitmix64 PRNG, so documents are
+    reproducible bit-for-bit from the seed; sizes scale linearly in
+    [persons] (auctions at the XMark ratio of one open auction per two
+    persons). *)
+
+type rng
+
+val rng : int -> rng
+val int : rng -> int -> int
+val pick : rng -> 'a array -> 'a
+
+val person : rng -> int -> Xd_xml.Doc.tree
+val item : rng -> int -> Xd_xml.Doc.tree
+val category : rng -> int -> Xd_xml.Doc.tree
+val closed_auction : rng -> persons:int -> int -> Xd_xml.Doc.tree
+val open_auction : rng -> persons:int -> int -> Xd_xml.Doc.tree
+
+val people_tree : seed:int -> persons:int -> Xd_xml.Doc.tree
+val auctions_tree : seed:int -> persons:int -> Xd_xml.Doc.tree
+
+val load_pair :
+  ?seed:int ->
+  persons:int ->
+  people_peer:Xd_xrpc.Peer.t ->
+  auctions_peer:Xd_xrpc.Peer.t ->
+  people_doc:string ->
+  auctions_doc:string ->
+  unit ->
+  int * int
+(** Load a people/auctions pair on two peers; returns the serialized byte
+    sizes (the x-axis of Fig. 7/9). *)

@@ -1,0 +1,39 @@
+(* fn:deep-equal on nodes: structural equality ignoring node identity,
+   comments and processing instructions (per the XQuery F&O definition).
+   This is the query-equivalence notion of the paper: Q ≡ Q' iff
+   deep-equal(Q(D), Q'(D)) for all D. *)
+
+let rec node_equal a b =
+  match (Node.kind a, Node.kind b) with
+  | Node.Document, Node.Document -> children_equal a b
+  | Node.Element, Node.Element ->
+    Node.name a = Node.name b && attrs_equal a b && children_equal a b
+  | Node.Attribute, Node.Attribute ->
+    Node.name a = Node.name b && Node.string_value a = Node.string_value b
+  | Node.Text, Node.Text -> Node.string_value a = Node.string_value b
+  | Node.Comment, Node.Comment -> Node.string_value a = Node.string_value b
+  | Node.Pi, Node.Pi ->
+    Node.name a = Node.name b && Node.string_value a = Node.string_value b
+  | _ -> false
+
+and attrs_equal a b =
+  let attrs n =
+    List.sort compare
+      (List.map (fun x -> (Node.name x, Node.string_value x)) (Node.attributes n))
+  in
+  attrs a = attrs b
+
+and children_equal a b =
+  (* comments and PIs are invisible to deep-equal *)
+  let visible n =
+    List.filter
+      (fun c ->
+        match Node.kind c with
+        | Node.Comment | Node.Pi -> false
+        | _ -> true)
+      (Node.children n)
+  in
+  let ca = visible a and cb = visible b in
+  List.length ca = List.length cb && List.for_all2 node_equal ca cb
+
+let equal = node_equal

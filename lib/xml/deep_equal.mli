@@ -1,0 +1,5 @@
+(** fn:deep-equal on nodes: structural equality ignoring node identity,
+    comments and processing instructions — the paper's query-equivalence
+    notion (Q ≡ Q' iff deep-equal(Q(D), Q'(D)) for all D). *)
+
+val equal : Node.t -> Node.t -> bool

@@ -1,0 +1,247 @@
+(* Document representation: tree nodes in pre-order arrays (MonetDB-style
+   pre/size/parent encoding) plus a separate attribute table. The pre/size
+   encoding gives O(1) subtree extent, which the runtime projection algorithm
+   (Algorithm 1 of the paper) depends on for fast subtree skipping. *)
+
+type kind =
+  | Document
+  | Element
+  | Text
+  | Comment
+  | Pi
+
+let kind_to_string = function
+  | Document -> "document"
+  | Element -> "element"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Pi -> "processing-instruction"
+
+type t = {
+  mutable did : int;
+  uri : string option;
+  kind : kind array;
+  name : string array;
+  value : string array;
+  parent : int array;
+  size : int array;
+  attr_owner : int array;
+  attr_name : string array;
+  attr_value : string array;
+  attr_first : int array;
+  attr_count : int array;
+}
+
+let n_nodes d = Array.length d.kind
+let n_attrs d = Array.length d.attr_owner
+let uri d = d.uri
+let id d = d.did
+
+(* Total serialized-tree node count (tree nodes + attributes), used in
+   statistics and size reporting. *)
+let total_nodes d = n_nodes d + n_attrs d
+
+exception Malformed of string
+
+module Builder = struct
+  type pending = {
+    p_kind : kind;
+    p_name : string;
+    p_idx : int;
+  }
+
+  type b = {
+    b_uri : string option;
+    mutable nodes_kind : kind list;
+    mutable nodes_name : string list;
+    mutable nodes_value : string list;
+    mutable nodes_parent : int list;
+    mutable count : int;
+    mutable sizes : (int * int) list; (* (idx, size), filled at close *)
+    mutable attrs : (int * string * string) list; (* owner, name, value *)
+    mutable stack : pending list;
+    mutable text_buf : Buffer.t option; (* coalesce adjacent text *)
+  }
+
+  let create ?uri () =
+    let b =
+      {
+        b_uri = uri;
+        nodes_kind = [];
+        nodes_name = [];
+        nodes_value = [];
+        nodes_parent = [];
+        count = 0;
+        sizes = [];
+        attrs = [];
+        stack = [];
+        text_buf = None;
+      }
+    in
+    (* implicit document node at index 0 *)
+    b.nodes_kind <- [ Document ];
+    b.nodes_name <- [ "" ];
+    b.nodes_value <- [ "" ];
+    b.nodes_parent <- [ -1 ];
+    b.count <- 1;
+    b.stack <- [ { p_kind = Document; p_name = ""; p_idx = 0 } ];
+    b
+
+  let current_parent b =
+    match b.stack with
+    | [] -> raise (Malformed "builder: no open node")
+    | p :: _ -> p.p_idx
+
+  let push_node b kind name value =
+    let idx = b.count in
+    b.nodes_kind <- kind :: b.nodes_kind;
+    b.nodes_name <- name :: b.nodes_name;
+    b.nodes_value <- value :: b.nodes_value;
+    b.nodes_parent <- current_parent b :: b.nodes_parent;
+    b.count <- idx + 1;
+    idx
+
+  let flush_text b =
+    match b.text_buf with
+    | None -> ()
+    | Some buf ->
+      b.text_buf <- None;
+      let s = Buffer.contents buf in
+      if s <> "" then begin
+        let idx = push_node b Text "" s in
+        b.sizes <- (idx, 0) :: b.sizes
+      end
+
+  let start_element b name attrs =
+    flush_text b;
+    let idx = push_node b Element name "" in
+    List.iter (fun (an, av) -> b.attrs <- (idx, an, av) :: b.attrs) attrs;
+    b.stack <- { p_kind = Element; p_name = name; p_idx = idx } :: b.stack
+
+  let end_element b =
+    flush_text b;
+    match b.stack with
+    | { p_kind = Element; p_idx; _ } :: rest ->
+      b.sizes <- (p_idx, b.count - p_idx - 1) :: b.sizes;
+      b.stack <- rest
+    | _ -> raise (Malformed "builder: end_element without matching start")
+
+  let text b s =
+    if s <> "" then begin
+      let buf =
+        match b.text_buf with
+        | Some buf -> buf
+        | None ->
+          let buf = Buffer.create 32 in
+          b.text_buf <- Some buf;
+          buf
+      in
+      Buffer.add_string buf s
+    end
+
+  let comment b s =
+    flush_text b;
+    let idx = push_node b Comment "" s in
+    b.sizes <- (idx, 0) :: b.sizes
+
+  let pi b target data =
+    flush_text b;
+    let idx = push_node b Pi target data in
+    b.sizes <- (idx, 0) :: b.sizes
+
+  let finish b =
+    flush_text b;
+    (match b.stack with
+    | [ { p_kind = Document; _ } ] -> ()
+    | _ -> raise (Malformed "builder: unclosed elements at finish"));
+    let n = b.count in
+    let kind = Array.make n Document in
+    let name = Array.make n "" in
+    let value = Array.make n "" in
+    let parent = Array.make n (-1) in
+    let size = Array.make n 0 in
+    let fill lst arr =
+      let i = ref (n - 1) in
+      List.iter
+        (fun x ->
+          arr.(!i) <- x;
+          decr i)
+        lst
+    in
+    fill b.nodes_kind kind;
+    fill b.nodes_name name;
+    fill b.nodes_value value;
+    fill b.nodes_parent parent;
+    List.iter (fun (idx, sz) -> size.(idx) <- sz) b.sizes;
+    size.(0) <- n - 1;
+    (* attributes, grouped by owner in pre-order; within an owner the
+       original declaration order is kept. *)
+    let attrs = List.rev b.attrs in
+    let attrs = List.stable_sort (fun (o1, _, _) (o2, _, _) -> compare o1 o2) attrs in
+    let na = List.length attrs in
+    let attr_owner = Array.make na 0 in
+    let attr_name = Array.make na "" in
+    let attr_value = Array.make na "" in
+    List.iteri
+      (fun i (o, an, av) ->
+        attr_owner.(i) <- o;
+        attr_name.(i) <- an;
+        attr_value.(i) <- av)
+      attrs;
+    let attr_first = Array.make n (-1) in
+    let attr_count = Array.make n 0 in
+    for i = na - 1 downto 0 do
+      attr_first.(attr_owner.(i)) <- i;
+      attr_count.(attr_owner.(i)) <- attr_count.(attr_owner.(i)) + 1
+    done;
+    {
+      did = -1;
+      uri = b.b_uri;
+      kind;
+      name;
+      value;
+      parent;
+      size;
+      attr_owner;
+      attr_name;
+      attr_value;
+      attr_first;
+      attr_count;
+    }
+end
+
+(* Convenience element-tree description for building documents in tests and
+   generators without going through the imperative builder. *)
+type tree =
+  | E of string * (string * string) list * tree list
+  | T of string
+  | C of string
+  | P of string * string
+
+let of_tree ?uri t =
+  let b = Builder.create ?uri () in
+  let rec go = function
+    | E (name, attrs, children) ->
+      Builder.start_element b name attrs;
+      List.iter go children;
+      Builder.end_element b
+    | T s -> Builder.text b s
+    | C s -> Builder.comment b s
+    | P (target, data) -> Builder.pi b target data
+  in
+  go t;
+  Builder.finish b
+
+let of_forest ?uri ts =
+  let b = Builder.create ?uri () in
+  let rec go = function
+    | E (name, attrs, children) ->
+      Builder.start_element b name attrs;
+      List.iter go children;
+      Builder.end_element b
+    | T s -> Builder.text b s
+    | C s -> Builder.comment b s
+    | P (target, data) -> Builder.pi b target data
+  in
+  List.iter go ts;
+  Builder.finish b

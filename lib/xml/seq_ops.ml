@@ -1,0 +1,58 @@
+(* Node-sequence operations: document-order sorting, duplicate elimination
+   (by node identity), and the three node-set operators. These are the
+   operations whose semantics silently change when nodes are copied into
+   messages — the crux of the paper. *)
+
+let sort ns = List.stable_sort Node.compare_order ns
+
+let sort_dedup ns =
+  let sorted = sort ns in
+  let rec dedup = function
+    | a :: (b :: _ as rest) ->
+      if Node.same a b then dedup rest else a :: dedup rest
+    | rest -> rest
+  in
+  dedup sorted
+
+let union a b = sort_dedup (a @ b)
+
+let intersect a b =
+  let b = sort_dedup b in
+  let mem n = List.exists (Node.same n) b in
+  List.filter mem (sort_dedup a)
+
+let except a b =
+  let b = sort_dedup b in
+  let mem n = List.exists (Node.same n) b in
+  List.filter (fun n -> not (mem n)) (sort_dedup a)
+
+let contains_node ns n = List.exists (Node.same n) ns
+
+(* Maximal nodes of a set: drop any node contained in another node of the
+   set. Used by pass-by-fragment to avoid serializing a shipped node that is
+   a descendant of another shipped node. *)
+let maximal ns =
+  let ns = sort_dedup ns in
+  let rec keep = function
+    | [] -> []
+    | n :: rest ->
+      (* sorted by document order: a containing ancestor appears before its
+         descendants, so filter the tail against n *)
+      let rest = List.filter (fun m -> not (Node.contains n m)) rest in
+      n :: keep rest
+  in
+  keep ns
+
+(* Lowest common ancestor of a non-empty set of nodes of one document. *)
+let lowest_common_ancestor ns =
+  match sort_dedup ns with
+  | [] -> invalid_arg "lowest_common_ancestor: empty"
+  | first :: rest ->
+    let rec meet anc n =
+      if Node.contains anc n then anc
+      else
+        match Node.parent anc with
+        | Some p -> meet p n
+        | None -> invalid_arg "lowest_common_ancestor: multiple documents"
+    in
+    List.fold_left meet first rest

@@ -1,0 +1,84 @@
+(* XML serialization: documents, subtrees and node sequences back to text.
+   Serialized sizes are what the bandwidth experiments (Fig. 7) measure, so
+   the output is compact: no added indentation, minimal escaping. *)
+
+let escape_text buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_attr buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_attrs buf n =
+  List.iter
+    (fun a ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Node.name a);
+      Buffer.add_string buf "=\"";
+      escape_attr buf (Node.string_value a);
+      Buffer.add_char buf '"')
+    (Node.attributes n)
+
+let rec add_node buf n =
+  match Node.kind n with
+  | Node.Document -> List.iter (add_node buf) (Node.children n)
+  | Node.Element ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf (Node.name n);
+    add_attrs buf n;
+    let kids = Node.children n in
+    if kids = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (add_node buf) kids;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf (Node.name n);
+      Buffer.add_char buf '>'
+    end
+  | Node.Text -> escape_text buf (Node.string_value n)
+  | Node.Comment ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf (Node.string_value n);
+    Buffer.add_string buf "-->"
+  | Node.Pi ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf (Node.name n);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (Node.string_value n);
+    Buffer.add_string buf "?>"
+  | Node.Attribute ->
+    (* a bare attribute serializes as its value (XQuery serialization would
+       raise; value form is more useful in messages) *)
+    escape_text buf (Node.string_value n)
+
+let node_to_buf = add_node
+
+let node n =
+  let buf = Buffer.create 256 in
+  add_node buf n;
+  Buffer.contents buf
+
+let doc d =
+  let buf = Buffer.create 1024 in
+  add_node buf (Node.doc_node d);
+  Buffer.contents buf
+
+let nodes ns =
+  let buf = Buffer.create 256 in
+  List.iter (add_node buf) ns;
+  Buffer.contents buf
+
+let doc_bytes d = String.length (doc d)

@@ -1,0 +1,7 @@
+(** XML serialization (compact, measured by the bandwidth experiments). *)
+
+val node : Node.t -> string
+val nodes : Node.t list -> string
+val doc : Doc.t -> string
+val doc_bytes : Doc.t -> int
+val node_to_buf : Buffer.t -> Node.t -> unit

@@ -1,0 +1,590 @@
+(* The XRPC wire protocol: SOAP-style XML messages in the three passing
+   semantics of the paper.
+
+   - pass-by-value: every node item is deep-copied into the message in its
+     own wrapper; the receiver shreds each wrapper into a separate fresh
+     document. Identity, order, ancestors and cross-item structure are lost
+     — exactly Problems 1-4.
+
+   - pass-by-fragment: all node-valued data is grouped in a <fragments>
+     preamble. Only the *maximal* subtrees are serialized (a shipped node
+     that is a descendant of another shipped node is never serialized
+     twice), fragments are sorted in document order, and the <call> section
+     carries (fragid, nodeid) references. Additionally every reference
+     carries an origin key, and both endpoints keep per-session origin
+     tables: a node that was received from the other side earlier in the
+     session is referenced back by *its* origin instead of being re-copied.
+     This generalizes the paper's single-message dedup to the whole bulk
+     session, preserving node identity across round trips (a remote
+     function returning its own parameter yields the caller's original
+     node, not a copy).
+
+   - pass-by-projection: like by-fragment, but fragments contain the
+     runtime projection (Algorithm 1) of the used/returned node sets
+     derived from the relative projection paths, and the request carries a
+     <projection-paths> element telling the callee how to project the
+     response. Ancestors up to the lowest common ancestor travel with the
+     data, so reverse/horizontal axes and fn:root/fn:id/fn:idref work on
+     shipped nodes.
+
+   Document ids of shredded fragments are derived from origin keys, so
+   document order among fragments of one sending store is preserved at the
+   receiver — the by-fragment ordering guarantee, extended session-wide. *)
+
+module X = Xd_xml
+module Value = Xd_lang.Value
+module Iset = Set.Make (Int)
+
+type passing = By_value | By_fragment | By_projection
+
+let passing_to_string = function
+  | By_value -> "by-value"
+  | By_fragment -> "by-fragment"
+  | By_projection -> "by-projection"
+
+let passing_of_string = function
+  | "by-value" -> By_value
+  | "by-fragment" -> By_fragment
+  | "by-projection" -> By_projection
+  | s -> Xd_lang.Env.dynamic_error "unknown passing mode %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Session endpoint state.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Provenance of a document shredded from a remote fragment: which host it
+   came from, which remote document, and the remote original tree index for
+   each local tree index (omap.(local_idx) = remote_idx; index 0 is the
+   local document node). *)
+type foreign = { from_host : string; remote_did : int; omap : int array }
+
+type endpoint = {
+  self : Peer.t;
+  foreign_docs : (int, foreign) Hashtbl.t; (* local did -> provenance *)
+  origin : (string * int * int, X.Node.t) Hashtbl.t;
+      (* (host, remote did, remote idx) -> local node *)
+  shipped : (string, (int, Iset.t ref) Hashtbl.t) Hashtbl.t;
+      (* per dest host: my did -> indices already shipped there *)
+  host_base : (string, int) Hashtbl.t;
+  mutable next_base : int;
+}
+
+let make_endpoint peer =
+  {
+    self = peer;
+    foreign_docs = Hashtbl.create 16;
+    origin = Hashtbl.create 64;
+    shipped = Hashtbl.create 4;
+    host_base = Hashtbl.create 4;
+    next_base = 1;
+  }
+
+(* Bases are allocated from a global counter so synthesized document ids
+   never collide across endpoints/stores. *)
+let global_base = ref 1
+
+let base_for ep host =
+  match Hashtbl.find_opt ep.host_base host with
+  | Some b -> b
+  | None ->
+    let b = !global_base lsl 44 in
+    incr global_base;
+    ep.next_base <- ep.next_base + 1;
+    Hashtbl.replace ep.host_base host b;
+    b
+
+let shipped_for ep host =
+  match Hashtbl.find_opt ep.shipped host with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 8 in
+    Hashtbl.replace ep.shipped host h;
+    h
+
+let shipped_set tbl did =
+  match Hashtbl.find_opt tbl did with
+  | Some s -> s
+  | None ->
+    let s = ref Iset.empty in
+    Hashtbl.replace tbl did s;
+    s
+
+(* Remote origin of a local tree node w.r.t. destination host, if it was
+   shredded from that host's data. *)
+let remote_origin ep ~host n =
+  match Hashtbl.find_opt ep.foreign_docs n.X.Node.doc.X.Doc.did with
+  | Some f when f.from_host = host ->
+    let idx = X.Node.index n in
+    if idx < Array.length f.omap then Some (f.remote_did, f.omap.(idx))
+    else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Writer helpers.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let buf_attr buf name v =
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf name;
+  Buffer.add_string buf "=\"";
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.add_char buf '"'
+
+let buf_text buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s
+
+(* The node used for structural shipping: attributes travel with their
+   owner element. *)
+let effective_node n =
+  if X.Node.is_attribute n then X.Node.of_tree n.X.Node.doc (X.Node.index n)
+  else n
+
+(* ------------------------------------------------------------------ *)
+(* Fragment planning (sender side).                                    *)
+(* ------------------------------------------------------------------ *)
+
+type frag = {
+  fr_okey : int * int; (* (sender did, sender root idx) *)
+  fr_base_uri : string option;
+  fr_omap : int list option; (* explicit map (by-projection); None = contiguous *)
+  fr_content : Buffer.t -> unit; (* serializer for the fragment content *)
+  fr_nodeid : int -> int option; (* sender tree idx -> nodeid in fragment *)
+}
+
+(* All node items of a list of values. *)
+let value_nodes vs =
+  List.concat_map
+    (fun v ->
+      List.filter_map (function Value.N n -> Some n | Value.A _ -> None) v)
+    vs
+
+(* By-fragment: ship maximal subtrees of the not-yet-shipped local nodes. *)
+let plan_by_fragment ep ~host nodes =
+  let local =
+    List.filter (fun n -> remote_origin ep ~host n = None) nodes
+    |> List.map effective_node
+  in
+  let maximal = X.Seq_ops.maximal local in
+  let tbl = shipped_for ep host in
+  let to_send =
+    List.filter
+      (fun m ->
+        let s = shipped_set tbl m.X.Node.doc.X.Doc.did in
+        not (Iset.mem (X.Node.index m) !s))
+      maximal
+  in
+  List.map
+    (fun m ->
+      let d = m.X.Node.doc in
+      let idx = X.Node.index m in
+      let s = shipped_set tbl d.X.Doc.did in
+      for i = idx to idx + d.X.Doc.size.(idx) do
+        s := Iset.add i !s
+      done;
+      let size = d.X.Doc.size.(idx) in
+      {
+        fr_okey = (d.X.Doc.did, idx);
+        fr_base_uri = X.Doc.uri d;
+        fr_omap = None;
+        fr_content = (fun buf -> X.Serializer.node_to_buf buf m);
+        fr_nodeid =
+          (fun i -> if i >= idx && i <= idx + size then Some (i - idx + 1) else None);
+      })
+    to_send
+
+(* By-projection: project each touched document on the used/returned node
+   sets and ship the projection (unless everything needed was already
+   shipped this session). *)
+let plan_by_projection ?schema ep ~host ~used ~returned =
+  let local n = remote_origin ep ~host n = None in
+  (* a *returned* attribute only needs its owner element bare: attributes
+     always travel with their element, so the owner goes to the used set
+     (shipping its whole subtree would defeat the projection) *)
+  let ret_attrs, ret_elems =
+    List.partition X.Node.is_attribute (List.filter local returned)
+  in
+  let used =
+    (List.filter local used |> List.map effective_node)
+    @ List.map effective_node ret_attrs
+  in
+  let returned = ret_elems in
+  let tbl = shipped_for ep host in
+  let groups = Xd_projection.Runtime.group_by_doc (used @ returned) in
+  List.filter_map
+    (fun (d, _) ->
+      let pr = Xd_projection.Runtime.project ?schema ~used ~returned d in
+      if pr.Xd_projection.Runtime.kept = 0 then None
+      else begin
+        let kept_orig =
+          Hashtbl.fold (fun o _ acc -> o :: acc) pr.Xd_projection.Runtime.map []
+        in
+        let s = shipped_set tbl d.X.Doc.did in
+        if List.for_all (fun o -> Iset.mem o !s) kept_orig then None
+        else begin
+          List.iter (fun o -> s := Iset.add o !s) kept_orig;
+          (* omap: original index per projected preorder position 1.. *)
+          let pairs =
+            Hashtbl.fold
+              (fun o p acc -> if p >= 1 then (p, o) :: acc else acc)
+              pr.Xd_projection.Runtime.map []
+            |> List.sort compare
+          in
+          let omap = List.map snd pairs in
+          let pdoc = pr.Xd_projection.Runtime.doc in
+          let pmap = pr.Xd_projection.Runtime.map in
+          let base = pr.Xd_projection.Runtime.content_root in
+          let root_idx = pr.Xd_projection.Runtime.orig_content_root in
+          (* a projection that kept a whole contiguous subtree needs no
+             explicit map: the receiver derives it from the okey, exactly
+             as for by-fragment fragments *)
+          let contiguous =
+            List.for_all2
+              (fun pos o -> o = root_idx + pos)
+              (List.init (List.length omap) Fun.id)
+              omap
+          in
+          Some
+            {
+              fr_okey = (d.X.Doc.did, root_idx);
+              fr_base_uri = X.Doc.uri d;
+              fr_omap = (if contiguous then None else Some omap);
+              fr_content =
+                (fun buf ->
+                  List.iter
+                    (X.Serializer.node_to_buf buf)
+                    (X.Node.children (X.Node.doc_node pdoc)));
+              fr_nodeid =
+                (fun i ->
+                  match Hashtbl.find_opt pmap i with
+                  | Some p when p >= base -> Some (p - base + 1)
+                  | _ -> None);
+            }
+        end
+      end)
+    groups
+
+let write_fragments buf frags =
+  Buffer.add_string buf "<fragments>";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf "<fragment";
+      let did, idx = f.fr_okey in
+      buf_attr buf "okey" (Printf.sprintf "%d:%d" did idx);
+      (match f.fr_omap with
+      | Some omap ->
+        buf_attr buf "omap" (String.concat " " (List.map string_of_int omap))
+      | None -> ());
+      (match f.fr_base_uri with
+      | Some u -> buf_attr buf "base-uri" u
+      | None -> ());
+      Buffer.add_char buf '>';
+      f.fr_content buf;
+      Buffer.add_string buf "</fragment>")
+    frags;
+  Buffer.add_string buf "</fragments>"
+
+(* ------------------------------------------------------------------ *)
+(* Item marshaling.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let atom_type = function
+  | Value.String _ -> "string"
+  | Value.Integer _ -> "integer"
+  | Value.Double _ -> "double"
+  | Value.Boolean _ -> "boolean"
+  | Value.Untyped _ -> "untyped"
+
+let write_atom buf a =
+  Buffer.add_string buf "<atomic";
+  buf_attr buf "type" (atom_type a);
+  Buffer.add_char buf '>';
+  buf_text buf (Value.atom_to_string a);
+  Buffer.add_string buf "</atomic>"
+
+(* by-value item *)
+let write_copy buf n =
+  let kind_name =
+    match X.Node.kind n with
+    | X.Node.Document -> "document"
+    | X.Node.Element -> "element"
+    | X.Node.Attribute -> "attribute"
+    | X.Node.Text -> "text"
+    | X.Node.Comment -> "comment"
+    | X.Node.Pi -> "pi"
+  in
+  Buffer.add_string buf "<copy";
+  buf_attr buf "kind" kind_name;
+  (match X.Node.kind n with
+  | X.Node.Attribute ->
+    buf_attr buf "name" (X.Node.name n);
+    buf_attr buf "value" (X.Node.string_value n)
+  | X.Node.Pi -> buf_attr buf "name" (X.Node.name n)
+  | _ -> ());
+  (match X.Node.document_uri n with
+  | Some u -> buf_attr buf "base-uri" u
+  | None -> ());
+  Buffer.add_char buf '>';
+  (match X.Node.kind n with
+  | X.Node.Element -> X.Serializer.node_to_buf buf n
+  | X.Node.Document ->
+    List.iter (X.Serializer.node_to_buf buf) (X.Node.children n)
+  | X.Node.Text | X.Node.Comment | X.Node.Pi ->
+    buf_text buf (X.Node.string_value n)
+  | X.Node.Attribute -> ());
+  Buffer.add_string buf "</copy>"
+
+(* Fragment-based item reference. The fragid/nodeid attributes follow the
+   paper's message format for fragments present in this message; the origin
+   key handles session-cached nodes and back references. *)
+let write_ref ep ~host ~frags buf n =
+  let eff = effective_node n in
+  let origin =
+    match remote_origin ep ~host eff with
+    | Some (rdid, ridx) -> Printf.sprintf "R:%d:%d" rdid ridx
+    | None ->
+      Printf.sprintf "L:%d:%d" eff.X.Node.doc.X.Doc.did (X.Node.index eff)
+  in
+  let fragid, nodeid =
+    match remote_origin ep ~host eff with
+    | Some _ -> (0, 0)
+    | None -> (
+      let did = eff.X.Node.doc.X.Doc.did and idx = X.Node.index eff in
+      let rec find i = function
+        | [] -> (0, 0)
+        | f :: rest ->
+          if fst f.fr_okey = did then
+            match f.fr_nodeid idx with
+            | Some nid -> (i, nid)
+            | None -> find (i + 1) rest
+          else find (i + 1) rest
+      in
+      find 1 frags)
+  in
+  if X.Node.is_attribute n then begin
+    Buffer.add_string buf "<attr-ref";
+    buf_attr buf "name" (X.Node.name n)
+  end
+  else Buffer.add_string buf "<node";
+  buf_attr buf "o" origin;
+  buf_attr buf "fragid" (string_of_int fragid);
+  buf_attr buf "nodeid" (string_of_int nodeid);
+  Buffer.add_string buf "/>"
+
+let write_sequence ep ~host ~passing ~frags buf ?param (v : Value.t) =
+  Buffer.add_string buf "<sequence";
+  (match param with Some p -> buf_attr buf "param" p | None -> ());
+  Buffer.add_char buf '>';
+  List.iter
+    (fun item ->
+      match item with
+      | Value.A a -> write_atom buf a
+      | Value.N n -> (
+        match passing with
+        | By_value -> write_copy buf n
+        | By_fragment | By_projection -> write_ref ep ~host ~frags buf n))
+    v;
+  Buffer.add_string buf "</sequence>"
+
+(* ------------------------------------------------------------------ *)
+(* Shredding (receiver side).                                          *)
+(* ------------------------------------------------------------------ *)
+
+let find_child n name =
+  List.find_opt
+    (fun c -> X.Node.kind c = X.Node.Element && X.Node.name c = name)
+    (X.Node.children n)
+
+let children_named n name =
+  List.filter
+    (fun c -> X.Node.kind c = X.Node.Element && X.Node.name c = name)
+    (X.Node.children n)
+
+let attr_of n name =
+  List.find_map
+    (fun a -> if X.Node.name a = name then Some (X.Node.string_value a) else None)
+    (X.Node.attributes n)
+
+let req_attr n name =
+  match attr_of n name with
+  | Some v -> v
+  | None ->
+    Xd_lang.Env.dynamic_error "malformed XRPC message: missing attribute %s"
+      name
+
+(* Copy the children of a parsed message node into a fresh document. *)
+let copy_children_to_doc ?uri n =
+  let b = X.Doc.Builder.create ?uri () in
+  let rec go c =
+    match X.Node.kind c with
+    | X.Node.Element ->
+      let attrs =
+        List.map
+          (fun a -> (X.Node.name a, X.Node.string_value a))
+          (X.Node.attributes c)
+      in
+      X.Doc.Builder.start_element b (X.Node.name c) attrs;
+      List.iter go (X.Node.children c);
+      X.Doc.Builder.end_element b
+    | X.Node.Text -> X.Doc.Builder.text b (X.Node.string_value c)
+    | X.Node.Comment -> X.Doc.Builder.comment b (X.Node.string_value c)
+    | X.Node.Pi -> X.Doc.Builder.pi b (X.Node.name c) (X.Node.string_value c)
+    | X.Node.Document | X.Node.Attribute -> ()
+  in
+  List.iter go (X.Node.children n);
+  X.Doc.Builder.finish b
+
+(* Shred the <fragments> section at an endpoint, registering provenance and
+   origin entries. *)
+let shred_fragments ep ~from_host fragments_node =
+  match fragments_node with
+  | None -> ()
+  | Some fnode ->
+    List.iter
+      (fun frag ->
+        let okey = req_attr frag "okey" in
+        let rdid, ridx =
+          match String.split_on_char ':' okey with
+          | [ a; b ] -> (int_of_string a, int_of_string b)
+          | _ -> Xd_lang.Env.dynamic_error "malformed okey %S" okey
+        in
+        let uri = attr_of frag "base-uri" in
+        let doc = copy_children_to_doc ?uri frag in
+        let n_local = X.Doc.n_nodes doc in
+        let omap =
+          match attr_of frag "omap" with
+          | Some m ->
+            let parts =
+              List.filter (fun s -> s <> "") (String.split_on_char ' ' m)
+            in
+            let arr = Array.make n_local (-1) in
+            List.iteri
+              (fun i o -> if i + 1 < n_local then arr.(i + 1) <- int_of_string o)
+              parts;
+            if ridx = 0 then arr.(0) <- 0;
+            arr
+          | None ->
+            (* contiguous: local idx k (k>=1) <-> remote ridx + k - 1;
+               local document node maps to remote document node only when
+               the whole document was shipped (ridx = 0). *)
+            Array.init n_local (fun k ->
+                if k = 0 then (if ridx = 0 then 0 else -1)
+                else if ridx = 0 then k
+                else ridx + k - 1)
+        in
+        let base = base_for ep from_host in
+        let did = base + ((rdid land 0x3fffff) lsl 22) + (ridx land 0x3fffff) in
+        let doc = X.Store.add_with_did (Peer.store ep.self) doc did in
+        Hashtbl.replace ep.foreign_docs doc.X.Doc.did
+          { from_host; remote_did = rdid; omap };
+        Array.iteri
+          (fun local_idx remote_idx ->
+            if remote_idx >= 0 then begin
+              let key = (from_host, rdid, remote_idx) in
+              if not (Hashtbl.mem ep.origin key) then
+                Hashtbl.replace ep.origin key (X.Node.of_tree doc local_idx)
+            end)
+          omap)
+      (children_named fnode "fragment")
+
+(* Resolve one marshaled item at the receiver. *)
+let shred_item ep ~from_host item : Value.t =
+  match X.Node.name item with
+  | "atomic" ->
+    let ty = req_attr item "type" in
+    let s = X.Node.string_value item in
+    let a =
+      match ty with
+      | "string" -> Value.String s
+      | "integer" -> Value.Integer (int_of_string s)
+      | "double" -> Value.Double (float_of_string s)
+      | "boolean" -> Value.Boolean (s = "true")
+      | _ -> Value.Untyped s
+    in
+    [ Value.A a ]
+  | "copy" -> (
+    let store = Peer.store ep.self in
+    let uri = attr_of item "base-uri" in
+    match req_attr item "kind" with
+    | "element" ->
+      let doc = copy_children_to_doc ?uri item in
+      let doc = X.Store.add ~index_uri:false store doc in
+      [ Value.N (X.Node.of_tree doc 1) ]
+    | "document" ->
+      let doc = copy_children_to_doc ?uri item in
+      let doc = X.Store.add ~index_uri:false store doc in
+      [ Value.N (X.Node.doc_node doc) ]
+    | "text" ->
+      let s = X.Node.string_value item in
+      if s = "" then [ Value.A (Value.Untyped "") ]
+      else [ Value.N (Xd_lang.Construct.text store s) ]
+    | "comment" ->
+      let b = X.Doc.Builder.create () in
+      X.Doc.Builder.comment b (X.Node.string_value item);
+      let doc = X.Store.add store (X.Doc.Builder.finish b) in
+      [ Value.N (X.Node.of_tree doc 1) ]
+    | "pi" ->
+      let b = X.Doc.Builder.create () in
+      X.Doc.Builder.pi b (req_attr item "name") (X.Node.string_value item);
+      let doc = X.Store.add store (X.Doc.Builder.finish b) in
+      [ Value.N (X.Node.of_tree doc 1) ]
+    | "attribute" ->
+      [
+        Value.N
+          (Xd_lang.Construct.attribute store (req_attr item "name")
+             (req_attr item "value"));
+      ]
+    | k -> Xd_lang.Env.dynamic_error "malformed copy kind %S" k)
+  | "node" | "attr-ref" -> (
+    let o = req_attr item "o" in
+    let node =
+      match String.split_on_char ':' o with
+      | [ "R"; did; idx ] -> (
+        (* our own node, referenced back by the other side *)
+        let did = int_of_string did and idx = int_of_string idx in
+        match X.Store.find_did (Peer.store ep.self) did with
+        | Some d when idx < X.Doc.n_nodes d -> X.Node.of_tree d idx
+        | _ ->
+          Xd_lang.Env.dynamic_error "dangling remote origin reference %S" o)
+      | [ "L"; did; idx ] -> (
+        let did = int_of_string did and idx = int_of_string idx in
+        match Hashtbl.find_opt ep.origin (from_host, did, idx) with
+        | Some n -> n
+        | None ->
+          Xd_lang.Env.dynamic_error "unresolved origin reference %S" o)
+      | _ -> Xd_lang.Env.dynamic_error "malformed origin %S" o
+    in
+    if X.Node.name item = "attr-ref" then begin
+      let aname = req_attr item "name" in
+      match
+        List.find_opt (fun a -> X.Node.name a = aname) (X.Node.attributes node)
+      with
+      | Some a -> [ Value.N a ]
+      | None ->
+        Xd_lang.Env.dynamic_error "attribute %s not found on shipped node"
+          aname
+    end
+    else [ Value.N node ])
+  | other ->
+    Xd_lang.Env.dynamic_error "unexpected item element <%s> in message" other
+
+let shred_sequence ep ~from_host seq_node : Value.t =
+  List.concat_map
+    (fun c ->
+      match X.Node.kind c with
+      | X.Node.Element -> shred_item ep ~from_host c
+      | _ -> [])
+    (X.Node.children seq_node)

@@ -1,0 +1,114 @@
+(** The XRPC wire protocol: SOAP-style XML messages in the three passing
+    semantics of the paper (Figs. 1, 4, 5).
+
+    - {e pass-by-value}: every node item is an isolated deep copy
+      ([<copy>]); the receiver shreds each into a fresh document —
+      exactly Problems 1-4.
+    - {e pass-by-fragment}: node data travels once, in a [<fragments>]
+      preamble holding the maximal subtrees in document order; items are
+      [(fragid, nodeid)] references. Every reference additionally carries
+      an origin key and both endpoints keep per-session origin tables, so
+      a node received earlier in the session is referenced back instead of
+      re-copied — the paper's single-message dedup generalized to the bulk
+      session, preserving identity across round trips.
+    - {e pass-by-projection}: fragments contain the runtime projection
+      (Algorithm 1) of the used/returned node sets from the relative
+      projection paths; requests carry a [<projection-paths>] element
+      telling the callee how to project the response.
+
+    Shredded fragments receive document ids derived from their origin
+    keys, so document order among fragments of one sender is preserved at
+    the receiver. *)
+
+type passing = By_value | By_fragment | By_projection
+
+val passing_to_string : passing -> string
+val passing_of_string : string -> passing
+
+type foreign = { from_host : string; remote_did : int; omap : int array }
+(** Provenance of a document shredded from a remote fragment:
+    [omap.(local_idx) = remote original tree index]. *)
+
+type endpoint = {
+  self : Peer.t;
+  foreign_docs : (int, foreign) Hashtbl.t;
+  origin : (string * int * int, Xd_xml.Node.t) Hashtbl.t;
+  shipped : (string, (int, Set.Make(Int).t ref) Hashtbl.t) Hashtbl.t;
+  host_base : (string, int) Hashtbl.t;
+  mutable next_base : int;
+}
+(** Per-session per-peer marshaling state. *)
+
+val make_endpoint : Peer.t -> endpoint
+
+val remote_origin :
+  endpoint -> host:string -> Xd_xml.Node.t -> (int * int) option
+(** If the node was shredded from [host]'s data: its original identity
+    there. Such nodes are referenced back, never re-shipped. *)
+
+(** {2 Writer} *)
+
+val buf_attr : Buffer.t -> string -> string -> unit
+val buf_text : Buffer.t -> string -> unit
+val effective_node : Xd_xml.Node.t -> Xd_xml.Node.t
+(** Attributes travel with their owner element. *)
+
+type frag = {
+  fr_okey : int * int;
+  fr_base_uri : string option;
+  fr_omap : int list option;
+  fr_content : Buffer.t -> unit;
+  fr_nodeid : int -> int option;
+}
+
+val value_nodes : Xd_lang.Value.t list -> Xd_xml.Node.t list
+
+val plan_by_fragment :
+  endpoint -> host:string -> Xd_xml.Node.t list -> frag list
+(** Maximal not-yet-shipped subtrees, registering session coverage. *)
+
+val plan_by_projection :
+  ?schema:(string -> string list) ->
+  endpoint ->
+  host:string ->
+  used:Xd_xml.Node.t list ->
+  returned:Xd_xml.Node.t list ->
+  frag list
+(** Per-document runtime projections of the given node sets. A returned
+    attribute makes its owner merely used — attributes always travel with
+    their element. *)
+
+val write_fragments : Buffer.t -> frag list -> unit
+val write_atom : Buffer.t -> Xd_lang.Value.atom -> unit
+val write_copy : Buffer.t -> Xd_xml.Node.t -> unit
+
+val write_ref :
+  endpoint -> host:string -> frags:frag list -> Buffer.t -> Xd_xml.Node.t ->
+  unit
+
+val write_sequence :
+  endpoint ->
+  host:string ->
+  passing:passing ->
+  frags:frag list ->
+  Buffer.t ->
+  ?param:string ->
+  Xd_lang.Value.t ->
+  unit
+
+(** {2 Reader (shredding)} *)
+
+val find_child : Xd_xml.Node.t -> string -> Xd_xml.Node.t option
+val children_named : Xd_xml.Node.t -> string -> Xd_xml.Node.t list
+val attr_of : Xd_xml.Node.t -> string -> string option
+val req_attr : Xd_xml.Node.t -> string -> string
+val copy_children_to_doc : ?uri:string -> Xd_xml.Node.t -> Xd_xml.Doc.t
+
+val shred_fragments :
+  endpoint -> from_host:string -> Xd_xml.Node.t option -> unit
+(** Parse a [<fragments>] section into fresh documents with origin-derived
+    ids, registering provenance and origin entries. *)
+
+val shred_item : endpoint -> from_host:string -> Xd_xml.Node.t -> Xd_lang.Value.t
+val shred_sequence :
+  endpoint -> from_host:string -> Xd_xml.Node.t -> Xd_lang.Value.t

@@ -1,0 +1,44 @@
+(* The simulated network: a registry of peers plus a cost model. Messages
+   are real XML strings produced and parsed by the peers; only the wire is
+   simulated, charging latency + bytes/bandwidth per message. Defaults
+   model the paper's testbed (1 Gb/s Ethernet LAN). *)
+
+type t = {
+  peers : (string, Peer.t) Hashtbl.t;
+  bandwidth_bytes_per_s : float;
+  latency_s : float;
+  stats : Stats.t;
+}
+
+let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4) () =
+  {
+    peers = Hashtbl.create 8;
+    bandwidth_bytes_per_s;
+    latency_s;
+    stats = Stats.create ();
+  }
+
+let add_peer t peer = Hashtbl.replace t.peers (Peer.name peer) peer
+
+let new_peer t name =
+  let p = Peer.create name in
+  add_peer t p;
+  p
+
+let find_peer t name =
+  match Hashtbl.find_opt t.peers name with
+  | Some p -> p
+  | None -> Xd_lang.Env.dynamic_error "unknown peer %S" name
+
+(* Account one message of [bytes] on the wire. *)
+let transfer ?(kind = `Message) t bytes =
+  (match kind with
+  | `Message ->
+    t.stats.Stats.message_bytes <- t.stats.Stats.message_bytes + bytes;
+    t.stats.Stats.messages <- t.stats.Stats.messages + 1
+  | `Document ->
+    t.stats.Stats.document_bytes <- t.stats.Stats.document_bytes + bytes;
+    t.stats.Stats.documents_fetched <- t.stats.Stats.documents_fetched + 1);
+  t.stats.Stats.network_s <-
+    t.stats.Stats.network_s +. t.latency_s
+    +. (float_of_int bytes /. t.bandwidth_bytes_per_s)

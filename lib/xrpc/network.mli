@@ -1,0 +1,17 @@
+(** The simulated network: a registry of peers plus a cost model. Messages
+    are real XML strings produced and parsed by the peers; only the wire
+    is simulated, charging latency + bytes/bandwidth per message. Defaults
+    model the paper's testbed (1 Gb/s LAN, 0.1 ms). *)
+
+type t = {
+  peers : (string, Peer.t) Hashtbl.t;
+  bandwidth_bytes_per_s : float;
+  latency_s : float;
+  stats : Stats.t;
+}
+
+val create : ?bandwidth_bytes_per_s:float -> ?latency_s:float -> unit -> t
+val add_peer : t -> Peer.t -> unit
+val new_peer : t -> string -> Peer.t
+val find_peer : t -> string -> Peer.t
+val transfer : ?kind:[ `Message | `Document ] -> t -> int -> unit

@@ -1,0 +1,20 @@
+(* A peer: a named XQuery engine owning a document store. Peers host the
+   documents addressed as xrpc://<name>/<doc> and execute the function
+   bodies shipped to them. *)
+
+module X = Xd_xml
+
+type t = { name : string; store : X.Store.t }
+
+let create name = { name; store = X.Store.create () }
+let name t = t.name
+let store t = t.store
+
+let load_xml t ~doc_name xml =
+  X.Parser.parse ~store:t.store ~uri:doc_name xml
+
+let load_tree t ~doc_name tree = X.Store.of_tree t.store ~uri:doc_name tree
+
+let find_doc t doc_name = X.Store.find_uri t.store doc_name
+
+let xrpc_uri t doc_name = Printf.sprintf "xrpc://%s/%s" t.name doc_name

@@ -1,0 +1,430 @@
+(* A distributed execution session: installs the execute-at and fn:doc
+   hooks into the evaluator, builds/dispatches the XRPC messages, and keeps
+   the per-session endpoint state that realizes bulk-RPC-style fragment
+   deduplication across the calls of one query execution.
+
+   The whole exchange exercises real code paths: requests and responses are
+   serialized to XML text, accounted on the simulated wire, and parsed back
+   on the other side. Only the socket is simulated. *)
+
+module X = Xd_xml
+module Ast = Xd_lang.Ast
+module Value = Xd_lang.Value
+module Env = Xd_lang.Env
+module Eval = Xd_lang.Eval
+
+type recorded = { dir : [ `Request of string | `Response of string ]; text : string }
+
+type t = {
+  net : Network.t;
+  self : Peer.t;
+  passing : Message.passing;
+  bulk : bool; (* session-wide fragment caching (bulk RPC); off = per-call *)
+  schema : (string -> string list) option;
+      (* schema-aware projection: mandatory child elements per element *)
+  ep : Message.endpoint; (* this peer's endpoint state *)
+  remote_sessions : (string, t) Hashtbl.t; (* server sessions by peer name *)
+  server_funcs : (string, Ast.func list) Hashtbl.t; (* module cache per client *)
+  fetched : (string, X.Doc.t) Hashtbl.t; (* data-shipped documents *)
+  funcs_shipped : (string, unit) Hashtbl.t; (* hosts that got our module *)
+  record : recorded list ref option;
+  depth : int;
+}
+
+let create ?record ?(bulk = true) ?schema ?(depth = 0) net self passing =
+  {
+    net;
+    self;
+    passing;
+    bulk;
+    schema;
+    ep = Message.make_endpoint self;
+    remote_sessions = Hashtbl.create 4;
+    server_funcs = Hashtbl.create 4;
+    fetched = Hashtbl.create 8;
+    funcs_shipped = Hashtbl.create 4;
+    record;
+    depth;
+  }
+
+let recorded session = Option.map (fun r -> List.rev !r) session.record
+
+(* The server-side session object for calls from [session] to [host]:
+   holds the server peer's endpoint (shredded parameters) and supports
+   nested outgoing calls from that server. *)
+let rec server_session session host =
+  match Hashtbl.find_opt session.remote_sessions host with
+  | Some s -> s
+  | None ->
+    if session.depth > 8 then
+      Env.dynamic_error "XRPC: call nesting too deep at %s" host;
+    let peer = Network.find_peer session.net host in
+    let s =
+      create ?record:session.record ~bulk:session.bulk ?schema:session.schema
+        ~depth:(session.depth + 1) session.net peer session.passing
+    in
+    Hashtbl.replace session.remote_sessions host s;
+    s
+
+(* ---------------- data shipping (fn:doc on xrpc:// URIs) -------------- *)
+
+and resolve_doc session env uri =
+  match Xd_dgraph.Dgraph.split_xrpc_uri uri with
+  | None -> Env.default_resolve_doc env uri
+  | Some (host, doc_name) -> (
+    if host = Peer.name session.self then
+      match Peer.find_doc session.self doc_name with
+      | Some d -> d
+      | None -> Env.dynamic_error "document %S not found at %s" doc_name host
+    else
+      match Hashtbl.find_opt session.fetched uri with
+      | Some d -> d
+      | None ->
+        let stats = session.net.Network.stats in
+        let speer = Network.find_peer session.net host in
+        let doc =
+          match Peer.find_doc speer doc_name with
+          | Some d -> d
+          | None ->
+            Env.dynamic_error "document %S not found at %s" doc_name host
+        in
+        let text =
+          Stats.time_serialize stats (fun () -> X.Serializer.doc doc)
+        in
+        Network.transfer ~kind:`Document session.net (String.length text);
+        let d =
+          Stats.time_shred stats (fun () ->
+              X.Parser.parse ~store:(Peer.store session.self) ~uri text)
+        in
+        Hashtbl.replace session.fetched uri d;
+        d)
+
+(* The endpoint used to marshal/shred one exchange: the session-wide one
+   under bulk RPC (fragments cached across the calls of the session), or a
+   fresh one per call when bulk is disabled (the ablation baseline — every
+   call re-ships its nodes and responses arrive as fresh copies). *)
+and call_endpoint session =
+  if session.bulk then session.ep else Message.make_endpoint session.self
+
+(* ---------------- request construction -------------------------------- *)
+
+and parse_suffixes ss = List.map Xd_projection.Path.of_string ss
+
+(* Used/returned node sets for the parameters of one call (by-projection).
+   Parameters without projection information conservatively ship their full
+   subtrees (by-fragment behaviour). *)
+and param_node_sets (x : Ast.execute_at) args =
+  let used = ref [] and returned = ref [] in
+  List.iter
+    (fun (v, value) ->
+      let ctx =
+        List.filter_map
+          (function Value.N n -> Some n | Value.A _ -> None)
+          value
+      in
+      if ctx <> [] then
+        match
+          List.find_opt (fun (pv, _, _) -> pv = v) x.Ast.param_paths
+        with
+        | Some (_, u_strs, r_strs) ->
+          used := ctx @ !used;
+          List.iter
+            (fun p -> used := Xd_projection.Path.eval p ctx @ !used)
+            (parse_suffixes u_strs);
+          List.iter
+            (fun p -> returned := Xd_projection.Path.eval p ctx @ !returned)
+            (parse_suffixes r_strs)
+        | None -> returned := ctx @ !returned)
+    args;
+  (!used, !returned)
+
+and build_request session ~ep ~host (x : Ast.execute_at) ~args ~funcs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><request";
+  Message.buf_attr buf "passing" (Message.passing_to_string session.passing);
+  Message.buf_attr buf "caller" (Peer.name session.self);
+  Message.buf_attr buf "static-base-uri" "xdx://static/";
+  Message.buf_attr buf "default-collation" "codepoint";
+  Message.buf_attr buf "current-dateTime" "2009-03-29T00:00:00Z";
+  Buffer.add_char buf '>';
+  (* ship the module (user function definitions) once per host *)
+  if funcs <> [] && not (Hashtbl.mem session.funcs_shipped host) then begin
+    Hashtbl.replace session.funcs_shipped host ();
+    Buffer.add_string buf "<module>";
+    let text =
+      String.concat "\n" (List.map (Format.asprintf "%a" Xd_lang.Pp.pp_func) funcs)
+    in
+    Message.buf_text buf text;
+    Buffer.add_string buf "</module>"
+  end;
+  Buffer.add_string buf "<query>";
+  Message.buf_text buf (Xd_lang.Pp.expr_to_string x.Ast.body);
+  Buffer.add_string buf "</query>";
+  (* Per the paper, the absence of <projection-paths> tells the callee to
+     answer in the full (by-fragment-style) format; only emit it when the
+     analysis actually produced result paths. *)
+  (if
+     session.passing = Message.By_projection
+     && x.Ast.result_paths <> ([], [])
+   then begin
+     let u, r = x.Ast.result_paths in
+     Buffer.add_string buf "<projection-paths>";
+     List.iter
+       (fun p ->
+         Buffer.add_string buf "<used-path>";
+         Message.buf_text buf p;
+         Buffer.add_string buf "</used-path>")
+       u;
+     List.iter
+       (fun p ->
+         Buffer.add_string buf "<returned-path>";
+         Message.buf_text buf p;
+         Buffer.add_string buf "</returned-path>")
+       r;
+     Buffer.add_string buf "</projection-paths>"
+   end);
+  let values = List.map snd args in
+  let frags =
+    match session.passing with
+    | Message.By_value -> []
+    | Message.By_fragment ->
+      Message.plan_by_fragment ep ~host (Message.value_nodes values)
+    | Message.By_projection ->
+      let used, returned = param_node_sets x args in
+      Message.plan_by_projection ?schema:session.schema ep ~host ~used
+        ~returned
+  in
+  Message.write_fragments buf frags;
+  Buffer.add_string buf "<call>";
+  List.iter
+    (fun (v, value) ->
+      Message.write_sequence ep ~host ~passing:session.passing ~frags buf
+        ~param:v value)
+    args;
+  Buffer.add_string buf "</call>";
+  Buffer.add_string buf "</request></env:Body></env:Envelope>";
+  Buffer.contents buf
+
+(* ---------------- server side ----------------------------------------- *)
+
+and find_path names node =
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | None -> None
+      | Some n -> Message.find_child n name)
+    (Some node) names
+
+and handle_request session ~client_name request_text =
+  (* [session] here is the *server* session *)
+  let stats = session.net.Network.stats in
+  let ep = call_endpoint session in
+  let mdoc, req =
+    Stats.time_shred stats (fun () ->
+        let mdoc = X.Parser.parse_doc ~strip_ws:false request_text in
+        let root = X.Node.doc_node mdoc in
+        match find_path [ "env:Envelope"; "env:Body"; "request" ] root with
+        | Some r -> (mdoc, r)
+        | None -> Env.dynamic_error "malformed XRPC request")
+  in
+  ignore mdoc;
+  let passing = Message.passing_of_string (Message.req_attr req "passing") in
+  Stats.time_shred stats (fun () ->
+      Message.shred_fragments ep ~from_host:client_name
+        (Message.find_child req "fragments"));
+  (* module: parse and cache the caller's function definitions *)
+  (match Message.find_child req "module" with
+  | Some m ->
+    let text = X.Node.string_value m in
+    let q = Xd_lang.Parser.parse_query (text ^ "\n()") in
+    Hashtbl.replace session.server_funcs client_name q.Ast.funcs
+  | None -> ());
+  let funcs =
+    Option.value ~default:[] (Hashtbl.find_opt session.server_funcs client_name)
+  in
+  let body_text =
+    match Message.find_child req "query" with
+    | Some qn -> X.Node.string_value qn
+    | None -> Env.dynamic_error "XRPC request without query"
+  in
+  let args =
+    match Message.find_child req "call" with
+    | None -> []
+    | Some call ->
+      List.map
+        (fun seq ->
+          ( Message.req_attr seq "param",
+            Message.shred_sequence ep ~from_host:client_name seq ))
+        (Message.children_named call "sequence")
+  in
+  let result =
+    Stats.time_remote stats (fun () ->
+        let body = Xd_lang.Parser.parse_expr_string body_text in
+        let vars =
+          List.fold_left
+            (fun acc (v, value) -> Env.Smap.add v value acc)
+            Env.Smap.empty args
+        in
+        let env =
+          Env.create ~vars ~funcs
+            ~resolve_doc:(fun env uri -> resolve_doc session env uri)
+            ~execute_at:(fun env x ~host ~args ->
+              execute_at session env x ~host ~args)
+            ~builtins:(Xd_lang.Builtins.table ())
+            ~static_base_uri:(Message.req_attr req "static-base-uri")
+            ~default_collation:(Message.req_attr req "default-collation")
+            ~current_datetime:(Message.req_attr req "current-dateTime")
+            ~pul:(Xd_lang.Pul.create ())
+            (Peer.store session.self)
+        in
+        let v = Eval.eval env body in
+        apply_updates session env;
+        v)
+  in
+  (* response *)
+  Stats.time_serialize stats (fun () ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><response";
+      Message.buf_attr buf "passing" (Message.passing_to_string passing);
+      Buffer.add_char buf '>';
+      let result_nodes =
+        List.filter_map
+          (function Value.N n -> Some n | Value.A _ -> None)
+          result
+      in
+      let frags =
+        match passing with
+        | Message.By_value -> []
+        | Message.By_fragment ->
+          Message.plan_by_fragment ep ~host:client_name result_nodes
+        | Message.By_projection ->
+          let proj = Message.find_child req "projection-paths" in
+          let u_paths, r_paths =
+            match proj with
+            | None -> ([], None)
+            | Some p ->
+              ( List.map
+                  (fun n -> Xd_projection.Path.of_string (X.Node.string_value n))
+                  (Message.children_named p "used-path"),
+                Some
+                  (List.map
+                     (fun n ->
+                       Xd_projection.Path.of_string (X.Node.string_value n))
+                     (Message.children_named p "returned-path")) )
+          in
+          let used, returned =
+            match r_paths with
+            | None -> ([], result_nodes) (* no paths: ship full subtrees *)
+            | Some rp ->
+              let u =
+                result_nodes
+                @ List.concat_map
+                    (fun p -> Xd_projection.Path.eval p result_nodes)
+                    u_paths
+              in
+              let r =
+                List.concat_map
+                  (fun p -> Xd_projection.Path.eval p result_nodes)
+                  rp
+              in
+              (u, r)
+          in
+          Message.plan_by_projection ?schema:session.schema ep
+            ~host:client_name ~used ~returned
+      in
+      Message.write_fragments buf frags;
+      Message.write_sequence ep ~host:client_name ~passing ~frags buf result;
+      Buffer.add_string buf "</response></env:Body></env:Envelope>";
+      Buffer.contents buf)
+
+(* ---------------- client side ------------------------------------------ *)
+
+and shred_response session ~ep ~host response_text : Value.t =
+  let stats = session.net.Network.stats in
+  Stats.time_shred stats (fun () ->
+      let mdoc = X.Parser.parse_doc ~strip_ws:false response_text in
+      let root = X.Node.doc_node mdoc in
+      let resp =
+        match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
+        | Some r -> r
+        | None -> Env.dynamic_error "malformed XRPC response"
+      in
+      Message.shred_fragments ep ~from_host:host
+        (Message.find_child resp "fragments");
+      match Message.find_child resp "sequence" with
+      | Some seq -> Message.shred_sequence ep ~from_host:host seq
+      | None -> [])
+
+and execute_at session env (x : Ast.execute_at) ~host ~args =
+  if host = "" || host = Peer.name session.self then
+    (* local execution: plain evaluation, full fidelity *)
+    Eval.local_execute_at env x ~host ~args
+  else begin
+    let stats = session.net.Network.stats in
+    let funcs = Env.func_list env in
+    let ep = call_endpoint session in
+    let req_text =
+      Stats.time_serialize stats (fun () ->
+          build_request session ~ep ~host x ~args ~funcs)
+    in
+    (match session.record with
+    | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
+    | None -> ());
+    Network.transfer session.net (String.length req_text);
+    let srv = server_session session host in
+    let resp_text =
+      handle_request srv ~client_name:(Peer.name session.self) req_text
+    in
+    (match session.record with
+    | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
+    | None -> ());
+    Network.transfer session.net (String.length resp_text);
+    shred_response session ~ep ~host resp_text
+  end
+
+(* Apply a pending update list, refusing updates whose targets live in
+   documents this peer obtained by shipping (data-shipped fetches or
+   shredded message fragments): updating a copy would silently diverge
+   from the source peer. This is the runtime half of the paper's
+   Section IX restriction. *)
+and apply_updates session (env : Env.t) =
+  match env.Env.pul with
+  | None -> ()
+  | Some pul when Xd_lang.Pul.is_empty pul -> ()
+  | Some pul ->
+    let pending = Xd_lang.Pul.list pul in
+    let fetched_dids =
+      Hashtbl.fold (fun _ d acc -> d.X.Doc.did :: acc) session.fetched []
+    in
+    List.iter
+      (fun p ->
+        let d = (Xd_lang.Pul.target_of p).X.Node.doc in
+        if
+          List.mem d.X.Doc.did fetched_dids
+          || Hashtbl.mem session.ep.Message.foreign_docs d.X.Doc.did
+        then
+          Env.dynamic_error
+            "update at %s targets a shipped copy of a remote document; \
+re-run under a function-shipping strategy so the update executes at its \
+source peer"
+            (Peer.name session.self))
+      pending;
+    ignore (Xd_lang.Update.apply (Peer.store session.self) pending)
+
+(* ---------------- public API ------------------------------------------- *)
+
+let env_for session ~funcs =
+  Env.create ~funcs
+    ~resolve_doc:(fun env uri -> resolve_doc session env uri)
+    ~execute_at:(fun env x ~host ~args -> execute_at session env x ~host ~args)
+    ~builtins:(Xd_lang.Builtins.table ())
+    ~pul:(Xd_lang.Pul.create ())
+    (Peer.store session.self)
+
+let execute session (q : Ast.query) =
+  let env = env_for session ~funcs:q.Ast.funcs in
+  let v = Eval.eval env q.Ast.body in
+  apply_updates session env;
+  v

@@ -1,0 +1,52 @@
+(** A distributed execution session.
+
+    Installs the execute-at and fn:doc hooks into the evaluator, builds
+    and dispatches the XRPC messages, and keeps the per-session endpoint
+    state that realizes bulk-RPC-style fragment deduplication across the
+    calls of one query execution. The whole exchange exercises real code
+    paths — requests and responses are serialized to XML text, accounted
+    on the simulated wire, and parsed back on the other side. *)
+
+type recorded = {
+  dir : [ `Request of string | `Response of string ];
+  text : string;
+}
+
+type t
+
+val create :
+  ?record:recorded list ref -> ?bulk:bool ->
+  ?schema:(string -> string list) -> ?depth:int -> Network.t -> Peer.t ->
+  Message.passing -> t
+(** A session for one querying peer. [record] captures every message (for
+    tests and demos); [bulk] (default true) enables session-wide fragment
+    caching — the wire behaviour of the paper's bulk RPC; disabling it is
+    the ablation baseline where every call re-ships its nodes; [schema]
+    makes by-projection messages schema-aware (mandatory children of kept
+    elements are preserved); [depth] guards against runaway nested
+    calls. *)
+
+val recorded : t -> recorded list option
+
+val server_session : t -> string -> t
+(** The server-side session for calls to the given host (created lazily;
+    holds the server's endpoint state and supports nested outgoing
+    calls). *)
+
+val resolve_doc : t -> Xd_lang.Env.t -> string -> Xd_xml.Doc.t
+(** fn:doc semantics: local names resolve in the peer's store; xrpc://
+    URIs on other hosts are fetched whole (data shipping) with per-session
+    caching; xrpc:// URIs naming this peer resolve locally. *)
+
+val handle_request : t -> client_name:string -> string -> string
+(** Server side: parse a request, shred its fragments, evaluate the body,
+    serialize the response. Exposed for protocol tests. *)
+
+val execute_at :
+  t -> Xd_lang.Env.t -> Xd_lang.Ast.execute_at -> host:string ->
+  args:(Xd_lang.Ast.var * Xd_lang.Value.t) list -> Xd_lang.Value.t
+(** Client side of one call. An empty host, or this peer's own name,
+    executes locally with full fidelity. *)
+
+val env_for : t -> funcs:Xd_lang.Ast.func list -> Xd_lang.Env.t
+val execute : t -> Xd_lang.Ast.query -> Xd_lang.Value.t

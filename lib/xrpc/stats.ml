@@ -1,0 +1,68 @@
+(* Per-execution cost accounting, matching the Fig. 8 breakdown:
+   shred / local exec / (de)serialize / remote exec / network. Wall-clock
+   components are measured; network time is simulated from real message
+   bytes and the configured link parameters. *)
+
+type t = {
+  mutable message_bytes : int; (* SOAP request+response bytes *)
+  mutable document_bytes : int; (* full documents fetched (data shipping) *)
+  mutable messages : int;
+  mutable documents_fetched : int;
+  mutable serialize_s : float; (* message/document (de)serialization *)
+  mutable shred_s : float; (* parsing messages/documents into stores *)
+  mutable remote_exec_s : float; (* query evaluation at remote peers *)
+  mutable network_s : float; (* simulated wire time *)
+}
+
+let create () =
+  {
+    message_bytes = 0;
+    document_bytes = 0;
+    messages = 0;
+    documents_fetched = 0;
+    serialize_s = 0.;
+    shred_s = 0.;
+    remote_exec_s = 0.;
+    network_s = 0.;
+  }
+
+let reset t =
+  t.message_bytes <- 0;
+  t.document_bytes <- 0;
+  t.messages <- 0;
+  t.documents_fetched <- 0;
+  t.serialize_s <- 0.;
+  t.shred_s <- 0.;
+  t.remote_exec_s <- 0.;
+  t.network_s <- 0.
+
+let total_bytes t = t.message_bytes + t.document_bytes
+
+let now () = Unix.gettimeofday ()
+
+let timed add f =
+  let t0 = now () in
+  let r = f () in
+  add (now () -. t0);
+  r
+
+let time_serialize t f = timed (fun d -> t.serialize_s <- t.serialize_s +. d) f
+let time_shred t f = timed (fun d -> t.shred_s <- t.shred_s +. d) f
+
+let time_remote t f =
+  (* remote exec excludes nested (de)serialize/shred costs, which the inner
+     calls account into their own buckets; we subtract them here. *)
+  let s0 = t.serialize_s and h0 = t.shred_s in
+  let t0 = now () in
+  let r = f () in
+  let dt = now () -. t0 in
+  let nested = t.serialize_s -. s0 +. (t.shred_s -. h0) in
+  t.remote_exec_s <- t.remote_exec_s +. Float.max 0. (dt -. nested);
+  r
+
+let pp fmt t =
+  Fmt.pf fmt
+    "bytes: msg=%d doc=%d | msgs=%d docs=%d | serialize=%.4fs shred=%.4fs \
+     remote=%.4fs network=%.4fs"
+    t.message_bytes t.document_bytes t.messages t.documents_fetched
+    t.serialize_s t.shred_s t.remote_exec_s t.network_s

@@ -1,0 +1,28 @@
+(** Per-execution cost accounting, matching the Fig. 8 breakdown:
+    shred / local exec / (de)serialize / remote exec / network. Wall-clock
+    components are measured; network time is simulated from real message
+    bytes and the configured link. *)
+
+type t = {
+  mutable message_bytes : int;
+  mutable document_bytes : int;  (** whole documents fetched (data shipping) *)
+  mutable messages : int;
+  mutable documents_fetched : int;
+  mutable serialize_s : float;
+  mutable shred_s : float;
+  mutable remote_exec_s : float;
+  mutable network_s : float;  (** simulated wire time *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_bytes : t -> int
+val now : unit -> float
+val time_serialize : t -> (unit -> 'a) -> 'a
+val time_shred : t -> (unit -> 'a) -> 'a
+
+val time_remote : t -> (unit -> 'a) -> 'a
+(** Remote-execution timing; nested (de)serialize/shred costs are
+    subtracted (they are accounted in their own buckets). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+The xdxq / xdx-gen command-line tools, end to end.
+
+Generate a small deterministic XMark pair:
+
+  $ ../../bin/xdx_gen.exe --persons 10 --seed 7 --out-people people.xml --out-auctions auctions.xml 2>/dev/null | sed 's/([0-9]* bytes)/(N bytes)/'
+  wrote people.xml (N bytes)
+  wrote auctions.xml (N bytes)
+
+A selection pushed to the data's peer, under each strategy — all four give
+the same answer:
+
+  $ for s in data-shipping by-value by-fragment by-projection; do
+  >   ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s $s \
+  >     -q 'string(count(doc("xrpc://peer1/people.xml")//person[profile/age < 40]))'
+  > done
+  3
+  3
+  3
+  3
+
+The auto strategy consults the cost model (report goes to stderr):
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s auto \
+  >   -q 'string(count(doc("xrpc://peer1/people.xml")//person))' 2>/dev/null
+  10
+
+Plans are explainable:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-fragment --explain \
+  >   -q 'for $p in doc("xrpc://peer1/people.xml")/site/people/person where $p//age < 30 return string($p/@id)' \
+  >   | grep -E 'pushed|strategy'
+  strategy: pass-by-fragment
+  valid d-points: 16, interesting points: 1, pushed: 1
+    pushed v16 -> peer1
+
+Static errors are caught before execution:
+
+  $ ../../bin/xdxq.exe -q 'count($nope)' 2>&1
+  static error: v1: unbound variable $nope
+  [1]
+
+Parse errors report the offset:
+
+  $ ../../bin/xdxq.exe -q 'for $x in' 2>&1
+  parse error at offset 9: unexpected token <eof>
+  [1]
+
+A cross-peer join with stats (timings suppressed):
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml --doc peer2/auctions.xml=auctions.xml \
+  >   -s by-projection --stats \
+  >   -q 'string(count(for $a in doc("xrpc://peer2/auctions.xml")//open_auction
+  >        where $a/seller/@person = doc("xrpc://peer1/people.xml")//person[profile/age < 40]/@id
+  >        return $a))' 2>/dev/null
+  2
+
+Updates execute at the owning peer; over a data-shipped copy they are
+refused:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s data-shipping \
+  >   -q 'delete node (doc("xrpc://peer1/people.xml")//person)[1]' 2>&1
+  dynamic error: update at client targets a shipped copy of a remote document; re-run under a function-shipping strategy so the update executes at its source peer
+  [1]
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-fragment \
+  >   -q '(delete node (doc("xrpc://peer1/people.xml")//person)[1])'
+  

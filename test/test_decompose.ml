@@ -1,0 +1,411 @@
+(* Tests for the decomposition framework: insertion conditions per strategy
+   (Sections IV-VI), interesting points (Examples 4.1/4.2), the Qv2/Qf2
+   decompositions of Table IV, XRPCExpr insertion (Fig. 3) and distributed
+   code motion (Example 4.3). *)
+
+module Ast = Xd_lang.Ast
+module D = Xd_core.Decompose
+module S = Xd_core.Strategy
+open Util
+
+let q2 =
+  {|(let $s := doc("xrpc://A/students.xml")/child::people/child::person
+     return let $c := doc("xrpc://B/course42.xml")
+     return let $t := for $x in $s return
+                        if ($x/child::tutor = $s/child::name) then $x else ()
+     return for $e in $c/child::enroll/child::exam
+            return if ($e/attribute::id = $t/child::id) then $e else ())/child::grade|}
+
+let parse = Xd_lang.Parser.parse_query
+
+let execute_ats body =
+  let acc = ref [] in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Execute_at x -> acc := (e, x) :: !acc
+      | _ -> ())
+    body;
+  List.rev !acc
+
+let hosts body =
+  List.filter_map
+    (fun (_, x) ->
+      match x.Ast.host.Ast.desc with
+      | Ast.Literal (Ast.A_string h) -> Some h
+      | _ -> None)
+    (execute_ats body)
+  |> List.sort compare
+
+(* ---- Table IV: Qv2 (pass-by-value) ------------------------------------- *)
+
+let test_by_value_q2 () =
+  (* Under pass-by-value the selection for-loop must stay local (its result
+     feeds further axis steps), so the pushed A-side body is the bare path
+     of Qv2's fcn1. Q2's B-side uses only child steps, so it is by-value
+     safe too and gets pushed as well (the paper's XMark variant uses
+     descendant::, which is what keeps its B-side local; see
+     test_by_value_descendant below). *)
+  let plan = D.decompose S.By_value (parse q2) in
+  let eas = execute_ats plan.D.query.Ast.body in
+  check_slist "pushed hosts" [ "A"; "B" ] (hosts plan.D.query.Ast.body);
+  List.iter
+    (fun (_, x) ->
+      check_int "no parameters under by-value" 0 (List.length x.Ast.params);
+      let has_for = ref false in
+      Ast.iter
+        (fun e -> match e.Ast.desc with Ast.For _ -> has_for := true | _ -> ())
+        x.Ast.body;
+      check_bool "no for-loop pushed under by-value" (not !has_for))
+    eas
+
+let test_by_value_descendant () =
+  (* the paper's XMark-variant shape: the B side navigates with descendant::
+     whose result feeds further steps — by-value must keep it local *)
+  let q =
+    parse
+      {|(let $t := doc("xrpc://A/people.xml")/child::site/child::people/child::person
+         return for $e in doc("xrpc://B/auctions.xml")/descendant::open_auction
+                return if ($e/child::seller/attribute::person = $t/attribute::id)
+                       then $e/child::annotation else ())/child::author|}
+  in
+  let plan = D.decompose S.By_value q in
+  check_slist "by-value pushes only the A path" [ "A" ]
+    (hosts plan.D.query.Ast.body);
+  let plan_f = D.decompose S.By_fragment q in
+  check_slist "by-fragment pushes both" [ "A"; "B" ]
+    (hosts plan_f.D.query.Ast.body)
+
+(* ---- Table IV: Qf2 (pass-by-fragment) ----------------------------------- *)
+
+let test_by_fragment_q2 () =
+  let plan = D.decompose S.By_fragment (parse q2) in
+  let eas = execute_ats plan.D.query.Ast.body in
+  check_int "by-fragment pushes two subqueries" 2 (List.length eas);
+  check_slist "pushed to A and B" [ "A"; "B" ] (hosts plan.D.query.Ast.body);
+  (* fcn1 (at A) has no parameters and contains the selection loop *)
+  let a_x =
+    snd (List.find (fun (_, x) -> x.Ast.host.Ast.desc = Ast.Literal (Ast.A_string "A")) (execute_ats plan.D.query.Ast.body))
+  in
+  check_int "fcn1 parameterless" 0 (List.length a_x.Ast.params);
+  let has_for = ref false in
+  Ast.iter
+    (fun e -> match e.Ast.desc with Ast.For _ -> has_for := true | _ -> ())
+    a_x.Ast.body;
+  check_bool "fcn1 contains the selection loop" !has_for;
+  (* fcn2 (at B) takes $t as its parameter *)
+  let b_x =
+    snd (List.find (fun (_, x) -> x.Ast.host.Ast.desc = Ast.Literal (Ast.A_string "B")) (execute_ats plan.D.query.Ast.body))
+  in
+  check_slist "fcn2 parameter is $t" [ "t" ] (List.map fst b_x.Ast.params)
+
+let test_by_projection_q2 () =
+  let plan = D.decompose S.By_projection (parse q2) in
+  check_int "by-projection pushes like by-fragment" 2
+    (List.length (execute_ats plan.D.query.Ast.body));
+  (* paths filled in: $t needs child::id, the caller needs child::grade *)
+  let b_x =
+    snd
+      (List.find
+         (fun (_, x) -> x.Ast.host.Ast.desc = Ast.Literal (Ast.A_string "B"))
+         (execute_ats plan.D.query.Ast.body))
+  in
+  (match b_x.Ast.param_paths with
+  | [ ("t", _, rets) ] ->
+    check_bool "param projection asks for child::id" (List.mem "child::id" rets)
+  | _ -> Alcotest.fail "expected paths for $t");
+  let _, rets = b_x.Ast.result_paths in
+  check_bool "result projection asks for child::grade"
+    (List.mem "child::grade" rets)
+
+(* ---- strategies keep getting more permissive ----------------------------- *)
+
+let test_monotone_d_points () =
+  let q = parse q2 in
+  let count s = List.length (D.decompose s q).D.d_points in
+  let v = count S.By_value
+  and f = count S.By_fragment
+  and p = count S.By_projection in
+  check_bool "by-fragment >= by-value" (f >= v);
+  check_bool "by-projection >= by-fragment" (p >= f)
+
+(* ---- condition i: reverse/horizontal axes ------------------------------- *)
+
+let test_reverse_axis_blocks () =
+  (* parent:: applied to the remote result: by-value/by-fragment must not
+     push, by-projection may. The union with a local document prevents the
+     whole query from being pushed wholesale (which would be legal). *)
+  let q =
+    parse
+      {|(doc("xrpc://A/d.xml")/child::r/child::a
+         union doc("local.xml")/child::a)/parent::r|}
+  in
+  let pushed s = List.length (D.decompose s q).D.inserted in
+  check_int "by-value refuses" 0 (pushed S.By_value);
+  check_int "by-fragment refuses" 0 (pushed S.By_fragment);
+  check_int "by-projection pushes" 1 (pushed S.By_projection)
+
+(* ---- condition ii: node comparisons -------------------------------------- *)
+
+let test_node_identity_blocks () =
+  (* two applications of doc() on the same URI feed an intersect, and one
+     operand is entangled with local data so the intersect cannot simply be
+     pushed as a unit: both operands must stay local under every passing
+     semantics (hasMatchingDoc) *)
+  let q =
+    parse
+      {|let $k := doc("local.xml")/child::k
+        return count((doc("xrpc://A/d.xml")/child::a) intersect
+                     (for $x in doc("xrpc://A/d.xml")/child::a
+                      return if ($x/child::v = $k) then $x else ()))|}
+  in
+  List.iter
+    (fun s -> check_int (S.to_string s) 0 (List.length (D.decompose s q).D.inserted))
+    [ S.By_value; S.By_fragment; S.By_projection ];
+  (* without local entanglement the whole intersect lives at A and may be
+     pushed as a unit: identity is then evaluated on the originals *)
+  let q2 =
+    parse
+      {|count((doc("xrpc://A/d.xml")/child::a) intersect (doc("xrpc://A/d.xml")/child::a))|}
+  in
+  check_int "single-host unit still pushable" 1
+    (List.length (D.decompose S.By_fragment q2).D.inserted)
+
+let test_node_set_different_docs_ok () =
+  (* union over two different remote documents, entangled with local data:
+     by-fragment may push each side (different URIs, no mixed-call danger);
+     by-value must not (unconditional condition ii) *)
+  let q =
+    parse
+      {|let $k := doc("local.xml")/child::k
+        return count((for $x in doc("xrpc://A/d.xml")/child::a
+                      return if ($x/child::v = $k) then $x else ())
+                     union
+                     (for $y in doc("xrpc://B/e.xml")/child::b
+                      return if ($y/child::v = $k) then $y else ()))|}
+  in
+  check_int "by-fragment pushes both sides" 2
+    (List.length (D.decompose S.By_fragment q).D.inserted);
+  check_int "by-value refuses (unconditional ii)" 0
+    (List.length (D.decompose S.By_value q).D.inserted)
+
+(* ---- condition iii: mixed-call sequences ---------------------------------- *)
+
+let test_for_loop_relaxation () =
+  (* a downward step over a for-loop result that cannot be pushed wholesale
+     (local predicate): by-value refuses (ordering of mixed-call results),
+     by-fragment accepts (bulk RPC + fragment ordering) *)
+  let q =
+    parse
+      {|let $k := doc("local.xml")/child::k
+        return (for $x in doc("xrpc://A/d.xml")/child::r/child::a
+                return if ($x/child::v = $k) then $x else ())/child::b|}
+  in
+  let pushed_bodies s =
+    List.map
+      (fun (_, (x : Ast.execute_at)) -> x.Ast.body)
+      (execute_ats (D.decompose s q).D.query.Ast.body)
+  in
+  let contains_for b =
+    let f = ref false in
+    Ast.iter (fun e -> match e.Ast.desc with Ast.For _ -> f := true | _ -> ()) b;
+    !f
+  in
+  (* by-value may push the inner path but never the loop *)
+  check_bool "by-value keeps the loop local"
+    (not (List.exists contains_for (pushed_bodies S.By_value)));
+  (* by-fragment pushes the whole loop (bulk RPC + fragment ordering) *)
+  check_bool "by-fragment pushes the loop"
+    (List.exists contains_for (pushed_bodies S.By_fragment))
+
+(* ---- condition iv: context builtins --------------------------------------- *)
+
+let test_root_blocks () =
+  (* fn:root applied to a remote result that cannot be pushed wholesale:
+     only by-projection may decompose (condition iv lifted) *)
+  let q =
+    parse
+      {|let $k := doc("local.xml")/child::k
+        return root((for $x in doc("xrpc://A/d.xml")/child::r/child::a
+                     return if ($x/child::v = $k) then $x else ())[1])|}
+  in
+  check_int "by-value refuses root()" 0
+    (List.length (D.decompose S.By_value q).D.inserted);
+  check_int "by-fragment refuses root()" 0
+    (List.length (D.decompose S.By_fragment q).D.inserted);
+  check_int "by-projection allows root()" 1
+    (List.length (D.decompose S.By_projection q).D.inserted)
+
+(* ---- interesting points ---------------------------------------------------- *)
+
+let test_doc_only_not_interesting () =
+  (* bare doc() fetch: no axis step, pushing is senseless (Example 4.2's
+     restriction (c)) *)
+  let q = parse {|doc("xrpc://A/d.xml")|} in
+  check_int "no i-points for bare doc" 0
+    (List.length (D.decompose S.By_fragment q).D.inserted)
+
+let test_local_doc_not_pushed () =
+  let q = parse {|doc("local.xml")/child::a|} in
+  check_int "local documents stay local" 0
+    (List.length (D.decompose S.By_fragment q).D.inserted)
+
+let test_multi_host_not_pushed_as_unit () =
+  (* the root depends on two hosts: only single-host subqueries pushed *)
+  let plan = D.decompose S.By_fragment (parse q2) in
+  List.iter
+    (fun (_, x) ->
+      match x.Ast.host.Ast.desc with
+      | Ast.Literal (Ast.A_string h) -> check_bool "single host" (h = "A" || h = "B")
+      | _ -> Alcotest.fail "computed host")
+    (execute_ats plan.D.query.Ast.body)
+
+(* ---- insertion mechanics (Fig. 3) ------------------------------------------ *)
+
+let test_insertion_params_are_free_vars () =
+  let q =
+    parse
+      {|let $t := doc("local.xml")/child::x
+        return execute at {"B"} function ($p := $t) { $p/child::id }|}
+  in
+  (* hand-written execute-at: parameters already present; decomposition of a
+     generated one must produce the same shape *)
+  match execute_ats q.Ast.body with
+  | [ (_, x) ] ->
+    check_slist "param names" [ "p" ] (List.map fst x.Ast.params);
+    check_slist "free vars of body" [ "p" ] (Ast.free_vars x.Ast.body)
+  | _ -> Alcotest.fail "expected one execute-at"
+
+(* ---- code motion (Example 4.3) ---------------------------------------------- *)
+
+let test_code_motion () =
+  let plan = D.decompose ~code_motion:true S.By_fragment (parse q2) in
+  let b_x =
+    snd
+      (List.find
+         (fun (_, x) -> x.Ast.host.Ast.desc = Ast.Literal (Ast.A_string "B"))
+         (execute_ats plan.D.query.Ast.body))
+  in
+  (* $t replaced by a new parameter carrying $t/child::id *)
+  check_bool "original $t parameter dropped"
+    (not (List.mem "t" (List.map fst b_x.Ast.params)));
+  check_int "one moved parameter" 1 (List.length b_x.Ast.params);
+  let _, arg = List.hd b_x.Ast.params in
+  let s = Xd_lang.Pp.expr_to_string arg in
+  check_bool ("argument is the atomized chain: " ^ s)
+    (s = "data($t/child::id)");
+  (* the body now compares against the parameter directly *)
+  let uses_chain = ref false in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Step ({ Ast.desc = Ast.Var_ref "t"; _ }, _, _) -> uses_chain := true
+      | _ -> ())
+    b_x.Ast.body;
+  check_bool "body no longer navigates $t" (not !uses_chain)
+
+let test_code_motion_semantics () =
+  (* code motion must not change results *)
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let a = Xd_xrpc.Network.new_peer net "A" in
+  let b = Xd_xrpc.Network.new_peer net "B" in
+  let _ =
+    Xd_xrpc.Peer.load_xml a ~doc_name:"students.xml"
+      {|<people><person><tutor>Ann</tutor><name>Ann</name><id>7</id></person>
+        <person><tutor>Zoe</tutor><name>Bob</name><id>8</id></person></people>|}
+  in
+  let _ =
+    Xd_xrpc.Peer.load_xml b ~doc_name:"course42.xml"
+      {|<enroll><exam id="7"><grade>A</grade></exam><exam id="8"><grade>B</grade></exam></enroll>|}
+  in
+  let q =
+    parse
+      {|(let $s := doc("xrpc://A/students.xml")/child::people/child::person
+         return let $t := for $x in $s return
+                            if ($x/child::tutor = $s/child::name) then $x else ()
+         return for $e in doc("xrpc://B/course42.xml")/child::enroll/child::exam
+                return if ($e/attribute::id = $t/child::id) then $e else ())/child::grade|}
+  in
+  let reference = Xd_core.Executor.run_local net ~client q in
+  let with_cm =
+    (Xd_core.Executor.run ~code_motion:true net ~client S.By_fragment q).Xd_core.Executor.value
+  in
+  let without_cm =
+    (Xd_core.Executor.run ~code_motion:false net ~client S.By_fragment q).Xd_core.Executor.value
+  in
+  check_bool "code motion preserves semantics"
+    (Xd_lang.Value.deep_equal reference with_cm);
+  check_bool "baseline preserves semantics"
+    (Xd_lang.Value.deep_equal reference without_cm)
+
+let test_code_motion_saves_bytes () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let a = Xd_xrpc.Network.new_peer net "A" in
+  let b = Xd_xrpc.Network.new_peer net "B" in
+  (* persons carry a lot more data than just the id *)
+  let person i =
+    Printf.sprintf
+      "<person><tutor>T%d</tutor><name>T%d</name><id>%d</id><blob>%s</blob></person>"
+      i i i (String.make 300 'x')
+  in
+  let _ =
+    Xd_xrpc.Peer.load_xml a ~doc_name:"students.xml"
+      ("<people>" ^ String.concat "" (List.init 10 person) ^ "</people>")
+  in
+  let _ =
+    Xd_xrpc.Peer.load_xml b ~doc_name:"course42.xml"
+      "<enroll><exam id=\"3\"><grade>A</grade></exam></enroll>"
+  in
+  let q =
+    parse
+      {|(let $s := doc("xrpc://A/students.xml")/child::people/child::person
+         return let $t := for $x in $s return
+                            if ($x/child::tutor = $s/child::name) then $x else ()
+         return for $e in doc("xrpc://B/course42.xml")/child::enroll/child::exam
+                return if ($e/attribute::id = $t/child::id) then $e else ())/child::grade|}
+  in
+  let bytes code_motion =
+    let r = Xd_core.Executor.run ~code_motion net ~client S.By_fragment q in
+    r.Xd_core.Executor.timing.Xd_core.Executor.message_bytes
+  in
+  let without = bytes false in
+  let with_cm = bytes true in
+  check_bool
+    (Printf.sprintf "code motion reduces bytes (%d < %d)" with_cm without)
+    (with_cm < without)
+
+let () =
+  Alcotest.run "xd_decompose"
+    [
+      ( "table-iv",
+        [
+          tc "Qv2 by-value" test_by_value_q2;
+          tc "by-value descendant barrier" test_by_value_descendant;
+          tc "Qf2 by-fragment" test_by_fragment_q2;
+          tc "by-projection paths" test_by_projection_q2;
+          tc "monotone permissiveness" test_monotone_d_points;
+        ] );
+      ( "conditions",
+        [
+          tc "i: reverse axis" test_reverse_axis_blocks;
+          tc "ii: same-doc node ops" test_node_identity_blocks;
+          tc "ii: cross-doc ok" test_node_set_different_docs_ok;
+          tc "iii: for-loop relaxation" test_for_loop_relaxation;
+          tc "iv: fn:root" test_root_blocks;
+        ] );
+      ( "i-points",
+        [
+          tc "bare doc not interesting" test_doc_only_not_interesting;
+          tc "local docs stay" test_local_doc_not_pushed;
+          tc "single host only" test_multi_host_not_pushed_as_unit;
+        ] );
+      ("insertion", [ tc "params are free vars" test_insertion_params_are_free_vars ]);
+      ( "code-motion",
+        [
+          tc "rewrites Qf2" test_code_motion;
+          tc "semantics preserved" test_code_motion_semantics;
+          tc "bytes saved" test_code_motion_saves_bytes;
+        ] );
+    ]

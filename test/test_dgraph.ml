@@ -1,0 +1,186 @@
+(* Tests for the dependency graph (Section III): parse/varref edges,
+   reachability, URI dependency sets D(v), hasMatchingDoc, and xrpc URI
+   handling. Uses the paper's Q2 (Table III) where applicable. *)
+
+module Ast = Xd_lang.Ast
+module Dg = Xd_dgraph.Dgraph
+open Util
+
+let q2 =
+  {|(let $s := doc("xrpc://A/students.xml")/child::people/child::person
+     return let $c := doc("xrpc://B/course42.xml")
+     return let $t := for $x in $s return
+                        if ($x/child::tutor = $s/child::name) then $x else ()
+     return for $e in $c/child::enroll/child::exam
+            return if ($e/attribute::id = $t/child::id) then $e else ())/child::grade|}
+
+let parse s = (Xd_lang.Parser.parse_query s).Ast.body
+
+let find_desc body pred =
+  let found = ref [] in
+  Ast.iter (fun e -> if pred e then found := e :: !found) body;
+  List.rev !found
+
+let var_refs body name =
+  find_desc body (fun e ->
+      match e.Ast.desc with Ast.Var_ref v -> v = name | _ -> false)
+
+let binding_value body name =
+  match
+    find_desc body (fun e ->
+        match e.Ast.desc with
+        | Ast.Let (v, _, _) | Ast.For (v, _, _) -> v = name
+        | _ -> false)
+  with
+  | b :: _ -> List.hd (Ast.children b)
+  | [] -> Alcotest.fail ("no binding for $" ^ name)
+
+(* ---- edges and reachability ------------------------------------------- *)
+
+let test_varref_edges () =
+  let body = parse q2 in
+  let g = Dg.build body in
+  let s_value = binding_value body "s" in
+  List.iter
+    (fun vr ->
+      match Dg.binder_of g vr.Ast.id with
+      | Some b -> check_int "varref points to binder value" s_value.Ast.id b
+      | None -> Alcotest.fail "missing varref edge")
+    (var_refs body "s")
+
+let test_parse_reaches () =
+  let body = parse q2 in
+  let g = Dg.build body in
+  let s_value = binding_value body "s" in
+  check_bool "root reaches everything" (Dg.parse_reaches g body.Ast.id s_value.Ast.id);
+  check_bool "reflexive" (Dg.parse_reaches g s_value.Ast.id s_value.Ast.id);
+  check_bool "not upward" (not (Dg.parse_reaches g s_value.Ast.id body.Ast.id))
+
+let test_depends_through_varref () =
+  let body = parse q2 in
+  let g = Dg.build body in
+  let s_value = binding_value body "s" in
+  let t_value = binding_value body "t" in
+  (* $t's binding iterates over $s: t-value ⤳ s-value via varref *)
+  check_bool "depends via varref" (Dg.depends g t_value.Ast.id s_value.Ast.id);
+  check_bool "no reverse dependency"
+    (not (Dg.depends g s_value.Ast.id t_value.Ast.id))
+
+let test_outgoing_varrefs () =
+  let body = parse q2 in
+  let g = Dg.build body in
+  let t_value = binding_value body "t" in
+  (* inside $t's binding, $s is free: one outgoing variable *)
+  let out = Dg.outgoing_varrefs g t_value.Ast.id in
+  check_bool "at least one outgoing" (out <> []);
+  List.iter
+    (fun (vr, b) ->
+      check_bool "ref inside" (Dg.parse_reaches g t_value.Ast.id vr);
+      check_bool "binder outside" (not (Dg.parse_reaches g t_value.Ast.id b)))
+    out
+
+(* ---- URI dependency sets ------------------------------------------------ *)
+
+let test_uri_deps () =
+  let body = parse q2 in
+  let g = Dg.build body in
+  let deps = Dg.uri_deps g body.Ast.id in
+  let uris =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun d -> match d.Dg.uri with Dg.Uri u -> Some u | _ -> None)
+         deps)
+  in
+  check_slist "all doc uris"
+    [ "xrpc://A/students.xml"; "xrpc://B/course42.xml" ]
+    uris;
+  let s_value = binding_value body "s" in
+  check_int "D of $s binding has one site" 1
+    (List.length (Dg.uri_deps g s_value.Ast.id))
+
+let test_wildcard_and_constructor () =
+  let body = parse {|let $u := "x.xml" return (doc($u), <a/>, doc("y.xml"))|} in
+  let g = Dg.build body in
+  let deps = Dg.uri_deps g body.Ast.id in
+  let kinds = List.map (fun d -> d.Dg.uri) deps in
+  check_bool "has wildcard" (List.mem Dg.Wildcard kinds);
+  check_bool "has constructor site" (List.mem Dg.Constr kinds);
+  check_bool "has literal" (List.mem (Dg.Uri "y.xml") kinds)
+
+let test_has_matching_doc () =
+  (* two doc() calls on the same URI: the mixed-call danger *)
+  let body1 = parse {|(doc("d.xml")//a, doc("d.xml")//b)|} in
+  let g1 = Dg.build body1 in
+  check_bool "same uri twice matches" (Dg.has_matching_doc g1 body1.Ast.id);
+  (* two different URIs: no danger *)
+  let body2 = parse {|(doc("d.xml")//a, doc("e.xml")//b)|} in
+  let g2 = Dg.build body2 in
+  check_bool "different uris don't match" (not (Dg.has_matching_doc g2 body2.Ast.id));
+  (* a single call used twice through a variable is ONE application *)
+  let body3 = parse {|let $d := doc("d.xml") return ($d//a, $d//b)|} in
+  let g3 = Dg.build body3 in
+  check_bool "one application, two uses: no match"
+    (not (Dg.has_matching_doc g3 body3.Ast.id));
+  (* wildcard matches any literal *)
+  let body4 = parse {|let $u := "d.xml" return (doc($u)//a, doc("d.xml")//b)|} in
+  let g4 = Dg.build body4 in
+  check_bool "wildcard matches" (Dg.has_matching_doc g4 body4.Ast.id);
+  (* two constructors never match each other *)
+  let body5 = parse {|(<a/>, <b/>)|} in
+  let g5 = Dg.build body5 in
+  check_bool "constructors don't match" (not (Dg.has_matching_doc g5 body5.Ast.id))
+
+let test_extended_deps_through_vars () =
+  (* extended D follows varref edges (the footnote-3 refinement) *)
+  let body =
+    parse {|let $a := doc("d.xml")//x return ($a, doc("d.xml")//y)|}
+  in
+  let g = Dg.build body in
+  let seq =
+    List.hd
+      (find_desc body (fun e ->
+           match e.Ast.desc with
+           | Ast.Seq es -> List.length es = 2
+           | _ -> false))
+  in
+  check_bool "seq extended deps see both doc calls"
+    (Dg.has_matching_doc g seq.Ast.id)
+
+(* ---- xrpc uris ----------------------------------------------------------- *)
+
+let test_split_xrpc () =
+  check_bool "host and path"
+    (Dg.split_xrpc_uri "xrpc://example.org/depts.xml"
+    = Some ("example.org", "depts.xml"));
+  check_bool "nested path"
+    (Dg.split_xrpc_uri "xrpc://h/a/b.xml" = Some ("h", "a/b.xml"));
+  check_bool "host only" (Dg.split_xrpc_uri "xrpc://h" = Some ("h", ""));
+  check_bool "not xrpc" (Dg.split_xrpc_uri "http://h/d.xml" = None);
+  check_bool "plain name" (Dg.split_xrpc_uri "d.xml" = None)
+
+let test_xrpc_hosts () =
+  let body = parse q2 in
+  let g = Dg.build body in
+  check_slist "hosts of whole query" [ "A"; "B" ]
+    (Dg.xrpc_hosts (Dg.uri_deps g body.Ast.id))
+
+let () =
+  Alcotest.run "xd_dgraph"
+    [
+      ( "edges",
+        [
+          tc "varref edges" test_varref_edges;
+          tc "parse reachability" test_parse_reaches;
+          tc "depends via varref" test_depends_through_varref;
+          tc "outgoing varrefs" test_outgoing_varrefs;
+        ] );
+      ( "uri-deps",
+        [
+          tc "D(v)" test_uri_deps;
+          tc "wildcard/constructor" test_wildcard_and_constructor;
+          tc "hasMatchingDoc" test_has_matching_doc;
+          tc "extended deps" test_extended_deps_through_vars;
+        ] );
+      ( "xrpc",
+        [ tc "split uri" test_split_xrpc; tc "hosts" test_xrpc_hosts ] );
+    ]

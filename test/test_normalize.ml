@@ -1,0 +1,214 @@
+(* Tests for XCore normalization (let-pushing, Section IV) against the
+   paper's Qc2 → Qn2 example, plus the safety barriers and function
+   inlining. *)
+
+module Ast = Xd_lang.Ast
+open Util
+
+let parse s = (Xd_lang.Parser.parse_query s).Ast.body
+let norm e = Xd_core.Normalize.normalize e
+let pp = Xd_lang.Pp.expr_to_string
+
+let q2 =
+  {|(let $s := doc("xrpc://A/students.xml")/child::people/child::person
+     return let $c := doc("xrpc://B/course42.xml")
+     return let $t := for $x in $s return
+                        if ($x/child::tutor = $s/child::name) then $x else ()
+     return for $e in $c/child::enroll/child::exam
+            return if ($e/attribute::id = $t/child::id) then $e else ())/child::grade|}
+
+(* structural helpers *)
+let rec find_let v (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Let (w, _, _) when w = v -> Some e
+  | _ -> List.find_map (find_let v) (Ast.children e)
+
+let rec depth_of target (e : Ast.expr) d =
+  if e.Ast.id = target then Some d
+  else
+    List.find_map (fun c -> depth_of target c (d + 1)) (Ast.children e)
+
+let test_q2_normalization () =
+  (* After normalization (Qn2): $s's binding moves inside $t's binding, and
+     $c's binding moves inside the for's 'in' expression. *)
+  let e = norm (parse q2) in
+  let let_t = Option.get (find_let "t" e) in
+  let let_s = Option.get (find_let "s" e) in
+  let let_c = Option.get (find_let "c" e) in
+  (* $s is now inside $t's value expression *)
+  let t_value = List.hd (Ast.children let_t) in
+  check_bool "$s pushed under $t's value"
+    (Option.is_some (depth_of let_s.Ast.id t_value 0));
+  (* $c is inside the for-loop subtree, no longer above $t *)
+  let t_body = List.nth (Ast.children let_t) 1 in
+  check_bool "$c pushed below $t's return"
+    (Option.is_some (depth_of let_c.Ast.id t_body 0))
+
+let test_unused_binding_dropped () =
+  let e = norm (parse {|let $dead := doc("x.xml") return 42|}) in
+  check_bool "dead let dropped" (find_let "dead" e = None)
+
+let test_no_push_into_for_body () =
+  (* the binding is used only in the for body, but pushing it there would
+     re-evaluate it per iteration: it must stay above the for *)
+  let e =
+    norm (parse {|let $v := doc("d.xml")//x return for $i in (1, 2, 3) return ($v, $i)|})
+  in
+  match e.Ast.desc with
+  | Ast.Let (v, _, { Ast.desc = Ast.For _; _ }) ->
+    check_string "binding stays above the for" "v" v
+  | _ -> Alcotest.fail ("expected let above for, got: " ^ pp e)
+
+let test_push_into_for_in_expr () =
+  (* used only in the 'in' expression: pushing is fine (Qn2 does this) *)
+  let e =
+    norm (parse {|let $c := doc("d.xml") return for $e in $c/child::x return $e|})
+  in
+  match e.Ast.desc with
+  | Ast.For _ -> ()
+  | _ -> Alcotest.fail ("expected for at top, got: " ^ pp e)
+
+let test_push_into_if_branch () =
+  let e =
+    norm
+      (parse
+         {|let $v := doc("d.xml")//x return if (1 < 2) then $v else ()|})
+  in
+  (match e.Ast.desc with
+  | Ast.If (_, { Ast.desc = Ast.Let _; _ }, _) -> ()
+  | _ -> Alcotest.fail ("expected let inside then-branch, got: " ^ pp e))
+
+let test_no_capture () =
+  (* $x in the binding refers to the OUTER $x; pushing under the inner
+     for $x would capture it *)
+  let e =
+    norm
+      (parse
+         {|for $x in (1, 2) return let $v := $x + 1 return for $x in (3, 4) return ($v, $x)|})
+  in
+  (* the binding must stay directly above the inner for (which rebinds $x),
+     not descend into its body *)
+  let let_v = Option.get (find_let "v" e) in
+  (match (List.nth (Ast.children let_v) 1).Ast.desc with
+  | Ast.For ("x", _, body) -> (
+    match body.Ast.desc with
+    | Ast.Let ("v", _, _) -> Alcotest.fail "binding captured inside inner for"
+    | _ -> ())
+  | _ -> Alcotest.fail "expected let $v directly above the inner for")
+
+let test_idempotent () =
+  let e = norm (parse q2) in
+  check_string "normalization is idempotent" (pp e) (pp (norm e))
+
+let test_semantics_preserved () =
+  (* normalization must not change results *)
+  let doc_xml = {|<people><person><tutor>Ann</tutor><name>Ann</name><id>7</id></person></people>|}
+  in
+  let run body_src =
+    let st = store () in
+    let _ = Xd_xml.Parser.parse ~store:st ~uri:"d.xml" doc_xml in
+    Xd_lang.Value.serialize (Xd_lang.Eval.run st body_src)
+  in
+  let src =
+    {|let $s := doc("d.xml")/people/person
+      let $t := for $x in $s return if ($x/tutor = $s/name) then $x else ()
+      return count($t)|}
+  in
+  let st = store () in
+  let _ = Xd_xml.Parser.parse ~store:st ~uri:"d.xml" doc_xml in
+  let normalized = norm (parse src) in
+  let v_norm =
+    Xd_lang.Value.serialize
+      (Xd_lang.Eval.eval (Xd_lang.Eval.default_env st) normalized)
+  in
+  check_string "same result" (run src) v_norm
+
+(* property: normalization preserves evaluation on random person docs *)
+let prop_preserves_semantics =
+  qtest ~count:60 "normalization preserves semantics" arb_tree (fun t ->
+      let src =
+        {|let $a := doc("p.xml")//a
+          let $b := doc("p.xml")//b
+          return (count($a), for $x in $b return if ($x/c) then 1 else 0)|}
+      in
+      let run_with body =
+        let st = store () in
+        let _ = Xd_xml.Store.add st (Xd_xml.Doc.of_tree ~uri:"p.xml" (root_of_tree t)) in
+        Xd_lang.Value.serialize (Xd_lang.Eval.eval (Xd_lang.Eval.default_env st) body)
+      in
+      let body = parse src in
+      run_with body = run_with (norm body))
+
+(* ---- inlining ------------------------------------------------------------ *)
+
+let test_inline_simple () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|declare function f($x) { $x + 1 }; string(f(2) + f(3))|}
+  in
+  let q' = Xd_core.Inline.inline_query q in
+  let has_call = ref false in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Fun_call ("f", _) -> has_call := true
+      | _ -> ())
+    q'.Ast.body;
+  check_bool "calls inlined" (not !has_call);
+  (* semantics unchanged *)
+  let st = store () in
+  check_string "value" "7"
+    (Xd_lang.Value.serialize (Xd_lang.Eval.run_query st q'))
+
+let test_inline_recursive_kept () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|declare function fact($n) { if ($n <= 1) then 1 else $n * fact($n - 1) };
+        string(fact(4))|}
+  in
+  let q' = Xd_core.Inline.inline_query q in
+  let has_call = ref false in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Fun_call ("fact", _) -> has_call := true
+      | _ -> ())
+    q'.Ast.body;
+  check_bool "recursive call kept" !has_call;
+  let st = store () in
+  check_string "value" "24"
+    (Xd_lang.Value.serialize (Xd_lang.Eval.run_query st q'))
+
+let test_inline_no_capture () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|declare function g($x) { let $y := 10 return $x + $y };
+        string(let $y := 1 return g($y))|}
+  in
+  let q' = Xd_core.Inline.inline_query q in
+  let st = store () in
+  check_string "no capture" "11"
+    (Xd_lang.Value.serialize (Xd_lang.Eval.run_query st q'))
+
+let () =
+  Alcotest.run "xd_normalize"
+    [
+      ( "let-pushing",
+        [
+          tc "Qc2 -> Qn2" test_q2_normalization;
+          tc "dead binding" test_unused_binding_dropped;
+          tc "for-body barrier" test_no_push_into_for_body;
+          tc "for-in push" test_push_into_for_in_expr;
+          tc "if-branch push" test_push_into_if_branch;
+          tc "no capture" test_no_capture;
+          tc "idempotent" test_idempotent;
+          tc "semantics" test_semantics_preserved;
+        ] );
+      ("properties", [ prop_preserves_semantics ]);
+      ( "inlining",
+        [
+          tc "simple" test_inline_simple;
+          tc "recursive kept" test_inline_recursive_kept;
+          tc "no capture" test_inline_no_capture;
+        ] );
+    ]

@@ -1,0 +1,360 @@
+(* Tests for the lexer, parser and pretty-printer: XCore desugarings,
+   contextual keywords, direct constructors, round-trips. *)
+
+module Ast = Xd_lang.Ast
+open Util
+
+let parse = Xd_lang.Parser.parse_expr_string
+let pp = Xd_lang.Pp.expr_to_string
+
+(* parse → print → parse → print must be a fixpoint *)
+let roundtrips src =
+  let e1 = parse src in
+  let s1 = pp e1 in
+  let e2 = parse s1 in
+  let s2 = pp e2 in
+  check_string ("round-trip of " ^ src) s1 s2
+
+let rec count_desc pred (e : Ast.expr) =
+  (if pred e then 1 else 0)
+  + List.fold_left (fun acc c -> acc + count_desc pred c) 0 (Ast.children e)
+
+let shape pred src = count_desc pred (parse src)
+
+(* ---- lexer ------------------------------------------------------------- *)
+
+let test_comments () =
+  check_string "xquery comments" "3" (pp (parse "(: hi (: nested :) :) 3"));
+  check_string "comment between tokens" "(1 + 2)"
+    (pp (parse "1 (: plus :) + 2"))
+
+let test_string_literals () =
+  check_string "double quotes" "\"a\"" (pp (parse {|"a"|}));
+  check_string "escaped quote" "\"a\"\"b\"" (pp (parse {|"a""b"|}));
+  check_string "single quotes" "\"x\"" (pp (parse "'x'"));
+  check_string "both quote kinds nest" "\"it's\"" (pp (parse {|"it's"|}))
+
+let test_numbers () =
+  check_string "int" "42" (pp (parse "42"));
+  check_string "float" "2.5" (pp (parse "2.5"));
+  check_string "exponent" "150" (pp (parse "1.5e2"));
+  check_string "negative" "(0 - 5)" (pp (parse "-5"))
+
+let test_names_with_dashes () =
+  (* '-' is a name character: subtraction needs spaces *)
+  let e = parse "$a-b" in
+  (match e.Ast.desc with
+  | Ast.Var_ref "a-b" -> ()
+  | _ -> Alcotest.fail "expected variable a-b");
+  let e2 = parse "$a - $b" in
+  match e2.Ast.desc with
+  | Ast.Arith (Ast.Sub, _, _) -> ()
+  | _ -> Alcotest.fail "expected subtraction"
+
+(* ---- precedence ----------------------------------------------------------- *)
+
+let test_precedence () =
+  check_string "mul before add" "(1 + (2 * 3))" (pp (parse "1 + 2 * 3"));
+  check_string "comparison lowest" "((1 + 2) = 3)" (pp (parse "1 + 2 = 3"));
+  check_string "and before or"
+    "((1 = 1) or ((2 = 2) and (3 = 3)))"
+    (pp (parse "1 = 1 or 2 = 2 and 3 = 3"));
+  check_string "union binds tighter than comparison"
+    "(($a union $b) = $c)"
+    (pp (parse "$a union $b = $c"));
+  check_string "parens respected" "((1 + 2) * 3)" (pp (parse "(1 + 2) * 3"))
+
+(* ---- path desugaring --------------------------------------------------------- *)
+
+let test_abbreviations () =
+  (* // expands to descendant-or-self::node()/ *)
+  check_int "// expands" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, Ast.Descendant_or_self, Ast.Kind_node) -> true
+         | _ -> false)
+       {|doc("d.xml")//a|});
+  (* @ is the attribute axis *)
+  check_int "@ expands" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, Ast.Attribute, Ast.Name_test "id") -> true
+         | _ -> false)
+       {|doc("d.xml")/a/@id|});
+  (* bare names are child steps *)
+  check_int "bare name steps" 2
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, Ast.Child, Ast.Name_test _) -> true
+         | _ -> false)
+       {|doc("d.xml")/a/b|})
+
+let test_predicates_desugar () =
+  (* boolean predicate becomes for/if *)
+  let src = {|doc("d.xml")/a[b = 1]|} in
+  check_int "predicate for" 1
+    (shape (fun e -> match e.Ast.desc with Ast.For _ -> true | _ -> false) src);
+  check_int "predicate if" 1
+    (shape (fun e -> match e.Ast.desc with Ast.If _ -> true | _ -> false) src);
+  (* integer predicate becomes item-at *)
+  check_int "positional item-at" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Fun_call ("item-at", _) -> true
+         | _ -> false)
+       {|doc("d.xml")/a[3]|})
+
+let test_context_in_predicates () =
+  (* '.' and relative paths inside predicates refer to the context item *)
+  let e = parse {|doc("d.xml")/a[. = "x"]|} in
+  let has_var_cmp = ref false in
+  Ast.iter
+    (fun n ->
+      match n.Ast.desc with
+      | Ast.Value_cmp (_, { Ast.desc = Ast.Var_ref _; _ }, _) ->
+        has_var_cmp := true
+      | _ -> ())
+    e;
+  check_bool "dot resolves to the context variable" !has_var_cmp;
+  (* a relative path at top level has no context *)
+  check_bool "relative path without context rejected"
+    (match parse "a/b" with
+    | exception Xd_lang.Parser.Error _ -> true
+    | _ -> false)
+
+let test_where_desugar () =
+  let src = {|for $x in (1, 2) where $x = 1 return $x|} in
+  check_int "where becomes if" 1
+    (shape (fun e -> match e.Ast.desc with Ast.If _ -> true | _ -> false) src)
+
+let test_multi_var_for () =
+  let src = {|for $x in (1, 2), $y in (3, 4) return $x + $y|} in
+  check_int "two nested fors" 2
+    (shape (fun e -> match e.Ast.desc with Ast.For _ -> true | _ -> false) src)
+
+let test_flwor_let_chain () =
+  let src = {|let $a := 1, $b := 2 let $c := 3 return $a + $b + $c|} in
+  check_int "three lets" 3
+    (shape (fun e -> match e.Ast.desc with Ast.Let _ -> true | _ -> false) src)
+
+(* ---- kind tests vs constructors vs function calls ---------------------------- *)
+
+let test_kind_test_vs_constructor () =
+  (* element(foo) after a slash is a kind test *)
+  check_int "kind test" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, _, Ast.Kind_element (Some "foo")) -> true
+         | _ -> false)
+       {|doc("d.xml")/element(foo)|});
+  (* element foo { } is a constructor *)
+  check_int "constructor" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with Ast.Elem_constr _ -> true | _ -> false)
+       {|element foo {"x"}|});
+  (* text {..} constructor vs text() kind test *)
+  check_int "text constructor" 1
+    (shape
+       (fun e -> match e.Ast.desc with Ast.Text_constr _ -> true | _ -> false)
+       {|text {"x"}|});
+  check_int "text kind test" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, _, Ast.Kind_text) -> true
+         | _ -> false)
+       {|doc("d.xml")/a/text()|})
+
+let test_keywords_not_reserved () =
+  (* 'if', 'for' etc. are usable as element names in paths *)
+  check_int "if as name test" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, Ast.Child, Ast.Name_test "if") -> true
+         | _ -> false)
+       {|doc("d.xml")/if|});
+  check_int "return as name" 1
+    (shape
+       (fun e ->
+         match e.Ast.desc with
+         | Ast.Step (_, Ast.Child, Ast.Name_test "return") -> true
+         | _ -> false)
+       {|doc("d.xml")/return|})
+
+(* ---- direct constructors ------------------------------------------------------ *)
+
+let test_direct_basic () =
+  roundtrips {|<a/>|};
+  roundtrips {|<a x="1" y="2"/>|};
+  roundtrips {|<a><b>text</b><c/></a>|}
+
+let test_direct_splices () =
+  let st = store () in
+  let run src = Xd_lang.Value.serialize (Xd_lang.Eval.run st src) in
+  check_string "content splice" "<a><x>1</x></a>" (run {|<a><x>{1}</x></a>|});
+  check_string "double braces escape" "<a>{}</a>" (run {|<a>{{}}</a>|});
+  check_string "attribute splice" "<a v=\"3\"/>" (run {|<a v="{1 + 2}"/>|});
+  check_string "mixed attr" "<a v=\"x3y\"/>" (run {|<a v="x{3}y"/>|});
+  check_string "entities in constructor" "<a>&lt;&amp;</a>"
+    (run {|<a>&lt;&amp;</a>|});
+  check_string "boundary whitespace stripped" "<a><b/></a>"
+    (run "<a>\n  <b/>\n</a>");
+  check_string "nested splice" "<a><b><c>7</c></b></a>"
+    (run {|<a><b>{<c>{7}</c>}</b></a>|})
+
+let test_direct_vs_comparison () =
+  (* '<' as comparison where a constructor cannot start *)
+  check_string "less-than" "(1 < 2)" (pp (parse "1 < 2"));
+  let st = store () in
+  check_string "constructor at operand start" "<a/>"
+    (Xd_lang.Value.serialize (Xd_lang.Eval.run st "<a/>"))
+
+(* ---- execute at ------------------------------------------------------------------ *)
+
+let test_execute_at_forms () =
+  (* anonymous-function form (rule 27) *)
+  let e = parse {|execute at {"h"} function ($p := 1, $q := 2) { $p + $q }|} in
+  (match e.Ast.desc with
+  | Ast.Execute_at x ->
+    check_slist "param names" [ "p"; "q" ] (List.map fst x.Ast.params)
+  | _ -> Alcotest.fail "expected execute-at");
+  (* call form desugars to fresh parameters *)
+  let e2 = parse {|execute at {"h"} { f(1, 2) }|} in
+  match e2.Ast.desc with
+  | Ast.Execute_at x ->
+    check_int "two fresh params" 2 (List.length x.Ast.params);
+    (match x.Ast.body.Ast.desc with
+    | Ast.Fun_call ("f", [ _; _ ]) -> ()
+    | _ -> Alcotest.fail "body should call f")
+  | _ -> Alcotest.fail "expected execute-at"
+
+(* ---- prolog ------------------------------------------------------------------------ *)
+
+let test_function_declarations () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|declare function f($x as xs:integer, $y) as xs:integer { $x };
+        declare function g() as node()* { () };
+        f(1, 2)|}
+  in
+  check_int "two functions" 2 (List.length q.Ast.funcs);
+  let f = List.hd q.Ast.funcs in
+  check_string "name" "f" f.Ast.f_name;
+  check_int "arity" 2 (List.length f.Ast.f_params);
+  check_bool "typed first param"
+    (match f.Ast.f_params with
+    | (_, Some (Ast.St_items (Ast.It_atomic "xs:integer", Ast.Occ_one))) :: _ ->
+      true
+    | _ -> false);
+  let g = List.nth q.Ast.funcs 1 in
+  check_bool "node()* return"
+    (g.Ast.f_return = Some (Ast.St_items (Ast.It_node, Ast.Occ_star)))
+
+(* ---- big round-trips ------------------------------------------------------------------ *)
+
+let roundtrip_corpus =
+  [
+    {|for $x in doc("d.xml")/a/b where $x/@k = "v" return <r>{$x}</r>|};
+    {|let $a := (1, 2.5, "three") return count($a)|};
+    {|typeswitch (doc("d.xml")/x) case $e as element() return 1 default $d return 2|};
+    {|for $x in doc("d.xml")//p order by $x/age descending return $x|};
+    {|doc("d.xml")//a[b = 1][2]/parent::c/following-sibling::d|};
+    {|execute at {"peer"} function ($p := doc("d.xml")//x) { $p/child::y }|};
+    {|element out { attribute n { count(doc("d.xml")//z) }, text { "done" } }|};
+    {|(doc("a.xml")//x union doc("b.xml")//y) except doc("c.xml")//z|};
+    {|if (doc("d.xml")//a) then doc("d.xml")//b else ()|};
+    {|1 + 2 * 3 - 4 div 5 idiv 6 mod 7|};
+  ]
+
+let test_roundtrip_corpus () = List.iter roundtrips roundtrip_corpus
+
+(* random AST round-trip: print, parse, print -> fixpoint *)
+let arb_expr =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map Ast.int (int_bound 100);
+        map Ast.str (oneofl [ "a"; "b c"; "x\"y"; "" ]);
+      ]
+  in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (1, atom);
+          ( 2,
+            map2
+              (fun a b -> Ast.mk (Ast.Arith (Ast.Add, a, b)))
+              (gen (n / 2)) (gen (n / 2)) );
+          ( 2,
+            map2
+              (fun a b -> Ast.mk (Ast.Seq [ a; b ]))
+              (gen (n / 2)) (gen (n / 2)) );
+          ( 2,
+            map2
+              (fun a b -> Ast.mk (Ast.Let ("v", a, b)))
+              (gen (n / 2)) (gen (n / 2)) );
+          ( 1,
+            map3
+              (fun a b c -> Ast.mk (Ast.If (a, b, c)))
+              (gen (n / 3)) (gen (n / 3)) (gen (n / 3)) );
+          ( 1,
+            map
+              (fun a -> Ast.mk (Ast.Elem_constr (Ast.Fixed_name "e", a)))
+              (gen (n / 2)) );
+          (1, map (fun a -> Ast.fun_call "count" [ a ]) (gen (n / 2)));
+        ]
+  in
+  QCheck.make
+    ~print:(fun e -> pp e)
+    (sized (fun n -> gen (min n 12)))
+
+let prop_pp_parse_fixpoint =
+  qtest ~count:200 "pp ∘ parse ∘ pp is a fixpoint on random ASTs" arb_expr
+    (fun e ->
+      let s1 = pp e in
+      let s2 = pp (parse s1) in
+      s1 = s2)
+
+let () =
+  Alcotest.run "xd_parser"
+    [
+      ( "lexer",
+        [
+          tc "comments" test_comments;
+          tc "strings" test_string_literals;
+          tc "numbers" test_numbers;
+          tc "dashed names" test_names_with_dashes;
+        ] );
+      ("precedence", [ tc "operators" test_precedence ]);
+      ( "desugaring",
+        [
+          tc "abbreviations" test_abbreviations;
+          tc "predicates" test_predicates_desugar;
+          tc "predicate context" test_context_in_predicates;
+          tc "where" test_where_desugar;
+          tc "multi-var for" test_multi_var_for;
+          tc "let chains" test_flwor_let_chain;
+        ] );
+      ( "disambiguation",
+        [
+          tc "kind tests vs constructors" test_kind_test_vs_constructor;
+          tc "keywords not reserved" test_keywords_not_reserved;
+          tc "lt vs constructor" test_direct_vs_comparison;
+        ] );
+      ( "direct constructors",
+        [ tc "basic" test_direct_basic; tc "splices" test_direct_splices ] );
+      ("execute-at", [ tc "forms" test_execute_at_forms ]);
+      ("prolog", [ tc "declarations" test_function_declarations ]);
+      ( "round-trips",
+        [ tc "corpus" test_roundtrip_corpus; prop_pp_parse_fixpoint ] );
+    ]

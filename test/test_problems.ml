@@ -1,0 +1,227 @@
+(* Section II: the five semantic-difference problems of pass-by-value,
+   demonstrated with the paper's Q1 machinery (Table I) by *hand-written*
+   execute-at expressions — the forms the conservative decomposition must
+   refuse to generate — and their resolution under pass-by-fragment /
+   pass-by-projection. *)
+
+module M = Xd_xrpc.Message
+module V = Xd_lang.Value
+open Util
+
+let prolog =
+  {|declare function makenodes() { (element a { element b { element c {()} } })/child::b };
+    declare function overlap($l, $r) { not(empty($l/descendant-or-self::node() intersect $r/descendant-or-self::node())) };
+    declare function earlier($l, $r) { if ($l << $r) then $l else $r };
+  |}
+
+let run ?(passing = M.By_fragment) ?(with_projection_paths = false) query =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let _server = Xd_xrpc.Network.new_peer net "example.org" in
+  let session = Xd_xrpc.Session.create net client passing in
+  let q = Xd_lang.Parser.parse_query (prolog ^ query) in
+  (* inline user functions so execute-at bodies are self-contained and the
+     projection analysis can see through them *)
+  let q = Xd_core.Inline.inline_query q in
+  if with_projection_paths then
+    Xd_core.Projection_fill.fill ~funcs:q.Xd_lang.Ast.funcs q.Xd_lang.Ast.body;
+  V.serialize (Xd_xrpc.Session.execute session q)
+
+let run_local query =
+  let st = store () in
+  V.serialize (Xd_lang.Eval.run st (prolog ^ query))
+
+(* ---- Q1 local semantics (Table I) --------------------------------------- *)
+
+let q1 =
+  {|let $bc := makenodes()
+    let $abc := $bc/parent::a
+    return (for $node in ($bc, $abc)
+            let $first := earlier($bc, $abc)
+            return if (overlap($first, $node)) then $node else ())/descendant-or-self::c|}
+
+(* Q1's final //c: the paper says ONE <c/> because the two returned nodes
+   overlap and the path step deduplicates. Check exactly. *)
+let test_q1_local_count () =
+  let st = store () in
+  let v = Xd_lang.Eval.run st (prolog ^ "count((" ^ q1 ^ "))") in
+  check_string "exactly one c" "1" (V.serialize v)
+
+(* ---- Problem 1: non-downward steps ---------------------------------------- *)
+
+let p1_query =
+  {|let $bc := execute at {"example.org"} { makenodes() }
+    return count($bc/parent::a)|}
+
+let test_problem1_by_value () =
+  check_string "parent of shipped node is empty under by-value" "0"
+    (run ~passing:M.By_value p1_query)
+
+let test_problem1_by_fragment () =
+  (* by-fragment ships the subtree only: still broken *)
+  check_string "still empty under by-fragment" "0"
+    (run ~passing:M.By_fragment p1_query)
+
+let test_problem1_by_projection () =
+  (* by-projection ships the ancestor chain announced by the projection
+     paths: the parent becomes reachable *)
+  check_string "fixed under by-projection" "1"
+    (run ~passing:M.By_projection ~with_projection_paths:true p1_query)
+
+let p1_query_local =
+  {|let $bc := makenodes()
+    return count($bc/parent::a)|}
+
+let test_problem1_local_reference () =
+  check_string "local reference" "1" (run_local p1_query_local)
+
+(* ---- Problem 2: node identity -------------------------------------------- *)
+
+(* overlap($first, $node) where both are copies of related nodes: by-value
+   makes them unrelated *)
+let p2_query =
+  {|let $pair := execute at {"example.org"}
+                 function () { let $bc := makenodes() return ($bc, $bc/parent::a) }
+    return string(overlap($pair[1], $pair[2]))|}
+
+let test_problem2_by_value () =
+  check_string "overlap lost under by-value" "false"
+    (run ~passing:M.By_value p2_query)
+
+let test_problem2_by_fragment () =
+  check_string "overlap preserved under by-fragment" "true"
+    (run ~passing:M.By_fragment p2_query)
+
+let p2_query_local =
+  {|let $pair := (let $bc := makenodes() return ($bc, $bc/parent::a))
+    return string(overlap($pair[1], $pair[2]))|}
+
+let test_problem2_local () = check_string "local" "true" (run_local p2_query_local)
+
+(* ---- Problem 3: document order -------------------------------------------- *)
+
+(* earlier($bc, $abc) remotely: by-value serializes parameters in parameter
+   order, so the child appears before its parent *)
+let p3_query =
+  {|let $bc0 := makenodes()
+    let $abc := $bc0/parent::a
+    let $first := execute at {"example.org"}
+                  function ($l := $bc0, $r := $abc) { earlier($l, $r) }
+    return string(count($first/child::b))|}
+(* if $first is (correctly) $abc, it has a b child; the by-value copy of
+   $bc has none *)
+
+let test_problem3_by_value () =
+  check_string "wrong earlier under by-value" "0" (run ~passing:M.By_value p3_query)
+
+let test_problem3_by_fragment () =
+  check_string "correct earlier under by-fragment" "1"
+    (run ~passing:M.By_fragment p3_query)
+
+let p3_query_local =
+  {|let $bc0 := makenodes()
+    let $abc := $bc0/parent::a
+    let $first := earlier($bc0, $abc)
+    return string(count($first/child::b))|}
+
+let test_problem3_local () =
+  check_string "local" "1" (run_local p3_query_local)
+
+(* ---- Problem 4: interaction between different calls ------------------------ *)
+
+(* nodes returned by two calls of the same loop: under by-value each call
+   copies separately, so the //c step finds two distinct c's; under
+   by-fragment (session-wide fragment space = bulk RPC) identity is shared
+   and deduplication works *)
+let p4_query =
+  {|let $bc0 := makenodes()
+    let $abc := $bc0/parent::a
+    return string(count((for $node in ($bc0, $abc)
+      let $first := execute at {"example.org"}
+                    function ($l := $node, $r := $abc) { earlier($l, $r) }
+      return $first)/descendant-or-self::c))|}
+
+let test_problem4_by_value () =
+  check_string "duplicates under by-value" "2" (run ~passing:M.By_value p4_query)
+
+let test_problem4_by_fragment () =
+  check_string "dedup under by-fragment" "1" (run ~passing:M.By_fragment p4_query)
+
+let p4_query_local =
+  {|let $bc0 := makenodes()
+    let $abc := $bc0/parent::a
+    return string(count((for $node in ($bc0, $abc)
+      let $first := earlier($node, $abc)
+      return $first)/descendant-or-self::c))|}
+
+let test_problem4_local () =
+  check_string "local" "1" (run_local p4_query_local)
+
+(* ---- Problem 5: builtin functions ------------------------------------------ *)
+
+let test_problem5_static_context () =
+  (* class 1 builtins agree between local and remote execution *)
+  let remote =
+    run ~passing:M.By_value
+      {|execute at {"example.org"} function () { string(current-dateTime()) }|}
+  in
+  let local = run_local {|string(current-dateTime())|} in
+  check_string "current-dateTime propagated" local remote
+
+let test_problem5_root_by_value () =
+  (* class 3: fn:root on a shipped node sees only the fragment under
+     by-value/by-fragment *)
+  let q =
+    {|let $n := doc("local.xml")/child::r/child::x/child::y
+      return execute at {"example.org"} function ($p := $n) { name(root($p)/child::*) }|}
+  in
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let _server = Xd_xrpc.Network.new_peer net "example.org" in
+  ignore (Xd_xrpc.Peer.load_xml client ~doc_name:"local.xml" "<r><x><y/></x></r>");
+  let exec passing fill =
+    let session = Xd_xrpc.Session.create net client passing in
+    let q = Xd_lang.Parser.parse_query q in
+    if fill then Xd_core.Projection_fill.fill ~funcs:[] q.Xd_lang.Ast.body;
+    V.serialize (Xd_xrpc.Session.execute session q)
+  in
+  check_string "by-fragment root sees only the fragment" "y"
+    (exec M.By_fragment false);
+  check_string "by-projection ships up to the root" "r"
+    (exec M.By_projection true)
+
+let () =
+  Alcotest.run "xd_problems"
+    [
+      ("q1", [ tc "local count" test_q1_local_count ]);
+      ( "problem-1 (reverse axes)",
+        [
+          tc "local" test_problem1_local_reference;
+          tc "by-value broken" test_problem1_by_value;
+          tc "by-fragment broken" test_problem1_by_fragment;
+          tc "by-projection fixed" test_problem1_by_projection;
+        ] );
+      ( "problem-2 (identity)",
+        [
+          tc "local" test_problem2_local;
+          tc "by-value broken" test_problem2_by_value;
+          tc "by-fragment fixed" test_problem2_by_fragment;
+        ] );
+      ( "problem-3 (order)",
+        [
+          tc "local" test_problem3_local;
+          tc "by-value broken" test_problem3_by_value;
+          tc "by-fragment fixed" test_problem3_by_fragment;
+        ] );
+      ( "problem-4 (mixed calls)",
+        [
+          tc "local" test_problem4_local;
+          tc "by-value broken" test_problem4_by_value;
+          tc "by-fragment fixed" test_problem4_by_fragment;
+        ] );
+      ( "problem-5 (builtins)",
+        [
+          tc "static context" test_problem5_static_context;
+          tc "fn:root" test_problem5_root_by_value;
+        ] );
+    ]

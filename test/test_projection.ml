@@ -1,0 +1,337 @@
+(* Tests for projection: the runtime projection algorithm (Algorithm 1,
+   Fig. 6), the projection-path grammar of Table V, the path analysis rules
+   (DOC1/DOC2/ROOT/ID), and the compile-time vs runtime precision claim
+   behind Fig. 10. *)
+
+module X = Xd_xml
+module P = Xd_projection.Path
+module R = Xd_projection.Runtime
+module An = Xd_projection.Analysis
+module Ast = Xd_lang.Ast
+open Util
+
+(* The 15-node tree of Fig. 6(a): a(b(c(d(e,f)),g(h),i),j(k(l,m),n),o) —
+   reconstructed so that U={i}, R={d,k} yields Fig. 6(b):
+   b(c(d(e,f)),i,k(l,m)).
+
+   For that shape: d's subtree is {e,f}; i is a childless node below b;
+   k's subtree is {l,m}; the post-processing drops a (single kept child b)
+   and keeps b as the LCA. j must be an ancestor of k... in Fig. 6(b) k
+   hangs directly under b? The figure shows b -> (c -> d(e,f), i, k(l,m)).
+   So in the original, c, i, k are children of b; g/h live under c; j/n
+   later; o last. We build: a(b(c(d(e,f),g(h)),i,k(l,m)),j(n),o). *)
+let fig6_doc () =
+  xml ~uri:"fig6.xml"
+    {|<a><b><c><d><e/><f/></d><g><h/></g></c><i/><k><l/><m/></k></b><j><n/></j><o/></a>|}
+
+let node_by_name d nm =
+  List.find
+    (fun n -> X.Node.name n = nm)
+    (X.Node.descendant_or_self (X.Node.doc_node d))
+
+let test_fig6 () =
+  let d = fig6_doc () in
+  let u = [ node_by_name d "i" ] in
+  let r = [ node_by_name d "d"; node_by_name d "k" ] in
+  let pr = R.project ~used:u ~returned:r d in
+  let out = X.Serializer.doc pr.R.doc in
+  check_string "projected tree matches Fig. 6(b)"
+    "<b><c><d><e/><f/></d></c><i/><k><l/><m/></k></b>" out;
+  (* the LCA post-processing removed <a> *)
+  check_string "content root is the LCA" "b"
+    pr.R.doc.X.Doc.name.(pr.R.content_root)
+
+let test_projection_mapping () =
+  let d = fig6_doc () in
+  let u = [ node_by_name d "i" ] in
+  let r = [ node_by_name d "d" ] in
+  let pr = R.project ~used:u ~returned:r d in
+  (* every kept original index maps to a node with the same name *)
+  Hashtbl.iter
+    (fun orig proj ->
+      check_string "name preserved through mapping"
+        d.X.Doc.name.(orig) pr.R.doc.X.Doc.name.(proj))
+    pr.R.map
+
+let test_returned_keeps_subtree () =
+  let d = fig6_doc () in
+  let r = [ node_by_name d "k" ] in
+  let pr = R.project ~used:[] ~returned:r d in
+  check_string "whole subtree of returned node" "<k><l/><m/></k>"
+    (X.Serializer.doc pr.R.doc)
+
+let test_used_keeps_bare () =
+  let d = fig6_doc () in
+  let u = [ node_by_name d "k" ] in
+  let pr = R.project ~used:u ~returned:[] d in
+  check_string "used node kept bare" "<k/>" (X.Serializer.doc pr.R.doc)
+
+let test_empty_projection () =
+  let d = fig6_doc () in
+  let pr = R.project ~used:[] ~returned:[] d in
+  check_int "nothing kept" 0 pr.R.kept
+
+let test_attributes_travel () =
+  let d = xml {|<r><p id="1"><x/></p><p id="2"><y/></p></r>|} in
+  let p1 = List.hd (List.filter (fun n -> X.Node.name n = "p")
+    (X.Node.descendants (X.Node.doc_node d))) in
+  let pr = R.project ~used:[ p1 ] ~returned:[] d in
+  check_string "attributes kept on bare nodes" "<p id=\"1\"/>"
+    (X.Serializer.doc pr.R.doc)
+
+let test_schema_aware () =
+  let d = xml {|<r><p><mand/><opt/></p></r>|} in
+  let p = node_by_name d "p" in
+  let schema = function "p" -> [ "mand" ] | _ -> [] in
+  let pr = R.project ~schema ~used:[ p ] ~returned:[] d in
+  check_string "mandatory child kept" "<p><mand/></p>"
+    (X.Serializer.doc pr.R.doc)
+
+(* ---- paths: parse/print/eval ------------------------------------------- *)
+
+let test_path_strings () =
+  let roundtrip s = P.to_string (P.of_string s) in
+  check_string "axis path" "child::a/descendant::node()"
+    (roundtrip "child::a/descendant::node()");
+  check_string "pseudo steps" "parent::a/root()/id()"
+    (roundtrip "parent::a/root()/id()");
+  check_string "empty path" "." (roundtrip ".");
+  check_bool "malformed rejected"
+    (match P.of_string "nonsense" with
+    | exception P.Parse_error _ -> true
+    | _ -> false)
+
+let test_path_eval () =
+  let d = fig6_doc () in
+  let ctx = [ node_by_name d "d" ] in
+  check_slist "downward" [ "e"; "f" ]
+    (names (P.eval (P.of_string "child::*") ctx));
+  check_slist "reverse" [ "c" ] (names (P.eval (P.of_string "parent::*") ctx));
+  check_slist "root()" [ "" ] (names (P.eval (P.of_string "root()") ctx));
+  check_slist "empty = ctx" [ "d" ] (names (P.eval [] ctx))
+
+let test_path_eval_id () =
+  let d = xml {|<r><p id="1"/><q idref="1"/><s/></r>|} in
+  let ctx = [ node_by_name d "s" ] in
+  check_slist "id() selects all ID carriers" [ "p" ]
+    (names (P.eval (P.of_string "id()") ctx));
+  check_slist "idref()" [ "q" ] (names (P.eval (P.of_string "idref()") ctx))
+
+(* ---- path analysis -------------------------------------------------------- *)
+
+let analyze src =
+  let q = Xd_lang.Parser.parse_query src in
+  An.run ~funcs:q.Ast.funcs ~env:[] q.Ast.body
+
+let paths_of l = List.map An.apath_to_string l
+
+let test_analysis_doc_rule () =
+  let r = analyze {|doc("d.xml")/child::a/child::b|} in
+  check_bool "returned path through doc"
+    (List.exists
+       (fun p -> Filename.check_suffix p "child::a/child::b")
+       (paths_of r.An.returned))
+
+let test_analysis_for_where () =
+  let r =
+    analyze
+      {|for $x in doc("d.xml")/child::a return if ($x/child::v = 1) then $x else ()|}
+  in
+  (* the comparison operand is value-needed; the iterated nodes are used *)
+  check_bool "condition path value-needed"
+    (List.exists (fun p -> Filename.check_suffix p "child::v") (paths_of r.An.value_needed));
+  check_bool "iterated nodes used"
+    (List.exists (fun p -> Filename.check_suffix p "child::a") (paths_of r.An.used))
+
+let test_analysis_root_rule () =
+  let r = analyze {|root((doc("d.xml")/child::a)[1])|} in
+  check_bool "root() pseudo step in returned paths"
+    (List.exists (fun p -> Filename.check_suffix p "root()") (paths_of r.An.returned))
+
+let test_analysis_id_rule () =
+  let r = analyze {|id("x", doc("d.xml"))|} in
+  check_bool "id() pseudo step"
+    (List.exists (fun p -> Filename.check_suffix p "id()") (paths_of r.An.returned))
+
+let test_analysis_anchor_suffixes () =
+  (* parameters are anchors: $p/child::id compared by value gives the
+     returned suffix child::id for p *)
+  let body = Xd_lang.Parser.parse_expr_string {|$p/child::id = "7"|} in
+  let r =
+    An.run ~funcs:[] ~env:[ ("p", [ { An.root = An.R_anchor "p"; steps = [] } ]) ] body
+  in
+  let u, rets = An.relative_paths r "p" in
+  check_slist "used suffixes" [] (List.map P.to_string u);
+  check_slist "returned suffixes" [ "child::id" ] (List.map P.to_string rets)
+
+let test_analysis_count_is_used () =
+  let body = Xd_lang.Parser.parse_expr_string {|count($p/child::x)|} in
+  let r =
+    An.run ~funcs:[] ~env:[ ("p", [ { An.root = An.R_anchor "p"; steps = [] } ]) ] body
+  in
+  let u, rets = An.relative_paths r "p" in
+  check_slist "counted nodes are used, not returned" [ "child::x" ]
+    (List.map P.to_string u);
+  check_slist "nothing returned" [] (List.map P.to_string rets)
+
+let test_analysis_function_inlining () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|declare function f($x) { $x/child::y }; f(doc("d.xml")/child::a)|}
+  in
+  let r = An.run ~funcs:q.Ast.funcs ~env:[] q.Ast.body in
+  check_bool "paths flow through user functions"
+    (List.exists
+       (fun p -> Filename.check_suffix p "child::a/child::y")
+       (paths_of r.An.returned))
+
+let test_analysis_recursion_degrades () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|declare function f($x) { if (1 = 2) then f($x/child::c) else $x };
+        f(doc("d.xml")/child::a)|}
+  in
+  let r = An.run ~funcs:q.Ast.funcs ~env:[] q.Ast.body in
+  check_bool "recursive analysis flags overflow" r.An.overflow
+
+(* ---- soundness property ---------------------------------------------------- *)
+
+(* The fundamental projection guarantee: for a query Q whose paths were
+   analyzed, evaluating Q on the projected document equals evaluating Q on
+   the original. We check it for a family of queries over random trees. *)
+let queries_for_soundness =
+  [
+    {|string(count(doc("p.xml")/child::root/child::a))|};
+    {|string(count(doc("p.xml")/descendant::b/child::c))|};
+    {|for $x in doc("p.xml")/descendant::a return if ($x/child::b) then string(count($x/child::b)) else "0"|};
+    {|string(count(doc("p.xml")/descendant::c/parent::b))|};
+    {|string-join(for $x in doc("p.xml")/descendant::a/child::b return name($x), ",")|};
+  ]
+
+let prop_projection_sound =
+  qtest ~count:100 "eval on projection = eval on original"
+    (QCheck.pair arb_tree (QCheck.oneofl queries_for_soundness))
+    (fun (t, qsrc) ->
+      let q = Xd_lang.Parser.parse_query qsrc in
+      let r = An.run ~funcs:q.Ast.funcs ~env:[] q.Ast.body in
+      if r.An.overflow then true
+      else begin
+        (* absolute paths for this document *)
+        let to_abs l =
+          List.filter_map
+            (fun (p : An.apath) ->
+              match p.An.root with
+              | An.R_doc ("p.xml", _) -> Some p.An.steps
+              | _ -> None)
+            l
+        in
+        let used_paths = to_abs r.An.used in
+        let returned_paths = to_abs (r.An.value_needed @ r.An.returned) in
+        let st1 = store () in
+        let d = X.Store.add st1 (X.Doc.of_tree ~uri:"p.xml" (root_of_tree t)) in
+        let v1 = Xd_lang.Value.serialize (Xd_lang.Eval.run st1 qsrc) in
+        let pr =
+          Xd_projection.Compile_time.project ~used_paths ~returned_paths d
+        in
+        (* load the projection under the same uri in a fresh store *)
+        let st2 = store () in
+        let pdoc = pr.R.doc in
+        let xml_text = X.Serializer.doc pdoc in
+        let _ =
+          if xml_text = "" then
+            (* empty projection: an empty document under the same uri *)
+            X.Store.add st2 (X.Doc.Builder.finish (X.Doc.Builder.create ~uri:"p.xml" ()))
+          else X.Parser.parse ~strip_ws:false ~store:st2 ~uri:"p.xml" xml_text
+        in
+        let v2 = Xd_lang.Value.serialize (Xd_lang.Eval.run st2 qsrc) in
+        v1 = v2
+      end)
+
+(* kept nodes are exactly: ancestors of projection nodes up to the LCA,
+   the projection nodes, and descendants of returned nodes *)
+let prop_projection_extent =
+  qtest ~count:100 "projection extent invariant" arb_tree (fun t ->
+      let st = store () in
+      let d = X.Store.add st (X.Doc.of_tree (root_of_tree t)) in
+      let all = X.Node.descendant_or_self (X.Node.doc_node d) in
+      let pick p = List.filteri (fun i _ -> i mod p = 0) all in
+      let used = pick 3 and returned = pick 5 in
+      let pr = R.project ~used ~returned d in
+      (* every used/returned node is in the map *)
+      List.for_all
+        (fun n -> Hashtbl.mem pr.R.map (X.Node.index n))
+        (used @ returned)
+      && (* descendants of returned nodes kept *)
+      List.for_all
+        (fun n ->
+          List.for_all
+            (fun c -> Hashtbl.mem pr.R.map (X.Node.index c))
+            (X.Node.descendants n))
+        returned)
+
+(* ---- compile-time vs runtime precision (Fig. 10) --------------------------- *)
+
+let test_precision_gap () =
+  (* runtime projection of a *selected* subset is smaller than compile-time
+     projection of the full path *)
+  let parts =
+    List.init 40 (fun i ->
+        Printf.sprintf "<p><age>%d</age><blob>%s</blob></p>" (20 + i)
+          (String.make 40 'x'))
+  in
+  let d = xml ("<r>" ^ String.concat "" parts ^ "</r>") in
+  (* compile-time: all p and their subtrees reached by the paths *)
+  let ct =
+    Xd_projection.Compile_time.project
+      ~used_paths:[ P.of_string "child::r/child::p" ]
+      ~returned_paths:[ P.of_string "child::r/child::p/child::age" ]
+      d
+  in
+  (* runtime: only the p with age < 25 are in the materialized context *)
+  let selected =
+    List.filter
+      (fun n ->
+        X.Node.name n = "p"
+        && int_of_string (X.Node.string_value (List.hd (X.Node.children n))) < 25)
+      (X.Node.descendants (X.Node.doc_node d))
+  in
+  let ages = List.concat_map (fun p -> List.filter (fun c -> X.Node.name c = "age") (X.Node.children p)) selected in
+  let rt = R.project ~used:selected ~returned:ages d in
+  check_bool
+    (Printf.sprintf "runtime (%d) smaller than compile-time (%d)" rt.R.kept ct.R.kept)
+    (rt.R.kept < ct.R.kept)
+
+let () =
+  Alcotest.run "xd_projection"
+    [
+      ( "algorithm-1",
+        [
+          tc "Fig. 6" test_fig6;
+          tc "mapping" test_projection_mapping;
+          tc "returned subtree" test_returned_keeps_subtree;
+          tc "used bare" test_used_keeps_bare;
+          tc "empty" test_empty_projection;
+          tc "attributes" test_attributes_travel;
+          tc "schema-aware" test_schema_aware;
+        ] );
+      ( "paths",
+        [
+          tc "strings" test_path_strings;
+          tc "eval" test_path_eval;
+          tc "id/idref eval" test_path_eval_id;
+        ] );
+      ( "analysis",
+        [
+          tc "doc rule" test_analysis_doc_rule;
+          tc "for/where" test_analysis_for_where;
+          tc "root rule" test_analysis_root_rule;
+          tc "id rule" test_analysis_id_rule;
+          tc "anchor suffixes" test_analysis_anchor_suffixes;
+          tc "count is used" test_analysis_count_is_used;
+          tc "function inlining" test_analysis_function_inlining;
+          tc "recursion degrades" test_analysis_recursion_degrades;
+        ] );
+      ( "properties",
+        [ prop_projection_sound; prop_projection_extent ] );
+      ("precision", [ tc "Fig. 10 gap" test_precision_gap ]);
+    ]

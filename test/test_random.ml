@@ -1,0 +1,308 @@
+(* Randomized end-to-end equivalence: generate random XCore queries over a
+   fixed distributed database and check that every strategy's execution is
+   deep-equal to the local reference semantics.
+
+   This is the central guarantee of the paper — the decomposition must be
+   *conservative*: whatever it decides to push (or not), the result never
+   changes. The generator deliberately produces queries with reverse and
+   horizontal axes, node identity tests, node-set operations, repeated
+   doc() applications and order-sensitive constructs, i.e. precisely the
+   shapes the insertion conditions exist to protect.
+
+   Node-set expressions are kept single-source (each nodeseq subtree draws
+   from one document): relative order between *different* documents is
+   implementation-defined in XQuery, so cross-document unions may
+   legitimately order differently between runs — single-source queries
+   must agree exactly. *)
+
+module Ast = Xd_lang.Ast
+module S = Xd_core.Strategy
+module E = Xd_core.Executor
+open Util
+
+let sources =
+  [|
+    ("xrpc://peerA/students.xml", [| "people"; "person"; "name"; "tutor"; "id"; "age" |]);
+    ("xrpc://peerB/course.xml", [| "enroll"; "exam"; "grade"; "topic" |]);
+    ("local.xml", [| "conf"; "minage"; "wanted" |]);
+  |]
+
+let make_net () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let a = Xd_xrpc.Network.new_peer net "peerA" in
+  let b = Xd_xrpc.Network.new_peer net "peerB" in
+  ignore
+    (Xd_xrpc.Peer.load_xml a ~doc_name:"students.xml"
+       {|<people>
+           <person id="s1"><name>Ann</name><tutor>Bob</tutor><id>1</id><age>23</age></person>
+           <person id="s2"><name>Bob</name><tutor>Zoe</tutor><id>2</id><age>35</age></person>
+           <person id="s3"><name>Cyd</name><tutor>Ann</tutor><id>3</id><age>29</age></person>
+           <person id="s4"><name>Dan</name><tutor>Cyd</tutor><id>4</id><age>41</age></person>
+         </people>|});
+  ignore
+    (Xd_xrpc.Peer.load_xml b ~doc_name:"course.xml"
+       {|<enroll>
+           <exam id="1"><grade>A</grade><topic>db</topic></exam>
+           <exam id="2"><grade>C</grade><topic>os</topic></exam>
+           <exam id="4"><grade>B</grade><topic>ml</topic></exam>
+         </enroll>|});
+  ignore
+    (Xd_xrpc.Peer.load_xml client ~doc_name:"local.xml"
+       {|<conf><minage>25</minage><wanted>db</wanted></conf>|});
+  (net, client)
+
+(* ---- generator ----------------------------------------------------------- *)
+
+open QCheck.Gen
+
+let fresh =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "g%d" !n
+
+let gen_axis =
+  frequencyl
+    [
+      (6, Ast.Child);
+      (3, Ast.Descendant);
+      (1, Ast.Descendant_or_self);
+      (1, Ast.Self);
+      (2, Ast.Attribute);
+      (2, Ast.Parent);
+      (1, Ast.Ancestor);
+      (1, Ast.Following_sibling);
+      (1, Ast.Preceding_sibling);
+      (1, Ast.Following);
+      (1, Ast.Preceding);
+    ]
+
+let gen_test names =
+  frequency
+    [
+      (4, map (fun n -> Ast.Name_test n) (oneofa names));
+      (2, return Ast.Kind_node);
+      (1, return Ast.Wildcard);
+      (1, return Ast.Kind_text);
+    ]
+
+(* a node sequence drawn from one source; [vars] are in-scope variables
+   bound to nodes of the same source *)
+let rec gen_nodeseq (uri, names) vars n =
+  let base =
+    frequency
+      ((if vars = [] then []
+        else [ (3, map (fun v -> Ast.var v) (oneofl vars)) ])
+      @ [ (2, return (Ast.doc uri)) ])
+  in
+  if n <= 0 then base
+  else
+    frequency
+      [
+        (1, base);
+        ( 6,
+          map2
+            (fun ctx (ax, t) -> Ast.step ctx ax t)
+            (gen_nodeseq (uri, names) vars (n - 1))
+            (pair gen_axis (gen_test names)) );
+        ( 2,
+          map3
+            (fun op a b -> Ast.mk (Ast.Node_set (op, a, b)))
+            (oneofl [ Ast.Union; Ast.Intersect; Ast.Except ])
+            (gen_nodeseq (uri, names) vars (n / 2))
+            (gen_nodeseq (uri, names) vars (n / 2)) );
+        ( 2,
+          (* for loop with an optional predicate *)
+          gen_nodeseq (uri, names) vars (n / 2) >>= fun src ->
+          let v = fresh () in
+          gen_bool (uri, names) (v :: vars) (n / 2) >>= fun cond ->
+          gen_nodeseq (uri, names) (v :: vars) (n / 2) >>= fun body ->
+          return
+            (Ast.mk
+               (Ast.For
+                  (v, src, Ast.mk (Ast.If (cond, body, Ast.empty_seq ()))))) );
+        ( 1,
+          (* let binding *)
+          gen_nodeseq (uri, names) vars (n / 2) >>= fun value ->
+          let v = fresh () in
+          gen_nodeseq (uri, names) (v :: vars) (n / 2) >>= fun body ->
+          return (Ast.mk (Ast.Let (v, value, body))) );
+        ( 1,
+          (* positional selection keeps sequences small *)
+          map2
+            (fun ns i -> Ast.fun_call "item-at" [ ns; Ast.int (1 + i) ])
+            (gen_nodeseq (uri, names) vars (n - 1))
+            (int_bound 3) );
+      ]
+
+and gen_bool (uri, names) vars n =
+  if n <= 0 then return (Ast.literal (Ast.A_bool true))
+  else
+    frequency
+      [
+        ( 4,
+          map3
+            (fun ns op k -> Ast.mk (Ast.Value_cmp (op, ns, Ast.int k)))
+            (gen_nodeseq (uri, names) vars (n - 1))
+            (oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Gt ])
+            (int_bound 45) );
+        ( 3,
+          map2
+            (fun a b -> Ast.mk (Ast.Value_cmp (Ast.Eq, a, b)))
+            (gen_nodeseq (uri, names) vars (n / 2))
+            (gen_nodeseq (uri, names) vars (n / 2)) );
+        ( 2,
+          map
+            (fun ns -> Ast.fun_call "exists" [ ns ])
+            (gen_nodeseq (uri, names) vars (n - 1)) );
+        ( 2,
+          (* node identity / order on singletons *)
+          map3
+            (fun op a b ->
+              Ast.mk
+                (Ast.Node_cmp
+                   ( op,
+                     Ast.fun_call "item-at" [ a; Ast.int 1 ],
+                     Ast.fun_call "item-at" [ b; Ast.int 1 ] )))
+            (oneofl [ Ast.Is; Ast.Precedes; Ast.Follows ])
+            (gen_nodeseq (uri, names) vars (n / 2))
+            (gen_nodeseq (uri, names) vars (n / 2)) );
+        ( 1,
+          map2
+            (fun a b -> Ast.mk (Ast.And (a, b)))
+            (gen_bool (uri, names) vars (n / 2))
+            (gen_bool (uri, names) vars (n / 2)) );
+      ]
+
+(* an order-insensitive atomic observation of a node sequence *)
+let gen_atom source vars n =
+  frequency
+    [
+      (3, map (fun ns -> Ast.fun_call "count" [ ns ]) (gen_nodeseq source vars n));
+      ( 2,
+        map
+          (fun ns ->
+            let v = fresh () in
+            Ast.fun_call "string-join"
+              [
+                Ast.mk
+                  (Ast.For (v, ns, Ast.fun_call "name" [ Ast.var v ]));
+                Ast.str "-";
+              ])
+          (gen_nodeseq source vars n) );
+      ( 2,
+        map
+          (fun ns ->
+            let v = fresh () in
+            Ast.fun_call "string-join"
+              [
+                Ast.mk
+                  (Ast.For (v, ns, Ast.fun_call "string" [ Ast.var v ]));
+                Ast.str "|";
+              ])
+          (gen_nodeseq source vars n) );
+      (1, map (fun b -> Ast.fun_call "string" [ b ]) (gen_bool source vars n));
+    ]
+
+(* a whole query: a sequence of observations, possibly over different
+   sources, plus one node-valued result from a single source *)
+let gen_query =
+  sized @@ fun size ->
+  let n = 2 + min size 5 in
+  list_size (int_range 1 3)
+    (oneofa sources >>= fun src -> gen_atom src [] n)
+  >>= fun atoms ->
+  oneofa sources >>= fun src ->
+  gen_nodeseq src [] n >>= fun ns ->
+  return { Ast.funcs = []; body = Ast.seq (atoms @ [ ns ]) }
+
+let arb_query =
+  QCheck.make ~print:(fun q -> Xd_lang.Pp.query_to_string q) gen_query
+
+(* ---- the property ----------------------------------------------------------- *)
+
+let run_reference q =
+  let net, client = make_net () in
+  E.run_local net ~client q
+
+let prop_all_strategies_equivalent =
+  qtest ~count:120 "random queries: all strategies = local semantics"
+    arb_query (fun q ->
+      match run_reference q with
+      | exception _ -> QCheck.assume_fail () (* ill-typed random query *)
+      | reference ->
+        List.for_all
+          (fun strat ->
+            let net, client = make_net () in
+            let r = E.run net ~client strat q in
+            Xd_lang.Value.deep_equal r.E.value reference)
+          S.all)
+
+(* the strategies' valid decomposition points are monotone: everything
+   by-value allows, by-fragment allows; everything by-fragment allows,
+   by-projection allows (Sections V and VI only *remove* restrictions) *)
+let prop_monotone_strategies =
+  qtest ~count:60 "d-point sets grow with strategy power" arb_query (fun q ->
+      (* share one normalized AST so vertex ids are comparable *)
+      let q = Xd_core.Normalize.normalize_query (Xd_core.Inline.inline_query q) in
+      let g = Xd_dgraph.Dgraph.build q.Ast.body in
+      let dps s =
+        List.map
+          (fun e -> e.Ast.id)
+          (Xd_core.Conditions.d_points (Xd_core.Conditions.make_ctx s g))
+        |> List.sort_uniq compare
+      in
+      let subset a b = List.for_all (fun x -> List.mem x b) a in
+      let v = dps S.By_value and f = dps S.By_fragment and p = dps S.By_projection in
+      subset v f && subset f p)
+
+(* normalization is idempotent on arbitrary generated queries *)
+let prop_normalize_idempotent =
+  qtest ~count:80 "normalization is idempotent" arb_query (fun q ->
+      let n1 = Xd_core.Normalize.normalize q.Ast.body in
+      let n2 = Xd_core.Normalize.normalize n1 in
+      Xd_lang.Pp.expr_to_string n1 = Xd_lang.Pp.expr_to_string n2)
+
+(* inlining then evaluating = evaluating (semantics preserved) *)
+let prop_inline_preserves =
+  qtest ~count:60 "inlining preserves local semantics" arb_query (fun q ->
+      let run q =
+        let net, client = make_net () in
+        match E.run_local net ~client q with
+        | v -> Some (Xd_lang.Value.serialize v)
+        | exception _ -> None
+      in
+      run q = run (Xd_core.Inline.inline_query q))
+
+(* decomposition itself must also be stable: decomposing twice gives the
+   same plan text *)
+let prop_decompose_deterministic =
+  qtest ~count:60 "decomposition is deterministic" arb_query (fun q ->
+      let p1 = Xd_core.Decompose.decompose S.By_projection q in
+      let p2 = Xd_core.Decompose.decompose S.By_projection q in
+      Xd_lang.Pp.query_to_string p1.Xd_core.Decompose.query
+      = Xd_lang.Pp.query_to_string p2.Xd_core.Decompose.query)
+
+(* and the decomposed plan must re-parse (pp round trip on plans) *)
+let prop_plan_reparses =
+  qtest ~count:60 "decomposed plans re-parse" arb_query (fun q ->
+      let p = Xd_core.Decompose.decompose S.By_fragment q in
+      let txt = Xd_lang.Pp.query_to_string p.Xd_core.Decompose.query in
+      match Xd_lang.Parser.parse_query txt with
+      | _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "xd_random"
+    [
+      ( "equivalence",
+        [
+          prop_all_strategies_equivalent;
+          prop_monotone_strategies;
+          prop_normalize_idempotent;
+          prop_inline_preserves;
+          prop_decompose_deterministic;
+          prop_plan_reparses;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Tests for the static checker and the Graphviz d-graph export. *)
+
+module Ast = Xd_lang.Ast
+module St = Xd_lang.Static
+open Util
+
+let check_q src = St.check (Xd_lang.Parser.parse_query src)
+
+let has_error_containing errors sub =
+  List.exists
+    (fun e ->
+      let msg = e.St.message in
+      let n = String.length sub in
+      let found = ref false in
+      for i = 0 to String.length msg - n do
+        if String.sub msg i n = sub then found := true
+      done;
+      !found)
+    errors
+
+let test_clean_queries () =
+  List.iter
+    (fun src -> check_int ("no errors in: " ^ src) 0 (List.length (check_q src)))
+    [
+      {|1 + 2|};
+      {|for $x in (1, 2) return $x|};
+      {|let $a := doc("d.xml") return $a//b|};
+      {|declare function f($x) { $x }; f(3)|};
+      {|typeswitch (1) case $i as xs:integer return $i default $d return 0|};
+      {|execute at {"h"} function ($p := 1) { $p }|};
+    ]
+
+let test_unbound_variable () =
+  check_bool "unbound var detected" (has_error_containing (check_q "$nope") "unbound");
+  (* shadowing is fine *)
+  check_int "shadowing ok" 0
+    (List.length (check_q {|for $x in (1, 2) return for $x in (3) return $x|}));
+  (* out-of-scope use after binding *)
+  check_bool "scope ends with the binding"
+    (has_error_containing
+       (check_q {|(let $y := 1 return $y, $y)|})
+       "unbound variable $y")
+
+let test_unknown_function () =
+  check_bool "unknown function" (has_error_containing (check_q "mystery(1)") "unknown function")
+
+let test_arities () =
+  check_bool "user function arity"
+    (has_error_containing
+       (check_q {|declare function f($x) { $x }; f(1, 2)|})
+       "expects 1 argument");
+  check_bool "builtin fixed arity"
+    (has_error_containing (check_q "count(1, 2)") "arguments");
+  check_bool "variadic concat minimum"
+    (has_error_containing (check_q {|concat("a")|}) "arguments");
+  check_int "concat ok with many" 0
+    (List.length (check_q {|concat("a", "b", "c", "d")|}));
+  check_int "substring both arities" 0
+    (List.length (check_q {|(substring("abc", 2), substring("abc", 2, 1))|}))
+
+let test_duplicates () =
+  check_bool "duplicate functions"
+    (has_error_containing
+       (check_q {|declare function f() { 1 }; declare function f() { 2 }; f()|})
+       "duplicate function");
+  check_bool "duplicate params"
+    (has_error_containing
+       (check_q {|declare function g($a, $a) { $a }; g(1, 2)|})
+       "duplicate parameter")
+
+let test_collects_all () =
+  let errs = check_q {|($a, $b, nope())|} in
+  check_int "three errors collected" 3 (List.length errs)
+
+let test_function_scope () =
+  (* function bodies see only their parameters *)
+  check_bool "body cannot see caller scope"
+    (has_error_containing
+       (check_q {|declare function f() { $outer }; let $outer := 1 return f()|})
+       "unbound variable $outer")
+
+let test_execute_at_scope () =
+  (* execute-at bodies see only their parameters (rule 27 semantics) *)
+  check_bool "remote body sees only params"
+    (has_error_containing
+       (check_q {|let $x := 1 return execute at {"h"} function () { $x }|})
+       "unbound variable $x");
+  check_int "param makes it visible" 0
+    (List.length
+       (check_q {|let $x := 1 return execute at {"h"} function ($x := $x) { $x }|}))
+
+let test_check_exn () =
+  check_bool "check_exn raises"
+    (match St.check_exn (Xd_lang.Parser.parse_query "$nope") with
+    | exception Xd_lang.Env.Dynamic_error _ -> true
+    | () -> false)
+
+(* ---- dot export ------------------------------------------------------------ *)
+
+let test_dot_export () =
+  let q =
+    Xd_lang.Parser.parse_query
+      {|let $s := doc("xrpc://A/students.xml")/child::people return $s/child::person|}
+  in
+  let g = Xd_dgraph.Dgraph.build q.Ast.body in
+  let dot = Xd_dgraph.Dot.to_dot ~name:"q" g in
+  let contains sub =
+    let n = String.length sub in
+    let found = ref false in
+    for i = 0 to String.length dot - n do
+      if String.sub dot i n = sub then found := true
+    done;
+    !found
+  in
+  check_bool "digraph header" (contains "digraph q {");
+  check_bool "let vertex" (contains "LetExpr[$s]");
+  check_bool "step vertex" (contains "AxisStep[child::person]");
+  check_bool "doc call" (contains "FunCall[doc]");
+  check_bool "varref dashed edge" (contains "style=dashed");
+  check_bool "balanced braces" (String.length dot > 0 && dot.[String.length dot - 2] = '}')
+
+let () =
+  Alcotest.run "xd_static"
+    [
+      ( "checker",
+        [
+          tc "clean queries" test_clean_queries;
+          tc "unbound variables" test_unbound_variable;
+          tc "unknown functions" test_unknown_function;
+          tc "arities" test_arities;
+          tc "duplicates" test_duplicates;
+          tc "collects all errors" test_collects_all;
+          tc "function scope" test_function_scope;
+          tc "execute-at scope" test_execute_at_scope;
+          tc "check_exn" test_check_exn;
+        ] );
+      ("dot", [ tc "export" test_dot_export ]);
+    ]

@@ -1,0 +1,306 @@
+(* Tests for the XQUF subset (the paper's Section IX future work):
+   local update semantics (pending update list, snapshot application) and
+   the distribution restriction — an update executes at the single peer
+   owning its target, or is rejected. *)
+
+module X = Xd_xml
+module S = Xd_core.Strategy
+module E = Xd_core.Executor
+module V = Xd_lang.Value
+open Util
+
+(* run an updating query against a store, return the (re-resolved) doc *)
+let run_update doc_xml query =
+  let st = store () in
+  let _ = X.Parser.parse ~store:st ~uri:"d.xml" doc_xml in
+  let _ = Xd_lang.Eval.run st query in
+  Option.get (X.Store.find_uri st "d.xml")
+
+let doc_str d = X.Serializer.doc d
+
+(* ---- local semantics -------------------------------------------------- *)
+
+let test_insert_into () =
+  let d = run_update "<r><a/></r>" {|insert node <b>x</b> into doc("d.xml")/r/a|} in
+  check_string "appended as last child" "<r><a><b>x</b></a></r>" (doc_str d)
+
+let test_insert_before_after () =
+  let d =
+    run_update "<r><a/><c/></r>"
+      {|(insert node <b0/> before doc("d.xml")/r/c,
+         insert node <b1/> after doc("d.xml")/r/c)|}
+  in
+  check_string "before and after" "<r><a/><b0/><c/><b1/></r>" (doc_str d)
+
+let test_delete () =
+  let d =
+    run_update "<r><a/><b/><a/></r>" {|delete node doc("d.xml")/r/a|}
+  in
+  check_string "all targets deleted" "<r><b/></r>" (doc_str d)
+
+let test_delete_attribute () =
+  let d =
+    run_update {|<r><a k="1" m="2"/></r>|} {|delete node doc("d.xml")/r/a/@k|}
+  in
+  check_string "attribute deleted" {|<r><a m="2"/></r>|} (doc_str d)
+
+let test_replace_value () =
+  let d =
+    run_update "<r><a>old</a></r>"
+      {|replace value of node doc("d.xml")/r/a with "new"|}
+  in
+  check_string "element value replaced" "<r><a>new</a></r>" (doc_str d)
+
+let test_replace_attr_value () =
+  let d =
+    run_update {|<r><a k="1"/></r>|}
+      {|replace value of node doc("d.xml")/r/a/@k with 42|}
+  in
+  check_string "attribute value replaced" {|<r><a k="42"/></r>|} (doc_str d)
+
+let test_rename () =
+  let d =
+    run_update "<r><old><x/></old></r>"
+      {|rename node doc("d.xml")/r/old as "new"|}
+  in
+  check_string "element renamed, children kept" "<r><new><x/></new></r>"
+    (doc_str d)
+
+let test_insert_copies_content () =
+  (* inserted nodes are copies: mutating the source later is irrelevant,
+     and the inserted subtree has fresh identity *)
+  let st = store () in
+  let _ = X.Parser.parse ~store:st ~uri:"d.xml" "<r><src><k/></src><dst/></r>" in
+  let v =
+    Xd_lang.Eval.run st
+      {|(insert node doc("d.xml")/r/src into doc("d.xml")/r/dst,
+         count(doc("d.xml")/r/dst/src))|}
+  in
+  (* snapshot semantics: the count sees the PRE-update document *)
+  check_string "result is pre-update" "0" (V.serialize v);
+  let d = Option.get (X.Store.find_uri st "d.xml") in
+  check_string "post-update content" "<r><src><k/></src><dst><src><k/></src></dst></r>"
+    (doc_str d)
+
+let test_snapshot_semantics () =
+  let st = store () in
+  let _ = X.Parser.parse ~store:st ~uri:"d.xml" "<r><a>1</a></r>" in
+  let v =
+    Xd_lang.Eval.run st
+      {|(replace value of node doc("d.xml")/r/a with "2", string(doc("d.xml")/r/a))|}
+  in
+  check_string "query sees old value" "1" (V.serialize v);
+  check_string "store sees new value" "2"
+    (Xd_lang.Value.serialize (Xd_lang.Eval.run st {|string(doc("d.xml")/r/a)|}))
+
+let test_multiple_updates_one_doc () =
+  let d =
+    run_update "<r><a>1</a><b>2</b><c/></r>"
+      {|(replace value of node doc("d.xml")/r/a with "x",
+         delete node doc("d.xml")/r/b,
+         insert node <d/> into doc("d.xml")/r,
+         rename node doc("d.xml")/r/c as "cc")|}
+  in
+  check_string "all applied" "<r><a>x</a><cc/><d/></r>" (doc_str d)
+
+let test_updated_doc_well_formed () =
+  (* the rebuilt document has consistent parent/size arrays *)
+  let d =
+    run_update "<r><a><b/><c/></a><d/></r>"
+      {|(insert node <n><m/></n> into doc("d.xml")/r/a, delete node doc("d.xml")/r/d)|}
+  in
+  for i = 1 to X.Doc.n_nodes d - 1 do
+    let p = d.X.Doc.parent.(i) in
+    check_bool "parent valid" (p >= 0 && p < i);
+    check_bool "extent valid" (i + d.X.Doc.size.(i) <= p + d.X.Doc.size.(p))
+  done;
+  (* and queries over it still work *)
+  let st = store () in
+  let _ = X.Store.add st (X.Parser.parse_doc ~uri:"x" (doc_str d)) in
+  ()
+
+let test_readonly_context_rejects () =
+  let st = store () in
+  let _ = X.Parser.parse ~store:st ~uri:"d.xml" "<r/>" in
+  let q = Xd_lang.Parser.parse_query {|delete node doc("d.xml")/r|} in
+  let env = Xd_lang.Eval.default_env st in
+  check_bool "no PUL, updating expression raises"
+    (match Xd_lang.Eval.eval env q.Xd_lang.Ast.body with
+    | exception Xd_lang.Env.Dynamic_error _ -> true
+    | _ -> false)
+
+let test_update_parses_and_prints () =
+  let roundtrip src =
+    let e = Xd_lang.Parser.parse_expr_string src in
+    let s1 = Xd_lang.Pp.expr_to_string e in
+    let s2 = Xd_lang.Pp.expr_to_string (Xd_lang.Parser.parse_expr_string s1) in
+    check_string ("pp fixpoint: " ^ src) s1 s2
+  in
+  List.iter roundtrip
+    [
+      {|insert node <a/> into doc("d.xml")/r|};
+      {|insert node <a/> before doc("d.xml")/r/x|};
+      {|delete node doc("d.xml")/r/x|};
+      {|replace value of node doc("d.xml")/r/x with "v"|};
+      {|rename node doc("d.xml")/r/x as "y"|};
+    ]
+
+(* ---- distribution ------------------------------------------------------- *)
+
+let make_net () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let a = Xd_xrpc.Network.new_peer net "peerA" in
+  let b = Xd_xrpc.Network.new_peer net "peerB" in
+  ignore
+    (Xd_xrpc.Peer.load_xml a ~doc_name:"inv.xml"
+       {|<inventory><item sku="s1"><stock>5</stock></item><item sku="s2"><stock>0</stock></item></inventory>|});
+  ignore (Xd_xrpc.Peer.load_xml b ~doc_name:"log.xml" {|<log/>|});
+  (net, client, a, b)
+
+let test_remote_update_pushed () =
+  let net, client, a, _ = make_net () in
+  let q =
+    Xd_lang.Parser.parse_query
+      {|for $i in doc("xrpc://peerA/inv.xml")/child::inventory/child::item
+        return if ($i/child::stock = 0) then delete node $i else ()|}
+  in
+  let plan = Xd_core.Decompose.decompose S.By_fragment q in
+  (* the whole loop is wrapped in an execute-at at peerA *)
+  let pushed = ref [] in
+  Xd_lang.Ast.iter
+    (fun e ->
+      match e.Xd_lang.Ast.desc with
+      | Xd_lang.Ast.Execute_at x -> (
+        match x.Xd_lang.Ast.host.Xd_lang.Ast.desc with
+        | Xd_lang.Ast.Literal (Xd_lang.Ast.A_string h) -> pushed := h :: !pushed
+        | _ -> ())
+      | _ -> ())
+    plan.Xd_core.Decompose.query.Xd_lang.Ast.body;
+  check_bool "update pushed to peerA" (List.mem "peerA" !pushed);
+  (* and executing it really mutates peerA's document *)
+  let _ = E.run net ~client S.By_fragment q in
+  let d = Option.get (Xd_xrpc.Peer.find_doc a "inv.xml") in
+  check_string "out-of-stock item deleted at the source peer"
+    {|<inventory><item sku="s1"><stock>5</stock></item></inventory>|}
+    (X.Serializer.doc d)
+
+let test_update_entangled_rejected () =
+  (* a single update whose target mixes two hosts: no single affected peer *)
+  let net, _, _, _ = make_net () in
+  ignore net;
+  let q =
+    Xd_lang.Parser.parse_query
+      {|delete node (doc("xrpc://peerA/inv.xml")/child::inventory/child::item
+                     union doc("xrpc://peerB/log.xml")/child::log)[1]|}
+  in
+  check_bool "placement rejected"
+    (match Xd_core.Decompose.decompose S.By_fragment q with
+    | exception Xd_core.Decompose.Update_placement _ -> true
+    | _ -> false)
+
+let test_data_shipping_update_guard () =
+  (* under pure data shipping the update would hit a fetched copy: the
+     session must refuse rather than silently diverge *)
+  let net, client, a, _ = make_net () in
+  let q =
+    Xd_lang.Parser.parse_query
+      {|delete node (doc("xrpc://peerA/inv.xml")/child::inventory/child::item)[2]|}
+  in
+  check_bool "fetched-copy update refused"
+    (match E.run net ~client S.Data_shipping q with
+    | exception Xd_lang.Env.Dynamic_error _ -> true
+    | _ -> false);
+  (* the source document is untouched *)
+  let d = Option.get (Xd_xrpc.Peer.find_doc a "inv.xml") in
+  check_int "still two items" 2
+    (List.length
+       (List.filter
+          (fun n -> X.Node.name n = "item")
+          (X.Node.descendants (X.Node.doc_node d))))
+
+let test_remote_update_with_local_values () =
+  (* atomic values may cross the wire into an update (replace with) —
+     only node targets are pinned *)
+  let net, client, a, _ = make_net () in
+  let q =
+    Xd_lang.Parser.parse_query
+      {|for $i in doc("xrpc://peerA/inv.xml")/child::inventory/child::item
+        return if ($i/attribute::sku = "s1")
+               then replace value of node $i/child::stock with 99 else ()|}
+  in
+  let _ = E.run net ~client S.By_projection q in
+  let d = Option.get (Xd_xrpc.Peer.find_doc a "inv.xml") in
+  check_bool "replacement applied at the peer"
+    (let s = X.Serializer.doc d in
+     let sub = "<stock>99</stock>" in
+     let n = String.length sub in
+     let found = ref false in
+     for i = 0 to String.length s - n do
+       if String.sub s i n = sub then found := true
+     done;
+     !found)
+
+let test_server_refuses_update_on_shipped_param () =
+  (* a hand-written remote body that tries to update its own (shipped)
+     parameter: the server's foreign-copy guard must refuse *)
+  let net, client, a, _ = make_net () in
+  ignore a;
+  ignore (Xd_xrpc.Peer.load_xml client ~doc_name:"mine.xml" "<r><x/></r>");
+  let session = Xd_xrpc.Session.create net client Xd_xrpc.Message.By_fragment in
+  let q =
+    Xd_lang.Parser.parse_query
+      {|let $n := doc("mine.xml")/child::r/child::x
+        return execute at {"peerA"} function ($p := $n) { delete node $p }|}
+  in
+  check_bool "server refuses to update a shipped parameter"
+    (match Xd_xrpc.Session.execute session q with
+    | exception Xd_lang.Env.Dynamic_error _ -> true
+    | _ -> false);
+  (* the client's original document is untouched *)
+  let d = Option.get (Xd_xrpc.Peer.find_doc client "mine.xml") in
+  check_string "original intact" "<r><x/></r>" (X.Serializer.doc d)
+
+let test_local_update_stays_local () =
+  let net, client, _, _ = make_net () in
+  ignore
+    (Xd_xrpc.Peer.load_xml client ~doc_name:"local.xml" "<notes><n/></notes>");
+  let q =
+    Xd_lang.Parser.parse_query
+      {|insert node <n2/> into doc("local.xml")/child::notes|}
+  in
+  let r = E.run net ~client S.By_fragment q in
+  check_int "no messages for a local update" 0 r.E.timing.E.messages;
+  let d = Option.get (Xd_xrpc.Peer.find_doc client "local.xml") in
+  check_string "applied locally" "<notes><n/><n2/></notes>" (X.Serializer.doc d)
+
+let () =
+  Alcotest.run "xd_updates"
+    [
+      ( "local",
+        [
+          tc "insert into" test_insert_into;
+          tc "insert before/after" test_insert_before_after;
+          tc "delete" test_delete;
+          tc "delete attribute" test_delete_attribute;
+          tc "replace value" test_replace_value;
+          tc "replace attribute value" test_replace_attr_value;
+          tc "rename" test_rename;
+          tc "insert copies" test_insert_copies_content;
+          tc "snapshot semantics" test_snapshot_semantics;
+          tc "multiple updates" test_multiple_updates_one_doc;
+          tc "well-formed result" test_updated_doc_well_formed;
+          tc "read-only context" test_readonly_context_rejects;
+          tc "syntax round-trip" test_update_parses_and_prints;
+        ] );
+      ( "distribution",
+        [
+          tc "pushed to owner" test_remote_update_pushed;
+          tc "entangled rejected" test_update_entangled_rejected;
+          tc "data-shipping guard" test_data_shipping_update_guard;
+          tc "values cross, targets don't" test_remote_update_with_local_values;
+          tc "local stays local" test_local_update_stays_local;
+          tc "server refuses shipped-param update"
+            test_server_refuses_update_on_shipped_param;
+        ] );
+    ]

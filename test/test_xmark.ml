@@ -1,0 +1,137 @@
+(* Tests for the XMark-shaped data generator. *)
+
+module X = Xd_xml
+module G = Xd_xmark.Generator
+open Util
+
+let load ~persons =
+  let st = store () in
+  let p = X.Store.of_tree st ~uri:"p.xml" (G.people_tree ~seed:7 ~persons) in
+  let a = X.Store.of_tree st ~uri:"a.xml" (G.auctions_tree ~seed:7 ~persons) in
+  (st, p, a)
+
+let count_elements d name =
+  List.length
+    (List.filter
+       (fun n -> X.Node.name n = name)
+       (X.Node.descendants (X.Node.doc_node d)))
+
+let test_schema_shape () =
+  let _, p, a = load ~persons:20 in
+  check_int "persons" 20 (count_elements p "person");
+  check_int "ages" 20 (count_elements p "age");
+  check_bool "filler sections present"
+    (count_elements p "item" > 0 && count_elements p "category" > 0
+   && count_elements p "closed_auction" > 0);
+  check_int "auctions at half the persons" 10 (count_elements a "open_auction");
+  check_int "annotations" 10 (count_elements a "annotation");
+  check_int "authors" 10 (count_elements a "author")
+
+let test_determinism () =
+  let t1 = G.people_tree ~seed:42 ~persons:15 in
+  let t2 = G.people_tree ~seed:42 ~persons:15 in
+  let st = store () in
+  let d1 = X.Store.of_tree st t1 and d2 = X.Store.of_tree st t2 in
+  check_string "same seed, same document" (X.Serializer.doc d1)
+    (X.Serializer.doc d2);
+  let t3 = G.people_tree ~seed:43 ~persons:15 in
+  let d3 = X.Store.of_tree st t3 in
+  check_bool "different seed, different document"
+    (X.Serializer.doc d1 <> X.Serializer.doc d3)
+
+let test_size_scaling () =
+  let size persons =
+    let st = store () in
+    X.Serializer.doc_bytes (X.Store.of_tree st (G.people_tree ~seed:1 ~persons))
+  in
+  let s1 = size 10 and s2 = size 20 and s4 = size 40 in
+  check_bool "monotone growth" (s1 < s2 && s2 < s4);
+  (* roughly linear: doubling persons roughly doubles bytes *)
+  let ratio = float_of_int s4 /. float_of_int s2 in
+  check_bool (Printf.sprintf "roughly linear (ratio %.2f)" ratio)
+    (ratio > 1.6 && ratio < 2.4)
+
+let test_referential_integrity () =
+  (* seller/@person and author/@person reference existing person ids *)
+  let _, p, a = load ~persons:25 in
+  let ids =
+    List.filter_map
+      (fun n ->
+        if X.Node.name n = "person" then
+          List.find_map
+            (fun at ->
+              if X.Node.name at = "id" then Some (X.Node.string_value at)
+              else None)
+            (X.Node.attributes n)
+        else None)
+      (X.Node.descendants (X.Node.doc_node p))
+  in
+  let refs =
+    List.filter_map
+      (fun n ->
+        if X.Node.name n = "seller" || X.Node.name n = "author" then
+          List.find_map
+            (fun at ->
+              if X.Node.name at = "person" then Some (X.Node.string_value at)
+              else None)
+            (X.Node.attributes n)
+        else None)
+      (X.Node.descendants (X.Node.doc_node a))
+  in
+  check_bool "some references" (refs <> []);
+  List.iter
+    (fun r -> check_bool ("dangling reference " ^ r) (List.mem r ids))
+    refs
+
+let test_benchmark_selectivity () =
+  (* the paper's age predicate must be selective but non-empty *)
+  let st, p, _ = load ~persons:60 in
+  ignore st;
+  let ages =
+    List.filter (fun n -> X.Node.name n = "age")
+      (X.Node.descendants (X.Node.doc_node p))
+  in
+  let young =
+    List.filter (fun n -> int_of_string (X.Node.string_value n) < 40) ages
+  in
+  let frac = float_of_int (List.length young) /. float_of_int (List.length ages) in
+  check_bool
+    (Printf.sprintf "age<40 selectivity %.2f in (0.1, 0.9)" frac)
+    (frac > 0.1 && frac < 0.9)
+
+let test_load_pair () =
+  let net = Xd_xrpc.Network.create () in
+  let p1 = Xd_xrpc.Network.new_peer net "p1" in
+  let p2 = Xd_xrpc.Network.new_peer net "p2" in
+  let b1, b2 =
+    G.load_pair ~persons:10 ~people_peer:p1 ~auctions_peer:p2
+      ~people_doc:"people.xml" ~auctions_doc:"auctions.xml" ()
+  in
+  check_bool "sizes positive" (b1 > 0 && b2 > 0);
+  check_bool "documents resolvable"
+    (Xd_xrpc.Peer.find_doc p1 "people.xml" <> None
+    && Xd_xrpc.Peer.find_doc p2 "auctions.xml" <> None)
+
+let test_parses_back () =
+  (* generated documents survive a serialize/parse round trip *)
+  let _, p, _ = load ~persons:12 in
+  let text = Xd_xml.Serializer.doc p in
+  let st2 = store () in
+  let d2 = Xd_xml.Parser.parse ~store:st2 ~uri:"x" text in
+  check_bool "deep-equal after reparse"
+    (Xd_xml.Deep_equal.equal (X.Node.doc_node p) (X.Node.doc_node d2))
+
+let () =
+  Alcotest.run "xd_xmark"
+    [
+      ( "generator",
+        [
+          tc "schema shape" test_schema_shape;
+          tc "determinism" test_determinism;
+          tc "size scaling" test_size_scaling;
+          tc "referential integrity" test_referential_integrity;
+          tc "selectivity" test_benchmark_selectivity;
+          tc "load pair" test_load_pair;
+          tc "reparse" test_parses_back;
+        ] );
+    ]

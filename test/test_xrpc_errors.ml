@@ -1,0 +1,146 @@
+(* Failure-injection tests for the XRPC runtime: unknown peers, missing
+   documents, nesting limits, evaluation failures crossing the wire, and
+   accounting invariants under errors. *)
+
+module M = Xd_xrpc.Message
+module V = Xd_lang.Value
+open Util
+
+let setup () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let server = Xd_xrpc.Network.new_peer net "srv" in
+  (net, client, server)
+
+let exec ?(passing = M.By_fragment) net client q =
+  let session = Xd_xrpc.Session.create net client passing in
+  Xd_xrpc.Session.execute session (Xd_lang.Parser.parse_query q)
+
+let fails_dynamic f =
+  match f () with exception Xd_lang.Env.Dynamic_error _ -> true | _ -> false
+
+let test_unknown_peer () =
+  let net, client, _ = setup () in
+  check_bool "execute at unknown peer"
+    (fails_dynamic (fun () ->
+         exec net client {|execute at {"nowhere"} function () { 1 }|}));
+  check_bool "doc at unknown peer"
+    (fails_dynamic (fun () ->
+         exec net client {|doc("xrpc://nowhere/d.xml")|}))
+
+let test_missing_remote_doc () =
+  let net, client, _ = setup () in
+  check_bool "missing doc via data shipping"
+    (fails_dynamic (fun () -> exec net client {|doc("xrpc://srv/ghost.xml")|}));
+  check_bool "missing doc inside remote body"
+    (fails_dynamic (fun () ->
+         exec net client
+           {|execute at {"srv"} function () { doc("ghost.xml") }|}))
+
+let test_remote_evaluation_error_propagates () =
+  let net, client, _ = setup () in
+  check_bool "remote dynamic error surfaces at the caller"
+    (fails_dynamic (fun () ->
+         exec net client {|execute at {"srv"} function () { $unbound }|}))
+
+let test_nesting_limit () =
+  (* a remote body that calls itself on the same host recurses through
+     server sessions; the depth guard must stop it *)
+  let net, client, server = setup () in
+  ignore server;
+  check_bool "nesting depth guard"
+    (fails_dynamic (fun () ->
+         exec net client
+           {|declare function ping($n) {
+               execute at {"srv"} function ($n := $n) { ping($n + 1) } };
+             ping(0)|}))
+
+let test_accounting_on_success () =
+  let net, client, server = setup () in
+  ignore (Xd_xrpc.Peer.load_xml server ~doc_name:"d.xml" "<r><x>7</x></r>");
+  let v = exec net client {|execute at {"srv"} function () { string(doc("d.xml")/child::r/child::x) }|} in
+  check_string "result" "7" (V.serialize v);
+  let st = net.Xd_xrpc.Network.stats in
+  check_int "one exchange" 2 st.Xd_xrpc.Stats.messages;
+  check_bool "bytes counted" (st.Xd_xrpc.Stats.message_bytes > 0);
+  check_bool "simulated time positive" (st.Xd_xrpc.Stats.network_s > 0.)
+
+let test_empty_results_roundtrip () =
+  let net, client, _ = setup () in
+  List.iter
+    (fun passing ->
+      let v = exec ~passing net client {|execute at {"srv"} function () { () }|} in
+      check_int (M.passing_to_string passing ^ " empty") 0 (List.length v))
+    [ M.By_value; M.By_fragment; M.By_projection ]
+
+let test_mixed_result_roundtrip () =
+  let net, client, server = setup () in
+  ignore (Xd_xrpc.Peer.load_xml server ~doc_name:"d.xml" "<r><x>7</x></r>");
+  List.iter
+    (fun passing ->
+      let v =
+        exec ~passing net client
+          {|execute at {"srv"} function ()
+            { (1, doc("d.xml")/child::r/child::x, "s", 2.5, true()) }|}
+      in
+      check_string
+        (M.passing_to_string passing ^ " mixed sequence")
+        "1<x>7</x>s 2.5 true" (V.serialize v))
+    [ M.By_value; M.By_fragment; M.By_projection ]
+
+let test_large_atom_roundtrip () =
+  let net, client, _ = setup () in
+  let big = String.make 50_000 'z' in
+  let v =
+    exec net client
+      (Printf.sprintf
+         {|execute at {"srv"} function ($s := "%s") { string-length($s) }|}
+         big)
+  in
+  check_string "50k-char string survives" "50000" (V.serialize v)
+
+let test_special_chars_in_params () =
+  let net, client, _ = setup () in
+  List.iter
+    (fun passing ->
+      let v =
+        exec ~passing net client
+          {|execute at {"srv"} function ($s := "a<b>&amp;'c""d") { $s }|}
+      in
+      check_string
+        (M.passing_to_string passing ^ " special chars")
+        "a<b>&amp;'c\"d" (V.serialize v))
+    [ M.By_value; M.By_fragment; M.By_projection ]
+
+let test_fetch_cached_per_session () =
+  let net, client, server = setup () in
+  ignore (Xd_xrpc.Peer.load_xml server ~doc_name:"d.xml" "<r><x/></r>");
+  let session = Xd_xrpc.Session.create net client M.By_fragment in
+  let q =
+    Xd_lang.Parser.parse_query
+      {|(count(doc("xrpc://srv/d.xml")//node()), count(doc("xrpc://srv/d.xml")//node()))|}
+  in
+  let _ = Xd_xrpc.Session.execute session q in
+  check_int "document fetched once per session" 1
+    net.Xd_xrpc.Network.stats.Xd_xrpc.Stats.documents_fetched
+
+let () =
+  Alcotest.run "xd_xrpc_errors"
+    [
+      ( "failures",
+        [
+          tc "unknown peer" test_unknown_peer;
+          tc "missing document" test_missing_remote_doc;
+          tc "remote error propagates" test_remote_evaluation_error_propagates;
+          tc "nesting limit" test_nesting_limit;
+        ] );
+      ( "roundtrips",
+        [
+          tc "accounting" test_accounting_on_success;
+          tc "empty results" test_empty_results_roundtrip;
+          tc "mixed sequences" test_mixed_result_roundtrip;
+          tc "large atoms" test_large_atom_roundtrip;
+          tc "special characters" test_special_chars_in_params;
+          tc "fetch caching" test_fetch_cached_per_session;
+        ] );
+    ]
