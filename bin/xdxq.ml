@@ -1,7 +1,8 @@
 (* xdxq — run an XQuery over simulated XRPC peers under a chosen
    distribution strategy.
 
-     xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain] QUERY
+     xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
+          [--verify-plan] [--plan] [--force] QUERY
 
    QUERY is a file name, or a literal query with --query. Documents are
    loaded onto named peers; the query addresses them as
@@ -53,6 +54,24 @@ let code_motion_arg =
   let doc = "Apply distributed code motion." in
   Arg.(value & flag & info [ "code-motion" ] ~doc)
 
+let verify_plan_arg =
+  let doc =
+    "Run the distribution-safety verifier on the plan and print its full \
+     report (errors and warnings) before executing."
+  in
+  Arg.(value & flag & info [ "verify-plan" ] ~doc)
+
+let plan_arg =
+  let doc =
+    "Treat the query as an already-decomposed plan: skip decomposition and \
+     execute its execute-at calls as written (they are still verified)."
+  in
+  Arg.(value & flag & info [ "plan" ] ~doc)
+
+let force_arg =
+  let doc = "Execute even when the verifier rejects the plan." in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
 let query_string_arg =
   let doc = "Give the query inline instead of in a file." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
@@ -82,7 +101,8 @@ let parse_doc_spec s =
           String.sub target (sl + 1) (String.length target - sl - 1),
           file ))
 
-let run docs strategy explain stats code_motion query_string query_file =
+let run docs strategy explain stats code_motion verify_plan as_plan force
+    query_string query_file =
   let query_src =
     match (query_string, query_file) with
     | Some q, _ -> Ok q
@@ -139,11 +159,23 @@ let run docs strategy explain stats code_motion query_string query_file =
             (Xd_core.Cost.estimate_all ~code_motion net q);
           s
       in
-      if explain then begin
-        let plan = Xd_core.Decompose.decompose ~code_motion strategy q in
-        Format.printf "%a@." Xd_core.Decompose.explain plan
+      let plan =
+        if as_plan then Xd_core.Decompose.plan_of_query strategy q
+        else Xd_core.Decompose.decompose ~code_motion strategy q
+      in
+      if explain then Format.printf "%a@." Xd_core.Decompose.explain plan;
+      if verify_plan then begin
+        let report = Xd_core.Executor.verify_plan ~client plan in
+        Format.printf "%a@." Xd_verify.Verify.pp_report report
       end;
-      match Xd_core.Executor.run ~code_motion net ~client strategy q with
+      match Xd_core.Executor.run_plan ~force net ~client plan with
+      | exception Xd_core.Executor.Plan_rejected report ->
+        Format.eprintf "plan rejected by the distribution-safety verifier:@.";
+        List.iter
+          (fun d -> Format.eprintf "  %a@." Xd_verify.Diag.pp d)
+          (Xd_verify.Verify.errors report);
+        Format.eprintf "(re-run with --force to execute anyway)@.";
+        1
       | exception Xd_lang.Env.Dynamic_error msg ->
         Printf.eprintf "dynamic error: %s\n" msg;
         1
@@ -175,6 +207,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
-      $ code_motion_arg $ query_string_arg $ query_file_arg)
+      $ code_motion_arg $ verify_plan_arg $ plan_arg $ force_arg
+      $ query_string_arg $ query_file_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,17 +28,10 @@
 module Ast = Xd_lang.Ast
 module Dg = Xd_dgraph.Dgraph
 
-let known_builtins =
-  [ "doc"; "collection"; "root"; "id"; "idref"; "base-uri"; "document-uri";
-    "static-base-uri"; "default-collation"; "current-dateTime"; "true";
-    "false"; "not"; "boolean"; "count"; "empty"; "exists"; "zero-or-one";
-    "exactly-one"; "one-or-more"; "string"; "data"; "number"; "concat";
-    "string-length"; "contains"; "starts-with"; "ends-with"; "substring";
-    "string-join"; "normalize-space"; "upper-case"; "lower-case";
-    "substring-before"; "substring-after"; "sum"; "avg"; "max"; "min"; "abs";
-    "floor"; "ceiling"; "round"; "distinct-values"; "reverse"; "subsequence";
-    "item-at"; "insert-before"; "remove"; "deep-equal"; "name"; "local-name";
-    "error" ]
+(* Derived from the evaluator's own registry list, so a builtin added
+   there is automatically known here (and to the plan verifier) — a
+   hand-copied list cannot drift. *)
+let known_builtins = Xd_lang.Builtin_names.all
 
 (* condition-iii dangerous producers, per strategy *)
 let bad_mixer strategy (m : Ast.expr) =

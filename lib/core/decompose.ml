@@ -101,7 +101,20 @@ let place_updates body =
   in
   pass body
 
-let decompose ?(code_motion = false) (strategy : Strategy.t) (q0 : Ast.query) :
+exception Rejected of Xd_verify.Verify.report
+
+(* A plan wrapper for a query taken verbatim — hand-written execute-at
+   vertices and all. No inlining, normalization or insertion happens:
+   this is the entry point for verifying (or force-running) distributed
+   queries the decomposer did not produce. *)
+let plan_of_query (strategy : Strategy.t) (q : Ast.query) : plan =
+  { strategy; query = q; inserted = []; d_points = []; i_points = [] }
+
+let self_check (p : plan) =
+  let report = Xd_verify.Verify.verify p.strategy p.query in
+  if not (Xd_verify.Verify.ok report) then raise (Rejected report)
+
+let decompose_rewrite ~code_motion (strategy : Strategy.t) (q0 : Ast.query) :
     plan =
   let q = Inline.inline_query q0 in
   let q = Normalize.normalize_query q in
@@ -149,6 +162,16 @@ let decompose ?(code_motion = false) (strategy : Strategy.t) (q0 : Ast.query) :
       d_points = List.map (fun v -> v.Ast.id) dps;
       i_points = List.map (fun v -> v.Ast.id) ips;
     }
+
+(* [?verify] closes the loop in one call: reject our own output if the
+   independent safety analysis disagrees with the insertion conditions —
+   a debug mode that turns any decomposer bug into an immediate, loudly
+   diagnosed failure instead of a silently wrong distributed answer. *)
+let decompose ?(code_motion = false) ?(verify = false) (strategy : Strategy.t)
+    (q0 : Ast.query) : plan =
+  let plan = decompose_rewrite ~code_motion strategy q0 in
+  if verify then self_check plan;
+  plan
 
 let explain fmt (p : plan) =
   Fmt.pf fmt "strategy: %s@." (Strategy.to_string p.strategy);

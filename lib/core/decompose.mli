@@ -24,9 +24,21 @@ val place_updates : Xd_lang.Ast.expr -> Xd_lang.Ast.expr
 (** Wrap every remote-targeting update in an execute-at at its single
     affected peer. @raise Update_placement when no single peer exists. *)
 
-val decompose : ?code_motion:bool -> Strategy.t -> Xd_lang.Ast.query -> plan
+exception Rejected of Xd_verify.Verify.report
+(** The decomposer's own output failed the independent safety analysis
+    (only raised under [~verify:true] — it indicates a decomposer bug). *)
+
+val plan_of_query : Strategy.t -> Xd_lang.Ast.query -> plan
+(** Wrap a query verbatim as a plan — no inlining, normalization or
+    insertion. The entry point for verifying hand-written distributed
+    queries (the CLI's [--plan] mode). *)
+
+val decompose :
+  ?code_motion:bool -> ?verify:bool -> Strategy.t -> Xd_lang.Ast.query -> plan
 (** @raise Update_placement for non-decomposable updating queries (never
     under {!Strategy.Data_shipping}, where updates run wherever their
-    documents were fetched — see the executor's fetched-copy guard). *)
+    documents were fetched — see the executor's fetched-copy guard).
+    @raise Rejected under [~verify:true] when the emitted plan fails
+    {!Xd_verify.Verify.verify} — a decomposer-bug tripwire. *)
 
 val explain : Format.formatter -> plan -> unit

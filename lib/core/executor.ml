@@ -24,9 +24,23 @@ let total_time t =
 
 type run = { value : Value.t; plan : Decompose.plan; timing : timing }
 
-let run ?record ?bulk ?code_motion (net : Xd_xrpc.Network.t)
-    ~(client : Xd_xrpc.Peer.t) (strategy : Strategy.t) (q : Ast.query) : run =
-  let plan = Decompose.decompose ?code_motion strategy q in
+exception Plan_rejected of Xd_verify.Verify.report
+
+let verify_plan ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
+  Xd_verify.Verify.verify
+    ~self:(Xd_xrpc.Peer.name client)
+    plan.Decompose.strategy plan.Decompose.query
+
+(* Execute an already-decomposed (or hand-written) plan. The verifier
+   runs first: a plan with error-severity findings is refused unless
+   [~force:true] — distributed execution of such a plan would silently
+   diverge from the local reference semantics. *)
+let run_plan ?record ?bulk ?(force = false) (net : Xd_xrpc.Network.t)
+    ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) : run =
+  let report = verify_plan ~client plan in
+  if (not force) && not (Xd_verify.Verify.ok report) then
+    raise (Plan_rejected report);
+  let strategy = plan.Decompose.strategy in
   let session =
     Xd_xrpc.Session.create ?record ?bulk net client (Strategy.passing strategy)
   in
@@ -53,6 +67,11 @@ let run ?record ?bulk ?code_motion (net : Xd_xrpc.Network.t)
     }
   in
   { value; plan; timing }
+
+let run ?record ?bulk ?code_motion ?force (net : Xd_xrpc.Network.t)
+    ~(client : Xd_xrpc.Peer.t) (strategy : Strategy.t) (q : Ast.query) : run =
+  let plan = Decompose.decompose ?code_motion strategy q in
+  run_plan ?record ?bulk ?force net ~client plan
 
 (* Reference local execution (all peers' documents reachable without cost
    accounting): the semantics any decomposition must reproduce. Documents

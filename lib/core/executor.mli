@@ -24,15 +24,38 @@ type run = {
   timing : timing;
 }
 
+exception Plan_rejected of Xd_verify.Verify.report
+(** The plan failed the distribution-safety verifier: executing it
+    distributed would silently diverge from the local semantics. *)
+
+val verify_plan :
+  client:Xd_xrpc.Peer.t -> Decompose.plan -> Xd_verify.Verify.report
+(** Run the static verifier on a plan as this client would see it (calls
+    targeting the client's own peer name are local evaluation). *)
+
+val run_plan :
+  ?record:Xd_xrpc.Session.recorded list ref ->
+  ?bulk:bool ->
+  ?force:bool ->
+  Xd_xrpc.Network.t ->
+  client:Xd_xrpc.Peer.t ->
+  Decompose.plan ->
+  run
+(** Verify, then execute, an already-decomposed (or hand-written) plan.
+    @raise Plan_rejected when the verifier reports errors and [force] is
+    false (the default); [~force:true] executes anyway. *)
+
 val run :
   ?record:Xd_xrpc.Session.recorded list ref ->
   ?bulk:bool ->
   ?code_motion:bool ->
+  ?force:bool ->
   Xd_xrpc.Network.t ->
   client:Xd_xrpc.Peer.t ->
   Strategy.t ->
   Xd_lang.Ast.query ->
   run
+(** Decompose [q] under the strategy, then {!run_plan} it. *)
 
 val run_local :
   Xd_xrpc.Network.t -> client:Xd_xrpc.Peer.t -> Xd_lang.Ast.query ->

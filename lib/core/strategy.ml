@@ -1,20 +1,6 @@
-(* The four execution strategies compared throughout the paper's
-   evaluation: pure data shipping (the W3C default: fn:doc fetches whole
-   documents), and function shipping under the three parameter-passing
-   semantics. *)
+(* The strategy type lives in xd_xrpc (next to the passing semantics it
+   selects) so that layers below xd_core — notably the xd_verify static
+   analyzer — can speak about strategies without depending on the
+   decomposer. Re-exported here so [Xd_core.Strategy] keeps working. *)
 
-type t = Data_shipping | By_value | By_fragment | By_projection
-
-let all = [ Data_shipping; By_value; By_fragment; By_projection ]
-
-let to_string = function
-  | Data_shipping -> "data-shipping"
-  | By_value -> "pass-by-value"
-  | By_fragment -> "pass-by-fragment"
-  | By_projection -> "pass-by-projection"
-
-let passing = function
-  | Data_shipping -> Xd_xrpc.Message.By_value (* unused: no calls generated *)
-  | By_value -> Xd_xrpc.Message.By_value
-  | By_fragment -> Xd_xrpc.Message.By_fragment
-  | By_projection -> Xd_xrpc.Message.By_projection
+include Xd_xrpc.Strategy

@@ -1,7 +1,10 @@
-(** The four execution strategies compared in the paper's evaluation. *)
+(** The four execution strategies compared in the paper's evaluation.
 
-type t = Data_shipping | By_value | By_fragment | By_projection
+    The definition lives in {!Xd_xrpc.Strategy} (next to the
+    message-passing semantics it selects) so that the {!Xd_verify} static
+    analyzer can use it without depending on the decomposer; this module
+    re-exports it for compatibility. *)
 
-val all : t list
-val to_string : t -> string
-val passing : t -> Xd_xrpc.Message.passing
+include module type of struct
+  include Xd_xrpc.Strategy
+end

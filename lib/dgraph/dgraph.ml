@@ -140,6 +140,45 @@ let reachable_set t x =
 
 let depends t x y = Iset.mem y (reachable_set t x)
 
+(* A witness path from x to y over parse-child and varref edges: the chain
+   of vertices realizing x ⤳ y, found by BFS (so it is shortest). Used by
+   the xd_verify diagnostics to explain *why* a vertex observes a shipped
+   value. When only the reverse direction is connected (e.g. explaining a
+   vertex inside the subtree of an execute-at), the y ⤳ x chain is
+   returned reversed, so the result always starts at x and ends at y. *)
+let witness_directed t x y =
+  if not (Hashtbl.mem t.by_id x) || not (Hashtbl.mem t.by_id y) then None
+  else begin
+    let pred = Hashtbl.create 32 in
+    let queue = Queue.create () in
+    Queue.add x queue;
+    Hashtbl.replace pred x x;
+    let found = ref (x = y) in
+    while (not !found) && not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      let push next =
+        if not (Hashtbl.mem pred next) then begin
+          Hashtbl.replace pred next id;
+          if next = y then found := true else Queue.add next queue
+        end
+      in
+      List.iter (fun c -> push c.Ast.id) (Ast.children (vertex t id));
+      match binder_of t id with Some b -> push b | None -> ()
+    done;
+    if not !found then None
+    else begin
+      let rec back id acc =
+        if id = x then x :: acc else back (Hashtbl.find pred id) (id :: acc)
+      in
+      Some (back y [])
+    end
+  end
+
+let witness t x y =
+  match witness_directed t x y with
+  | Some p -> Some p
+  | None -> Option.map List.rev (witness_directed t y x)
+
 let in_subgraph t rs n = parse_reaches t rs n
 
 (* Varref edges leaving the subgraph of rs: references inside whose binder

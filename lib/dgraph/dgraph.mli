@@ -38,6 +38,15 @@ val depends : t -> int -> int -> bool
 
 val in_subgraph : t -> int -> int -> bool
 
+val witness : t -> int -> int -> int list option
+(** [witness g x y] — the shortest chain of vertex ids realizing x ⤳ y
+    over parse-child and varref edges (reflexive: [witness g x x] is
+    [Some [x]]). If only y ⤳ x holds, that chain is returned reversed, so
+    a result always starts at [x] and ends at [y]. [None] when the two
+    vertices are unrelated or unknown to the graph. Used by the
+    {!Xd_verify} diagnostics to print the dependency path that carries a
+    shipped value to the vertex that misuses it. *)
+
 val outgoing_varrefs : t -> int -> (int * int) list
 (** Varref edges leaving the subgraph of a vertex: [(varref vertex, binder
     value vertex)] pairs. These become the XRPC parameters at insertion. *)

@@ -1,9 +1,44 @@
 (* Function-name normalization: the "fn:" prefix is stripped at parse time
    so builtins are identified by their local name ("doc", "root", "id", ...)
    everywhere downstream (evaluator, decomposition conditions, projection
-   path analysis). Other prefixes (user modules, xrpc:) are kept. *)
+   path analysis). Other prefixes (user modules, xrpc:) are kept.
+
+   [all] is the single authoritative list of builtin function names. The
+   evaluator registry (Builtins.table) asserts it registers exactly this
+   set, and the decomposition conditions and the plan verifier derive
+   their known-function set from it, so the three can never drift. *)
 
 let normalize name =
   if String.length name > 3 && String.sub name 0 3 = "fn:" then
     String.sub name 3 (String.length name - 3)
   else name
+
+let all =
+  [
+    (* documents and node identity *)
+    "doc"; "collection"; "root"; "id"; "idref"; "base-uri"; "document-uri";
+    (* static context *)
+    "static-base-uri"; "default-collation"; "current-dateTime";
+    (* booleans *)
+    "true"; "false"; "not"; "boolean";
+    (* cardinality *)
+    "count"; "empty"; "exists"; "zero-or-one"; "exactly-one"; "one-or-more";
+    (* atomization and strings *)
+    "string"; "data"; "number"; "concat"; "string-length"; "contains";
+    "starts-with"; "ends-with"; "substring"; "string-join"; "normalize-space";
+    "upper-case"; "lower-case"; "substring-before"; "substring-after";
+    (* numerics and aggregates *)
+    "sum"; "avg"; "max"; "min"; "abs"; "floor"; "ceiling"; "round";
+    (* sequences *)
+    "distinct-values"; "reverse"; "subsequence"; "item-at"; "insert-before";
+    "remove"; "deep-equal";
+    (* names *)
+    "name"; "local-name";
+    (* XRPC accessors (class-2 functions of the paper: evaluated against
+       the peer-local static context, never shipped) *)
+    "xrpc:base-uri"; "xrpc:document-uri";
+    (* errors *)
+    "error";
+  ]
+
+let is_builtin name = List.mem name all

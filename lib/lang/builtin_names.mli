@@ -3,3 +3,11 @@
     (evaluator, insertion conditions, path analysis). *)
 
 val normalize : string -> string
+
+val all : string list
+(** The authoritative list of builtin function names (local names plus
+    the [xrpc:]-prefixed accessors). {!Builtins.table} registers exactly
+    this set; the decomposition conditions and the {!Xd_verify} plan
+    verifier treat a call outside it as an opaque user function. *)
+
+val is_builtin : string -> bool

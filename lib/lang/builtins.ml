@@ -13,6 +13,13 @@ module X = Xd_xml
 
 let err = Env.dynamic_error
 
+(* Argument shapes the arity check already rules out: report the function
+   instead of dying on a blind assertion if an evaluator bug ever feeds a
+   builtin a malformed argument list. *)
+let bad_args name =
+  err "%s: internal error — argument list shape does not match its arity"
+    name
+
 let arity name n args =
   if List.length args <> n then
     err "%s expects %d argument(s), got %d" name n (List.length args)
@@ -72,7 +79,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
         let uri = Value.string_value v in
         let d = env.Env.resolve_doc env uri in
         [ Value.N (X.Node.doc_node d) ]
-      | _ -> assert false);
+      | _ -> bad_args "fn:doc");
   reg "collection" (fun env args ->
       arity "fn:collection" 1 args;
       match args with
@@ -80,7 +87,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
         let uri = Value.string_value v in
         let d = env.Env.resolve_doc env uri in
         [ Value.N (X.Node.doc_node d) ]
-      | _ -> assert false);
+      | _ -> bad_args "fn:collection");
   reg "root" (fun _ args ->
       arity "fn:root" 1 args;
       match opt_node "fn:root" (List.hd args) with
@@ -195,7 +202,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
           if (not !found) && String.sub s i n = sub then found := true
         done;
         Value.of_bool !found
-      | _ -> assert false);
+      | _ -> bad_args "fn:contains");
   reg "starts-with" (fun _ args ->
       arity "fn:starts-with" 2 args;
       match args with
@@ -204,7 +211,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
         Value.of_bool
           (String.length s >= String.length p
           && String.sub s 0 (String.length p) = p)
-      | _ -> assert false);
+      | _ -> bad_args "fn:starts-with");
   reg "ends-with" (fun _ args ->
       arity "fn:ends-with" 2 args;
       match args with
@@ -212,7 +219,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
         let s = Value.string_value a and p = Value.string_value b in
         let ls = String.length s and lp = String.length p in
         Value.of_bool (ls >= lp && String.sub s (ls - lp) lp = p)
-      | _ -> assert false);
+      | _ -> bad_args "fn:ends-with");
   reg "substring" (fun _ args ->
       match args with
       | [ s; start ] ->
@@ -235,7 +242,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
       match args with
       | [ parts; sep ] ->
         Value.of_string (String.concat (Value.string_value sep) (strings parts))
-      | _ -> assert false);
+      | _ -> bad_args "fn:string-join");
   reg "normalize-space" (fun _ args ->
       arity "fn:normalize-space" 1 args;
       let s = Value.string_value (List.hd args) in
@@ -267,7 +274,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
            done
          with Exit -> ());
         Value.of_string !res
-      | _ -> assert false);
+      | _ -> bad_args "fn:substring-before");
   reg "substring-after" (fun _ args ->
       arity "fn:substring-after" 2 args;
       match args with
@@ -284,7 +291,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
            done
          with Exit -> ());
         Value.of_string !res
-      | _ -> assert false);
+      | _ -> bad_args "fn:substring-after");
 
   (* ---- numerics and aggregates ---- *)
   let agg name f =
@@ -344,7 +351,7 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
       | [ v; idx ] -> (
         let i = int_of_float (Value.to_double idx) in
         match List.nth_opt v (i - 1) with None -> [] | Some it -> [ it ])
-      | _ -> assert false);
+      | _ -> bad_args "fn:item-at");
   reg "insert-before" (fun _ args ->
       arity "fn:insert-before" 3 args;
       match args with
@@ -356,19 +363,19 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
           | x :: rest -> x :: go (i + 1) rest
         in
         go 1 v
-      | _ -> assert false);
+      | _ -> bad_args "fn:insert-before");
   reg "remove" (fun _ args ->
       arity "fn:remove" 2 args;
       match args with
       | [ v; pos ] ->
         let p = int_of_float (Value.to_double pos) in
         List.filteri (fun i _ -> i + 1 <> p) v
-      | _ -> assert false);
+      | _ -> bad_args "fn:remove");
   reg "deep-equal" (fun _ args ->
       arity "fn:deep-equal" 2 args;
       match args with
       | [ a; b ] -> Value.of_bool (Value.deep_equal a b)
-      | _ -> assert false);
+      | _ -> bad_args "fn:deep-equal");
 
   (* ---- names ---- *)
   reg "name" (fun _ args ->
@@ -402,4 +409,23 @@ let table () : (string, Env.t -> Value.t list -> Value.t) Hashtbl.t =
   reg "error" (fun _ args ->
       let msg = match args with v :: _ -> Value.string_value v | [] -> "fn:error" in
       err "%s" msg);
+
+  (* the registry and Builtin_names.all must coincide exactly — the
+     decomposition conditions and the plan verifier derive their known
+     set from the list, so drift would silently change what counts as an
+     opaque function *)
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem t name) then
+        invalid_arg
+          ("Builtins.table: " ^ name
+         ^ " is in Builtin_names.all but not registered"))
+    Builtin_names.all;
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Builtin_names.is_builtin name) then
+        invalid_arg
+          ("Builtins.table: " ^ name
+         ^ " is registered but missing from Builtin_names.all"))
+    t;
   t

@@ -741,7 +741,11 @@ and parse_expr_opt p =
   if cur p = Lexer.RBRACE then Ast.empty_seq () else parse_expr p
 
 and parse_fun_call p =
-  let name = match cur p with Lexer.NAME n -> n | _ -> assert false in
+  let name =
+    match cur p with
+    | Lexer.NAME n -> n
+    | t -> failf p "expected function name, found %s" (Lexer.token_to_string t)
+  in
   adv p;
   eat p Lexer.LPAR;
   let rec args acc =

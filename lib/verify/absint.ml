@@ -1,0 +1,444 @@
+(* The provenance abstract interpreter.
+
+   Where the decomposer derives insertion conditions i-iv on the
+   *original* query to decide where Execute_at vertices may go, this pass
+   takes a query that already contains Execute_at vertices (a decomposed
+   plan, or a hand-written distributed query) and re-derives safety from
+   scratch: every subexpression is evaluated to a {!Prov.t} abstract
+   value, remote bodies are interpreted at their target site with their
+   parameters bound to message-copy provenance, and each consumer that
+   would observe the difference between a copy and the original — reverse
+   and horizontal axes (i), node identity and node-set operations (ii),
+   axis steps over order/duplicate-losing producers (iii), fn:root/id/
+   idref (iv), pending updates, opaque function calls — is checked
+   against the passing semantics of the session's strategy.
+
+   The interpreter is sound relative to the decomposer: its value flow is
+   a subset of the d-graph's ⤳ reachability and it applies the same
+   hasMatchingDoc guard, so every plan the decomposer emits verifies
+   cleanly (no false positives), while hand-seeded unsafe plans are
+   rejected with a rule-named diagnostic and a d-graph witness. *)
+
+module Ast = Xd_lang.Ast
+module Dg = Xd_dgraph.Dgraph
+module S = Xd_xrpc.Strategy
+module Smap = Map.Make (String)
+
+type ctx = {
+  strategy : S.t;
+  g : Dg.t;
+  funcs : Ast.func list;
+  self : string; (* the client peer's name; "" matches the session default *)
+  mutable diags : Diag.t list;
+}
+
+let add ctx d = ctx.diags <- d :: ctx.diags
+
+(* Data shipping and by-value marshal messages under value semantics; the
+   conditions the two passing classes impose differ (Sections IV-VI). *)
+let value_passing = function
+  | S.Data_shipping | S.By_value -> true
+  | S.By_fragment | S.By_projection -> false
+
+(* hasMatchingDoc guard on the consuming vertex (conditions ii and iii
+   under the enhanced passing semantics; by-value forbids outright). *)
+let guarded ctx id =
+  value_passing ctx.strategy || Dg.has_matching_doc ctx.g id
+
+let witness ctx from target =
+  match Dg.witness ctx.g from target with Some p -> p | None -> []
+
+let first_origin t = match Prov.copies t with [] -> None | o :: _ -> Some o
+
+let axis_name = function
+  | Ast.Child -> "child"
+  | Ast.Descendant -> "descendant"
+  | Ast.Descendant_or_self -> "descendant-or-self"
+  | Ast.Self -> "self"
+  | Ast.Attribute -> "attribute"
+  | Ast.Parent -> "parent"
+  | Ast.Ancestor -> "ancestor"
+  | Ast.Ancestor_or_self -> "ancestor-or-self"
+  | Ast.Following -> "following"
+  | Ast.Following_sibling -> "following-sibling"
+  | Ast.Preceding -> "preceding"
+  | Ast.Preceding_sibling -> "preceding-sibling"
+
+let site_name ctx site = if site = ctx.self then "the client" else site
+
+(* ---- condition i: reverse/horizontal axes on shipped copies ---------- *)
+
+let check_axis ctx (e : Ast.expr) ax tc =
+  match Ast.classify_axis ax with
+  | Ast.Fwd -> ()
+  | Ast.Rev | Ast.Hor -> (
+    (* Projected copies carry their ancestor envelope, so upward and
+       sideways navigation stays meaningful (Section VI lifts i). A
+       [shipped] origin under by-projection is the projection-overflow
+       fallback: the copy traveled in full format, without ancestors. *)
+    match tc.Prov.shipped with
+    | [] -> ()
+    | o :: _ ->
+      if ctx.strategy = S.By_projection then
+        add ctx
+          (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+             ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Warning
+             Diag.Cond_i e.Ast.id
+             "%s axis over a copy that traveled without projection paths \
+              (path-analysis overflow fallback): ancestors were not shipped"
+             (axis_name ax))
+      else
+        add ctx
+          (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+             ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Error
+             Diag.Cond_i e.Ast.id
+             "%s axis step on a copy shipped by the call at v%d: a %s \
+              message does not carry the ancestors/siblings of the \
+              original nodes" (axis_name ax) o.Prov.exec
+             (S.to_string ctx.strategy)))
+
+(* ---- condition iii: axis steps over mixed/unordered sequences -------- *)
+
+let check_mixed_step ctx (e : Ast.expr) tc =
+  if tc.Prov.disordered && Prov.has_copy tc && guarded ctx e.Ast.id then
+    match first_origin tc with
+    | None -> ()
+    | Some o ->
+      add ctx
+        (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+           ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Error
+           Diag.Cond_iii e.Ast.id
+           "axis step over a potentially unordered/overlapping sequence \
+            of shipped nodes: document order and duplicate elimination \
+            are not restored across the message of the call at v%d"
+           o.Prov.exec)
+
+(* ---- condition ii: node identity / node-set ops on copies ------------ *)
+
+let check_node_identity ctx (e : Ast.expr) what t =
+  if Prov.has_copy t && guarded ctx e.Ast.id then
+    match first_origin t with
+    | None -> ()
+    | Some o ->
+      add ctx
+        (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+           ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Error
+           Diag.Cond_ii e.Ast.id
+           "%s on nodes shipped by the call at v%d: a message copy has \
+            fresh node identities" what o.Prov.exec)
+
+(* ---- condition iv: fn:root / fn:id / fn:idref on copies -------------- *)
+
+let check_escape ctx (e : Ast.expr) name t =
+  match t.Prov.shipped with
+  | [] -> ()
+  | o :: _ ->
+    let severity, tail =
+      if ctx.strategy = S.By_projection then
+        ( Diag.Warning,
+          "the copy traveled without projection paths (overflow fallback)" )
+      else (Diag.Error, "a copy is rooted in the message, not the original")
+    in
+    add ctx
+      (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+         ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity Diag.Cond_iv
+         e.Ast.id "fn:%s escapes the fragment shipped by the call at v%d: %s"
+         name o.Prov.exec tail)
+
+(* ---- update placement ------------------------------------------------ *)
+
+let check_update ctx site (e : Ast.expr) t =
+  (match first_origin t with
+  | Some o ->
+    add ctx
+      (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+         ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Error
+         Diag.Update_placement e.Ast.id
+         "update target flows through the copy shipped by the call at v%d: \
+          the pending update would be applied to the message copy, never \
+          reaching the original at %s" o.Prov.exec o.Prov.host)
+  | None -> ());
+  Prov.Sset.iter
+    (fun h ->
+      if h = "*" then
+        add ctx
+          (Diag.make ~severity:Diag.Warning Diag.Update_placement e.Ast.id
+             "update target may stem from a computed document URI; its \
+              placement cannot be verified statically")
+      else if ctx.strategy = S.Data_shipping then
+        (* The data-shipping runtime refuses such updates dynamically
+           (Session.apply_updates); keep that contract: warn, don't gate. *)
+        add ctx
+          (Diag.make ~host:h ~severity:Diag.Warning Diag.Update_placement
+             e.Ast.id
+             "update targets a replica of a document fetched from %s by \
+              data shipping; the runtime will refuse to apply it" h)
+      else
+        add ctx
+          (Diag.make ~host:h ~severity:Diag.Error Diag.Update_placement
+             e.Ast.id
+             "update executes at %s but targets a replica fetched from %s; \
+              push the update to its owner with an execute-at"
+             (site_name ctx site) h))
+    t.Prov.fetched
+
+(* ---- host consistency of a remote body ------------------------------- *)
+
+(* Every document dependency of a body shipped to [h] must resolve to [h]
+   itself: a different owner or a caller-local name silently changes which
+   store the name resolves against once the body runs remotely. Bodies of
+   nested remote calls are skipped — they are checked against their own
+   target when the interpreter reaches them — but a nested call back to
+   [h] executes locally there, so its body stays in this frame. *)
+let rec check_host ctx h (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Execute_at x ->
+    List.iter (check_host ctx h) (x.Ast.host :: List.map snd x.Ast.params);
+    (match x.Ast.host.Ast.desc with
+    | Ast.Literal (Ast.A_string h') when h' = h || h' = "" ->
+      check_host ctx h x.Ast.body
+    | _ -> ())
+  | _ ->
+    List.iter
+      (fun d ->
+        match d.Dg.uri with
+        | Dg.Constr -> ()
+        | Dg.Wildcard ->
+          add ctx
+            (Diag.make ~host:h ~severity:Diag.Error Diag.Host_consistency
+               d.Dg.site
+               "computed document URI inside a body shipped to %s cannot \
+                be pinned to the target host" h)
+        | Dg.Uri u -> (
+          match Dg.split_xrpc_uri u with
+          | Some (h', _) when h' = h -> ()
+          | Some (h', _) ->
+            add ctx
+              (Diag.make ~host:h ~severity:Diag.Error Diag.Host_consistency
+                 d.Dg.site
+                 "body shipped to %s reads %s, owned by %s: the call does \
+                  not execute where its data lives" h u h')
+          | None ->
+            add ctx
+              (Diag.make ~host:h ~severity:Diag.Error Diag.Host_consistency
+                 d.Dg.site
+                 "body shipped to %s reads document %s, a name that \
+                  resolves against the local store of whichever peer \
+                  evaluates it" h u)))
+      (Dg.direct_uri_deps_of_vertex e);
+    List.iter (check_host ctx h) (Ast.children e)
+
+(* ---- the interpreter ------------------------------------------------- *)
+
+let seq_passthrough =
+  [ "item-at"; "subsequence"; "remove"; "reverse"; "insert-before";
+    "zero-or-one"; "exactly-one"; "one-or-more" ]
+
+let rec eval ctx env site (e : Ast.expr) : Prov.t =
+  match e.Ast.desc with
+  | Ast.Literal _ -> Prov.atoms
+  | Ast.Var_ref v -> (
+    match Smap.find_opt v env with Some p -> p | None -> Prov.local)
+  | Ast.Seq es ->
+    let p = Prov.join_all (List.map (eval ctx env site) es) in
+    if List.length es >= 2 then Prov.taint p else p
+  | Ast.For (v, src, body) ->
+    let ps = eval ctx env site src in
+    let pb = eval ctx (Smap.add v ps env) site body in
+    if value_passing ctx.strategy then Prov.taint pb else pb
+  | Ast.Order_by (v, src, specs, body) ->
+    let ps = eval ctx env site src in
+    let env' = Smap.add v ps env in
+    List.iter (fun (s, _) -> ignore (eval ctx env' site s)) specs;
+    let pb = eval ctx env' site body in
+    if value_passing ctx.strategy then Prov.taint pb else pb
+  | Ast.Let (v, value, body) ->
+    let pv = eval ctx env site value in
+    eval ctx (Smap.add v pv env) site body
+  | Ast.If (c, t, f) ->
+    ignore (eval ctx env site c);
+    Prov.join (eval ctx env site t) (eval ctx env site f)
+  | Ast.Typeswitch (e0, cases, dv, dflt) ->
+    let p0 = eval ctx env site e0 in
+    let pc =
+      List.map (fun (cv, _, ce) -> eval ctx (Smap.add cv p0 env) site ce) cases
+    in
+    Prov.join_all (eval ctx (Smap.add dv p0 env) site dflt :: pc)
+  | Ast.Value_cmp (_, a, b) | Ast.Arith (_, a, b) | Ast.And (a, b)
+  | Ast.Or (a, b) ->
+    ignore (eval ctx env site a);
+    ignore (eval ctx env site b);
+    Prov.atoms
+  | Ast.Node_cmp (_, a, b) ->
+    let p = Prov.join (eval ctx env site a) (eval ctx env site b) in
+    check_node_identity ctx e "node identity comparison" p;
+    Prov.atoms
+  | Ast.Node_set (_, a, b) ->
+    let p = Prov.join (eval ctx env site a) (eval ctx env site b) in
+    check_node_identity ctx e "node-set operation" p;
+    Prov.taint p
+  | Ast.Doc_constr c | Ast.Text_constr c ->
+    ignore (eval ctx env site c);
+    Prov.local
+  | Ast.Elem_constr (ns, c) | Ast.Attr_constr (ns, c) ->
+    (match ns with
+    | Ast.Computed_name ne -> ignore (eval ctx env site ne)
+    | Ast.Fixed_name _ -> ());
+    ignore (eval ctx env site c);
+    (* constructed nodes are freshly built at the evaluating site *)
+    Prov.local
+  | Ast.Step (ctx_e, ax, _) ->
+    let tc = eval ctx env site ctx_e in
+    check_axis ctx e ax tc;
+    check_mixed_step ctx e tc;
+    if value_passing ctx.strategy && not (Ast.non_overlapping_axis ax) then
+      Prov.taint tc
+    else tc
+  | Ast.Fun_call (name, args) -> eval_call ctx env site e name args
+  | Ast.Execute_at x -> eval_execute_at ctx env site e x
+  | Ast.Insert_node (src, _, tgt) ->
+    ignore (eval ctx env site src);
+    let pt = eval ctx env site tgt in
+    check_update ctx site tgt pt;
+    Prov.bottom
+  | Ast.Delete_node tgt ->
+    let pt = eval ctx env site tgt in
+    check_update ctx site tgt pt;
+    Prov.bottom
+  | Ast.Replace_value (tgt, v) | Ast.Rename_node (tgt, v) ->
+    let pt = eval ctx env site tgt in
+    ignore (eval ctx env site v);
+    check_update ctx site tgt pt;
+    Prov.bottom
+
+and eval_call ctx env site (e : Ast.expr) name args =
+  let ps = List.map (eval ctx env site) args in
+  match name with
+  | "doc" | "collection" -> (
+    match args with
+    | [ { Ast.desc = Ast.Literal (Ast.A_string u); _ } ] -> (
+      match Dg.split_xrpc_uri u with
+      | Some (h, _) when h = site -> Prov.local (* native at this site *)
+      | Some (h, _) -> Prov.fetched h (* full replica, data-shipped *)
+      | None -> Prov.local (* resolves against the local store *))
+    | _ -> Prov.fetched "*" (* computed URI: owner unknown *))
+  | "root" ->
+    let p = Prov.join_all ps in
+    check_escape ctx e name p;
+    p
+  | "id" | "idref" ->
+    (* the optional second argument carries the context document *)
+    let p =
+      match ps with [ _; pctx ] -> pctx | _ -> Prov.join_all ps
+    in
+    check_escape ctx e name p;
+    p
+  | _ when List.mem name seq_passthrough -> Prov.join_all ps
+  | _ when Xd_lang.Builtin_names.is_builtin name -> Prov.atoms
+  | _ ->
+    (* User function: the decomposer inlines what it can; what remains
+       (recursive functions, hand plans) is opaque. Shipped nodes
+       disappearing into an opaque body defeat the analysis — exactly the
+       conservative treatment of unknown calls in the conditions pass. *)
+    let p = Prov.join_all ps in
+    let declared = List.exists (fun f -> f.Ast.f_name = name) ctx.funcs in
+    (match first_origin p with
+    | Some o ->
+      add ctx
+        (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
+           ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Error
+           Diag.Unknown_function e.Ast.id
+           "call to %s function %s receives nodes shipped by the call at \
+            v%d; its body is opaque to the verifier"
+           (if declared then "user" else "undeclared")
+           name o.Prov.exec)
+    | None ->
+      if not declared then
+        add ctx
+          (Diag.make ~severity:Diag.Warning Diag.Unknown_function e.Ast.id
+             "call to undeclared function %s" name));
+    p
+
+and eval_execute_at ctx env site (e : Ast.expr) (x : Ast.execute_at) =
+  (* variable closure: the body may only see the declared parameters *)
+  let param_names = List.map fst x.Ast.params in
+  let rec dups seen = function
+    | [] -> []
+    | p :: r ->
+      if List.mem p seen then p :: dups seen r else dups (p :: seen) r
+  in
+  List.iter
+    (fun p ->
+      add ctx
+        (Diag.make ~exec:e.Ast.id ~severity:Diag.Error Diag.Closure e.Ast.id
+           "parameter $%s is declared twice on the same execute-at" p))
+    (dups [] param_names);
+  List.iter
+    (fun v ->
+      add ctx
+        (Diag.make ~exec:e.Ast.id
+           ~witness:(witness ctx e.Ast.id x.Ast.body.Ast.id)
+           ~severity:Diag.Error Diag.Closure x.Ast.body.Ast.id
+           "remote body is not variable-closed: free variable $%s is not \
+            among the call's parameters" v))
+    (List.sort_uniq compare
+       (List.filter
+          (fun v -> not (List.mem v param_names))
+          (Ast.free_vars x.Ast.body)));
+  (* parameter expressions are evaluated in the caller's frame *)
+  let args = List.map (fun (v, ae) -> (v, eval ctx env site ae)) x.Ast.params in
+  match x.Ast.host.Ast.desc with
+  | Ast.Literal (Ast.A_string h) when h = site || h = "" ->
+    (* a call to the current site short-circuits to plain local evaluation
+       (Session.execute_at / Eval.local_execute_at): full fidelity, no
+       copy semantics — only the closure check above applies *)
+    let env' =
+      List.fold_left (fun m (v, p) -> Smap.add v p m) Smap.empty args
+    in
+    eval ctx env' site x.Ast.body
+  | host_desc ->
+    let h, known =
+      match host_desc with
+      | Ast.Literal (Ast.A_string h) -> (h, true)
+      | _ ->
+        ignore (eval ctx env site x.Ast.host);
+        add ctx
+          (Diag.make ~exec:e.Ast.id ~severity:Diag.Warning
+             Diag.Host_consistency e.Ast.id
+             "cannot statically resolve the target host of this execute-at");
+        ("?", false)
+    in
+    if known then check_host ctx h x.Ast.body;
+    let origin = { Prov.exec = e.Ast.id; host = h } in
+    (* parameters cross the message under the session's passing
+       semantics; under by-projection a parameter with recorded paths
+       ships projected (ancestors travel), one without falls back to the
+       full-format copy *)
+    let param_prov v p =
+      let base =
+        if
+          ctx.strategy = S.By_projection
+          && List.exists (fun (pv, _, _) -> pv = v) x.Ast.param_paths
+        then Prov.projected origin
+        else Prov.shipped origin
+      in
+      Prov.crossed (if p.Prov.tainted || p.Prov.disordered then Prov.taint base else base)
+    in
+    let env' =
+      List.fold_left
+        (fun m (v, p) -> Smap.add v (param_prov v p) m)
+        Smap.empty args
+    in
+    let pb = eval ctx env' h x.Ast.body in
+    let res =
+      if ctx.strategy = S.By_projection && x.Ast.result_paths <> ([], []) then
+        Prov.projected origin
+      else Prov.shipped origin
+    in
+    Prov.crossed
+      (if pb.Prov.tainted || pb.Prov.disordered then Prov.taint res else res)
+
+let run ~strategy ~g ~funcs ?(self = "") (e : Ast.expr) =
+  let ctx = { strategy; g; funcs; self; diags = [] } in
+  ignore (eval ctx Smap.empty self e);
+  List.rev ctx.diags

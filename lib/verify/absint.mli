@@ -1,0 +1,27 @@
+(** The provenance abstract interpreter of the distribution-safety
+    verifier.
+
+    Evaluates a decomposed plan's expression tree over the {!Prov}
+    domain: remote bodies are interpreted at their target site with
+    parameters bound to message-copy provenance, and every consumer that
+    distinguishes a copy from the original — reverse/horizontal axes,
+    node identity, order-sensitive steps, fn:root/id/idref, pending
+    updates, opaque calls — is checked against the strategy's passing
+    semantics. Sound relative to the decomposer: plans emitted by
+    {!Xd_core.Decompose} verify without errors. *)
+
+module Ast = Xd_lang.Ast
+module Dg = Xd_dgraph.Dgraph
+
+val run :
+  strategy:Xd_xrpc.Strategy.t ->
+  g:Dg.t ->
+  funcs:Ast.func list ->
+  ?self:string ->
+  Ast.expr ->
+  Diag.t list
+(** [run ~strategy ~g ~funcs ?self e] interprets [e] — [g] must be
+    [Dg.build e] so vertex ids, guards and witnesses line up — and
+    returns the diagnostics in discovery order. [self] is the client
+    peer's name; an [execute at] targeting it (or the empty string) is
+    local evaluation, not a message. *)

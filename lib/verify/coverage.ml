@@ -1,0 +1,115 @@
+(* Projection-path coverage (by-projection plans only).
+
+   A by-projection message ships exactly the nodes selected by the
+   projection paths recorded on the execute-at vertex (plus their
+   ancestors). If those recorded paths miss a path the consumers actually
+   navigate, the projected copy silently lacks nodes — forward steps come
+   back empty, which is wrong without any runtime error to notice.
+
+   The check re-runs the same compile-time path analysis the decomposer's
+   Projection_fill pass uses and demands that the *stored* paths cover
+   the *derived* ones:
+
+     - result paths: the whole-query analysis, suffixes rooted at the
+       execute-at's result anchor;
+     - parameter paths: the body analysis with each parameter bound to
+       its own anchor.
+
+   Absent paths are not an error: the runtime falls back to full-format
+   (pass-by-fragment) shipping, which the interpreter models as a
+   [shipped] copy — the fallback's loss of ancestors is reported there,
+   as condition-i/-iv warnings. Analysis overflow likewise downgrades to
+   a warning, matching the fill pass, which leaves such calls pathless. *)
+
+module Ast = Xd_lang.Ast
+module An = Xd_projection.Analysis
+
+let path_strings = List.map Xd_projection.Path.to_string
+
+let missing ~derived ~stored =
+  List.filter (fun p -> not (List.mem p stored)) derived
+
+let check ~funcs (body : Ast.expr) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let whole = An.run ~funcs ~env:[] body in
+  let check_one (x : Ast.execute_at) id =
+    let host =
+      match x.Ast.host.Ast.desc with
+      | Ast.Literal (Ast.A_string h) -> Some h
+      | _ -> None
+    in
+    let mk ?witness severity fmt =
+      match host with
+      | Some h ->
+        Diag.make ~exec:id ~host:h ?witness ~severity Diag.Projection_coverage
+          id fmt
+      | None ->
+        Diag.make ~exec:id ?witness ~severity Diag.Projection_coverage id fmt
+    in
+    (* result paths *)
+    if whole.An.overflow then
+      add
+        (mk Diag.Warning
+           "path analysis overflowed on the whole query; the call's \
+            result ships in full format")
+    else begin
+      let u, r = An.relative_paths whole (An.xrpc_anchor id) in
+      let du, dr = (path_strings u, path_strings r) in
+      let su, sr = x.Ast.result_paths in
+      if (su, sr) <> ([], []) then begin
+        let miss =
+          missing ~derived:du ~stored:su @ missing ~derived:dr ~stored:sr
+        in
+        if miss <> [] then
+          add
+            (mk Diag.Error
+               "result projection paths do not cover the caller's \
+                navigation: missing %s — a projected reply would \
+                silently drop nodes the caller selects"
+               (String.concat ", " miss))
+      end
+    end;
+    (* parameter paths *)
+    let env =
+      List.map
+        (fun (v, _) -> (v, [ { An.root = An.R_anchor v; steps = [] } ]))
+        x.Ast.params
+    in
+    let res = An.run ~funcs ~env x.Ast.body in
+    if res.An.overflow then begin
+      if x.Ast.params <> [] then
+        add
+          (mk Diag.Warning
+             "path analysis overflowed on the remote body; parameters \
+              ship in full format")
+    end
+    else
+      List.iter
+        (fun (v, _) ->
+          match
+            List.find_opt (fun (pv, _, _) -> pv = v) x.Ast.param_paths
+          with
+          | None -> () (* full-format fallback, modeled by the interpreter *)
+          | Some (_, su, sr) ->
+            let u, r = An.relative_paths res v in
+            let miss =
+              missing ~derived:(path_strings u) ~stored:su
+              @ missing ~derived:(path_strings r) ~stored:sr
+            in
+            if miss <> [] then
+              add
+                (mk Diag.Error
+                   "projection paths of parameter $%s do not cover the \
+                    body's navigation: missing %s — the projected \
+                    message would silently drop nodes the body selects" v
+                   (String.concat ", " miss)))
+        x.Ast.params
+  in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Execute_at x -> check_one x e.Ast.id
+      | _ -> ())
+    body;
+  List.rev !diags

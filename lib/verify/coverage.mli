@@ -1,0 +1,10 @@
+(** Projection-path coverage check (by-projection plans).
+
+    Re-derives the relative projection paths of every execute-at vertex
+    with the same compile-time analysis the decomposer's fill pass uses,
+    and reports stored path sets that fail to cover the derived ones — a
+    projected message would then silently drop nodes its consumers
+    navigate. Absent paths (the full-format runtime fallback) and
+    analysis overflow are warnings, not errors. *)
+
+val check : funcs:Xd_lang.Ast.func list -> Xd_lang.Ast.expr -> Diag.t list

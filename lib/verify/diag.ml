@@ -1,0 +1,78 @@
+(* Structured diagnostics of the distribution-safety verifier. Each
+   diagnostic names the rule it re-derives (the paper's insertion
+   conditions i-iv, plus the plan-level invariants: variable closure, host
+   consistency, update placement, projection coverage), the offending
+   vertex, the execute-at call involved, and a witness path through the
+   d-graph showing how the shipped value reaches the vertex. *)
+
+type rule =
+  | Cond_i (* reverse/horizontal axis step on shipped nodes *)
+  | Cond_ii (* node comparison / node-set operation on shipped nodes *)
+  | Cond_iii (* axis step over a mixed/unordered shipped sequence *)
+  | Cond_iv (* fn:root/fn:id/fn:idref on shipped nodes *)
+  | Closure (* remote body not variable-closed / ill-scoped parameters *)
+  | Host_consistency (* body's URI dependencies disagree with its target *)
+  | Update_placement (* pending-update target flows through a copy *)
+  | Projection_coverage (* remote axis steps not covered by message paths *)
+  | Unknown_function (* opaque user function over shipped nodes *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : rule;
+  severity : severity;
+  vertex : int; (* offending vertex id *)
+  exec : int option; (* the execute-at vertex involved, if any *)
+  host : string option; (* its target host, if known *)
+  witness : int list; (* d-graph vertex chain: offender ... origin *)
+  message : string;
+}
+
+let rule_name = function
+  | Cond_i -> "condition-i"
+  | Cond_ii -> "condition-ii"
+  | Cond_iii -> "condition-iii"
+  | Cond_iv -> "condition-iv"
+  | Closure -> "closure"
+  | Host_consistency -> "host-consistency"
+  | Update_placement -> "update-placement"
+  | Projection_coverage -> "projection-coverage"
+  | Unknown_function -> "unknown-function"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let make ?exec ?host ?(witness = []) ~severity rule vertex fmt =
+  Format.kasprintf
+    (fun message -> { rule; severity; vertex; exec; host; witness; message })
+    fmt
+
+let is_error d = d.severity = Error
+
+let errors ds = List.filter is_error ds
+
+let pp fmt d =
+  Fmt.pf fmt "%s[%s] v%d: %s" (severity_name d.severity) (rule_name d.rule)
+    d.vertex d.message;
+  (match (d.exec, d.host) with
+  | Some x, Some h -> Fmt.pf fmt " (call v%d -> %s)" x h
+  | Some x, None -> Fmt.pf fmt " (call v%d)" x
+  | None, _ -> ());
+  match d.witness with
+  | [] | [ _ ] -> ()
+  | w ->
+    Fmt.pf fmt "; witness %s"
+      (String.concat " ~> " (List.map (Printf.sprintf "v%d") w))
+
+(* Two structurally identical findings (same rule, vertex and text) are one
+   finding: the interpreter may reach a vertex once per enclosing check. *)
+let dedup ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = (d.rule, d.vertex, d.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    ds

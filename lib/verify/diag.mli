@@ -1,0 +1,53 @@
+(** Structured diagnostics of the distribution-safety verifier.
+
+    Each diagnostic names the rule it re-derives — the paper's insertion
+    conditions i–iv, or one of the plan-level invariants (variable
+    closure, host consistency, update placement, projection coverage) —
+    the offending vertex, the execute-at call involved, and a witness
+    path through the d-graph showing how a shipped value reaches the
+    vertex that misuses it. *)
+
+type rule =
+  | Cond_i  (** reverse/horizontal axis step on shipped nodes *)
+  | Cond_ii  (** node comparison / node-set operation on shipped nodes *)
+  | Cond_iii  (** axis step over a mixed/unordered shipped sequence *)
+  | Cond_iv  (** fn:root/fn:id/fn:idref on shipped nodes *)
+  | Closure  (** remote body not variable-closed / ill-scoped parameters *)
+  | Host_consistency
+      (** body's URI dependencies disagree with its target host *)
+  | Update_placement  (** pending-update target flows through a copy *)
+  | Projection_coverage
+      (** remote axis steps not covered by the message's projection paths *)
+  | Unknown_function  (** opaque user function over shipped nodes *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : rule;
+  severity : severity;
+  vertex : int;  (** offending vertex id *)
+  exec : int option;  (** the execute-at vertex involved, if any *)
+  host : string option;  (** its target host, if known *)
+  witness : int list;  (** d-graph vertex chain: offender ... origin *)
+  message : string;
+}
+
+val rule_name : rule -> string
+val severity_name : severity -> string
+
+val make :
+  ?exec:int ->
+  ?host:string ->
+  ?witness:int list ->
+  severity:severity ->
+  rule ->
+  int ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val is_error : t -> bool
+val errors : t list -> t list
+val pp : Format.formatter -> t -> unit
+
+val dedup : t list -> t list
+(** Collapse structurally identical findings (same rule, vertex, text). *)

@@ -1,0 +1,118 @@
+(* The provenance abstract domain.
+
+   Every subexpression of a decomposed plan is assigned an abstract value
+   describing where the nodes it may evaluate to came from:
+
+     Local          — nodes native to the evaluating peer (or atomics);
+     Fetched h      — a full replica of a remote document obtained by data
+                      shipping (fn:doc over an xrpc:// URI evaluated away
+                      from the owner). Identity/order/ancestors are intact
+                      within the replica, but it is still a copy: updates
+                      through it are refused at runtime;
+     Shipped_copy   — a deep copy that crossed an XRPC message under
+                      pass-by-value or pass-by-fragment (a parameter seen
+                      from inside the remote body, or a call result seen
+                      from the caller);
+     Projected      — a copy that crossed a pass-by-projection message:
+                      ancestors up to the LCA travel along, so reverse and
+                      horizontal axes, fn:root/id/idref stay meaningful.
+
+   An abstract value is the *set* of sources that may flow into it (the
+   lattice join is set union; Mixed is simply a set with more than one
+   member, which is what the insertion conditions care about), plus a
+   taint bit recording that the value passed through an order/duplicate
+   destroying producer (ExprSeq, node-set operation, and — under
+   pass-by-value — for/order-by and overlapping axis steps), the exact
+   producer set of insertion condition iii. *)
+
+module Sset = Set.Make (String)
+
+type origin = { exec : int; (* the execute-at vertex *) host : string }
+
+type t = {
+  local : bool;
+  fetched : Sset.t; (* hosts whose documents were data-shipped here *)
+  shipped : origin list; (* by-value / by-fragment message copies *)
+  projected : origin list; (* by-projection message copies *)
+  tainted : bool;
+  disordered : bool;
+}
+
+let local =
+  {
+    local = true;
+    fetched = Sset.empty;
+    shipped = [];
+    projected = [];
+    tainted = false;
+    disordered = false;
+  }
+let bottom = { local with local = false }
+let atoms = local
+let fetched host = { bottom with fetched = Sset.singleton host }
+let shipped origin = { bottom with shipped = [ origin ] }
+let projected origin = { bottom with projected = [ origin ] }
+
+let merge_origins a b =
+  List.sort_uniq compare (a @ b)
+
+let join a b =
+  {
+    local = a.local || b.local;
+    fetched = Sset.union a.fetched b.fetched;
+    shipped = merge_origins a.shipped b.shipped;
+    projected = merge_origins a.projected b.projected;
+    tainted = a.tainted || b.tainted;
+    disordered = a.disordered || b.disordered;
+  }
+
+let join_all = List.fold_left join bottom
+
+let taint t = { t with tainted = true }
+let untainted t = { t with tainted = false }
+
+(* Crossing an XRPC message: a sequence mixed at crossing time can never
+   be put back into document order on the far side — the taint freezes
+   into the [disordered] bit that condition iii's step check consults. A
+   sequence mixed only *after* it crossed is recombined by local,
+   deterministic computation that the reference execution performs
+   identically, so plain [tainted] is harmless until the next crossing. *)
+let crossed t = { t with disordered = t.tainted || t.disordered }
+
+let copies t = merge_origins t.shipped t.projected
+
+let has_copy t = copies t <> []
+let has_shipped t = t.shipped <> []
+let is_local t = not (has_copy t) && Sset.is_empty t.fetched
+
+(* The four-point readout of the lattice used in messages: the set view
+   collapses back to the Local | Shipped_copy | Projected | Mixed picture
+   of the analysis write-up. *)
+let classify t =
+  match (has_shipped t, t.projected <> [], t.local || not (Sset.is_empty t.fetched)) with
+  | false, false, _ -> `Local
+  | true, false, false -> `Shipped_copy
+  | false, true, false -> `Projected
+  | _ -> `Mixed
+
+let classify_name t =
+  match classify t with
+  | `Local -> "local"
+  | `Shipped_copy -> "shipped-copy"
+  | `Projected -> "projected"
+  | `Mixed -> "mixed"
+
+let to_string t =
+  let parts =
+    (if t.local then [ "local" ] else [])
+    @ List.map (fun h -> "fetched(" ^ h ^ ")") (Sset.elements t.fetched)
+    @ List.map
+        (fun o -> Printf.sprintf "shipped(v%d@%s)" o.exec o.host)
+        t.shipped
+    @ List.map
+        (fun o -> Printf.sprintf "projected(v%d@%s)" o.exec o.host)
+        t.projected
+  in
+  let s = match parts with [] -> "none" | _ -> String.concat "|" parts in
+  let s = if t.tainted then s ^ "!" else s in
+  if t.disordered then s ^ "#" else s

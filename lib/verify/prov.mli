@@ -1,0 +1,59 @@
+(** The provenance abstract domain of the distribution-safety verifier.
+
+    An abstract value is the set of sources that may flow into a
+    subexpression's value — [local] nodes, [fetched] full document
+    replicas (data shipping), [shipped] deep copies (pass-by-value /
+    pass-by-fragment messages) and [projected] copies (pass-by-projection
+    messages) — plus a taint bit recording passage through an
+    order/duplicate-destroying producer (insertion condition iii's
+    producer set). The lattice join is set union; the classic
+    [Local | Shipped_copy | Projected | Mixed] lattice of the analysis is
+    recovered by {!classify}. *)
+
+module Sset : Set.S with type elt = string
+
+type origin = { exec : int;  (** the execute-at vertex *) host : string }
+
+type t = {
+  local : bool;
+  fetched : Sset.t;
+  shipped : origin list;
+  projected : origin list;
+  tainted : bool;
+      (** the value may be a mixed/unordered/overlapping sequence {e now}
+          (condition iii's producer set applied locally) *)
+  disordered : bool;
+      (** the value was mixed when it crossed an XRPC message — document
+          order and duplicates are unrecoverable on this side *)
+}
+
+val local : t
+(** Native nodes or atomics; the top-of-query assumption. *)
+
+val bottom : t
+val atoms : t
+val fetched : string -> t
+val shipped : origin -> t
+val projected : origin -> t
+
+val join : t -> t -> t
+val join_all : t list -> t
+val taint : t -> t
+val untainted : t -> t
+
+val crossed : t -> t
+(** Freeze the taint across a message crossing: mixed-at-crossing-time
+    becomes {!field-disordered}, the bit condition iii's step check
+    consults. Mixing applied {e after} a crossing is local deterministic
+    recombination — harmless until the next crossing. *)
+
+val copies : t -> origin list
+(** All message-copy origins (shipped and projected). *)
+
+val has_copy : t -> bool
+val has_shipped : t -> bool
+val is_local : t -> bool
+
+val classify : t -> [ `Local | `Shipped_copy | `Projected | `Mixed ]
+val classify_name : t -> string
+val to_string : t -> string

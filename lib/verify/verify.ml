@@ -1,0 +1,61 @@
+(* The distribution-safety verifier: driver.
+
+   Takes a *decomposed* plan — a query whose AST already contains
+   Execute_at vertices, whether produced by Decompose or written by hand
+   — together with the passing strategy it is meant to run under, and
+   re-derives from scratch that executing it distributed gives the same
+   answer as executing it locally:
+
+     - the provenance interpretation (Absint) re-checks the paper's
+       insertion conditions i-iv on every remote body and call result,
+       plus variable closure, host consistency, update placement and
+       opaque function calls;
+     - the coverage pass (Coverage) re-derives the by-projection message
+       paths and demands the stored ones cover them.
+
+   The decomposer and the verifier share no conclusions: the former
+   computes where Execute_at may be inserted, the latter interprets the
+   inserted result. Agreement between two independent derivations is the
+   point — a bug in either shows up as a mismatch on the differential
+   test corpus. *)
+
+module Ast = Xd_lang.Ast
+module Dg = Xd_dgraph.Dgraph
+module S = Xd_xrpc.Strategy
+
+type report = { strategy : S.t; diags : Diag.t list }
+
+let errors r = Diag.errors r.diags
+let warnings r = List.filter (fun d -> not (Diag.is_error d)) r.diags
+let ok r = errors r = []
+
+let verify ?self strategy (q : Ast.query) : report =
+  let run_body body =
+    let g = Dg.build body in
+    Absint.run ~strategy ~g ~funcs:q.Ast.funcs ?self body
+  in
+  let main = run_body q.Ast.body in
+  (* function bodies execute wherever the module ships: check each one
+     with its parameters treated as local values *)
+  let fns = List.concat_map (fun f -> run_body f.Ast.f_body) q.Ast.funcs in
+  let cov =
+    if strategy = S.By_projection then
+      Coverage.check ~funcs:q.Ast.funcs q.Ast.body
+    else []
+  in
+  { strategy; diags = Diag.dedup (main @ fns @ cov) }
+
+let pp_report fmt r =
+  let errs = List.length (errors r) and warns = List.length (warnings r) in
+  if r.diags = [] then
+    Fmt.pf fmt "%s plan verifies: no findings" (S.to_string r.strategy)
+  else begin
+    Fmt.pf fmt "%s plan: %d error%s, %d warning%s" (S.to_string r.strategy)
+      errs
+      (if errs = 1 then "" else "s")
+      warns
+      (if warns = 1 then "" else "s");
+    List.iter (fun d -> Fmt.pf fmt "@.  %a" Diag.pp d) r.diags
+  end
+
+let report_to_string r = Fmt.str "%a" pp_report r

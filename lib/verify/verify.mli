@@ -1,0 +1,26 @@
+(** The distribution-safety verifier.
+
+    An independent static analysis over *decomposed* plans: given a query
+    whose AST contains [execute at] vertices (emitted by
+    [Xd_core.Decompose] or written by hand) and the strategy it will run
+    under, re-derives from scratch — by provenance abstract
+    interpretation, not by replaying the decomposer's insertion logic —
+    that distributed execution preserves local semantics. Violations come
+    back as rule-named {!Diag.t} diagnostics carrying the offending
+    vertex, the call involved and a d-graph witness path. *)
+
+type report = { strategy : Xd_xrpc.Strategy.t; diags : Diag.t list }
+
+val verify :
+  ?self:string -> Xd_xrpc.Strategy.t -> Xd_lang.Ast.query -> report
+(** [verify ?self strategy q] checks [q] under [strategy]. [self] is the
+    client peer's name ([execute at] targeting it is local evaluation,
+    not a message; defaults to [""], the session-local pseudo-host). *)
+
+val ok : report -> bool
+(** No error-severity findings (warnings don't gate execution). *)
+
+val errors : report -> Diag.t list
+val warnings : report -> Diag.t list
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string

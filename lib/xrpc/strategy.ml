@@ -1,0 +1,20 @@
+(* The four execution strategies compared throughout the paper's
+   evaluation: pure data shipping (the W3C default: fn:doc fetches whole
+   documents), and function shipping under the three parameter-passing
+   semantics. *)
+
+type t = Data_shipping | By_value | By_fragment | By_projection
+
+let all = [ Data_shipping; By_value; By_fragment; By_projection ]
+
+let to_string = function
+  | Data_shipping -> "data-shipping"
+  | By_value -> "pass-by-value"
+  | By_fragment -> "pass-by-fragment"
+  | By_projection -> "pass-by-projection"
+
+let passing = function
+  | Data_shipping -> Message.By_value (* unused: no calls generated *)
+  | By_value -> Message.By_value
+  | By_fragment -> Message.By_fragment
+  | By_projection -> Message.By_projection

@@ -1,0 +1,7 @@
+(** The four execution strategies compared in the paper's evaluation. *)
+
+type t = Data_shipping | By_value | By_fragment | By_projection
+
+val all : t list
+val to_string : t -> string
+val passing : t -> Message.passing

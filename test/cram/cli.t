@@ -65,3 +65,31 @@ refused:
   $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-fragment \
   >   -q '(delete node (doc("xrpc://peer1/people.xml")//person)[1])'
   
+
+The distribution-safety verifier re-derives plan safety independently of
+the decomposer; --verify-plan prints its report before executing:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --verify-plan \
+  >   -q 'string(count(doc("xrpc://peer1/people.xml")//person[profile/age < 40]))'
+  pass-by-value plan verifies: no findings
+  3
+
+A hand-written plan (--plan skips decomposition) that navigates out of a
+pass-by-value shipped copy is rejected with rule-named diagnostics and a
+d-graph witness:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --plan \
+  >   -q 'count((execute at {"peer1"} function () { doc("xrpc://peer1/people.xml")/descendant::person })/parent::people)' 2>&1
+  plan rejected by the distribution-safety verifier:
+    error[condition-i] v6: parent axis step on a copy shipped by the call at v5: a pass-by-value message does not carry the ancestors/siblings of the original nodes (call v5 -> peer1); witness v6 ~> v5
+    error[condition-iii] v6: axis step over a potentially unordered/overlapping sequence of shipped nodes: document order and duplicate elimination are not restored across the message of the call at v5 (call v5 -> peer1); witness v6 ~> v5
+  (re-run with --force to execute anyway)
+  [1]
+
+--force executes anyway — and delivers exactly the divergence the verifier
+predicted (the copies' parents are absent from the message, so the count
+silently becomes 0):
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --plan --force \
+  >   -q 'count((execute at {"peer1"} function () { doc("xrpc://peer1/people.xml")/descendant::person })/parent::people)'
+  0

@@ -4,221 +4,16 @@
 
    This is the central guarantee of the paper — the decomposition must be
    *conservative*: whatever it decides to push (or not), the result never
-   changes. The generator deliberately produces queries with reverse and
-   horizontal axes, node identity tests, node-set operations, repeated
-   doc() applications and order-sensitive constructs, i.e. precisely the
-   shapes the insertion conditions exist to protect.
-
-   Node-set expressions are kept single-source (each nodeseq subtree draws
-   from one document): relative order between *different* documents is
-   implementation-defined in XQuery, so cross-document unions may
-   legitimately order differently between runs — single-source queries
-   must agree exactly. *)
+   changes. The generator (shared with test_verify) lives in
+   Gen_queries. *)
 
 module Ast = Xd_lang.Ast
 module S = Xd_core.Strategy
 module E = Xd_core.Executor
 open Util
 
-let sources =
-  [|
-    ("xrpc://peerA/students.xml", [| "people"; "person"; "name"; "tutor"; "id"; "age" |]);
-    ("xrpc://peerB/course.xml", [| "enroll"; "exam"; "grade"; "topic" |]);
-    ("local.xml", [| "conf"; "minage"; "wanted" |]);
-  |]
-
-let make_net () =
-  let net = Xd_xrpc.Network.create () in
-  let client = Xd_xrpc.Network.new_peer net "client" in
-  let a = Xd_xrpc.Network.new_peer net "peerA" in
-  let b = Xd_xrpc.Network.new_peer net "peerB" in
-  ignore
-    (Xd_xrpc.Peer.load_xml a ~doc_name:"students.xml"
-       {|<people>
-           <person id="s1"><name>Ann</name><tutor>Bob</tutor><id>1</id><age>23</age></person>
-           <person id="s2"><name>Bob</name><tutor>Zoe</tutor><id>2</id><age>35</age></person>
-           <person id="s3"><name>Cyd</name><tutor>Ann</tutor><id>3</id><age>29</age></person>
-           <person id="s4"><name>Dan</name><tutor>Cyd</tutor><id>4</id><age>41</age></person>
-         </people>|});
-  ignore
-    (Xd_xrpc.Peer.load_xml b ~doc_name:"course.xml"
-       {|<enroll>
-           <exam id="1"><grade>A</grade><topic>db</topic></exam>
-           <exam id="2"><grade>C</grade><topic>os</topic></exam>
-           <exam id="4"><grade>B</grade><topic>ml</topic></exam>
-         </enroll>|});
-  ignore
-    (Xd_xrpc.Peer.load_xml client ~doc_name:"local.xml"
-       {|<conf><minage>25</minage><wanted>db</wanted></conf>|});
-  (net, client)
-
-(* ---- generator ----------------------------------------------------------- *)
-
-open QCheck.Gen
-
-let fresh =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Printf.sprintf "g%d" !n
-
-let gen_axis =
-  frequencyl
-    [
-      (6, Ast.Child);
-      (3, Ast.Descendant);
-      (1, Ast.Descendant_or_self);
-      (1, Ast.Self);
-      (2, Ast.Attribute);
-      (2, Ast.Parent);
-      (1, Ast.Ancestor);
-      (1, Ast.Following_sibling);
-      (1, Ast.Preceding_sibling);
-      (1, Ast.Following);
-      (1, Ast.Preceding);
-    ]
-
-let gen_test names =
-  frequency
-    [
-      (4, map (fun n -> Ast.Name_test n) (oneofa names));
-      (2, return Ast.Kind_node);
-      (1, return Ast.Wildcard);
-      (1, return Ast.Kind_text);
-    ]
-
-(* a node sequence drawn from one source; [vars] are in-scope variables
-   bound to nodes of the same source *)
-let rec gen_nodeseq (uri, names) vars n =
-  let base =
-    frequency
-      ((if vars = [] then []
-        else [ (3, map (fun v -> Ast.var v) (oneofl vars)) ])
-      @ [ (2, return (Ast.doc uri)) ])
-  in
-  if n <= 0 then base
-  else
-    frequency
-      [
-        (1, base);
-        ( 6,
-          map2
-            (fun ctx (ax, t) -> Ast.step ctx ax t)
-            (gen_nodeseq (uri, names) vars (n - 1))
-            (pair gen_axis (gen_test names)) );
-        ( 2,
-          map3
-            (fun op a b -> Ast.mk (Ast.Node_set (op, a, b)))
-            (oneofl [ Ast.Union; Ast.Intersect; Ast.Except ])
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
-        ( 2,
-          (* for loop with an optional predicate *)
-          gen_nodeseq (uri, names) vars (n / 2) >>= fun src ->
-          let v = fresh () in
-          gen_bool (uri, names) (v :: vars) (n / 2) >>= fun cond ->
-          gen_nodeseq (uri, names) (v :: vars) (n / 2) >>= fun body ->
-          return
-            (Ast.mk
-               (Ast.For
-                  (v, src, Ast.mk (Ast.If (cond, body, Ast.empty_seq ()))))) );
-        ( 1,
-          (* let binding *)
-          gen_nodeseq (uri, names) vars (n / 2) >>= fun value ->
-          let v = fresh () in
-          gen_nodeseq (uri, names) (v :: vars) (n / 2) >>= fun body ->
-          return (Ast.mk (Ast.Let (v, value, body))) );
-        ( 1,
-          (* positional selection keeps sequences small *)
-          map2
-            (fun ns i -> Ast.fun_call "item-at" [ ns; Ast.int (1 + i) ])
-            (gen_nodeseq (uri, names) vars (n - 1))
-            (int_bound 3) );
-      ]
-
-and gen_bool (uri, names) vars n =
-  if n <= 0 then return (Ast.literal (Ast.A_bool true))
-  else
-    frequency
-      [
-        ( 4,
-          map3
-            (fun ns op k -> Ast.mk (Ast.Value_cmp (op, ns, Ast.int k)))
-            (gen_nodeseq (uri, names) vars (n - 1))
-            (oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Gt ])
-            (int_bound 45) );
-        ( 3,
-          map2
-            (fun a b -> Ast.mk (Ast.Value_cmp (Ast.Eq, a, b)))
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
-        ( 2,
-          map
-            (fun ns -> Ast.fun_call "exists" [ ns ])
-            (gen_nodeseq (uri, names) vars (n - 1)) );
-        ( 2,
-          (* node identity / order on singletons *)
-          map3
-            (fun op a b ->
-              Ast.mk
-                (Ast.Node_cmp
-                   ( op,
-                     Ast.fun_call "item-at" [ a; Ast.int 1 ],
-                     Ast.fun_call "item-at" [ b; Ast.int 1 ] )))
-            (oneofl [ Ast.Is; Ast.Precedes; Ast.Follows ])
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
-        ( 1,
-          map2
-            (fun a b -> Ast.mk (Ast.And (a, b)))
-            (gen_bool (uri, names) vars (n / 2))
-            (gen_bool (uri, names) vars (n / 2)) );
-      ]
-
-(* an order-insensitive atomic observation of a node sequence *)
-let gen_atom source vars n =
-  frequency
-    [
-      (3, map (fun ns -> Ast.fun_call "count" [ ns ]) (gen_nodeseq source vars n));
-      ( 2,
-        map
-          (fun ns ->
-            let v = fresh () in
-            Ast.fun_call "string-join"
-              [
-                Ast.mk
-                  (Ast.For (v, ns, Ast.fun_call "name" [ Ast.var v ]));
-                Ast.str "-";
-              ])
-          (gen_nodeseq source vars n) );
-      ( 2,
-        map
-          (fun ns ->
-            let v = fresh () in
-            Ast.fun_call "string-join"
-              [
-                Ast.mk
-                  (Ast.For (v, ns, Ast.fun_call "string" [ Ast.var v ]));
-                Ast.str "|";
-              ])
-          (gen_nodeseq source vars n) );
-      (1, map (fun b -> Ast.fun_call "string" [ b ]) (gen_bool source vars n));
-    ]
-
-(* a whole query: a sequence of observations, possibly over different
-   sources, plus one node-valued result from a single source *)
-let gen_query =
-  sized @@ fun size ->
-  let n = 2 + min size 5 in
-  list_size (int_range 1 3)
-    (oneofa sources >>= fun src -> gen_atom src [] n)
-  >>= fun atoms ->
-  oneofa sources >>= fun src ->
-  gen_nodeseq src [] n >>= fun ns ->
-  return { Ast.funcs = []; body = Ast.seq (atoms @ [ ns ]) }
-
-let arb_query =
-  QCheck.make ~print:(fun q -> Xd_lang.Pp.query_to_string q) gen_query
+let make_net = Gen_queries.make_net
+let arb_query = Gen_queries.arb_query
 
 (* ---- the property ----------------------------------------------------------- *)
 

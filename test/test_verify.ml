@@ -1,0 +1,345 @@
+(* The distribution-safety verifier (lib/verify).
+
+   Three angles:
+   - soundness on good plans: every plan the decomposer emits, for the
+     examples/ corpus and for random queries under all four strategies,
+     verifies with zero errors (no false positives);
+   - rejection of bad plans: hand-seeded violations of each rule come
+     back as error diagnostics naming the rule and carrying a d-graph
+     witness;
+   - the executor gate: [Executor.run_plan] refuses failing plans with
+     [Plan_rejected] unless [~force:true].
+
+   Plus the differential property the verifier is meant to protect: the
+   enhanced passing semantics agree with the data-shipping baseline on
+   random queries, with the verifier gating every distributed run. *)
+
+module Ast = Xd_lang.Ast
+module S = Xd_core.Strategy
+module E = Xd_core.Executor
+module D = Xd_verify.Diag
+module V = Xd_verify.Verify
+open Util
+
+let make_net = Gen_queries.make_net
+let arb_query = Gen_queries.arb_query
+
+let parse = Xd_lang.Parser.parse_query
+let verify ?(self = "client") s q = V.verify ~self s q
+
+let has_error rule (r : V.report) =
+  List.exists (fun d -> D.is_error d && d.D.rule = rule) r.V.diags
+
+let has_warning rule (r : V.report) =
+  List.exists (fun d -> (not (D.is_error d)) && d.D.rule = rule) r.V.diags
+
+(* ---- good plans: the examples corpus ---------------------------------- *)
+
+(* Query texts of the examples/ programs (kept literally in sync; each is
+   plain XQuery over xrpc:// URIs, decomposed here under every strategy).
+   examples/projection_demo.ml is deliberately absent: its hand-written
+   plan demonstrates the pass-by-value/-fragment divergence the verifier
+   exists to reject (covered below in the bad-plan suite). *)
+let corpus =
+  [
+    ( "quickstart join",
+      {|for $m in doc("xrpc://hr.example.org/members.xml")/child::team/child::member
+        for $s in doc("xrpc://payroll.example.org/salaries.xml")/child::salaries/child::salary
+        where $m/attribute::id = $s/attribute::ref and $m/child::role != "prof"
+        return element pay { attribute who { string($m/child::name) }, string($s) }|}
+    );
+    ( "federated join",
+      {|for $e in doc("employees.xml")/child::employees/child::emp
+        where $e/attribute::dept = doc("xrpc://example.org/depts.xml")/child::depts/child::dept/attribute::name
+        return $e|}
+    );
+    ( "p2p catalog",
+      {|let $wanted := doc("preferences.xml")/child::prefs/child::genre
+        return for $b in doc("xrpc://books.example/catalog.xml")/child::catalog/child::book
+               for $r in doc("xrpc://reviews.example/reviews.xml")/child::reviews/child::review
+               where $b/attribute::genre = $wanted and $r/attribute::book = $b/attribute::id
+                     and $r/child::stars > 3
+               return element hit {
+                        attribute title { string($b/child::title) },
+                        $r/child::summary }|}
+    );
+    ( "xmark semijoin",
+      {|(let $t := let $s := doc("xrpc://peer1/xmk.xml")/child::site/child::people/child::person
+                   return for $x in $s return if ($x/descendant::age < 40) then $x else ()
+         return for $e in (let $c := doc("xrpc://peer2/xmk.auctions.xml")
+                           return $c/descendant::open_auction)
+                return if ($e/child::seller/attribute::person = $t/attribute::id)
+                       then $e/child::annotation else ())/child::author|}
+    );
+  ]
+
+let test_corpus_verifies () =
+  List.iter
+    (fun (name, src) ->
+      let q = parse src in
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun code_motion ->
+              (* ~verify:true makes the decomposer gate itself *)
+              let plan =
+                Xd_core.Decompose.decompose ~code_motion ~verify:true strategy q
+              in
+              let r = verify strategy plan.Xd_core.Decompose.query in
+              check_bool
+                (Printf.sprintf "%s / %s%s verifies clean: %s" name
+                   (S.to_string strategy)
+                   (if code_motion then " +cm" else "")
+                   (V.report_to_string r))
+                (V.ok r))
+            [ false; true ])
+        S.all)
+    corpus
+
+(* ---- bad plans: one per rule ------------------------------------------ *)
+
+(* condition i: reverse axis on a pass-by-value shipped copy *)
+let rev_axis_src =
+  {|count((execute at {"peerA"} function () {
+      doc("xrpc://peerA/students.xml")/child::people/child::person
+    })/parent::people)|}
+
+let test_reject_reverse_axis () =
+  let r = verify S.By_value (parse rev_axis_src) in
+  check_bool "condition-i error" (has_error D.Cond_i r);
+  check_bool "not ok" (not (V.ok r));
+  (* the diagnostic must carry a d-graph witness from the offending step
+     back to the execute-at call *)
+  let d = List.find (fun d -> d.D.rule = D.Cond_i) (V.errors r) in
+  check_bool "witness path present" (List.length d.D.witness >= 2);
+  check_bool "names the call" (d.D.exec <> None);
+  (* by-projection announces the demand in the projection paths — but a
+     hand plan with *empty* paths falls back to full shipping, which is
+     only a warning (overflow fallback), never silently accepted *)
+  let rp = verify S.By_projection (parse rev_axis_src) in
+  check_bool "projection: warning, not error" (V.ok rp);
+  check_bool "projection: still flagged" (has_warning D.Cond_i rp)
+
+(* condition ii: node identity across the message boundary *)
+let test_reject_node_identity () =
+  let src =
+    {|let $r := execute at {"peerA"} function () {
+        doc("xrpc://peerA/students.xml")/child::people/child::person
+      }
+      return (item-at($r, 1) is item-at($r, 1))|}
+  in
+  let r = verify S.By_value (parse src) in
+  check_bool "condition-ii error" (has_error D.Cond_ii r)
+
+(* condition iii: axis step over a sequence that was mixed when shipped *)
+let test_reject_mixed_step () =
+  let src =
+    {|count((execute at {"peerA"} function () {
+        (doc("xrpc://peerA/students.xml")/child::people,
+         doc("xrpc://peerA/students.xml")/child::people)
+      })/child::person)|}
+  in
+  let r = verify S.By_value (parse src) in
+  check_bool "condition-iii error" (has_error D.Cond_iii r)
+
+(* condition iv: fn:root escapes the shipped fragment *)
+let test_reject_root_escape () =
+  let src =
+    {|count(root(item-at(execute at {"peerA"} function () {
+        doc("xrpc://peerA/students.xml")/child::people/child::person
+      }, 1)))|}
+  in
+  let r = verify S.By_value (parse src) in
+  check_bool "condition-iv error" (has_error D.Cond_iv r)
+
+(* closure: the remote body references a caller variable that is not
+   passed as a parameter. (Built directly: Static.check refuses such a
+   query at the CLI before the verifier ever runs.) *)
+let test_reject_unclosed_body () =
+  let body =
+    Ast.mk
+      (Ast.Let
+         ( "x",
+           Ast.int 1,
+           Ast.fun_call "count"
+             [
+               Ast.mk_execute_at ~host:(Ast.str "peerA") ~params:[]
+                 ~body:(Ast.var "x");
+             ] ))
+  in
+  let r = verify S.By_value { Ast.funcs = []; body } in
+  check_bool "closure error" (has_error D.Closure r)
+
+(* host consistency: the body shipped to peer2 reads peer1's document *)
+let test_reject_host_mismatch () =
+  let src =
+    {|count(execute at {"peer2"} function () {
+        doc("xrpc://peer1/students.xml")/child::people
+      })|}
+  in
+  let r = verify S.By_value (parse src) in
+  check_bool "host-consistency error" (has_error D.Host_consistency r)
+
+(* update placement: deleting through a shipped copy would mutate the
+   copy, not the remote original *)
+let test_reject_update_through_copy () =
+  let src =
+    {|delete node item-at(execute at {"peerA"} function () {
+        doc("xrpc://peerA/students.xml")/descendant::person
+      }, 1)|}
+  in
+  let r = verify S.By_value (parse src) in
+  check_bool "update-placement error" (has_error D.Update_placement r)
+
+(* ...but under data shipping the document is a full local replica and
+   the runtime refuses bad targets itself: verifier warns, doesn't gate
+   (test_updates exercises the dynamic refusal) *)
+let test_data_shipping_update_warns_only () =
+  let src =
+    {|delete node item-at(doc("xrpc://peerA/students.xml")/child::people/child::person, 1)|}
+  in
+  let plan = Xd_core.Decompose.decompose S.Data_shipping (parse src) in
+  let r = verify S.Data_shipping plan.Xd_core.Decompose.query in
+  check_bool "no errors" (V.ok r);
+  check_bool "but a placement warning" (has_warning D.Update_placement r)
+
+(* projection coverage: tampering with a filled plan's result paths so
+   they no longer cover the caller's navigation is caught *)
+let test_reject_tampered_projection_paths () =
+  let xmark = List.assoc "xmark semijoin" corpus in
+  let plan = Xd_core.Decompose.decompose S.By_projection (parse xmark) in
+  let q = plan.Xd_core.Decompose.query in
+  let tampered = ref false in
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Execute_at x when (not !tampered) && x.Ast.result_paths <> ([], []) ->
+        x.Ast.result_paths <- ([ "child::bogus" ], []);
+        tampered := true
+      | _ -> ())
+    q.Ast.body;
+  check_bool "found a filled execute-at to tamper with" !tampered;
+  let r = verify S.By_projection q in
+  check_bool "projection-coverage error" (has_error D.Projection_coverage r)
+
+(* the projection lift, end to end: the paper's makenodes() scenario is
+   rejected under pass-by-value but verifies once the by-projection
+   pipeline (inline + path fill) has announced the parent::a demand *)
+let makenodes_src =
+  {|declare function makenodes() { (element a { element b { element c {()} } })/child::b };
+    let $bc := execute at {"example.org"} { makenodes() }
+    return count($bc/parent::a)|}
+
+let test_projection_lifts_reverse_axis () =
+  let r = verify S.By_value (parse makenodes_src) in
+  check_bool "by-value: condition-i error" (has_error D.Cond_i r);
+  let q = Xd_core.Inline.inline_query (parse makenodes_src) in
+  Xd_core.Projection_fill.fill ~funcs:q.Ast.funcs q.Ast.body;
+  let r = verify S.By_projection q in
+  check_bool
+    (Printf.sprintf "by-projection after fill verifies: %s"
+       (V.report_to_string r))
+    (V.ok r)
+
+(* ---- the executor gate ------------------------------------------------ *)
+
+let test_executor_refuses_unless_forced () =
+  let q = parse rev_axis_src in
+  let plan = Xd_core.Decompose.plan_of_query S.By_value q in
+  let net, client = make_net () in
+  (match E.run_plan net ~client plan with
+  | exception E.Plan_rejected r ->
+    check_bool "rejection report has errors" (V.errors r <> [])
+  | _ -> Alcotest.fail "expected Plan_rejected");
+  (* decomposer self-check raises the same way *)
+  (match Xd_core.Decompose.decompose ~verify:true S.By_value q with
+  | exception Xd_core.Decompose.Rejected _ ->
+    Alcotest.fail "decomposer's own plan must verify"
+  | _ -> ());
+  (* --force semantics: execute anyway (the copies' parents don't exist
+     in the message, so the count silently comes out 0 — exactly the
+     divergence the verifier reports) *)
+  let r = E.run_plan ~force:true net ~client plan in
+  check_string "forced run executes" "0"
+    (Xd_lang.Value.serialize r.E.value)
+
+(* ---- satellite: the builtin registry can't drift ---------------------- *)
+
+let test_builtin_registry_in_sync () =
+  (* Builtins.table itself cross-checks against Builtin_names.all and
+     raises on any drift *)
+  ignore (Xd_lang.Builtins.table ());
+  check_bool "conditions share the authoritative list"
+    (Xd_core.Conditions.known_builtins == Xd_lang.Builtin_names.all);
+  check_bool "doc is known" (Xd_lang.Builtin_names.is_builtin "doc");
+  check_bool "frobnicate is not" (not (Xd_lang.Builtin_names.is_builtin "frobnicate"))
+
+(* ---- random queries: zero false positives + differential -------------- *)
+
+(* every plan the decomposer emits verifies with zero errors, under all
+   four strategies, with and without code motion *)
+let prop_decomposer_plans_verify =
+  qtest ~count:80 "random queries: decomposer plans verify clean" arb_query
+    (fun q ->
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun code_motion ->
+              match
+                Xd_core.Decompose.decompose ~code_motion ~verify:true strategy q
+              with
+              | _ -> true
+              | exception Xd_core.Decompose.Rejected _ -> false)
+            [ false; true ])
+        S.all)
+
+(* the enhanced passing semantics equal the data-shipping baseline, with
+   the verifier gating every distributed run ([E.run] raises
+   [Plan_rejected] on any error — a false positive fails the property) *)
+let prop_differential_verified =
+  qtest ~count:60 "random queries: verified strategies = data-shipping"
+    arb_query (fun q ->
+      let baseline =
+        let net, client = make_net () in
+        try Ok (E.run net ~client S.Data_shipping q).E.value
+        with _ -> Error ()
+      in
+      match baseline with
+      | Error () -> QCheck.assume_fail () (* ill-typed random query *)
+      | Ok reference ->
+        List.for_all
+          (fun strategy ->
+            let net, client = make_net () in
+            let r = E.run net ~client strategy q in
+            Xd_lang.Value.deep_equal r.E.value reference)
+          [ S.By_value; S.By_fragment; S.By_projection ])
+
+let () =
+  Alcotest.run "xd_verify"
+    [
+      ( "good plans",
+        [
+          tc "examples corpus verifies under all strategies"
+            test_corpus_verifies;
+          tc "data-shipping update warns, doesn't gate"
+            test_data_shipping_update_warns_only;
+          tc "projection fill lifts the reverse-axis rejection"
+            test_projection_lifts_reverse_axis;
+        ] );
+      ( "bad plans",
+        [
+          tc "reverse axis on shipped copy" test_reject_reverse_axis;
+          tc "node identity across the message" test_reject_node_identity;
+          tc "step over mixed shipped sequence" test_reject_mixed_step;
+          tc "fn:root escape" test_reject_root_escape;
+          tc "unclosed remote body" test_reject_unclosed_body;
+          tc "host mismatch" test_reject_host_mismatch;
+          tc "update through shipped copy" test_reject_update_through_copy;
+          tc "tampered projection paths" test_reject_tampered_projection_paths;
+        ] );
+      ( "executor gate",
+        [ tc "refuses failing plans unless forced" test_executor_refuses_unless_forced ] );
+      ( "registry", [ tc "builtin list is authoritative" test_builtin_registry_in_sync ] );
+      ( "random",
+        [ prop_decomposer_plans_verify; prop_differential_verified ] );
+    ]
