@@ -2,7 +2,8 @@
    distribution strategy.
 
      xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
-          [--verify-plan] [--plan] [--force] QUERY
+          [--verify-plan] [--plan] [--force] [--fault-spec SPEC]
+          [--fault-seed N] [--timeout S] [--retries N] QUERY
 
    QUERY is a file name, or a literal query with --query. Documents are
    loaded onto named peers; the query addresses them as
@@ -72,6 +73,27 @@ let force_arg =
   let doc = "Execute even when the verifier rejects the plan." in
   Arg.(value & flag & info [ "force" ] ~doc)
 
+let fault_spec_arg =
+  let doc =
+    "Inject deterministic wire faults. SPEC is ';'-separated rules \
+     [PEER:]KIND[=PARAM][@PROB][#LIMIT] with KIND one of drop, dup, \
+     truncate, delay, crash, down (e.g. 'peer1:drop@0.2#3;delay=0.5@0.1')."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the fault schedule (same spec+seed => same faults)." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let timeout_arg =
+  let doc = "Per-call timeout in simulated seconds." in
+  Arg.(value & opt float 1.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc = "Retry budget per call (re-sends after the first attempt)." in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
 let query_string_arg =
   let doc = "Give the query inline instead of in a file." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
@@ -102,7 +124,7 @@ let parse_doc_spec s =
           file ))
 
 let run docs strategy explain stats code_motion verify_plan as_plan force
-    query_string query_file =
+    fault_spec fault_seed timeout_s retries query_string query_file =
   let query_src =
     match (query_string, query_file) with
     | Some q, _ -> Ok q
@@ -114,7 +136,17 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
     prerr_endline e;
     1
   | Ok src -> (
-    let net = Xd_xrpc.Network.create () in
+    let fault =
+      match fault_spec with
+      | None -> Xd_xrpc.Fault.none
+      | Some s -> (
+        match Xd_xrpc.Fault.parse s with
+        | Ok spec -> Xd_xrpc.Fault.create ~seed:fault_seed spec
+        | Error e ->
+          Printf.eprintf "bad --fault-spec: %s\n" e;
+          exit 1)
+    in
+    let net = Xd_xrpc.Network.create ~fault () in
     let client = Xd_xrpc.Network.new_peer net "client" in
     let load spec =
       match parse_doc_spec spec with
@@ -168,7 +200,9 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
         let report = Xd_core.Executor.verify_plan ~client plan in
         Format.printf "%a@." Xd_verify.Verify.pp_report report
       end;
-      match Xd_core.Executor.run_plan ~force net ~client plan with
+      match
+        Xd_core.Executor.run_plan ~timeout_s ~retries ~force net ~client plan
+      with
       | exception Xd_core.Executor.Plan_rejected report ->
         Format.eprintf "plan rejected by the distribution-safety verifier:@.";
         List.iter
@@ -181,6 +215,15 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
         1
       | exception Xd_lang.Value.Type_error msg ->
         Printf.eprintf "type error: %s\n" msg;
+        1
+      | exception Xd_xrpc.Message.Xrpc_fault { host; code; reason } ->
+        Printf.eprintf "xrpc fault from %s: %s: %s\n" host
+          (Xd_xrpc.Message.fault_code_to_string code)
+          reason;
+        1
+      | exception Xd_xrpc.Message.Xrpc_timeout { host; attempts } ->
+        Printf.eprintf "xrpc timeout: %s did not answer (%d attempts)\n" host
+          attempts;
         1
       | r ->
         print_endline (Xd_lang.Value.serialize r.Xd_core.Executor.value);
@@ -197,7 +240,13 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
             (t.Xd_core.Executor.serialize_s *. 1000.)
             (t.Xd_core.Executor.shred_s *. 1000.)
             (t.Xd_core.Executor.remote_exec_s *. 1000.)
-            (t.Xd_core.Executor.network_s *. 1000.)
+            (t.Xd_core.Executor.network_s *. 1000.);
+          Printf.eprintf
+            "faults: injected %d, timeouts %d, retries %d, fallbacks %d, \
+             dedup-hits %d\n"
+            t.Xd_core.Executor.faults t.Xd_core.Executor.timeouts
+            t.Xd_core.Executor.retries t.Xd_core.Executor.fallbacks
+            t.Xd_core.Executor.dedup_hits
         end;
         0))
 
@@ -208,6 +257,7 @@ let cmd =
     Term.(
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
       $ code_motion_arg $ verify_plan_arg $ plan_arg $ force_arg
+      $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ query_string_arg $ query_file_arg)
 
 let () = exit (Cmd.eval' cmd)

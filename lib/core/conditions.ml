@@ -38,6 +38,11 @@ let bad_mixer strategy (m : Ast.expr) =
   match m.Ast.desc with
   | Ast.Seq es when List.length es >= 2 -> true
   | Ast.Node_set _ -> true
+  (* sequence-reordering/splicing builtins: their output is no longer in
+     document order (fn:reverse), or is spliced from two sequences
+     (fn:insert-before) or punctured (fn:remove) — a downstream step
+     re-sorts and dedups, observably changing the sequence *)
+  | Ast.Fun_call (("reverse" | "insert-before" | "remove"), _) -> true
   | Ast.For _ | Ast.Order_by _ -> strategy = Strategy.By_value
   | Ast.Step (_, ax, _) ->
     strategy = Strategy.By_value && not (Ast.non_overlapping_axis ax)

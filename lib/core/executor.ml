@@ -15,6 +15,11 @@ type timing = {
   message_bytes : int;
   document_bytes : int;
   messages : int;
+  faults : int; (* wire faults injected *)
+  timeouts : int; (* calls that waited out the per-call timeout *)
+  retries : int; (* re-sent requests *)
+  fallbacks : int; (* calls degraded to local data-shipped evaluation *)
+  dedup_hits : int; (* retried requests answered from the server cache *)
 }
 
 let total_time t =
@@ -35,14 +40,16 @@ let verify_plan ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
    runs first: a plan with error-severity findings is refused unless
    [~force:true] — distributed execution of such a plan would silently
    diverge from the local reference semantics. *)
-let run_plan ?record ?bulk ?(force = false) (net : Xd_xrpc.Network.t)
-    ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) : run =
+let run_plan ?record ?bulk ?timeout_s ?retries ?(force = false)
+    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
+    (plan : Decompose.plan) : run =
   let report = verify_plan ~client plan in
   if (not force) && not (Xd_verify.Verify.ok report) then
     raise (Plan_rejected report);
   let strategy = plan.Decompose.strategy in
   let session =
-    Xd_xrpc.Session.create ?record ?bulk net client (Strategy.passing strategy)
+    Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries net client
+      (Strategy.passing strategy)
   in
   let stats = net.Xd_xrpc.Network.stats in
   Xd_xrpc.Stats.reset stats;
@@ -64,14 +71,20 @@ let run_plan ?record ?bulk ?(force = false) (net : Xd_xrpc.Network.t)
       message_bytes = stats.Xd_xrpc.Stats.message_bytes;
       document_bytes = stats.Xd_xrpc.Stats.document_bytes;
       messages = stats.Xd_xrpc.Stats.messages;
+      faults = stats.Xd_xrpc.Stats.faults;
+      timeouts = stats.Xd_xrpc.Stats.timeouts;
+      retries = stats.Xd_xrpc.Stats.retries;
+      fallbacks = stats.Xd_xrpc.Stats.fallbacks;
+      dedup_hits = stats.Xd_xrpc.Stats.dedup_hits;
     }
   in
   { value; plan; timing }
 
-let run ?record ?bulk ?code_motion ?force (net : Xd_xrpc.Network.t)
-    ~(client : Xd_xrpc.Peer.t) (strategy : Strategy.t) (q : Ast.query) : run =
+let run ?record ?bulk ?timeout_s ?retries ?code_motion ?force
+    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
+    (strategy : Strategy.t) (q : Ast.query) : run =
   let plan = Decompose.decompose ?code_motion strategy q in
-  run_plan ?record ?bulk ?force net ~client plan
+  run_plan ?record ?bulk ?timeout_s ?retries ?force net ~client plan
 
 (* Reference local execution (all peers' documents reachable without cost
    accounting): the semantics any decomposition must reproduce. Documents

@@ -12,6 +12,11 @@ type timing = {
   message_bytes : int;
   document_bytes : int;
   messages : int;
+  faults : int;  (** wire faults injected *)
+  timeouts : int;  (** calls that waited out the per-call timeout *)
+  retries : int;  (** re-sent requests *)
+  fallbacks : int;  (** calls degraded to local data-shipped evaluation *)
+  dedup_hits : int;  (** retried requests answered from the server cache *)
 }
 
 val total_time : timing -> float
@@ -36,18 +41,24 @@ val verify_plan :
 val run_plan :
   ?record:Xd_xrpc.Session.recorded list ref ->
   ?bulk:bool ->
+  ?timeout_s:float ->
+  ?retries:int ->
   ?force:bool ->
   Xd_xrpc.Network.t ->
   client:Xd_xrpc.Peer.t ->
   Decompose.plan ->
   run
 (** Verify, then execute, an already-decomposed (or hand-written) plan.
+    [timeout_s]/[retries] configure the per-call timeout and retry budget
+    of the session (see {!Xd_xrpc.Session.create}).
     @raise Plan_rejected when the verifier reports errors and [force] is
     false (the default); [~force:true] executes anyway. *)
 
 val run :
   ?record:Xd_xrpc.Session.recorded list ref ->
   ?bulk:bool ->
+  ?timeout_s:float ->
+  ?retries:int ->
   ?code_motion:bool ->
   ?force:bool ->
   Xd_xrpc.Network.t ->

@@ -231,8 +231,13 @@ let rec check_host ctx h (e : Ast.expr) =
 (* ---- the interpreter ------------------------------------------------- *)
 
 let seq_passthrough =
-  [ "item-at"; "subsequence"; "remove"; "reverse"; "insert-before";
-    "zero-or-one"; "exactly-one"; "one-or-more" ]
+  [ "item-at"; "subsequence"; "zero-or-one"; "exactly-one"; "one-or-more" ]
+
+(* Sequence-reordering/splicing builtins are condition-iii mixers: their
+   output is not a document-order subsequence of their input, so a
+   downstream step's sort+dedup observably changes it. Provenance flows
+   through, tainted — mirroring the decomposer's [bad_mixer]. *)
+let seq_reorder = [ "reverse"; "insert-before"; "remove" ]
 
 let rec eval ctx env site (e : Ast.expr) : Prov.t =
   match e.Ast.desc with
@@ -334,6 +339,7 @@ and eval_call ctx env site (e : Ast.expr) name args =
     check_escape ctx e name p;
     p
   | _ when List.mem name seq_passthrough -> Prov.join_all ps
+  | _ when List.mem name seq_reorder -> Prov.taint (Prov.join_all ps)
   | _ when Xd_lang.Builtin_names.is_builtin name -> Prov.atoms
   | _ ->
     (* User function: the decomposer inlines what it can; what remains

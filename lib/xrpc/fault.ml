@@ -1,0 +1,218 @@
+(* Deterministic fault injection for the simulated wire.
+
+   A fault specification is a list of rules consulted, in order, for every
+   XRPC message the network carries (document fetches model a dumb
+   replica/file server and are not subject to injection — see DESIGN.md,
+   "Graceful degradation"). Each rule fires with a configured probability
+   drawn from one seeded PRNG, so a (spec, seed) pair names exactly one
+   fault schedule: the same query over the same data sees the same drops,
+   duplicates, truncations and crashes on every run.
+
+   The mini-language (also accepted by xdxq --fault-spec):
+
+     spec  := rule (";" rule)*                 an empty spec = no faults
+     rule  := [ PEER ":" ] kind [ "=" PARAM ] [ "@" PROB ] [ "#" LIMIT ]
+     kind  := drop       message never delivered (the caller times out)
+            | dup        message delivered twice
+            | truncate   message delivered with its tail cut off
+            | delay      PARAM extra simulated seconds (default 0.5)
+            | crash      target peer drops this and the next PARAM-1
+                         messages addressed to it (default 4)
+            | down       target peer permanently drops messages
+
+   A rule without a PEER prefix is network-wide (it matches whatever peer
+   the message is addressed to). PROB is the per-message firing
+   probability (default 1). LIMIT caps how many times the rule fires
+   (default unlimited) — "drop@1#1" deterministically kills exactly the
+   first message. *)
+
+type kind =
+  | Drop
+  | Dup
+  | Truncate
+  | Delay of float
+  | Crash of int
+  | Down
+
+type rule = {
+  target : string option; (* None = any destination peer *)
+  kind : kind;
+  prob : float;
+  limit : int option;
+}
+
+type spec = rule list
+
+type t = {
+  rules : (rule * int ref) array; (* rule, firings so far *)
+  rng : Random.State.t;
+  crashed : (string, int option) Hashtbl.t;
+      (* peer -> messages still to drop; None = down forever *)
+  mutable injected : int;
+}
+
+type outcome =
+  | Pass
+  | Drop_msg
+  | Duplicate
+  | Truncate_at of int (* deliver only this many leading bytes *)
+  | Delay_by of float
+
+(* ---------------- spec parsing ---------------------------------------- *)
+
+let kind_of_string k param =
+  let p default = match param with Some s -> float_of_string s | None -> default in
+  let pi default = match param with Some s -> int_of_string s | None -> default in
+  match k with
+  | "drop" -> Ok Drop
+  | "dup" -> Ok Dup
+  | "truncate" -> Ok Truncate
+  | "delay" -> Ok (Delay (p 0.5))
+  | "crash" -> Ok (Crash (max 1 (pi 4)))
+  | "down" -> Ok Down
+  | _ -> Error (Printf.sprintf "unknown fault kind %S" k)
+
+let parse_rule s =
+  let s = String.trim s in
+  let target, rest =
+    match String.index_opt s ':' with
+    | Some i ->
+      (Some (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (None, s)
+  in
+  let rest, limit =
+    match String.index_opt rest '#' with
+    | Some i ->
+      ( String.sub rest 0 i,
+        Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    | None -> (rest, None)
+  in
+  let rest, prob =
+    match String.index_opt rest '@' with
+    | Some i ->
+      ( String.sub rest 0 i,
+        Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    | None -> (rest, None)
+  in
+  let rest, param =
+    match String.index_opt rest '=' with
+    | Some i ->
+      ( String.sub rest 0 i,
+        Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    | None -> (rest, None)
+  in
+  match kind_of_string rest param with
+  | exception _ -> Error (Printf.sprintf "bad fault parameter in %S" s)
+  | Error e -> Error e
+  | Ok kind -> (
+    match
+      ( (match prob with Some p -> float_of_string p | None -> 1.),
+        match limit with Some l -> Some (int_of_string l) | None -> None )
+    with
+    | exception _ -> Error (Printf.sprintf "bad probability or limit in %S" s)
+    | prob, _ when not (prob >= 0. && prob <= 1.) ->
+      Error (Printf.sprintf "probability out of [0,1] in %S" s)
+    | prob, limit -> Ok { target; kind; prob; limit })
+
+let parse s =
+  let parts =
+    List.filter
+      (fun p -> String.trim p <> "")
+      (String.split_on_char ';' s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      match parse_rule p with
+      | Ok r -> go (r :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] parts
+
+let rule_to_string r =
+  let kind, param =
+    match r.kind with
+    | Drop -> ("drop", None)
+    | Dup -> ("dup", None)
+    | Truncate -> ("truncate", None)
+    | Delay s -> ("delay", Some (Printf.sprintf "%g" s))
+    | Crash k -> ("crash", Some (string_of_int k))
+    | Down -> ("down", None)
+  in
+  String.concat ""
+    [
+      (match r.target with Some t -> t ^ ":" | None -> "");
+      kind;
+      (match param with Some p -> "=" ^ p | None -> "");
+      (if r.prob < 1. then Printf.sprintf "@%g" r.prob else "");
+      (match r.limit with Some l -> "#" ^ string_of_int l | None -> "");
+    ]
+
+let spec_to_string spec = String.concat ";" (List.map rule_to_string spec)
+
+(* ---------------- the schedule ---------------------------------------- *)
+
+let create ?(seed = 0) spec =
+  {
+    rules = Array.of_list (List.map (fun r -> (r, ref 0)) spec);
+    rng = Random.State.make [| seed; 0x5eed |];
+    crashed = Hashtbl.create 4;
+    injected = 0;
+  }
+
+let none = create []
+let enabled t = Array.length t.rules > 0
+let injected t = t.injected
+
+let crash t dst k =
+  Hashtbl.replace t.crashed dst k
+
+(* A message addressed to a crashed peer is dropped; a bounded crash
+   recovers after its k messages were consumed. *)
+let consume_crash t dst =
+  match Hashtbl.find_opt t.crashed dst with
+  | None -> false
+  | Some None -> true
+  | Some (Some k) ->
+    if k <= 1 then Hashtbl.remove t.crashed dst
+    else Hashtbl.replace t.crashed dst (Some (k - 1));
+    true
+
+let decide t ~dst ~len =
+  if not (enabled t) then Pass
+  else if consume_crash t dst then begin
+    t.injected <- t.injected + 1;
+    Drop_msg
+  end
+  else begin
+    let fired = ref Pass in
+    Array.iter
+      (fun (r, count) ->
+        if !fired = Pass then
+          let applicable =
+            (match r.target with Some p -> p = dst | None -> true)
+            && match r.limit with Some l -> !count < l | None -> true
+          in
+          if applicable && Random.State.float t.rng 1. < r.prob then begin
+            incr count;
+            t.injected <- t.injected + 1;
+            fired :=
+              (match r.kind with
+              | Drop -> Drop_msg
+              | Dup -> Duplicate
+              | Truncate ->
+                (* cut at least one byte, keep at least one *)
+                if len < 2 then Drop_msg
+                else Truncate_at (1 + Random.State.int t.rng (len - 1))
+              | Delay s -> Delay_by s
+              | Crash k ->
+                (* this message is the first of the k dropped ones *)
+                if k > 1 then crash t dst (Some (k - 1));
+                Drop_msg
+              | Down ->
+                crash t dst None;
+                Drop_msg)
+          end)
+      t.rules;
+    !fired
+  end

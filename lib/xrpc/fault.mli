@@ -1,0 +1,66 @@
+(** Deterministic fault injection for the simulated wire.
+
+    A (spec, seed) pair names exactly one fault schedule: the network
+    consults {!decide} for every XRPC message, and all randomness comes
+    from one PRNG seeded at {!create}, so identical runs see identical
+    drops, duplicates, truncations and crashes. Document fetches (data
+    shipping) are not subject to injection — they model a dumb replica
+    server that stays reachable when a peer's query endpoint crashes.
+
+    The spec mini-language (xdxq [--fault-spec]):
+
+    {v
+    spec  := rule (";" rule)*              empty spec = no faults
+    rule  := [ PEER ":" ] kind [ "=" PARAM ] [ "@" PROB ] [ "#" LIMIT ]
+    kind  := drop | dup | truncate | delay | crash | down
+    v}
+
+    A rule without a PEER matches any destination. [PROB] is the
+    per-message firing probability (default 1); [LIMIT] caps total
+    firings — ["drop@1#1"] kills exactly the first message. [delay=S]
+    adds S simulated seconds; [crash=K] makes the target drop this and
+    the next K-1 messages; [down] is a permanent crash. *)
+
+type kind =
+  | Drop
+  | Dup
+  | Truncate
+  | Delay of float
+  | Crash of int
+  | Down
+
+type rule = {
+  target : string option;  (** [None] = any destination peer *)
+  kind : kind;
+  prob : float;
+  limit : int option;
+}
+
+type spec = rule list
+
+type t
+
+type outcome =
+  | Pass
+  | Drop_msg
+  | Duplicate
+  | Truncate_at of int  (** deliver only this many leading bytes *)
+  | Delay_by of float
+
+val parse : string -> (spec, string) result
+val spec_to_string : spec -> string
+
+val create : ?seed:int -> spec -> t
+val none : t
+
+val enabled : t -> bool
+(** [false] for an empty spec: the network then bypasses the fault layer
+    entirely (identical wire traffic to a fault-free build). *)
+
+val injected : t -> int
+(** Total faults injected so far. *)
+
+val decide : t -> dst:string -> len:int -> outcome
+(** The fate of one message of [len] bytes addressed to peer [dst].
+    Consults (and updates) crash state first, then the rules in spec
+    order; the first rule that fires wins. *)

@@ -37,6 +37,16 @@ module Iset = Set.Make (Int)
 
 type passing = By_value | By_fragment | By_projection
 
+(* A structurally ill-formed message: the XML parsed, but the protocol
+   content is wrong (missing elements/attributes, bad references, unknown
+   enumeration values). The server answers these with a non-retryable
+   protocol fault instead of letting them surface as confusing downstream
+   dynamic errors. *)
+exception Protocol_error of string
+
+let protocol_error fmt =
+  Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
 let passing_to_string = function
   | By_value -> "by-value"
   | By_fragment -> "by-fragment"
@@ -46,7 +56,52 @@ let passing_of_string = function
   | "by-value" -> By_value
   | "by-fragment" -> By_fragment
   | "by-projection" -> By_projection
-  | s -> Xd_lang.Env.dynamic_error "unknown passing mode %S" s
+  | s -> protocol_error "unknown passing mode %S" s
+
+(* ------------------------------------------------------------------ *)
+(* SOAP Faults.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The fault-code taxonomy (PROTOCOL.md). Transport-class faults are
+   retryable: the same request may well succeed on a clean wire. The
+   others are deterministic — retrying cannot help. *)
+type fault_code =
+  | Transport_corrupt (* message damaged in flight (e.g. truncated) *)
+  | Transport_timeout (* an upstream peer did not answer in time *)
+  | Protocol_malformed (* well-formed XML, ill-formed protocol content *)
+  | App_dynamic (* XQuery dynamic error raised by the remote body *)
+  | App_type (* XQuery type error raised by the remote body *)
+
+exception
+  Xrpc_fault of { host : string; code : fault_code; reason : string }
+
+exception Xrpc_timeout of { host : string; attempts : int }
+
+let retryable = function
+  | Transport_corrupt | Transport_timeout -> true
+  | Protocol_malformed | App_dynamic | App_type -> false
+
+let fault_code_to_string = function
+  | Transport_corrupt -> "xrpc:transport.corrupt"
+  | Transport_timeout -> "xrpc:transport.timeout"
+  | Protocol_malformed -> "xrpc:protocol.malformed"
+  | App_dynamic -> "xrpc:app.dynamic-error"
+  | App_type -> "xrpc:app.type-error"
+
+let fault_code_of_string = function
+  | "xrpc:transport.corrupt" -> Transport_corrupt
+  | "xrpc:transport.timeout" -> Transport_timeout
+  | "xrpc:protocol.malformed" -> Protocol_malformed
+  | "xrpc:app.dynamic-error" -> App_dynamic
+  | "xrpc:app.type-error" -> App_type
+  | s -> protocol_error "unknown fault code %S" s
+
+(* SOAP 1.2 top-level role: sender faults are the caller's doing,
+   everything else is on the receiving side. *)
+let fault_role = function
+  | Protocol_malformed -> "env:Sender"
+  | Transport_corrupt | Transport_timeout | App_dynamic | App_type ->
+    "env:Receiver"
 
 (* ------------------------------------------------------------------ *)
 (* Session endpoint state.                                             *)
@@ -146,6 +201,21 @@ let buf_text buf s =
       | '&' -> Buffer.add_string buf "&amp;"
       | c -> Buffer.add_char buf c)
     s
+
+(* A complete <env:Fault> response envelope (PROTOCOL.md, "Faults"). *)
+let write_fault ~code ~reason =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><env:Fault><env:Code><env:Value>";
+  Buffer.add_string buf (fault_role code);
+  Buffer.add_string buf "</env:Value><env:Subcode><env:Value>";
+  Buffer.add_string buf (fault_code_to_string code);
+  Buffer.add_string buf
+    "</env:Value></env:Subcode></env:Code><env:Reason><env:Text>";
+  buf_text buf reason;
+  Buffer.add_string buf
+    "</env:Text></env:Reason></env:Fault></env:Body></env:Envelope>";
+  Buffer.contents buf
 
 (* The node used for structural shipping: attributes travel with their
    owner element. *)
@@ -422,8 +492,32 @@ let req_attr n name =
   match attr_of n name with
   | Some v -> v
   | None ->
-    Xd_lang.Env.dynamic_error "malformed XRPC message: missing attribute %s"
-      name
+    protocol_error "malformed XRPC message: missing attribute %s on <%s>"
+      name (X.Node.name n)
+
+(* Read an <env:Fault> element back into (code, reason). A fault whose
+   own structure is broken is itself a protocol error. *)
+let parse_fault fault_node =
+  let child n name =
+    match find_child n name with
+    | Some c -> c
+    | None -> protocol_error "fault envelope without <%s>" name
+  in
+  let code =
+    fault_code_of_string
+      (X.Node.string_value
+         (child (child (child fault_node "env:Code") "env:Subcode")
+            "env:Value"))
+  in
+  let reason =
+    match find_child fault_node "env:Reason" with
+    | None -> ""
+    | Some r -> (
+      match find_child r "env:Text" with
+      | None -> ""
+      | Some t -> X.Node.string_value t)
+  in
+  (code, reason)
 
 (* Copy the children of a parsed message node into a fresh document. *)
 let copy_children_to_doc ?uri n =
@@ -459,7 +553,7 @@ let shred_fragments ep ~from_host fragments_node =
         let rdid, ridx =
           match String.split_on_char ':' okey with
           | [ a; b ] -> (int_of_string a, int_of_string b)
-          | _ -> Xd_lang.Env.dynamic_error "malformed okey %S" okey
+          | _ -> protocol_error "malformed okey %S" okey
         in
         let uri = attr_of frag "base-uri" in
         let doc = copy_children_to_doc ?uri frag in
@@ -547,7 +641,7 @@ let shred_item ep ~from_host item : Value.t =
           (Xd_lang.Construct.attribute store (req_attr item "name")
              (req_attr item "value"));
       ]
-    | k -> Xd_lang.Env.dynamic_error "malformed copy kind %S" k)
+    | k -> protocol_error "malformed copy kind %S" k)
   | "node" | "attr-ref" -> (
     let o = req_attr item "o" in
     let node =
@@ -558,14 +652,14 @@ let shred_item ep ~from_host item : Value.t =
         match X.Store.find_did (Peer.store ep.self) did with
         | Some d when idx < X.Doc.n_nodes d -> X.Node.of_tree d idx
         | _ ->
-          Xd_lang.Env.dynamic_error "dangling remote origin reference %S" o)
+          protocol_error "dangling remote origin reference %S" o)
       | [ "L"; did; idx ] -> (
         let did = int_of_string did and idx = int_of_string idx in
         match Hashtbl.find_opt ep.origin (from_host, did, idx) with
         | Some n -> n
         | None ->
-          Xd_lang.Env.dynamic_error "unresolved origin reference %S" o)
-      | _ -> Xd_lang.Env.dynamic_error "malformed origin %S" o
+          protocol_error "unresolved origin reference %S" o)
+      | _ -> protocol_error "malformed origin %S" o
     in
     if X.Node.name item = "attr-ref" then begin
       let aname = req_attr item "name" in
@@ -574,12 +668,12 @@ let shred_item ep ~from_host item : Value.t =
       with
       | Some a -> [ Value.N a ]
       | None ->
-        Xd_lang.Env.dynamic_error "attribute %s not found on shipped node"
+        protocol_error "attribute %s not found on shipped node"
           aname
     end
     else [ Value.N node ])
   | other ->
-    Xd_lang.Env.dynamic_error "unexpected item element <%s> in message" other
+    protocol_error "unexpected item element <%s> in message" other
 
 let shred_sequence ep ~from_host seq_node : Value.t =
   List.concat_map

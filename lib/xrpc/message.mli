@@ -25,6 +25,46 @@ type passing = By_value | By_fragment | By_projection
 val passing_to_string : passing -> string
 val passing_of_string : string -> passing
 
+(** {2 Faults} *)
+
+exception Protocol_error of string
+(** A structurally ill-formed message: the XML parsed, but the protocol
+    content is wrong (missing elements/attributes, bad references,
+    unknown enumeration values). Servers answer these with a
+    non-retryable [xrpc:protocol.malformed] fault. *)
+
+val protocol_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** The fault-code taxonomy (PROTOCOL.md, "Faults"). Transport-class
+    faults are retryable — the same request may succeed on a clean wire;
+    the others are deterministic. *)
+type fault_code =
+  | Transport_corrupt
+  | Transport_timeout
+  | Protocol_malformed
+  | App_dynamic
+  | App_type
+
+exception
+  Xrpc_fault of { host : string; code : fault_code; reason : string }
+(** A parsed [<env:Fault>] response from [host], re-raised client-side. *)
+
+exception Xrpc_timeout of { host : string; attempts : int }
+(** No response from [host] within the per-call timeout, after
+    [attempts] total sends. *)
+
+val retryable : fault_code -> bool
+val fault_code_to_string : fault_code -> string
+
+val fault_code_of_string : string -> fault_code
+(** Raises {!Protocol_error} on an unknown code. *)
+
+val write_fault : code:fault_code -> reason:string -> string
+(** A complete [<env:Fault>] response envelope. *)
+
+val parse_fault : Xd_xml.Node.t -> fault_code * string
+(** Read an [<env:Fault>] element back into (code, reason). *)
+
 type foreign = { from_host : string; remote_did : int; omap : int array }
 (** Provenance of a document shredded from a remote fragment:
     [omap.(local_idx) = remote original tree index]. *)

@@ -1,22 +1,35 @@
 (* The simulated network: a registry of peers plus a cost model. Messages
    are real XML strings produced and parsed by the peers; only the wire is
    simulated, charging latency + bytes/bandwidth per message. Defaults
-   model the paper's testbed (1 Gb/s Ethernet LAN). *)
+   model the paper's testbed (1 Gb/s Ethernet LAN).
+
+   An optional fault layer decides the fate of every XRPC message —
+   delivered, dropped, duplicated, truncated or delayed — from a seeded
+   schedule (see Fault). With an empty spec the layer is bypassed
+   entirely: accounting and wire bytes are identical to a fault-free
+   build. Document fetches (data shipping) are never injected with
+   faults; they model a dumb replica server that stays reachable when a
+   peer's query endpoint crashes (DESIGN.md, "Graceful degradation"). *)
 
 type t = {
   peers : (string, Peer.t) Hashtbl.t;
   bandwidth_bytes_per_s : float;
   latency_s : float;
   stats : Stats.t;
+  fault : Fault.t;
 }
 
-let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4) () =
+let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4)
+    ?(fault = Fault.none) () =
   {
     peers = Hashtbl.create 8;
     bandwidth_bytes_per_s;
     latency_s;
     stats = Stats.create ();
+    fault;
   }
+
+let faulty t = Fault.enabled t.fault
 
 let add_peer t peer = Hashtbl.replace t.peers (Peer.name peer) peer
 
@@ -42,3 +55,31 @@ let transfer ?(kind = `Message) t bytes =
   t.stats.Stats.network_s <-
     t.stats.Stats.network_s +. t.latency_s
     +. (float_of_int bytes /. t.bandwidth_bytes_per_s)
+
+type delivery = Delivered of { text : string; duplicated : bool } | Dropped
+
+(* Put one XRPC message on the wire towards [dst]. The sender always pays
+   for the transmission (the bytes left its interface even when the
+   message is then lost); the fault layer decides what, if anything,
+   arrives. *)
+let send t ~dst text =
+  let bytes = String.length text in
+  transfer ~kind:`Message t bytes;
+  if not (Fault.enabled t.fault) then Delivered { text; duplicated = false }
+  else
+    match Fault.decide t.fault ~dst ~len:bytes with
+    | Fault.Pass -> Delivered { text; duplicated = false }
+    | Fault.Drop_msg ->
+      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      Dropped
+    | Fault.Duplicate ->
+      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      transfer ~kind:`Message t bytes;
+      Delivered { text; duplicated = true }
+    | Fault.Truncate_at n ->
+      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      Delivered { text = String.sub text 0 n; duplicated = false }
+    | Fault.Delay_by s ->
+      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      t.stats.Stats.network_s <- t.stats.Stats.network_s +. s;
+      Delivered { text; duplicated = false }

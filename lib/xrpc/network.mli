@@ -1,17 +1,39 @@
 (** The simulated network: a registry of peers plus a cost model. Messages
     are real XML strings produced and parsed by the peers; only the wire
     is simulated, charging latency + bytes/bandwidth per message. Defaults
-    model the paper's testbed (1 Gb/s LAN, 0.1 ms). *)
+    model the paper's testbed (1 Gb/s LAN, 0.1 ms).
+
+    An optional {!Fault} layer decides the fate of every XRPC message.
+    With an empty spec it is bypassed entirely — wire traffic is
+    byte-identical to a fault-free build. Document fetches (data
+    shipping) are never fault-injected: they model a dumb replica server
+    that stays reachable when a peer's query endpoint crashes. *)
 
 type t = {
   peers : (string, Peer.t) Hashtbl.t;
   bandwidth_bytes_per_s : float;
   latency_s : float;
   stats : Stats.t;
+  fault : Fault.t;
 }
 
-val create : ?bandwidth_bytes_per_s:float -> ?latency_s:float -> unit -> t
+val create :
+  ?bandwidth_bytes_per_s:float -> ?latency_s:float -> ?fault:Fault.t ->
+  unit -> t
+
+val faulty : t -> bool
+(** Whether a non-empty fault schedule is installed. *)
+
 val add_peer : t -> Peer.t -> unit
 val new_peer : t -> string -> Peer.t
 val find_peer : t -> string -> Peer.t
 val transfer : ?kind:[ `Message | `Document ] -> t -> int -> unit
+
+type delivery = Delivered of { text : string; duplicated : bool } | Dropped
+
+val send : t -> dst:string -> string -> delivery
+(** Put one XRPC message on the wire towards peer [dst]. The sender
+    always pays for the transmission; the fault layer decides what
+    arrives: the full text, a truncated prefix, two copies
+    ([duplicated]), or nothing ([Dropped] — the caller's timeout
+    machinery takes over). *)

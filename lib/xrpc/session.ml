@@ -29,9 +29,16 @@ type t = {
   funcs_shipped : (string, unit) Hashtbl.t; (* hosts that got our module *)
   record : recorded list ref option;
   depth : int;
+  timeout_s : float; (* simulated per-call timeout *)
+  retries : int; (* extra attempts after the first *)
+  replied : (string, string) Hashtbl.t;
+      (* server side: request-id -> cached successful response; retried
+         (or duplicated) update-carrying calls apply at most once *)
+  mutable next_req : int; (* client side: request-id counter *)
 }
 
-let create ?record ?(bulk = true) ?schema ?(depth = 0) net self passing =
+let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
+    ?(retries = 2) net self passing =
   {
     net;
     self;
@@ -45,6 +52,10 @@ let create ?record ?(bulk = true) ?schema ?(depth = 0) net self passing =
     funcs_shipped = Hashtbl.create 4;
     record;
     depth;
+    timeout_s;
+    retries;
+    replied = Hashtbl.create 8;
+    next_req = 0;
   }
 
 let recorded session = Option.map (fun r -> List.rev !r) session.record
@@ -61,7 +72,8 @@ let rec server_session session host =
     let peer = Network.find_peer session.net host in
     let s =
       create ?record:session.record ~bulk:session.bulk ?schema:session.schema
-        ~depth:(session.depth + 1) session.net peer session.passing
+        ~depth:(session.depth + 1) ~timeout_s:session.timeout_s
+        ~retries:session.retries session.net peer session.passing
     in
     Hashtbl.replace session.remote_sessions host s;
     s
@@ -138,12 +150,17 @@ and param_node_sets (x : Ast.execute_at) args =
     args;
   (!used, !returned)
 
-and build_request session ~ep ~host (x : Ast.execute_at) ~args ~funcs =
+and build_request session ~ep ~host ?req_id (x : Ast.execute_at) ~args ~funcs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><request";
   Message.buf_attr buf "passing" (Message.passing_to_string session.passing);
   Message.buf_attr buf "caller" (Peer.name session.self);
+  (* only stamped on a faulty wire, so fault-free traffic is byte-identical
+     to a build without the fault layer *)
+  (match req_id with
+  | Some id -> Message.buf_attr buf "request-id" id
+  | None -> ());
   Message.buf_attr buf "static-base-uri" "xdx://static/";
   Message.buf_attr buf "default-collation" "codepoint";
   Message.buf_attr buf "current-dateTime" "2009-03-29T00:00:00Z";
@@ -216,19 +233,69 @@ and find_path names node =
       | Some n -> Message.find_child n name)
     (Some node) names
 
+(* [session] here is the *server* session. Every failure below — a
+   request that does not parse, ill-formed protocol content, or an error
+   raised by the remote body — is answered with a proper <env:Fault>
+   envelope carrying a code from the taxonomy, never a leaked native
+   exception. Only asynchronous/implementation exceptions (Stack_overflow
+   and friends) still propagate. *)
 and handle_request session ~client_name request_text =
-  (* [session] here is the *server* session *)
+  let stats = session.net.Network.stats in
+  try handle_request_exn session ~client_name request_text
+  with e ->
+    let fault code reason =
+      stats.Stats.faults <- stats.Stats.faults + 1;
+      Stats.time_serialize stats (fun () -> Message.write_fault ~code ~reason)
+    in
+    (match e with
+    | Message.Protocol_error m -> fault Message.Protocol_malformed m
+    | X.Parser.Error (m, pos) ->
+      fault Message.Transport_corrupt
+        (Printf.sprintf "unparsable request: %s (byte %d)" m pos)
+    | Xd_lang.Parser.Error (m, pos) | Xd_lang.Lexer.Error (m, pos) ->
+      fault Message.Protocol_malformed
+        (Printf.sprintf "unparsable query body: %s (offset %d)" m pos)
+    | Env.Dynamic_error m -> fault Message.App_dynamic m
+    | Value.Type_error m -> fault Message.App_type m
+    | Message.Xrpc_fault { host; code; reason } ->
+      (* a nested call of the body failed: relay the upstream fault *)
+      fault code (Printf.sprintf "relayed from %s: %s" host reason)
+    | Message.Xrpc_timeout { host; attempts } ->
+      fault Message.Transport_timeout
+        (Printf.sprintf "upstream peer %s did not answer (%d attempts)" host
+           attempts)
+    | Failure m -> fault Message.Protocol_malformed m
+    | e -> raise e)
+
+and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
   let ep = call_endpoint session in
-  let mdoc, req =
+  let req =
     Stats.time_shred stats (fun () ->
         let mdoc = X.Parser.parse_doc ~strip_ws:false request_text in
         let root = X.Node.doc_node mdoc in
         match find_path [ "env:Envelope"; "env:Body"; "request" ] root with
-        | Some r -> (mdoc, r)
-        | None -> Env.dynamic_error "malformed XRPC request")
+        | Some r -> r
+        | None ->
+          Message.protocol_error
+            "XRPC message without <env:Envelope>/<env:Body>/<request>")
   in
-  ignore mdoc;
+  let req_id = Message.attr_of req "request-id" in
+  match Option.bind req_id (Hashtbl.find_opt session.replied) with
+  | Some cached ->
+    (* a retransmission of a request we already answered: replay the
+       response instead of re-evaluating (at-most-once updates) *)
+    stats.Stats.dedup_hits <- stats.Stats.dedup_hits + 1;
+    cached
+  | None ->
+    let resp = handle_parsed session ~client_name ~ep req in
+    (match req_id with
+    | Some id -> Hashtbl.replace session.replied id resp
+    | None -> ());
+    resp
+
+and handle_parsed session ~client_name ~ep req =
+  let stats = session.net.Network.stats in
   let passing = Message.passing_of_string (Message.req_attr req "passing") in
   Stats.time_shred stats (fun () ->
       Message.shred_fragments ep ~from_host:client_name
@@ -246,11 +313,11 @@ and handle_request session ~client_name request_text =
   let body_text =
     match Message.find_child req "query" with
     | Some qn -> X.Node.string_value qn
-    | None -> Env.dynamic_error "XRPC request without query"
+    | None -> Message.protocol_error "XRPC request without <query>"
   in
   let args =
     match Message.find_child req "call" with
-    | None -> []
+    | None -> Message.protocol_error "XRPC request without <call>"
     | Some call ->
       List.map
         (fun seq ->
@@ -341,21 +408,65 @@ and handle_request session ~client_name request_text =
 
 (* ---------------- client side ------------------------------------------ *)
 
+(* Shred a response at the client. A response that does not parse (e.g.
+   truncated in flight) or is structurally broken raises a *retryable*
+   transport fault; a parsed <env:Fault> re-raises as the typed
+   exception it describes. *)
 and shred_response session ~ep ~host response_text : Value.t =
   let stats = session.net.Network.stats in
+  let corrupt reason =
+    raise
+      (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
+  in
   Stats.time_shred stats (fun () ->
-      let mdoc = X.Parser.parse_doc ~strip_ws:false response_text in
-      let root = X.Node.doc_node mdoc in
-      let resp =
-        match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
-        | Some r -> r
-        | None -> Env.dynamic_error "malformed XRPC response"
+      let root =
+        match X.Parser.parse_doc ~strip_ws:false response_text with
+        | mdoc -> X.Node.doc_node mdoc
+        | exception X.Parser.Error (m, pos) ->
+          corrupt (Printf.sprintf "unparsable response: %s (byte %d)" m pos)
       in
-      Message.shred_fragments ep ~from_host:host
-        (Message.find_child resp "fragments");
-      match Message.find_child resp "sequence" with
-      | Some seq -> Message.shred_sequence ep ~from_host:host seq
-      | None -> [])
+      match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
+      | Some resp -> (
+        Message.shred_fragments ep ~from_host:host
+          (Message.find_child resp "fragments");
+        match Message.find_child resp "sequence" with
+        | Some seq -> Message.shred_sequence ep ~from_host:host seq
+        | None -> [])
+      | None -> (
+        match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
+        | Some f ->
+          let code, reason = Message.parse_fault f in
+          raise (Message.Xrpc_fault { host; code; reason })
+        | None -> corrupt "response is neither <response> nor <env:Fault>"))
+
+(* A body is safe to degrade to local evaluation when it provably reads
+   only: no updating expression and no user-function call (a user
+   function could hide an update; builtins cannot). *)
+and degradable (x : Ast.execute_at) =
+  (not (Ast.contains_update x.Ast.body))
+  && Ast.fold
+       (fun acc e ->
+         acc
+         &&
+         match e.Ast.desc with
+         | Ast.Fun_call (f, _) -> Xd_lang.Builtin_names.is_builtin f
+         | _ -> true)
+       true x.Ast.body
+
+(* Graceful degradation: the peer's query endpoint is unreachable, but
+   its document store is served by a dumb replica that data shipping can
+   still reach (DESIGN.md). Fetch the documents and evaluate the
+   read-only body here; relative URIs in the body meant the peer's own
+   store, so they resolve as xrpc://host/uri. *)
+and degrade session env (x : Ast.execute_at) ~host ~args =
+  let stats = session.net.Network.stats in
+  stats.Stats.fallbacks <- stats.Stats.fallbacks + 1;
+  let resolve e uri =
+    match Xd_dgraph.Dgraph.split_xrpc_uri uri with
+    | Some _ -> resolve_doc session e uri
+    | None -> resolve_doc session e ("xrpc://" ^ host ^ "/" ^ uri)
+  in
+  Eval.local_execute_at { env with Env.resolve_doc = resolve } x ~host ~args
 
 and execute_at session env (x : Ast.execute_at) ~host ~args =
   if host = "" || host = Peer.name session.self then
@@ -365,23 +476,71 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
     let stats = session.net.Network.stats in
     let funcs = Env.func_list env in
     let ep = call_endpoint session in
+    let req_id =
+      (* only on a faulty wire: fault-free traffic stays byte-identical *)
+      if Network.faulty session.net then begin
+        session.next_req <- session.next_req + 1;
+        Some (Printf.sprintf "%s:%d" (Peer.name session.self) session.next_req)
+      end
+      else None
+    in
     let req_text =
       Stats.time_serialize stats (fun () ->
-          build_request session ~ep ~host x ~args ~funcs)
+          build_request session ~ep ~host ?req_id x ~args ~funcs)
     in
     (match session.record with
     | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
     | None -> ());
-    Network.transfer session.net (String.length req_text);
     let srv = server_session session host in
-    let resp_text =
-      handle_request srv ~client_name:(Peer.name session.self) req_text
+    let self_name = Peer.name session.self in
+    let attempts = session.retries + 1 in
+    let timed_out () =
+      stats.Stats.timeouts <- stats.Stats.timeouts + 1;
+      stats.Stats.network_s <- stats.Stats.network_s +. session.timeout_s
     in
-    (match session.record with
-    | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
-    | None -> ());
-    Network.transfer session.net (String.length resp_text);
-    shred_response session ~ep ~host resp_text
+    let rec attempt n last =
+      if n > attempts then
+        (* out of attempts on retryable failures only — non-retryable
+           faults raise immediately below *)
+        if degradable x then degrade session env x ~host ~args
+        else
+          match last with
+          | `Fault (code, reason) ->
+            raise (Message.Xrpc_fault { host; code; reason })
+          | `Timeout -> raise (Message.Xrpc_timeout { host; attempts })
+      else begin
+        if n > 1 then begin
+          stats.Stats.retries <- stats.Stats.retries + 1;
+          (* deterministic exponential backoff, charged to the wire clock *)
+          stats.Stats.network_s <-
+            stats.Stats.network_s +. (0.05 *. (2. ** float_of_int (n - 2)))
+        end;
+        match Network.send session.net ~dst:host req_text with
+        | Network.Dropped ->
+          timed_out ();
+          attempt (n + 1) `Timeout
+        | Network.Delivered { text = delivered; duplicated } -> (
+          let resp_text = handle_request srv ~client_name:self_name delivered in
+          (* a duplicated request reaches the server twice; the second
+             copy is answered from the dedup cache and its reply ignored *)
+          if duplicated then
+            ignore (handle_request srv ~client_name:self_name delivered);
+          (match session.record with
+          | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
+          | None -> ());
+          match Network.send session.net ~dst:self_name resp_text with
+          | Network.Dropped ->
+            timed_out ();
+            attempt (n + 1) `Timeout
+          | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
+            match shred_response session ~ep ~host resp_delivered with
+            | v -> v
+            | exception Message.Xrpc_fault { host = _; code; reason }
+              when Message.retryable code ->
+              attempt (n + 1) (`Fault (code, reason))))
+      end
+    in
+    attempt 1 `Timeout
   end
 
 (* Apply a pending update list, refusing updates whose targets live in

@@ -16,15 +16,27 @@ type t
 
 val create :
   ?record:recorded list ref -> ?bulk:bool ->
-  ?schema:(string -> string list) -> ?depth:int -> Network.t -> Peer.t ->
-  Message.passing -> t
+  ?schema:(string -> string list) -> ?depth:int -> ?timeout_s:float ->
+  ?retries:int -> Network.t -> Peer.t -> Message.passing -> t
 (** A session for one querying peer. [record] captures every message (for
     tests and demos); [bulk] (default true) enables session-wide fragment
     caching — the wire behaviour of the paper's bulk RPC; disabling it is
     the ablation baseline where every call re-ships its nodes; [schema]
     makes by-projection messages schema-aware (mandatory children of kept
-    elements are preserved); [depth] guards against runaway nested
-    calls. *)
+    elements are preserved); [depth] guards against runaway nested calls.
+
+    [timeout_s] (default 1.0) is the per-call timeout on the simulated
+    clock: a call whose request or response is lost waits it out, then
+    retries; [retries] (default 2) bounds the re-sends, with
+    deterministic exponential backoff also charged to the simulated
+    clock. Retried requests carry a request-id (only on a faulty wire —
+    fault-free traffic is byte-identical to a build without the fault
+    layer) and servers replay cached responses, so update-carrying calls
+    apply at most once. When a peer stays unreachable and the body is
+    provably read-only, the call degrades to data shipping: the
+    documents are fetched and the body evaluates locally. Otherwise the
+    caller sees a typed {!Message.Xrpc_timeout} or {!Message.Xrpc_fault}
+    — never a leaked native exception. *)
 
 val recorded : t -> recorded list option
 

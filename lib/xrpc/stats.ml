@@ -12,6 +12,11 @@ type t = {
   mutable shred_s : float; (* parsing messages/documents into stores *)
   mutable remote_exec_s : float; (* query evaluation at remote peers *)
   mutable network_s : float; (* simulated wire time *)
+  mutable faults : int; (* wire faults injected (drop/dup/truncate/delay) *)
+  mutable timeouts : int; (* calls that waited out the per-call timeout *)
+  mutable retries : int; (* re-sent requests (after timeout or fault) *)
+  mutable fallbacks : int; (* calls degraded to local data-shipped eval *)
+  mutable dedup_hits : int; (* retried requests answered from the cache *)
 }
 
 let create () =
@@ -24,6 +29,11 @@ let create () =
     shred_s = 0.;
     remote_exec_s = 0.;
     network_s = 0.;
+    faults = 0;
+    timeouts = 0;
+    retries = 0;
+    fallbacks = 0;
+    dedup_hits = 0;
   }
 
 let reset t =
@@ -34,7 +44,12 @@ let reset t =
   t.serialize_s <- 0.;
   t.shred_s <- 0.;
   t.remote_exec_s <- 0.;
-  t.network_s <- 0.
+  t.network_s <- 0.;
+  t.faults <- 0;
+  t.timeouts <- 0;
+  t.retries <- 0;
+  t.fallbacks <- 0;
+  t.dedup_hits <- 0
 
 let total_bytes t = t.message_bytes + t.document_bytes
 
@@ -65,4 +80,7 @@ let pp fmt t =
     "bytes: msg=%d doc=%d | msgs=%d docs=%d | serialize=%.4fs shred=%.4fs \
      remote=%.4fs network=%.4fs"
     t.message_bytes t.document_bytes t.messages t.documents_fetched
-    t.serialize_s t.shred_s t.remote_exec_s t.network_s
+    t.serialize_s t.shred_s t.remote_exec_s t.network_s;
+  if t.faults + t.timeouts + t.retries + t.fallbacks + t.dedup_hits > 0 then
+    Fmt.pf fmt " | faults=%d timeouts=%d retries=%d fallbacks=%d dedup=%d"
+      t.faults t.timeouts t.retries t.fallbacks t.dedup_hits

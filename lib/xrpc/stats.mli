@@ -12,6 +12,11 @@ type t = {
   mutable shred_s : float;
   mutable remote_exec_s : float;
   mutable network_s : float;  (** simulated wire time *)
+  mutable faults : int;  (** wire faults injected *)
+  mutable timeouts : int;  (** calls that waited out the per-call timeout *)
+  mutable retries : int;  (** re-sent requests *)
+  mutable fallbacks : int;  (** calls degraded to local data-shipped eval *)
+  mutable dedup_hits : int;  (** retried requests answered from the cache *)
 }
 
 val create : unit -> t

@@ -1,0 +1,64 @@
+Fault injection from the command line: --fault-spec/--fault-seed install a
+deterministic fault schedule, --timeout/--retries bound the recovery.
+
+  $ cat > d.xml <<'EOF'
+  > <r><x>1</x><x>2</x><x>3</x></r>
+  > EOF
+
+A dropped first message is retried: the answer is exact, and the stats
+line accounts the waited-out timeout and the re-send:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'drop@1#1' --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep -E '^[0-9]|^faults:'
+  3
+  faults: injected 1, timeouts 1, retries 1, fallbacks 0, dedup-hits 0
+
+A duplicated request reaches the server twice; the second copy is answered
+from the request-id cache, so the call still counts once:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'dup@1#1' --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep -E '^[0-9]|^faults:'
+  3
+  faults: injected 1, timeouts 0, retries 0, fallbacks 0, dedup-hits 1
+
+A permanently-down peer with a read-only body degrades gracefully: the
+documents are data-shipped and the body evaluates locally — same answer,
+one fallback:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'peer1:down' --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep -E '^[0-9]|^faults:'
+  3
+  faults: injected 3, timeouts 3, retries 2, fallbacks 1, dedup-hits 0
+
+An update cannot degrade (it must run at the owning peer): the caller gets
+a typed timeout, and the exit code reflects the failure:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'peer1:down' \
+  >   -q 'insert node <y/> into doc("xrpc://peer1/d.xml")/child::r'
+  xrpc timeout: peer1 did not answer (3 attempts)
+  [1]
+
+The schedule is deterministic: the same spec and seed give the same faults
+(cram itself asserts this — the counters below are reproducible):
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'truncate@0.4;delay=0.2@0.3' --fault-seed 42 --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>/dev/null
+  3
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'truncate@0.4;delay=0.2@0.3' --fault-seed 42 --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep '^faults:' > first
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'truncate@0.4;delay=0.2@0.3' --fault-seed 42 --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep '^faults:' > second
+  $ diff first second
+
+A malformed spec is rejected up front:
+
+  $ ../../bin/xdxq.exe --fault-spec 'explode' -q '1'
+  bad --fault-spec: unknown fault kind "explode"
+  [1]
+
+Without --fault-spec the counters stay silent at zero:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep -E '^[0-9]|^faults:'
+  3
+  faults: injected 0, timeouts 0, retries 0, fallbacks 0, dedup-hits 0

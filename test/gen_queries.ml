@@ -22,8 +22,8 @@ let sources =
     ("local.xml", [| "conf"; "minage"; "wanted" |]);
   |]
 
-let make_net () =
-  let net = Xd_xrpc.Network.create () in
+let make_net ?fault () =
+  let net = Xd_xrpc.Network.create ?fault () in
   let client = Xd_xrpc.Network.new_peer net "client" in
   let a = Xd_xrpc.Network.new_peer net "peerA" in
   let b = Xd_xrpc.Network.new_peer net "peerB" in
@@ -129,6 +129,16 @@ let rec gen_nodeseq (uri, names) vars n =
             (fun ns i -> Ast.fun_call "item-at" [ ns; Ast.int (1 + i) ])
             (gen_nodeseq (uri, names) vars (n - 1))
             (int_bound 3) );
+        ( 1,
+          (* sequence-reordering builtins: condition-iii mixers, the
+             decomposer must not route their output into a remote step *)
+          map2
+            (fun ns i ->
+              match i with
+              | 0 -> Ast.fun_call "reverse" [ ns ]
+              | _ -> Ast.fun_call "remove" [ ns; Ast.int i ])
+            (gen_nodeseq (uri, names) vars (n - 1))
+            (int_bound 2) );
       ]
 
 and gen_bool (uri, names) vars n =

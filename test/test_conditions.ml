@@ -126,7 +126,21 @@ let test_bad_mixer () =
   check_bool "child never overlaps" (not (C.bad_mixer S.By_value child_step));
   check_bool "descendant fine under by-fragment"
     (not (C.bad_mixer S.By_fragment desc_step));
-  check_bool "seq still mixes under by-projection" (C.bad_mixer S.By_projection seq2)
+  check_bool "seq still mixes under by-projection" (C.bad_mixer S.By_projection seq2);
+  (* sequence-reordering builtins mix under every strategy *)
+  let rev_e = Ast.fun_call "reverse" [ Ast.var "v" ] in
+  let ins_e =
+    Ast.fun_call "insert-before" [ Ast.var "v"; Ast.int 1; Ast.var "w" ]
+  in
+  let rem_e = Ast.fun_call "remove" [ Ast.var "v"; Ast.int 1 ] in
+  let sub_e = Ast.fun_call "subsequence" [ Ast.var "v"; Ast.int 1; Ast.int 2 ] in
+  List.iter
+    (fun s ->
+      check_bool "reverse mixes" (C.bad_mixer s rev_e);
+      check_bool "insert-before mixes" (C.bad_mixer s ins_e);
+      check_bool "remove mixes" (C.bad_mixer s rem_e);
+      check_bool "subsequence does not mix" (not (C.bad_mixer s sub_e)))
+    [ S.By_value; S.By_fragment; S.By_projection ]
 
 (* ---- insertion mechanics ------------------------------------------------------ *)
 

@@ -415,19 +415,44 @@ let prop_remote_count =
 (* ---- malformed messages ------------------------------------------------------ *)
 
 let test_malformed_rejected () =
+  (* malformed requests never raise through the server: they come back as
+     proper <env:Fault> envelopes with a code from the taxonomy *)
   let net, client, _ = setup () in
   let session = Xd_xrpc.Session.create net client M.By_fragment in
-  let fails txt =
-    match Xd_xrpc.Session.handle_request session ~client_name:"client" txt with
-    | exception Xd_lang.Env.Dynamic_error _ -> true
-    | exception X.Parser.Error _ -> true
-    | _ -> false
+  let fault_of txt =
+    let resp = Xd_xrpc.Session.handle_request session ~client_name:"client" txt in
+    let root = X.Node.doc_node (X.Parser.parse_doc ~strip_ws:false resp) in
+    let rec find n = function
+      | [] -> Some n
+      | name :: rest -> (
+        match
+          List.find_opt
+            (fun c -> X.Node.kind c = X.Node.Element && X.Node.name c = name)
+            (X.Node.children n)
+        with
+        | Some c -> find c rest
+        | None -> None)
+    in
+    match find root [ "env:Envelope"; "env:Body"; "env:Fault" ] with
+    | Some f -> Some (fst (M.parse_fault f))
+    | None -> None
   in
-  check_bool "not xml" (fails "garbage");
-  check_bool "wrong envelope" (fails "<env:Envelope/>");
+  let is_fault code txt = fault_of txt = Some code in
+  (* the XML layer is lenient with bare text, so "garbage" parses but has
+     no envelope; actually broken markup is a transport-class fault *)
+  check_bool "not xml" (is_fault M.Protocol_malformed "garbage");
+  check_bool "truncated"
+    (is_fault M.Transport_corrupt "<env:Envelope><env:Body>");
+  check_bool "wrong envelope" (is_fault M.Protocol_malformed "<env:Envelope/>");
   check_bool "missing query"
-    (fails
-       "<env:Envelope><env:Body><request passing=\"by-fragment\"><fragments/><call/></request></env:Body></env:Envelope>")
+    (is_fault M.Protocol_malformed
+       "<env:Envelope><env:Body><request passing=\"by-fragment\"><fragments/><call/></request></env:Body></env:Envelope>");
+  check_bool "missing call"
+    (is_fault M.Protocol_malformed
+       "<env:Envelope><env:Body><request passing=\"by-fragment\"><query>1</query></request></env:Body></env:Envelope>");
+  check_bool "bad passing mode"
+    (is_fault M.Protocol_malformed
+       "<env:Envelope><env:Body><request passing=\"by-wormhole\"><query>1</query><call/></request></env:Body></env:Envelope>")
 
 let () =
   Alcotest.run "xd_messages"

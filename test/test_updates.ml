@@ -254,8 +254,13 @@ let test_server_refuses_update_on_shipped_param () =
         return execute at {"peerA"} function ($p := $n) { delete node $p }|}
   in
   check_bool "server refuses to update a shipped parameter"
+    (* the server-side refusal (a dynamic error) now travels back as a
+       typed, non-retryable application fault *)
     (match Xd_xrpc.Session.execute session q with
-    | exception Xd_lang.Env.Dynamic_error _ -> true
+    | exception
+        Xd_xrpc.Message.Xrpc_fault
+          { code = Xd_xrpc.Message.App_dynamic; _ } ->
+      true
     | _ -> false);
   (* the client's original document is untouched *)
   let d = Option.get (Xd_xrpc.Peer.find_doc client "mine.xml") in

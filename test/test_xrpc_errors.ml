@@ -19,8 +19,22 @@ let exec ?(passing = M.By_fragment) net client q =
 let fails_dynamic f =
   match f () with exception Xd_lang.Env.Dynamic_error _ -> true | _ -> false
 
+let astr_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* A server-side error must arrive as a parsed <env:Fault>, re-raised as
+   the typed exception — never a leaked native exception. *)
+let fails_fault code f =
+  match f () with
+  | exception M.Xrpc_fault fl -> fl.code = code
+  | _ -> false
+
 let test_unknown_peer () =
   let net, client, _ = setup () in
+  (* these fail at the *client*, before any message exists: they stay
+     plain dynamic errors *)
   check_bool "execute at unknown peer"
     (fails_dynamic (fun () ->
          exec net client {|execute at {"nowhere"} function () { 1 }|}));
@@ -33,14 +47,14 @@ let test_missing_remote_doc () =
   check_bool "missing doc via data shipping"
     (fails_dynamic (fun () -> exec net client {|doc("xrpc://srv/ghost.xml")|}));
   check_bool "missing doc inside remote body"
-    (fails_dynamic (fun () ->
+    (fails_fault M.App_dynamic (fun () ->
          exec net client
            {|execute at {"srv"} function () { doc("ghost.xml") }|}))
 
 let test_remote_evaluation_error_propagates () =
   let net, client, _ = setup () in
-  check_bool "remote dynamic error surfaces at the caller"
-    (fails_dynamic (fun () ->
+  check_bool "remote dynamic error surfaces as a typed fault"
+    (fails_fault M.App_dynamic (fun () ->
          exec net client {|execute at {"srv"} function () { $unbound }|}))
 
 let test_nesting_limit () =
@@ -49,11 +63,64 @@ let test_nesting_limit () =
   let net, client, server = setup () in
   ignore server;
   check_bool "nesting depth guard"
-    (fails_dynamic (fun () ->
+    (fails_fault M.App_dynamic (fun () ->
          exec net client
            {|declare function ping($n) {
                execute at {"srv"} function ($n := $n) { ping($n + 1) } };
              ping(0)|}))
+
+(* The raw response on the wire for a failing body really is a SOAP
+   <env:Fault> envelope, with the taxonomy code in env:Subcode and the
+   reason under env:Reason/env:Text. *)
+let test_fault_envelope_on_wire () =
+  let net, client, _ = setup () in
+  let record = ref [] in
+  let session = Xd_xrpc.Session.create ~record net client M.By_fragment in
+  (match
+     Xd_xrpc.Session.execute session
+       (Xd_lang.Parser.parse_query
+          {|execute at {"srv"} function () { $unbound }|})
+   with
+  | exception M.Xrpc_fault { host; code; reason } ->
+    check_string "fault host" "srv" host;
+    check_bool "fault code" (code = M.App_dynamic);
+    check_bool "fault reason mentions the variable"
+      (astr_contains reason "unbound")
+  | _ -> Alcotest.fail "expected Xrpc_fault");
+  let responses =
+    List.filter_map
+      (fun r ->
+        match r.Xd_xrpc.Session.dir with
+        | `Response t -> Some t
+        | `Request _ -> None)
+      (List.rev !record)
+  in
+  match responses with
+  | [ resp ] ->
+    check_bool "wire response is an envelope"
+      (astr_contains resp "<env:Envelope");
+    check_bool "wire response is a fault" (astr_contains resp "<env:Fault>");
+    check_bool "wire response carries the subcode"
+      (astr_contains resp "xrpc:app.dynamic-error");
+    let root = X.Node.doc_node (X.Parser.parse_doc ~strip_ws:false resp) in
+    let find n name =
+      List.find_opt
+        (fun c -> X.Node.kind c = X.Node.Element && X.Node.name c = name)
+        (X.Node.children n)
+    in
+    (match
+       Option.bind
+         (Option.bind (find root "env:Envelope") (fun b -> find b "env:Body"))
+         (fun b -> find b "env:Fault")
+     with
+    | Some f ->
+      let code, reason = M.parse_fault f in
+      check_bool "parsed code" (code = M.App_dynamic);
+      check_bool "parsed reason" (astr_contains reason "unbound")
+    | None -> Alcotest.fail "no parsable <env:Fault> in the response")
+  | rs ->
+    Alcotest.failf "expected exactly one recorded response, got %d"
+      (List.length rs)
 
 let test_accounting_on_success () =
   let net, client, server = setup () in
@@ -133,6 +200,7 @@ let () =
           tc "missing document" test_missing_remote_doc;
           tc "remote error propagates" test_remote_evaluation_error_propagates;
           tc "nesting limit" test_nesting_limit;
+          tc "fault envelope on the wire" test_fault_envelope_on_wire;
         ] );
       ( "roundtrips",
         [
