@@ -3,7 +3,8 @@
 
      xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
           [--verify-plan] [--plan] [--force] [--fault-spec SPEC]
-          [--fault-seed N] [--timeout S] [--retries N] QUERY
+          [--fault-seed N] [--timeout S] [--retries N] [--txn]
+          [--journal-dir DIR] QUERY
 
    QUERY is a file name, or a literal query with --query. Documents are
    loaded onto named peers; the query addresses them as
@@ -76,8 +77,9 @@ let force_arg =
 let fault_spec_arg =
   let doc =
     "Inject deterministic wire faults. SPEC is ';'-separated rules \
-     [PEER:]KIND[=PARAM][@PROB][#LIMIT] with KIND one of drop, dup, \
-     truncate, delay, crash, down (e.g. 'peer1:drop@0.2#3;delay=0.5@0.1')."
+     [PEER:]KIND[=PARAM][@PROB][#LIMIT][%SKIP] with KIND one of drop, \
+     dup, truncate, delay, crash, restart, down (e.g. \
+     'peer1:drop@0.2#3;delay=0.5@0.1')."
   in
   Arg.(
     value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
@@ -93,6 +95,23 @@ let timeout_arg =
 let retries_arg =
   let doc = "Retry budget per call (re-sends after the first attempt)." in
   Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
+let txn_arg =
+  let doc =
+    "Always run the query as a distributed transaction (two-phase commit \
+     across update-carrying peers). Without this flag, 2PC is used \
+     automatically when updates may span several peers."
+  in
+  Arg.(value & flag & info [ "txn" ] ~doc)
+
+let journal_dir_arg =
+  let doc =
+    "Write per-peer transaction journals under DIR (created if missing), \
+     so staged updates and commit decisions survive simulated \
+     crash-restarts. Without it, journals are kept in memory."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "journal-dir" ] ~docv:"DIR" ~doc)
 
 let query_string_arg =
   let doc = "Give the query inline instead of in a file." in
@@ -124,7 +143,8 @@ let parse_doc_spec s =
           file ))
 
 let run docs strategy explain stats code_motion verify_plan as_plan force
-    fault_spec fault_seed timeout_s retries query_string query_file =
+    fault_spec fault_seed timeout_s retries txn journal_dir query_string
+    query_file =
   let query_src =
     match (query_string, query_file) with
     | Some q, _ -> Ok q
@@ -146,7 +166,7 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
           Printf.eprintf "bad --fault-spec: %s\n" e;
           exit 1)
     in
-    let net = Xd_xrpc.Network.create ~fault () in
+    let net = Xd_xrpc.Network.create ~fault ?journal_dir () in
     let client = Xd_xrpc.Network.new_peer net "client" in
     let load spec =
       match parse_doc_spec spec with
@@ -201,7 +221,9 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
         Format.printf "%a@." Xd_verify.Verify.pp_report report
       end;
       match
-        Xd_core.Executor.run_plan ~timeout_s ~retries ~force net ~client plan
+        Xd_core.Executor.run_plan ~timeout_s ~retries
+          ~txn:(if txn then `Always else `Auto)
+          ~force net ~client plan
       with
       | exception Xd_core.Executor.Plan_rejected report ->
         Format.eprintf "plan rejected by the distribution-safety verifier:@.";
@@ -246,7 +268,15 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
              dedup-hits %d\n"
             t.Xd_core.Executor.faults t.Xd_core.Executor.timeouts
             t.Xd_core.Executor.retries t.Xd_core.Executor.fallbacks
-            t.Xd_core.Executor.dedup_hits
+            t.Xd_core.Executor.dedup_hits;
+          if
+            t.Xd_core.Executor.txn_commits > 0
+            || t.Xd_core.Executor.txn_aborts > 0
+            || t.Xd_core.Executor.txn_staged > 0
+          then
+            Printf.eprintf "txn: staged %d, commits %d, aborts %d\n"
+              t.Xd_core.Executor.txn_staged t.Xd_core.Executor.txn_commits
+              t.Xd_core.Executor.txn_aborts
         end;
         0))
 
@@ -258,6 +288,6 @@ let cmd =
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
       $ code_motion_arg $ verify_plan_arg $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
-      $ query_string_arg $ query_file_arg)
+      $ txn_arg $ journal_dir_arg $ query_string_arg $ query_file_arg)
 
 let () = exit (Cmd.eval' cmd)

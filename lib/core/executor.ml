@@ -20,6 +20,10 @@ type timing = {
   retries : int; (* re-sent requests *)
   fallbacks : int; (* calls degraded to local data-shipped evaluation *)
   dedup_hits : int; (* retried requests answered from the server cache *)
+  dedup_evictions : int; (* cache entries dropped by the bounded dedup cache *)
+  txn_staged : int; (* update operations staged at remote participants *)
+  txn_commits : int; (* distributed transactions committed *)
+  txn_aborts : int; (* distributed transactions aborted *)
 }
 
 let total_time t =
@@ -36,25 +40,81 @@ let verify_plan ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
     ~self:(Xd_xrpc.Peer.name client)
     plan.Decompose.strategy plan.Decompose.query
 
+(* Where may updating expressions execute? A static walk over the plan
+   that tracks the site of the code being visited: top-level code runs at
+   the client, an execute-at body at its (literal) host, and a computed
+   host is unknowable. Function bodies are walked at each call's site,
+   because the same function may carry its updates to different peers.
+   Updates confined to a single site need no distributed commit — each
+   peer already applies its own PUL atomically — so [`Auto] picks 2PC
+   exactly when updates may span two or more sites (or a site is
+   unknowable), keeping single-peer queries on the plain wire. *)
+let txn_needed ~self (q : Ast.query) =
+  let module S = Set.Make (String) in
+  let find_func name =
+    List.find_opt (fun f -> f.Ast.f_name = name) q.Ast.funcs
+  in
+  let unknown = ref false in
+  let sites = ref S.empty in
+  let rec walk seen site (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Insert_node _ | Ast.Delete_node _ | Ast.Replace_value _
+    | Ast.Rename_node _ ->
+      (match site with
+      | Some h -> sites := S.add h !sites
+      | None -> unknown := true);
+      List.iter (walk seen site) (Ast.children e)
+    | Ast.Execute_at x ->
+      (* the host and argument expressions evaluate at the caller *)
+      List.iter (walk seen site) (x.Ast.host :: List.map snd x.Ast.params);
+      let callee =
+        match x.Ast.host.Ast.desc with
+        | Ast.Literal (Ast.A_string "") -> site
+        | Ast.Literal (Ast.A_string h) -> Some h
+        | _ -> None
+      in
+      walk seen callee x.Ast.body
+    | Ast.Fun_call (name, args) ->
+      List.iter (walk seen site) args;
+      if not (S.mem name seen) then (
+        match find_func name with
+        | Some f -> walk (S.add name seen) site f.Ast.f_body
+        | None -> ())
+    | _ -> List.iter (walk seen site) (Ast.children e)
+  in
+  walk S.empty (Some self) q.Ast.body;
+  !unknown || S.cardinal !sites > 1
+
 (* Execute an already-decomposed (or hand-written) plan. The verifier
    runs first: a plan with error-severity findings is refused unless
    [~force:true] — distributed execution of such a plan would silently
    diverge from the local reference semantics. *)
-let run_plan ?record ?bulk ?timeout_s ?retries ?(force = false)
-    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
+let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
+    ?(force = false) (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
     (plan : Decompose.plan) : run =
   let report = verify_plan ~client plan in
   if (not force) && not (Xd_verify.Verify.ok report) then
     raise (Plan_rejected report);
   let strategy = plan.Decompose.strategy in
   let session =
-    Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries net client
+    Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries ?dedup_cap net
+      client
       (Strategy.passing strategy)
+  in
+  let use_txn =
+    match txn with
+    | `Always -> true
+    | `Off -> false
+    | `Auto ->
+      txn_needed ~self:(Xd_xrpc.Peer.name client) plan.Decompose.query
   in
   let stats = net.Xd_xrpc.Network.stats in
   Xd_xrpc.Stats.reset stats;
   let t0 = Unix.gettimeofday () in
-  let value = Xd_xrpc.Session.execute session plan.Decompose.query in
+  let value =
+    if use_txn then Xd_xrpc.Session.execute_txn session plan.Decompose.query
+    else Xd_xrpc.Session.execute session plan.Decompose.query
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let timing =
     {
@@ -76,15 +136,32 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?(force = false)
       retries = stats.Xd_xrpc.Stats.retries;
       fallbacks = stats.Xd_xrpc.Stats.fallbacks;
       dedup_hits = stats.Xd_xrpc.Stats.dedup_hits;
+      dedup_evictions = stats.Xd_xrpc.Stats.dedup_evictions;
+      txn_staged = stats.Xd_xrpc.Stats.txn_staged;
+      txn_commits = stats.Xd_xrpc.Stats.txn_commits;
+      txn_aborts = stats.Xd_xrpc.Stats.txn_aborts;
     }
   in
   { value; plan; timing }
 
-let run ?record ?bulk ?timeout_s ?retries ?code_motion ?force
+let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?code_motion ?force
     (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
     (strategy : Strategy.t) (q : Ast.query) : run =
   let plan = Decompose.decompose ?code_motion strategy q in
-  run_plan ?record ?bulk ?timeout_s ?retries ?force net ~client plan
+  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?force net
+    ~client plan
+
+(* Coordinator crash recovery: a fresh session for the client re-drives
+   every transaction its journal shows as begun but unresolved. The
+   passing semantics is irrelevant — recovery exchanges only 2PC control
+   envelopes and applies journaled PULs. *)
+let recover ?timeout_s ?retries ?dedup_cap (net : Xd_xrpc.Network.t)
+    ~(client : Xd_xrpc.Peer.t) =
+  let session =
+    Xd_xrpc.Session.create ?timeout_s ?retries ?dedup_cap net client
+      Xd_xrpc.Message.By_fragment
+  in
+  Xd_xrpc.Session.recover session
 
 (* Reference local execution (all peers' documents reachable without cost
    accounting): the semantics any decomposition must reproduce. Documents

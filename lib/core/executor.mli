@@ -17,6 +17,11 @@ type timing = {
   retries : int;  (** re-sent requests *)
   fallbacks : int;  (** calls degraded to local data-shipped evaluation *)
   dedup_hits : int;  (** retried requests answered from the server cache *)
+  dedup_evictions : int;
+      (** cache entries dropped by the bounded dedup cache *)
+  txn_staged : int;  (** update operations staged at remote participants *)
+  txn_commits : int;  (** distributed transactions committed *)
+  txn_aborts : int;  (** distributed transactions aborted *)
 }
 
 val total_time : timing -> float
@@ -38,19 +43,31 @@ val verify_plan :
 (** Run the static verifier on a plan as this client would see it (calls
     targeting the client's own peer name are local evaluation). *)
 
+val txn_needed : self:string -> Xd_lang.Ast.query -> bool
+(** Static site analysis for [`Auto]: [true] iff updating expressions may
+    execute at two or more distinct sites (or at a site that cannot be
+    determined statically). Updates confined to one site are already
+    atomic there and need no distributed commit. *)
+
 val run_plan :
   ?record:Xd_xrpc.Session.recorded list ref ->
   ?bulk:bool ->
   ?timeout_s:float ->
   ?retries:int ->
+  ?dedup_cap:int ->
+  ?txn:[ `Auto | `Always | `Off ] ->
   ?force:bool ->
   Xd_xrpc.Network.t ->
   client:Xd_xrpc.Peer.t ->
   Decompose.plan ->
   run
 (** Verify, then execute, an already-decomposed (or hand-written) plan.
-    [timeout_s]/[retries] configure the per-call timeout and retry budget
-    of the session (see {!Xd_xrpc.Session.create}).
+    [timeout_s]/[retries]/[dedup_cap] configure the per-call timeout,
+    retry budget and server dedup cache of the session (see
+    {!Xd_xrpc.Session.create}). [txn] selects atomic multi-peer commit:
+    [`Always] runs the query through {!Xd_xrpc.Session.execute_txn},
+    [`Off] never does, and [`Auto] (the default) consults {!txn_needed}
+    so that single-site queries keep a wire identical to [`Off].
     @raise Plan_rejected when the verifier reports errors and [force] is
     false (the default); [~force:true] executes anyway. *)
 
@@ -59,6 +76,8 @@ val run :
   ?bulk:bool ->
   ?timeout_s:float ->
   ?retries:int ->
+  ?dedup_cap:int ->
+  ?txn:[ `Auto | `Always | `Off ] ->
   ?code_motion:bool ->
   ?force:bool ->
   Xd_xrpc.Network.t ->
@@ -67,6 +86,18 @@ val run :
   Xd_lang.Ast.query ->
   run
 (** Decompose [q] under the strategy, then {!run_plan} it. *)
+
+val recover :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?dedup_cap:int ->
+  Xd_xrpc.Network.t ->
+  client:Xd_xrpc.Peer.t ->
+  unit
+(** Re-drive every transaction the client's journal shows as begun but
+    unresolved: journaled commit decisions are pushed to all
+    participants, undecided transactions are aborted (presumed abort).
+    Run after a coordinator crash-restart; idempotent. *)
 
 val run_local :
   Xd_xrpc.Network.t -> client:Xd_xrpc.Peer.t -> Xd_lang.Ast.query ->

@@ -22,3 +22,220 @@ let create () = { pending = [] }
 let add t p = t.pending <- p :: t.pending
 let list t = List.rev t.pending
 let is_empty t = t.pending = []
+
+(* ---- wire / journal form --------------------------------------------- *)
+
+(* A staged PUL travels (and is journaled) as one XML element:
+
+     <pul>
+       <u kind="delete|insert|replace-value|rename"
+          did="D" idx="I" [attr="name"] [pos="into|before|after"]>
+         <v>…replacement/rename text…</v>          (value-carrying kinds)
+         <c k="e|t|c|p" [n="pi-target"]>…</c>      (insert content items)
+       </u>
+     </pul>
+
+   Targets are identified by (document id, pre-order index[, attribute
+   name]) in the *owning* store — staging happens at the peer that owns
+   the target document, so the ids resolve locally at commit time. The
+   replacement text rides in a child element rather than an attribute so
+   that newlines survive the round trip. *)
+
+let buf_escape_text buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let buf_attr buf name v =
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf name;
+  Buffer.add_string buf "=\"";
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.add_char buf '"'
+
+let rec buf_tree buf = function
+  | X.Doc.E (name, attrs, kids) ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter (fun (n, v) -> buf_attr buf n v) attrs;
+    Buffer.add_char buf '>';
+    List.iter (buf_tree buf) kids;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  | X.Doc.T s -> buf_escape_text buf s
+  | X.Doc.C s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | X.Doc.P (t, v) ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf t;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf v;
+    Buffer.add_string buf "?>"
+
+let buf_content_item buf t =
+  let wrap k ?n body =
+    Buffer.add_string buf "<c k=\"";
+    Buffer.add_string buf k;
+    Buffer.add_char buf '"';
+    (match n with Some n -> buf_attr buf "n" n | None -> ());
+    Buffer.add_char buf '>';
+    body ();
+    Buffer.add_string buf "</c>"
+  in
+  match t with
+  | X.Doc.E _ -> wrap "e" (fun () -> buf_tree buf t)
+  | X.Doc.T s -> wrap "t" (fun () -> buf_escape_text buf s)
+  | X.Doc.C s -> wrap "c" (fun () -> buf_escape_text buf s)
+  | X.Doc.P (tgt, v) -> wrap "p" ~n:tgt (fun () -> buf_escape_text buf v)
+
+let to_xml (ps : pending list) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<pul>";
+  List.iter
+    (fun p ->
+      let n = target_of p in
+      let kind, pos, payload =
+        match p with
+        | P_insert (_, Ast.Into, c) -> ("insert", Some "into", `Content c)
+        | P_insert (_, Ast.Before, c) -> ("insert", Some "before", `Content c)
+        | P_insert (_, Ast.After, c) -> ("insert", Some "after", `Content c)
+        | P_delete _ -> ("delete", None, `None)
+        | P_replace_value (_, s) -> ("replace-value", None, `Text s)
+        | P_rename (_, s) -> ("rename", None, `Text s)
+      in
+      Buffer.add_string buf "<u";
+      buf_attr buf "kind" kind;
+      buf_attr buf "did" (string_of_int n.X.Node.doc.X.Doc.did);
+      buf_attr buf "idx" (string_of_int (X.Node.index n));
+      if X.Node.is_attribute n then buf_attr buf "attr" (X.Node.name n);
+      (match pos with Some p -> buf_attr buf "pos" p | None -> ());
+      Buffer.add_char buf '>';
+      (match payload with
+      | `None -> ()
+      | `Text s ->
+        Buffer.add_string buf "<v>";
+        buf_escape_text buf s;
+        Buffer.add_string buf "</v>"
+      | `Content trees -> List.iter (buf_content_item buf) trees);
+      Buffer.add_string buf "</u>")
+    ps;
+  Buffer.add_string buf "</pul>";
+  Buffer.contents buf
+
+(* Deserialization: resolves targets against [store]. Any inconsistency
+   (missing document, stale index, unknown attribute) is a corrupt or
+   stale staged PUL — fail loudly; the caller turns this into a protocol
+   fault. *)
+
+let corrupt fmt = Printf.ksprintf failwith fmt
+
+let elem_children n =
+  List.filter (fun c -> X.Node.kind c = X.Node.Element) (X.Node.children n)
+
+let attr_of n name =
+  List.find_map
+    (fun a -> if X.Node.name a = name then Some (X.Node.string_value a) else None)
+    (X.Node.attributes n)
+
+let req_attr n name =
+  match attr_of n name with
+  | Some v -> v
+  | None -> corrupt "staged PUL: <%s> missing %s=" (X.Node.name n) name
+
+let rec tree_of_elem n =
+  match X.Node.kind n with
+  | X.Node.Element ->
+    X.Doc.E
+      ( X.Node.name n,
+        List.map
+          (fun a -> (X.Node.name a, X.Node.string_value a))
+          (X.Node.attributes n),
+        List.map tree_of_elem (X.Node.children n) )
+  | X.Node.Text -> X.Doc.T (X.Node.string_value n)
+  | X.Node.Comment -> X.Doc.C (X.Node.string_value n)
+  | X.Node.Pi -> X.Doc.P (X.Node.name n, X.Node.string_value n)
+  | X.Node.Document | X.Node.Attribute ->
+    corrupt "staged PUL: unexpected node kind in content"
+
+let content_of n =
+  match req_attr n "k" with
+  | "e" -> (
+    match elem_children n with
+    | [ e ] -> tree_of_elem e
+    | _ -> corrupt "staged PUL: <c k=\"e\"> must wrap one element")
+  | "t" -> X.Doc.T (X.Node.string_value n)
+  | "c" -> X.Doc.C (X.Node.string_value n)
+  | "p" -> X.Doc.P (req_attr n "n", X.Node.string_value n)
+  | k -> corrupt "staged PUL: unknown content kind %S" k
+
+let of_xml ~(store : X.Store.t) (s : string) : pending list =
+  let d =
+    try X.Parser.parse_doc ~strip_ws:false s
+    with X.Parser.Error (m, _) -> corrupt "staged PUL unparsable: %s" m
+  in
+  let root =
+    match elem_children (X.Node.doc_node d) with
+    | [ r ] when X.Node.name r = "pul" -> r
+    | _ -> corrupt "staged PUL: root element must be <pul>"
+  in
+  List.map
+    (fun u ->
+      if X.Node.name u <> "u" then
+        corrupt "staged PUL: unexpected <%s>" (X.Node.name u);
+      let did = int_of_string (req_attr u "did") in
+      let idx = int_of_string (req_attr u "idx") in
+      let doc =
+        match X.Store.find_did store did with
+        | Some doc -> doc
+        | None -> corrupt "staged PUL: unknown document %d" did
+      in
+      if idx < 0 || idx >= X.Doc.n_nodes doc then
+        corrupt "staged PUL: stale index %d in document %d" idx did;
+      let target =
+        let n = X.Node.of_tree doc idx in
+        match attr_of u "attr" with
+        | None -> n
+        | Some a -> (
+          match
+            List.find_opt (fun x -> X.Node.name x = a) (X.Node.attributes n)
+          with
+          | Some attr -> attr
+          | None -> corrupt "staged PUL: no attribute %S on node %d:%d" a did idx)
+      in
+      match req_attr u "kind" with
+      | "delete" -> P_delete target
+      | "replace-value" -> (
+        match elem_children u with
+        | [ v ] when X.Node.name v = "v" ->
+          P_replace_value (target, X.Node.string_value v)
+        | _ -> corrupt "staged PUL: replace-value without <v>")
+      | "rename" -> (
+        match elem_children u with
+        | [ v ] when X.Node.name v = "v" -> P_rename (target, X.Node.string_value v)
+        | _ -> corrupt "staged PUL: rename without <v>")
+      | "insert" ->
+        let pos =
+          match req_attr u "pos" with
+          | "into" -> Ast.Into
+          | "before" -> Ast.Before
+          | "after" -> Ast.After
+          | p -> corrupt "staged PUL: unknown insert position %S" p
+        in
+        P_insert (target, pos, List.map content_of (elem_children u))
+      | k -> corrupt "staged PUL: unknown update kind %S" k)
+    (elem_children root)

@@ -16,3 +16,13 @@ val create : unit -> t
 val add : t -> pending -> unit
 val list : t -> pending list
 val is_empty : t -> bool
+
+val to_xml : pending list -> string
+(** Serialize for staging in a transaction journal (a [<pul>] element;
+    see PROTOCOL.md). Targets are identified by (did, pre index[, attribute
+    name]) in the owning store, so the form only round-trips at the peer
+    that staged it. *)
+
+val of_xml : store:Xd_xml.Store.t -> string -> pending list
+(** Inverse of {!to_xml}, resolving targets against [store].
+    @raise Failure on a corrupt or stale staged PUL. *)

@@ -167,18 +167,34 @@ let apply_to_doc (d : X.Doc.t) (edits : pending list) : X.Doc.t =
   X.Doc.Builder.finish b
 
 (* Apply a pending update list: group by target document, rebuild each, and
-   re-register the result in the owning store under the same id and URI. *)
+   re-register the results in the owning store under the same ids and URIs.
+   Two phases — all rebuilds (which may fail) complete before the first
+   document is swapped in, so a failing PUL leaves the store untouched and
+   a staged-PUL commit is all-or-nothing locally. *)
 let apply (store : X.Store.t) (pul : pending list) : int =
   let by_doc = Hashtbl.create 4 in
+  let order = ref [] in
   List.iter
     (fun p ->
       let d = (target_of p).X.Node.doc in
-      Hashtbl.replace by_doc d.X.Doc.did
-        (d, p :: (Option.value ~default:(d, []) (Hashtbl.find_opt by_doc d.X.Doc.did) |> snd)))
+      (match Hashtbl.find_opt by_doc d.X.Doc.did with
+      | None ->
+        order := d.X.Doc.did :: !order;
+        Hashtbl.replace by_doc d.X.Doc.did (d, [ p ])
+      | Some (d0, edits) -> Hashtbl.replace by_doc d.X.Doc.did (d0, p :: edits)))
     pul;
-  Hashtbl.iter
-    (fun _ (d, edits) ->
-      let d' = apply_to_doc d (List.rev edits) in
-      ignore (X.Store.replace_doc store d d'))
-    by_doc;
+  let rebuilt =
+    List.rev_map
+      (fun did ->
+        let d, edits = Hashtbl.find by_doc did in
+        (d, apply_to_doc d (List.rev edits)))
+      !order
+  in
+  X.Store.swap_all store rebuilt;
   List.length pul
+
+(* Commit a transaction's staged PULs (journal/wire form, in staging
+   order): deserialize them all, then apply as one list — so commit and
+   crash-recovery replay share one code path and one atomicity argument. *)
+let apply_staged (store : X.Store.t) (staged : string list) : int =
+  apply store (List.concat_map (fun s -> Pul.of_xml ~store s) staged)

@@ -12,5 +12,11 @@ val content_of_value : Value.t -> Xd_xml.Doc.tree list
 val apply_to_doc : Xd_xml.Doc.t -> Pul.pending list -> Xd_xml.Doc.t
 
 val apply : Xd_xml.Store.t -> Pul.pending list -> int
-(** Apply a PUL, grouping by target document. Returns the number of
-    primitives applied. *)
+(** Apply a PUL, grouping by target document. All documents are rebuilt
+    before the first is swapped in, so failure leaves the store untouched.
+    Returns the number of primitives applied. *)
+
+val apply_staged : Xd_xml.Store.t -> string list -> int
+(** Commit a transaction's staged PULs (serialized {!Pul.to_xml} form, in
+    staging order) atomically against [store]. Shared by live commit and
+    crash-recovery replay. @raise Failure on a corrupt or stale PUL. *)

@@ -75,17 +75,19 @@ let check_axis ctx (e : Ast.expr) ax tc =
     (* Projected copies carry their ancestor envelope, so upward and
        sideways navigation stays meaningful (Section VI lifts i). A
        [shipped] origin under by-projection is the projection-overflow
-       fallback: the copy traveled in full format, without ancestors. *)
+       fallback: the response demotes to by-fragment semantics, which
+       does not carry ancestors — condition i applies in full. *)
     match tc.Prov.shipped with
     | [] -> ()
     | o :: _ ->
       if ctx.strategy = S.By_projection then
         add ctx
           (Diag.make ~exec:o.Prov.exec ~host:o.Prov.host
-             ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Warning
+             ~witness:(witness ctx e.Ast.id o.Prov.exec) ~severity:Diag.Error
              Diag.Cond_i e.Ast.id
              "%s axis over a copy that traveled without projection paths \
-              (path-analysis overflow fallback): ancestors were not shipped"
+              (path-analysis overflow fallback, demoted to by-fragment \
+              semantics): ancestors were not shipped"
              (axis_name ax))
       else
         add ctx

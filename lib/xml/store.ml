@@ -66,6 +66,32 @@ let replace_doc t old_doc new_doc =
   | None -> ());
   new_doc
 
+(* Atomic multi-document replace (staged-PUL commit): validate every pair
+   before mutating anything, so a bad pair leaves the store untouched and
+   a distributed commit never half-applies locally. *)
+let swap_all t pairs =
+  List.iter
+    (fun (old_doc, new_doc) ->
+      if new_doc.Doc.did >= 0 then
+        invalid_arg "Store.swap_all: replacement already registered";
+      if not (Hashtbl.mem t.by_did old_doc.Doc.did) then
+        invalid_arg "Store.swap_all: old document not in this store")
+    pairs;
+  List.iter (fun (old_doc, new_doc) -> ignore (replace_doc t old_doc new_doc)) pairs
+
+(* Rollback of a replace: put a previously-registered document back under
+   its own id (and uri binding, if it had one). *)
+let reinstate t doc =
+  if doc.Doc.did < 0 then invalid_arg "Store.reinstate: never registered";
+  t.docs <- doc :: List.filter (fun d -> d.Doc.did <> doc.Doc.did) t.docs;
+  Hashtbl.replace t.by_did doc.Doc.did doc;
+  match Doc.uri doc with
+  | Some u -> (
+    match Hashtbl.find_opt t.by_uri u with
+    | Some bound when bound.Doc.did = doc.Doc.did -> Hashtbl.replace t.by_uri u doc
+    | Some _ | None -> ())
+  | None -> ()
+
 let find_uri t u = Hashtbl.find_opt t.by_uri u
 let documents t = List.rev t.docs
 let count t = List.length t.docs

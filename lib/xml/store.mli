@@ -27,6 +27,15 @@ val replace_doc : t -> Doc.t -> Doc.t -> Doc.t
     one's id and uri bindings (XQUF application). Handles on the old
     version keep reading its unchanged arrays. *)
 
+val swap_all : t -> (Doc.t * Doc.t) list -> unit
+(** Replace several documents at once (staged-PUL commit): every pair is
+    validated before any mutation, so a failure leaves the store
+    untouched. @raise Invalid_argument without having mutated anything. *)
+
+val reinstate : t -> Doc.t -> unit
+(** Rollback of a {!replace_doc}: re-bind a previously-registered document
+    under its own id and uri. *)
+
 val documents : t -> Doc.t list
 val count : t -> int
 

@@ -12,19 +12,26 @@
 
      spec  := rule (";" rule)*                 an empty spec = no faults
      rule  := [ PEER ":" ] kind [ "=" PARAM ] [ "@" PROB ] [ "#" LIMIT ]
+              [ "%" SKIP ]
      kind  := drop       message never delivered (the caller times out)
             | dup        message delivered twice
             | truncate   message delivered with its tail cut off
             | delay      PARAM extra simulated seconds (default 0.5)
             | crash      target peer drops this and the next PARAM-1
                          messages addressed to it (default 4)
+            | restart    like crash (default PARAM 1), and the target
+                         peer loses all volatile transaction state —
+                         its journal is replayed with presumed abort
             | down       target peer permanently drops messages
 
    A rule without a PEER prefix is network-wide (it matches whatever peer
    the message is addressed to). PROB is the per-message firing
    probability (default 1). LIMIT caps how many times the rule fires
    (default unlimited) — "drop@1#1" deterministically kills exactly the
-   first message. *)
+   first message. SKIP arms the rule only after that many matching
+   messages have passed — "peerA:restart%3#1" crashes peerA exactly at
+   its 4th message, which is how the tests park a crash-restart at each
+   individual 2PC step. *)
 
 type kind =
   | Drop
@@ -32,6 +39,7 @@ type kind =
   | Truncate
   | Delay of float
   | Crash of int
+  | Restart of int
   | Down
 
 type rule = {
@@ -39,12 +47,14 @@ type rule = {
   kind : kind;
   prob : float;
   limit : int option;
+  skip : int;
 }
 
 type spec = rule list
 
 type t = {
-  rules : (rule * int ref) array; (* rule, firings so far *)
+  rules : (rule * int ref * int ref) array;
+      (* rule, firings so far, matching messages seen so far *)
   rng : Random.State.t;
   crashed : (string, int option) Hashtbl.t;
       (* peer -> messages still to drop; None = down forever *)
@@ -57,6 +67,7 @@ type outcome =
   | Duplicate
   | Truncate_at of int (* deliver only this many leading bytes *)
   | Delay_by of float
+  | Restart_peer (* dropped, and the destination's journal crash-restarts *)
 
 (* ---------------- spec parsing ---------------------------------------- *)
 
@@ -69,6 +80,7 @@ let kind_of_string k param =
   | "truncate" -> Ok Truncate
   | "delay" -> Ok (Delay (p 0.5))
   | "crash" -> Ok (Crash (max 1 (pi 4)))
+  | "restart" -> Ok (Restart (max 1 (pi 1)))
   | "down" -> Ok Down
   | _ -> Error (Printf.sprintf "unknown fault kind %S" k)
 
@@ -79,6 +91,13 @@ let parse_rule s =
     | Some i ->
       (Some (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1))
     | None -> (None, s)
+  in
+  let rest, skip =
+    match String.index_opt rest '%' with
+    | Some i ->
+      ( String.sub rest 0 i,
+        Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    | None -> (rest, None)
   in
   let rest, limit =
     match String.index_opt rest '#' with
@@ -107,12 +126,16 @@ let parse_rule s =
   | Ok kind -> (
     match
       ( (match prob with Some p -> float_of_string p | None -> 1.),
-        match limit with Some l -> Some (int_of_string l) | None -> None )
+        (match limit with Some l -> Some (int_of_string l) | None -> None),
+        match skip with Some k -> int_of_string k | None -> 0 )
     with
-    | exception _ -> Error (Printf.sprintf "bad probability or limit in %S" s)
-    | prob, _ when not (prob >= 0. && prob <= 1.) ->
+    | exception _ ->
+      Error (Printf.sprintf "bad probability, limit or skip in %S" s)
+    | prob, _, _ when not (prob >= 0. && prob <= 1.) ->
       Error (Printf.sprintf "probability out of [0,1] in %S" s)
-    | prob, limit -> Ok { target; kind; prob; limit })
+    | _, _, skip when skip < 0 ->
+      Error (Printf.sprintf "negative skip in %S" s)
+    | prob, limit, skip -> Ok { target; kind; prob; limit; skip })
 
 let parse s =
   let parts =
@@ -137,6 +160,7 @@ let rule_to_string r =
     | Truncate -> ("truncate", None)
     | Delay s -> ("delay", Some (Printf.sprintf "%g" s))
     | Crash k -> ("crash", Some (string_of_int k))
+    | Restart k -> ("restart", Some (string_of_int k))
     | Down -> ("down", None)
   in
   String.concat ""
@@ -146,6 +170,7 @@ let rule_to_string r =
       (match param with Some p -> "=" ^ p | None -> "");
       (if r.prob < 1. then Printf.sprintf "@%g" r.prob else "");
       (match r.limit with Some l -> "#" ^ string_of_int l | None -> "");
+      (if r.skip > 0 then "%" ^ string_of_int r.skip else "");
     ]
 
 let spec_to_string spec = String.concat ";" (List.map rule_to_string spec)
@@ -154,7 +179,7 @@ let spec_to_string spec = String.concat ";" (List.map rule_to_string spec)
 
 let create ?(seed = 0) spec =
   {
-    rules = Array.of_list (List.map (fun r -> (r, ref 0)) spec);
+    rules = Array.of_list (List.map (fun r -> (r, ref 0, ref 0)) spec);
     rng = Random.State.make [| seed; 0x5eed |];
     crashed = Hashtbl.create 4;
     injected = 0;
@@ -187,32 +212,40 @@ let decide t ~dst ~len =
   else begin
     let fired = ref Pass in
     Array.iter
-      (fun (r, count) ->
-        if !fired = Pass then
-          let applicable =
-            (match r.target with Some p -> p = dst | None -> true)
-            && match r.limit with Some l -> !count < l | None -> true
-          in
-          if applicable && Random.State.float t.rng 1. < r.prob then begin
-            incr count;
-            t.injected <- t.injected + 1;
-            fired :=
-              (match r.kind with
-              | Drop -> Drop_msg
-              | Dup -> Duplicate
-              | Truncate ->
-                (* cut at least one byte, keep at least one *)
-                if len < 2 then Drop_msg
-                else Truncate_at (1 + Random.State.int t.rng (len - 1))
-              | Delay s -> Delay_by s
-              | Crash k ->
-                (* this message is the first of the k dropped ones *)
-                if k > 1 then crash t dst (Some (k - 1));
-                Drop_msg
-              | Down ->
-                crash t dst None;
-                Drop_msg)
-          end)
+      (fun (r, count, seen) ->
+        if !fired = Pass then begin
+          let matches = match r.target with Some p -> p = dst | None -> true in
+          if matches then begin
+            incr seen;
+            let applicable =
+              !seen > r.skip
+              && match r.limit with Some l -> !count < l | None -> true
+            in
+            if applicable && Random.State.float t.rng 1. < r.prob then begin
+              incr count;
+              t.injected <- t.injected + 1;
+              fired :=
+                (match r.kind with
+                | Drop -> Drop_msg
+                | Dup -> Duplicate
+                | Truncate ->
+                  (* cut at least one byte, keep at least one *)
+                  if len < 2 then Drop_msg
+                  else Truncate_at (1 + Random.State.int t.rng (len - 1))
+                | Delay s -> Delay_by s
+                | Crash k ->
+                  (* this message is the first of the k dropped ones *)
+                  if k > 1 then crash t dst (Some (k - 1));
+                  Drop_msg
+                | Restart k ->
+                  if k > 1 then crash t dst (Some (k - 1));
+                  Restart_peer
+                | Down ->
+                  crash t dst None;
+                  Drop_msg)
+            end
+          end
+        end)
       t.rules;
     !fired
   end

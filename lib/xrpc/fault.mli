@@ -12,14 +12,20 @@
     {v
     spec  := rule (";" rule)*              empty spec = no faults
     rule  := [ PEER ":" ] kind [ "=" PARAM ] [ "@" PROB ] [ "#" LIMIT ]
-    kind  := drop | dup | truncate | delay | crash | down
+             [ "%" SKIP ]
+    kind  := drop | dup | truncate | delay | crash | restart | down
     v}
 
     A rule without a PEER matches any destination. [PROB] is the
     per-message firing probability (default 1); [LIMIT] caps total
-    firings — ["drop@1#1"] kills exactly the first message. [delay=S]
-    adds S simulated seconds; [crash=K] makes the target drop this and
-    the next K-1 messages; [down] is a permanent crash. *)
+    firings — ["drop@1#1"] kills exactly the first message; [SKIP] arms
+    the rule only after that many matching messages passed —
+    ["peerA:restart#1%3"] crash-restarts peerA exactly at its 4th
+    message. [delay=S] adds S simulated seconds; [crash=K] makes the
+    target drop this and the next K-1 messages; [restart=K] is a crash
+    that additionally wipes the target's volatile transaction state (its
+    journal replays with presumed abort — see {!Journal}); [down] is a
+    permanent crash. *)
 
 type kind =
   | Drop
@@ -27,6 +33,7 @@ type kind =
   | Truncate
   | Delay of float
   | Crash of int
+  | Restart of int
   | Down
 
 type rule = {
@@ -34,6 +41,7 @@ type rule = {
   kind : kind;
   prob : float;
   limit : int option;
+  skip : int;
 }
 
 type spec = rule list
@@ -46,6 +54,8 @@ type outcome =
   | Duplicate
   | Truncate_at of int  (** deliver only this many leading bytes *)
   | Delay_by of float
+  | Restart_peer
+      (** dropped, and the destination peer's journal must crash-restart *)
 
 val parse : string -> (spec, string) result
 val spec_to_string : spec -> string

@@ -71,6 +71,7 @@ type fault_code =
   | Protocol_malformed (* well-formed XML, ill-formed protocol content *)
   | App_dynamic (* XQuery dynamic error raised by the remote body *)
   | App_type (* XQuery type error raised by the remote body *)
+  | Txn_aborted (* the distributed transaction was aborted by 2PC *)
 
 exception
   Xrpc_fault of { host : string; code : fault_code; reason : string }
@@ -79,7 +80,7 @@ exception Xrpc_timeout of { host : string; attempts : int }
 
 let retryable = function
   | Transport_corrupt | Transport_timeout -> true
-  | Protocol_malformed | App_dynamic | App_type -> false
+  | Protocol_malformed | App_dynamic | App_type | Txn_aborted -> false
 
 let fault_code_to_string = function
   | Transport_corrupt -> "xrpc:transport.corrupt"
@@ -87,6 +88,7 @@ let fault_code_to_string = function
   | Protocol_malformed -> "xrpc:protocol.malformed"
   | App_dynamic -> "xrpc:app.dynamic-error"
   | App_type -> "xrpc:app.type-error"
+  | Txn_aborted -> "xrpc:txn.aborted"
 
 let fault_code_of_string = function
   | "xrpc:transport.corrupt" -> Transport_corrupt
@@ -94,13 +96,15 @@ let fault_code_of_string = function
   | "xrpc:protocol.malformed" -> Protocol_malformed
   | "xrpc:app.dynamic-error" -> App_dynamic
   | "xrpc:app.type-error" -> App_type
+  | "xrpc:txn.aborted" -> Txn_aborted
   | s -> protocol_error "unknown fault code %S" s
 
 (* SOAP 1.2 top-level role: sender faults are the caller's doing,
    everything else is on the receiving side. *)
 let fault_role = function
   | Protocol_malformed -> "env:Sender"
-  | Transport_corrupt | Transport_timeout | App_dynamic | App_type ->
+  | Transport_corrupt | Transport_timeout | App_dynamic | App_type
+  | Txn_aborted ->
     "env:Receiver"
 
 (* ------------------------------------------------------------------ *)
@@ -215,6 +219,53 @@ let write_fault ~code ~reason =
   buf_text buf reason;
   Buffer.add_string buf
     "</env:Text></env:Reason></env:Fault></env:Body></env:Envelope>";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Transaction control envelopes (PROTOCOL.md, "Transactions").        *)
+(* ------------------------------------------------------------------ *)
+
+(* 2PC control messages are tiny dedicated envelopes: the coordinator
+   sends <prepare/commit/abort txn="T"/>, the participant acks with
+   <txn-ack txn="T" state="…"/>. They are idempotent by construction, so
+   unlike <request> they carry no request-id and need no dedup cache. *)
+
+type txn_action = Prepare | Commit | Abort
+
+let txn_action_to_string = function
+  | Prepare -> "prepare"
+  | Commit -> "commit"
+  | Abort -> "abort"
+
+type txn_ack = Ack_prepared | Ack_committed | Ack_aborted
+
+let txn_ack_to_string = function
+  | Ack_prepared -> "prepared"
+  | Ack_committed -> "committed"
+  | Ack_aborted -> "aborted"
+
+let txn_ack_of_string = function
+  | "prepared" -> Ack_prepared
+  | "committed" -> Ack_committed
+  | "aborted" -> Ack_aborted
+  | s -> protocol_error "unknown transaction ack state %S" s
+
+let write_txn_control ~action ~txn =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf
+    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><";
+  Buffer.add_string buf (txn_action_to_string action);
+  buf_attr buf "txn" txn;
+  Buffer.add_string buf "/></env:Body></env:Envelope>";
+  Buffer.contents buf
+
+let write_txn_ack ~txn ~ack =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf
+    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><txn-ack";
+  buf_attr buf "txn" txn;
+  buf_attr buf "state" (txn_ack_to_string ack);
+  Buffer.add_string buf "/></env:Body></env:Envelope>";
   Buffer.contents buf
 
 (* The node used for structural shipping: attributes travel with their
@@ -518,6 +569,10 @@ let parse_fault fault_node =
       | Some t -> X.Node.string_value t)
   in
   (code, reason)
+
+(* Read a <txn-ack> element back into (txn, ack). *)
+let parse_txn_ack n =
+  (req_attr n "txn", txn_ack_of_string (req_attr n "state"))
 
 (* Copy the children of a parsed message node into a fresh document. *)
 let copy_children_to_doc ?uri n =

@@ -44,6 +44,7 @@ type fault_code =
   | Protocol_malformed
   | App_dynamic
   | App_type
+  | Txn_aborted  (** the distributed transaction was aborted by 2PC *)
 
 exception
   Xrpc_fault of { host : string; code : fault_code; reason : string }
@@ -61,6 +62,27 @@ val fault_code_of_string : string -> fault_code
 
 val write_fault : code:fault_code -> reason:string -> string
 (** A complete [<env:Fault>] response envelope. *)
+
+(** {2 Transaction control} (PROTOCOL.md, "Transactions")
+
+    2PC control messages are tiny dedicated envelopes — the coordinator
+    sends [<prepare|commit|abort txn="T"/>], the participant acks with
+    [<txn-ack txn="T" state="…"/>]. They are idempotent by construction
+    and carry no request-id. *)
+
+type txn_action = Prepare | Commit | Abort
+
+val txn_action_to_string : txn_action -> string
+
+type txn_ack = Ack_prepared | Ack_committed | Ack_aborted
+
+val txn_ack_to_string : txn_ack -> string
+val txn_ack_of_string : string -> txn_ack
+val write_txn_control : action:txn_action -> txn:string -> string
+val write_txn_ack : txn:string -> ack:txn_ack -> string
+
+val parse_txn_ack : Xd_xml.Node.t -> string * txn_ack
+(** Read a [<txn-ack>] element back into (txn, ack). *)
 
 val parse_fault : Xd_xml.Node.t -> fault_code * string
 (** Read an [<env:Fault>] element back into (code, reason). *)

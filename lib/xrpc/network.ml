@@ -16,20 +16,43 @@ type t = {
   bandwidth_bytes_per_s : float;
   latency_s : float;
   stats : Stats.t;
-  fault : Fault.t;
+  mutable fault : Fault.t;
+  journal_dir : string option;
+  journals : (string, Journal.t) Hashtbl.t;
 }
 
 let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4)
-    ?(fault = Fault.none) () =
+    ?(fault = Fault.none) ?journal_dir () =
   {
     peers = Hashtbl.create 8;
     bandwidth_bytes_per_s;
     latency_s;
     stats = Stats.create ();
     fault;
+    journal_dir;
+    journals = Hashtbl.create 8;
   }
 
 let faulty t = Fault.enabled t.fault
+
+(* The outage is over: subsequent messages are delivered faithfully. Used
+   by recovery drivers (and tests) to model "the network came back". *)
+let heal t = t.fault <- Fault.none
+
+(* Each peer owns one journal, shared by every session that serves it and
+   surviving sessions — which is what lets a fresh coordinator session
+   recover transactions an earlier crashed execution left behind. *)
+let journal t peer =
+  match Hashtbl.find_opt t.journals peer with
+  | Some j -> j
+  | None ->
+    let j =
+      match t.journal_dir with
+      | Some dir -> Journal.open_file ~dir ~peer
+      | None -> Journal.in_memory ~peer
+    in
+    Hashtbl.replace t.journals peer j;
+    j
 
 let add_peer t peer = Hashtbl.replace t.peers (Peer.name peer) peer
 
@@ -83,3 +106,7 @@ let send t ~dst text =
       t.stats.Stats.faults <- t.stats.Stats.faults + 1;
       t.stats.Stats.network_s <- t.stats.Stats.network_s +. s;
       Delivered { text; duplicated = false }
+    | Fault.Restart_peer ->
+      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      Journal.crash_restart (journal t dst);
+      Dropped

@@ -14,15 +14,27 @@ type t = {
   bandwidth_bytes_per_s : float;
   latency_s : float;
   stats : Stats.t;
-  fault : Fault.t;
+  mutable fault : Fault.t;
+  journal_dir : string option;
+  journals : (string, Journal.t) Hashtbl.t;
 }
 
 val create :
   ?bandwidth_bytes_per_s:float -> ?latency_s:float -> ?fault:Fault.t ->
-  unit -> t
+  ?journal_dir:string -> unit -> t
+(** With [journal_dir], peer journals are file-backed at
+    [<journal_dir>/<peer>.journal] and survive the process. *)
 
 val faulty : t -> bool
 (** Whether a non-empty fault schedule is installed. *)
+
+val heal : t -> unit
+(** Remove the fault layer: the outage is over. Crash-restarted peers keep
+    their (replayed) journals; subsequent messages are all delivered. *)
+
+val journal : t -> string -> Journal.t
+(** The named peer's transaction journal (lazily created; file-backed when
+    the network has a journal directory). *)
 
 val add_peer : t -> Peer.t -> unit
 val new_peer : t -> string -> Peer.t

@@ -15,6 +15,12 @@ module Eval = Xd_lang.Eval
 
 type recorded = { dir : [ `Request of string | `Response of string ]; text : string }
 
+(* Coordinator state of one distributed transaction: the id travels on
+   every update-carrying request of the query, and the participants are
+   collected from response acknowledgements (transitively — a server that
+   fanned out reports its own participants back). *)
+type coord = { txn_id : string; mutable participants : string list }
+
 type t = {
   net : Network.t;
   self : Peer.t;
@@ -34,11 +40,18 @@ type t = {
   replied : (string, string) Hashtbl.t;
       (* server side: request-id -> cached successful response; retried
          (or duplicated) update-carrying calls apply at most once *)
+  replied_order : string Queue.t; (* FIFO eviction order for the cache *)
+  dedup_cap : int; (* size cap on the dedup cache *)
   mutable next_req : int; (* client side: request-id counter *)
+  mutable txn : coord option;
+      (* the transaction in scope: set on the coordinator for the whole
+         execution, and on a server session while it evaluates a
+         txn-tagged request (so nested calls propagate the id) *)
+  mutable next_txn : int; (* coordinator: transaction-id counter *)
 }
 
 let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
-    ?(retries = 2) net self passing =
+    ?(retries = 2) ?(dedup_cap = 256) net self passing =
   {
     net;
     self;
@@ -55,10 +68,36 @@ let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
     timeout_s;
     retries;
     replied = Hashtbl.create 8;
+    replied_order = Queue.create ();
+    dedup_cap = max 1 dedup_cap;
     next_req = 0;
+    txn = None;
+    next_txn = 0;
   }
 
 let recorded session = Option.map (fun r -> List.rev !r) session.record
+
+(* This peer's transaction journal — owned by the network so that every
+   session serving the peer (and any later recovery session) shares it. *)
+let journal session = Network.journal session.net (Peer.name session.self)
+
+(* Cache a successful response under its request id, evicting the oldest
+   entry once the cap is reached: the cache must not grow without bound
+   over a long session (satellite of PR 3). An evicted id makes a very
+   late retransmission re-evaluate — for updates that risk is closed by
+   transactional staging, which dedups on (txn, request-id) in the
+   journal instead. *)
+let remember_reply session id resp =
+  if not (Hashtbl.mem session.replied id) then begin
+    Hashtbl.replace session.replied id resp;
+    Queue.push id session.replied_order;
+    if Queue.length session.replied_order > session.dedup_cap then begin
+      let victim = Queue.pop session.replied_order in
+      Hashtbl.remove session.replied victim;
+      let stats = session.net.Network.stats in
+      stats.Stats.dedup_evictions <- stats.Stats.dedup_evictions + 1
+    end
+  end
 
 (* The server-side session object for calls from [session] to [host]:
    holds the server peer's endpoint (shredded parameters) and supports
@@ -73,7 +112,8 @@ let rec server_session session host =
     let s =
       create ?record:session.record ~bulk:session.bulk ?schema:session.schema
         ~depth:(session.depth + 1) ~timeout_s:session.timeout_s
-        ~retries:session.retries session.net peer session.passing
+        ~retries:session.retries ~dedup_cap:session.dedup_cap session.net peer
+        session.passing
     in
     Hashtbl.replace session.remote_sessions host s;
     s
@@ -150,7 +190,8 @@ and param_node_sets (x : Ast.execute_at) args =
     args;
   (!used, !returned)
 
-and build_request session ~ep ~host ?req_id (x : Ast.execute_at) ~args ~funcs =
+and build_request session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
+    ~funcs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><request";
@@ -160,6 +201,11 @@ and build_request session ~ep ~host ?req_id (x : Ast.execute_at) ~args ~funcs =
      to a build without the fault layer *)
   (match req_id with
   | Some id -> Message.buf_attr buf "request-id" id
+  | None -> ());
+  (* only stamped inside a distributed transaction: the callee stages its
+     PUL under this id instead of applying it *)
+  (match txn with
+  | Some t -> Message.buf_attr buf "txn" t
   | None -> ());
   Message.buf_attr buf "static-base-uri" "xdx://static/";
   Message.buf_attr buf "default-collation" "codepoint";
@@ -269,34 +315,84 @@ and handle_request session ~client_name request_text =
 
 and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
-  let ep = call_endpoint session in
-  let req =
+  let body =
     Stats.time_shred stats (fun () ->
         let mdoc = X.Parser.parse_doc ~strip_ws:false request_text in
         let root = X.Node.doc_node mdoc in
-        match find_path [ "env:Envelope"; "env:Body"; "request" ] root with
-        | Some r -> r
+        match find_path [ "env:Envelope"; "env:Body" ] root with
+        | Some b -> b
         | None ->
           Message.protocol_error
-            "XRPC message without <env:Envelope>/<env:Body>/<request>")
+            "XRPC message without <env:Envelope>/<env:Body>")
   in
-  let req_id = Message.attr_of req "request-id" in
-  match Option.bind req_id (Hashtbl.find_opt session.replied) with
-  | Some cached ->
-    (* a retransmission of a request we already answered: replay the
-       response instead of re-evaluating (at-most-once updates) *)
-    stats.Stats.dedup_hits <- stats.Stats.dedup_hits + 1;
-    cached
-  | None ->
-    let resp = handle_parsed session ~client_name ~ep req in
-    (match req_id with
-    | Some id -> Hashtbl.replace session.replied id resp
-    | None -> ());
-    resp
+  match
+    List.find_map
+      (fun (name, action) ->
+        Option.map (fun n -> (action, n)) (Message.find_child body name))
+      [
+        ("prepare", Message.Prepare);
+        ("commit", Message.Commit);
+        ("abort", Message.Abort);
+      ]
+  with
+  | Some (action, n) ->
+    handle_txn_control session action (Message.req_attr n "txn")
+  | None -> (
+    let req =
+      match Message.find_child body "request" with
+      | Some r -> r
+      | None ->
+        Message.protocol_error
+          "XRPC message without <env:Envelope>/<env:Body>/<request>"
+    in
+    let ep = call_endpoint session in
+    let req_id = Message.attr_of req "request-id" in
+    match Option.bind req_id (Hashtbl.find_opt session.replied) with
+    | Some cached ->
+      (* a retransmission of a request we already answered: replay the
+         response instead of re-evaluating (at-most-once updates) *)
+      stats.Stats.dedup_hits <- stats.Stats.dedup_hits + 1;
+      cached
+    | None ->
+      let resp = handle_parsed session ~client_name ~ep ?req_id req in
+      (match req_id with
+      | Some id -> remember_reply session id resp
+      | None -> ());
+      resp)
 
-and handle_parsed session ~client_name ~ep req =
+(* Participant side of 2PC. All three actions are idempotent, so control
+   messages need no dedup: a duplicated or retried prepare/commit/abort
+   re-acks the same way. Unknown transactions vote no / ack aborted —
+   presumed abort. *)
+and handle_txn_control session action txn =
+  let stats = session.net.Network.stats in
+  let j = journal session in
+  let ack a =
+    Stats.time_serialize stats (fun () -> Message.write_txn_ack ~txn ~ack:a)
+  in
+  match action with
+  | Message.Prepare ->
+    if Journal.prepare j ~txn then ack Message.Ack_prepared
+    else ack Message.Ack_aborted
+  | Message.Abort ->
+    Journal.abort j ~txn;
+    ack Message.Ack_aborted
+  | Message.Commit -> (
+    match Journal.commit j ~txn with
+    | `Already -> ack Message.Ack_committed
+    | `Unknown ->
+      Message.protocol_error
+        "commit for unknown or aborted transaction %s" txn
+    | `Apply puls ->
+      Stats.time_remote stats (fun () ->
+          ignore (Xd_lang.Update.apply_staged (Peer.store session.self) puls));
+      Journal.committed j ~txn;
+      ack Message.Ack_committed)
+
+and handle_parsed session ~client_name ~ep ?req_id req =
   let stats = session.net.Network.stats in
   let passing = Message.passing_of_string (Message.req_attr req "passing") in
+  let txn_attr = Message.attr_of req "txn" in
   Stats.time_shred stats (fun () ->
       Message.shred_fragments ep ~from_host:client_name
         (Message.find_child req "fragments"));
@@ -325,6 +421,13 @@ and handle_parsed session ~client_name ~ep req =
             Message.shred_sequence ep ~from_host:client_name seq ))
         (Message.children_named call "sequence")
   in
+  (* while a txn-tagged request evaluates, the transaction is in scope so
+     nested outgoing calls propagate the id; its participants (this peer's
+     own fan-out) are reported back in the response *)
+  let tcoord =
+    Option.map (fun t -> { txn_id = t; participants = [] }) txn_attr
+  in
+  let staged = ref 0 in
   let result =
     Stats.time_remote stats (fun () ->
         let body = Xd_lang.Parser.parse_expr_string body_text in
@@ -345,74 +448,117 @@ and handle_parsed session ~client_name ~ep req =
             ~pul:(Xd_lang.Pul.create ())
             (Peer.store session.self)
         in
-        let v = Eval.eval env body in
-        apply_updates session env;
-        v)
+        let prev_txn = session.txn in
+        Fun.protect
+          ~finally:(fun () -> session.txn <- prev_txn)
+          (fun () ->
+            (match tcoord with
+            | Some _ -> session.txn <- tcoord
+            | None -> ());
+            let v = Eval.eval env body in
+            (match txn_attr with
+            | None -> apply_updates session env
+            | Some txn -> staged := stage_updates session env ~txn ~req_id);
+            v))
   in
   (* response *)
   Stats.time_serialize stats (fun () ->
-      let buf = Buffer.create 1024 in
-      Buffer.add_string buf
-        "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><response";
-      Message.buf_attr buf "passing" (Message.passing_to_string passing);
-      Buffer.add_char buf '>';
       let result_nodes =
         List.filter_map
           (function Value.N n -> Some n | Value.A _ -> None)
           result
       in
-      let frags =
+      (* The overflow fallback (a by-projection request whose path
+         analysis produced nothing) answers with *by-fragment semantics*,
+         and says so: a full-format by-projection message would not carry
+         ancestors either, so labelling it by-projection only hid the
+         demotion from the receiver (ROADMAP open item, resolved PR 3). *)
+      let passing, frags =
         match passing with
-        | Message.By_value -> []
+        | Message.By_value -> (passing, [])
         | Message.By_fragment ->
-          Message.plan_by_fragment ep ~host:client_name result_nodes
-        | Message.By_projection ->
-          let proj = Message.find_child req "projection-paths" in
-          let u_paths, r_paths =
-            match proj with
-            | None -> ([], None)
-            | Some p ->
-              ( List.map
-                  (fun n -> Xd_projection.Path.of_string (X.Node.string_value n))
-                  (Message.children_named p "used-path"),
-                Some
-                  (List.map
-                     (fun n ->
-                       Xd_projection.Path.of_string (X.Node.string_value n))
-                     (Message.children_named p "returned-path")) )
-          in
-          let used, returned =
-            match r_paths with
-            | None -> ([], result_nodes) (* no paths: ship full subtrees *)
-            | Some rp ->
-              let u =
-                result_nodes
-                @ List.concat_map
-                    (fun p -> Xd_projection.Path.eval p result_nodes)
-                    u_paths
-              in
-              let r =
-                List.concat_map
+          (passing, Message.plan_by_fragment ep ~host:client_name result_nodes)
+        | Message.By_projection -> (
+          match Message.find_child req "projection-paths" with
+          | None ->
+            ( Message.By_fragment,
+              Message.plan_by_fragment ep ~host:client_name result_nodes )
+          | Some p ->
+            let path_of n = Xd_projection.Path.of_string (X.Node.string_value n) in
+            let u_paths = List.map path_of (Message.children_named p "used-path") in
+            let r_paths =
+              List.map path_of (Message.children_named p "returned-path")
+            in
+            let used =
+              result_nodes
+              @ List.concat_map
                   (fun p -> Xd_projection.Path.eval p result_nodes)
-                  rp
-              in
-              (u, r)
-          in
-          Message.plan_by_projection ?schema:session.schema ep
-            ~host:client_name ~used ~returned
+                  u_paths
+            in
+            let returned =
+              List.concat_map
+                (fun p -> Xd_projection.Path.eval p result_nodes)
+                r_paths
+            in
+            ( passing,
+              Message.plan_by_projection ?schema:session.schema ep
+                ~host:client_name ~used ~returned ))
       in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><response";
+      Message.buf_attr buf "passing" (Message.passing_to_string passing);
+      (match txn_attr, tcoord with
+      | Some t, Some c ->
+        Message.buf_attr buf "txn" t;
+        Message.buf_attr buf "staged" (string_of_int !staged);
+        if c.participants <> [] then
+          Message.buf_attr buf "txn-participants"
+            (String.concat " " c.participants)
+      | _ -> ());
+      Buffer.add_char buf '>';
       Message.write_fragments buf frags;
       Message.write_sequence ep ~host:client_name ~passing ~frags buf result;
       Buffer.add_string buf "</response></env:Body></env:Envelope>";
       Buffer.contents buf)
+
+(* Inside a transaction, a participant stages its PUL in the journal
+   instead of applying it; the decision arrives later as a control
+   message. Targets are validated now (same shipped-copy restriction as a
+   direct apply), so prepare can only be voted on PULs that would apply
+   cleanly. Returns the number of staged primitives — reported to the
+   caller, which is how the coordinator learns who its participants
+   are. *)
+and stage_updates session (env : Env.t) ~txn ~req_id =
+  match env.Env.pul with
+  | None -> 0
+  | Some pul when Xd_lang.Pul.is_empty pul -> 0
+  | Some pul ->
+    let pending = Xd_lang.Pul.list pul in
+    validate_update_targets session pending;
+    let n = List.length pending in
+    if
+      Journal.stage (journal session) ~txn
+        ~req:(Option.value ~default:"" req_id)
+        ~pul:(Xd_lang.Pul.to_xml pending)
+    then begin
+      let stats = session.net.Network.stats in
+      stats.Stats.txn_staged <- stats.Stats.txn_staged + n
+    end;
+    (* a deduplicated re-stage still reports its count: the answer must
+       not depend on whether the first copy of the request got through *)
+    n
 
 (* ---------------- client side ------------------------------------------ *)
 
 (* Shred a response at the client. A response that does not parse (e.g.
    truncated in flight) or is structurally broken raises a *retryable*
    transport fault; a parsed <env:Fault> re-raises as the typed
-   exception it describes. *)
-and shred_response session ~ep ~host response_text : Value.t =
+   exception it describes. Alongside the value, returns the transaction
+   acknowledgement (staged count + transitive participants) when the
+   response carries one. *)
+and shred_response session ~ep ~host response_text :
+    Value.t * (int * string list) option =
   let stats = session.net.Network.stats in
   let corrupt reason =
     raise
@@ -426,12 +572,35 @@ and shred_response session ~ep ~host response_text : Value.t =
           corrupt (Printf.sprintf "unparsable response: %s (byte %d)" m pos)
       in
       match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
-      | Some resp -> (
+      | Some resp ->
+        let tinfo =
+          match Message.attr_of resp "txn" with
+          | None -> None
+          | Some _ ->
+            let staged =
+              match Message.attr_of resp "staged" with
+              | None -> 0
+              | Some s -> (
+                match int_of_string_opt s with
+                | Some n -> n
+                | None -> corrupt (Printf.sprintf "bad staged count %S" s))
+            in
+            let nested =
+              match Message.attr_of resp "txn-participants" with
+              | None -> []
+              | Some s ->
+                List.filter (fun h -> h <> "") (String.split_on_char ' ' s)
+            in
+            Some (staged, nested)
+        in
         Message.shred_fragments ep ~from_host:host
           (Message.find_child resp "fragments");
-        match Message.find_child resp "sequence" with
-        | Some seq -> Message.shred_sequence ep ~from_host:host seq
-        | None -> [])
+        let v =
+          match Message.find_child resp "sequence" with
+          | Some seq -> Message.shred_sequence ep ~from_host:host seq
+          | None -> []
+        in
+        (v, tinfo)
       | None -> (
         match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
         | Some f ->
@@ -484,9 +653,10 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
       end
       else None
     in
+    let txn = Option.map (fun c -> c.txn_id) session.txn in
     let req_text =
       Stats.time_serialize stats (fun () ->
-          build_request session ~ep ~host ?req_id x ~args ~funcs)
+          build_request session ~ep ~host ?req_id ?txn x ~args ~funcs)
     in
     (match session.record with
     | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
@@ -534,7 +704,19 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
             attempt (n + 1) `Timeout
           | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
             match shred_response session ~ep ~host resp_delivered with
-            | v -> v
+            | v, tinfo ->
+              (* collect transaction participants: the callee (if it
+                 staged anything) plus whatever its own fan-out staged *)
+              (match session.txn, tinfo with
+              | Some c, Some (staged, nested) ->
+                let addp h =
+                  if h <> "" && not (List.mem h c.participants) then
+                    c.participants <- c.participants @ [ h ]
+                in
+                if staged > 0 then addp host;
+                List.iter addp nested
+              | _ -> ());
+              v
             | exception Message.Xrpc_fault { host = _; code; reason }
               when Message.retryable code ->
               attempt (n + 1) (`Fault (code, reason))))
@@ -543,34 +725,233 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
     attempt 1 `Timeout
   end
 
-(* Apply a pending update list, refusing updates whose targets live in
-   documents this peer obtained by shipping (data-shipped fetches or
-   shredded message fragments): updating a copy would silently diverge
-   from the source peer. This is the runtime half of the paper's
-   Section IX restriction. *)
+(* Refuse updates whose targets live in documents this peer obtained by
+   shipping (data-shipped fetches or shredded message fragments):
+   updating a copy would silently diverge from the source peer. This is
+   the runtime half of the paper's Section IX restriction, enforced both
+   on direct application and on transactional staging. *)
+and validate_update_targets session pending =
+  let fetched_dids =
+    Hashtbl.fold (fun _ d acc -> d.X.Doc.did :: acc) session.fetched []
+  in
+  List.iter
+    (fun p ->
+      let d = (Xd_lang.Pul.target_of p).X.Node.doc in
+      if
+        List.mem d.X.Doc.did fetched_dids
+        || Hashtbl.mem session.ep.Message.foreign_docs d.X.Doc.did
+      then
+        Env.dynamic_error
+          "update at %s targets a shipped copy of a remote document; \
+re-run under a function-shipping strategy so the update executes at its \
+source peer"
+          (Peer.name session.self))
+    pending
+
 and apply_updates session (env : Env.t) =
   match env.Env.pul with
   | None -> ()
   | Some pul when Xd_lang.Pul.is_empty pul -> ()
   | Some pul ->
     let pending = Xd_lang.Pul.list pul in
-    let fetched_dids =
-      Hashtbl.fold (fun _ d acc -> d.X.Doc.did :: acc) session.fetched []
-    in
-    List.iter
-      (fun p ->
-        let d = (Xd_lang.Pul.target_of p).X.Node.doc in
-        if
-          List.mem d.X.Doc.did fetched_dids
-          || Hashtbl.mem session.ep.Message.foreign_docs d.X.Doc.did
-        then
-          Env.dynamic_error
-            "update at %s targets a shipped copy of a remote document; \
-re-run under a function-shipping strategy so the update executes at its \
-source peer"
-            (Peer.name session.self))
-      pending;
+    validate_update_targets session pending;
     ignore (Xd_lang.Update.apply (Peer.store session.self) pending)
+
+(* ---------------- coordinator (2PC driver) ----------------------------- *)
+
+(* Parse a control-message reply: an ack, a retryable condition, or a
+   fatal typed exception. *)
+let parse_txn_response session ~host text =
+  let stats = session.net.Network.stats in
+  Stats.time_shred stats (fun () ->
+      match X.Parser.parse_doc ~strip_ws:false text with
+      | exception X.Parser.Error (m, pos) ->
+        `Retry
+          ( Message.Transport_corrupt,
+            Printf.sprintf "unparsable ack: %s (byte %d)" m pos )
+      | mdoc -> (
+        let root = X.Node.doc_node mdoc in
+        match find_path [ "env:Envelope"; "env:Body"; "txn-ack" ] root with
+        | Some ack -> (
+          match Message.parse_txn_ack ack with
+          | _, a -> `Ack a
+          | exception Message.Protocol_error m ->
+            `Retry (Message.Transport_corrupt, m))
+        | None -> (
+          match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
+          | Some f -> (
+            match Message.parse_fault f with
+            | code, reason when Message.retryable code -> `Retry (code, reason)
+            | code, reason -> `Fatal (Message.Xrpc_fault { host; code; reason })
+            | exception Message.Protocol_error m ->
+              `Retry (Message.Transport_corrupt, m))
+          | None ->
+            `Retry
+              ( Message.Transport_corrupt,
+                "ack is neither <txn-ack> nor <env:Fault>" ))))
+
+(* One 2PC control exchange with [host], under the same timeout/backoff
+   regime as a data call. Control messages are idempotent, so they carry
+   no request-id and never consult the dedup cache: a duplicated commit
+   simply re-acks. *)
+let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
+  let stats = session.net.Network.stats in
+  let req_text =
+    Stats.time_serialize stats (fun () ->
+        Message.write_txn_control ~action ~txn)
+  in
+  (match session.record with
+  | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
+  | None -> ());
+  let srv = server_session session host in
+  let self_name = Peer.name session.self in
+  let attempts = session.retries + 1 in
+  let timed_out () =
+    stats.Stats.timeouts <- stats.Stats.timeouts + 1;
+    stats.Stats.network_s <- stats.Stats.network_s +. session.timeout_s
+  in
+  let rec attempt n last =
+    if n > attempts then
+      Error
+        (match last with
+        | `Timeout -> Message.Xrpc_timeout { host; attempts }
+        | `Fault (code, reason) -> Message.Xrpc_fault { host; code; reason })
+    else begin
+      if n > 1 then begin
+        stats.Stats.retries <- stats.Stats.retries + 1;
+        stats.Stats.network_s <-
+          stats.Stats.network_s +. (0.05 *. (2. ** float_of_int (n - 2)))
+      end;
+      match Network.send session.net ~dst:host req_text with
+      | Network.Dropped ->
+        timed_out ();
+        attempt (n + 1) `Timeout
+      | Network.Delivered { text = delivered; duplicated } -> (
+        let resp_text = handle_request srv ~client_name:self_name delivered in
+        if duplicated then
+          ignore (handle_request srv ~client_name:self_name delivered);
+        (match session.record with
+        | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
+        | None -> ());
+        match Network.send session.net ~dst:self_name resp_text with
+        | Network.Dropped ->
+          timed_out ();
+          attempt (n + 1) `Timeout
+        | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
+          match parse_txn_response session ~host resp_delivered with
+          | `Ack a -> Ok a
+          | `Retry (code, reason) -> attempt (n + 1) (`Fault (code, reason))
+          | `Fatal e -> Error e))
+    end
+  in
+  attempt 1 `Timeout
+
+(* Apply this peer's own staged PULs for [txn], if any: the coordinator
+   is its own participant. *)
+let commit_local session txn =
+  let j = journal session in
+  match Journal.commit j ~txn with
+  | `Apply puls ->
+    ignore (Xd_lang.Update.apply_staged (Peer.store session.self) puls);
+    Journal.committed j ~txn
+  | `Already | `Unknown -> ()
+
+let all_ok acks = List.for_all (function Ok _ -> true | Error _ -> false) acks
+
+(* Drive 2PC to completion. With no remote participants the transaction
+   never left this peer: apply the local PUL directly — the single-peer
+   fast path costs zero extra messages.
+
+   Otherwise: journal the outline, stage + prepare our own PUL (the
+   coordinator is its own participant, which is what lets recovery finish
+   the local half after a coordinator restart), collect prepare votes,
+   then either journal the commit decision and propagate it, or abort
+   with nothing journaled but the (optional) resolution marker — presumed
+   abort. A commit decision that could not reach every participant raises
+   the propagation failure, and {!recover} re-drives it from the journal:
+   the decision, once journaled, stands. *)
+let commit_txn session (env : Env.t) (c : coord) =
+  let stats = session.net.Network.stats in
+  let j = journal session in
+  let txn = c.txn_id in
+  if c.participants = [] then apply_updates session env
+  else begin
+    Journal.append j (Journal.Begun { txn });
+    List.iter
+      (fun host -> Journal.append j (Journal.Participant { txn; host }))
+      c.participants;
+    let local_vote =
+      match env.Env.pul with
+      | Some pul when not (Xd_lang.Pul.is_empty pul) -> (
+        let pending = Xd_lang.Pul.list pul in
+        match validate_update_targets session pending with
+        | () ->
+          ignore (Journal.stage j ~txn ~req:"" ~pul:(Xd_lang.Pul.to_xml pending));
+          ignore (Journal.prepare j ~txn);
+          None
+        | exception (Env.Dynamic_error _ as e) -> Some e)
+      | _ -> None
+    in
+    let failure =
+      match local_vote with
+      | Some e -> Some e
+      | None ->
+        List.find_map
+          (fun host ->
+            match txn_rpc session ~host Message.Prepare txn with
+            | Ok Message.Ack_prepared -> None
+            | Ok _ ->
+              Some
+                (Message.Xrpc_fault
+                   {
+                     host;
+                     code = Message.Txn_aborted;
+                     reason = "participant voted to abort";
+                   })
+            | Error e -> Some e)
+          c.participants
+    in
+    match failure with
+    | None -> (
+      Journal.append j (Journal.Decided { txn });
+      stats.Stats.txn_commits <- stats.Stats.txn_commits + 1;
+      commit_local session txn;
+      let propagation =
+        List.find_map
+          (fun host ->
+            match txn_rpc session ~host Message.Commit txn with
+            | Ok Message.Ack_committed -> None
+            | Ok _ ->
+              Some
+                (Message.Xrpc_fault
+                   {
+                     host;
+                     code = Message.Txn_aborted;
+                     reason = "participant could not confirm the commit";
+                   })
+            | Error e -> Some e)
+          c.participants
+      in
+      match propagation with
+      | None -> Journal.append j (Journal.Resolved { txn })
+      | Some e -> raise e)
+    | Some e ->
+      stats.Stats.txn_aborts <- stats.Stats.txn_aborts + 1;
+      Journal.abort j ~txn;
+      let acks =
+        List.map (fun host -> txn_rpc session ~host Message.Abort txn)
+          c.participants
+      in
+      (* journaling the resolution of an abort is an optimization, not a
+         requirement: presumed abort means an unresolved undecided txn is
+         re-aborted harmlessly by recovery *)
+      if all_ok acks then Journal.append j (Journal.Resolved { txn });
+      raise e
+  end
+
+let fresh_txn session =
+  session.next_txn <- session.next_txn + 1;
+  Printf.sprintf "%s:txn%d" (Peer.name session.self) session.next_txn
 
 (* ---------------- public API ------------------------------------------- *)
 
@@ -587,3 +968,59 @@ let execute session (q : Ast.query) =
   let v = Eval.eval env q.Ast.body in
   apply_updates session env;
   v
+
+(* Execute one query as a distributed transaction: update-carrying calls
+   stage at their peers, and the accumulated PUL (local + staged) commits
+   atomically through 2PC when evaluation completes. *)
+let execute_txn session (q : Ast.query) =
+  let env = env_for session ~funcs:q.Ast.funcs in
+  let c = { txn_id = fresh_txn session; participants = [] } in
+  session.txn <- Some c;
+  Fun.protect
+    ~finally:(fun () -> session.txn <- None)
+    (fun () ->
+      match Eval.eval env q.Ast.body with
+      | v ->
+        commit_txn session env c;
+        v
+      | exception e ->
+        (* evaluation failed mid-flight: nothing is prepared anywhere, so
+           presumed abort already guarantees no participant will apply;
+           eagerly release staged state where the wire allows *)
+        if c.participants <> [] then begin
+          let stats = session.net.Network.stats in
+          stats.Stats.txn_aborts <- stats.Stats.txn_aborts + 1;
+          ignore
+            (List.map
+               (fun host -> txn_rpc session ~host Message.Abort c.txn_id)
+               c.participants)
+        end;
+        raise e)
+
+(* Crash recovery, run by a fresh session for the same peer (same journal
+   via the network registry): finish every transaction this coordinator
+   began but never resolved. A journaled decision is re-driven to commit
+   — including the coordinator's own staged half — and anything undecided
+   is presumed aborted. Idempotent; safe to run at any time. *)
+let recover session =
+  let j = journal session in
+  List.iter
+    (fun (txn, participants, decision) ->
+      match decision with
+      | `Commit ->
+        commit_local session txn;
+        let acks =
+          List.map
+            (fun host -> txn_rpc session ~host Message.Commit txn)
+            participants
+        in
+        if all_ok acks then Journal.append j (Journal.Resolved { txn })
+      | `Abort ->
+        Journal.abort j ~txn;
+        let acks =
+          List.map
+            (fun host -> txn_rpc session ~host Message.Abort txn)
+            participants
+        in
+        if all_ok acks then Journal.append j (Journal.Resolved { txn }))
+    (Journal.unresolved j)

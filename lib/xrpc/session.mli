@@ -17,7 +17,8 @@ type t
 val create :
   ?record:recorded list ref -> ?bulk:bool ->
   ?schema:(string -> string list) -> ?depth:int -> ?timeout_s:float ->
-  ?retries:int -> Network.t -> Peer.t -> Message.passing -> t
+  ?retries:int -> ?dedup_cap:int -> Network.t -> Peer.t ->
+  Message.passing -> t
 (** A session for one querying peer. [record] captures every message (for
     tests and demos); [bulk] (default true) enables session-wide fragment
     caching — the wire behaviour of the paper's bulk RPC; disabling it is
@@ -36,7 +37,11 @@ val create :
     provably read-only, the call degrades to data shipping: the
     documents are fetched and the body evaluates locally. Otherwise the
     caller sees a typed {!Message.Xrpc_timeout} or {!Message.Xrpc_fault}
-    — never a leaked native exception. *)
+    — never a leaked native exception.
+
+    [dedup_cap] (default 256) bounds the server-side response cache that
+    backs exactly-once replay of request-ids; the oldest entries are
+    evicted FIFO and counted in {!Stats}. *)
 
 val recorded : t -> recorded list option
 
@@ -62,3 +67,19 @@ val execute_at :
 
 val env_for : t -> funcs:Xd_lang.Ast.func list -> Xd_lang.Env.t
 val execute : t -> Xd_lang.Ast.query -> Xd_lang.Value.t
+
+val execute_txn : t -> Xd_lang.Ast.query -> Xd_lang.Value.t
+(** Like {!execute}, but update-carrying remote calls stage their pending
+    update lists at the callee instead of applying them, and the whole
+    query commits atomically through two-phase commit when evaluation
+    completes: the coordinator journals its decision, then drives
+    prepare/commit (or abort) at every participant. All-or-nothing under
+    any fault schedule: after {!recover}, either every peer applied its
+    share exactly once or none did. A query that touches no remote
+    participant skips 2PC entirely and is wire-identical to {!execute}. *)
+
+val recover : t -> unit
+(** Coordinator-side crash recovery: re-drive every transaction this
+    peer's journal shows as begun but not resolved — journaled decisions
+    are pushed to commit at all participants, undecided transactions are
+    aborted (presumed abort). Idempotent. *)

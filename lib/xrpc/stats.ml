@@ -17,6 +17,10 @@ type t = {
   mutable retries : int; (* re-sent requests (after timeout or fault) *)
   mutable fallbacks : int; (* calls degraded to local data-shipped eval *)
   mutable dedup_hits : int; (* retried requests answered from the cache *)
+  mutable dedup_evictions : int; (* dedup-cache entries evicted by the cap *)
+  mutable txn_staged : int; (* update primitives staged at participants *)
+  mutable txn_commits : int; (* distributed transactions committed *)
+  mutable txn_aborts : int; (* distributed transactions aborted *)
 }
 
 let create () =
@@ -34,6 +38,10 @@ let create () =
     retries = 0;
     fallbacks = 0;
     dedup_hits = 0;
+    dedup_evictions = 0;
+    txn_staged = 0;
+    txn_commits = 0;
+    txn_aborts = 0;
   }
 
 let reset t =
@@ -49,7 +57,11 @@ let reset t =
   t.timeouts <- 0;
   t.retries <- 0;
   t.fallbacks <- 0;
-  t.dedup_hits <- 0
+  t.dedup_hits <- 0;
+  t.dedup_evictions <- 0;
+  t.txn_staged <- 0;
+  t.txn_commits <- 0;
+  t.txn_aborts <- 0
 
 let total_bytes t = t.message_bytes + t.document_bytes
 
@@ -83,4 +95,8 @@ let pp fmt t =
     t.serialize_s t.shred_s t.remote_exec_s t.network_s;
   if t.faults + t.timeouts + t.retries + t.fallbacks + t.dedup_hits > 0 then
     Fmt.pf fmt " | faults=%d timeouts=%d retries=%d fallbacks=%d dedup=%d"
-      t.faults t.timeouts t.retries t.fallbacks t.dedup_hits
+      t.faults t.timeouts t.retries t.fallbacks t.dedup_hits;
+  if t.dedup_evictions > 0 then Fmt.pf fmt " evictions=%d" t.dedup_evictions;
+  if t.txn_staged + t.txn_commits + t.txn_aborts > 0 then
+    Fmt.pf fmt " | txn: staged=%d commits=%d aborts=%d" t.txn_staged
+      t.txn_commits t.txn_aborts

@@ -17,6 +17,10 @@ type t = {
   mutable retries : int;  (** re-sent requests *)
   mutable fallbacks : int;  (** calls degraded to local data-shipped eval *)
   mutable dedup_hits : int;  (** retried requests answered from the cache *)
+  mutable dedup_evictions : int;  (** dedup-cache entries evicted by the cap *)
+  mutable txn_staged : int;  (** update primitives staged at participants *)
+  mutable txn_commits : int;  (** distributed transactions committed *)
+  mutable txn_aborts : int;  (** distributed transactions aborted *)
 }
 
 val create : unit -> t

@@ -22,8 +22,8 @@ let sources =
     ("local.xml", [| "conf"; "minage"; "wanted" |]);
   |]
 
-let make_net ?fault () =
-  let net = Xd_xrpc.Network.create ?fault () in
+let make_net ?fault ?journal_dir () =
+  let net = Xd_xrpc.Network.create ?fault ?journal_dir () in
   let client = Xd_xrpc.Network.new_peer net "client" in
   let a = Xd_xrpc.Network.new_peer net "peerA" in
   let b = Xd_xrpc.Network.new_peer net "peerB" in

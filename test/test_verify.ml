@@ -114,11 +114,11 @@ let test_reject_reverse_axis () =
   check_bool "witness path present" (List.length d.D.witness >= 2);
   check_bool "names the call" (d.D.exec <> None);
   (* by-projection announces the demand in the projection paths — but a
-     hand plan with *empty* paths falls back to full shipping, which is
-     only a warning (overflow fallback), never silently accepted *)
+     hand plan with *empty* paths demotes to by-fragment semantics on the
+     wire, which does not carry ancestors: condition i applies in full *)
   let rp = verify S.By_projection (parse rev_axis_src) in
-  check_bool "projection: warning, not error" (V.ok rp);
-  check_bool "projection: still flagged" (has_warning D.Cond_i rp)
+  check_bool "projection fallback: error" (has_error D.Cond_i rp);
+  check_bool "projection fallback: not ok" (not (V.ok rp))
 
 (* condition ii: node identity across the message boundary *)
 let test_reject_node_identity () =
