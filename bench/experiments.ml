@@ -93,11 +93,26 @@ let print_fig7 rows =
 
 type fig8_row = { f8_strategy : S.t; f8_timing : E.timing }
 
-let fig8 ~persons () =
+(* With [trace_dir], each strategy's run is traced and exported as a
+   Chrome trace_event file (fig8-<strategy>.trace.json) — the Fig. 8
+   breakdown read straight off the span tree in chrome://tracing. *)
+let fig8 ?trace_dir ~persons () =
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    trace_dir;
   List.map
     (fun strat ->
       let setup = make_setup ~persons in
-      let r = E.run setup.net ~client:setup.client strat (query ()) in
+      let trace = Option.map (fun _ -> Xd_obs.Trace.create ()) trace_dir in
+      let r = E.run ?trace setup.net ~client:setup.client strat (query ()) in
+      Option.iter
+        (fun dir ->
+          let tr = Option.get trace in
+          Xd_obs.Sink.write_file
+            (Filename.concat dir
+               (Printf.sprintf "fig8-%s.trace.json" (S.to_string strat)))
+            (Xd_obs.Sink.chrome tr))
+        trace_dir;
       { f8_strategy = strat; f8_timing = r.E.timing })
     S.all
 
@@ -311,7 +326,7 @@ let ablation_bulk ~persons () =
     Xd_xrpc.Stats.reset setup.net.Xd_xrpc.Network.stats;
     let v = Xd_xrpc.Session.execute session q in
     let st = setup.net.Xd_xrpc.Network.stats in
-    (st.Xd_xrpc.Stats.message_bytes, st.Xd_xrpc.Stats.messages, v)
+    (Xd_xrpc.Stats.message_bytes st, Xd_xrpc.Stats.messages st, v)
   in
   let b1, m1, v1 = stats true in
   let b0, m0, v0 = stats false in

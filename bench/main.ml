@@ -5,15 +5,24 @@
      dune exec bench/main.exe fig7       -- a single figure
      dune exec bench/main.exe -- --scale 80   -- bigger documents
      dune exec bench/main.exe micro      -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- fig8 --trace-dir traces
+                                         -- Chrome trace per strategy
 *)
 
 let base_scale = ref 40
+let trace_dir = ref None
 
 let run_fig7 () = Experiments.print_fig7 (Experiments.fig7 ~base:!base_scale ())
 
 let run_fig8 () =
   let persons = !base_scale * 16 in
-  Experiments.print_fig8 ~persons (Experiments.fig8 ~persons ())
+  Experiments.print_fig8 ~persons
+    (Experiments.fig8 ?trace_dir:!trace_dir ~persons ());
+  match !trace_dir with
+  | Some dir ->
+    Printf.printf "   (chrome traces written under %s/fig8-*.trace.json)\n\n"
+      dir
+  | None -> ()
 
 let run_fig9 () = Experiments.print_fig9 (Experiments.fig9 ~base:!base_scale ())
 
@@ -121,6 +130,9 @@ let () =
     | [] -> []
     | "--scale" :: n :: rest ->
       base_scale := int_of_string n;
+      parse rest
+    | "--trace-dir" :: dir :: rest ->
+      trace_dir := Some dir;
       parse rest
     | x :: rest -> x :: parse rest
   in

@@ -4,7 +4,8 @@
      xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
           [--verify-plan] [--plan] [--force] [--fault-spec SPEC]
           [--fault-seed N] [--timeout S] [--retries N] [--txn]
-          [--journal-dir DIR] QUERY
+          [--journal-dir DIR] [--trace] [--trace-out FILE]
+          [--trace-format jsonl|chrome] [--metrics] QUERY
 
    QUERY is a file name, or a literal query with --query. Documents are
    loaded onto named peers; the query addresses them as
@@ -113,6 +114,37 @@ let journal_dir_arg =
   Arg.(
     value & opt (some string) None & info [ "journal-dir" ] ~docv:"DIR" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a distributed trace of the execution: hierarchical spans for \
+     every call, attempt, (de)serialization, evaluation and 2PC exchange, \
+     across every peer the query touches. Written to --trace-out, or to \
+     stderr."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_out_arg =
+  let doc = "Write the trace to FILE (implies --trace)." in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace export format: $(b,jsonl) (one JSON object per span per line) \
+     or $(b,chrome) (trace_event JSON for chrome://tracing / Perfetto)."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Dump the full metrics registry (counters, gauges, histograms) to \
+     stderr after executing."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let query_string_arg =
   let doc = "Give the query inline instead of in a file." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
@@ -143,8 +175,8 @@ let parse_doc_spec s =
           file ))
 
 let run docs strategy explain stats code_motion verify_plan as_plan force
-    fault_spec fault_seed timeout_s retries txn journal_dir query_string
-    query_file =
+    fault_spec fault_seed timeout_s retries txn journal_dir trace trace_out
+    trace_format metrics query_string query_file =
   let query_src =
     match (query_string, query_file) with
     | Some q, _ -> Ok q
@@ -168,6 +200,30 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
     in
     let net = Xd_xrpc.Network.create ~fault ?journal_dir () in
     let client = Xd_xrpc.Network.new_peer net "client" in
+    let tracer =
+      if trace || trace_out <> None then Some (Xd_obs.Trace.create ())
+      else None
+    in
+    (* the trace is exported even when execution ends in a typed fault or
+       timeout — failed runs are the ones worth looking at *)
+    let export_trace () =
+      match tracer with
+      | None -> ()
+      | Some tr -> (
+        let contents =
+          match trace_format with
+          | `Jsonl -> Xd_obs.Sink.jsonl tr
+          | `Chrome -> Xd_obs.Sink.chrome tr
+        in
+        match trace_out with
+        | Some path -> Xd_obs.Sink.write_file path contents
+        | None -> prerr_string contents)
+    in
+    let dump_metrics () =
+      if metrics then
+        Format.eprintf "%a@?" Xd_obs.Metrics.dump
+          (Xd_xrpc.Stats.registry net.Xd_xrpc.Network.stats)
+    in
     let load spec =
       match parse_doc_spec spec with
       | Error e ->
@@ -223,7 +279,7 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
       match
         Xd_core.Executor.run_plan ~timeout_s ~retries
           ~txn:(if txn then `Always else `Auto)
-          ~force net ~client plan
+          ~force ?trace:tracer net ~client plan
       with
       | exception Xd_core.Executor.Plan_rejected report ->
         Format.eprintf "plan rejected by the distribution-safety verifier:@.";
@@ -242,14 +298,22 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
         Printf.eprintf "xrpc fault from %s: %s: %s\n" host
           (Xd_xrpc.Message.fault_code_to_string code)
           reason;
+        export_trace ();
+        dump_metrics ();
         1
       | exception Xd_xrpc.Message.Xrpc_timeout { host; attempts } ->
         Printf.eprintf "xrpc timeout: %s did not answer (%d attempts)\n" host
           attempts;
+        export_trace ();
+        dump_metrics ();
         1
       | r ->
         print_endline (Xd_lang.Value.serialize r.Xd_core.Executor.value);
         if stats then begin
+          if Xd_xrpc.Stats.is_empty net.Xd_xrpc.Network.stats then
+            Printf.eprintf "strategy: %s\n(no remote activity)\n"
+              (Xd_core.Strategy.to_string strategy)
+          else begin
           let t = r.Xd_core.Executor.timing in
           Printf.eprintf
             "strategy: %s\nmessages: %d (%d bytes), documents fetched: %d \
@@ -277,7 +341,10 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
             Printf.eprintf "txn: staged %d, commits %d, aborts %d\n"
               t.Xd_core.Executor.txn_staged t.Xd_core.Executor.txn_commits
               t.Xd_core.Executor.txn_aborts
+          end
         end;
+        export_trace ();
+        dump_metrics ();
         0))
 
 let cmd =
@@ -288,6 +355,7 @@ let cmd =
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
       $ code_motion_arg $ verify_plan_arg $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
-      $ txn_arg $ journal_dir_arg $ query_string_arg $ query_file_arg)
+      $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg
+      $ trace_format_arg $ metrics_arg $ query_string_arg $ query_file_arg)
 
 let () = exit (Cmd.eval' cmd)

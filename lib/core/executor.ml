@@ -31,7 +31,13 @@ let total_time t =
      simulated network time *)
   t.wall_s +. t.network_s
 
-type run = { value : Value.t; plan : Decompose.plan; timing : timing }
+type run = {
+  value : Value.t;
+  plan : Decompose.plan;
+  timing : timing;
+  trace_root : Xd_obs.Trace.span option;
+      (* the query's root span when the run was traced *)
+}
 
 exception Plan_rejected of Xd_verify.Verify.report
 
@@ -90,15 +96,21 @@ let txn_needed ~self (q : Ast.query) =
    [~force:true] — distributed execution of such a plan would silently
    diverge from the local reference semantics. *)
 let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
-    ?(force = false) (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
-    (plan : Decompose.plan) : run =
+    ?(force = false) ?trace (net : Xd_xrpc.Network.t)
+    ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) : run =
   let report = verify_plan ~client plan in
   if (not force) && not (Xd_verify.Verify.ok report) then
     raise (Plan_rejected report);
   let strategy = plan.Decompose.strategy in
+  let stats = net.Xd_xrpc.Network.stats in
+  (* the tracer's simulated clock is the run's accumulated wire time *)
+  Option.iter
+    (fun tr ->
+      Xd_obs.Trace.set_sim tr (fun () -> Xd_xrpc.Stats.network_s stats))
+    trace;
   let session =
-    Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries ?dedup_cap net
-      client
+    Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries ?dedup_cap
+      ?tracer:trace net client
       (Strategy.passing strategy)
   in
   let use_txn =
@@ -108,47 +120,59 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
     | `Auto ->
       txn_needed ~self:(Xd_xrpc.Peer.name client) plan.Decompose.query
   in
-  let stats = net.Xd_xrpc.Network.stats in
   Xd_xrpc.Stats.reset stats;
+  let trace_root =
+    Xd_obs.Trace.start trace ~parent:Xd_obs.Trace.Root
+      ~peer:(Xd_xrpc.Peer.name client) ~cat:"query" "execute"
+  in
+  Xd_obs.Trace.add_attr trace_root "strategy"
+    (Xd_obs.Trace.S (Strategy.to_string strategy));
+  Xd_xrpc.Session.set_current_span session trace_root;
   let t0 = Unix.gettimeofday () in
   let value =
-    if use_txn then Xd_xrpc.Session.execute_txn session plan.Decompose.query
-    else Xd_xrpc.Session.execute session plan.Decompose.query
+    Fun.protect
+      ~finally:(fun () ->
+        Xd_xrpc.Session.set_current_span session None;
+        Xd_obs.Trace.finish trace trace_root)
+      (fun () ->
+        if use_txn then
+          Xd_xrpc.Session.execute_txn session plan.Decompose.query
+        else Xd_xrpc.Session.execute session plan.Decompose.query)
   in
   let wall = Unix.gettimeofday () -. t0 in
+  let module St = Xd_xrpc.Stats in
   let timing =
     {
       wall_s = wall;
       local_exec_s =
         Float.max 0.
-          (wall -. stats.Xd_xrpc.Stats.serialize_s
-          -. stats.Xd_xrpc.Stats.shred_s
-          -. stats.Xd_xrpc.Stats.remote_exec_s);
-      serialize_s = stats.Xd_xrpc.Stats.serialize_s;
-      shred_s = stats.Xd_xrpc.Stats.shred_s;
-      remote_exec_s = stats.Xd_xrpc.Stats.remote_exec_s;
-      network_s = stats.Xd_xrpc.Stats.network_s;
-      message_bytes = stats.Xd_xrpc.Stats.message_bytes;
-      document_bytes = stats.Xd_xrpc.Stats.document_bytes;
-      messages = stats.Xd_xrpc.Stats.messages;
-      faults = stats.Xd_xrpc.Stats.faults;
-      timeouts = stats.Xd_xrpc.Stats.timeouts;
-      retries = stats.Xd_xrpc.Stats.retries;
-      fallbacks = stats.Xd_xrpc.Stats.fallbacks;
-      dedup_hits = stats.Xd_xrpc.Stats.dedup_hits;
-      dedup_evictions = stats.Xd_xrpc.Stats.dedup_evictions;
-      txn_staged = stats.Xd_xrpc.Stats.txn_staged;
-      txn_commits = stats.Xd_xrpc.Stats.txn_commits;
-      txn_aborts = stats.Xd_xrpc.Stats.txn_aborts;
+          (wall -. St.serialize_s stats -. St.shred_s stats
+          -. St.remote_exec_s stats);
+      serialize_s = St.serialize_s stats;
+      shred_s = St.shred_s stats;
+      remote_exec_s = St.remote_exec_s stats;
+      network_s = St.network_s stats;
+      message_bytes = St.message_bytes stats;
+      document_bytes = St.document_bytes stats;
+      messages = St.messages stats;
+      faults = St.faults stats;
+      timeouts = St.timeouts stats;
+      retries = St.retries stats;
+      fallbacks = St.fallbacks stats;
+      dedup_hits = St.dedup_hits stats;
+      dedup_evictions = St.dedup_evictions stats;
+      txn_staged = St.txn_staged stats;
+      txn_commits = St.txn_commits stats;
+      txn_aborts = St.txn_aborts stats;
     }
   in
-  { value; plan; timing }
+  { value; plan; timing; trace_root }
 
 let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?code_motion ?force
-    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
+    ?trace (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
     (strategy : Strategy.t) (q : Ast.query) : run =
   let plan = Decompose.decompose ?code_motion strategy q in
-  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?force net
+  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?force ?trace net
     ~client plan
 
 (* Coordinator crash recovery: a fresh session for the client re-drives

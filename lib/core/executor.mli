@@ -32,6 +32,9 @@ type run = {
   value : Xd_lang.Value.t;
   plan : Decompose.plan;
   timing : timing;
+  trace_root : Xd_obs.Trace.span option;
+      (** the query's root span when run with [?trace] — the whole span
+          tree is in the tracer's buffer *)
 }
 
 exception Plan_rejected of Xd_verify.Verify.report
@@ -57,6 +60,7 @@ val run_plan :
   ?dedup_cap:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
   ?force:bool ->
+  ?trace:Xd_obs.Trace.t ->
   Xd_xrpc.Network.t ->
   client:Xd_xrpc.Peer.t ->
   Decompose.plan ->
@@ -68,6 +72,11 @@ val run_plan :
     [`Always] runs the query through {!Xd_xrpc.Session.execute_txn},
     [`Off] never does, and [`Auto] (the default) consults {!txn_needed}
     so that single-site queries keep a wire identical to [`Off].
+
+    [trace] records the execution as a span tree in the given tracer
+    (simulated clock pointed at the run's wire time, root span in
+    [run.trace_root]); export with {!Xd_obs.Sink}. Tracing never
+    changes results, {!Xd_xrpc.Stats} or a seeded fault schedule.
     @raise Plan_rejected when the verifier reports errors and [force] is
     false (the default); [~force:true] executes anyway. *)
 
@@ -80,6 +89,7 @@ val run :
   ?txn:[ `Auto | `Always | `Off ] ->
   ?code_motion:bool ->
   ?force:bool ->
+  ?trace:Xd_obs.Trace.t ->
   Xd_xrpc.Network.t ->
   client:Xd_xrpc.Peer.t ->
   Strategy.t ->

@@ -1,0 +1,133 @@
+(* Named counters / gauges / histograms behind a single registry.
+
+   Registration is idempotent per (name, kind): components grab handles
+   at construction time, drivers [reset] between runs, and the dump is
+   sorted so tests can pin it. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array; (* strictly increasing, +inf excluded *)
+  counts : int array; (* per-bucket (non-cumulative); last = +inf *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t name want make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m ->
+      if kind_name m <> want then
+        invalid_arg
+          (Printf.sprintf "Metrics: %S is a %s, not a %s" name (kind_name m)
+             want);
+      m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl name m;
+      m
+
+let counter t name =
+  match register t name "counter" (fun () -> Counter { c = 0 }) with
+  | Counter c -> c
+  | _ -> assert false
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name =
+  match register t name "gauge" (fun () -> Gauge { g = 0. }) with
+  | Gauge g -> g
+  | _ -> assert false
+
+let set g v = g.g <- v
+let add g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+let default_buckets =
+  [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. ]
+
+let histogram ?(buckets = default_buckets) t name =
+  let make () =
+    let bounds = Array.of_list (List.sort_uniq compare buckets) in
+    Histogram
+      { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.; n = 0 }
+  in
+  match register t name "histogram" make with
+  | Histogram h -> h
+  | _ -> assert false
+
+let observe h v =
+  let rec bucket i =
+    if i >= Array.length h.bounds then i
+    else if v <= h.bounds.(i) then i
+    else bucket (i + 1)
+  in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+
+let hist_buckets h =
+  let acc = ref 0 in
+  let cum =
+    Array.mapi
+      (fun i n ->
+        acc := !acc + n;
+        let bound =
+          if i < Array.length h.bounds then h.bounds.(i) else infinity
+        in
+        (bound, !acc))
+      h.counts
+  in
+  Array.to_list cum
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0.
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.sum <- 0.;
+          h.n <- 0)
+    t.tbl
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+let pp_bound ppf b =
+  if b = infinity then Format.pp_print_string ppf "inf"
+  else Format.fprintf ppf "le%g" b
+
+let dump ppf t =
+  names t
+  |> List.iter (fun name ->
+         match Hashtbl.find t.tbl name with
+         | Counter c -> Format.fprintf ppf "counter    %s = %d@." name c.c
+         | Gauge g -> Format.fprintf ppf "gauge      %s = %.6f@." name g.g
+         | Histogram h ->
+             Format.fprintf ppf "histogram  %s count=%d sum=%.6f |" name h.n
+               h.sum;
+             List.iter
+               (fun (b, n) -> Format.fprintf ppf " %a:%d" pp_bound b n)
+               (hist_buckets h);
+             Format.fprintf ppf "@.")

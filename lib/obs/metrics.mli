@@ -1,0 +1,69 @@
+(** A process-local metrics registry: named counters, gauges and
+    histograms with a deterministic text dump.
+
+    Handles are registered once and survive {!reset} (which zeroes the
+    values, not the registrations), so long-lived components can hold on
+    to their handles while per-execution drivers reset between runs. The
+    registry is the single source of truth for runtime accounting —
+    {!Xd_xrpc.Stats} is a typed compatibility view over one. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {2 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or register the named counter.
+    @raise Invalid_argument if the name is registered with another kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** {2 Gauges} — floats that can move both ways (sizes, simulated
+    clocks). *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Histograms} — distributions of float observations with cumulative
+    bucket counts, a total sum and a count. *)
+
+type histogram
+
+val histogram : ?buckets:float list -> t -> string -> histogram
+(** [buckets] are the upper bounds (an implicit +inf bucket is always
+    appended). The default buckets suit second-valued durations:
+    1us .. 10s in decades. Bounds given on a later registration of an
+    existing name are ignored. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val hist_buckets : histogram -> (float * int) list
+(** Cumulative [(upper_bound, count <= bound)] pairs; the +inf bucket is
+    the last entry with bound [infinity]. *)
+
+(** {2 Registry-wide operations} *)
+
+val reset : t -> unit
+(** Zero every metric; registrations (and histogram bounds) survive. *)
+
+val names : t -> string list
+(** Registered names, sorted. *)
+
+val dump : Format.formatter -> t -> unit
+(** One line per metric, sorted by name:
+    {v
+    counter    xrpc.messages = 4
+    gauge      time.network_s = 0.000813
+    histogram  time.serialize_s count=4 sum=0.000217 | le1e-06:0 ... inf:4
+    v} *)

@@ -1,0 +1,119 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+(* JSON numbers may not be nan/inf; unfinished spans export as null. *)
+let jfloat f =
+  if Float.is_nan f || Float.abs f = infinity then "null"
+  else Printf.sprintf "%.9g" f
+
+let jattr = function
+  | Trace.S s -> jstr s
+  | Trace.I i -> string_of_int i
+  | Trace.F f -> jfloat f
+  | Trace.B b -> if b then "true" else "false"
+
+let jattrs attrs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> jstr k ^ ":" ^ jattr v) attrs)
+  ^ "}"
+
+let jsonl tr =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (s : Trace.span) ->
+      Buffer.add_string b "{";
+      Buffer.add_string b ("\"trace\":" ^ jstr s.trace_id);
+      Buffer.add_string b (",\"span\":" ^ jstr s.span_id);
+      (match s.parent_id with
+      | Some p -> Buffer.add_string b (",\"parent\":" ^ jstr p)
+      | None -> ());
+      Buffer.add_string b (",\"name\":" ^ jstr s.name);
+      Buffer.add_string b (",\"cat\":" ^ jstr s.cat);
+      Buffer.add_string b (",\"peer\":" ^ jstr s.peer);
+      Buffer.add_string b (",\"wall_start\":" ^ jfloat s.start_wall);
+      Buffer.add_string b (",\"wall_end\":" ^ jfloat s.end_wall);
+      Buffer.add_string b (",\"sim_start\":" ^ jfloat s.start_sim);
+      Buffer.add_string b (",\"sim_end\":" ^ jfloat s.end_sim);
+      Buffer.add_string b (",\"attrs\":" ^ jattrs s.attrs);
+      Buffer.add_string b "}\n")
+    (Trace.spans tr);
+  Buffer.contents b
+
+let chrome tr =
+  let spans = Trace.spans tr in
+  let t0 =
+    List.fold_left
+      (fun acc (s : Trace.span) -> Float.min acc s.start_wall)
+      infinity spans
+  in
+  let t0 = if t0 = infinity then 0. else t0 in
+  let tids = Hashtbl.create 8 in
+  let tid_of peer =
+    match Hashtbl.find_opt tids peer with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length tids + 1 in
+        Hashtbl.replace tids peer id;
+        id
+  in
+  (* Assign tids in span order so the export is deterministic. *)
+  List.iter (fun (s : Trace.span) -> ignore (tid_of s.peer)) spans;
+  let us t = Printf.sprintf "%.3f" ((t -. t0) *. 1e6) in
+  let events = Buffer.create 4096 in
+  let emit e =
+    if Buffer.length events > 0 then Buffer.add_string events ",\n";
+    Buffer.add_string events e
+  in
+  Hashtbl.fold (fun peer id acc -> (id, peer) :: acc) tids []
+  |> List.sort compare
+  |> List.iter (fun (id, peer) ->
+         emit
+           (Printf.sprintf
+              "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
+               \"args\":{\"name\":%s}}"
+              id (jstr peer)));
+  List.iter
+    (fun (s : Trace.span) ->
+      let dur =
+        if Float.is_nan s.end_wall then 0. else s.end_wall -. s.start_wall
+      in
+      let args =
+        ("trace", Trace.S s.trace_id)
+        :: ("span", Trace.S s.span_id)
+        :: (match s.parent_id with
+           | Some p -> [ ("parent", Trace.S p) ]
+           | None -> [])
+        @ [ ("sim_start", Trace.F s.start_sim); ("sim_end", Trace.F s.end_sim) ]
+        @ s.attrs
+      in
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%.3f,\
+            \"name\":%s,\"cat\":%s,\"args\":%s}"
+           (tid_of s.peer) (us s.start_wall) (dur *. 1e6) (jstr s.name)
+           (jstr s.cat) (jattrs args)))
+    spans;
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" ^ Buffer.contents events
+  ^ "\n]}\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,21 @@
+(** Exporters for completed traces.
+
+    No JSON library is assumed: both formats are rendered directly, with
+    full string escaping, so the output loads in [jq], Perfetto and
+    [chrome://tracing]. *)
+
+val jsonl : Trace.t -> string
+(** One JSON object per line per completed span, oldest first. Fields:
+    [trace], [span], [parent] (absent on roots), [name], [cat], [peer],
+    [wall_start]/[wall_end] (Unix seconds), [sim_start]/[sim_end]
+    (simulated-clock seconds), [attrs] (object of typed attributes). *)
+
+val chrome : Trace.t -> string
+(** Chrome [trace_event] JSON: an object with [displayTimeUnit] and a
+    [traceEvents] array of [ph:"X"] complete events (one per span; [ts]
+    and [dur] in microseconds of wall time relative to the earliest
+    span) preceded by [ph:"M"] [thread_name] metadata naming one thread
+    per peer. Simulated-clock bounds and attributes ride in [args]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — create/truncate [path]. *)

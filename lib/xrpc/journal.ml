@@ -61,13 +61,17 @@ type t = {
   file : out_channel option;
   mutable recs : record list; (* newest first *)
   table : (string, staged) Hashtbl.t;
+  mutable observer : record -> unit; (* telemetry hook, see on_append *)
 }
+
+let on_append t f = t.observer <- f
 
 let peer_name t = t.peer
 let records t = List.rev t.recs
 
 let append t r =
   t.recs <- r :: t.recs;
+  t.observer r;
   match t.file with
   | None -> ()
   | Some oc ->
@@ -217,7 +221,8 @@ let unresolved t =
 
 (* ---- construction ----------------------------------------------------- *)
 
-let in_memory ~peer = { peer; file = None; recs = []; table = Hashtbl.create 4 }
+let in_memory ~peer =
+  { peer; file = None; recs = []; table = Hashtbl.create 4; observer = ignore }
 
 let open_file ~dir ~peer =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
@@ -237,7 +242,15 @@ let open_file ~dir ~peer =
     else []
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  let t = { peer; file = Some oc; recs = existing; table = Hashtbl.create 4 } in
+  let t =
+    {
+      peer;
+      file = Some oc;
+      recs = existing;
+      table = Hashtbl.create 4;
+      observer = ignore;
+    }
+  in
   (* opening after a process restart IS a crash-restart: rebuild the staged
      table with presumed abort *)
   crash_restart t;

@@ -37,6 +37,12 @@ val records : t -> record list
 val append : t -> record -> unit
 (** Append a raw record (used by the coordinator for outline records). *)
 
+val on_append : t -> (record -> unit) -> unit
+(** Install a telemetry observer called for every appended record
+    (replay during {!open_file} happens before any observer can be
+    installed and is not reported). One observer at a time; the default
+    ignores. *)
+
 (** {2 Participant operations} *)
 
 val stage : t -> txn:string -> req:string -> pul:string -> bool

@@ -268,6 +268,71 @@ let write_txn_ack ~txn ~ack =
   Buffer.add_string buf "/></env:Body></env:Envelope>";
   Buffer.contents buf
 
+(* ---- the optional <trace> telemetry header (PROTOCOL.md, "Tracing") ---- *)
+
+let trace_header ~trace_id ~span_id =
+  Printf.sprintf "<trace trace-id=\"%s\" span-id=\"%s\"/>" trace_id span_id
+
+(* Naive substring search; messages are one-shot and small enough. *)
+let find_sub text sub =
+  let n = String.length text and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub text i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let body_open = "<env:Body>"
+
+let inject_trace_header text ~header =
+  match find_sub text body_open with
+  | None -> (text, 0, 0) (* not an envelope: ship unmodified, no header *)
+  | Some i ->
+    let at = i + String.length body_open in
+    ( String.sub text 0 at ^ header
+      ^ String.sub text at (String.length text - at),
+      at,
+      String.length header )
+
+(* Textual peek, deliberately tolerant: any header we cannot fully
+   decode — absent, cut off by a truncation fault, missing an attribute,
+   or carrying non-hex ids — yields [None] and the call proceeds
+   untraced. A malformed header is never worth a fault. *)
+let peek_trace_header text =
+  let quoted_value text from =
+    match String.index_from_opt text from '"' with
+    | None -> None
+    | Some e -> Some (String.sub text from (e - from), e + 1)
+  in
+  match find_sub text "<trace trace-id=\"" with
+  | None -> None
+  | Some i -> (
+    let tstart = i + String.length "<trace trace-id=\"" in
+    match quoted_value text tstart with
+    | None -> None
+    | Some (trace_id, after) -> (
+      let sep = " span-id=\"" in
+      let have_sep =
+        String.length text >= after + String.length sep
+        && String.sub text after (String.length sep) = sep
+      in
+      if not have_sep then None
+      else
+        match quoted_value text (after + String.length sep) with
+        | None -> None
+        | Some (span_id, after) ->
+          let closed =
+            String.length text >= after + 2
+            && String.sub text after 2 = "/>"
+          in
+          if
+            closed
+            && Xd_obs.Trace.valid_id trace_id
+            && Xd_obs.Trace.valid_id span_id
+          then Some (trace_id, span_id)
+          else None))
+
 (* The node used for structural shipping: attributes travel with their
    owner element. *)
 let effective_node n =

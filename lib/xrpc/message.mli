@@ -81,6 +81,29 @@ val txn_ack_of_string : string -> txn_ack
 val write_txn_control : action:txn_action -> txn:string -> string
 val write_txn_ack : txn:string -> ack:txn_ack -> string
 
+(** {2 Tracing header}
+
+    Requests (and 2PC control messages) may carry an optional [<trace>]
+    element as the first child of [<env:Body>], linking server-side
+    spans under the caller's attempt span. The header is telemetry, not
+    protocol: it is excluded from wire accounting ({!Network.send}
+    [~meta]) and a header that cannot be decoded is simply ignored. *)
+
+val trace_header : trace_id:string -> span_id:string -> string
+(** [<trace trace-id=".." span-id=".."/>]; ids are 1–32 lowercase hex
+    chars ({!Xd_obs.Trace.valid_id}). *)
+
+val inject_trace_header : string -> header:string -> string * int * int
+(** [inject_trace_header text ~header] inserts [header] right after
+    [<env:Body>] and returns [(text', at, len)] — the header's byte
+    range for {!Network.send}'s [~meta]. Text without an envelope body
+    is returned unmodified (with a zero range). *)
+
+val peek_trace_header : string -> (string * string) option
+(** Textually decode a message's [(trace_id, span_id)]. [None] when the
+    header is absent or malformed (bad hex ids, missing attributes,
+    truncated) — such calls proceed untraced, never faulted. *)
+
 val parse_txn_ack : Xd_xml.Node.t -> string * txn_ack
 (** Read a [<txn-ack>] element back into (txn, ack). *)
 

@@ -41,7 +41,8 @@ let heal t = t.fault <- Fault.none
 
 (* Each peer owns one journal, shared by every session that serves it and
    surviving sessions — which is what lets a fresh coordinator session
-   recover transactions an earlier crashed execution left behind. *)
+   recover transactions an earlier crashed execution left behind. Every
+   appended record ticks the shared journal.records metric. *)
 let journal t peer =
   match Hashtbl.find_opt t.journals peer with
   | Some j -> j
@@ -51,6 +52,10 @@ let journal t peer =
       | Some dir -> Journal.open_file ~dir ~peer
       | None -> Journal.in_memory ~peer
     in
+    let recs =
+      Xd_obs.Metrics.counter (Stats.registry t.stats) "journal.records"
+    in
+    Journal.on_append j (fun _ -> Xd_obs.Metrics.incr recs);
     Hashtbl.replace t.journals peer j;
     j
 
@@ -69,44 +74,53 @@ let find_peer t name =
 (* Account one message of [bytes] on the wire. *)
 let transfer ?(kind = `Message) t bytes =
   (match kind with
-  | `Message ->
-    t.stats.Stats.message_bytes <- t.stats.Stats.message_bytes + bytes;
-    t.stats.Stats.messages <- t.stats.Stats.messages + 1
-  | `Document ->
-    t.stats.Stats.document_bytes <- t.stats.Stats.document_bytes + bytes;
-    t.stats.Stats.documents_fetched <- t.stats.Stats.documents_fetched + 1);
-  t.stats.Stats.network_s <-
-    t.stats.Stats.network_s +. t.latency_s
-    +. (float_of_int bytes /. t.bandwidth_bytes_per_s)
+  | `Message -> Stats.add_message t.stats ~bytes
+  | `Document -> Stats.add_document t.stats ~bytes);
+  Stats.add_network_s t.stats
+    (t.latency_s +. (float_of_int bytes /. t.bandwidth_bytes_per_s))
 
 type delivery = Delivered of { text : string; duplicated : bool } | Dropped
 
 (* Put one XRPC message on the wire towards [dst]. The sender always pays
    for the transmission (the bytes left its interface even when the
    message is then lost); the fault layer decides what, if anything,
-   arrives. *)
-let send t ~dst text =
-  let bytes = String.length text in
+   arrives.
+
+   [meta], when given, marks a telemetry substring of [text] occupying
+   [len] bytes starting at offset [at] (the injected <trace> header).
+   Telemetry is free: it is excluded from the billed byte count and from
+   the fault layer's length-dependent decisions, and a truncation fault
+   cuts the payload at the same payload offset it would have used had
+   the header not been there. This keeps byte accounting and the seeded
+   fault schedule identical with tracing on or off. *)
+let send ?meta t ~dst text =
+  let at, hlen = match meta with None -> (0, 0) | Some (a, l) -> (a, l) in
+  let bytes = String.length text - hlen in
   transfer ~kind:`Message t bytes;
   if not (Fault.enabled t.fault) then Delivered { text; duplicated = false }
   else
     match Fault.decide t.fault ~dst ~len:bytes with
     | Fault.Pass -> Delivered { text; duplicated = false }
     | Fault.Drop_msg ->
-      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      Stats.incr_faults ~kind:"drop" t.stats;
       Dropped
     | Fault.Duplicate ->
-      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      Stats.incr_faults ~kind:"dup" t.stats;
       transfer ~kind:`Message t bytes;
       Delivered { text; duplicated = true }
     | Fault.Truncate_at n ->
-      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
-      Delivered { text = String.sub text 0 n; duplicated = false }
+      Stats.incr_faults ~kind:"truncate" t.stats;
+      (* Cut at the fault layer's payload offset: before the header the
+         raw and payload offsets coincide (the header is lost with the
+         tail — the call degrades to untraced); past it the header rides
+         along whole. *)
+      let cut = if n <= at then n else n + hlen in
+      Delivered { text = String.sub text 0 cut; duplicated = false }
     | Fault.Delay_by s ->
-      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
-      t.stats.Stats.network_s <- t.stats.Stats.network_s +. s;
+      Stats.incr_faults ~kind:"delay" t.stats;
+      Stats.add_network_s t.stats s;
       Delivered { text; duplicated = false }
     | Fault.Restart_peer ->
-      t.stats.Stats.faults <- t.stats.Stats.faults + 1;
+      Stats.incr_faults ~kind:"restart" t.stats;
       Journal.crash_restart (journal t dst);
       Dropped

@@ -43,9 +43,15 @@ val transfer : ?kind:[ `Message | `Document ] -> t -> int -> unit
 
 type delivery = Delivered of { text : string; duplicated : bool } | Dropped
 
-val send : t -> dst:string -> string -> delivery
+val send : ?meta:int * int -> t -> dst:string -> string -> delivery
 (** Put one XRPC message on the wire towards peer [dst]. The sender
     always pays for the transmission; the fault layer decides what
     arrives: the full text, a truncated prefix, two copies
     ([duplicated]), or nothing ([Dropped] — the caller's timeout
-    machinery takes over). *)
+    machinery takes over).
+
+    [meta:(at, len)] marks a telemetry substring of the text (the
+    injected [<trace>] header, [len] bytes at offset [at]). Telemetry
+    rides for free: billed bytes, fault decisions and truncation offsets
+    are computed as if it were absent, so tracing cannot perturb
+    accounting or a seeded fault schedule. *)

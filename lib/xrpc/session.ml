@@ -12,6 +12,7 @@ module Ast = Xd_lang.Ast
 module Value = Xd_lang.Value
 module Env = Xd_lang.Env
 module Eval = Xd_lang.Eval
+module Trace = Xd_obs.Trace
 
 type recorded = { dir : [ `Request of string | `Response of string ]; text : string }
 
@@ -48,10 +49,14 @@ type t = {
          execution, and on a server session while it evaluates a
          txn-tagged request (so nested calls propagate the id) *)
   mutable next_txn : int; (* coordinator: transaction-id counter *)
+  tracer : Trace.t option; (* shared across every session of one run *)
+  mutable cur : Trace.span option;
+      (* the ambient span new spans parent under: the executor's root on
+         the coordinator, the active attempt/evaluate span elsewhere *)
 }
 
 let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
-    ?(retries = 2) ?(dedup_cap = 256) net self passing =
+    ?(retries = 2) ?(dedup_cap = 256) ?tracer net self passing =
   {
     net;
     self;
@@ -73,7 +78,34 @@ let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
     next_req = 0;
     txn = None;
     next_txn = 0;
+    tracer;
+    cur = None;
   }
+
+let set_current_span session sp = session.cur <- sp
+
+(* ---------------- tracing helpers -------------------------------------- *)
+
+(* Run [f] with [sp] as the session's ambient span. *)
+let with_cur session sp f =
+  let prev = session.cur in
+  session.cur <- sp;
+  Fun.protect ~finally:(fun () -> session.cur <- prev) (fun () -> f ())
+
+(* A span under the current ambient one, ambient for the duration of
+   [f]. All no-ops when the session has no tracer. *)
+let traced ?peer session ~cat name f =
+  let peer = Option.value ~default:(Peer.name session.self) peer in
+  Trace.with_span session.tracer
+    ~parent:(Trace.ambient session.cur)
+    ~peer ~cat name
+    (fun sp -> with_cur session sp (fun () -> f sp))
+
+(* An event marker: the caller attaches attributes and finishes it. *)
+let span_note session ~cat name =
+  Trace.start session.tracer
+    ~parent:(Trace.ambient session.cur)
+    ~peer:(Peer.name session.self) ~cat name
 
 let recorded session = Option.map (fun r -> List.rev !r) session.record
 
@@ -94,8 +126,7 @@ let remember_reply session id resp =
     if Queue.length session.replied_order > session.dedup_cap then begin
       let victim = Queue.pop session.replied_order in
       Hashtbl.remove session.replied victim;
-      let stats = session.net.Network.stats in
-      stats.Stats.dedup_evictions <- stats.Stats.dedup_evictions + 1
+      Stats.incr_dedup_evictions session.net.Network.stats
     end
   end
 
@@ -112,8 +143,8 @@ let rec server_session session host =
     let s =
       create ?record:session.record ~bulk:session.bulk ?schema:session.schema
         ~depth:(session.depth + 1) ~timeout_s:session.timeout_s
-        ~retries:session.retries ~dedup_cap:session.dedup_cap session.net peer
-        session.passing
+        ~retries:session.retries ~dedup_cap:session.dedup_cap
+        ?tracer:session.tracer session.net peer session.passing
     in
     Hashtbl.replace session.remote_sessions host s;
     s
@@ -132,6 +163,8 @@ and resolve_doc session env uri =
       match Hashtbl.find_opt session.fetched uri with
       | Some d -> d
       | None ->
+        traced session ~cat:"doc" ("fetch " ^ uri) @@ fun dsp ->
+        Trace.add_attr dsp "uri" (Trace.S uri);
         let stats = session.net.Network.stats in
         let speer = Network.find_peer session.net host in
         let doc =
@@ -141,10 +174,13 @@ and resolve_doc session env uri =
             Env.dynamic_error "document %S not found at %s" doc_name host
         in
         let text =
+          traced ~peer:host session ~cat:"serialize" "document" @@ fun _ ->
           Stats.time_serialize stats (fun () -> X.Serializer.doc doc)
         in
-        Network.transfer ~kind:`Document session.net (String.length text);
+        (traced session ~cat:"network" ("ship " ^ doc_name) @@ fun _ ->
+         Network.transfer ~kind:`Document session.net (String.length text));
         let d =
+          traced session ~cat:"shred" "document" @@ fun _ ->
           Stats.time_shred stats (fun () ->
               X.Parser.parse ~store:(Peer.store session.self) ~uri text)
         in
@@ -286,11 +322,28 @@ and find_path names node =
    exception. Only asynchronous/implementation exceptions (Stack_overflow
    and friends) still propagate. *)
 and handle_request session ~client_name request_text =
+  (* A decodable <trace> header links this peer's spans under the
+     caller's attempt span; without one (tracing off, or the header was
+     lost to truncation / malformed) the call runs untraced. *)
+  match (session.tracer, Message.peek_trace_header request_text) with
+  | Some _, Some (trace_id, span_id) ->
+    Trace.with_span session.tracer
+      ~parent:(Trace.Remote { trace_id; span_id })
+      ~peer:(Peer.name session.self) ~cat:"server" "handle"
+      (fun sp ->
+        with_cur session sp (fun () ->
+            handle_request_guarded session ~client_name request_text))
+  | _ -> handle_request_guarded session ~client_name request_text
+
+and handle_request_guarded session ~client_name request_text =
   let stats = session.net.Network.stats in
   try handle_request_exn session ~client_name request_text
   with e ->
     let fault code reason =
-      stats.Stats.faults <- stats.Stats.faults + 1;
+      Stats.incr_faults ~kind:"app" stats;
+      Trace.add_attr session.cur "fault"
+        (Trace.S (Message.fault_code_to_string code));
+      traced session ~cat:"serialize" "fault" @@ fun _ ->
       Stats.time_serialize stats (fun () -> Message.write_fault ~code ~reason)
     in
     (match e with
@@ -316,6 +369,7 @@ and handle_request session ~client_name request_text =
 and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
   let body =
+    traced session ~cat:"shred" "request" @@ fun _ ->
     Stats.time_shred stats (fun () ->
         let mdoc = X.Parser.parse_doc ~strip_ws:false request_text in
         let root = X.Node.doc_node mdoc in
@@ -351,7 +405,8 @@ and handle_request_exn session ~client_name request_text =
     | Some cached ->
       (* a retransmission of a request we already answered: replay the
          response instead of re-evaluating (at-most-once updates) *)
-      stats.Stats.dedup_hits <- stats.Stats.dedup_hits + 1;
+      Stats.incr_dedup_hits stats;
+      Trace.add_attr session.cur "dedup" (Trace.B true);
       cached
     | None ->
       let resp = handle_parsed session ~client_name ~ep ?req_id req in
@@ -367,7 +422,11 @@ and handle_request_exn session ~client_name request_text =
 and handle_txn_control session action txn =
   let stats = session.net.Network.stats in
   let j = journal session in
+  traced session ~cat:"txn" (Message.txn_action_to_string action) @@ fun tsp ->
+  Trace.add_attr tsp "txn" (Trace.S txn);
   let ack a =
+    Trace.add_attr tsp "ack" (Trace.S (Message.txn_ack_to_string a));
+    traced session ~cat:"serialize" "ack" @@ fun _ ->
     Stats.time_serialize stats (fun () -> Message.write_txn_ack ~txn ~ack:a)
   in
   match action with
@@ -384,8 +443,10 @@ and handle_txn_control session action txn =
       Message.protocol_error
         "commit for unknown or aborted transaction %s" txn
     | `Apply puls ->
-      Stats.time_remote stats (fun () ->
-          ignore (Xd_lang.Update.apply_staged (Peer.store session.self) puls));
+      (traced session ~cat:"remote" "apply staged" @@ fun _ ->
+       Stats.time_remote stats (fun () ->
+           ignore
+             (Xd_lang.Update.apply_staged (Peer.store session.self) puls)));
       Journal.committed j ~txn;
       ack Message.Ack_committed)
 
@@ -393,9 +454,10 @@ and handle_parsed session ~client_name ~ep ?req_id req =
   let stats = session.net.Network.stats in
   let passing = Message.passing_of_string (Message.req_attr req "passing") in
   let txn_attr = Message.attr_of req "txn" in
-  Stats.time_shred stats (fun () ->
-      Message.shred_fragments ep ~from_host:client_name
-        (Message.find_child req "fragments"));
+  (traced session ~cat:"shred" "fragments" @@ fun _ ->
+   Stats.time_shred stats (fun () ->
+       Message.shred_fragments ep ~from_host:client_name
+         (Message.find_child req "fragments")));
   (* module: parse and cache the caller's function definitions *)
   (match Message.find_child req "module" with
   | Some m ->
@@ -429,6 +491,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
   in
   let staged = ref 0 in
   let result =
+    traced session ~cat:"remote" "evaluate" @@ fun _ ->
     Stats.time_remote stats (fun () ->
         let body = Xd_lang.Parser.parse_expr_string body_text in
         let vars =
@@ -462,6 +525,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
             v))
   in
   (* response *)
+  traced session ~cat:"serialize" "response" @@ fun _ ->
   Stats.time_serialize stats (fun () ->
       let result_nodes =
         List.filter_map
@@ -542,8 +606,10 @@ and stage_updates session (env : Env.t) ~txn ~req_id =
         ~req:(Option.value ~default:"" req_id)
         ~pul:(Xd_lang.Pul.to_xml pending)
     then begin
-      let stats = session.net.Network.stats in
-      stats.Stats.txn_staged <- stats.Stats.txn_staged + n
+      Stats.add_txn_staged session.net.Network.stats n;
+      let sp = span_note session ~cat:"txn" "stage" in
+      Trace.add_attr sp "staged" (Trace.I n);
+      Trace.finish session.tracer sp
     end;
     (* a deduplicated re-stage still reports its count: the answer must
        not depend on whether the first copy of the request got through *)
@@ -564,6 +630,7 @@ and shred_response session ~ep ~host response_text :
     raise
       (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
   in
+  traced session ~cat:"shred" "response" @@ fun _ ->
   Stats.time_shred stats (fun () ->
       let root =
         match X.Parser.parse_doc ~strip_ws:false response_text with
@@ -628,8 +695,9 @@ and degradable (x : Ast.execute_at) =
    read-only body here; relative URIs in the body meant the peer's own
    store, so they resolve as xrpc://host/uri. *)
 and degrade session env (x : Ast.execute_at) ~host ~args =
-  let stats = session.net.Network.stats in
-  stats.Stats.fallbacks <- stats.Stats.fallbacks + 1;
+  Stats.incr_fallbacks session.net.Network.stats;
+  traced session ~cat:"fallback" ("degrade " ^ host) @@ fun fsp ->
+  Trace.add_attr fsp "host" (Trace.S host);
   let resolve e uri =
     match Xd_dgraph.Dgraph.split_xrpc_uri uri with
     | Some _ -> resolve_doc session e uri
@@ -637,12 +705,37 @@ and degrade session env (x : Ast.execute_at) ~host ~args =
   in
   Eval.local_execute_at { env with Env.resolve_doc = resolve } x ~host ~args
 
+(* Put one message on the wire under a "network" span: wall-instant, but
+   its simulated-clock interval captures the billed wire time. The
+   optional [hdr_span] is the span whose ids ride in an injected
+   <trace> header — the attempt span, so the receiving peer's spans
+   parent under that exact attempt. *)
+and send_on_wire session ~dst ?hdr_span text =
+  traced session ~cat:"network" ("send " ^ dst) @@ fun nsp ->
+  let r =
+    match (session.tracer, hdr_span) with
+    | Some _, Some (s : Trace.span) ->
+      let header =
+        Message.trace_header ~trace_id:s.Trace.trace_id
+          ~span_id:s.Trace.span_id
+      in
+      let text, at, len = Message.inject_trace_header text ~header in
+      Network.send ~meta:(at, len) session.net ~dst text
+    | _ -> Network.send session.net ~dst text
+  in
+  (match r with
+  | Network.Dropped -> Trace.add_attr nsp "dropped" (Trace.B true)
+  | Network.Delivered _ -> ());
+  r
+
 and execute_at session env (x : Ast.execute_at) ~host ~args =
   if host = "" || host = Peer.name session.self then
     (* local execution: plain evaluation, full fidelity *)
     Eval.local_execute_at env x ~host ~args
   else begin
     let stats = session.net.Network.stats in
+    traced session ~cat:"call" ("call " ^ host) @@ fun call_sp ->
+    Trace.add_attr call_sp "host" (Trace.S host);
     let funcs = Env.func_list env in
     let ep = call_endpoint session in
     let req_id =
@@ -655,6 +748,7 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
     in
     let txn = Option.map (fun c -> c.txn_id) session.txn in
     let req_text =
+      traced session ~cat:"serialize" "request" @@ fun _ ->
       Stats.time_serialize stats (fun () ->
           build_request session ~ep ~host ?req_id ?txn x ~args ~funcs)
     in
@@ -665,9 +759,13 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
     let self_name = Peer.name session.self in
     let attempts = session.retries + 1 in
     let timed_out () =
-      stats.Stats.timeouts <- stats.Stats.timeouts + 1;
-      stats.Stats.network_s <- stats.Stats.network_s +. session.timeout_s
+      Stats.incr_timeouts stats;
+      Stats.add_network_s stats session.timeout_s
     in
+    (* Each attempt is its own span — a sibling of its predecessors under
+       the call span, never nested — carrying retry=N and whatever went
+       wrong; the wire header names the attempt, so server-side spans
+       attach to the attempt that actually delivered. *)
     let rec attempt n last =
       if n > attempts then
         (* out of attempts on retryable failures only — non-retryable
@@ -680,46 +778,58 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
           | `Timeout -> raise (Message.Xrpc_timeout { host; attempts })
       else begin
         if n > 1 then begin
-          stats.Stats.retries <- stats.Stats.retries + 1;
+          Stats.incr_retries stats;
           (* deterministic exponential backoff, charged to the wire clock *)
-          stats.Stats.network_s <-
-            stats.Stats.network_s +. (0.05 *. (2. ** float_of_int (n - 2)))
+          Stats.add_network_s stats (0.05 *. (2. ** float_of_int (n - 2)))
         end;
-        match Network.send session.net ~dst:host req_text with
-        | Network.Dropped ->
-          timed_out ();
-          attempt (n + 1) `Timeout
-        | Network.Delivered { text = delivered; duplicated } -> (
-          let resp_text = handle_request srv ~client_name:self_name delivered in
-          (* a duplicated request reaches the server twice; the second
-             copy is answered from the dedup cache and its reply ignored *)
-          if duplicated then
-            ignore (handle_request srv ~client_name:self_name delivered);
-          (match session.record with
-          | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
-          | None -> ());
-          match Network.send session.net ~dst:self_name resp_text with
+        let outcome =
+          traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
+          @@ fun asp ->
+          Trace.add_attr asp "retry" (Trace.I (n - 1));
+          match send_on_wire session ~dst:host ?hdr_span:asp req_text with
           | Network.Dropped ->
             timed_out ();
-            attempt (n + 1) `Timeout
-          | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
-            match shred_response session ~ep ~host resp_delivered with
-            | v, tinfo ->
-              (* collect transaction participants: the callee (if it
-                 staged anything) plus whatever its own fan-out staged *)
-              (match session.txn, tinfo with
-              | Some c, Some (staged, nested) ->
-                let addp h =
-                  if h <> "" && not (List.mem h c.participants) then
-                    c.participants <- c.participants @ [ h ]
-                in
-                if staged > 0 then addp host;
-                List.iter addp nested
-              | _ -> ());
-              v
-            | exception Message.Xrpc_fault { host = _; code; reason }
-              when Message.retryable code ->
-              attempt (n + 1) (`Fault (code, reason))))
+            Trace.add_attr asp "timeout" (Trace.B true);
+            `Retry `Timeout
+          | Network.Delivered { text = delivered; duplicated } -> (
+            let resp_text =
+              handle_request srv ~client_name:self_name delivered
+            in
+            (* a duplicated request reaches the server twice; the second
+               copy is answered from the dedup cache and its reply ignored *)
+            if duplicated then
+              ignore (handle_request srv ~client_name:self_name delivered);
+            (match session.record with
+            | Some r ->
+              r := { dir = `Response resp_text; text = resp_text } :: !r
+            | None -> ());
+            match send_on_wire session ~dst:self_name resp_text with
+            | Network.Dropped ->
+              timed_out ();
+              Trace.add_attr asp "timeout" (Trace.B true);
+              `Retry `Timeout
+            | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
+              match shred_response session ~ep ~host resp_delivered with
+              | v, tinfo ->
+                (* collect transaction participants: the callee (if it
+                   staged anything) plus whatever its own fan-out staged *)
+                (match session.txn, tinfo with
+                | Some c, Some (staged, nested) ->
+                  let addp h =
+                    if h <> "" && not (List.mem h c.participants) then
+                      c.participants <- c.participants @ [ h ]
+                  in
+                  if staged > 0 then addp host;
+                  List.iter addp nested
+                | _ -> ());
+                `Done v
+              | exception Message.Xrpc_fault { host = _; code; reason }
+                when Message.retryable code ->
+                Trace.add_attr asp "fault"
+                  (Trace.S (Message.fault_code_to_string code));
+                `Retry (`Fault (code, reason))))
+        in
+        match outcome with `Done v -> v | `Retry last -> attempt (n + 1) last
       end
     in
     attempt 1 `Timeout
@@ -763,6 +873,7 @@ and apply_updates session (env : Env.t) =
    fatal typed exception. *)
 let parse_txn_response session ~host text =
   let stats = session.net.Network.stats in
+  traced session ~cat:"shred" "ack" @@ fun _ ->
   Stats.time_shred stats (fun () ->
       match X.Parser.parse_doc ~strip_ws:false text with
       | exception X.Parser.Error (m, pos) ->
@@ -796,7 +907,13 @@ let parse_txn_response session ~host text =
    simply re-acks. *)
 let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
   let stats = session.net.Network.stats in
+  traced session ~cat:"txn.rpc"
+    (Message.txn_action_to_string action ^ " " ^ host)
+  @@ fun csp ->
+  Trace.add_attr csp "txn" (Trace.S txn);
+  Trace.add_attr csp "host" (Trace.S host);
   let req_text =
+    traced session ~cat:"serialize" "control" @@ fun _ ->
     Stats.time_serialize stats (fun () ->
         Message.write_txn_control ~action ~txn)
   in
@@ -807,8 +924,8 @@ let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
   let self_name = Peer.name session.self in
   let attempts = session.retries + 1 in
   let timed_out () =
-    stats.Stats.timeouts <- stats.Stats.timeouts + 1;
-    stats.Stats.network_s <- stats.Stats.network_s +. session.timeout_s
+    Stats.incr_timeouts stats;
+    Stats.add_network_s stats session.timeout_s
   in
   let rec attempt n last =
     if n > attempts then
@@ -818,30 +935,40 @@ let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
         | `Fault (code, reason) -> Message.Xrpc_fault { host; code; reason })
     else begin
       if n > 1 then begin
-        stats.Stats.retries <- stats.Stats.retries + 1;
-        stats.Stats.network_s <-
-          stats.Stats.network_s +. (0.05 *. (2. ** float_of_int (n - 2)))
+        Stats.incr_retries stats;
+        Stats.add_network_s stats (0.05 *. (2. ** float_of_int (n - 2)))
       end;
-      match Network.send session.net ~dst:host req_text with
-      | Network.Dropped ->
-        timed_out ();
-        attempt (n + 1) `Timeout
-      | Network.Delivered { text = delivered; duplicated } -> (
-        let resp_text = handle_request srv ~client_name:self_name delivered in
-        if duplicated then
-          ignore (handle_request srv ~client_name:self_name delivered);
-        (match session.record with
-        | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
-        | None -> ());
-        match Network.send session.net ~dst:self_name resp_text with
+      let outcome =
+        traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
+        @@ fun asp ->
+        Trace.add_attr asp "retry" (Trace.I (n - 1));
+        match send_on_wire session ~dst:host ?hdr_span:asp req_text with
         | Network.Dropped ->
           timed_out ();
-          attempt (n + 1) `Timeout
-        | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
-          match parse_txn_response session ~host resp_delivered with
-          | `Ack a -> Ok a
-          | `Retry (code, reason) -> attempt (n + 1) (`Fault (code, reason))
-          | `Fatal e -> Error e))
+          Trace.add_attr asp "timeout" (Trace.B true);
+          `Retry `Timeout
+        | Network.Delivered { text = delivered; duplicated } -> (
+          let resp_text = handle_request srv ~client_name:self_name delivered in
+          if duplicated then
+            ignore (handle_request srv ~client_name:self_name delivered);
+          (match session.record with
+          | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
+          | None -> ());
+          match send_on_wire session ~dst:self_name resp_text with
+          | Network.Dropped ->
+            timed_out ();
+            Trace.add_attr asp "timeout" (Trace.B true);
+            `Retry `Timeout
+          | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
+            match parse_txn_response session ~host resp_delivered with
+            | `Ack a -> `Done (Ok a)
+            | `Retry (code, reason) ->
+              Trace.add_attr asp "fault"
+                (Trace.S (Message.fault_code_to_string code));
+              `Retry (`Fault (code, reason))
+            | `Fatal e -> `Done (Error e)))
+      in
+      match outcome with `Done r -> r | `Retry last -> attempt (n + 1) last
     end
   in
   attempt 1 `Timeout
@@ -876,6 +1003,9 @@ let commit_txn session (env : Env.t) (c : coord) =
   let txn = c.txn_id in
   if c.participants = [] then apply_updates session env
   else begin
+    traced session ~cat:"txn" "2pc" @@ fun tsp ->
+    Trace.add_attr tsp "txn" (Trace.S txn);
+    Trace.add_attr tsp "participants" (Trace.I (List.length c.participants));
     Journal.append j (Journal.Begun { txn });
     List.iter
       (fun host -> Journal.append j (Journal.Participant { txn; host }))
@@ -914,7 +1044,8 @@ let commit_txn session (env : Env.t) (c : coord) =
     match failure with
     | None -> (
       Journal.append j (Journal.Decided { txn });
-      stats.Stats.txn_commits <- stats.Stats.txn_commits + 1;
+      Stats.incr_txn_commits stats;
+      Trace.add_attr tsp "decision" (Trace.S "commit");
       commit_local session txn;
       let propagation =
         List.find_map
@@ -936,7 +1067,8 @@ let commit_txn session (env : Env.t) (c : coord) =
       | None -> Journal.append j (Journal.Resolved { txn })
       | Some e -> raise e)
     | Some e ->
-      stats.Stats.txn_aborts <- stats.Stats.txn_aborts + 1;
+      Stats.incr_txn_aborts stats;
+      Trace.add_attr tsp "decision" (Trace.S "abort");
       Journal.abort j ~txn;
       let acks =
         List.map (fun host -> txn_rpc session ~host Message.Abort txn)
@@ -988,8 +1120,7 @@ let execute_txn session (q : Ast.query) =
            presumed abort already guarantees no participant will apply;
            eagerly release staged state where the wire allows *)
         if c.participants <> [] then begin
-          let stats = session.net.Network.stats in
-          stats.Stats.txn_aborts <- stats.Stats.txn_aborts + 1;
+          Stats.incr_txn_aborts session.net.Network.stats;
           ignore
             (List.map
                (fun host -> txn_rpc session ~host Message.Abort c.txn_id)

@@ -17,8 +17,8 @@ type t
 val create :
   ?record:recorded list ref -> ?bulk:bool ->
   ?schema:(string -> string list) -> ?depth:int -> ?timeout_s:float ->
-  ?retries:int -> ?dedup_cap:int -> Network.t -> Peer.t ->
-  Message.passing -> t
+  ?retries:int -> ?dedup_cap:int -> ?tracer:Xd_obs.Trace.t -> Network.t ->
+  Peer.t -> Message.passing -> t
 (** A session for one querying peer. [record] captures every message (for
     tests and demos); [bulk] (default true) enables session-wide fragment
     caching — the wire behaviour of the paper's bulk RPC; disabling it is
@@ -41,9 +41,20 @@ val create :
 
     [dedup_cap] (default 256) bounds the server-side response cache that
     backs exactly-once replay of request-ids; the oldest entries are
-    evicted FIFO and counted in {!Stats}. *)
+    evicted FIFO and counted in {!Stats}.
+
+    [tracer], when given, records hierarchical spans for every call,
+    attempt, (de)serialization, evaluation, fallback and 2PC exchange of
+    the session (and, via the wire-propagated [<trace>] header, of every
+    peer it talks to). Tracing is observationally transparent: results,
+    {!Stats} and any seeded fault schedule are unchanged. *)
 
 val recorded : t -> recorded list option
+
+val set_current_span : t -> Xd_obs.Trace.span option -> unit
+(** Set the ambient span new spans parent under — the executor installs
+    its per-query root span here. [None] detaches (spans started while
+    detached begin fresh traces). *)
 
 val server_session : t -> string -> t
 (** The server-side session for calls to the given host (created lazily;

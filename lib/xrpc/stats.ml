@@ -1,102 +1,167 @@
 (* Per-execution cost accounting, matching the Fig. 8 breakdown:
    shred / local exec / (de)serialize / remote exec / network. Wall-clock
    components are measured; network time is simulated from real message
-   bytes and the configured link parameters. *)
+   bytes and the configured link parameters.
+
+   The buckets live in an Xd_obs.Metrics registry; this module is the
+   typed facade the runtime mutates and the executor/tests read. *)
+
+module M = Xd_obs.Metrics
 
 type t = {
-  mutable message_bytes : int; (* SOAP request+response bytes *)
-  mutable document_bytes : int; (* full documents fetched (data shipping) *)
-  mutable messages : int;
-  mutable documents_fetched : int;
-  mutable serialize_s : float; (* message/document (de)serialization *)
-  mutable shred_s : float; (* parsing messages/documents into stores *)
-  mutable remote_exec_s : float; (* query evaluation at remote peers *)
-  mutable network_s : float; (* simulated wire time *)
-  mutable faults : int; (* wire faults injected (drop/dup/truncate/delay) *)
-  mutable timeouts : int; (* calls that waited out the per-call timeout *)
-  mutable retries : int; (* re-sent requests (after timeout or fault) *)
-  mutable fallbacks : int; (* calls degraded to local data-shipped eval *)
-  mutable dedup_hits : int; (* retried requests answered from the cache *)
-  mutable dedup_evictions : int; (* dedup-cache entries evicted by the cap *)
-  mutable txn_staged : int; (* update primitives staged at participants *)
-  mutable txn_commits : int; (* distributed transactions committed *)
-  mutable txn_aborts : int; (* distributed transactions aborted *)
+  reg : M.t;
+  message_bytes : M.counter;
+  document_bytes : M.counter;
+  messages : M.counter;
+  documents_fetched : M.counter;
+  serialize_s : M.gauge;
+  shred_s : M.gauge;
+  remote_exec_s : M.gauge;
+  network_s : M.gauge;
+  faults : M.counter;
+  timeouts : M.counter;
+  retries : M.counter;
+  fallbacks : M.counter;
+  dedup_hits : M.counter;
+  dedup_evictions : M.counter;
+  txn_staged : M.counter;
+  txn_commits : M.counter;
+  txn_aborts : M.counter;
+  remote_clamps : M.counter;
+  hist_serialize : M.histogram;
+  hist_shred : M.histogram;
+  hist_remote : M.histogram;
+  hist_message_bytes : M.histogram;
 }
 
+let byte_buckets = [ 128.; 512.; 2048.; 8192.; 32768.; 131072.; 524288. ]
+
 let create () =
+  let reg = M.create () in
   {
-    message_bytes = 0;
-    document_bytes = 0;
-    messages = 0;
-    documents_fetched = 0;
-    serialize_s = 0.;
-    shred_s = 0.;
-    remote_exec_s = 0.;
-    network_s = 0.;
-    faults = 0;
-    timeouts = 0;
-    retries = 0;
-    fallbacks = 0;
-    dedup_hits = 0;
-    dedup_evictions = 0;
-    txn_staged = 0;
-    txn_commits = 0;
-    txn_aborts = 0;
+    reg;
+    message_bytes = M.counter reg "xrpc.bytes.message";
+    document_bytes = M.counter reg "xrpc.bytes.document";
+    messages = M.counter reg "xrpc.messages";
+    documents_fetched = M.counter reg "xrpc.documents_fetched";
+    serialize_s = M.gauge reg "time.serialize_s";
+    shred_s = M.gauge reg "time.shred_s";
+    remote_exec_s = M.gauge reg "time.remote_exec_s";
+    network_s = M.gauge reg "time.network_s";
+    faults = M.counter reg "xrpc.faults";
+    timeouts = M.counter reg "xrpc.timeouts";
+    retries = M.counter reg "xrpc.retries";
+    fallbacks = M.counter reg "xrpc.fallbacks";
+    dedup_hits = M.counter reg "xrpc.dedup.hits";
+    dedup_evictions = M.counter reg "xrpc.dedup.evictions";
+    txn_staged = M.counter reg "txn.staged";
+    txn_commits = M.counter reg "txn.commits";
+    txn_aborts = M.counter reg "txn.aborts";
+    remote_clamps = M.counter reg "time.remote_clamps";
+    hist_serialize = M.histogram reg "hist.serialize_s";
+    hist_shred = M.histogram reg "hist.shred_s";
+    hist_remote = M.histogram reg "hist.remote_exec_s";
+    hist_message_bytes = M.histogram ~buckets:byte_buckets reg
+        "hist.message_bytes";
   }
 
-let reset t =
-  t.message_bytes <- 0;
-  t.document_bytes <- 0;
-  t.messages <- 0;
-  t.documents_fetched <- 0;
-  t.serialize_s <- 0.;
-  t.shred_s <- 0.;
-  t.remote_exec_s <- 0.;
-  t.network_s <- 0.;
-  t.faults <- 0;
-  t.timeouts <- 0;
-  t.retries <- 0;
-  t.fallbacks <- 0;
-  t.dedup_hits <- 0;
-  t.dedup_evictions <- 0;
-  t.txn_staged <- 0;
-  t.txn_commits <- 0;
-  t.txn_aborts <- 0
+let registry t = t.reg
+let reset t = M.reset t.reg
 
-let total_bytes t = t.message_bytes + t.document_bytes
+(* Readers *)
+let message_bytes t = M.counter_value t.message_bytes
+let document_bytes t = M.counter_value t.document_bytes
+let messages t = M.counter_value t.messages
+let documents_fetched t = M.counter_value t.documents_fetched
+let serialize_s t = M.gauge_value t.serialize_s
+let shred_s t = M.gauge_value t.shred_s
+let remote_exec_s t = M.gauge_value t.remote_exec_s
+let network_s t = M.gauge_value t.network_s
+let faults t = M.counter_value t.faults
+let timeouts t = M.counter_value t.timeouts
+let retries t = M.counter_value t.retries
+let fallbacks t = M.counter_value t.fallbacks
+let dedup_hits t = M.counter_value t.dedup_hits
+let dedup_evictions t = M.counter_value t.dedup_evictions
+let txn_staged t = M.counter_value t.txn_staged
+let txn_commits t = M.counter_value t.txn_commits
+let txn_aborts t = M.counter_value t.txn_aborts
+let remote_clamps t = M.counter_value t.remote_clamps
+let total_bytes t = message_bytes t + document_bytes t
 
+let is_empty t =
+  messages t = 0 && documents_fetched t = 0 && total_bytes t = 0
+  && network_s t = 0.
+  && faults t + timeouts t + retries t + fallbacks t + dedup_hits t
+     + dedup_evictions t = 0
+  && txn_staged t + txn_commits t + txn_aborts t = 0
+
+(* Writers *)
+let add_message t ~bytes =
+  M.incr ~by:bytes t.message_bytes;
+  M.incr t.messages;
+  M.observe t.hist_message_bytes (float_of_int bytes)
+
+let add_document t ~bytes =
+  M.incr ~by:bytes t.document_bytes;
+  M.incr t.documents_fetched
+
+let add_network_s t s = M.add t.network_s s
+
+let incr_faults ?kind t =
+  M.incr t.faults;
+  match kind with
+  | None -> ()
+  | Some k -> M.incr (M.counter t.reg ("xrpc.faults." ^ k))
+
+let incr_timeouts t = M.incr t.timeouts
+let incr_retries t = M.incr t.retries
+let incr_fallbacks t = M.incr t.fallbacks
+let incr_dedup_hits t = M.incr t.dedup_hits
+let incr_dedup_evictions t = M.incr t.dedup_evictions
+let add_txn_staged t n = M.incr ~by:n t.txn_staged
+let incr_txn_commits t = M.incr t.txn_commits
+let incr_txn_aborts t = M.incr t.txn_aborts
+
+(* Timed scopes *)
 let now () = Unix.gettimeofday ()
 
-let timed add f =
+let timed g h f =
   let t0 = now () in
   let r = f () in
-  add (now () -. t0);
+  let d = now () -. t0 in
+  M.add g d;
+  M.observe h d;
   r
 
-let time_serialize t f = timed (fun d -> t.serialize_s <- t.serialize_s +. d) f
-let time_shred t f = timed (fun d -> t.shred_s <- t.shred_s +. d) f
+let time_serialize t f = timed t.serialize_s t.hist_serialize f
+let time_shred t f = timed t.shred_s t.hist_shred f
 
 let time_remote t f =
   (* remote exec excludes nested (de)serialize/shred costs, which the inner
      calls account into their own buckets; we subtract them here. *)
-  let s0 = t.serialize_s and h0 = t.shred_s in
+  let s0 = serialize_s t and h0 = shred_s t in
   let t0 = now () in
   let r = f () in
   let dt = now () -. t0 in
-  let nested = t.serialize_s -. s0 +. (t.shred_s -. h0) in
-  t.remote_exec_s <- t.remote_exec_s +. Float.max 0. (dt -. nested);
+  let nested = serialize_s t -. s0 +. (shred_s t -. h0) in
+  let residue = dt -. nested in
+  if residue < 0. then M.incr t.remote_clamps;
+  let d = Float.max 0. residue in
+  M.add t.remote_exec_s d;
+  M.observe t.hist_remote d;
   r
 
 let pp fmt t =
   Fmt.pf fmt
     "bytes: msg=%d doc=%d | msgs=%d docs=%d | serialize=%.4fs shred=%.4fs \
      remote=%.4fs network=%.4fs"
-    t.message_bytes t.document_bytes t.messages t.documents_fetched
-    t.serialize_s t.shred_s t.remote_exec_s t.network_s;
-  if t.faults + t.timeouts + t.retries + t.fallbacks + t.dedup_hits > 0 then
+    (message_bytes t) (document_bytes t) (messages t) (documents_fetched t)
+    (serialize_s t) (shred_s t) (remote_exec_s t) (network_s t);
+  if faults t + timeouts t + retries t + fallbacks t + dedup_hits t > 0 then
     Fmt.pf fmt " | faults=%d timeouts=%d retries=%d fallbacks=%d dedup=%d"
-      t.faults t.timeouts t.retries t.fallbacks t.dedup_hits;
-  if t.dedup_evictions > 0 then Fmt.pf fmt " evictions=%d" t.dedup_evictions;
-  if t.txn_staged + t.txn_commits + t.txn_aborts > 0 then
-    Fmt.pf fmt " | txn: staged=%d commits=%d aborts=%d" t.txn_staged
-      t.txn_commits t.txn_aborts
+      (faults t) (timeouts t) (retries t) (fallbacks t) (dedup_hits t);
+  if dedup_evictions t > 0 then Fmt.pf fmt " evictions=%d" (dedup_evictions t);
+  if txn_staged t + txn_commits t + txn_aborts t > 0 then
+    Fmt.pf fmt " | txn: staged=%d commits=%d aborts=%d" (txn_staged t)
+      (txn_commits t) (txn_aborts t)

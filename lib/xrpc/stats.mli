@@ -1,37 +1,98 @@
 (** Per-execution cost accounting, matching the Fig. 8 breakdown:
-    shred / local exec / (de)serialize / remote exec / network. Wall-clock
-    components are measured; network time is simulated from real message
-    bytes and the configured link. *)
+    shred / local exec / (de)serialize / remote exec / network.
+    Wall-clock components are measured; network time is simulated from
+    real message bytes and the configured link.
 
-type t = {
-  mutable message_bytes : int;
-  mutable document_bytes : int;  (** whole documents fetched (data shipping) *)
-  mutable messages : int;
-  mutable documents_fetched : int;
-  mutable serialize_s : float;
-  mutable shred_s : float;
-  mutable remote_exec_s : float;
-  mutable network_s : float;  (** simulated wire time *)
-  mutable faults : int;  (** wire faults injected *)
-  mutable timeouts : int;  (** calls that waited out the per-call timeout *)
-  mutable retries : int;  (** re-sent requests *)
-  mutable fallbacks : int;  (** calls degraded to local data-shipped eval *)
-  mutable dedup_hits : int;  (** retried requests answered from the cache *)
-  mutable dedup_evictions : int;  (** dedup-cache entries evicted by the cap *)
-  mutable txn_staged : int;  (** update primitives staged at participants *)
-  mutable txn_commits : int;  (** distributed transactions committed *)
-  mutable txn_aborts : int;  (** distributed transactions aborted *)
-}
+    Since the telemetry rework this is a typed compatibility view over
+    an {!Xd_obs.Metrics} registry: every bucket below is a named metric
+    (see {!registry}), so the same numbers appear in [--metrics] dumps
+    and can be extended by other components (journals, tracing) without
+    widening this interface. *)
+
+type t
 
 val create : unit -> t
+
+val registry : t -> Xd_obs.Metrics.t
+(** The backing registry. Holds, besides the buckets below, per-call
+    duration histograms ([hist.*]), per-fault-kind counters
+    ([xrpc.faults.<kind>]) and anything other components register
+    (e.g. [journal.records]). *)
+
 val reset : t -> unit
+(** Zero every metric in the backing registry (registrations survive). *)
+
+val is_empty : t -> bool
+(** No remote activity recorded: no messages, documents, wire time,
+    faults or transactions. *)
+
+(** {2 Readers} *)
+
+val message_bytes : t -> int  (** SOAP request+response bytes *)
+
+val document_bytes : t -> int
+(** whole documents fetched (data shipping) *)
+
+val messages : t -> int
+val documents_fetched : t -> int
+val serialize_s : t -> float
+val shred_s : t -> float
+val remote_exec_s : t -> float
+val network_s : t -> float  (** simulated wire time *)
+
+val faults : t -> int  (** wire faults injected *)
+
+val timeouts : t -> int
+(** calls that waited out the per-call timeout *)
+
+val retries : t -> int  (** re-sent requests *)
+
+val fallbacks : t -> int
+(** calls degraded to local data-shipped eval *)
+
+val dedup_hits : t -> int
+(** retried requests answered from the cache *)
+
+val dedup_evictions : t -> int
+(** dedup-cache entries evicted by the cap *)
+
+val txn_staged : t -> int
+(** update primitives staged at participants *)
+
+val txn_commits : t -> int  (** distributed transactions committed *)
+
+val txn_aborts : t -> int  (** distributed transactions aborted *)
+
+val remote_clamps : t -> int
+(** times {!time_remote} clamped a negative remote-exec residue to 0 —
+    nonzero values point at double-counted nested buckets. *)
+
 val total_bytes : t -> int
+
+(** {2 Writers} *)
+
+val add_message : t -> bytes:int -> unit
+val add_document : t -> bytes:int -> unit
+val add_network_s : t -> float -> unit
+val incr_faults : ?kind:string -> t -> unit
+val incr_timeouts : t -> unit
+val incr_retries : t -> unit
+val incr_fallbacks : t -> unit
+val incr_dedup_hits : t -> unit
+val incr_dedup_evictions : t -> unit
+val add_txn_staged : t -> int -> unit
+val incr_txn_commits : t -> unit
+val incr_txn_aborts : t -> unit
+
+(** {2 Timed scopes} *)
+
 val now : unit -> float
 val time_serialize : t -> (unit -> 'a) -> 'a
 val time_shred : t -> (unit -> 'a) -> 'a
 
 val time_remote : t -> (unit -> 'a) -> 'a
 (** Remote-execution timing; nested (de)serialize/shred costs are
-    subtracted (they are accounted in their own buckets). *)
+    subtracted (they are accounted in their own buckets). Negative
+    residues are clamped to 0 and counted in {!remote_clamps}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+Distributed tracing from the command line: --trace records a span tree
+across every peer a query touches; --trace-out/--trace-format export it
+as JSONL or Chrome trace_event JSON; --metrics dumps the full registry.
+
+  $ cat > d.xml <<'EOF'
+  > <r><x>1</x><x>2</x><x>3</x></r>
+  > EOF
+  $ cp d.xml e.xml
+
+A dropped-then-retried call, traced as JSONL (one object per completed
+span, oldest first). Span/trace ids and clock values are run-dependent
+and normalized away; the schema — field names, span names, categories,
+peers, parentage and attributes — is pinned. Note the two attempt spans
+(the retry is its own span with retry=1), the dropped send, and the
+server-side spans parented under the client's attempt via the wire's
+<trace> header:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'drop@1#1' \
+  >   --trace --trace-out t.jsonl \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)'
+  3
+  $ sed -E -e 's/"(trace|span|parent)":"[0-9a-f]+"/"\1":"ID"/g' \
+  >   -e 's/"(wall_start|wall_end|sim_start|sim_end)":[0-9.e+-]+/"\1":T/g' t.jsonl
+  {"trace":"ID","span":"ID","parent":"ID","name":"request","cat":"serialize","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"send peer1","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"dropped":true}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"attempt 1","cat":"attempt","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"retry":0,"timeout":true}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"send peer1","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"request","cat":"shred","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"fragments","cat":"shred","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"evaluate","cat":"remote","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"response","cat":"serialize","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"handle","cat":"server","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"send client","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"response","cat":"shred","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"attempt 2","cat":"attempt","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"retry":1}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"call peer1","cat":"call","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"host":"peer1"}}
+  {"trace":"ID","span":"ID","name":"execute","cat":"query","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"strategy":"pass-by-projection"}}
+
+The same run exports as Chrome trace_event JSON — thread-name metadata
+plus complete events, loadable in chrome://tracing or Perfetto:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'drop@1#1' \
+  >   --trace-out t.json --trace-format chrome \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)'
+  3
+  $ grep -c '"displayTimeUnit":"ms"' t.json
+  1
+  $ grep -o '"ph":"M"' t.json | wc -l | tr -d ' '
+  2
+  $ grep -o '"ph":"X"' t.json | wc -l | tr -d ' '
+  14
+
+A multi-peer update under 2PC: the trace carries distinct stage, prepare
+and commit spans for each participant, all in one connected tree:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --doc peer2/e.xml=e.xml --txn \
+  >   --trace --trace-out txn.jsonl \
+  >   -q '(insert node <y/> into doc("xrpc://peer1/d.xml")/child::r,
+  >        insert node <z/> into doc("xrpc://peer2/e.xml")/child::r)'
+  
+
+  $ grep -E '"cat":"(txn|txn.rpc)"' txn.jsonl | sed -E 's/.*"name":"([^"]*)".*/\1/'
+  stage
+  stage
+  prepare
+  prepare peer1
+  prepare
+  prepare peer2
+  commit
+  commit peer1
+  commit
+  commit peer2
+  2pc
+  $ roots=$(grep -cv '"parent"' txn.jsonl); echo "roots: $roots"
+  roots: 1
+
+--metrics dumps every registered metric; values are run-dependent, the
+names and kinds are pinned:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'drop@1#1' --metrics \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 \
+  >   | grep -E '^(counter|gauge|histogram)' | sed -E 's/ =.*| count=.*//'
+  histogram  hist.message_bytes
+  histogram  hist.remote_exec_s
+  histogram  hist.serialize_s
+  histogram  hist.shred_s
+  gauge      time.network_s
+  counter    time.remote_clamps
+  gauge      time.remote_exec_s
+  gauge      time.serialize_s
+  gauge      time.shred_s
+  counter    txn.aborts
+  counter    txn.commits
+  counter    txn.staged
+  counter    xrpc.bytes.document
+  counter    xrpc.bytes.message
+  counter    xrpc.dedup.evictions
+  counter    xrpc.dedup.hits
+  counter    xrpc.documents_fetched
+  counter    xrpc.fallbacks
+  counter    xrpc.faults
+  counter    xrpc.faults.drop
+  counter    xrpc.messages
+  counter    xrpc.retries
+  counter    xrpc.timeouts
+
+A query with no remote activity says so instead of printing zero stats:
+
+  $ ../../bin/xdxq.exe --doc client/d.xml=d.xml --stats \
+  >   -q 'count(doc("d.xml")/child::r/child::x)' 2>&1
+  3
+  strategy: pass-by-projection
+  (no remote activity)

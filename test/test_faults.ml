@@ -140,15 +140,16 @@ let prop_no_silent_divergence strategy =
 
 let stats_tuple net =
   let st = net.Xd_xrpc.Network.stats in
-  ( st.Xd_xrpc.Stats.messages,
-    st.Xd_xrpc.Stats.message_bytes,
-    st.Xd_xrpc.Stats.documents_fetched,
-    st.Xd_xrpc.Stats.document_bytes,
-    st.Xd_xrpc.Stats.faults,
-    st.Xd_xrpc.Stats.timeouts,
-    st.Xd_xrpc.Stats.retries,
-    st.Xd_xrpc.Stats.fallbacks,
-    st.Xd_xrpc.Stats.dedup_hits )
+  let module St = Xd_xrpc.Stats in
+  ( St.messages st,
+    St.message_bytes st,
+    St.documents_fetched st,
+    St.document_bytes st,
+    St.faults st,
+    St.timeouts st,
+    St.retries st,
+    St.fallbacks st,
+    St.dedup_hits st )
 
 let prop_deterministic =
   qtest ~count:150 "same spec+seed => identical faults, stats and outcome"

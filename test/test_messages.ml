@@ -454,6 +454,93 @@ let test_malformed_rejected () =
     (is_fault M.Protocol_malformed
        "<env:Envelope><env:Body><request passing=\"by-wormhole\"><query>1</query><call/></request></env:Body></env:Envelope>")
 
+(* ---- the optional <trace> telemetry header -------------------------------- *)
+
+let test_trace_header_roundtrip () =
+  let env =
+    "<env:Envelope><env:Body><xrpc:request/></env:Body></env:Envelope>"
+  in
+  let hdr = M.trace_header ~trace_id:"ab12cd" ~span_id:"f3" in
+  let injected, at, len = M.inject_trace_header env ~header:hdr in
+  check_bool "inserted right after <env:Body>"
+    (at = String.length "<env:Envelope><env:Body>");
+  check_int "reported header length" (String.length hdr) len;
+  check_bool "payload unchanged around the header"
+    (String.sub injected 0 at ^ String.sub injected (at + len)
+       (String.length injected - at - len)
+    = env);
+  (match M.peek_trace_header injected with
+  | Some (t, s) ->
+    check_string "trace id" "ab12cd" t;
+    check_string "span id" "f3" s
+  | None -> Alcotest.fail "valid header did not decode");
+  check_bool "absent header -> None" (M.peek_trace_header env = None);
+  (* a non-envelope ships unmodified *)
+  let txt, at, len = M.inject_trace_header "<fragment/>" ~header:hdr in
+  check_bool "non-envelope untouched" (txt = "<fragment/>" && at = 0 && len = 0)
+
+(* Every way a header can be broken must decode to [None] — the call then
+   proceeds untraced; a bad header is never a protocol fault. *)
+let test_trace_header_malformed () =
+  let peek h = M.peek_trace_header ("<env:Body>" ^ h ^ "<xrpc:request/>") in
+  check_bool "uppercase hex rejected"
+    (peek {|<trace trace-id="AB" span-id="12"/>|} = None);
+  check_bool "non-hex rejected"
+    (peek {|<trace trace-id="xyz" span-id="12"/>|} = None);
+  check_bool "missing span-id rejected" (peek {|<trace trace-id="ab"/>|} = None);
+  check_bool "empty trace id rejected"
+    (peek {|<trace trace-id="" span-id="12"/>|} = None);
+  check_bool "empty span id rejected"
+    (peek {|<trace trace-id="ab" span-id=""/>|} = None);
+  check_bool "overlong id rejected"
+    (peek
+       (Printf.sprintf {|<trace trace-id="%s" span-id="12"/>|}
+          (String.make 33 'a'))
+    = None);
+  check_bool "unterminated attribute rejected"
+    (M.peek_trace_header {|<env:Body><trace trace-id="ab" span-id="12|} = None);
+  check_bool "unclosed element rejected"
+    (M.peek_trace_header {|<env:Body><trace trace-id="ab" span-id="12"|}
+    = None)
+
+(* End to end: a server given a request with a corrupt header answers it
+   untraced instead of faulting. *)
+let test_trace_header_tolerated_by_server () =
+  let net, client, _server = setup () in
+  let tracer = Xd_obs.Trace.create () in
+  let record = ref [] in
+  let session =
+    Xd_xrpc.Session.create ~record ~tracer net client M.By_fragment
+  in
+  let q =
+    Xd_lang.Parser.parse_query
+      {|execute at {"example.org"} function ($x := 21) { $x * 2 }|}
+  in
+  ignore (Xd_xrpc.Session.execute session q);
+  let request =
+    match
+      List.find_opt
+        (fun r ->
+          match r.Xd_xrpc.Session.dir with
+          | `Request _ -> true
+          | `Response _ -> false)
+        (List.rev !record)
+    with
+    | Some r -> r.Xd_xrpc.Session.text
+    | None -> Alcotest.fail "no request recorded"
+  in
+  (* the recorded request is pre-injection: plant a corrupt header *)
+  let corrupt, _, _ =
+    M.inject_trace_header request
+      ~header:{|<trace trace-id="NOT-HEX" span-id=""/>|}
+  in
+  let server = Xd_xrpc.Session.server_session session "example.org" in
+  let response =
+    Xd_xrpc.Session.handle_request server ~client_name:"client" corrupt
+  in
+  check_bool "answered, not faulted"
+    (contains response "42" && not (contains response "Fault"))
+
 let () =
   Alcotest.run "xd_messages"
     [
@@ -491,6 +578,13 @@ let () =
           tc "fn:id on shipped nodes" test_id_on_shipped_nodes;
         ] );
       ("robustness", [ tc "malformed" test_malformed_rejected ]);
+      ( "tracing",
+        [
+          tc "header round trip" test_trace_header_roundtrip;
+          tc "malformed headers decode to None" test_trace_header_malformed;
+          tc "server tolerates corrupt header"
+            test_trace_header_tolerated_by_server;
+        ] );
       ( "properties",
         [
           prop_roundtrip_by_value;

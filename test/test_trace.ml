@@ -1,0 +1,184 @@
+(* Property tests for the distributed tracer (lib/obs + the session's
+   span instrumentation), over the same random query generator as the
+   end-to-end equivalence suite:
+
+   - every traced run yields a well-formed span tree: one root, parents
+     resolve within the buffer, no cycles, children nest inside their
+     parent on the simulated clock;
+   - tracing is observationally transparent: the result, the
+     deterministic Stats counters and the seeded fault schedule are
+     identical with tracing on and off;
+   - leaf span durations reconcile with the Stats buckets: the summed
+     wall time of serialize/shred leaf spans matches the corresponding
+     gauge (spans wrap exactly the timed regions, so they can exceed
+     them only by bookkeeping overhead). *)
+
+module Ast = Xd_lang.Ast
+module E = Xd_core.Executor
+module S = Xd_core.Strategy
+module T = Xd_obs.Trace
+open Util
+
+let make_net = Gen_queries.make_net
+let arb_query = Gen_queries.arb_query
+
+(* A fault mix that exercises retries, dedup replay and timeouts without
+   making every query fail: drops force re-sends, dups hit the server
+   cache. *)
+let fault_spec = "drop@0.25#2;dup@0.15#1"
+
+type outcome =
+  | Value of string
+  | Rpc_fault of string
+  | Rpc_timeout of string
+  | Other of string
+
+let run ?(traced = false) ?fault_seed q =
+  let fault =
+    match fault_seed with
+    | None -> Xd_xrpc.Fault.none
+    | Some seed -> (
+      match Xd_xrpc.Fault.parse fault_spec with
+      | Ok spec -> Xd_xrpc.Fault.create ~seed spec
+      | Error e -> failwith e)
+  in
+  let net, client = make_net ~fault () in
+  let trace = if traced then Some (T.create ()) else None in
+  let outcome =
+    match E.run ?trace net ~client S.By_projection q with
+    | r -> Value (Xd_lang.Value.serialize r.E.value)
+    | exception Xd_xrpc.Message.Xrpc_fault { host; code; reason } ->
+      Rpc_fault
+        (Printf.sprintf "%s/%s/%s" host
+           (Xd_xrpc.Message.fault_code_to_string code)
+           reason)
+    | exception Xd_xrpc.Message.Xrpc_timeout { host; attempts } ->
+      Rpc_timeout (Printf.sprintf "%s/%d" host attempts)
+    | exception e -> Other (Printexc.to_string e)
+  in
+  (outcome, net.Xd_xrpc.Network.stats, trace)
+
+(* The deterministic slice of Stats: counts, bytes and simulated time.
+   Wall-clock gauges (serialize/shred/remote) legitimately differ between
+   runs and are covered by the reconciliation property instead. *)
+let wire_stats st =
+  let module St = Xd_xrpc.Stats in
+  ( (St.messages st, St.message_bytes st),
+    (St.documents_fetched st, St.document_bytes st),
+    St.network_s st,
+    (St.faults st, St.timeouts st, St.retries st, St.fallbacks st),
+    (St.dedup_hits st, St.dedup_evictions st),
+    (St.txn_staged st, St.txn_commits st, St.txn_aborts st) )
+
+(* ---- (a) well-formed span trees -------------------------------------- *)
+
+let well_formed tr =
+  let spans = T.spans tr in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.T.span_id s) spans;
+  let unique_ids = Hashtbl.length by_id = List.length spans in
+  let roots = List.filter (fun s -> s.T.parent_id = None) spans in
+  let one_root = List.length roots = 1 in
+  let trace_id =
+    match roots with [ r ] -> r.T.trace_id | _ -> "?"
+  in
+  let eps = 1e-9 in
+  let span_ok s =
+    s.T.trace_id = trace_id
+    && s.T.end_wall >= s.T.start_wall
+    && s.T.end_sim >= s.T.start_sim -. eps
+    &&
+    match s.T.parent_id with
+    | None -> true
+    | Some p -> (
+      match Hashtbl.find_opt by_id p with
+      | None -> false (* dangling parent *)
+      | Some ps ->
+        (* children nest inside their parent on the simulated clock —
+           including server-side spans attached via the wire header *)
+        ps.T.start_sim <= s.T.start_sim +. eps
+        && s.T.end_sim <= ps.T.end_sim +. eps)
+  in
+  let acyclic s =
+    let rec up seen id =
+      match id with
+      | None -> true
+      | Some p ->
+        (not (List.mem p seen))
+        && (match Hashtbl.find_opt by_id p with
+           | None -> false
+           | Some ps -> up (p :: seen) ps.T.parent_id)
+    in
+    up [ s.T.span_id ] s.T.parent_id
+  in
+  T.dropped tr = 0 && unique_ids && one_root
+  && List.for_all span_ok spans
+  && List.for_all acyclic spans
+
+let prop_well_formed =
+  qtest ~count:60 "traced runs yield well-formed span trees"
+    QCheck.(pair arb_query (option small_int))
+    (fun (q, fault_seed) ->
+      let _, _, trace = run ~traced:true ?fault_seed q in
+      match trace with
+      | Some tr -> well_formed tr
+      | None -> false)
+
+(* ---- (b) observational transparency ----------------------------------- *)
+
+let prop_transparent =
+  qtest ~count:50
+    "tracing changes neither results, Stats nor the fault schedule"
+    QCheck.(pair arb_query small_int)
+    (fun (q, seed) ->
+      let o_off, st_off, _ = run ~traced:false ~fault_seed:seed q in
+      let o_on, st_on, _ = run ~traced:true ~fault_seed:seed q in
+      o_off = o_on && wire_stats st_off = wire_stats st_on)
+
+let prop_transparent_fault_free =
+  qtest ~count:40 "transparency holds on a fault-free wire" arb_query
+    (fun q ->
+      let o_off, st_off, _ = run ~traced:false q in
+      let o_on, st_on, _ = run ~traced:true q in
+      o_off = o_on && wire_stats st_off = wire_stats st_on)
+
+(* ---- (c) durations reconcile with Stats ------------------------------- *)
+
+let prop_durations_reconcile =
+  qtest ~count:40 "leaf span durations reconcile with Stats buckets"
+    arb_query (fun q ->
+      let _, st, trace = run ~traced:true q in
+      let tr = Option.get trace in
+      let spans = T.spans tr in
+      let is_leaf s =
+        not (List.exists (fun c -> c.T.parent_id = Some s.T.span_id) spans)
+      in
+      let sum cat =
+        List.fold_left
+          (fun acc s ->
+            if s.T.cat = cat && is_leaf s then
+              acc +. (s.T.end_wall -. s.T.start_wall)
+            else acc)
+          0. spans
+      in
+      let module St = Xd_xrpc.Stats in
+      (* spans cover at least the timed region, plus only per-span
+         bookkeeping — a generous absolute tolerance keeps the property
+         robust on loaded machines *)
+      let close span_sum bucket =
+        span_sum >= bucket -. 1e-9 && span_sum -. bucket <= 0.05
+      in
+      close (sum "serialize") (St.serialize_s st)
+      && close (sum "shred") (St.shred_s st))
+
+let () =
+  Alcotest.run "xd_trace"
+    [
+      ( "properties",
+        [
+          prop_well_formed;
+          prop_transparent;
+          prop_transparent_fault_free;
+          prop_durations_reconcile;
+        ] );
+    ]

@@ -174,16 +174,17 @@ let prop_atomic_forced =
 
 let stats_tuple net =
   let st = net.Xd_xrpc.Network.stats in
-  ( ( st.Xd_xrpc.Stats.messages,
-      st.Xd_xrpc.Stats.message_bytes,
-      st.Xd_xrpc.Stats.faults,
-      st.Xd_xrpc.Stats.timeouts,
-      st.Xd_xrpc.Stats.retries,
-      st.Xd_xrpc.Stats.dedup_hits ),
-    ( st.Xd_xrpc.Stats.dedup_evictions,
-      st.Xd_xrpc.Stats.txn_staged,
-      st.Xd_xrpc.Stats.txn_commits,
-      st.Xd_xrpc.Stats.txn_aborts ) )
+  let module St = Xd_xrpc.Stats in
+  ( ( St.messages st,
+      St.message_bytes st,
+      St.faults st,
+      St.timeouts st,
+      St.retries st,
+      St.dedup_hits st ),
+    ( St.dedup_evictions st,
+      St.txn_staged st,
+      St.txn_commits st,
+      St.txn_aborts st ) )
 
 let prop_deterministic =
   qtest ~count:200
