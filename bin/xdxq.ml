@@ -2,9 +2,9 @@
    distribution strategy.
 
      xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
-          [--verify-plan] [--plan] [--force] [--fault-spec SPEC]
-          [--fault-seed N] [--timeout S] [--retries N] [--txn]
-          [--journal-dir DIR] [--trace] [--trace-out FILE]
+          [--types] [--no-typing] [--verify-plan] [--plan] [--force]
+          [--fault-spec SPEC] [--fault-seed N] [--timeout S] [--retries N]
+          [--txn] [--journal-dir DIR] [--trace] [--trace-out FILE]
           [--trace-format jsonl|chrome] [--metrics] QUERY
 
    QUERY is a file name, or a literal query with --query. Documents are
@@ -56,6 +56,22 @@ let stats_arg =
 let code_motion_arg =
   let doc = "Apply distributed code motion." in
   Arg.(value & flag & info [ "code-motion" ] ~doc)
+
+let types_arg =
+  let doc =
+    "Print the inferred static sequence type of every query vertex (item \
+     kinds × occurrence) and exit without executing. Definite type errors \
+     still fail the run."
+  in
+  Arg.(value & flag & info [ "types" ] ~doc)
+
+let no_typing_arg =
+  let doc =
+    "Disable type-based widening of the decomposition conditions and the \
+     cardinality-aware cost model (the safety verifier always keeps its \
+     own, independently derived typing)."
+  in
+  Arg.(value & flag & info [ "no-typing" ] ~doc)
 
 let verify_plan_arg =
   let doc =
@@ -174,9 +190,10 @@ let parse_doc_spec s =
           String.sub target (sl + 1) (String.length target - sl - 1),
           file ))
 
-let run docs strategy explain stats code_motion verify_plan as_plan force
-    fault_spec fault_seed timeout_s retries txn journal_dir trace trace_out
-    trace_format metrics query_string query_file =
+let run docs strategy explain stats code_motion types no_typing verify_plan
+    as_plan force fault_spec fault_seed timeout_s retries txn journal_dir
+    trace trace_out trace_format metrics query_string query_file =
+  let typing = not no_typing in
   let query_src =
     match (query_string, query_file) with
     | Some q, _ -> Ok q
@@ -255,21 +272,35 @@ let run docs strategy explain stats code_motion verify_plan as_plan force
           (fun e -> Format.eprintf "static error: %a@." Xd_lang.Static.pp_error e)
           errors;
         exit 1);
+      (* definite type errors join the static gate: a provably atomic,
+         provably non-empty value in a node-requiring position fails
+         every evaluation that reaches it *)
+      let tres = Xd_types.Infer.infer_query q in
+      if types then Format.printf "%a" (fun fmt () -> Xd_types.Infer.pp_dump fmt q tres) ();
+      (match tres.Xd_types.Infer.errors with
+      | [] -> ()
+      | errors ->
+        List.iter
+          (fun e ->
+            Format.eprintf "type error: %a@." Xd_types.Infer.pp_error e)
+          errors;
+        exit 1);
+      if types then exit 0;
       let strategy =
         match strategy with
         | `Fixed s -> s
         | `Auto ->
-          let s = Xd_core.Cost.choose ~code_motion net q in
+          let s = Xd_core.Cost.choose ~code_motion ~typing net q in
           Format.eprintf "auto strategy: %s@."
             (Xd_core.Strategy.to_string s);
           List.iter
             (fun e -> Format.eprintf "  %a@." Xd_core.Cost.pp_estimate e)
-            (Xd_core.Cost.estimate_all ~code_motion net q);
+            (Xd_core.Cost.estimate_all ~code_motion ~typing net q);
           s
       in
       let plan =
         if as_plan then Xd_core.Decompose.plan_of_query strategy q
-        else Xd_core.Decompose.decompose ~code_motion strategy q
+        else Xd_core.Decompose.decompose ~code_motion ~typing strategy q
       in
       if explain then Format.printf "%a@." Xd_core.Decompose.explain plan;
       if verify_plan then begin
@@ -353,7 +384,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
-      $ code_motion_arg $ verify_plan_arg $ plan_arg $ force_arg
+      $ code_motion_arg $ types_arg $ no_typing_arg $ verify_plan_arg
+      $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg
       $ trace_format_arg $ metrics_arg $ query_string_arg $ query_file_arg)

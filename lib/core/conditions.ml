@@ -53,21 +53,37 @@ type ctx = {
   strategy : Strategy.t;
   all : Ast.expr list;
   outgoing : (int, (int * int) list) Hashtbl.t; (* memo: rs -> varrefs out *)
+  atomic : int -> bool;
+      (* typing fact: the vertex provably produces only atomic values.
+         Atomic values have no identity, order or structure an XRPC
+         message copy could damage, so conditions i–iv need not fire on
+         uses of a proven-atomic result, nor on remote uses of a
+         proven-atomic shipped parameter. The default (no proof) keeps
+         every condition fully conservative. *)
 }
 
-let make_ctx strategy g =
-  { g; strategy; all = Dg.vertices g; outgoing = Hashtbl.create 32 }
+let make_ctx ?(atomic = fun _ -> false) strategy g =
+  { g; strategy; all = Dg.vertices g; outgoing = Hashtbl.create 32; atomic }
 
+(* Outgoing varrefs of rs, minus parameters whose binder value is proven
+   atomic: shipping those by value is always exact, so the remote body's
+   uses of them cannot violate any condition. *)
 let outgoing ctx rs =
   match Hashtbl.find_opt ctx.outgoing rs with
   | Some o -> o
   | None ->
-    let o = Dg.outgoing_varrefs ctx.g rs in
+    let o =
+      List.filter
+        (fun (_, binder) -> not (ctx.atomic binder))
+        (Dg.outgoing_varrefs ctx.g rs)
+    in
     Hashtbl.replace ctx.outgoing rs o;
     o
 
 let use_result ctx n rs =
-  (not (Dg.parse_reaches ctx.g rs n.Ast.id)) && Dg.depends ctx.g n.Ast.id rs
+  (not (ctx.atomic rs))
+  && (not (Dg.parse_reaches ctx.g rs n.Ast.id))
+  && Dg.depends ctx.g n.Ast.id rs
 
 let use_param ctx n rs =
   Dg.parse_reaches ctx.g rs n.Ast.id
@@ -142,7 +158,10 @@ let violates_update ctx rs n =
        List.exists
          (fun (vr, _) -> Dg.depends ctx.g tgt.Ast.id vr)
          (outgoing ctx rs)
-     else Dg.depends ctx.g tgt.Ast.id rs)
+     else
+       (* an atomic rs result cannot be (or contain) the target node
+          itself — at worst it feeds a predicate selecting the target *)
+       (not (ctx.atomic rs)) && Dg.depends ctx.g tgt.Ast.id rs)
 
 (* Unknown user functions (recursive, not inlined): conservatively treat
    any use relationship as disqualifying under every strategy. *)

@@ -14,14 +14,25 @@
       axes as producers (bulk RPC and fragment ordering lift those);
     - iv: no fn:root/id/idref on shipped nodes (lifted by
       pass-by-projection). Unknown user function calls are treated
-      conservatively. *)
+      conservatively.
+
+    Static typing widens all of the above: a use of a proven-atomic
+    result, or a remote use of a proven-atomic shipped parameter, cannot
+    violate any condition — atomic values have no node identity, order
+    or structure to lose in an XRPC copy (pass [?atomic] to
+    {!make_ctx}). *)
 
 val known_builtins : string list
 val bad_mixer : Strategy.t -> Xd_lang.Ast.expr -> bool
 
 type ctx
 
-val make_ctx : Strategy.t -> Xd_dgraph.Dgraph.t -> ctx
+val make_ctx :
+  ?atomic:(int -> bool) -> Strategy.t -> Xd_dgraph.Dgraph.t -> ctx
+(** [?atomic] answers whether a vertex provably produces only atomic
+    values (see [Xd_types.Infer.atomic]); defaults to a constant [false],
+    keeping every condition fully conservative. *)
+
 val use_result : ctx -> Xd_lang.Ast.expr -> int -> bool
 val use_param : ctx -> Xd_lang.Ast.expr -> int -> bool
 val violates_update : ctx -> int -> Xd_lang.Ast.expr -> bool

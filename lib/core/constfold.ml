@@ -1,0 +1,66 @@
+(* Constant folding for execute-at host expressions.
+
+   A host expression built from string literals and fn:concat is a
+   compile-time constant even though it is not syntactically a literal.
+   Folding it into one literal lets every host-sensitive analysis — the
+   dependency graph's URI classification, update placement, the
+   verifier's host-consistency check, the cost model's per-site
+   accounting — treat the computed host exactly like a written-out one,
+   instead of degrading to the wildcard "unknown peer" path. The string
+   semantics mirror the evaluator's fn:concat on literal arguments
+   (atomize each singleton, concatenate), so folding can never change
+   the host a query actually contacts. *)
+
+module Ast = Xd_lang.Ast
+
+(* The runtime's string value of a literal atom (Value.atom_to_string on
+   the corresponding evaluated atom). *)
+let atom_string = function
+  | Ast.A_string s -> s
+  | Ast.A_int i -> string_of_int i
+  | Ast.A_float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else string_of_float f
+  | Ast.A_bool b -> if b then "true" else "false"
+
+let rec const_string (e : Ast.expr) : string option =
+  match e.Ast.desc with
+  | Ast.Literal a -> Some (atom_string a)
+  | Ast.Seq [ one ] -> const_string one
+  | Ast.Fun_call ("concat", args) when List.length args >= 2 ->
+    List.fold_left
+      (fun acc a ->
+        match (acc, const_string a) with
+        | Some s, Some s' -> Some (s ^ s')
+        | _ -> None)
+      (Some "") args
+  | _ -> None
+
+(* Rewrite every execute-at whose host folds to a constant but is not
+   already a plain string literal. Ids of untouched vertices are
+   preserved (map_bottom_up), so plan diagnostics keyed by vertex id
+   stay valid. *)
+let fold_hosts (e : Ast.expr) : Ast.expr =
+  Ast.map_bottom_up
+    (fun x ->
+      match x.Ast.desc with
+      | Ast.Execute_at ea -> (
+        match ea.Ast.host.Ast.desc with
+        | Ast.Literal (Ast.A_string _) -> x
+        | _ -> (
+          match const_string ea.Ast.host with
+          | Some s ->
+            {
+              x with
+              Ast.desc = Ast.Execute_at { ea with Ast.host = Ast.str s };
+            }
+          | None -> x))
+      | _ -> x)
+    e
+
+let fold_query (q : Ast.query) : Ast.query =
+  {
+    Ast.funcs =
+      List.map (fun f -> { f with Ast.f_body = fold_hosts f.Ast.f_body }) q.Ast.funcs;
+    Ast.body = fold_hosts q.Ast.body;
+  }

@@ -1,0 +1,17 @@
+(** Constant folding for execute-at host expressions: a host built from
+    string literals and [fn:concat] folds to one string literal, so
+    host-sensitive analyses (URI classification, update placement, the
+    verifier's host-consistency check, per-site cost accounting) see a
+    constant computed host exactly like a written-out one. *)
+
+val const_string : Xd_lang.Ast.expr -> string option
+(** The compile-time string value of an expression, when it is built
+    only from literals and [fn:concat]; matches the evaluator's string
+    semantics on those shapes exactly. *)
+
+val fold_hosts : Xd_lang.Ast.expr -> Xd_lang.Ast.expr
+(** Rewrite every execute-at whose host folds to a constant (and is not
+    already a string literal); untouched vertex ids are preserved. *)
+
+val fold_query : Xd_lang.Ast.query -> Xd_lang.Ast.query
+(** [fold_hosts] over the main body and every function body. *)

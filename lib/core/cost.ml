@@ -50,15 +50,21 @@ let doc_size net uri =
       | Some d -> Some (host, Xd_xml.Serializer.doc_bytes d)
       | None -> None))
 
-(* Collect (uri, enclosing execute-at host option) for every literal doc
-   call in the plan body. *)
+(* Average serialized size of one atomic item in an XRPC response
+   (tag + typed value). *)
+let atom_bytes = 64
+
+(* Collect (uri, enclosing execute-at context) for every literal doc call
+   in the plan body; the context carries the literal host (if any) and
+   the execute-at body's vertex id, so the typed estimator can look up
+   the body's inferred result type. *)
 let doc_sites body =
   let acc = ref [] in
-  let rec go host_ctx (e : Ast.expr) =
+  let rec go ctx (e : Ast.expr) =
     (match e.Ast.desc with
     | Ast.Fun_call (("doc" | "collection"), [ { Ast.desc = Ast.Literal (Ast.A_string u); _ } ])
       ->
-      acc := (u, host_ctx) :: !acc
+      acc := (u, ctx) :: !acc
     | _ -> ());
     match e.Ast.desc with
     | Ast.Execute_at x ->
@@ -67,40 +73,74 @@ let doc_sites body =
         | Ast.Literal (Ast.A_string h) -> Some h
         | _ -> None
       in
-      go host_ctx x.Ast.host;
-      List.iter (fun (_, pe) -> go host_ctx pe) x.Ast.params;
-      go host x.Ast.body
-    | _ -> List.iter (go host_ctx) (Ast.children e)
+      go ctx x.Ast.host;
+      List.iter (fun (_, pe) -> go ctx pe) x.Ast.params;
+      go (Some (host, x.Ast.body.Ast.id)) x.Ast.body
+    | _ -> List.iter (go ctx) (Ast.children e)
   in
   go None body;
   List.rev !acc
 
-let estimate net (plan : Decompose.plan) : estimate =
+let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
   let strategy = plan.Decompose.strategy in
-  let sites = doc_sites plan.Decompose.query.Ast.body in
+  let q = plan.Decompose.query in
+  let sites = doc_sites q.Ast.body in
+  (* cardinality-aware response sizing: when the execute-at body is
+     provably atomic, the response carries typed atoms, not subtrees —
+     its size is bounded by the inferred cardinality (or by a small
+     fraction of the document when unbounded), independent of the
+     per-strategy subtree reduction factor *)
+  let types = if typing then Some (Xd_types.Infer.infer_query q) else None in
+  let atomic_card body_id =
+    match types with
+    | None -> None
+    | Some res -> (
+      match Xd_types.Infer.type_of_vertex res body_id with
+      | Some t when Xd_types.Stype.is_atomic t ->
+        Some (Xd_types.Stype.card_max t)
+      | _ -> None)
+  in
   let calls =
     let n = ref 0 in
     Ast.iter
       (fun e ->
         match e.Ast.desc with Ast.Execute_at _ -> incr n | _ -> ())
-      plan.Decompose.query.Ast.body;
+      q.Ast.body;
     !n
   in
   let fetched = ref 0 and responses = ref 0.0 in
   let seen_fetch = Hashtbl.create 8 in
+  let seen_atomic = Hashtbl.create 8 in
   List.iter
-    (fun (uri, ctx_host) ->
+    (fun (uri, ctx) ->
       match doc_size net uri with
       | None -> () (* local document: no transfer *)
       | Some (owner, bytes) -> (
-        match ctx_host with
-        | Some h when h = owner ->
-          (* executed at the owner: only the (reduced) response travels *)
-          responses := !responses +. (reduction_factor strategy *. float_of_int bytes)
+        match ctx with
+        | Some (Some h, body_id) when h = owner -> (
+          (* executed at the owner: only the response travels *)
+          match atomic_card body_id with
+          | Some (Some n) ->
+            (* atomic with a cardinality bound: a fixed-size response,
+               independent of document size — counted once per call, not
+               per referenced document *)
+            if not (Hashtbl.mem seen_atomic body_id) then begin
+              Hashtbl.replace seen_atomic body_id ();
+              responses := !responses +. float_of_int (atom_bytes * max n 1)
+            end
+          | Some None ->
+            (* atomic but unbounded (e.g. one string per selected node):
+               far below any subtree-shipping reduction factor *)
+            responses :=
+              !responses +. float_of_int (max atom_bytes (bytes / 20))
+          | None ->
+            responses :=
+              !responses +. (reduction_factor strategy *. float_of_int bytes))
         | _ ->
           (* fetched whole (by the client, or by a foreign server) *)
-          if not (Hashtbl.mem seen_fetch (uri, ctx_host)) then begin
-            Hashtbl.replace seen_fetch (uri, ctx_host) ();
+          let key = (uri, Option.map fst ctx) in
+          if not (Hashtbl.mem seen_fetch key) then begin
+            Hashtbl.replace seen_fetch key ();
             fetched := !fetched + bytes
           end))
     sites;
@@ -112,18 +152,18 @@ let estimate net (plan : Decompose.plan) : estimate =
   }
 
 (* Estimate every strategy (sharing nothing: each gets its own plan). *)
-let estimate_all ?code_motion net (q : Ast.query) =
+let estimate_all ?code_motion ?typing net (q : Ast.query) =
   List.map
-    (fun s -> estimate net (Decompose.decompose ?code_motion s q))
+    (fun s -> estimate ?typing net (Decompose.decompose ?code_motion ?typing s q))
     Strategy.all
 
 (* Pick the strategy with the lowest estimated transfer. Updating queries
    are pinned to a function-shipping strategy (by-projection) since data
    shipping cannot run them at all. *)
-let choose ?code_motion net (q : Ast.query) : Strategy.t =
+let choose ?code_motion ?typing net (q : Ast.query) : Strategy.t =
   if Ast.contains_update q.Ast.body then Strategy.By_projection
   else
-    let ests = estimate_all ?code_motion net q in
+    let ests = estimate_all ?code_motion ?typing net q in
     let best =
       List.fold_left
         (fun acc e -> match acc with

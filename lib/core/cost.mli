@@ -16,13 +16,25 @@ val total : estimate -> int
 val reduction_factor : Strategy.t -> float
 val envelope_overhead : int
 
-val estimate : Xd_xrpc.Network.t -> Decompose.plan -> estimate
+val atom_bytes : int
+(** Average serialized size of one atomic item in an XRPC response. *)
+
+val estimate :
+  ?typing:bool -> Xd_xrpc.Network.t -> Decompose.plan -> estimate
+(** [?typing] (default [true]) sizes owner-executed responses with the
+    static type and cardinality of the execute-at body
+    ({!Xd_types.Infer}): a provably atomic body with a cardinality bound
+    costs a fixed [atom_bytes × bound] response regardless of document
+    size; unbounded atomic bodies cost a small fraction of the document.
+    Non-atomic bodies keep the per-strategy {!reduction_factor}. *)
+
 val estimate_all :
-  ?code_motion:bool -> Xd_xrpc.Network.t -> Xd_lang.Ast.query ->
-  estimate list
+  ?code_motion:bool -> ?typing:bool -> Xd_xrpc.Network.t ->
+  Xd_lang.Ast.query -> estimate list
 
 val choose :
-  ?code_motion:bool -> Xd_xrpc.Network.t -> Xd_lang.Ast.query -> Strategy.t
+  ?code_motion:bool -> ?typing:bool -> Xd_xrpc.Network.t ->
+  Xd_lang.Ast.query -> Strategy.t
 (** Lowest estimated transfer; updating queries are pinned to
     pass-by-projection (data shipping cannot run them). *)
 

@@ -108,22 +108,34 @@ exception Rejected of Xd_verify.Verify.report
    this is the entry point for verifying (or force-running) distributed
    queries the decomposer did not produce. *)
 let plan_of_query (strategy : Strategy.t) (q : Ast.query) : plan =
+  (* a hand-written computed host that folds to a constant gets the same
+     placement and host-consistency treatment as a literal one *)
+  let q = Constfold.fold_query q in
   { strategy; query = q; inserted = []; d_points = []; i_points = [] }
 
 let self_check (p : plan) =
   let report = Xd_verify.Verify.verify p.strategy p.query in
   if not (Xd_verify.Verify.ok report) then raise (Rejected report)
 
-let decompose_rewrite ~code_motion (strategy : Strategy.t) (q0 : Ast.query) :
-    plan =
+let decompose_rewrite ~code_motion ~typing (strategy : Strategy.t)
+    (q0 : Ast.query) : plan =
   let q = Inline.inline_query q0 in
   let q = Normalize.normalize_query q in
+  let q = Constfold.fold_query q in
   match strategy with
   | Strategy.Data_shipping ->
     { strategy; query = q; inserted = []; d_points = []; i_points = [] }
   | _ ->
     let g = Dg.build q.Ast.body in
-    let ctx = Conditions.make_ctx strategy g in
+    (* typing proofs widen the insertion conditions: conditions i–iv are
+       skipped for proven-atomic shipped results and parameters. The
+       verifier re-derives the same proofs independently, so a hole here
+       is caught, not silently trusted. *)
+    let atomic =
+      if typing then Xd_types.Infer.atomic_fact (Xd_types.Infer.infer_query q)
+      else fun _ -> false
+    in
+    let ctx = Conditions.make_ctx ~atomic strategy g in
     let dps = Conditions.d_points ctx in
     let ips = Conditions.interesting_points ctx in
     (* keep only single-host points; drop points nested inside another
@@ -167,9 +179,9 @@ let decompose_rewrite ~code_motion (strategy : Strategy.t) (q0 : Ast.query) :
    independent safety analysis disagrees with the insertion conditions —
    a debug mode that turns any decomposer bug into an immediate, loudly
    diagnosed failure instead of a silently wrong distributed answer. *)
-let decompose ?(code_motion = false) ?(verify = false) (strategy : Strategy.t)
-    (q0 : Ast.query) : plan =
-  let plan = decompose_rewrite ~code_motion strategy q0 in
+let decompose ?(code_motion = false) ?(verify = false) ?(typing = true)
+    (strategy : Strategy.t) (q0 : Ast.query) : plan =
+  let plan = decompose_rewrite ~code_motion ~typing strategy q0 in
   if verify then self_check plan;
   plan
 

@@ -29,13 +29,23 @@ exception Rejected of Xd_verify.Verify.report
     (only raised under [~verify:true] — it indicates a decomposer bug). *)
 
 val plan_of_query : Strategy.t -> Xd_lang.Ast.query -> plan
-(** Wrap a query verbatim as a plan — no inlining, normalization or
-    insertion. The entry point for verifying hand-written distributed
+(** Wrap a query as a plan — no inlining, normalization or insertion;
+    only {!Constfold.fold_query}, so constant computed hosts verify like
+    literal ones. The entry point for verifying hand-written distributed
     queries (the CLI's [--plan] mode). *)
 
 val decompose :
-  ?code_motion:bool -> ?verify:bool -> Strategy.t -> Xd_lang.Ast.query -> plan
-(** @raise Update_placement for non-decomposable updating queries (never
+  ?code_motion:bool ->
+  ?verify:bool ->
+  ?typing:bool ->
+  Strategy.t ->
+  Xd_lang.Ast.query ->
+  plan
+(** [?typing] (default [true]) widens the insertion conditions with
+    static type and cardinality proofs ({!Xd_types.Infer}): conditions
+    i–iv are skipped for proven-atomic shipped results and parameters.
+    [~typing:false] reverts to the purely structural conditions.
+    @raise Update_placement for non-decomposable updating queries (never
     under {!Strategy.Data_shipping}, where updates run wherever their
     documents were fetched — see the executor's fetched-copy guard).
     @raise Rejected under [~verify:true] when the emitted plan fails

@@ -1,0 +1,184 @@
+(* Typed builtin-function signatures, keyed off [Builtin_names.all].
+
+   One declarative registry replaces the hand-written arity match that
+   used to live in [Static.builtin_arity_ok]: each builtin declares the
+   sequence types of its required, optional and variadic parameters plus
+   its result type, in the AST's own [Ast.sequence_type] language. The
+   static checker derives arity acceptance from the shape, and the
+   abstract type interpreter (lib/types) reads the result types as its
+   baseline transfer functions — so arity checking, type inference and
+   the evaluator registry can never drift: construction fails loudly
+   unless every name in [Builtin_names.all] has exactly one signature
+   and no extra names are declared.
+
+   Parameter types are enforcement-relevant only where they demand a
+   *node*: feeding a provably atomic, provably non-empty value to a
+   node-requiring parameter (fn:root, fn:name, ...) is a definite
+   dynamic error the type checker reports statically. Atomic parameter
+   types are documentation — nodes atomize, so they are accepted. *)
+
+type t = {
+  required : Ast.sequence_type list;
+  optional : Ast.sequence_type list; (* accepted after the required ones *)
+  variadic : Ast.sequence_type option; (* any number more of this type *)
+  result : Ast.sequence_type;
+}
+
+let item occ = Ast.St_items (Ast.It_item, occ)
+let node occ = Ast.St_items (Ast.It_node, occ)
+let elem occ = Ast.St_items (Ast.It_element None, occ)
+let document occ = Ast.St_items (Ast.It_document, occ)
+let str occ = Ast.St_items (Ast.It_atomic "xs:string", occ)
+let int occ = Ast.St_items (Ast.It_atomic "xs:integer", occ)
+let dbl occ = Ast.St_items (Ast.It_atomic "xs:double", occ)
+let boolean occ = Ast.St_items (Ast.It_atomic "xs:boolean", occ)
+let any_atomic occ = Ast.St_items (Ast.It_atomic "xs:anyAtomicType", occ)
+
+let fixed required result = { required; optional = []; variadic = None; result }
+
+let declarations : (string * t) list =
+  [
+    (* documents and node identity *)
+    ("doc", fixed [ str Ast.Occ_one ] (document Ast.Occ_one));
+    ("collection", fixed [ str Ast.Occ_one ] (document Ast.Occ_one));
+    ("root", fixed [ node Ast.Occ_opt ] (node Ast.Occ_opt));
+    ("id", fixed [ str Ast.Occ_star; node Ast.Occ_one ] (elem Ast.Occ_star));
+    ("idref", fixed [ str Ast.Occ_star; node Ast.Occ_one ] (elem Ast.Occ_star));
+    ("base-uri", fixed [ node Ast.Occ_opt ] (str Ast.Occ_opt));
+    ("document-uri", fixed [ node Ast.Occ_opt ] (str Ast.Occ_opt));
+    (* static context *)
+    ("static-base-uri", fixed [] (str Ast.Occ_one));
+    ("default-collation", fixed [] (str Ast.Occ_one));
+    ("current-dateTime", fixed [] (str Ast.Occ_one));
+    (* booleans *)
+    ("true", fixed [] (boolean Ast.Occ_one));
+    ("false", fixed [] (boolean Ast.Occ_one));
+    ("not", fixed [ item Ast.Occ_star ] (boolean Ast.Occ_one));
+    ("boolean", fixed [ item Ast.Occ_star ] (boolean Ast.Occ_one));
+    (* cardinality *)
+    ("count", fixed [ item Ast.Occ_star ] (int Ast.Occ_one));
+    ("empty", fixed [ item Ast.Occ_star ] (boolean Ast.Occ_one));
+    ("exists", fixed [ item Ast.Occ_star ] (boolean Ast.Occ_one));
+    ("zero-or-one", fixed [ item Ast.Occ_star ] (item Ast.Occ_opt));
+    ("exactly-one", fixed [ item Ast.Occ_star ] (item Ast.Occ_one));
+    ("one-or-more", fixed [ item Ast.Occ_star ] (item Ast.Occ_plus));
+    (* atomization and strings *)
+    ("string", fixed [ item Ast.Occ_opt ] (str Ast.Occ_one));
+    ("data", fixed [ item Ast.Occ_star ] (any_atomic Ast.Occ_star));
+    ("number", fixed [ item Ast.Occ_opt ] (dbl Ast.Occ_one));
+    ( "concat",
+      {
+        required = [ item Ast.Occ_opt; item Ast.Occ_opt ];
+        optional = [];
+        variadic = Some (item Ast.Occ_opt);
+        result = str Ast.Occ_one;
+      } );
+    ("string-length", fixed [ item Ast.Occ_opt ] (int Ast.Occ_one));
+    ("contains", fixed [ item Ast.Occ_opt; item Ast.Occ_opt ] (boolean Ast.Occ_one));
+    ( "starts-with",
+      fixed [ item Ast.Occ_opt; item Ast.Occ_opt ] (boolean Ast.Occ_one) );
+    ( "ends-with",
+      fixed [ item Ast.Occ_opt; item Ast.Occ_opt ] (boolean Ast.Occ_one) );
+    ( "substring",
+      {
+        required = [ item Ast.Occ_opt; item Ast.Occ_opt ];
+        optional = [ item Ast.Occ_opt ];
+        variadic = None;
+        result = str Ast.Occ_one;
+      } );
+    ( "string-join",
+      fixed [ item Ast.Occ_star; item Ast.Occ_opt ] (str Ast.Occ_one) );
+    ("normalize-space", fixed [ item Ast.Occ_opt ] (str Ast.Occ_one));
+    ("upper-case", fixed [ item Ast.Occ_opt ] (str Ast.Occ_one));
+    ("lower-case", fixed [ item Ast.Occ_opt ] (str Ast.Occ_one));
+    ( "substring-before",
+      fixed [ item Ast.Occ_opt; item Ast.Occ_opt ] (str Ast.Occ_one) );
+    ( "substring-after",
+      fixed [ item Ast.Occ_opt; item Ast.Occ_opt ] (str Ast.Occ_one) );
+    (* numerics and aggregates *)
+    ("sum", fixed [ item Ast.Occ_star ] (dbl Ast.Occ_one));
+    ("avg", fixed [ item Ast.Occ_star ] (dbl Ast.Occ_opt));
+    ("max", fixed [ item Ast.Occ_star ] (dbl Ast.Occ_opt));
+    ("min", fixed [ item Ast.Occ_star ] (dbl Ast.Occ_opt));
+    ("abs", fixed [ item Ast.Occ_opt ] (dbl Ast.Occ_one));
+    ("floor", fixed [ item Ast.Occ_opt ] (dbl Ast.Occ_one));
+    ("ceiling", fixed [ item Ast.Occ_opt ] (dbl Ast.Occ_one));
+    ("round", fixed [ item Ast.Occ_opt ] (dbl Ast.Occ_one));
+    (* sequences *)
+    ("distinct-values", fixed [ item Ast.Occ_star ] (any_atomic Ast.Occ_star));
+    ("reverse", fixed [ item Ast.Occ_star ] (item Ast.Occ_star));
+    ( "subsequence",
+      {
+        required = [ item Ast.Occ_star; item Ast.Occ_opt ];
+        optional = [ item Ast.Occ_opt ];
+        variadic = None;
+        result = item Ast.Occ_star;
+      } );
+    ("item-at", fixed [ item Ast.Occ_star; item Ast.Occ_opt ] (item Ast.Occ_opt));
+    ( "insert-before",
+      fixed
+        [ item Ast.Occ_star; item Ast.Occ_opt; item Ast.Occ_star ]
+        (item Ast.Occ_star) );
+    ("remove", fixed [ item Ast.Occ_star; item Ast.Occ_opt ] (item Ast.Occ_star));
+    ( "deep-equal",
+      fixed [ item Ast.Occ_star; item Ast.Occ_star ] (boolean Ast.Occ_one) );
+    (* names *)
+    ("name", fixed [ node Ast.Occ_opt ] (str Ast.Occ_one));
+    ("local-name", fixed [ node Ast.Occ_opt ] (str Ast.Occ_one));
+    (* XRPC accessors: aliases of base-uri/document-uri *)
+    ("xrpc:base-uri", fixed [ node Ast.Occ_opt ] (str Ast.Occ_opt));
+    ("xrpc:document-uri", fixed [ node Ast.Occ_opt ] (str Ast.Occ_opt));
+    (* errors *)
+    ( "error",
+      {
+        required = [];
+        optional = [ item Ast.Occ_opt ];
+        variadic = None;
+        result = Ast.St_empty;
+      } );
+  ]
+
+(* The registry and Builtin_names.all must coincide exactly, mirroring the
+   drift check in Builtins.table: a builtin without a signature would
+   silently lose its arity check and its typing. *)
+let table =
+  lazy
+    (let names = List.map fst declarations in
+     List.iter
+       (fun name ->
+         match List.filter (fun n -> n = name) names with
+         | [ _ ] -> ()
+         | [] ->
+           invalid_arg
+             ("Fn_sig: " ^ name ^ " is in Builtin_names.all but has no signature")
+         | _ ->
+           invalid_arg ("Fn_sig: " ^ name ^ " has more than one signature"))
+       Builtin_names.all;
+     List.iter
+       (fun name ->
+         if not (Builtin_names.is_builtin name) then
+           invalid_arg
+             ("Fn_sig: " ^ name ^ " has a signature but is missing from \
+               Builtin_names.all"))
+       names;
+     declarations)
+
+let all () = Lazy.force table
+
+let find name = List.assoc_opt name (all ())
+
+let arity_ok name n =
+  match find name with
+  | None -> true (* unknown to the registry: accept, like the old table *)
+  | Some s ->
+    let min_n = List.length s.required in
+    let max_n = min_n + List.length s.optional in
+    n >= min_n && (s.variadic <> None || n <= max_n)
+
+(* Declared type of the [i]-th (0-based) argument, following the
+   required → optional → variadic order. *)
+let param_type s i =
+  let fixed = s.required @ s.optional in
+  match List.nth_opt fixed i with
+  | Some t -> Some t
+  | None -> if i >= List.length fixed then s.variadic else None

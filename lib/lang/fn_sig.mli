@@ -1,0 +1,28 @@
+(* Typed builtin-function signatures, keyed off [Builtin_names.all].
+
+   The single declarative registry behind three consumers: the static
+   checker derives arity acceptance from the parameter shape, the type
+   inference pass (lib/types) reads parameter/result sequence types as
+   its baseline builtin transfer functions, and tests assert the
+   registry stays in bijection with the builtin name list. *)
+
+type t = {
+  required : Ast.sequence_type list;
+  optional : Ast.sequence_type list; (* accepted after the required ones *)
+  variadic : Ast.sequence_type option; (* any number more of this type *)
+  result : Ast.sequence_type;
+}
+
+(* All signatures. Raises [Invalid_argument] on first use if the registry
+   and [Builtin_names.all] disagree (missing, duplicate or extra name). *)
+val all : unit -> (string * t) list
+
+val find : string -> t option
+
+(* Is [n] an acceptable argument count for builtin [name]? Names unknown
+   to the registry are accepted (non-builtins are checked elsewhere). *)
+val arity_ok : string -> int -> bool
+
+(* Declared type of the [i]-th (0-based) argument, following the
+   required → optional → variadic order; [None] past the arity. *)
+val param_type : t -> int -> Ast.sequence_type option

@@ -17,28 +17,12 @@ let default_builtin_names () =
   let t = Builtins.table () in
   Hashtbl.fold (fun name _ acc -> name :: acc) t []
 
-(* Minimum/maximum arities of builtins that are not fixed-arity. *)
-let builtin_arity_ok name n =
-  match name with
-  | "concat" -> n >= 2
-  | "substring" | "subsequence" -> n = 2 || n = 3
-  | "error" -> n <= 1
-  | "doc" | "collection" | "root" | "not" | "boolean" | "count" | "empty"
-  | "exists" | "string" | "data" | "number" | "string-length"
-  | "normalize-space" | "upper-case" | "lower-case" | "name" | "local-name"
-  | "base-uri" | "document-uri" | "zero-or-one" | "exactly-one"
-  | "one-or-more" | "distinct-values" | "reverse" | "abs" | "floor"
-  | "ceiling" | "round" | "sum" | "avg" | "max" | "min" ->
-    n = 1
-  | "contains" | "starts-with" | "ends-with" | "string-join" | "deep-equal"
-  | "substring-before" | "substring-after" | "id" | "idref" | "item-at"
-  | "remove" ->
-    n = 2
-  | "insert-before" -> n = 3
-  | "true" | "false" | "static-base-uri" | "default-collation"
-  | "current-dateTime" ->
-    n = 0
-  | _ -> true (* unknown to the arity table: accept *)
+(* Arity acceptance is derived from the typed signature registry: a
+   builtin accepts [n] arguments iff n covers the required parameters and
+   stays within optional/variadic bounds. The registry is keyed off
+   Builtin_names.all, so a builtin can neither miss its arity check nor
+   carry a stale hand-copied one. *)
+let builtin_arity_ok = Fn_sig.arity_ok
 
 let check_expr ~funcs ~builtins ?(bound = []) (e : Ast.expr) : error list =
   let errors = ref [] in

@@ -1,0 +1,473 @@
+(* Static type and cardinality inference: an abstract interpretation of
+   XCore over the {!Stype} lattice.
+
+   Every AST vertex is assigned a sequence type; FLWOR binders,
+   typeswitch cases and execute-at parameters refine the environment;
+   builtins transfer through the typed signatures of {!Xd_lang.Fn_sig}
+   (with precise special cases for the sequence-polymorphic ones); and
+   user-defined functions — including recursive ones the decomposer
+   cannot inline — are solved by a monotone fixpoint over their
+   parameter and result types. The lattice is finite in both components,
+   so the fixpoint converges; a generous iteration budget guards the
+   loop anyway.
+
+   The pass never raises: it is called unconditionally inside the
+   decomposer and the verifier. Diagnostics are restricted to *definite*
+   errors — a provably atomic, provably non-empty value flowing into a
+   position that requires a node (axis steps, node comparisons, node-set
+   operations, update targets, node-requiring builtin parameters) fails
+   every evaluation that reaches it. Anything less certain stays silent:
+   a false type error would reject a query the runtime executes fine.
+
+   Soundness contract (enforced by the QCheck harness in
+   test/test_types.ml): whenever evaluation of a vertex succeeds, the
+   resulting value inhabits the vertex's inferred type. The decomposer
+   widens insertion conditions i–iv with [Stype.is_atomic] proofs over
+   these types, and the verifier re-derives the same facts
+   independently, so a hole in the inference shows up as a differential
+   failure, not a silent wrong answer. *)
+
+module Ast = Xd_lang.Ast
+module Fn_sig = Xd_lang.Fn_sig
+module Smap = Map.Make (String)
+
+type error = { vertex : int; message : string }
+
+let pp_error fmt e = Fmt.pf fmt "v%d: %s" e.vertex e.message
+
+type result = {
+  types : (int, Stype.t) Hashtbl.t; (* vertex id -> inferred type *)
+  errors : error list; (* definite type errors, in traversal order *)
+}
+
+let type_of res (e : Ast.expr) = Hashtbl.find_opt res.types e.Ast.id
+
+let type_of_vertex res id = Hashtbl.find_opt res.types id
+
+(* Is the vertex proven to produce only atomic values? Unknown vertices
+   are not atomic — absence of proof must never widen anything. *)
+let atomic res id =
+  match Hashtbl.find_opt res.types id with
+  | Some t -> Stype.is_atomic t
+  | None -> false
+
+(* ---- shorthand types -------------------------------------------------- *)
+
+let k_num = { Stype.no_kinds with Stype.k_num = true }
+let k_str = { Stype.no_kinds with Stype.k_str = true }
+let k_bool = { Stype.no_kinds with Stype.k_bool = true }
+let k_doc = { Stype.no_kinds with Stype.k_doc = true }
+let k_elem = { Stype.no_kinds with Stype.k_elem = true }
+let k_attr = { Stype.no_kinds with Stype.k_attr = true }
+let k_text = { Stype.no_kinds with Stype.k_text = true }
+let num1 = Stype.make k_num Stype.O_one
+let str1 = Stype.make k_str Stype.O_one
+let bool1 = Stype.make k_bool Stype.O_one
+let bool_opt = Stype.make k_bool Stype.O_opt
+
+(* A value that is provably atomic-only *and* provably non-empty can
+   never satisfy a node-requiring position: a definite dynamic error. *)
+let atomic_nonempty t = Stype.is_atomic t && Stype.definitely_nonempty t
+
+(* ---- interpreter state ------------------------------------------------ *)
+
+type fstate = { mutable params : Stype.t list; mutable result : Stype.t }
+
+type st = {
+  funcs : Ast.func list;
+  ftab : (string, fstate) Hashtbl.t;
+  types : (int, Stype.t) Hashtbl.t;
+  mutable changed : bool;
+  mutable collect : bool; (* final pass: collect definite errors *)
+  mutable errors : error list;
+}
+
+let err st (e : Ast.expr) fmt =
+  Format.kasprintf
+    (fun message ->
+      if st.collect then
+        st.errors <- { vertex = e.Ast.id; message } :: st.errors)
+    fmt
+
+let record st (e : Ast.expr) t =
+  Hashtbl.replace st.types e.Ast.id t;
+  t
+
+(* Result kinds of one axis step, from the node test and principal axis. *)
+let step_kinds ax test =
+  let principal_attr = ax = Ast.Attribute in
+  match test with
+  | Ast.Name_test _ | Ast.Wildcard -> if principal_attr then k_attr else k_elem
+  | Ast.Kind_node -> Stype.all_nodes
+  | Ast.Kind_text -> k_text
+  | Ast.Kind_comment -> { Stype.no_kinds with Stype.k_comment = true }
+  | Ast.Kind_element _ -> k_elem
+  | Ast.Kind_attribute _ -> k_attr
+
+let node_item_type = function
+  | Ast.It_node | Ast.It_element _ | Ast.It_attribute _ | Ast.It_text
+  | Ast.It_document ->
+    true
+  | Ast.It_atomic _ | Ast.It_item -> false
+
+let rec infer st env (e : Ast.expr) : Stype.t =
+  let t =
+    match e.Ast.desc with
+    | Ast.Literal (Ast.A_string _) -> str1
+    | Ast.Literal (Ast.A_int _) | Ast.Literal (Ast.A_float _) -> num1
+    | Ast.Literal (Ast.A_bool _) -> bool1
+    | Ast.Var_ref v -> (
+      match Smap.find_opt v env with Some t -> t | None -> Stype.top)
+    | Ast.Seq es ->
+      List.fold_left
+        (fun acc c -> Stype.add acc (infer st env c))
+        Stype.empty es
+    | Ast.For (v, src, body) ->
+      let ts = infer st env src in
+      let tb = infer st (Smap.add v (Stype.item_of ts) env) body in
+      Stype.make tb.Stype.kinds (Stype.occ_mult ts.Stype.occ tb.Stype.occ)
+    | Ast.Let (v, value, body) ->
+      let tv = infer st env value in
+      infer st (Smap.add v tv env) body
+    | Ast.If (c, th, el) ->
+      ignore (infer st env c);
+      Stype.join (infer st env th) (infer st env el)
+    | Ast.Typeswitch (e0, cases, dv, dflt) ->
+      let t0 = infer st env e0 in
+      let tc =
+        List.map
+          (fun (cv, sty, ce) ->
+            (* the case body runs only when the value matches [sty] *)
+            let bound = Stype.meet t0 (Stype.of_seqtype sty) in
+            infer st (Smap.add cv bound env) ce)
+          cases
+      in
+      List.fold_left Stype.join (infer st (Smap.add dv t0 env) dflt) tc
+    | Ast.Value_cmp (_, a, b) ->
+      ignore (infer st env a);
+      ignore (infer st env b);
+      bool1
+    | Ast.Node_cmp (op, a, b) ->
+      let ta = infer st env a and tb = infer st env b in
+      List.iter
+        (fun t ->
+          if atomic_nonempty t then
+            err st e
+              "operand of node comparison '%s' is provably atomic (%s): a \
+               single node is required"
+              (Xd_lang.Pp.node_comp_name op)
+              (Stype.to_string t))
+        [ ta; tb ];
+      bool_opt
+    | Ast.Arith (_, a, b) ->
+      let ta = infer st env a and tb = infer st env b in
+      let la, ha = Stype.occ_bounds ta.Stype.occ in
+      let lb, hb = Stype.occ_bounds tb.Stype.occ in
+      let hi = if ha = Some 0 || hb = Some 0 then Some 0 else Some 1 in
+      Stype.make k_num (Stype.occ_of_bounds (min la lb, hi))
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+      ignore (infer st env a);
+      ignore (infer st env b);
+      bool1
+    | Ast.Order_by (v, src, specs, body) ->
+      let ts = infer st env src in
+      let env' = Smap.add v (Stype.item_of ts) env in
+      List.iter (fun (spec, _) -> ignore (infer st env' spec)) specs;
+      let tb = infer st env' body in
+      Stype.make tb.Stype.kinds (Stype.occ_mult ts.Stype.occ tb.Stype.occ)
+    | Ast.Node_set (op, a, b) ->
+      let ta = infer st env a and tb = infer st env b in
+      List.iter
+        (fun t ->
+          if atomic_nonempty t then
+            err st e
+              "operand of node-set operation '%s' is provably atomic (%s): \
+               only node sequences are allowed"
+              (Xd_lang.Pp.set_op_name op) (Stype.to_string t))
+        [ ta; tb ];
+      let kinds =
+        Stype.kinds_meet
+          (Stype.kinds_join ta.Stype.kinds tb.Stype.kinds)
+          Stype.all_nodes
+      in
+      let la, ha = Stype.occ_bounds ta.Stype.occ in
+      let lb, hb = Stype.occ_bounds tb.Stype.occ in
+      let occ =
+        match op with
+        | Ast.Union ->
+          let hi =
+            match (ha, hb) with Some x, Some y -> Some (x + y) | _ -> None
+          in
+          Stype.occ_of_bounds (max la lb, hi)
+        | Ast.Intersect ->
+          let hi =
+            match (ha, hb) with
+            | Some x, Some y -> Some (min x y)
+            | Some x, None | None, Some x -> Some x
+            | None, None -> None
+          in
+          Stype.occ_of_bounds (0, hi)
+        | Ast.Except -> Stype.occ_of_bounds (0, ha)
+      in
+      Stype.make kinds occ
+    | Ast.Doc_constr c ->
+      ignore (infer st env c);
+      Stype.make k_doc Stype.O_one
+    | Ast.Text_constr c ->
+      (* an all-empty string collapses to the empty sequence *)
+      ignore (infer st env c);
+      Stype.make k_text Stype.O_opt
+    | Ast.Elem_constr (ns, c) ->
+      (match ns with
+      | Ast.Computed_name ne -> ignore (infer st env ne)
+      | Ast.Fixed_name _ -> ());
+      ignore (infer st env c);
+      Stype.make k_elem Stype.O_one
+    | Ast.Attr_constr (ns, c) ->
+      (match ns with
+      | Ast.Computed_name ne -> ignore (infer st env ne)
+      | Ast.Fixed_name _ -> ());
+      ignore (infer st env c);
+      Stype.make k_attr Stype.O_one
+    | Ast.Step (e1, ax, test) ->
+      let t1 = infer st env e1 in
+      if atomic_nonempty t1 then
+        err st e
+          "axis step %s::%s over a provably atomic operand (%s): only nodes \
+           have axes"
+          (Xd_lang.Pp.axis_name ax)
+          (Xd_lang.Pp.node_test_name test)
+          (Stype.to_string t1);
+      let occ = if Stype.is_empty t1 then Stype.O_zero else Stype.O_star in
+      Stype.make (step_kinds ax test) occ
+    | Ast.Fun_call (name, args) -> infer_call st env e name args
+    | Ast.Execute_at x -> infer_execute_at st env x
+    | Ast.Insert_node (src, _, tgt) ->
+      ignore (infer st env src);
+      check_update_target st env tgt;
+      Stype.empty
+    | Ast.Delete_node tgt ->
+      check_update_target st env tgt;
+      Stype.empty
+    | Ast.Replace_value (tgt, v) | Ast.Rename_node (tgt, v) ->
+      check_update_target st env tgt;
+      ignore (infer st env v);
+      Stype.empty
+  in
+  record st e t
+
+and check_update_target st env tgt =
+  let t = infer st env tgt in
+  if atomic_nonempty t then
+    err st tgt
+      "update target is provably atomic (%s): updates apply to nodes only"
+      (Stype.to_string t)
+
+and infer_call st env (e : Ast.expr) name args =
+  let argts = List.map (infer st env) args in
+  match List.find_opt (fun f -> f.Ast.f_name = name) st.funcs with
+  | Some f ->
+    let fs = Hashtbl.find st.ftab name in
+    (if List.length argts = List.length f.Ast.f_params then
+       let params' = List.map2 Stype.join fs.params argts in
+       if not (List.for_all2 Stype.equal params' fs.params) then begin
+         fs.params <- params';
+         st.changed <- true
+       end);
+    fs.result
+  | None ->
+    if Xd_lang.Builtin_names.is_builtin name then
+      infer_builtin st e name argts
+    else Stype.top
+
+and infer_builtin st (e : Ast.expr) name argts =
+  (* definite wrong-kind arguments against the typed signature: a
+     node-requiring parameter fed a provably atomic, provably non-empty
+     value errors on every evaluation *)
+  let signature = Fn_sig.find name in
+  (match signature with
+  | Some s ->
+    List.iteri
+      (fun i t ->
+        match Fn_sig.param_type s i with
+        | Some (Ast.St_items (it, _)) when node_item_type it ->
+          if atomic_nonempty t then
+            err st e
+              "wrong-kind argument %d to fn:%s: expected %s, got provably \
+               atomic %s"
+              (i + 1) name
+              (Xd_lang.Pp.sequence_type_name (Ast.St_items (it, Ast.Occ_one)))
+              (Stype.to_string t)
+        | _ -> ())
+      argts
+  | None -> ());
+  let registry_result () =
+    match signature with
+    | Some s -> Stype.of_seqtype s.Fn_sig.result
+    | None -> Stype.top
+  in
+  (* sequence-polymorphic builtins: propagate the input kinds instead of
+     falling back to the registry's item()* result *)
+  match (name, argts) with
+  | "root", [ t ] ->
+    let lo, hi = Stype.occ_bounds t.Stype.occ in
+    let occ =
+      if hi = Some 0 then Stype.O_zero
+      else if lo >= 1 then Stype.O_one
+      else Stype.O_opt
+    in
+    Stype.make Stype.all_nodes occ
+  | ("data" | "distinct-values"), [ t ] ->
+    Stype.make (Stype.kinds_atomize t.Stype.kinds) t.Stype.occ
+  | "reverse", [ t ] -> t
+  | ("subsequence" | "remove"), t :: _ ->
+    Stype.make t.Stype.kinds (Stype.occ_relax_lo t.Stype.occ)
+  | "item-at", t :: _ ->
+    let _, hi = Stype.occ_bounds t.Stype.occ in
+    let hi = match hi with Some 0 -> Some 0 | _ -> Some 1 in
+    Stype.make t.Stype.kinds (Stype.occ_of_bounds (0, hi))
+  | "zero-or-one", [ t ] ->
+    let lo, hi = Stype.occ_bounds t.Stype.occ in
+    let hi = match hi with Some 0 -> Some 0 | _ -> Some 1 in
+    Stype.make t.Stype.kinds (Stype.occ_of_bounds (lo, hi))
+  | "exactly-one", [ t ] -> Stype.make t.Stype.kinds Stype.O_one
+  | "one-or-more", [ t ] ->
+    let _, hi = Stype.occ_bounds t.Stype.occ in
+    Stype.make t.Stype.kinds (Stype.occ_of_bounds (1, hi))
+  | "insert-before", [ t1; _; t3 ] ->
+    Stype.make
+      (Stype.kinds_join t1.Stype.kinds t3.Stype.kinds)
+      (Stype.occ_add t1.Stype.occ t3.Stype.occ)
+  | ("avg" | "max" | "min"), [ t ] ->
+    if Stype.definitely_nonempty t then num1
+    else if Stype.is_empty t then Stype.empty
+    else Stype.make k_num Stype.O_opt
+  | _ -> registry_result ()
+
+and infer_execute_at st env (x : Ast.execute_at) =
+  ignore (infer st env x.Ast.host);
+  (* parameter expressions evaluate in the caller's frame; the body is a
+     closed function over exactly its parameters (rule 27) — any other
+     free variable would be a static error and types as ⊤ *)
+  let body_env =
+    List.fold_left
+      (fun m (v, ae) -> Smap.add v (infer st env ae) m)
+      Smap.empty x.Ast.params
+  in
+  infer st body_env x.Ast.body
+
+(* ---- driver ----------------------------------------------------------- *)
+
+let infer_query (q : Ast.query) : result =
+  let ftab = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace ftab f.Ast.f_name
+        {
+          params = List.map (fun _ -> Stype.bottom) f.Ast.f_params;
+          result = Stype.bottom;
+        })
+    q.Ast.funcs;
+  let st =
+    {
+      funcs = q.Ast.funcs;
+      ftab;
+      types = Hashtbl.create 64;
+      changed = true;
+      collect = false;
+      errors = [];
+    }
+  in
+  let pass () =
+    st.changed <- false;
+    ignore (infer st Smap.empty q.Ast.body);
+    List.iter
+      (fun f ->
+        match Hashtbl.find_opt ftab f.Ast.f_name with
+        | None -> ()
+        | Some fs ->
+          let env =
+            List.fold_left2
+              (fun m (v, _) t -> Smap.add v t m)
+              Smap.empty f.Ast.f_params fs.params
+          in
+          let tb = infer st env f.Ast.f_body in
+          let r' = Stype.join fs.result tb in
+          if not (Stype.equal r' fs.result) then begin
+            fs.result <- r';
+            st.changed <- true
+          end)
+      q.Ast.funcs
+  in
+  (* the lattice is finite and all updates are joins, so this terminates
+     well inside the budget; the bound is pure paranoia *)
+  let budget = ref 100 in
+  while st.changed && !budget > 0 do
+    decr budget;
+    pass ()
+  done;
+  st.collect <- true;
+  pass ();
+  { types = st.types; errors = List.rev st.errors }
+
+(* Convenience for callers widening on single vertices. *)
+let atomic_fact res = fun id -> atomic res id
+
+(* ---- the --types dump ------------------------------------------------- *)
+
+let rec sketch (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Literal (Ast.A_string s) -> Printf.sprintf "%S" s
+  | Ast.Literal (Ast.A_int i) -> string_of_int i
+  | Ast.Literal (Ast.A_float f) -> string_of_float f
+  | Ast.Literal (Ast.A_bool b) -> string_of_bool b
+  | Ast.Var_ref v -> "$" ^ v
+  | Ast.Seq [] -> "()"
+  | Ast.Seq _ -> "sequence"
+  | Ast.For (v, _, _) -> "for $" ^ v
+  | Ast.Let (v, _, _) -> "let $" ^ v
+  | Ast.If _ -> "if"
+  | Ast.Typeswitch _ -> "typeswitch"
+  | Ast.Value_cmp (op, _, _) -> "op " ^ Xd_lang.Pp.value_comp_name op
+  | Ast.Node_cmp (op, _, _) -> "op " ^ Xd_lang.Pp.node_comp_name op
+  | Ast.Arith (op, _, _) -> "op " ^ Xd_lang.Pp.arith_op_name op
+  | Ast.And _ -> "op and"
+  | Ast.Or _ -> "op or"
+  | Ast.Order_by (v, _, _, _) -> "for $" ^ v ^ " order by"
+  | Ast.Node_set (op, _, _) -> "op " ^ Xd_lang.Pp.set_op_name op
+  | Ast.Doc_constr _ -> "document { }"
+  | Ast.Text_constr _ -> "text { }"
+  | Ast.Elem_constr (Ast.Fixed_name n, _) -> "element " ^ n
+  | Ast.Elem_constr (Ast.Computed_name _, _) -> "element { }"
+  | Ast.Attr_constr (Ast.Fixed_name n, _) -> "attribute " ^ n
+  | Ast.Attr_constr (Ast.Computed_name _, _) -> "attribute { }"
+  | Ast.Step (_, ax, test) ->
+    Xd_lang.Pp.axis_name ax ^ "::" ^ Xd_lang.Pp.node_test_name test
+  | Ast.Fun_call (n, _) -> n ^ "(...)"
+  | Ast.Execute_at x -> "execute at " ^ sketch x.Ast.host
+  | Ast.Insert_node _ -> "insert node"
+  | Ast.Delete_node _ -> "delete node"
+  | Ast.Replace_value _ -> "replace value"
+  | Ast.Rename_node _ -> "rename node"
+
+let pp_dump fmt (q : Ast.query) (res : result) =
+  let rec dump depth (e : Ast.expr) =
+    let ty =
+      match type_of res e with
+      | Some t -> Stype.to_string t
+      | None -> "(untyped)"
+    in
+    Fmt.pf fmt "%sv%d %s : %s@." (String.make (2 * depth) ' ') e.Ast.id
+      (sketch e) ty;
+    List.iter (dump (depth + 1)) (Ast.children e)
+  in
+  List.iter
+    (fun f ->
+      Fmt.pf fmt "function %s#%d : %s@." f.Ast.f_name
+        (List.length f.Ast.f_params)
+        (match type_of res f.Ast.f_body with
+        | Some t -> Stype.to_string t
+        | None -> "(untyped)");
+      dump 1 f.Ast.f_body)
+    q.Ast.funcs;
+  dump 0 q.Ast.body

@@ -1,0 +1,33 @@
+(* Static type and cardinality inference over {!Stype}: an abstract
+   interpretation of XCore that assigns a sequence type to every AST
+   vertex, solving user-defined (possibly recursive) functions by a
+   monotone fixpoint. Never raises; diagnostics are restricted to
+   *definite* errors (provably atomic, provably non-empty values in
+   node-requiring positions), so a reported error fails every
+   evaluation that reaches the vertex. *)
+
+type error = { vertex : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+type result = {
+  types : (int, Stype.t) Hashtbl.t; (* vertex id -> inferred type *)
+  errors : error list; (* definite type errors, in traversal order *)
+}
+
+val infer_query : Xd_lang.Ast.query -> result
+
+val type_of : result -> Xd_lang.Ast.expr -> Stype.t option
+val type_of_vertex : result -> int -> Stype.t option
+
+(* Is the vertex proven to produce only atomic values? Unknown vertices
+   answer [false]: absence of proof never widens anything. *)
+val atomic : result -> int -> bool
+
+(* [atomic] partially applied — the shape the decomposer's condition
+   context takes. *)
+val atomic_fact : result -> int -> bool
+
+(* The [--types] dump: every vertex with its sketch and inferred type,
+   functions first, indented by AST depth. *)
+val pp_dump : Format.formatter -> Xd_lang.Ast.query -> result -> unit

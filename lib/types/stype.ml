@@ -1,0 +1,311 @@
+(* The abstract sequence-type lattice.
+
+   A static type is a pair: a *kind set* (which item kinds the sequence
+   may contain — the six node kinds, crossed with four atomic
+   categories) and an *occurrence* abstracting the length as an interval
+   [lo, hi] with lo ∈ {0,1} and hi ∈ {0, 1, ∞}. ⊥ is the empty sequence
+   (no kinds, exactly zero items); ⊤ is item()*.
+
+   Both components are finite lattices, so any monotone fixpoint over
+   them converges. The payoff is the [is_atomic] predicate: a vertex
+   whose kind set contains no node kind provably produces only atomic
+   values, which have no identity, order or structure to lose across an
+   XRPC message — the decomposer and verifier use this to skip insertion
+   conditions i–iv, and the cost model uses [card_max] to bound the
+   response size. *)
+
+module Ast = Xd_lang.Ast
+
+type kinds = {
+  k_doc : bool;
+  k_elem : bool;
+  k_attr : bool;
+  k_text : bool;
+  k_comment : bool;
+  k_pi : bool;
+  k_num : bool; (* xs:integer and xs:double collapse into one category *)
+  k_str : bool;
+  k_bool : bool;
+  k_untyped : bool;
+}
+
+let no_kinds =
+  {
+    k_doc = false;
+    k_elem = false;
+    k_attr = false;
+    k_text = false;
+    k_comment = false;
+    k_pi = false;
+    k_num = false;
+    k_str = false;
+    k_bool = false;
+    k_untyped = false;
+  }
+
+let all_nodes =
+  {
+    no_kinds with
+    k_doc = true;
+    k_elem = true;
+    k_attr = true;
+    k_text = true;
+    k_comment = true;
+    k_pi = true;
+  }
+
+let all_atoms =
+  { no_kinds with k_num = true; k_str = true; k_bool = true; k_untyped = true }
+
+let all_kinds =
+  {
+    k_doc = true;
+    k_elem = true;
+    k_attr = true;
+    k_text = true;
+    k_comment = true;
+    k_pi = true;
+    k_num = true;
+    k_str = true;
+    k_bool = true;
+    k_untyped = true;
+  }
+
+let kinds_join a b =
+  {
+    k_doc = a.k_doc || b.k_doc;
+    k_elem = a.k_elem || b.k_elem;
+    k_attr = a.k_attr || b.k_attr;
+    k_text = a.k_text || b.k_text;
+    k_comment = a.k_comment || b.k_comment;
+    k_pi = a.k_pi || b.k_pi;
+    k_num = a.k_num || b.k_num;
+    k_str = a.k_str || b.k_str;
+    k_bool = a.k_bool || b.k_bool;
+    k_untyped = a.k_untyped || b.k_untyped;
+  }
+
+let kinds_meet a b =
+  {
+    k_doc = a.k_doc && b.k_doc;
+    k_elem = a.k_elem && b.k_elem;
+    k_attr = a.k_attr && b.k_attr;
+    k_text = a.k_text && b.k_text;
+    k_comment = a.k_comment && b.k_comment;
+    k_pi = a.k_pi && b.k_pi;
+    k_num = a.k_num && b.k_num;
+    k_str = a.k_str && b.k_str;
+    k_bool = a.k_bool && b.k_bool;
+    k_untyped = a.k_untyped && b.k_untyped;
+  }
+
+let kinds_has_node k =
+  k.k_doc || k.k_elem || k.k_attr || k.k_text || k.k_comment || k.k_pi
+
+let kinds_has_atom k = k.k_num || k.k_str || k.k_bool || k.k_untyped
+
+(* Atomization: nodes become xs:untypedAtomic, atoms survive. *)
+let kinds_atomize k =
+  let atoms = kinds_meet k all_atoms in
+  if kinds_has_node k then { atoms with k_untyped = true } else atoms
+
+(* ---- occurrence indicators -------------------------------------------- *)
+
+type occ = O_zero | O_one | O_opt | O_plus | O_star
+
+(* Interval view: (lo, hi) with hi = None meaning unbounded. *)
+let occ_bounds = function
+  | O_zero -> (0, Some 0)
+  | O_one -> (1, Some 1)
+  | O_opt -> (0, Some 1)
+  | O_plus -> (1, None)
+  | O_star -> (0, None)
+
+let occ_of_bounds (lo, hi) =
+  match (min lo 1, hi) with
+  | _, Some 0 -> O_zero
+  | 1, Some 1 -> O_one
+  | 0, Some 1 -> O_opt
+  | 1, _ -> O_plus (* any bounded hi ≥ 2 collapses to unbounded *)
+  | _, _ -> O_star
+
+let occ_join a b =
+  let la, ha = occ_bounds a and lb, hb = occ_bounds b in
+  let hi =
+    match (ha, hb) with Some x, Some y -> Some (max x y) | _ -> None
+  in
+  occ_of_bounds (min la lb, hi)
+
+(* Greatest lower bound; [None] when the intervals are disjoint (an
+   impossible occurrence — the value cannot exist). *)
+let occ_meet a b =
+  let la, ha = occ_bounds a and lb, hb = occ_bounds b in
+  let lo = max la lb in
+  let hi =
+    match (ha, hb) with
+    | Some x, Some y -> Some (min x y)
+    | Some x, None | None, Some x -> Some x
+    | None, None -> None
+  in
+  match hi with
+  | Some h when lo > h -> None
+  | _ -> Some (occ_of_bounds (lo, hi))
+
+(* Sequence concatenation: lengths add. *)
+let occ_add a b =
+  let la, ha = occ_bounds a and lb, hb = occ_bounds b in
+  let hi =
+    match (ha, hb) with Some x, Some y -> Some (x + y) | _ -> None
+  in
+  occ_of_bounds (la + lb, hi)
+
+(* [for]-loop iteration: [a] bindings each produce a [b]-sequence. *)
+let occ_mult a b =
+  let la, ha = occ_bounds a and lb, hb = occ_bounds b in
+  let hi =
+    match (ha, hb) with Some x, Some y -> Some (x * y) | _, _ ->
+      if ha = Some 0 || hb = Some 0 then Some 0 else None
+  in
+  occ_of_bounds (la * lb, hi)
+
+(* Possibly-fewer items, same upper bound (filtering, subsequences). *)
+let occ_relax_lo o =
+  let _, hi = occ_bounds o in
+  occ_of_bounds (0, hi)
+
+(* ---- the sequence type ------------------------------------------------ *)
+
+type t = { kinds : kinds; occ : occ }
+
+(* Normalization keeps the two components consistent: zero items means no
+   kinds, and no possible kinds means no possible items. *)
+let make kinds occ =
+  if occ = O_zero || kinds = no_kinds then
+    { kinds = no_kinds; occ = O_zero }
+  else { kinds; occ }
+
+let empty = { kinds = no_kinds; occ = O_zero }
+let bottom = empty
+let top = { kinds = all_kinds; occ = O_star }
+
+let join a b = make (kinds_join a.kinds b.kinds) (occ_join a.occ b.occ)
+
+let meet a b =
+  match occ_meet a.occ b.occ with
+  | None -> empty
+  | Some occ -> make (kinds_meet a.kinds b.kinds) occ
+
+let add a b =
+  (* concatenation: () is the unit *)
+  if a.occ = O_zero then b
+  else if b.occ = O_zero then a
+  else make (kinds_join a.kinds b.kinds) (occ_add a.occ b.occ)
+
+let equal (a : t) b = a = b
+let leq a b = join a b = b
+
+let is_empty t = t.occ = O_zero
+let is_atomic t = not (kinds_has_node t.kinds)
+let definitely_nonempty t = fst (occ_bounds t.occ) >= 1
+
+let card_max t = snd (occ_bounds t.occ)
+
+(* One item of this type: what a [for] binder sees. *)
+let item_of t = make t.kinds O_one
+
+(* ---- conversions ------------------------------------------------------ *)
+
+let of_occurrence = function
+  | Ast.Occ_one -> O_one
+  | Ast.Occ_opt -> O_opt
+  | Ast.Occ_star -> O_star
+  | Ast.Occ_plus -> O_plus
+
+let kinds_of_item_type = function
+  | Ast.It_node -> all_nodes
+  | Ast.It_element _ -> { no_kinds with k_elem = true }
+  | Ast.It_attribute _ -> { no_kinds with k_attr = true }
+  | Ast.It_text -> { no_kinds with k_text = true }
+  | Ast.It_document -> { no_kinds with k_doc = true }
+  | Ast.It_item -> all_kinds
+  | Ast.It_atomic name -> (
+    match name with
+    | "xs:string" | "string" -> { no_kinds with k_str = true }
+    | "xs:integer" | "integer" | "xs:int" | "xs:double" | "xs:decimal"
+    | "double" | "decimal" ->
+      { no_kinds with k_num = true }
+    | "xs:boolean" | "boolean" -> { no_kinds with k_bool = true }
+    | "xs:untypedAtomic" | "untypedAtomic" -> { no_kinds with k_untyped = true }
+    | _ -> all_atoms (* xs:anyAtomicType and unknown atomic names *))
+
+let of_seqtype = function
+  | Ast.St_empty -> empty
+  | Ast.St_items (it, occ) ->
+    make (kinds_of_item_type it) (of_occurrence occ)
+
+(* ---- soundness predicate ---------------------------------------------- *)
+
+let item_inhabits (it : Xd_lang.Value.item) k =
+  match it with
+  | Xd_lang.Value.N n -> (
+    match Xd_xml.Node.kind n with
+    | Xd_xml.Node.Document -> k.k_doc
+    | Xd_xml.Node.Element -> k.k_elem
+    | Xd_xml.Node.Attribute -> k.k_attr
+    | Xd_xml.Node.Text -> k.k_text
+    | Xd_xml.Node.Comment -> k.k_comment
+    | Xd_xml.Node.Pi -> k.k_pi)
+  | Xd_lang.Value.A a -> (
+    match a with
+    | Xd_lang.Value.Integer _ | Xd_lang.Value.Double _ -> k.k_num
+    | Xd_lang.Value.String _ -> k.k_str
+    | Xd_lang.Value.Boolean _ -> k.k_bool
+    | Xd_lang.Value.Untyped _ -> k.k_untyped)
+
+let value_inhabits (v : Xd_lang.Value.t) t =
+  let n = List.length v in
+  let lo, hi = occ_bounds t.occ in
+  n >= lo
+  && (match hi with None -> true | Some h -> n <= h)
+  && List.for_all (fun it -> item_inhabits it t.kinds) v
+
+(* ---- pretty printing -------------------------------------------------- *)
+
+let kind_names k =
+  List.filter_map
+    (fun (flag, name) -> if flag then Some name else None)
+    [
+      (k.k_doc, "document-node()");
+      (k.k_elem, "element()");
+      (k.k_attr, "attribute()");
+      (k.k_text, "text()");
+      (k.k_comment, "comment()");
+      (k.k_pi, "processing-instruction()");
+      (k.k_num, "numeric");
+      (k.k_str, "string");
+      (k.k_bool, "boolean");
+      (k.k_untyped, "untyped");
+    ]
+
+let occ_suffix = function
+  | O_zero -> "" (* unreachable through to_string *)
+  | O_one -> ""
+  | O_opt -> "?"
+  | O_plus -> "+"
+  | O_star -> "*"
+
+let to_string t =
+  if t.occ = O_zero then "empty-sequence()"
+  else
+    let base =
+      if t.kinds = all_kinds then "item()"
+      else if t.kinds = all_nodes then "node()"
+      else if t.kinds = all_atoms then "anyAtomicType"
+      else
+        match kind_names t.kinds with
+        | [ one ] -> one
+        | names -> "(" ^ String.concat "|" names ^ ")"
+    in
+    base ^ occ_suffix t.occ
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,85 @@
+(* The abstract sequence-type lattice: a kind set (which item kinds a
+   sequence may contain) × an occurrence interval [lo, hi] with
+   lo ∈ {0,1}, hi ∈ {0,1,∞}. ⊥ is the empty sequence, ⊤ is item()*.
+   Finite in both components, so monotone fixpoints converge. *)
+
+type kinds = {
+  k_doc : bool;
+  k_elem : bool;
+  k_attr : bool;
+  k_text : bool;
+  k_comment : bool;
+  k_pi : bool;
+  k_num : bool;
+  k_str : bool;
+  k_bool : bool;
+  k_untyped : bool;
+}
+
+val no_kinds : kinds
+val all_nodes : kinds
+val all_atoms : kinds
+val all_kinds : kinds
+val kinds_join : kinds -> kinds -> kinds
+val kinds_meet : kinds -> kinds -> kinds
+val kinds_has_node : kinds -> bool
+val kinds_has_atom : kinds -> bool
+
+(* Atomization: nodes become xs:untypedAtomic, atoms survive. *)
+val kinds_atomize : kinds -> kinds
+
+type occ = O_zero | O_one | O_opt | O_plus | O_star
+
+val occ_bounds : occ -> int * int option
+val occ_of_bounds : int * int option -> occ
+val occ_join : occ -> occ -> occ
+
+(* [None] when the intervals are disjoint (uninhabited occurrence). *)
+val occ_meet : occ -> occ -> occ option
+
+(* Concatenation (lengths add) and for-loop iteration (lengths multiply). *)
+val occ_add : occ -> occ -> occ
+val occ_mult : occ -> occ -> occ
+
+(* Possibly-fewer items, same upper bound (filtering, subsequences). *)
+val occ_relax_lo : occ -> occ
+
+type t = private { kinds : kinds; occ : occ }
+
+(* Smart constructor: keeps kinds and occurrence consistent (zero items ↔
+   no kinds). *)
+val make : kinds -> occ -> t
+
+val empty : t
+val bottom : t (* = empty: the least element *)
+val top : t (* item()* *)
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val add : t -> t -> t (* sequence concatenation *)
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+
+val is_empty : t -> bool
+
+(* No node kind possible: the sequence provably contains only atomic
+   values — nothing an XRPC message copy could damage. *)
+val is_atomic : t -> bool
+
+val definitely_nonempty : t -> bool
+
+(* Upper cardinality bound; [None] = unbounded. *)
+val card_max : t -> int option
+
+(* One item of this type (what a [for] binder sees). *)
+val item_of : t -> t
+
+val of_occurrence : Xd_lang.Ast.occurrence -> occ
+val of_seqtype : Xd_lang.Ast.sequence_type -> t
+
+(* Does a runtime value inhabit the type? The QCheck soundness harness
+   asserts this for every evaluated vertex. *)
+val value_inhabits : Xd_lang.Value.t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -29,6 +29,14 @@ type ctx = {
   g : Dg.t;
   funcs : Ast.func list;
   self : string; (* the client peer's name; "" matches the session default *)
+  atomic : int -> bool;
+      (* independently re-derived typing fact: the vertex provably
+         produces only atomic values. A message carrying only atoms is an
+         exact copy — no identity, order or ancestry to lose — so such
+         parameters and results cross the wire as plain [Prov.atoms]
+         instead of shipped-copy provenance. The verifier must never
+         trust the decomposer's typing: callers derive this from their
+         own {!Xd_types.Infer} run over the plan. *)
   mutable diags : Diag.t list;
 }
 
@@ -394,14 +402,16 @@ and eval_execute_at ctx env site (e : Ast.expr) (x : Ast.execute_at) =
           (fun v -> not (List.mem v param_names))
           (Ast.free_vars x.Ast.body)));
   (* parameter expressions are evaluated in the caller's frame *)
-  let args = List.map (fun (v, ae) -> (v, eval ctx env site ae)) x.Ast.params in
+  let args =
+    List.map (fun (v, ae) -> (v, eval ctx env site ae, ae.Ast.id)) x.Ast.params
+  in
   match x.Ast.host.Ast.desc with
   | Ast.Literal (Ast.A_string h) when h = site || h = "" ->
     (* a call to the current site short-circuits to plain local evaluation
        (Session.execute_at / Eval.local_execute_at): full fidelity, no
        copy semantics — only the closure check above applies *)
     let env' =
-      List.fold_left (fun m (v, p) -> Smap.add v p m) Smap.empty args
+      List.fold_left (fun m (v, p, _) -> Smap.add v p m) Smap.empty args
     in
     eval ctx env' site x.Ast.body
   | host_desc ->
@@ -422,31 +432,43 @@ and eval_execute_at ctx env site (e : Ast.expr) (x : Ast.execute_at) =
        semantics; under by-projection a parameter with recorded paths
        ships projected (ancestors travel), one without falls back to the
        full-format copy *)
-    let param_prov v p =
-      let base =
-        if
-          ctx.strategy = S.By_projection
-          && List.exists (fun (pv, _, _) -> pv = v) x.Ast.param_paths
-        then Prov.projected origin
-        else Prov.shipped origin
-      in
-      Prov.crossed (if p.Prov.tainted || p.Prov.disordered then Prov.taint base else base)
+    let param_prov v p arg_id =
+      (* a proven-atomic argument marshals exactly: no copy provenance,
+         no taint — the remote body sees the very same atoms *)
+      if ctx.atomic arg_id then Prov.atoms
+      else
+        let base =
+          if
+            ctx.strategy = S.By_projection
+            && List.exists (fun (pv, _, _) -> pv = v) x.Ast.param_paths
+          then Prov.projected origin
+          else Prov.shipped origin
+        in
+        Prov.crossed
+          (if p.Prov.tainted || p.Prov.disordered then Prov.taint base
+           else base)
     in
     let env' =
       List.fold_left
-        (fun m (v, p) -> Smap.add v (param_prov v p) m)
+        (fun m (v, p, arg_id) -> Smap.add v (param_prov v p arg_id) m)
         Smap.empty args
     in
     let pb = eval ctx env' h x.Ast.body in
-    let res =
-      if ctx.strategy = S.By_projection && x.Ast.result_paths <> ([], []) then
-        Prov.projected origin
-      else Prov.shipped origin
-    in
-    Prov.crossed
-      (if pb.Prov.tainted || pb.Prov.disordered then Prov.taint res else res)
+    if ctx.atomic x.Ast.body.Ast.id then
+      (* proven-atomic result: the response is an exact value, whatever
+         happened inside the body *)
+      Prov.atoms
+    else
+      let res =
+        if ctx.strategy = S.By_projection && x.Ast.result_paths <> ([], []) then
+          Prov.projected origin
+        else Prov.shipped origin
+      in
+      Prov.crossed
+        (if pb.Prov.tainted || pb.Prov.disordered then Prov.taint res else res)
 
-let run ~strategy ~g ~funcs ?(self = "") (e : Ast.expr) =
-  let ctx = { strategy; g; funcs; self; diags = [] } in
+let run ~strategy ~g ~funcs ?(self = "") ?(atomic = fun _ -> false)
+    (e : Ast.expr) =
+  let ctx = { strategy; g; funcs; self; atomic; diags = [] } in
   ignore (eval ctx Smap.empty self e);
   List.rev ctx.diags

@@ -18,10 +18,16 @@ val run :
   g:Dg.t ->
   funcs:Ast.func list ->
   ?self:string ->
+  ?atomic:(int -> bool) ->
   Ast.expr ->
   Diag.t list
 (** [run ~strategy ~g ~funcs ?self e] interprets [e] — [g] must be
     [Dg.build e] so vertex ids, guards and witnesses line up — and
     returns the diagnostics in discovery order. [self] is the client
     peer's name; an [execute at] targeting it (or the empty string) is
-    local evaluation, not a message. *)
+    local evaluation, not a message. [atomic] (default: constant
+    [false]) is a typing fact — the vertex provably produces only
+    atomic values — under which execute-at parameters and results cross
+    the wire as exact values with no copy provenance; callers must
+    derive it independently (see [Xd_types.Infer]), never accept it from
+    the decomposer. *)

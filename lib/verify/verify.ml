@@ -30,9 +30,17 @@ let warnings r = List.filter (fun d -> not (Diag.is_error d)) r.diags
 let ok r = errors r = []
 
 let verify ?self strategy (q : Ast.query) : report =
+  (* typing facts are re-derived here, from the plan as given — the
+     verifier never accepts the decomposer's typing. A proven-atomic
+     execute-at parameter or result crosses the wire as an exact value
+     (nothing for a message copy to damage), which is precisely the
+     widening the decomposer's insertion conditions claim; deriving the
+     proof independently keeps the two analyses cross-checking each
+     other on the differential corpus. *)
+  let atomic = Xd_types.Infer.atomic_fact (Xd_types.Infer.infer_query q) in
   let run_body body =
     let g = Dg.build body in
-    Absint.run ~strategy ~g ~funcs:q.Ast.funcs ?self body
+    Absint.run ~strategy ~g ~funcs:q.Ast.funcs ?self ~atomic body
   in
   let main = run_body q.Ast.body in
   (* function bodies execute wherever the module ships: check each one

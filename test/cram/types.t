@@ -1,0 +1,79 @@
+Static type & cardinality inference, from the command line.
+
+  $ ../../bin/xdx_gen.exe --persons 10 --seed 7 --out-people people.xml --out-auctions auctions.xml >/dev/null 2>&1
+
+--types prints the inferred sequence type of every vertex, pre-order:
+
+  $ ../../bin/xdxq.exe --types --doc peer1/people.xml=people.xml \
+  >   -q 'let $n := count(doc("xrpc://peer1/people.xml")//person) return string($n)'
+  v8 let $n : string
+    v5 count(...) : numeric
+      v4 child::person : element()*
+        v3 descendant-or-self::node() : node()*
+          v2 doc(...) : document-node()
+            v1 "xrpc://peer1/people.xml" : string
+    v7 string(...) : string
+      v6 $n : numeric
+
+Definite type errors — a provably-atomic, provably-nonempty value fed to
+a node-only position — are diagnosed and fail the query:
+
+  $ ../../bin/xdxq.exe --types -q 'name(3)'
+  v2 name(...) : string
+    v1 3 : numeric
+  type error: v2: wrong-kind argument 1 to fn:name: expected node(), got provably atomic numeric
+  [1]
+
+  $ ../../bin/xdxq.exe -q '(1 + 2)/child::a' 2>&1
+  type error: v4: axis step child::a over a provably atomic operand (numeric): only nodes have axes
+  [1]
+
+The typing proofs widen decomposition: a recursive function over a
+count() of remote data ships pass-by-value only because the shipped
+result is provably one atomic item.
+
+  $ Q='declare function local:fib($n) { if ($n < 2) then $n else local:fib($n - 1) + local:fib($n - 2) }; local:fib(count(doc("xrpc://peer1/people.xml")//person))'
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --explain -q "$Q" \
+  >   | grep -E 'pushed|strategy'
+  strategy: pass-by-value
+  valid d-points: 2, interesting points: 1, pushed: 1
+    pushed v19 -> peer1
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --no-typing --explain -q "$Q" \
+  >   | grep -E 'pushed|strategy'
+  strategy: pass-by-value
+  valid d-points: 0, interesting points: 0, pushed: 0
+
+The cost model sees the difference — one 64-byte atomic response versus
+fetching the document — so auto flips from data shipping to by-value:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s auto -q "$Q" 2>&1
+  auto strategy: pass-by-value
+    data-shipping        fetched=   20542B responses~       0B overhead=    0B total~   20542B
+    pass-by-value        fetched=       0B responses~      64B overhead=  400B total~     464B
+    pass-by-fragment     fetched=       0B responses~      64B overhead=  400B total~     464B
+    pass-by-projection   fetched=       0B responses~      64B overhead=  400B total~     464B
+  55
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s auto --no-typing -q "$Q" 2>&1
+  auto strategy: data-shipping
+    data-shipping        fetched=   20542B responses~       0B overhead=    0B total~   20542B
+    pass-by-value        fetched=   20542B responses~       0B overhead=    0B total~   20542B
+    pass-by-fragment     fetched=   20542B responses~       0B overhead=    0B total~   20542B
+    pass-by-projection   fetched=   20542B responses~       0B overhead=    0B total~   20542B
+  55
+
+Constant execute-at hosts fold: concat of literals becomes a literal
+host, so the call gets full placement instead of the runtime fallback:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml --explain \
+  >   -q 'string(execute at {concat("pe", "er1")} function ($c := count(doc("xrpc://peer1/people.xml")//person)) { $c })' \
+  >   2>&1 | head -7
+  strategy: pass-by-projection
+  valid d-points: 9, interesting points: 1, pushed: 1
+    pushed v11 -> peer1
+  rewritten query:
+  (execute at {"peer1"}
+     function ()
+     {string((execute at {"peer1"}

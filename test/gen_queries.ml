@@ -130,6 +130,20 @@ let rec gen_nodeseq (uri, names) vars n =
             (gen_nodeseq (uri, names) vars (n - 1))
             (int_bound 3) );
         ( 1,
+          (* positional selection with a *computed*, provably numeric
+             index (out-of-range indexes yield the empty sequence) *)
+          map2
+            (fun ns ns2 ->
+              Ast.fun_call "item-at"
+                [
+                  ns;
+                  Ast.mk
+                    (Ast.Arith
+                       (Ast.Add, Ast.int 1, Ast.fun_call "count" [ ns2 ]));
+                ])
+            (gen_nodeseq (uri, names) vars (n / 2))
+            (gen_nodeseq (uri, names) vars (n / 2)) );
+        ( 1,
           (* sequence-reordering builtins: condition-iii mixers, the
              decomposer must not route their output into a remote step *)
           map2
@@ -180,6 +194,70 @@ and gen_bool (uri, names) vars n =
             (gen_bool (uri, names) vars (n / 2)) );
       ]
 
+(* a provably atomic *numeric* expression — the shapes the typing pass
+   proves node-free (and often cardinality-one), so the widened insertion
+   conditions may ship them where the structural conditions would refuse.
+   Division and idiv/mod are avoided: a generated zero denominator would
+   turn a typing test into a dynamic-error test. *)
+let rec gen_numeric source vars n =
+  if n <= 0 then map Ast.int (int_bound 9)
+  else
+    frequency
+      [
+        ( 3,
+          map
+            (fun ns -> Ast.fun_call "count" [ ns ])
+            (gen_nodeseq source vars (n - 1)) );
+        ( 2,
+          map3
+            (fun op a b -> Ast.mk (Ast.Arith (op, a, b)))
+            (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
+            (gen_numeric source vars (n / 2))
+            (gen_numeric source vars (n / 2)) );
+        ( 1,
+          map
+            (fun ns ->
+              Ast.fun_call "string-length"
+                [
+                  Ast.fun_call "string"
+                    [ Ast.fun_call "item-at" [ ns; Ast.int 1 ] ];
+                ])
+            (gen_nodeseq source vars (n - 1)) );
+        ( 1,
+          map
+            (fun ns -> Ast.fun_call "sum" [ Ast.fun_call "data" [ ns ] ])
+            (gen_nodeseq source vars (n - 1)) );
+        (1, map Ast.int (int_bound 20));
+      ]
+
+(* a provably atomic *string* expression *)
+let gen_string source vars n =
+  let first ns =
+    Ast.fun_call "string" [ Ast.fun_call "item-at" [ ns; Ast.int 1 ] ]
+  in
+  frequency
+    [
+      (2, map first (gen_nodeseq source vars n));
+      ( 2,
+        map2
+          (fun ns i ->
+            Ast.fun_call
+              (if i = 0 then "upper-case" else "lower-case")
+              [ first ns ])
+          (gen_nodeseq source vars n) (int_bound 1) );
+      ( 1,
+        map2
+          (fun ns i ->
+            Ast.fun_call "substring"
+              [ first ns; Ast.int 1; Ast.int (1 + i) ])
+          (gen_nodeseq source vars n) (int_bound 4) );
+      ( 1,
+        map2
+          (fun a b -> Ast.fun_call "concat" [ a; Ast.str "-"; b ])
+          (map first (gen_nodeseq source vars (n / 2)))
+          (map first (gen_nodeseq source vars (n / 2))) );
+    ]
+
 (* an order-insensitive atomic observation of a node sequence *)
 let gen_atom source vars n =
   frequency
@@ -208,6 +286,22 @@ let gen_atom source vars n =
               ])
           (gen_nodeseq source vars n) );
       (1, map (fun b -> Ast.fun_call "string" [ b ]) (gen_bool source vars n));
+      ( 2,
+        (* arithmetic over provably atomic subexpressions *)
+        map (fun x -> Ast.fun_call "string" [ x ]) (gen_numeric source vars n)
+      );
+      (1, gen_string source vars n);
+      ( 1,
+        (* comparison between atomic expressions of two (possibly
+           different) sources: both operands are provably atomic, so the
+           typed decomposer may push either side independently *)
+        oneofa sources >>= fun src2 ->
+        map3
+          (fun op a b ->
+            Ast.fun_call "string" [ Ast.mk (Ast.Value_cmp (op, a, b)) ])
+          (oneofl [ Ast.Eq; Ast.Lt; Ast.Ge ])
+          (gen_numeric source vars (n / 2))
+          (gen_numeric src2 [] (n / 2)) );
     ]
 
 (* a whole query: a sequence of observations, possibly over different

@@ -1,0 +1,405 @@
+(* The static type & cardinality inference (lib/types): lattice laws,
+   the typed builtin-signature registry, inference examples, definite
+   type errors, and — the load-bearing part — the QCheck soundness
+   harness:
+
+     1. whenever local evaluation of a generated query succeeds, the
+        runtime value inhabits the inferred type of the query body (and
+        the inference reported no definite errors);
+     2. typing-widened decompositions stay observationally equivalent to
+        the undistributed reference under every function-shipping
+        strategy — and pass the (independently typed) safety verifier,
+        so a widening the verifier cannot re-derive shows up as a
+        Plan_rejected, not a wrong answer;
+     3. the widened d-point set contains the structural one (typing only
+        removes restrictions, monotonically).
+
+   Plus the acceptance demo: a recursive function over count() of remote
+   data, undecomposable without typing, decomposes by-value with it —
+   with the cost model reflecting the win. *)
+
+module Ast = Xd_lang.Ast
+module St = Xd_types.Stype
+module Infer = Xd_types.Infer
+module Fn_sig = Xd_lang.Fn_sig
+module S = Xd_core.Strategy
+module E = Xd_core.Executor
+open Util
+
+let parse = Xd_lang.Parser.parse_query
+
+let body_type q res =
+  match Infer.type_of res q.Ast.body with
+  | Some t -> t
+  | None -> Alcotest.fail "body vertex has no inferred type"
+
+let infer_str src =
+  let q = parse src in
+  St.to_string (body_type q (Infer.infer_query q))
+
+(* ---- lattice laws ---------------------------------------------------- *)
+
+let some_types =
+  [
+    St.empty;
+    St.top;
+    St.make St.all_nodes St.O_star;
+    St.make St.all_atoms St.O_one;
+    St.make { St.no_kinds with St.k_num = true } St.O_opt;
+    St.make { St.no_kinds with St.k_str = true } St.O_plus;
+    St.make { St.no_kinds with St.k_elem = true; St.k_text = true } St.O_star;
+    St.make { St.no_kinds with St.k_bool = true } St.O_one;
+  ]
+
+let lattice_laws () =
+  List.iter
+    (fun a ->
+      check_bool "join idempotent" (St.equal (St.join a a) a);
+      check_bool "meet idempotent" (St.equal (St.meet a a) a);
+      (* bottom is the empty-sequence type, a real denotation — joining it
+         in can only relax the occurrence lower bound, never the kinds *)
+      check_bool "join with bottom relaxes lo"
+        (St.equal (St.join St.bottom a)
+           (St.make a.St.kinds (St.occ_relax_lo a.St.occ)));
+      check_bool "top absorbs join" (St.equal (St.join St.top a) St.top);
+      check_bool "empty is add unit" (St.equal (St.add St.empty a) a);
+      check_bool "a <= a" (St.leq a a);
+      check_bool "bottom <= a iff a admits ()"
+        (St.leq St.bottom a = not (St.definitely_nonempty a));
+      check_bool "a <= top" (St.leq a St.top);
+      List.iter
+        (fun b ->
+          check_bool "join commutes" (St.equal (St.join a b) (St.join b a));
+          check_bool "meet commutes" (St.equal (St.meet a b) (St.meet b a));
+          check_bool "a <= a|b" (St.leq a (St.join a b));
+          (* meet over-approximates value-set intersection; when the
+             occurrence ranges are disjoint it collapses to the empty
+             type, which is not a subtype of a definitely-nonempty a *)
+          check_bool "a&b <= a unless disjoint"
+            (St.leq (St.meet a b) a || St.is_empty (St.meet a b)))
+        some_types)
+    some_types
+
+let normalization () =
+  (* zero items <-> no kinds, kept consistent by the smart constructor *)
+  check_bool "no kinds -> empty"
+    (St.is_empty (St.make St.no_kinds St.O_star));
+  check_bool "zero occ -> empty" (St.is_empty (St.make St.all_kinds St.O_zero));
+  check_string "empty prints" "empty-sequence()" (St.to_string St.empty);
+  check_string "top prints" "item()*" (St.to_string St.top)
+
+let occ_arith () =
+  check_bool "one+one = plus" (St.occ_add St.O_one St.O_one = St.O_plus);
+  check_bool "opt+opt relaxes" (St.occ_add St.O_opt St.O_opt = St.O_star);
+  check_bool "one*star = star" (St.occ_mult St.O_one St.O_star = St.O_star);
+  check_bool "zero*star = zero" (St.occ_mult St.O_zero St.O_star = St.O_zero);
+  check_bool "star*zero = zero" (St.occ_mult St.O_star St.O_zero = St.O_zero);
+  check_bool "plus*plus = plus" (St.occ_mult St.O_plus St.O_plus = St.O_plus);
+  check_bool "meet one opt = one" (St.occ_meet St.O_one St.O_opt = Some St.O_one);
+  check_bool "meet zero one disjoint" (St.occ_meet St.O_zero St.O_one = None);
+  check_bool "relax plus = star" (St.occ_relax_lo St.O_plus = St.O_star)
+
+(* ---- the typed builtin registry -------------------------------------- *)
+
+let registry_bijection () =
+  (* exactly one signature per builtin, none extra: the registry cannot
+     drift from the evaluator's authoritative name list *)
+  let names = List.map fst (Fn_sig.all ()) in
+  check_int "one signature per builtin"
+    (List.length Xd_lang.Builtin_names.all)
+    (List.length names);
+  List.iter
+    (fun n ->
+      check_bool (n ^ " has a signature") (Fn_sig.find n <> None);
+      check_bool (n ^ " unique")
+        (List.length (List.filter (( = ) n) names) = 1))
+    Xd_lang.Builtin_names.all
+
+let arity_from_signatures () =
+  let ok = Xd_lang.Static.builtin_arity_ok in
+  check_bool "count/1" (ok "count" 1);
+  check_bool "count/2 rejected" (not (ok "count" 2));
+  check_bool "concat needs 2" (not (ok "concat" 1));
+  check_bool "concat/2" (ok "concat" 2);
+  check_bool "concat variadic" (ok "concat" 7);
+  check_bool "substring/2" (ok "substring" 2);
+  check_bool "substring/3" (ok "substring" 3);
+  check_bool "substring/4 rejected" (not (ok "substring" 4));
+  check_bool "error/0" (ok "error" 0);
+  check_bool "error/1" (ok "error" 1);
+  check_bool "error/2 rejected" (not (ok "error" 2));
+  check_bool "doc/0 rejected" (not (ok "doc" 0));
+  check_bool "unknown names accepted" (ok "no-such-builtin" 3)
+
+(* ---- inference examples ---------------------------------------------- *)
+
+let infer_examples () =
+  check_string "count is one number" "numeric"
+    (infer_str {|count(doc("d.xml")//x)|});
+  check_string "string literal" "string" (infer_str {|"hi"|});
+  check_string "arith of definite numbers" "numeric"
+    (infer_str {|count(doc("d.xml")/a) + sum(data(doc("d.xml")/b))|});
+  check_string "arith with a possibly-empty operand" "numeric?"
+    (infer_str {|1 + zero-or-one(data(doc("d.xml")/a))|});
+  check_string "steps give node sequences" "element()*"
+    (infer_str {|doc("d.xml")//x|});
+  check_string "doc is one document" "document-node()"
+    (infer_str {|doc("d.xml")|});
+  check_string "attribute axis" "attribute()*"
+    (infer_str {|doc("d.xml")//x/@id|});
+  check_string "element constructor" "element()"
+    (infer_str {|element a { () }|});
+  check_string "if joins branches" "(numeric|string)"
+    (infer_str {|if (exists(doc("d.xml")/a)) then 1 else "x"|});
+  check_string "for multiplies occurrence" "string*"
+    (infer_str {|for $x in doc("d.xml")//a return name($x)|});
+  check_string "comparison is one boolean" "boolean" (infer_str {|1 < 2|});
+  check_string "empty sequence" "empty-sequence()" (infer_str {|()|});
+  check_string "atomization strips nodes" "untyped*"
+    (infer_str {|data(doc("d.xml")//a)|});
+  check_string "boolean builtins" "boolean"
+    (infer_str {|exists(doc("d.xml")//a)|})
+
+let infer_functions () =
+  (* recursive functions reach a sound fixpoint *)
+  let q =
+    parse
+      {|declare function local:fib($n) {
+          if ($n < 2) then $n else local:fib($n - 1) + local:fib($n - 2)
+        };
+        local:fib(count(doc("d.xml")//person))|}
+  in
+  let res = Infer.infer_query q in
+  check_bool "no definite errors" (res.Infer.errors = []);
+  let t = body_type q res in
+  check_bool "fib result is atomic" (St.is_atomic t);
+  check_bool "fib result has no node kinds" (not (St.kinds_has_node t.St.kinds))
+
+let infer_execute_at () =
+  (* rule 27: the body types under exactly its parameters *)
+  let q =
+    parse
+      {|execute at {"peer1"}
+          function ($n := count(doc("d.xml")/a)) { $n + 1 }|}
+  in
+  let res = Infer.infer_query q in
+  check_bool "no errors" (res.Infer.errors = []);
+  check_string "remote atomic result" "numeric" (St.to_string (body_type q res))
+
+let definite_errors () =
+  let errs src = (Infer.infer_query (parse src)).Infer.errors in
+  check_bool "name(3) is a wrong-kind error" (errs {|name(3)|} <> []);
+  check_bool "axis over atomic" (errs {|(1 + 2)/child::a|} <> []);
+  check_bool "node-cmp over atomic" (errs {|"a" is "b"|} <> []);
+  check_bool "union of atomics" (errs {|(1 union 2)|} <> []);
+  check_bool "delete of an atomic"
+    (errs {|delete node count(doc("d.xml")//a)|} <> []);
+  (* but anything short of a proof stays silent *)
+  check_bool "possibly-empty atomic is not flagged"
+    (errs {|name(zero-or-one(data(doc("d.xml")//a)))|} = []);
+  check_bool "node inputs are fine"
+    (errs {|name(item-at(doc("d.xml")//a, 1))|} = []);
+  check_bool "item() stays unflagged"
+    (errs {|for $x in doc("d.xml")//a return root($x)|} = [])
+
+let dead_code_not_flagged () =
+  (* an uncalled function's parameters sit at bottom — bottom is not
+     definitely non-empty, so nothing inside may be flagged *)
+  let q =
+    parse
+      {|declare function local:dead($x) { $x/child::a };
+        count(doc("d.xml")//b)|}
+  in
+  check_bool "uncalled function not flagged"
+    ((Infer.infer_query q).Infer.errors = [])
+
+(* ---- soundness: runtime values inhabit inferred types ----------------- *)
+
+let make_net = Gen_queries.make_net
+let arb_query = Gen_queries.arb_query
+
+let prop_local_soundness =
+  qtest ~count:400 "sound: local values inhabit inferred types" arb_query
+    (fun q ->
+      let res = Infer.infer_query q in
+      let net, client = make_net () in
+      match E.run_local net ~client q with
+      | exception _ -> QCheck.assume_fail () (* ill-typed random query *)
+      | v ->
+        res.Infer.errors = []
+        && (match Infer.type_of res q.Ast.body with
+           | None -> false
+           | Some t -> St.value_inhabits v t))
+
+let prop_distributed_soundness =
+  qtest ~count:150 "sound: distributed values inhabit inferred types"
+    arb_query (fun q ->
+      let res = Infer.infer_query q in
+      let net, client = make_net () in
+      match E.run_local net ~client q with
+      | exception _ -> QCheck.assume_fail ()
+      | _ -> (
+        let net2, client2 = make_net () in
+        let r = E.run net2 ~client:client2 S.By_value q in
+        match Infer.type_of res q.Ast.body with
+        | None -> false
+        | Some t -> St.value_inhabits r.E.value t))
+
+let prop_widened_equivalence =
+  (* typed decomposition + typed (independently derived) verification:
+     every function-shipping strategy still reproduces the reference
+     answer, and no plan the widened decomposer emits is rejected by the
+     verifier (E.run gates on it — a Plan_rejected fails the property) *)
+  qtest ~count:300 "widened decompositions = local semantics" arb_query
+    (fun q ->
+      let net, client = make_net () in
+      match E.run_local net ~client q with
+      | exception _ -> QCheck.assume_fail ()
+      | reference ->
+        List.for_all
+          (fun strat ->
+            let net2, client2 = make_net () in
+            let r = E.run net2 ~client:client2 strat q in
+            Xd_lang.Value.deep_equal r.E.value reference)
+          [ S.By_value; S.By_fragment; S.By_projection ])
+
+let prop_dpoints_monotone =
+  (* typing only removes restrictions: I(G) with proofs contains I(G)
+     without. (The *inserted* set need not be monotone — a newly valid
+     higher point takes over its subtree — so the superset claim is made
+     on d-points, where it is exact.) *)
+  qtest ~count:150 "typing widens d-points monotonically" arb_query (fun q ->
+      let q =
+        Xd_core.Normalize.normalize_query (Xd_core.Inline.inline_query q)
+      in
+      let g = Xd_dgraph.Dgraph.build q.Ast.body in
+      let atomic = Infer.atomic_fact (Infer.infer_query q) in
+      let ids ctx =
+        List.map (fun e -> e.Ast.id) (Xd_core.Conditions.d_points ctx)
+      in
+      let plain = ids (Xd_core.Conditions.make_ctx S.By_value g) in
+      let widened = ids (Xd_core.Conditions.make_ctx ~atomic S.By_value g) in
+      List.for_all (fun x -> List.mem x widened) plain)
+
+(* ---- the acceptance demo: typing unlocks a decomposition -------------- *)
+
+let fib_src =
+  {|declare function local:fib($n) {
+      if ($n < 2) then $n else local:fib($n - 1) + local:fib($n - 2)
+    };
+    local:fib(count(doc("xrpc://peer1/people.xml")//person) idiv 2)|}
+
+(* a document big enough that fetching it costs more than the ~400B
+   per-call overhead of a pushed execute-at — the regime the widening
+   is for (tiny documents are genuinely cheaper to ship) *)
+let fib_net () =
+  let net = Xd_xrpc.Network.create () in
+  let client = Xd_xrpc.Network.new_peer net "client" in
+  let p1 = Xd_xrpc.Network.new_peer net "peer1" in
+  ignore
+    (Xd_xrpc.Peer.load_tree p1 ~doc_name:"people.xml"
+       (Xd_xmark.Generator.people_tree ~seed:7 ~persons:16));
+  (net, client)
+
+let widening_unlocks_decomposition () =
+  let q = parse fib_src in
+  let with_typing = Xd_core.Decompose.decompose ~typing:true S.By_value q in
+  let without = Xd_core.Decompose.decompose ~typing:false S.By_value q in
+  (* the recursive call uses count()'s result, so the structural
+     conditions reject every point; the atomic proof readmits it *)
+  check_bool "typing pushes the count"
+    (with_typing.Xd_core.Decompose.inserted <> []);
+  check_int "no push without typing" 0
+    (List.length without.Xd_core.Decompose.inserted);
+  (* both answers, and the undistributed reference, agree *)
+  let net, client = fib_net () in
+  let reference = E.run_local net ~client q in
+  let net2, client2 = fib_net () in
+  let r = E.run_plan net2 ~client:client2 with_typing in
+  check_bool "widened plan = reference"
+    (Xd_lang.Value.deep_equal r.E.value reference);
+  (* and the cost model knows it: a bounded atomic response beats
+     fetching the document *)
+  let net3, _ = fib_net () in
+  let cost p = Xd_core.Cost.total (Xd_core.Cost.estimate net3 p) in
+  check_bool "estimate reflects the win" (cost with_typing < cost without)
+
+let auto_strategy_flips () =
+  (* under --no-typing the cost model sees no pushable point and falls
+     back to data shipping; with typing, by-value wins outright *)
+  let q = parse fib_src in
+  let net, _ = fib_net () in
+  let with_typing = Xd_core.Cost.choose ~typing:true net q in
+  let without = Xd_core.Cost.choose ~typing:false net q in
+  check_string "typed choice" "pass-by-value" (S.to_string with_typing);
+  check_string "untyped choice" "data-shipping" (S.to_string without)
+
+let constant_host_folds () =
+  (* satellite: fn:concat of literals is a constant host — the plan gets
+     full placement + host-consistency verification instead of the
+     unresolved-host warning path *)
+  let q =
+    parse
+      {|execute at {concat("pe", "erA")}
+          function ($c := count(doc("xrpc://peerA/students.xml")//person))
+          { $c }|}
+  in
+  let plan = Xd_core.Decompose.plan_of_query S.By_value q in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "host folded to a literal"
+    (contains
+       (Xd_lang.Pp.query_to_string plan.Xd_core.Decompose.query)
+       {|execute at {"peerA"}|});
+  check_bool "const_string folds concat trees"
+    (Xd_core.Constfold.const_string
+       (Ast.fun_call "concat"
+          [ Ast.str "pe"; Ast.fun_call "concat" [ Ast.str "er"; Ast.str "A" ] ])
+    = Some "peerA");
+  check_bool "non-constant hosts stay"
+    (Xd_core.Constfold.const_string (Ast.var "h") = None);
+  let net, client = make_net () in
+  let r = E.run_plan net ~client plan in
+  check_string "constant-host plan runs" "4"
+    (Xd_lang.Value.serialize r.E.value)
+
+let () =
+  Alcotest.run "xd_types"
+    [
+      ( "lattice",
+        [
+          tc "laws" lattice_laws;
+          tc "normalization" normalization;
+          tc "occurrence arithmetic" occ_arith;
+        ] );
+      ( "registry",
+        [
+          tc "bijection with Builtin_names.all" registry_bijection;
+          tc "arity derived from signatures" arity_from_signatures;
+        ] );
+      ( "infer",
+        [
+          tc "examples" infer_examples;
+          tc "recursive fixpoint" infer_functions;
+          tc "execute-at closure" infer_execute_at;
+          tc "definite errors" definite_errors;
+          tc "dead code unflagged" dead_code_not_flagged;
+        ] );
+      ( "soundness",
+        [
+          prop_local_soundness;
+          prop_distributed_soundness;
+          prop_widened_equivalence;
+          prop_dpoints_monotone;
+        ] );
+      ( "widening",
+        [
+          tc "fib/count decomposes only with typing"
+            widening_unlocks_decomposition;
+          tc "auto strategy flips" auto_strategy_flips;
+          tc "constant hosts fold" constant_host_folds;
+        ] );
+    ]
