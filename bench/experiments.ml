@@ -418,6 +418,132 @@ let ablation_cost_model ~persons () =
 "
     (S.to_string (Xd_core.Cost.choose setup.net q))
 
+(* ---- effects: overlap scheduling & batched envelopes ----------------------- *)
+
+(* Sequential vs parallel/batched execution of read-only fan-out plans:
+   the effect analysis proves the calls non-interfering, the session
+   overlaps them on the simulated clock (makespan = max, not sum, of the
+   call latencies) and coalesces same-peer calls into one batched
+   envelope per round trip. Results are checked deep-equal between the
+   two modes — the schedule must never change the answer. *)
+
+type effects_row = {
+  ef_name : string;
+  ef_seq_net_s : float; (* sequential simulated wire time *)
+  ef_par_net_s : float; (* parallel/batched simulated wire time *)
+  ef_seq_messages : int;
+  ef_par_messages : int;
+  ef_calls : int;
+  ef_groups : int;
+  ef_overlapped : int;
+  ef_saved_s : float;
+  ef_batch_envelopes : int;
+  ef_batch_calls : int;
+}
+
+(* Hand-written plans (run without re-decomposition, like --plan): the
+   overlap structure under test is the plan's, not the decomposer's. *)
+let effects_workloads =
+  [
+    ( "two-peer fan-out",
+      {|(execute at {"peer1"} function ()
+           { count(doc("xrpc://peer1/xmk.xml")/descendant::person) },
+         execute at {"peer2"} function ()
+           { count(doc("xrpc://peer2/xmk.auctions.xml")/descendant::open_auction) })|}
+    );
+    ( "same-peer batch",
+      {|(execute at {"peer1"} function ()
+           { count(doc("xrpc://peer1/xmk.xml")/descendant::person) },
+         execute at {"peer1"} function ()
+           { count(doc("xrpc://peer1/xmk.xml")/descendant::age) },
+         execute at {"peer2"} function ()
+           { count(doc("xrpc://peer2/xmk.auctions.xml")/descendant::open_auction) })|}
+    );
+    ( "let-chain fan-out",
+      {|let $p := execute at {"peer1"} function ()
+           { count(doc("xrpc://peer1/xmk.xml")/descendant::person) }
+        return let $a := execute at {"peer2"} function ()
+           { count(doc("xrpc://peer2/xmk.auctions.xml")/descendant::open_auction) }
+        return ($p, $a)|} );
+  ]
+
+let effects ~persons () =
+  List.map
+    (fun (name, src) ->
+      let plan () =
+        Xd_core.Decompose.plan_of_query S.By_projection
+          (Xd_lang.Parser.parse_query src)
+      in
+      let run parallel =
+        let setup = make_setup ~persons in
+        E.run_plan ~parallel setup.net ~client:setup.client (plan ())
+      in
+      let rs = run false in
+      let rp = run true in
+      if not (Xd_lang.Value.deep_equal rs.E.value rp.E.value) then
+        failwith (name ^ ": parallel run diverges from the sequential result");
+      let ts = rs.E.timing and tp = rp.E.timing in
+      {
+        ef_name = name;
+        ef_seq_net_s = ts.E.network_s;
+        ef_par_net_s = tp.E.network_s;
+        ef_seq_messages = ts.E.messages;
+        ef_par_messages = tp.E.messages;
+        ef_calls = tp.E.calls;
+        ef_groups = tp.E.sched_groups;
+        ef_overlapped = tp.E.sched_overlapped;
+        ef_saved_s = tp.E.sched_saved_s;
+        ef_batch_envelopes = tp.E.batch_envelopes;
+        ef_batch_calls = tp.E.batch_calls;
+      })
+    effects_workloads
+
+let print_effects rows =
+  print_endline
+    "== Effects: overlap scheduling & batched envelopes (sequential vs parallel) ==";
+  print_endline
+    "   expected shape: fan-out makespan ~ max (not sum) of call latencies; one envelope per peer per round";
+  Printf.printf "%-20s %12s %12s %8s %8s %6s %6s %6s\n" "workload" "seq net(ms)"
+    "par net(ms)" "seq msg" "par msg" "calls" "groups" "batch";
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s %12.3f %12.3f %8d %8d %6d %6d %6d\n" r.ef_name
+        (r.ef_seq_net_s *. 1000.) (r.ef_par_net_s *. 1000.) r.ef_seq_messages
+        r.ef_par_messages r.ef_calls r.ef_groups r.ef_batch_envelopes)
+    rows;
+  print_newline ()
+
+(* BENCH_effects.json: the machine-readable perf record of the overlap
+   scheduler — the repo's first BENCH_*.json trajectory point. *)
+let effects_json ~persons rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"effects-overlap-batching\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"persons\": %d,\n" persons);
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"seq_network_s\": %.6f, \"par_network_s\": \
+            %.6f,\n\
+           \     \"seq_messages\": %d, \"par_messages\": %d, \"calls\": %d,\n\
+           \     \"sched_groups\": %d, \"sched_overlapped\": %d, \
+            \"sched_saved_s\": %.6f,\n\
+           \     \"batch_envelopes\": %d, \"batch_calls\": %d}%s\n"
+           r.ef_name r.ef_seq_net_s r.ef_par_net_s r.ef_seq_messages
+           r.ef_par_messages r.ef_calls r.ef_groups r.ef_overlapped
+           r.ef_saved_s r.ef_batch_envelopes r.ef_batch_calls
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_effects_json ~path ~persons rows =
+  let oc = open_out path in
+  output_string oc (effects_json ~persons rows);
+  close_out oc
+
 (* Sanity: all strategies produce the reference result. *)
 let verify ~persons () =
   let setup = make_setup ~persons in

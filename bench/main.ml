@@ -42,6 +42,13 @@ let run_ablations () =
   Experiments.ablation_bulk ~persons:!base_scale ();
   Experiments.ablation_cost_model ~persons:(!base_scale * 2) ()
 
+let run_effects () =
+  let persons = !base_scale * 2 in
+  let rows = Experiments.effects ~persons () in
+  Experiments.print_effects rows;
+  Experiments.write_effects_json ~path:"BENCH_effects.json" ~persons rows;
+  print_endline "   (written to BENCH_effects.json)\n"
+
 let run_verify () = Experiments.verify ~persons:(!base_scale * 2) ()
 let run_workloads () = Experiments.workload_suite ~persons:(!base_scale * 2) ()
 
@@ -122,6 +129,7 @@ let all () =
   run_fig9 ();
   run_fig10_11 ();
   run_workloads ();
+  run_effects ();
   run_ablations ()
 
 let () =
@@ -150,10 +158,11 @@ let () =
         | "ablation" | "ablations" -> run_ablations ()
         | "verify" -> run_verify ()
         | "workloads" -> run_workloads ()
+        | "effects" -> run_effects ()
         | "micro" -> micro ()
         | other ->
           Printf.eprintf
-            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|verify|micro|all)\n"
+            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|verify|micro|all)\n"
             other;
           exit 1)
       cmds

@@ -2,7 +2,8 @@
    distribution strategy.
 
      xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
-          [--types] [--no-typing] [--verify-plan] [--plan] [--force]
+          [--types] [--effects] [--no-parallel] [--no-typing]
+          [--verify-plan] [--plan] [--force]
           [--fault-spec SPEC] [--fault-seed N] [--timeout S] [--retries N]
           [--txn] [--journal-dir DIR] [--trace] [--trace-out FILE]
           [--trace-format jsonl|chrome] [--metrics] QUERY
@@ -64,6 +65,23 @@ let types_arg =
      still fail the run."
   in
   Arg.(value & flag & info [ "types" ] ~doc)
+
+let effects_arg =
+  let doc =
+    "Print the static effect analysis — per-vertex read/write footprints \
+     over (document, projection-path) pairs, per-function summaries, and \
+     the overlap schedule of provably non-interfering execute-at calls — \
+     and exit without executing."
+  in
+  Arg.(value & flag & info [ "effects" ] ~doc)
+
+let no_parallel_arg =
+  let doc =
+    "Disable the effect-analysis overlap schedule: every remote call runs \
+     (and bills the simulated clock) sequentially, with no batched \
+     envelopes. Reproduces the pre-scheduling baseline exactly."
+  in
+  Arg.(value & flag & info [ "no-parallel" ] ~doc)
 
 let no_typing_arg =
   let doc =
@@ -190,9 +208,10 @@ let parse_doc_spec s =
           String.sub target (sl + 1) (String.length target - sl - 1),
           file ))
 
-let run docs strategy explain stats code_motion types no_typing verify_plan
-    as_plan force fault_spec fault_seed timeout_s retries txn journal_dir
-    trace trace_out trace_format metrics query_string query_file =
+let run docs strategy explain stats code_motion types effects no_parallel
+    no_typing verify_plan as_plan force fault_spec fault_seed timeout_s
+    retries txn journal_dir trace trace_out trace_format metrics query_string
+    query_file =
   let typing = not no_typing in
   let query_src =
     match (query_string, query_file) with
@@ -286,6 +305,11 @@ let run docs strategy explain stats code_motion types no_typing verify_plan
           errors;
         exit 1);
       if types then exit 0;
+      if effects then begin
+        let eres = Xd_effects.Effects.analyze q in
+        Format.printf "%a" (fun fmt () -> Xd_effects.Effects.pp_dump fmt q eres) ();
+        exit 0
+      end;
       let strategy =
         match strategy with
         | `Fixed s -> s
@@ -310,7 +334,7 @@ let run docs strategy explain stats code_motion types no_typing verify_plan
       match
         Xd_core.Executor.run_plan ~timeout_s ~retries
           ~txn:(if txn then `Always else `Auto)
-          ~force ?trace:tracer net ~client plan
+          ~parallel:(not no_parallel) ~force ?trace:tracer net ~client plan
       with
       | exception Xd_core.Executor.Plan_rejected report ->
         Format.eprintf "plan rejected by the distribution-safety verifier:@.";
@@ -371,7 +395,16 @@ let run docs strategy explain stats code_motion types no_typing verify_plan
           then
             Printf.eprintf "txn: staged %d, commits %d, aborts %d\n"
               t.Xd_core.Executor.txn_staged t.Xd_core.Executor.txn_commits
-              t.Xd_core.Executor.txn_aborts
+              t.Xd_core.Executor.txn_aborts;
+          if t.Xd_core.Executor.sched_groups > 0 then
+            Printf.eprintf
+              "sched: groups %d, overlapped calls %d, saved %.3fms \
+               (sim)\nbatch: envelopes %d, calls %d\n"
+              t.Xd_core.Executor.sched_groups
+              t.Xd_core.Executor.sched_overlapped
+              (t.Xd_core.Executor.sched_saved_s *. 1000.)
+              t.Xd_core.Executor.batch_envelopes
+              t.Xd_core.Executor.batch_calls
           end
         end;
         export_trace ();
@@ -384,8 +417,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
-      $ code_motion_arg $ types_arg $ no_typing_arg $ verify_plan_arg
-      $ plan_arg $ force_arg
+      $ code_motion_arg $ types_arg $ effects_arg $ no_parallel_arg
+      $ no_typing_arg $ verify_plan_arg $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg
       $ trace_format_arg $ metrics_arg $ query_string_arg $ query_file_arg)

@@ -1,7 +1,8 @@
 (* Constant folding for execute-at host expressions.
 
-   A host expression built from string literals and fn:concat is a
-   compile-time constant even though it is not syntactically a literal.
+   A host expression built from string literals, (nested) fn:concat and
+   fn:string-join over literal sequences is a compile-time constant even
+   though it is not syntactically a literal.
    Folding it into one literal lets every host-sensitive analysis — the
    dependency graph's URI classification, update placement, the
    verifier's host-consistency check, the cost model's per-site
@@ -34,7 +35,28 @@ let rec const_string (e : Ast.expr) : string option =
         | Some s, Some s' -> Some (s ^ s')
         | _ -> None)
       (Some "") args
+  | Ast.Fun_call ("string-join", [ parts; sep ]) -> (
+    (* mirrors fn:string-join on constant inputs: the string value of
+       each item of the parts sequence, joined by the separator *)
+    match (const_strings parts, const_string sep) with
+    | Some ps, Some s -> Some (String.concat s ps)
+    | _ -> None)
   | _ -> None
+
+(* The compile-time item strings of a sequence-valued expression, when
+   every item is itself constant. Sequences flatten exactly as the
+   evaluator's Seq does (concat_map), so ("a", ("b", "c")) yields three
+   items, not two. *)
+and const_strings (e : Ast.expr) : string list option =
+  match e.Ast.desc with
+  | Ast.Seq es ->
+    List.fold_left
+      (fun acc sub ->
+        match (acc, const_strings sub) with
+        | Some ss, Some ss' -> Some (ss @ ss')
+        | _ -> None)
+      (Some []) es
+  | _ -> Option.map (fun s -> [ s ]) (const_string e)
 
 (* Rewrite every execute-at whose host folds to a constant but is not
    already a plain string literal. Ids of untouched vertices are

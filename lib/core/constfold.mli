@@ -6,8 +6,14 @@
 
 val const_string : Xd_lang.Ast.expr -> string option
 (** The compile-time string value of an expression, when it is built
-    only from literals and [fn:concat]; matches the evaluator's string
-    semantics on those shapes exactly. *)
+    only from literals, (nested) [fn:concat], and [fn:string-join] over
+    literal sequences; matches the evaluator's string semantics on those
+    shapes exactly. *)
+
+val const_strings : Xd_lang.Ast.expr -> string list option
+(** The compile-time item strings of a sequence-valued expression, when
+    every item is constant; sequences flatten as the evaluator's
+    sequence construction does. *)
 
 val fold_hosts : Xd_lang.Ast.expr -> Xd_lang.Ast.expr
 (** Rewrite every execute-at whose host folds to a constant (and is not

@@ -26,9 +26,15 @@ type estimate = {
   fetched_bytes : int; (* full documents moved (data shipping) *)
   response_bytes_est : int; (* estimated message payloads *)
   overhead_bytes : int; (* per-message envelope overhead *)
+  overlap_saved_bytes : int;
+      (* transfer the overlap schedule takes off the critical path:
+         within a group, per-peer batched round trips run concurrently,
+         so the group costs its most expensive peer, not the sum *)
 }
 
-let total e = e.fetched_bytes + e.response_bytes_est + e.overhead_bytes
+let total e =
+  e.fetched_bytes + e.response_bytes_est + e.overhead_bytes
+  - e.overlap_saved_bytes
 
 let reduction_factor = function
   | Strategy.Data_shipping -> 1.0
@@ -108,7 +114,14 @@ let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
       q.Ast.body;
     !n
   in
-  let fetched = ref 0 and responses = ref 0.0 in
+  let fetched = ref 0 in
+  (* response bytes are attributed per execute-at body so the overlap
+     computation below can price each scheduled call individually *)
+  let resp_by_body = Hashtbl.create 8 in
+  let add_resp body_id b =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt resp_by_body body_id) in
+    Hashtbl.replace resp_by_body body_id (cur +. b)
+  in
   let seen_fetch = Hashtbl.create 8 in
   let seen_atomic = Hashtbl.create 8 in
   List.iter
@@ -126,16 +139,14 @@ let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
                per referenced document *)
             if not (Hashtbl.mem seen_atomic body_id) then begin
               Hashtbl.replace seen_atomic body_id ();
-              responses := !responses +. float_of_int (atom_bytes * max n 1)
+              add_resp body_id (float_of_int (atom_bytes * max n 1))
             end
           | Some None ->
             (* atomic but unbounded (e.g. one string per selected node):
                far below any subtree-shipping reduction factor *)
-            responses :=
-              !responses +. float_of_int (max atom_bytes (bytes / 20))
+            add_resp body_id (float_of_int (max atom_bytes (bytes / 20)))
           | None ->
-            responses :=
-              !responses +. (reduction_factor strategy *. float_of_int bytes))
+            add_resp body_id (reduction_factor strategy *. float_of_int bytes))
         | _ ->
           (* fetched whole (by the client, or by a foreign server) *)
           let key = (uri, Option.map fst ctx) in
@@ -144,11 +155,64 @@ let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
             fetched := !fetched + bytes
           end))
     sites;
+  let responses = Hashtbl.fold (fun _ b acc -> acc +. b) resp_by_body 0.0 in
+  (* overlap schedule: within a group the per-peer batched round trips run
+     concurrently, so a group's transfer sits on the critical path of its
+     most expensive peer — the rest is saved. Batching also coalesces k
+     same-peer calls into one envelope, saving (k-1) overheads. A plan
+     with no overlap groups prices exactly as before. *)
+  let overlap_saved =
+    let module E = Xd_effects.Effects in
+    match E.schedule (E.analyze q) q with
+    | [] -> 0.0
+    | groups ->
+      let site = Hashtbl.create 8 in
+      let rec idx (e : Ast.expr) =
+        (match e.Ast.desc with
+        | Ast.Execute_at x ->
+          let host =
+            match x.Ast.host.Ast.desc with
+            | Ast.Literal (Ast.A_string h) -> h
+            | _ -> Printf.sprintf "?%d" e.Ast.id
+          in
+          Hashtbl.replace site e.Ast.id (host, x.Ast.body.Ast.id)
+        | _ -> ());
+        List.iter idx (Ast.children e)
+      in
+      idx q.Ast.body;
+      List.iter (fun f -> idx f.Ast.f_body) q.Ast.funcs;
+      let resp body_id =
+        Option.value ~default:0.0 (Hashtbl.find_opt resp_by_body body_id)
+      in
+      let env = float_of_int envelope_overhead in
+      List.fold_left
+        (fun acc (g : E.group) ->
+          match List.filter_map (fun m -> Hashtbl.find_opt site m) g.E.members with
+          | [] | [ _ ] -> acc (* nothing overlaps a lone call statically *)
+          | members ->
+            let sequential =
+              List.fold_left (fun a (_, b) -> a +. resp b +. env) 0.0 members
+            in
+            let peers = Hashtbl.create 4 in
+            List.iter
+              (fun (h, b) ->
+                let cur = Option.value ~default:0.0 (Hashtbl.find_opt peers h) in
+                Hashtbl.replace peers h (cur +. resp b))
+              members;
+            (* each peer gets one batched envelope; the group costs its
+               slowest peer *)
+            let critical =
+              Hashtbl.fold (fun _ per acc -> Float.max acc (per +. env)) peers 0.0
+            in
+            acc +. Float.max 0.0 (sequential -. critical))
+        0.0 groups
+  in
   {
     strategy;
     fetched_bytes = !fetched;
-    response_bytes_est = int_of_float !responses;
+    response_bytes_est = int_of_float responses;
     overhead_bytes = calls * envelope_overhead;
+    overlap_saved_bytes = int_of_float overlap_saved;
   }
 
 (* Estimate every strategy (sharing nothing: each gets its own plan). *)
@@ -176,4 +240,6 @@ let choose ?code_motion ?typing net (q : Ast.query) : Strategy.t =
 let pp_estimate fmt e =
   Fmt.pf fmt "%-20s fetched=%8dB responses~%8dB overhead=%5dB total~%8dB"
     (Strategy.to_string e.strategy)
-    e.fetched_bytes e.response_bytes_est e.overhead_bytes (total e)
+    e.fetched_bytes e.response_bytes_est e.overhead_bytes (total e);
+  if e.overlap_saved_bytes > 0 then
+    Fmt.pf fmt " (overlap saves %dB)" e.overlap_saved_bytes

@@ -10,9 +10,17 @@ type estimate = {
   fetched_bytes : int;  (** full documents moved (data shipping) *)
   response_bytes_est : int;  (** estimated message payloads *)
   overhead_bytes : int;  (** per-call envelope overhead *)
+  overlap_saved_bytes : int;
+      (** transfer the effect-analysis overlap schedule takes off the
+          critical path: within a group, per-peer batched round trips run
+          concurrently and same-peer calls share one envelope, so the
+          group costs its most expensive peer instead of the sum. Zero
+          when the plan has no overlap groups. *)
 }
 
 val total : estimate -> int
+(** [fetched + responses + overhead − overlap_saved]. *)
+
 val reduction_factor : Strategy.t -> float
 val envelope_overhead : int
 

@@ -24,6 +24,12 @@ type timing = {
   txn_staged : int; (* update operations staged at remote participants *)
   txn_commits : int; (* distributed transactions committed *)
   txn_aborts : int; (* distributed transactions aborted *)
+  calls : int; (* remote execute-at calls issued *)
+  sched_groups : int; (* overlap groups the scheduler executed *)
+  sched_overlapped : int; (* calls that ran overlapped on the sim clock *)
+  sched_saved_s : float; (* simulated wire time saved by overlap *)
+  batch_envelopes : int; (* coalesced multi-call request envelopes *)
+  batch_calls : int; (* calls that travelled inside batch envelopes *)
 }
 
 let total_time t =
@@ -41,10 +47,22 @@ type run = {
 
 exception Plan_rejected of Xd_verify.Verify.report
 
-let verify_plan ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
+let verify_plan ?schedule ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
   Xd_verify.Verify.verify
     ~self:(Xd_xrpc.Peer.name client)
-    plan.Decompose.strategy plan.Decompose.query
+    ?schedule plan.Decompose.strategy plan.Decompose.query
+
+(* The effect analysis's overlap schedule for a plan, as this client
+   would run it: [(anchor, members)] pairs of Seq/Let/For anchor vertices
+   and the provably non-interfering read-only execute-at calls under
+   them. Empty when nothing can overlap. *)
+let plan_schedule ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
+  let module E = Xd_effects.Effects in
+  let q = plan.Decompose.query in
+  let res = E.analyze ~self:(Xd_xrpc.Peer.name client) q in
+  List.map
+    (fun (g : E.group) -> (g.E.anchor, g.E.members))
+    (E.schedule res q)
 
 (* Where may updating expressions execute? A static walk over the plan
    that tracks the site of the code being visited: top-level code runs at
@@ -96,9 +114,12 @@ let txn_needed ~self (q : Ast.query) =
    [~force:true] — distributed execution of such a plan would silently
    diverge from the local reference semantics. *)
 let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
-    ?(force = false) ?trace (net : Xd_xrpc.Network.t)
+    ?(parallel = true) ?(force = false) ?trace (net : Xd_xrpc.Network.t)
     ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) : run =
-  let report = verify_plan ~client plan in
+  (* the overlap schedule rides into both the verifier (which re-derives
+     the footprints and vets it) and the session (which executes it) *)
+  let schedule = if parallel then plan_schedule ~client plan else [] in
+  let report = verify_plan ~schedule ~client plan in
   if (not force) && not (Xd_verify.Verify.ok report) then
     raise (Plan_rejected report);
   let strategy = plan.Decompose.strategy in
@@ -110,7 +131,7 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
     trace;
   let session =
     Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries ?dedup_cap
-      ?tracer:trace net client
+      ~schedule ?tracer:trace net client
       (Strategy.passing strategy)
   in
   let use_txn =
@@ -164,16 +185,22 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
       txn_staged = St.txn_staged stats;
       txn_commits = St.txn_commits stats;
       txn_aborts = St.txn_aborts stats;
+      calls = St.calls stats;
+      sched_groups = St.sched_groups stats;
+      sched_overlapped = St.sched_overlapped stats;
+      sched_saved_s = St.sched_saved_s stats;
+      batch_envelopes = St.batch_envelopes stats;
+      batch_calls = St.batch_calls stats;
     }
   in
   { value; plan; timing; trace_root }
 
-let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?code_motion ?force
-    ?trace (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
-    (strategy : Strategy.t) (q : Ast.query) : run =
+let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?parallel
+    ?code_motion ?force ?trace (net : Xd_xrpc.Network.t)
+    ~(client : Xd_xrpc.Peer.t) (strategy : Strategy.t) (q : Ast.query) : run =
   let plan = Decompose.decompose ?code_motion strategy q in
-  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?force ?trace net
-    ~client plan
+  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?parallel ?force
+    ?trace net ~client plan
 
 (* Coordinator crash recovery: a fresh session for the client re-drives
    every transaction its journal shows as begun but unresolved. The

@@ -22,6 +22,14 @@ type timing = {
   txn_staged : int;  (** update operations staged at remote participants *)
   txn_commits : int;  (** distributed transactions committed *)
   txn_aborts : int;  (** distributed transactions aborted *)
+  calls : int;  (** remote execute-at calls issued *)
+  sched_groups : int;  (** overlap groups the scheduler executed *)
+  sched_overlapped : int;
+      (** calls that ran overlapped on the simulated clock *)
+  sched_saved_s : float;
+      (** simulated wire time saved by overlap (sum − critical path) *)
+  batch_envelopes : int;  (** coalesced multi-call request envelopes sent *)
+  batch_calls : int;  (** calls that travelled inside batch envelopes *)
 }
 
 val total_time : timing -> float
@@ -42,9 +50,20 @@ exception Plan_rejected of Xd_verify.Verify.report
     distributed would silently diverge from the local semantics. *)
 
 val verify_plan :
-  client:Xd_xrpc.Peer.t -> Decompose.plan -> Xd_verify.Verify.report
+  ?schedule:(int * int list) list -> client:Xd_xrpc.Peer.t ->
+  Decompose.plan -> Xd_verify.Verify.report
 (** Run the static verifier on a plan as this client would see it (calls
-    targeting the client's own peer name are local evaluation). *)
+    targeting the client's own peer name are local evaluation).
+    [schedule] additionally submits an overlap schedule for vetting: the
+    verifier re-derives every member's effect footprint and rejects
+    non-read-only or interfering members. *)
+
+val plan_schedule :
+  client:Xd_xrpc.Peer.t -> Decompose.plan -> (int * int list) list
+(** The effect analysis's overlap schedule for the plan — [(anchor,
+    members)] pairs of Seq/Let/For anchors and the provably
+    non-interfering read-only [execute at] calls under them (see
+    {!Xd_effects.Effects.schedule}). Empty when nothing may overlap. *)
 
 val txn_needed : self:string -> Xd_lang.Ast.query -> bool
 (** Static site analysis for [`Auto]: [true] iff updating expressions may
@@ -59,6 +78,7 @@ val run_plan :
   ?retries:int ->
   ?dedup_cap:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
+  ?parallel:bool ->
   ?force:bool ->
   ?trace:Xd_obs.Trace.t ->
   Xd_xrpc.Network.t ->
@@ -72,6 +92,13 @@ val run_plan :
     [`Always] runs the query through {!Xd_xrpc.Session.execute_txn},
     [`Off] never does, and [`Auto] (the default) consults {!txn_needed}
     so that single-site queries keep a wire identical to [`Off].
+
+    [parallel] (default true) computes the effect-analysis overlap
+    schedule ({!plan_schedule}), has the verifier vet it, and passes it
+    to the session: provably non-interfering read-only calls bill the
+    simulated clock by critical path and, on a fault-free wire, coalesce
+    per peer into one batched envelope per round trip.
+    [~parallel:false] reproduces the sequential baseline exactly.
 
     [trace] records the execution as a span tree in the given tracer
     (simulated clock pointed at the run's wire time, root span in
@@ -87,6 +114,7 @@ val run :
   ?retries:int ->
   ?dedup_cap:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
+  ?parallel:bool ->
   ?code_motion:bool ->
   ?force:bool ->
   ?trace:Xd_obs.Trace.t ->

@@ -1,0 +1,624 @@
+(* Static effect and interference analysis: an abstract interpretation of
+   XCore computing, per expression and per user function, a read/write
+   footprint — sets of (document, projection-path) pairs plus "anywhere"
+   bits — by the same monotone-fixpoint scheme as lib/types/infer.ml.
+
+   The value abstraction tracks *provenance*: which documents (and which
+   paths within them) the nodes of a value may have been selected from.
+   An axis step both extends the provenance paths of its input and records
+   the extended selection as a read; content-consuming positions
+   (atomization, serialization, constructors) record the whole subtrees of
+   their operands as read; XQUF primitives record writes at their target's
+   provenance (widened to the parent selection where the update can
+   disturb sibling selections: insert before/after and rename).
+
+   Documents are keyed canonically as "host/name": an absolute
+   xrpc://h/n URI is (h, n); a relative URI names a document at the site
+   the expression executes on, which the walk threads through execute-at
+   boundaries. A computed URI or unknown site widens to "any document".
+
+   Soundness contract (enforced by the QCheck harness in
+   test/test_effects.ml): every node the evaluator observes through an
+   axis step over a store document lies inside the evaluation of some
+   inferred read path of that document. The scheduler only ever overlaps
+   calls whose footprints are pure (no writes), and the verifier
+   re-derives these footprints independently to vet any schedule. *)
+
+module Ast = Xd_lang.Ast
+module Path = Xd_projection.Path
+module Smap = Map.Make (String)
+
+(* ---- bounded path sets ------------------------------------------------ *)
+
+(* The lattice must be finite: path sets are capped in breadth and paths
+   in depth; exceeding either widens to the whole-document path
+   (descendant-or-self::node() from the root), which every selection is
+   a subset of. *)
+let max_paths = 8
+let max_steps = 6
+
+let top_path : Path.t = [ Path.Axis (Ast.Descendant_or_self, Ast.Kind_node) ]
+
+module Pset = struct
+  type t = Path.t list (* sorted, deduplicated *)
+
+  let norm (ps : Path.t list) : t =
+    let ps =
+      List.map
+        (fun p -> if List.length p > max_steps then top_path else p)
+        ps
+    in
+    let ps = List.sort_uniq compare ps in
+    if List.length ps > max_paths || List.mem top_path ps then [ top_path ]
+    else ps
+
+  let root : t = [ [] ] (* the document node itself *)
+  let top : t = [ top_path ]
+  let paths (t : t) : Path.t list = t
+  let union a b = norm (a @ b)
+  let extend (t : t) (step : Path.pstep) = norm (List.map (fun p -> p @ [ step ]) t)
+
+  (* Close each selection over its subtree: the form recorded when the
+     content below the selected nodes is consumed. *)
+  let subtree (t : t) =
+    norm
+      (List.map
+         (fun p ->
+           match List.rev p with
+           | Path.Axis (Ast.Descendant_or_self, Ast.Kind_node) :: _ -> p
+           | _ -> p @ [ Path.Axis (Ast.Descendant_or_self, Ast.Kind_node) ])
+         t)
+
+  (* Widen a write selection to the parent level: the form recorded for
+     updates that can disturb the *sibling* selections of their target
+     (insert before/after changes the parent's child list; rename changes
+     what a name test on the parent selects). Only a literal child (or
+     attribute) last step can be peeled soundly; anything else widens to
+     the whole document. *)
+  let parents (t : t) =
+    norm
+      (List.map
+         (fun p ->
+           match List.rev p with
+           | Path.Axis ((Ast.Child | Ast.Attribute), _) :: rest ->
+             List.rev rest
+           | [] -> [] (* the root has no parent; keep the root *)
+           | _ -> top_path)
+         t)
+
+  (* May the two selections interfere — share nodes, or stand in an
+     ancestor/descendant relation (a write at a node disturbs its whole
+     subtree, and reads recorded as subtree closures cover the rest)?
+     The only disjointness proofs are two literal child steps with
+     different names at the same depth, and a child step against an
+     attribute step (attribute nodes never lie inside element-child
+     subtrees). *)
+  let rec may_overlap_paths (p : Path.t) (q : Path.t) =
+    match (p, q) with
+    | [], _ | _, [] -> true
+    | Path.Axis (Ast.Child, Ast.Name_test a) :: p',
+      Path.Axis (Ast.Child, Ast.Name_test b) :: q' ->
+      if a = b then may_overlap_paths p' q' else false
+    | Path.Axis (Ast.Attribute, Ast.Name_test a) :: _,
+      Path.Axis (Ast.Attribute, Ast.Name_test b) :: _
+      when a <> b ->
+      false
+    | Path.Axis (Ast.Child, _) :: _, Path.Axis (Ast.Attribute, _) :: _
+    | Path.Axis (Ast.Attribute, _) :: _, Path.Axis (Ast.Child, _) :: _ ->
+      false
+    | _ -> true
+
+  let overlap (a : t) (b : t) =
+    List.exists (fun p -> List.exists (may_overlap_paths p) b) a
+
+  let to_string (t : t) =
+    String.concat "," (List.map Path.to_string t)
+end
+
+(* ---- the value abstraction and footprints ----------------------------- *)
+
+(* Provenance of a value: per-document path selections its nodes may come
+   from; [vany] = may contain nodes of unknown documents. *)
+type absval = { srcs : Pset.t Smap.t; vany : bool }
+
+type footprint = {
+  reads : Pset.t Smap.t;
+  r_any : bool;
+  writes : Pset.t Smap.t;
+  w_any : bool;
+}
+
+let av_empty = { srcs = Smap.empty; vany = false }
+let av_any = { srcs = Smap.empty; vany = true }
+let fp_empty = { reads = Smap.empty; r_any = false; writes = Smap.empty; w_any = false }
+
+let map_union = Smap.union (fun _ a b -> Some (Pset.union a b))
+
+let av_join a b = { srcs = map_union a.srcs b.srcs; vany = a.vany || b.vany }
+
+let fp_join a b =
+  {
+    reads = map_union a.reads b.reads;
+    r_any = a.r_any || b.r_any;
+    writes = map_union a.writes b.writes;
+    w_any = a.w_any || b.w_any;
+  }
+
+let av_equal a b = a.vany = b.vany && Smap.equal ( = ) a.srcs b.srcs
+
+let fp_equal a b =
+  a.r_any = b.r_any && a.w_any = b.w_any
+  && Smap.equal ( = ) a.reads b.reads
+  && Smap.equal ( = ) a.writes b.writes
+
+let pure fp = (not fp.w_any) && Smap.is_empty fp.writes
+
+let reads fp = List.map (fun (d, ps) -> (d, Pset.paths ps)) (Smap.bindings fp.reads)
+let writes fp = List.map (fun (d, ps) -> (d, Pset.paths ps)) (Smap.bindings fp.writes)
+let reads_any fp = fp.r_any
+let writes_any fp = fp.w_any
+
+(* Does a write set touch an access (read or write) set? *)
+let sets_touch (w : Pset.t Smap.t) ~w_any (acc : Pset.t Smap.t) ~acc_any =
+  if w_any then acc_any || not (Smap.is_empty acc)
+  else if acc_any then not (Smap.is_empty w)
+  else
+    Smap.exists
+      (fun doc ps ->
+        match Smap.find_opt doc acc with
+        | Some qs -> Pset.overlap ps qs
+        | None -> false)
+      w
+
+(* Two footprints interfere when either's writes may touch the other's
+   reads or writes. Read-read never interferes. *)
+let interferes a b =
+  let touches w =
+    sets_touch w.writes ~w_any:w.w_any
+      (map_union b.reads b.writes)
+      ~acc_any:(b.r_any || b.w_any)
+  and touches' w =
+    sets_touch w.writes ~w_any:w.w_any
+      (map_union a.reads a.writes)
+      ~acc_any:(a.r_any || a.w_any)
+  in
+  touches a || touches' b
+
+(* ---- footprint helpers ------------------------------------------------- *)
+
+let read_of av =
+  { fp_empty with reads = av.srcs; r_any = av.vany }
+
+let subtree_read av =
+  { fp_empty with reads = Smap.map Pset.subtree av.srcs; r_any = av.vany }
+
+let write_of av =
+  { fp_empty with writes = av.srcs; w_any = av.vany }
+
+let parent_write av =
+  {
+    fp_empty with
+    writes = map_union av.srcs (Smap.map Pset.parents av.srcs);
+    w_any = av.vany;
+  }
+
+(* Canonical document key: "host/name". *)
+let doc_key site uri =
+  match Xd_dgraph.Dgraph.split_xrpc_uri uri with
+  | Some (h, n) -> Some (h ^ "/" ^ n)
+  | None -> ( match site with Some s -> Some (s ^ "/" ^ uri) | None -> None)
+
+(* ---- interpreter state ------------------------------------------------ *)
+
+type fstate = {
+  mutable params : absval list;
+  mutable result : absval;
+  mutable eff : footprint; (* effects of one call of the body *)
+}
+
+type st = {
+  funcs : Ast.func list;
+  ftab : (string, fstate) Hashtbl.t;
+  fps : (int, footprint) Hashtbl.t; (* vertex id -> footprint of its eval *)
+  mutable changed : bool;
+}
+
+type result = {
+  fps : (int, footprint) Hashtbl.t;
+  fsummaries : (string, footprint) Hashtbl.t;
+}
+
+let footprint res id = Hashtbl.find_opt res.fps id
+let footprint_of res (e : Ast.expr) = footprint res e.Ast.id
+
+(* ---- builtin classification ------------------------------------------- *)
+
+(* Builtins that return (a subset of) their argument nodes unchanged and
+   read no content. *)
+let passthrough_builtins =
+  [
+    "reverse"; "subsequence"; "item-at"; "insert-before"; "remove";
+    "zero-or-one"; "exactly-one"; "one-or-more";
+  ]
+
+(* Builtins reading only shallow node properties (name, uri) — recorded as
+   reads of the selections themselves, so a concurrent rename/replace at
+   those nodes is seen as interfering. *)
+let shallow_builtins = [ "name"; "local-name"; "base-uri"; "document-uri" ]
+
+(* Builtins that inspect no node content at all. *)
+let noread_builtins =
+  [ "count"; "empty"; "exists"; "not"; "boolean"; "true"; "false";
+    "static-base-uri"; "default-collation"; "current-dateTime"; "error" ]
+
+(* ---- the abstract walk ------------------------------------------------ *)
+
+let record (st : st) (e : Ast.expr) fp =
+  Hashtbl.replace st.fps e.Ast.id fp;
+  fp
+
+let rec walk (st : st) env site (e : Ast.expr) : absval * footprint =
+  let av, fp =
+    match e.Ast.desc with
+    | Ast.Literal _ -> (av_empty, fp_empty)
+    | Ast.Var_ref v -> (
+      match Smap.find_opt v env with
+      | Some av -> (av, fp_empty)
+      | None -> (av_any, fp_empty))
+    | Ast.Seq es ->
+      List.fold_left
+        (fun (av, fp) c ->
+          let av', fp' = walk st env site c in
+          (av_join av av', fp_join fp fp'))
+        (av_empty, fp_empty) es
+    | Ast.For (v, src, body) ->
+      let asrc, esrc = walk st env site src in
+      let ab, eb = walk st (Smap.add v asrc env) site body in
+      (ab, fp_join esrc eb)
+    | Ast.Let (v, value, body) ->
+      let av, ev = walk st env site value in
+      let ab, eb = walk st (Smap.add v av env) site body in
+      (ab, fp_join ev eb)
+    | Ast.If (c, t, f) ->
+      let _, ec = walk st env site c in
+      let at, et = walk st env site t in
+      let af, ef = walk st env site f in
+      (av_join at af, fp_join ec (fp_join et ef))
+    | Ast.Typeswitch (e0, cases, dv, dflt) ->
+      let a0, e0f = walk st env site e0 in
+      let branches =
+        List.map (fun (cv, _, ce) -> walk st (Smap.add cv a0 env) site ce) cases
+        @ [ walk st (Smap.add dv a0 env) site dflt ]
+      in
+      List.fold_left
+        (fun (av, fp) (av', fp') -> (av_join av av', fp_join fp fp'))
+        (av_empty, e0f) branches
+    | Ast.Value_cmp (_, a, b) | Ast.Arith (_, a, b) ->
+      (* both operands atomize: their subtrees are read *)
+      let aa, ea = walk st env site a in
+      let ab, eb = walk st env site b in
+      ( av_empty,
+        fp_join (fp_join ea eb) (fp_join (subtree_read aa) (subtree_read ab)) )
+    | Ast.Node_cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      (* identity / effective-boolean tests: no content is read *)
+      let _, ea = walk st env site a in
+      let _, eb = walk st env site b in
+      (av_empty, fp_join ea eb)
+    | Ast.Order_by (v, src, specs, body) ->
+      let asrc, esrc = walk st env site src in
+      let env' = Smap.add v asrc env in
+      let espec =
+        List.fold_left
+          (fun fp (spec, _) ->
+            let aspec, ef = walk st env' site spec in
+            fp_join fp (fp_join ef (subtree_read aspec)))
+          fp_empty specs
+      in
+      let ab, eb = walk st env' site body in
+      (ab, fp_join esrc (fp_join espec eb))
+    | Ast.Node_set (_, a, b) ->
+      let aa, ea = walk st env site a in
+      let ab, eb = walk st env site b in
+      (av_join aa ab, fp_join ea eb)
+    | Ast.Doc_constr c | Ast.Text_constr c ->
+      (* content is copied/serialized into a fresh document *)
+      let ac, ec = walk st env site c in
+      (av_empty, fp_join ec (subtree_read ac))
+    | Ast.Elem_constr (ns, c) | Ast.Attr_constr (ns, c) ->
+      let en =
+        match ns with
+        | Ast.Fixed_name _ -> fp_empty
+        | Ast.Computed_name ne ->
+          let an, ef = walk st env site ne in
+          fp_join ef (subtree_read an)
+      in
+      let ac, ec = walk st env site c in
+      (av_empty, fp_join en (fp_join ec (subtree_read ac)))
+    | Ast.Step (e1, ax, test) ->
+      let a1, e1f = walk st env site e1 in
+      let srcs = Smap.map (fun ps -> Pset.extend ps (Path.Axis (ax, test))) a1.srcs in
+      let av = { srcs; vany = a1.vany } in
+      (av, fp_join e1f (read_of av))
+    | Ast.Fun_call (name, args) -> walk_call st env site e name args
+    | Ast.Execute_at x -> walk_execute_at st env site x
+    | Ast.Insert_node (src, pos, tgt) ->
+      let asrc, esrc = walk st env site src in
+      let atgt, etgt = walk st env site tgt in
+      let w =
+        match pos with
+        | Ast.Into -> write_of atgt
+        | Ast.Before | Ast.After -> parent_write atgt
+      in
+      (av_empty, fp_join esrc (fp_join (subtree_read asrc) (fp_join etgt w)))
+    | Ast.Delete_node tgt ->
+      let atgt, etgt = walk st env site tgt in
+      (av_empty, fp_join etgt (write_of atgt))
+    | Ast.Replace_value (tgt, v) ->
+      let atgt, etgt = walk st env site tgt in
+      let av, ev = walk st env site v in
+      ( av_empty,
+        fp_join etgt (fp_join ev (fp_join (subtree_read av) (write_of atgt))) )
+    | Ast.Rename_node (tgt, n) ->
+      let atgt, etgt = walk st env site tgt in
+      let an, en = walk st env site n in
+      ( av_empty,
+        fp_join etgt (fp_join en (fp_join (subtree_read an) (parent_write atgt))) )
+  in
+  ignore (record st e fp);
+  (av, fp)
+
+and walk_call st env site (e : Ast.expr) name args =
+  let argvs = List.map (walk st env site) args in
+  let arg_effs = List.fold_left (fun fp (_, ef) -> fp_join fp ef) fp_empty argvs in
+  let argavs = List.map fst argvs in
+  match List.find_opt (fun f -> f.Ast.f_name = name) st.funcs with
+  | Some f ->
+    let fs = Hashtbl.find st.ftab name in
+    (if List.length argavs = List.length f.Ast.f_params then begin
+       let params' = List.map2 av_join fs.params argavs in
+       if not (List.for_all2 av_equal params' fs.params) then begin
+         fs.params <- params';
+         st.changed <- true
+       end
+     end);
+    (fs.result, fp_join arg_effs fs.eff)
+  | None -> walk_builtin st env site e name args argavs arg_effs
+
+and walk_builtin _st _env site _e name args argavs arg_effs =
+  let all_args = List.fold_left av_join av_empty argavs in
+  match name with
+  | "doc" | "collection" -> (
+    let uri =
+      match args with
+      | [ { Ast.desc = Ast.Literal (Ast.A_string u); _ } ] -> Some u
+      | _ -> None
+    in
+    match Option.bind uri (doc_key site) with
+    | Some key ->
+      let av = { srcs = Smap.singleton key Pset.root; vany = false } in
+      (av, fp_join arg_effs (read_of av))
+    | None ->
+      (* computed URI or unknown site: may read any document *)
+      (av_any, fp_join arg_effs { fp_empty with r_any = true }))
+  | "root" ->
+    let av =
+      { srcs = Smap.map (fun _ -> Pset.root) all_args.srcs; vany = all_args.vany }
+    in
+    (av, arg_effs)
+  | "id" | "idref" ->
+    (* conservatively scans all elements (and their attributes) of the
+       context documents *)
+    let av =
+      { srcs = Smap.map (fun _ -> Pset.top) all_args.srcs; vany = all_args.vany }
+    in
+    (av, fp_join arg_effs (read_of av))
+  | _ when List.mem name passthrough_builtins -> (all_args, arg_effs)
+  | _ when List.mem name shallow_builtins ->
+    (av_empty, fp_join arg_effs (read_of all_args))
+  | _ when List.mem name noread_builtins -> (av_empty, arg_effs)
+  | _ ->
+    (* default: atomizing builtins read their operands' subtrees; the
+       result is kept node-free (every node-returning builtin is listed
+       above) *)
+    (av_empty, fp_join arg_effs (subtree_read all_args))
+
+and walk_execute_at st env site (x : Ast.execute_at) =
+  let _, ehost = walk st env site x.Ast.host in
+  let params =
+    List.map
+      (fun (v, ae) ->
+        let av, ef = walk st env site ae in
+        (v, av, ef))
+      x.Ast.params
+  in
+  let arg_effs =
+    List.fold_left
+      (fun fp (_, av, ef) ->
+        (* parameter values are serialized onto the wire: subtree reads *)
+        fp_join fp (fp_join ef (subtree_read av)))
+      fp_empty params
+  in
+  let callee_site =
+    match x.Ast.host.Ast.desc with
+    | Ast.Literal (Ast.A_string "") -> site (* empty host = run here *)
+    | Ast.Literal (Ast.A_string h) -> Some h
+    | _ -> None (* computed host: unknown site *)
+  in
+  let benv =
+    List.fold_left (fun m (v, av, _) -> Smap.add v av m) Smap.empty params
+  in
+  let bav, beff = walk st benv callee_site x.Ast.body in
+  (* the response is serialized back: its subtrees are read *)
+  (bav, fp_join ehost (fp_join arg_effs (fp_join beff (subtree_read bav))))
+
+(* ---- driver ----------------------------------------------------------- *)
+
+let analyze ?(self = "client") (q : Ast.query) : result =
+  let ftab = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace ftab f.Ast.f_name
+        {
+          params = List.map (fun _ -> av_empty) f.Ast.f_params;
+          result = av_empty;
+          eff = fp_empty;
+        })
+    q.Ast.funcs;
+  let st = { funcs = q.Ast.funcs; ftab; fps = Hashtbl.create 64; changed = true } in
+  let pass () =
+    st.changed <- false;
+    ignore (walk st Smap.empty (Some self) q.Ast.body);
+    List.iter
+      (fun f ->
+        match Hashtbl.find_opt ftab f.Ast.f_name with
+        | None -> ()
+        | Some fs ->
+          (* function bodies execute at their (unknown) call site, so
+             relative document URIs inside them widen to "any" *)
+          let env =
+            List.fold_left2
+              (fun m (v, _) av -> Smap.add v av m)
+              Smap.empty f.Ast.f_params fs.params
+          in
+          let av, eff = walk st env None f.Ast.f_body in
+          let r' = av_join fs.result av and e' = fp_join fs.eff eff in
+          if not (av_equal r' fs.result && fp_equal e' fs.eff) then begin
+            fs.result <- r';
+            fs.eff <- e';
+            st.changed <- true
+          end)
+      q.Ast.funcs
+  in
+  (* both lattice components are finite (bounded path sets over a finite
+     document-key universe) and all updates are joins; the budget is
+     paranoia, mirroring lib/types/infer.ml *)
+  let budget = ref 100 in
+  while st.changed && !budget > 0 do
+    decr budget;
+    pass ()
+  done;
+  pass ();
+  let fsummaries = Hashtbl.create 8 in
+  Hashtbl.iter (fun name fs -> Hashtbl.replace fsummaries name fs.eff) ftab;
+  { fps = st.fps; fsummaries }
+
+let function_summary res name = Hashtbl.find_opt res.fsummaries name
+
+(* ---- scheduling ------------------------------------------------------- *)
+
+(* A group of provably non-interfering execute-at calls, anchored at the
+   enclosing Seq/Let/For vertex where the runtime's schedule hook fires.
+   Members are the Execute_at vertex ids, in sequential evaluation
+   order. *)
+type group = { anchor : int; members : int list }
+
+(* Only pure (read-only) calls are grouped: read-read never interferes,
+   so purity of every member makes the whole group safe, including
+   against the host/argument evaluations of its peers. *)
+let schedulable res (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Execute_at _ -> (
+    match footprint_of res e with Some fp -> pure fp | None -> false)
+  | _ -> false
+
+let schedule res (q : Ast.query) : group list =
+  let groups = ref [] in
+  let emit anchor members =
+    if List.length members >= 2 then
+      groups :=
+        { anchor; members = List.map (fun m -> m.Ast.id) members } :: !groups
+  in
+  let rec visit (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Seq es ->
+      (* maximal runs of >=2 consecutive schedulable calls *)
+      let flush run = emit e.Ast.id (List.rev run) in
+      let rec runs acc = function
+        | [] -> flush acc
+        | c :: rest when schedulable res c -> runs (c :: acc) rest
+        | _ :: rest ->
+          flush acc;
+          runs [] rest
+      in
+      runs [] es;
+      List.iter visit es
+    | Ast.Let _ ->
+      (* a chain of let-bindings whose values are schedulable calls not
+         referencing earlier bindings of the chain *)
+      let rec chain bound acc (cur : Ast.expr) =
+        match cur.Ast.desc with
+        | Ast.Let (v, value, rest)
+          when schedulable res value
+               && not (List.exists (fun fv -> List.mem fv bound) (Ast.free_vars value)) ->
+          chain (v :: bound) (value :: acc) rest
+        | _ -> (List.rev acc, cur)
+      in
+      let members, k = chain [] [] e in
+      if List.length members >= 2 then begin
+        emit e.Ast.id members;
+        (* skip the spine itself (no nested sub-chain anchors), but still
+           visit inside the members and the continuation *)
+        List.iter (fun m -> List.iter visit (Ast.children m)) members;
+        visit k
+      end
+      else List.iter visit (Ast.children e)
+    | Ast.For (_, src, body) when schedulable res body ->
+      (* every iteration issues an independent pure call *)
+      groups := { anchor = e.Ast.id; members = [ body.Ast.id ] } :: !groups;
+      visit src;
+      List.iter visit (Ast.children body)
+    | _ -> List.iter visit (Ast.children e)
+  in
+  visit q.Ast.body;
+  List.iter (fun f -> visit f.Ast.f_body) q.Ast.funcs;
+  List.rev !groups
+
+(* ---- printing --------------------------------------------------------- *)
+
+let side_to_string any m =
+  let entries =
+    List.map (fun (d, ps) -> d ^ ":" ^ Pset.to_string ps) (Smap.bindings m)
+  in
+  let entries = if any then entries @ [ "*" ] else entries in
+  "{" ^ String.concat "; " entries ^ "}"
+
+let to_string fp =
+  Printf.sprintf "R%s W%s%s"
+    (side_to_string fp.r_any fp.reads)
+    (side_to_string fp.w_any fp.writes)
+    (if pure fp then " pure" else "")
+
+let pp_dump fmt (q : Ast.query) (res : result) =
+  let rec dump depth (e : Ast.expr) =
+    let fp =
+      match footprint_of res e with
+      | Some fp -> to_string fp
+      | None -> "(no footprint)"
+    in
+    Fmt.pf fmt "%sv%d %s : %s@."
+      (String.make (2 * depth) ' ')
+      e.Ast.id
+      (Xd_types.Infer.sketch e)
+      fp;
+    List.iter (dump (depth + 1)) (Ast.children e)
+  in
+  List.iter
+    (fun f ->
+      Fmt.pf fmt "function %s#%d : %s@." f.Ast.f_name
+        (List.length f.Ast.f_params)
+        (match function_summary res f.Ast.f_name with
+        | Some fp -> to_string fp
+        | None -> "(no footprint)");
+      dump 1 f.Ast.f_body)
+    q.Ast.funcs;
+  dump 0 q.Ast.body;
+  match schedule res q with
+  | [] -> Fmt.pf fmt "schedule: (sequential)@."
+  | groups ->
+    Fmt.pf fmt "schedule:@.";
+    List.iter
+      (fun g ->
+        Fmt.pf fmt "  group @@v%d:%s@." g.anchor
+          (String.concat ""
+             (List.map (fun m -> Printf.sprintf " v%d" m) g.members)))
+      groups

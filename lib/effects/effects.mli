@@ -1,0 +1,68 @@
+(** Static effect and interference analysis.
+
+    Computes, per expression and per user function (monotone fixpoint,
+    mirroring {!Xd_types.Infer}), a read/write footprint: sets of
+    (document, projection-path) pairs plus "anywhere" bits. Documents
+    are keyed canonically as ["host/name"]. The footprints license the
+    runtime scheduler ({!Xd_xrpc.Session}) to overlap and batch provably
+    non-interfering read-only [execute at] calls, let {!Xd_core.Cost}
+    price fan-out plans by critical path, and give the verifier an
+    independent interference check over proposed schedules. *)
+
+(** A read/write footprint. Paths are selections in the sense of
+    {!Xd_projection.Path.eval}: a read of (d, p) means nodes selected by
+    [p] from [d]'s root may be observed; content consumption is recorded
+    with explicit [descendant-or-self::node()] closure steps. *)
+type footprint
+
+val fp_empty : footprint
+val pure : footprint -> bool
+(** No writes at all — the license for concurrent scheduling. *)
+
+val reads : footprint -> (string * Xd_projection.Path.t list) list
+val writes : footprint -> (string * Xd_projection.Path.t list) list
+val reads_any : footprint -> bool
+val writes_any : footprint -> bool
+
+val interferes : footprint -> footprint -> bool
+(** May either footprint's writes touch the other's reads or writes?
+    Read-read never interferes. Conservative: [true] unless provably
+    disjoint. *)
+
+val fp_join : footprint -> footprint -> footprint
+val to_string : footprint -> string
+
+type result
+
+val analyze : ?self:string -> Xd_lang.Ast.query -> result
+(** Run the fixpoint. [self] (default ["client"]) is the site the query
+    body executes on; relative document URIs resolve against it. *)
+
+val footprint : result -> int -> footprint option
+(** The footprint of evaluating the given vertex (including its
+    subexpressions), or [None] for vertices the walk never reached. *)
+
+val footprint_of : result -> Xd_lang.Ast.expr -> footprint option
+val function_summary : result -> string -> footprint option
+
+(** {2 Scheduling} *)
+
+type group = { anchor : int; members : int list }
+(** A set of provably non-interfering read-only [execute at] calls that
+    may overlap on the simulated clock. [anchor] is the enclosing
+    Seq/Let/For vertex where the runtime hook fires; [members] are the
+    Execute_at vertex ids in sequential evaluation order. A [For] anchor
+    has a single member (the loop body): each iteration issues an
+    independent call. *)
+
+val schedulable : result -> Xd_lang.Ast.expr -> bool
+(** Is this vertex a pure [execute at] call? *)
+
+val schedule : result -> Xd_lang.Ast.query -> group list
+(** Extract all overlap groups: maximal runs of consecutive schedulable
+    calls in sequences, chains of independent schedulable let-bindings,
+    and for-loops whose body is a schedulable call. *)
+
+(** {2 The --effects dump} *)
+
+val pp_dump : Format.formatter -> Xd_lang.Ast.query -> result -> unit

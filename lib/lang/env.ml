@@ -20,6 +20,15 @@ type t = {
     t -> Ast.execute_at -> host:string -> args:(Ast.var * Value.t) list ->
     Value.t;
   builtins : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+  schedule : (t -> Ast.expr -> Value.t option) option;
+      (* scheduling hook, consulted at Seq/Let/For vertices before normal
+         evaluation: the XRPC runtime uses it to overlap and batch groups
+         of provably independent execute-at calls. [None] from the hook
+         falls back to plain sequential evaluation. *)
+  observe : (Xd_xml.Node.t -> unit) option;
+      (* node observer, called on every axis-step result: lets the effect
+         analysis' soundness harness watch what evaluation actually
+         reads. *)
   static_base_uri : string;
   default_collation : string;
   current_datetime : string;
@@ -36,7 +45,7 @@ let no_execute_at _env _x ~host ~args:_ =
   dynamic_error "execute at {%s}: no RPC handler installed" host
 
 let create ?(vars = Smap.empty) ?(funcs = []) ?(resolve_doc = default_resolve_doc)
-    ?(execute_at = no_execute_at) ?builtins
+    ?(execute_at = no_execute_at) ?builtins ?schedule ?observe
     ?(static_base_uri = "xdx://local/") ?(default_collation = "codepoint")
     ?(current_datetime = "2009-03-29T00:00:00Z") ?pul store =
   let fmap =
@@ -49,6 +58,8 @@ let create ?(vars = Smap.empty) ?(funcs = []) ?(resolve_doc = default_resolve_do
     resolve_doc;
     execute_at;
     builtins = (match builtins with Some b -> b | None -> Hashtbl.create 64);
+    schedule;
+    observe;
     static_base_uri;
     default_collation;
     current_datetime;

@@ -22,6 +22,12 @@ type t = {
     Value.t;
       (** called with the host string and the evaluated parameter values *)
   builtins : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+  schedule : (t -> Ast.expr -> Value.t option) option;
+      (** scheduling hook, consulted at Seq/Let/For vertices before
+          normal evaluation; [None] from the hook falls back to plain
+          sequential evaluation *)
+  observe : (Xd_xml.Node.t -> unit) option;
+      (** node observer, called on every axis-step result *)
   static_base_uri : string;  (** Problem 5 class-1 context *)
   default_collation : string;
   current_datetime : string;
@@ -47,6 +53,8 @@ val create :
     (t -> Ast.execute_at -> host:string -> args:(Ast.var * Value.t) list ->
      Value.t) ->
   ?builtins:(string, t -> Value.t list -> Value.t) Hashtbl.t ->
+  ?schedule:(t -> Ast.expr -> Value.t option) ->
+  ?observe:(Xd_xml.Node.t -> unit) ->
   ?static_base_uri:string ->
   ?default_collation:string ->
   ?current_datetime:string ->

@@ -85,6 +85,15 @@ let matches_sequence_type (v : Value.t) = function
     count_ok && List.for_all item_ok v
 
 let rec eval (env : Env.t) (e : Ast.expr) : Value.t =
+  (* the scheduling hook gets first refusal on the vertices that can
+     anchor an overlap group; [None] means "no schedule here" and falls
+     through to plain sequential evaluation *)
+  match (env.Env.schedule, e.desc) with
+  | Some f, (Ast.Seq _ | Ast.Let _ | Ast.For _) -> (
+    match f env e with Some v -> v | None -> eval_desc env e)
+  | _ -> eval_desc env e
+
+and eval_desc (env : Env.t) (e : Ast.expr) : Value.t =
   match e.desc with
   | Ast.Literal (Ast.A_string s) -> Value.of_string s
   | Ast.Literal (Ast.A_int i) -> Value.of_int i
@@ -202,7 +211,11 @@ let rec eval (env : Env.t) (e : Ast.expr) : Value.t =
   | Ast.Step (e1, axis, test) ->
     let ctx = eval env e1 in
     let nodes = Value.nodes_of ctx in
-    List.map (fun n -> Value.N n) (eval_step axis test nodes)
+    let res = eval_step axis test nodes in
+    (match env.Env.observe with
+    | None -> ()
+    | Some f -> List.iter f res);
+    List.map (fun n -> Value.N n) res
   | Ast.Fun_call (name, args) -> eval_fun_call env name args
   | Ast.Execute_at x ->
     let host = Value.string_value (eval env x.host) in

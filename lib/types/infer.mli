@@ -28,6 +28,10 @@ val atomic : result -> int -> bool
    context takes. *)
 val atomic_fact : result -> int -> bool
 
+(* A one-line syntactic sketch of a vertex, shared by the --types and
+   --effects dumps. *)
+val sketch : Xd_lang.Ast.expr -> string
+
 (* The [--types] dump: every vertex with its sketch and inferred type,
    functions first, indented by AST depth. *)
 val pp_dump : Format.formatter -> Xd_lang.Ast.query -> result -> unit

@@ -15,6 +15,9 @@ type rule =
   | Update_placement (* pending-update target flows through a copy *)
   | Projection_coverage (* remote axis steps not covered by message paths *)
   | Unknown_function (* opaque user function over shipped nodes *)
+  | Schedule_interference
+    (* an overlap-schedule member is not read-only, or two members'
+       footprints may touch the same data *)
 
 type severity = Error | Warning
 
@@ -38,6 +41,7 @@ let rule_name = function
   | Update_placement -> "update-placement"
   | Projection_coverage -> "projection-coverage"
   | Unknown_function -> "unknown-function"
+  | Schedule_interference -> "schedule-interference"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

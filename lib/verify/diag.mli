@@ -19,6 +19,9 @@ type rule =
   | Projection_coverage
       (** remote axis steps not covered by the message's projection paths *)
   | Unknown_function  (** opaque user function over shipped nodes *)
+  | Schedule_interference
+      (** an overlap-schedule member is not read-only, or two members'
+          effect footprints may touch the same data *)
 
 type severity = Error | Warning
 

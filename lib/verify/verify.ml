@@ -29,7 +29,75 @@ let errors r = Diag.errors r.diags
 let warnings r = List.filter (fun d -> not (Diag.is_error d)) r.diags
 let ok r = errors r = []
 
-let verify ?self strategy (q : Ast.query) : report =
+(* Vet an overlap schedule against footprints re-derived *here* — the
+   verifier never trusts the analysis that proposed the schedule. Every
+   member must carry a derivable, pure (read-only) footprint, and no two
+   members of a group may interfere (a write of one touching a read or
+   write of the other). *)
+let check_schedule ?self (q : Ast.query) (schedule : (int * int list) list) =
+  match schedule with
+  | [] -> []
+  | groups ->
+    let module E = Xd_effects.Effects in
+    let res = E.analyze ?self q in
+    let hosts = Hashtbl.create 16 in
+    let rec idx (e : Ast.expr) =
+      (match e.Ast.desc with
+      | Ast.Execute_at { Ast.host = { Ast.desc = Ast.Literal (Ast.A_string h); _ }; _ }
+        ->
+        Hashtbl.replace hosts e.Ast.id h
+      | _ -> ());
+      List.iter idx (Ast.children e)
+    in
+    idx q.Ast.body;
+    List.iter (fun f -> idx f.Ast.f_body) q.Ast.funcs;
+    let diag m fmt =
+      Diag.make ?host:(Hashtbl.find_opt hosts m) ~exec:m
+        ~severity:Diag.Error Diag.Schedule_interference m fmt
+    in
+    List.concat_map
+      (fun (anchor, members) ->
+        let fps = List.map (fun m -> (m, E.footprint res m)) members in
+        let unit_diags =
+          List.filter_map
+            (fun (m, fp) ->
+              match fp with
+              | None ->
+                Some
+                  (diag m
+                     "overlap group at v%d schedules v%d, which has no \
+                      derivable effect footprint"
+                     anchor m)
+              | Some fp when not (E.pure fp) ->
+                Some
+                  (diag m
+                     "overlap group at v%d schedules v%d, which is not \
+                      read-only: %s"
+                     anchor m (E.to_string fp))
+              | Some _ -> None)
+            fps
+        in
+        let rec pair_diags = function
+          | [] -> []
+          | (m1, Some fp1) :: rest ->
+            List.filter_map
+              (fun (m2, fp2) ->
+                match fp2 with
+                | Some fp2 when E.interferes fp1 fp2 ->
+                  Some
+                    (diag m2
+                       "overlap group at v%d schedules interfering calls v%d \
+                        and v%d: %s vs %s"
+                       anchor m1 m2 (E.to_string fp1) (E.to_string fp2))
+                | _ -> None)
+              rest
+            @ pair_diags rest
+          | (_, None) :: rest -> pair_diags rest
+        in
+        unit_diags @ pair_diags fps)
+      groups
+
+let verify ?self ?(schedule = []) strategy (q : Ast.query) : report =
   (* typing facts are re-derived here, from the plan as given — the
      verifier never accepts the decomposer's typing. A proven-atomic
      execute-at parameter or result crosses the wire as an exact value
@@ -51,7 +119,8 @@ let verify ?self strategy (q : Ast.query) : report =
       Coverage.check ~funcs:q.Ast.funcs q.Ast.body
     else []
   in
-  { strategy; diags = Diag.dedup (main @ fns @ cov) }
+  let sched = check_schedule ?self q schedule in
+  { strategy; diags = Diag.dedup (main @ fns @ cov @ sched) }
 
 let pp_report fmt r =
   let errs = List.length (errors r) and warns = List.length (warnings r) in

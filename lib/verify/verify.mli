@@ -12,10 +12,21 @@
 type report = { strategy : Xd_xrpc.Strategy.t; diags : Diag.t list }
 
 val verify :
-  ?self:string -> Xd_xrpc.Strategy.t -> Xd_lang.Ast.query -> report
-(** [verify ?self strategy q] checks [q] under [strategy]. [self] is the
-    client peer's name ([execute at] targeting it is local evaluation,
-    not a message; defaults to [""], the session-local pseudo-host). *)
+  ?self:string -> ?schedule:(int * int list) list -> Xd_xrpc.Strategy.t ->
+  Xd_lang.Ast.query -> report
+(** [verify ?self ?schedule strategy q] checks [q] under [strategy].
+    [self] is the client peer's name ([execute at] targeting it is local
+    evaluation, not a message; defaults to [""], the session-local
+    pseudo-host).
+
+    [schedule] is a proposed overlap schedule ([(anchor, members)] pairs
+    of Seq/Let/For anchor and [execute at] member vertex ids, as produced
+    by {!Xd_effects.Effects.schedule}). The verifier re-derives every
+    member's effect footprint with its own {!Xd_effects.Effects.analyze}
+    run — never trusting the proposer — and reports a
+    [schedule-interference] error for any member that is not provably
+    read-only, lacks a derivable footprint, or may touch data another
+    member of its group accesses. *)
 
 val ok : report -> bool
 (** No error-severity findings (warnings don't gate execution). *)

@@ -206,20 +206,28 @@ let buf_text buf s =
       | c -> Buffer.add_char buf c)
     s
 
-(* A complete <env:Fault> response envelope (PROTOCOL.md, "Faults"). *)
-let write_fault ~code ~reason =
+(* The SOAP wrapper shared by every message; batch responses embed the
+   per-call bodies (responses and faults) side by side inside one
+   envelope, so the pieces are built separately. *)
+let envelope body =
+  "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body>"
+  ^ body ^ "</env:Body></env:Envelope>"
+
+(* Just the <env:Fault> element (PROTOCOL.md, "Faults"). *)
+let fault_body ~code ~reason =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><env:Fault><env:Code><env:Value>";
+  Buffer.add_string buf "<env:Fault><env:Code><env:Value>";
   Buffer.add_string buf (fault_role code);
   Buffer.add_string buf "</env:Value><env:Subcode><env:Value>";
   Buffer.add_string buf (fault_code_to_string code);
   Buffer.add_string buf
     "</env:Value></env:Subcode></env:Code><env:Reason><env:Text>";
   buf_text buf reason;
-  Buffer.add_string buf
-    "</env:Text></env:Reason></env:Fault></env:Body></env:Envelope>";
+  Buffer.add_string buf "</env:Text></env:Reason></env:Fault>";
   Buffer.contents buf
+
+(* A complete <env:Fault> response envelope. *)
+let write_fault ~code ~reason = envelope (fault_body ~code ~reason)
 
 (* ------------------------------------------------------------------ *)
 (* Transaction control envelopes (PROTOCOL.md, "Transactions").        *)

@@ -60,6 +60,14 @@ val fault_code_to_string : fault_code -> string
 val fault_code_of_string : string -> fault_code
 (** Raises {!Protocol_error} on an unknown code. *)
 
+val envelope : string -> string
+(** Wrap body content in the SOAP
+    [<env:Envelope>]/[<env:Body>] scaffolding shared by every message. *)
+
+val fault_body : code:fault_code -> reason:string -> string
+(** Just the [<env:Fault>] element — embedded per-call inside batch
+    responses. *)
+
 val write_fault : code:fault_code -> reason:string -> string
 (** A complete [<env:Fault>] response envelope. *)
 

@@ -49,6 +49,10 @@ type t = {
          execution, and on a server session while it evaluates a
          txn-tagged request (so nested calls propagate the id) *)
   mutable next_txn : int; (* coordinator: transaction-id counter *)
+  sched : (int, int list list) Hashtbl.t;
+      (* effect-analysis schedule, coordinator only: anchor (Seq/Let/For)
+         vertex id -> overlap groups, each the consecutive Execute_at
+         vertex ids of one group in sequential evaluation order *)
   tracer : Trace.t option; (* shared across every session of one run *)
   mutable cur : Trace.span option;
       (* the ambient span new spans parent under: the executor's root on
@@ -56,7 +60,14 @@ type t = {
 }
 
 let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
-    ?(retries = 2) ?(dedup_cap = 256) ?tracer net self passing =
+    ?(retries = 2) ?(dedup_cap = 256) ?(schedule = []) ?tracer net self
+    passing =
+  let sched = Hashtbl.create (max 1 (List.length schedule)) in
+  List.iter
+    (fun (anchor, members) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt sched anchor) in
+      Hashtbl.replace sched anchor (prev @ [ members ]))
+    schedule;
   {
     net;
     self;
@@ -78,6 +89,7 @@ let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
     next_req = 0;
     txn = None;
     next_txn = 0;
+    sched;
     tracer;
     cur = None;
   }
@@ -226,11 +238,13 @@ and param_node_sets (x : Ast.execute_at) args =
     args;
   (!used, !returned)
 
-and build_request session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
+(* The inner <request> element of one call — standalone inside its own
+   envelope for a plain call, or stacked with its siblings inside one
+   <batch> envelope by the scheduler. *)
+and request_body session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
     ~funcs =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><request";
+  Buffer.add_string buf "<request";
   Message.buf_attr buf "passing" (Message.passing_to_string session.passing);
   Message.buf_attr buf "caller" (Peer.name session.self);
   (* only stamped on a faulty wire, so fault-free traffic is byte-identical
@@ -302,8 +316,11 @@ and build_request session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
         ~param:v value)
     args;
   Buffer.add_string buf "</call>";
-  Buffer.add_string buf "</request></env:Body></env:Envelope>";
+  Buffer.add_string buf "</request>";
   Buffer.contents buf
+
+and build_request session ~ep ~host ?req_id ?txn x ~args ~funcs =
+  Message.envelope (request_body session ~ep ~host ?req_id ?txn x ~args ~funcs)
 
 (* ---------------- server side ----------------------------------------- *)
 
@@ -335,36 +352,44 @@ and handle_request session ~client_name request_text =
             handle_request_guarded session ~client_name request_text))
   | _ -> handle_request_guarded session ~client_name request_text
 
+(* Map an evaluation/parse failure to its protocol fault code and reason;
+   [None] for asynchronous/implementation exceptions, which keep
+   propagating. *)
+and fault_of_exn = function
+  | Message.Protocol_error m -> Some (Message.Protocol_malformed, m)
+  | X.Parser.Error (m, pos) ->
+    Some
+      ( Message.Transport_corrupt,
+        Printf.sprintf "unparsable request: %s (byte %d)" m pos )
+  | Xd_lang.Parser.Error (m, pos) | Xd_lang.Lexer.Error (m, pos) ->
+    Some
+      ( Message.Protocol_malformed,
+        Printf.sprintf "unparsable query body: %s (offset %d)" m pos )
+  | Env.Dynamic_error m -> Some (Message.App_dynamic, m)
+  | Value.Type_error m -> Some (Message.App_type, m)
+  | Message.Xrpc_fault { host; code; reason } ->
+    (* a nested call of the body failed: relay the upstream fault *)
+    Some (code, Printf.sprintf "relayed from %s: %s" host reason)
+  | Message.Xrpc_timeout { host; attempts } ->
+    Some
+      ( Message.Transport_timeout,
+        Printf.sprintf "upstream peer %s did not answer (%d attempts)" host
+          attempts )
+  | Failure m -> Some (Message.Protocol_malformed, m)
+  | _ -> None
+
 and handle_request_guarded session ~client_name request_text =
   let stats = session.net.Network.stats in
   try handle_request_exn session ~client_name request_text
-  with e ->
-    let fault code reason =
+  with e -> (
+    match fault_of_exn e with
+    | None -> raise e
+    | Some (code, reason) ->
       Stats.incr_faults ~kind:"app" stats;
       Trace.add_attr session.cur "fault"
         (Trace.S (Message.fault_code_to_string code));
       traced session ~cat:"serialize" "fault" @@ fun _ ->
-      Stats.time_serialize stats (fun () -> Message.write_fault ~code ~reason)
-    in
-    (match e with
-    | Message.Protocol_error m -> fault Message.Protocol_malformed m
-    | X.Parser.Error (m, pos) ->
-      fault Message.Transport_corrupt
-        (Printf.sprintf "unparsable request: %s (byte %d)" m pos)
-    | Xd_lang.Parser.Error (m, pos) | Xd_lang.Lexer.Error (m, pos) ->
-      fault Message.Protocol_malformed
-        (Printf.sprintf "unparsable query body: %s (offset %d)" m pos)
-    | Env.Dynamic_error m -> fault Message.App_dynamic m
-    | Value.Type_error m -> fault Message.App_type m
-    | Message.Xrpc_fault { host; code; reason } ->
-      (* a nested call of the body failed: relay the upstream fault *)
-      fault code (Printf.sprintf "relayed from %s: %s" host reason)
-    | Message.Xrpc_timeout { host; attempts } ->
-      fault Message.Transport_timeout
-        (Printf.sprintf "upstream peer %s did not answer (%d attempts)" host
-           attempts)
-    | Failure m -> fault Message.Protocol_malformed m
-    | e -> raise e)
+      Stats.time_serialize stats (fun () -> Message.write_fault ~code ~reason))
 
 and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
@@ -392,28 +417,69 @@ and handle_request_exn session ~client_name request_text =
   | Some (action, n) ->
     handle_txn_control session action (Message.req_attr n "txn")
   | None -> (
-    let req =
-      match Message.find_child body "request" with
-      | Some r -> r
+    match Message.find_child body "batch" with
+    | Some batch -> handle_batch session ~client_name batch
+    | None -> (
+      let req =
+        match Message.find_child body "request" with
+        | Some r -> r
+        | None ->
+          Message.protocol_error
+            "XRPC message without <env:Envelope>/<env:Body>/<request>"
+      in
+      let ep = call_endpoint session in
+      let req_id = Message.attr_of req "request-id" in
+      match Option.bind req_id (Hashtbl.find_opt session.replied) with
+      | Some cached ->
+        (* a retransmission of a request we already answered: replay the
+           response instead of re-evaluating (at-most-once updates) *)
+        Stats.incr_dedup_hits stats;
+        Trace.add_attr session.cur "dedup" (Trace.B true);
+        cached
       | None ->
-        Message.protocol_error
-          "XRPC message without <env:Envelope>/<env:Body>/<request>"
-    in
+        let resp =
+          Message.envelope (handle_parsed session ~client_name ~ep ?req_id req)
+        in
+        (match req_id with
+        | Some id -> remember_reply session id resp
+        | None -> ());
+        resp))
+
+(* One <batch> of independent calls: each slot is handled exactly like a
+   standalone request and answered in place — a <response> on success, an
+   inner <env:Fault> on failure — so one failing call never poisons its
+   batch mates. Batches only travel on a fault-free wire, so slots carry
+   no request-ids and need no dedup. *)
+and handle_batch session ~client_name batch =
+  let stats = session.net.Network.stats in
+  let reqs = Message.children_named batch "request" in
+  if reqs = [] then
+    Message.protocol_error "XRPC <batch> without <request> calls";
+  traced session ~cat:"server"
+    (Printf.sprintf "batch (%d calls)" (List.length reqs))
+  @@ fun bsp ->
+  Trace.add_attr bsp "calls" (Trace.I (List.length reqs));
+  let slot req =
     let ep = call_endpoint session in
-    let req_id = Message.attr_of req "request-id" in
-    match Option.bind req_id (Hashtbl.find_opt session.replied) with
-    | Some cached ->
-      (* a retransmission of a request we already answered: replay the
-         response instead of re-evaluating (at-most-once updates) *)
-      Stats.incr_dedup_hits stats;
-      Trace.add_attr session.cur "dedup" (Trace.B true);
-      cached
-    | None ->
-      let resp = handle_parsed session ~client_name ~ep ?req_id req in
-      (match req_id with
-      | Some id -> remember_reply session id resp
-      | None -> ());
-      resp)
+    match handle_parsed session ~client_name ~ep req with
+    | resp -> resp
+    | exception e -> (
+      match fault_of_exn e with
+      | None -> raise e
+      | Some (code, reason) ->
+        Stats.incr_faults ~kind:"app" stats;
+        Message.fault_body ~code ~reason)
+  in
+  (* slots evaluate in request order — the order the sequential run would
+     have issued the calls in *)
+  let slots = List.fold_left (fun acc r -> slot r :: acc) [] reqs in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<batch";
+  Message.buf_attr buf "calls" (string_of_int (List.length reqs));
+  Buffer.add_char buf '>';
+  List.iter (Buffer.add_string buf) (List.rev slots);
+  Buffer.add_string buf "</batch>";
+  Message.envelope (Buffer.contents buf)
 
 (* Participant side of 2PC. All three actions are idempotent, so control
    messages need no dedup: a duplicated or retried prepare/commit/abort
@@ -569,8 +635,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
                 ~host:client_name ~used ~returned ))
       in
       let buf = Buffer.create 1024 in
-      Buffer.add_string buf
-        "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><response";
+      Buffer.add_string buf "<response";
       Message.buf_attr buf "passing" (Message.passing_to_string passing);
       (match txn_attr, tcoord with
       | Some t, Some c ->
@@ -583,7 +648,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
       Buffer.add_char buf '>';
       Message.write_fragments buf frags;
       Message.write_sequence ep ~host:client_name ~passing ~frags buf result;
-      Buffer.add_string buf "</response></env:Body></env:Envelope>";
+      Buffer.add_string buf "</response>";
       Buffer.contents buf)
 
 (* Inside a transaction, a participant stages its PUL in the journal
@@ -623,6 +688,41 @@ and stage_updates session (env : Env.t) ~txn ~req_id =
    exception it describes. Alongside the value, returns the transaction
    acknowledgement (staged count + transitive participants) when the
    response carries one. *)
+and shred_response_node _session ~ep ~host resp :
+    Value.t * (int * string list) option =
+  let corrupt reason =
+    raise
+      (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
+  in
+  let tinfo =
+    match Message.attr_of resp "txn" with
+    | None -> None
+    | Some _ ->
+      let staged =
+        match Message.attr_of resp "staged" with
+        | None -> 0
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> corrupt (Printf.sprintf "bad staged count %S" s))
+      in
+      let nested =
+        match Message.attr_of resp "txn-participants" with
+        | None -> []
+        | Some s ->
+          List.filter (fun h -> h <> "") (String.split_on_char ' ' s)
+      in
+      Some (staged, nested)
+  in
+  Message.shred_fragments ep ~from_host:host
+    (Message.find_child resp "fragments");
+  let v =
+    match Message.find_child resp "sequence" with
+    | Some seq -> Message.shred_sequence ep ~from_host:host seq
+    | None -> []
+  in
+  (v, tinfo)
+
 and shred_response session ~ep ~host response_text :
     Value.t * (int * string list) option =
   let stats = session.net.Network.stats in
@@ -639,41 +739,60 @@ and shred_response session ~ep ~host response_text :
           corrupt (Printf.sprintf "unparsable response: %s (byte %d)" m pos)
       in
       match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
-      | Some resp ->
-        let tinfo =
-          match Message.attr_of resp "txn" with
-          | None -> None
-          | Some _ ->
-            let staged =
-              match Message.attr_of resp "staged" with
-              | None -> 0
-              | Some s -> (
-                match int_of_string_opt s with
-                | Some n -> n
-                | None -> corrupt (Printf.sprintf "bad staged count %S" s))
-            in
-            let nested =
-              match Message.attr_of resp "txn-participants" with
-              | None -> []
-              | Some s ->
-                List.filter (fun h -> h <> "") (String.split_on_char ' ' s)
-            in
-            Some (staged, nested)
-        in
-        Message.shred_fragments ep ~from_host:host
-          (Message.find_child resp "fragments");
-        let v =
-          match Message.find_child resp "sequence" with
-          | Some seq -> Message.shred_sequence ep ~from_host:host seq
-          | None -> []
-        in
-        (v, tinfo)
+      | Some resp -> shred_response_node session ~ep ~host resp
       | None -> (
         match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
         | Some f ->
           let code, reason = Message.parse_fault f in
           raise (Message.Xrpc_fault { host; code; reason })
         | None -> corrupt "response is neither <response> nor <env:Fault>"))
+
+(* Shred a <batch> response: one value per slot, in request order. A
+   faulted slot raises after its predecessors shredded — exactly the
+   state a sequential run would have reached when that call failed. *)
+and shred_batch_response session ~ep ~host ~calls response_text :
+    Value.t list =
+  let stats = session.net.Network.stats in
+  let corrupt reason =
+    raise
+      (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
+  in
+  traced session ~cat:"shred" "batch response" @@ fun _ ->
+  Stats.time_shred stats (fun () ->
+      let root =
+        match X.Parser.parse_doc ~strip_ws:false response_text with
+        | mdoc -> X.Node.doc_node mdoc
+        | exception X.Parser.Error (m, pos) ->
+          corrupt (Printf.sprintf "unparsable response: %s (byte %d)" m pos)
+      in
+      match find_path [ "env:Envelope"; "env:Body"; "batch" ] root with
+      | Some b ->
+        let slots =
+          List.filter
+            (fun n -> X.Node.kind n = X.Node.Element)
+            (X.Node.children b)
+        in
+        if List.length slots <> calls then
+          corrupt
+            (Printf.sprintf "batch answered %d of %d calls"
+               (List.length slots) calls);
+        List.fold_left
+          (fun acc slot ->
+            match X.Node.name slot with
+            | "response" ->
+              fst (shred_response_node session ~ep ~host slot) :: acc
+            | "env:Fault" ->
+              let code, reason = Message.parse_fault slot in
+              raise (Message.Xrpc_fault { host; code; reason })
+            | other -> corrupt ("unexpected batch slot <" ^ other ^ ">"))
+          [] slots
+        |> List.rev
+      | None -> (
+        match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
+        | Some f ->
+          let code, reason = Message.parse_fault f in
+          raise (Message.Xrpc_fault { host; code; reason })
+        | None -> corrupt "response is neither <batch> nor <env:Fault>"))
 
 (* A body is safe to degrade to local evaluation when it provably reads
    only: no updating expression and no user-function call (a user
@@ -736,6 +855,7 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
     let stats = session.net.Network.stats in
     traced session ~cat:"call" ("call " ^ host) @@ fun call_sp ->
     Trace.add_attr call_sp "host" (Trace.S host);
+    Stats.incr_call ~peer:host stats;
     let funcs = Env.func_list env in
     let ep = call_endpoint session in
     let req_id =
@@ -834,6 +954,254 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
     in
     attempt 1 `Timeout
   end
+
+(* ---------------- dependency-aware scheduler --------------------------- *)
+
+(* One coalesced round trip: every member's <request> body rides in a
+   single <batch> envelope to [host], answered slot-by-slot in one
+   response envelope (PROTOCOL.md, "Batched calls"). Only reachable on a
+   fault-free wire, so there are no request-ids, retries or timeouts. *)
+and batch_call session env ~host
+    (items : (Ast.execute_at * (Ast.var * Value.t) list) list) : Value.t list
+    =
+  let stats = session.net.Network.stats in
+  let n = List.length items in
+  traced session ~cat:"call" (Printf.sprintf "batch %s (%d calls)" host n)
+  @@ fun bsp ->
+  Trace.add_attr bsp "host" (Trace.S host);
+  Trace.add_attr bsp "calls" (Trace.I n);
+  let funcs = Env.func_list env in
+  let ep = call_endpoint session in
+  let txn = Option.map (fun c -> c.txn_id) session.txn in
+  List.iter (fun _ -> Stats.incr_call ~peer:host stats) items;
+  let req_text =
+    traced session ~cat:"serialize" "batch request" @@ fun _ ->
+    Stats.time_serialize stats (fun () ->
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf "<batch";
+        Message.buf_attr buf "caller" (Peer.name session.self);
+        Message.buf_attr buf "calls" (string_of_int n);
+        Buffer.add_char buf '>';
+        List.iter
+          (fun (x, args) ->
+            Buffer.add_string buf
+              (request_body session ~ep ~host ?txn x ~args ~funcs))
+          items;
+        Buffer.add_string buf "</batch>";
+        Message.envelope (Buffer.contents buf))
+  in
+  Stats.add_batch stats ~calls:n;
+  (match session.record with
+  | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
+  | None -> ());
+  let srv = server_session session host in
+  let self_name = Peer.name session.self in
+  let undeliverable () =
+    (* unreachable: batches only form on a fault-free wire *)
+    raise (Message.Xrpc_timeout { host; attempts = 1 })
+  in
+  match send_on_wire session ~dst:host ?hdr_span:bsp req_text with
+  | Network.Dropped -> undeliverable ()
+  | Network.Delivered { text = delivered; duplicated = _ } -> (
+    let resp_text = handle_request srv ~client_name:self_name delivered in
+    (match session.record with
+    | Some r -> r := { dir = `Response resp_text; text = resp_text } :: !r
+    | None -> ());
+    match send_on_wire session ~dst:self_name resp_text with
+    | Network.Dropped -> undeliverable ()
+    | Network.Delivered { text = resp_delivered; duplicated = _ } ->
+      shred_batch_response session ~ep ~host ~calls:n resp_delivered)
+
+(* Execute one overlap group. Members are provably pure and pairwise
+   non-interfering (the effect analysis only groups read-only calls), so
+   they may run in any interleaving; the simulated clock bills the group
+   by its longest member (critical path) instead of the sum. On a faulty
+   wire members still travel as individual messages in sequential order —
+   the wire stays byte-identical to the sequential run under any fault
+   schedule — and only the clock overlaps; on a fault-free wire,
+   same-peer members additionally coalesce into one <batch> envelope per
+   peer. *)
+and run_group session (units : (Env.t * Ast.expr) list) : Value.t list =
+  let stats = session.net.Network.stats in
+  let n = List.length units in
+  traced session ~cat:"sched" (Printf.sprintf "overlap (%d calls)" n)
+  @@ fun gsp ->
+  Trace.add_attr gsp "calls" (Trace.I n);
+  let t0 = Stats.network_s stats in
+  let deltas = ref [] in
+  let maxd () = List.fold_left Float.max 0. !deltas in
+  (* each wire unit restarts the clock at the group's start; the group
+     finishes when its longest unit does *)
+  let unit f =
+    Stats.set_network_s stats t0;
+    match f () with
+    | v ->
+      deltas := (Stats.network_s stats -. t0) :: !deltas;
+      v
+    | exception e ->
+      (* settle the clock before the failure propagates: everything that
+         ran (including the failed member) overlapped *)
+      deltas := (Stats.network_s stats -. t0) :: !deltas;
+      Stats.set_network_s stats (t0 +. maxd ());
+      raise e
+  in
+  let finish vs =
+    let sum = List.fold_left ( +. ) 0. !deltas and m = maxd () in
+    Stats.set_network_s stats (t0 +. m);
+    Stats.add_sched_group stats ~overlapped:n ~saved_s:(sum -. m);
+    vs
+  in
+  if Network.faulty session.net then
+    finish (List.map (fun (env, e) -> unit (fun () -> Eval.eval env e)) units)
+  else begin
+    (* pre-evaluate hosts and arguments in sequential order, then bucket
+       the remote calls by destination peer *)
+    let prepared =
+      List.map
+        (fun (env, e) ->
+          match e.Ast.desc with
+          | Ast.Execute_at x ->
+            let host = Value.string_value (Eval.eval env x.Ast.host) in
+            let args =
+              List.map (fun (v, pe) -> (v, Eval.eval env pe)) x.Ast.params
+            in
+            if host = "" || host = Peer.name session.self then
+              `Local (env, x, host, args)
+            else `Remote (env, x, host, args)
+          | _ -> `Plain (env, e))
+        units
+    in
+    let results = Array.make n [] in
+    let order = ref [] and byhost = Hashtbl.create 4 in
+    List.iteri
+      (fun i u ->
+        match u with
+        | `Remote (env, x, host, args) -> (
+          match Hashtbl.find_opt byhost host with
+          | Some l -> l := (i, env, x, args) :: !l
+          | None ->
+            Hashtbl.add byhost host (ref [ (i, env, x, args) ]);
+            order := host :: !order)
+        | `Local _ | `Plain _ -> ())
+      prepared;
+    List.iter
+      (fun host ->
+        match List.rev !(Hashtbl.find byhost host) with
+        | [ (i, env, x, args) ] ->
+          (* a lone call to this peer coalesces nothing: plain round trip *)
+          results.(i) <- unit (fun () -> execute_at session env x ~host ~args)
+        | (_, env0, _, _) :: _ as items ->
+          let vs =
+            unit (fun () ->
+                batch_call session env0 ~host
+                  (List.map (fun (_, _, x, args) -> (x, args)) items))
+          in
+          List.iter2 (fun (i, _, _, _) v -> results.(i) <- v) items vs
+        | [] -> ())
+      (List.rev !order);
+    List.iteri
+      (fun i u ->
+        match u with
+        | `Local (env, x, host, args) ->
+          results.(i) <- unit (fun () -> execute_at session env x ~host ~args)
+        | `Plain (env, e) -> results.(i) <- unit (fun () -> Eval.eval env e)
+        | `Remote _ -> ())
+      prepared;
+    finish (Array.to_list results)
+  end
+
+(* The Env.schedule hook: fires at the Seq/Let/For vertices named as
+   group anchors, replacing sequential evaluation of the member calls
+   with an overlap group. Any shape mismatch — the expression under this
+   vertex does not carry the expected member ids, e.g. a schedule derived
+   from a different query — falls back to plain sequential evaluation via
+   [None]. *)
+and run_scheduled session env (e : Ast.expr) : Value.t option =
+  match Hashtbl.find_opt session.sched e.Ast.id with
+  | None -> None
+  | Some groups -> (
+    match e.Ast.desc with
+    | Ast.Seq es -> sched_seq session env groups es
+    | Ast.Let _ -> (
+      match groups with
+      | [ members ] -> sched_let session env members e
+      | _ -> None)
+    | Ast.For (v, src, body) -> (
+      match groups with
+      | [ [ m ] ] when m = body.Ast.id -> sched_for session env v src body
+      | _ -> None)
+    | _ -> None)
+
+(* A Seq anchor: each group is a run of consecutive children. Matched
+   runs execute as overlap groups; everything else (and any group that no
+   longer matches) evaluates sequentially in place. *)
+and sched_seq session env groups es =
+  let rec split_at k l =
+    if k = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: tl ->
+        let a, b = split_at (k - 1) tl in
+        (x :: a, b)
+  in
+  let rec prefix ms l =
+    match (ms, l) with
+    | [], _ -> true
+    | m :: ms', (x : Ast.expr) :: l' -> m = x.Ast.id && prefix ms' l'
+    | _ :: _, [] -> false
+  in
+  let rec go acc gs (cs : Ast.expr list) =
+    match cs with
+    | [] -> List.rev acc
+    | c :: tl -> (
+      match List.find_opt (fun ms -> prefix ms cs) gs with
+      | Some members ->
+        let run, rest = split_at (List.length members) cs in
+        let vs = run_group session (List.map (fun m -> (env, m)) run) in
+        go (List.rev_append vs acc) (List.filter (fun g -> g != members) gs)
+          rest
+      | None -> go (Eval.eval env c :: acc) gs tl)
+  in
+  Some (List.concat (go [] groups es))
+
+(* A Let-chain anchor: the member ids name the bound values along the
+   spine, whose continuation then evaluates under all the bindings. *)
+and sched_let session env members e =
+  let rec collect acc remaining (cur : Ast.expr) =
+    match (remaining, cur.Ast.desc) with
+    | [], _ -> Some (List.rev acc, cur)
+    | m :: ms, Ast.Let (v, value, rest) when value.Ast.id = m ->
+      collect ((v, value) :: acc) ms rest
+    | _ -> None
+  in
+  match collect [] members e with
+  | None -> None
+  | Some (binds, k) ->
+    let vs =
+      run_group session (List.map (fun (_, value) -> (env, value)) binds)
+    in
+    let env' =
+      List.fold_left2
+        (fun env (v, _) value -> Env.bind env v value)
+        env binds vs
+    in
+    Some (Eval.eval env' k)
+
+(* A For anchor whose body is a pure call: every iteration issues an
+   independent member — per-iteration fan-out. *)
+and sched_for session env v src body =
+  let seq = Eval.eval env src in
+  match seq with
+  | [] | [ _ ] ->
+    (* nothing to overlap *)
+    Some
+      (List.concat_map
+         (fun item -> Eval.eval (Env.bind env v [ item ]) body)
+         seq)
+  | _ ->
+    let units = List.map (fun item -> (Env.bind env v [ item ], body)) seq in
+    Some (List.concat (run_group session units))
 
 (* Refuse updates whose targets live in documents this peer obtained by
    shipping (data-shipped fetches or shredded message fragments):
@@ -1088,7 +1456,11 @@ let fresh_txn session =
 (* ---------------- public API ------------------------------------------- *)
 
 let env_for session ~funcs =
-  Env.create ~funcs
+  let schedule =
+    if Hashtbl.length session.sched = 0 then None
+    else Some (fun env e -> run_scheduled session env e)
+  in
+  Env.create ?schedule ~funcs
     ~resolve_doc:(fun env uri -> resolve_doc session env uri)
     ~execute_at:(fun env x ~host ~args -> execute_at session env x ~host ~args)
     ~builtins:(Xd_lang.Builtins.table ())

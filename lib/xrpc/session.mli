@@ -17,8 +17,8 @@ type t
 val create :
   ?record:recorded list ref -> ?bulk:bool ->
   ?schema:(string -> string list) -> ?depth:int -> ?timeout_s:float ->
-  ?retries:int -> ?dedup_cap:int -> ?tracer:Xd_obs.Trace.t -> Network.t ->
-  Peer.t -> Message.passing -> t
+  ?retries:int -> ?dedup_cap:int -> ?schedule:(int * int list) list ->
+  ?tracer:Xd_obs.Trace.t -> Network.t -> Peer.t -> Message.passing -> t
 (** A session for one querying peer. [record] captures every message (for
     tests and demos); [bulk] (default true) enables session-wide fragment
     caching — the wire behaviour of the paper's bulk RPC; disabling it is
@@ -42,6 +42,19 @@ val create :
     [dedup_cap] (default 256) bounds the server-side response cache that
     backs exactly-once replay of request-ids; the oldest entries are
     evicted FIFO and counted in {!Stats}.
+
+    [schedule] is the effect analysis's overlap schedule (from
+    {!Xd_effects.Effects.schedule}, passed structurally to keep the
+    layering acyclic): [(anchor, members)] pairs naming a Seq/Let/For
+    vertex and the provably non-interfering read-only [execute at] calls
+    under it. At each anchor the member calls run as one overlap group —
+    the simulated clock bills the group by its longest member (critical
+    path), and on a fault-free wire same-peer members coalesce into one
+    [<batch>] envelope per peer and round trip. On a faulty wire
+    batching is disabled and the per-member messages stay byte-identical
+    to the sequential run, so fault schedules replay exactly; results
+    and update lists are identical either way. An empty schedule
+    (default) is plain sequential evaluation.
 
     [tracer], when given, records hierarchical spans for every call,
     attempt, (de)serialization, evaluation, fallback and 2PC exchange of

@@ -14,6 +14,13 @@ type t = {
   document_bytes : M.counter;
   messages : M.counter;
   documents_fetched : M.counter;
+  calls : M.counter; (* remote execute-at calls issued (per-peer under
+                        xrpc.calls{peer=...}) *)
+  sched_groups : M.counter; (* overlap groups executed *)
+  sched_overlapped : M.counter; (* calls that ran overlapped *)
+  sched_saved_s : M.gauge; (* simulated wire time saved by overlap *)
+  batch_envelopes : M.counter; (* batched request envelopes sent *)
+  batch_calls : M.counter; (* calls coalesced into batch envelopes *)
   serialize_s : M.gauge;
   shred_s : M.gauge;
   remote_exec_s : M.gauge;
@@ -44,6 +51,12 @@ let create () =
     document_bytes = M.counter reg "xrpc.bytes.document";
     messages = M.counter reg "xrpc.messages";
     documents_fetched = M.counter reg "xrpc.documents_fetched";
+    calls = M.counter reg "xrpc.calls";
+    sched_groups = M.counter reg "sched.groups";
+    sched_overlapped = M.counter reg "sched.overlapped_calls";
+    sched_saved_s = M.gauge reg "sched.saved_s";
+    batch_envelopes = M.counter reg "xrpc.batch.envelopes";
+    batch_calls = M.counter reg "xrpc.batch.calls";
     serialize_s = M.gauge reg "time.serialize_s";
     shred_s = M.gauge reg "time.shred_s";
     remote_exec_s = M.gauge reg "time.remote_exec_s";
@@ -73,6 +86,16 @@ let message_bytes t = M.counter_value t.message_bytes
 let document_bytes t = M.counter_value t.document_bytes
 let messages t = M.counter_value t.messages
 let documents_fetched t = M.counter_value t.documents_fetched
+let calls t = M.counter_value t.calls
+
+let calls_to t peer =
+  M.counter_value (M.counter t.reg ("xrpc.calls{peer=" ^ peer ^ "}"))
+
+let sched_groups t = M.counter_value t.sched_groups
+let sched_overlapped t = M.counter_value t.sched_overlapped
+let sched_saved_s t = M.gauge_value t.sched_saved_s
+let batch_envelopes t = M.counter_value t.batch_envelopes
+let batch_calls t = M.counter_value t.batch_calls
 let serialize_s t = M.gauge_value t.serialize_s
 let shred_s t = M.gauge_value t.shred_s
 let remote_exec_s t = M.gauge_value t.remote_exec_s
@@ -107,6 +130,23 @@ let add_document t ~bytes =
   M.incr t.documents_fetched
 
 let add_network_s t s = M.add t.network_s s
+
+(* Rewind/advance the simulated clock: the scheduler bills an overlap
+   group by its longest member, not the sum. *)
+let set_network_s t s = M.set t.network_s s
+
+let incr_call ~peer t =
+  M.incr t.calls;
+  M.incr (M.counter t.reg ("xrpc.calls{peer=" ^ peer ^ "}"))
+
+let add_sched_group t ~overlapped ~saved_s =
+  M.incr t.sched_groups;
+  M.incr ~by:overlapped t.sched_overlapped;
+  M.add t.sched_saved_s saved_s
+
+let add_batch t ~calls =
+  M.incr t.batch_envelopes;
+  M.incr ~by:calls t.batch_calls
 
 let incr_faults ?kind t =
   M.incr t.faults;
@@ -164,4 +204,10 @@ let pp fmt t =
   if dedup_evictions t > 0 then Fmt.pf fmt " evictions=%d" (dedup_evictions t);
   if txn_staged t + txn_commits t + txn_aborts t > 0 then
     Fmt.pf fmt " | txn: staged=%d commits=%d aborts=%d" (txn_staged t)
-      (txn_commits t) (txn_aborts t)
+      (txn_commits t) (txn_aborts t);
+  if sched_groups t > 0 then
+    Fmt.pf fmt " | sched: groups=%d overlapped=%d saved=%.4fs"
+      (sched_groups t) (sched_overlapped t) (sched_saved_s t);
+  if batch_envelopes t > 0 then
+    Fmt.pf fmt " | batch: envelopes=%d calls=%d" (batch_envelopes t)
+      (batch_calls t)

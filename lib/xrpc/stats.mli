@@ -35,6 +35,28 @@ val document_bytes : t -> int
 
 val messages : t -> int
 val documents_fetched : t -> int
+
+val calls : t -> int
+(** remote execute-at calls issued (local/self executions excluded) *)
+
+val calls_to : t -> string -> int
+(** per-destination call count — the [xrpc.calls{peer=...}] counter *)
+
+val sched_groups : t -> int
+(** overlap groups the scheduler executed *)
+
+val sched_overlapped : t -> int
+(** calls that ran overlapped on the simulated clock *)
+
+val sched_saved_s : t -> float
+(** simulated wire time saved by overlap (sum - max per group) *)
+
+val batch_envelopes : t -> int
+(** batched multi-call request envelopes sent *)
+
+val batch_calls : t -> int
+(** calls that travelled inside batch envelopes *)
+
 val serialize_s : t -> float
 val shred_s : t -> float
 val remote_exec_s : t -> float
@@ -74,6 +96,16 @@ val total_bytes : t -> int
 val add_message : t -> bytes:int -> unit
 val add_document : t -> bytes:int -> unit
 val add_network_s : t -> float -> unit
+
+val set_network_s : t -> float -> unit
+(** Rewind/advance the simulated clock — the scheduler bills an overlap
+    group by its longest member instead of the sum. *)
+
+val incr_call : peer:string -> t -> unit
+(** Count one remote call towards [peer] (global and per-peer). *)
+
+val add_sched_group : t -> overlapped:int -> saved_s:float -> unit
+val add_batch : t -> calls:int -> unit
 val incr_faults : ?kind:string -> t -> unit
 val incr_timeouts : t -> unit
 val incr_retries : t -> unit

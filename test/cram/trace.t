@@ -84,6 +84,9 @@ names and kinds are pinned:
   histogram  hist.remote_exec_s
   histogram  hist.serialize_s
   histogram  hist.shred_s
+  counter    sched.groups
+  counter    sched.overlapped_calls
+  gauge      sched.saved_s
   gauge      time.network_s
   counter    time.remote_clamps
   gauge      time.remote_exec_s
@@ -92,8 +95,12 @@ names and kinds are pinned:
   counter    txn.aborts
   counter    txn.commits
   counter    txn.staged
+  counter    xrpc.batch.calls
+  counter    xrpc.batch.envelopes
   counter    xrpc.bytes.document
   counter    xrpc.bytes.message
+  counter    xrpc.calls
+  counter    xrpc.calls{peer=peer1}
   counter    xrpc.dedup.evictions
   counter    xrpc.dedup.hits
   counter    xrpc.documents_fetched

@@ -51,6 +51,16 @@ let make_net ?fault ?journal_dir () =
 
 open QCheck.Gen
 
+(* Delay construction of a sub-generator until the surrounding generator
+   actually runs.  [frequency] builds every branch eagerly, so without
+   this the recursive generators below construct the *whole* branch tree
+   on every call — exponentially many closures per query (hundreds of
+   thousands of [gen_nodeseq] invocations, seconds per generated query).
+   [delay] makes construction lazy without consuming any randomness, so
+   the generated distribution (and the exact values for a given seed)
+   are unchanged. *)
+let delay f = return () >>= f
+
 let fresh =
   let n = ref 0 in
   fun () ->
@@ -99,17 +109,18 @@ let rec gen_nodeseq (uri, names) vars n =
         ( 6,
           map2
             (fun ctx (ax, t) -> Ast.step ctx ax t)
-            (gen_nodeseq (uri, names) vars (n - 1))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n - 1)))
             (pair gen_axis (gen_test names)) );
         ( 2,
           map3
             (fun op a b -> Ast.mk (Ast.Node_set (op, a, b)))
             (oneofl [ Ast.Union; Ast.Intersect; Ast.Except ])
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2)))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2))) );
         ( 2,
           (* for loop with an optional predicate *)
-          gen_nodeseq (uri, names) vars (n / 2) >>= fun src ->
+          delay (fun () -> gen_nodeseq (uri, names) vars (n / 2))
+          >>= fun src ->
           let v = fresh () in
           gen_bool (uri, names) (v :: vars) (n / 2) >>= fun cond ->
           gen_nodeseq (uri, names) (v :: vars) (n / 2) >>= fun body ->
@@ -119,7 +130,8 @@ let rec gen_nodeseq (uri, names) vars n =
                   (v, src, Ast.mk (Ast.If (cond, body, Ast.empty_seq ()))))) );
         ( 1,
           (* let binding *)
-          gen_nodeseq (uri, names) vars (n / 2) >>= fun value ->
+          delay (fun () -> gen_nodeseq (uri, names) vars (n / 2))
+          >>= fun value ->
           let v = fresh () in
           gen_nodeseq (uri, names) (v :: vars) (n / 2) >>= fun body ->
           return (Ast.mk (Ast.Let (v, value, body))) );
@@ -127,7 +139,7 @@ let rec gen_nodeseq (uri, names) vars n =
           (* positional selection keeps sequences small *)
           map2
             (fun ns i -> Ast.fun_call "item-at" [ ns; Ast.int (1 + i) ])
-            (gen_nodeseq (uri, names) vars (n - 1))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n - 1)))
             (int_bound 3) );
         ( 1,
           (* positional selection with a *computed*, provably numeric
@@ -141,8 +153,8 @@ let rec gen_nodeseq (uri, names) vars n =
                     (Ast.Arith
                        (Ast.Add, Ast.int 1, Ast.fun_call "count" [ ns2 ]));
                 ])
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2)))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2))) );
         ( 1,
           (* sequence-reordering builtins: condition-iii mixers, the
              decomposer must not route their output into a remote step *)
@@ -151,7 +163,7 @@ let rec gen_nodeseq (uri, names) vars n =
               match i with
               | 0 -> Ast.fun_call "reverse" [ ns ]
               | _ -> Ast.fun_call "remove" [ ns; Ast.int i ])
-            (gen_nodeseq (uri, names) vars (n - 1))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n - 1)))
             (int_bound 2) );
       ]
 
@@ -163,18 +175,18 @@ and gen_bool (uri, names) vars n =
         ( 4,
           map3
             (fun ns op k -> Ast.mk (Ast.Value_cmp (op, ns, Ast.int k)))
-            (gen_nodeseq (uri, names) vars (n - 1))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n - 1)))
             (oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Gt ])
             (int_bound 45) );
         ( 3,
           map2
             (fun a b -> Ast.mk (Ast.Value_cmp (Ast.Eq, a, b)))
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2)))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2))) );
         ( 2,
           map
             (fun ns -> Ast.fun_call "exists" [ ns ])
-            (gen_nodeseq (uri, names) vars (n - 1)) );
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n - 1))) );
         ( 2,
           (* node identity / order on singletons *)
           map3
@@ -185,13 +197,13 @@ and gen_bool (uri, names) vars n =
                      Ast.fun_call "item-at" [ a; Ast.int 1 ],
                      Ast.fun_call "item-at" [ b; Ast.int 1 ] )))
             (oneofl [ Ast.Is; Ast.Precedes; Ast.Follows ])
-            (gen_nodeseq (uri, names) vars (n / 2))
-            (gen_nodeseq (uri, names) vars (n / 2)) );
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2)))
+            (delay (fun () -> gen_nodeseq (uri, names) vars (n / 2))) );
         ( 1,
           map2
             (fun a b -> Ast.mk (Ast.And (a, b)))
-            (gen_bool (uri, names) vars (n / 2))
-            (gen_bool (uri, names) vars (n / 2)) );
+            (delay (fun () -> gen_bool (uri, names) vars (n / 2)))
+            (delay (fun () -> gen_bool (uri, names) vars (n / 2))) );
       ]
 
 (* a provably atomic *numeric* expression — the shapes the typing pass
@@ -207,13 +219,13 @@ let rec gen_numeric source vars n =
         ( 3,
           map
             (fun ns -> Ast.fun_call "count" [ ns ])
-            (gen_nodeseq source vars (n - 1)) );
+            (delay (fun () -> gen_nodeseq source vars (n - 1))) );
         ( 2,
           map3
             (fun op a b -> Ast.mk (Ast.Arith (op, a, b)))
             (oneofl [ Ast.Add; Ast.Sub; Ast.Mul ])
-            (gen_numeric source vars (n / 2))
-            (gen_numeric source vars (n / 2)) );
+            (delay (fun () -> gen_numeric source vars (n / 2)))
+            (delay (fun () -> gen_numeric source vars (n / 2))) );
         ( 1,
           map
             (fun ns ->
@@ -222,11 +234,11 @@ let rec gen_numeric source vars n =
                   Ast.fun_call "string"
                     [ Ast.fun_call "item-at" [ ns; Ast.int 1 ] ];
                 ])
-            (gen_nodeseq source vars (n - 1)) );
+            (delay (fun () -> gen_nodeseq source vars (n - 1))) );
         ( 1,
           map
             (fun ns -> Ast.fun_call "sum" [ Ast.fun_call "data" [ ns ] ])
-            (gen_nodeseq source vars (n - 1)) );
+            (delay (fun () -> gen_nodeseq source vars (n - 1))) );
         (1, map Ast.int (int_bound 20));
       ]
 
@@ -237,32 +249,37 @@ let gen_string source vars n =
   in
   frequency
     [
-      (2, map first (gen_nodeseq source vars n));
+      (2, map first (delay (fun () -> gen_nodeseq source vars n)));
       ( 2,
         map2
           (fun ns i ->
             Ast.fun_call
               (if i = 0 then "upper-case" else "lower-case")
               [ first ns ])
-          (gen_nodeseq source vars n) (int_bound 1) );
+          (delay (fun () -> gen_nodeseq source vars n))
+          (int_bound 1) );
       ( 1,
         map2
           (fun ns i ->
             Ast.fun_call "substring"
               [ first ns; Ast.int 1; Ast.int (1 + i) ])
-          (gen_nodeseq source vars n) (int_bound 4) );
+          (delay (fun () -> gen_nodeseq source vars n))
+          (int_bound 4) );
       ( 1,
         map2
           (fun a b -> Ast.fun_call "concat" [ a; Ast.str "-"; b ])
-          (map first (gen_nodeseq source vars (n / 2)))
-          (map first (gen_nodeseq source vars (n / 2))) );
+          (map first (delay (fun () -> gen_nodeseq source vars (n / 2))))
+          (map first (delay (fun () -> gen_nodeseq source vars (n / 2)))) );
     ]
 
 (* an order-insensitive atomic observation of a node sequence *)
 let gen_atom source vars n =
   frequency
     [
-      (3, map (fun ns -> Ast.fun_call "count" [ ns ]) (gen_nodeseq source vars n));
+      ( 3,
+        map
+          (fun ns -> Ast.fun_call "count" [ ns ])
+          (delay (fun () -> gen_nodeseq source vars n)) );
       ( 2,
         map
           (fun ns ->
@@ -273,7 +290,7 @@ let gen_atom source vars n =
                   (Ast.For (v, ns, Ast.fun_call "name" [ Ast.var v ]));
                 Ast.str "-";
               ])
-          (gen_nodeseq source vars n) );
+          (delay (fun () -> gen_nodeseq source vars n)) );
       ( 2,
         map
           (fun ns ->
@@ -284,13 +301,17 @@ let gen_atom source vars n =
                   (Ast.For (v, ns, Ast.fun_call "string" [ Ast.var v ]));
                 Ast.str "|";
               ])
-          (gen_nodeseq source vars n) );
-      (1, map (fun b -> Ast.fun_call "string" [ b ]) (gen_bool source vars n));
+          (delay (fun () -> gen_nodeseq source vars n)) );
+      ( 1,
+        map
+          (fun b -> Ast.fun_call "string" [ b ])
+          (delay (fun () -> gen_bool source vars n)) );
       ( 2,
         (* arithmetic over provably atomic subexpressions *)
-        map (fun x -> Ast.fun_call "string" [ x ]) (gen_numeric source vars n)
-      );
-      (1, gen_string source vars n);
+        map
+          (fun x -> Ast.fun_call "string" [ x ])
+          (delay (fun () -> gen_numeric source vars n)) );
+      (1, delay (fun () -> gen_string source vars n));
       ( 1,
         (* comparison between atomic expressions of two (possibly
            different) sources: both operands are provably atomic, so the
@@ -300,8 +321,8 @@ let gen_atom source vars n =
           (fun op a b ->
             Ast.fun_call "string" [ Ast.mk (Ast.Value_cmp (op, a, b)) ])
           (oneofl [ Ast.Eq; Ast.Lt; Ast.Ge ])
-          (gen_numeric source vars (n / 2))
-          (gen_numeric src2 [] (n / 2)) );
+          (delay (fun () -> gen_numeric source vars (n / 2)))
+          (delay (fun () -> gen_numeric src2 [] (n / 2))) );
     ]
 
 (* a whole query: a sequence of observations, possibly over different

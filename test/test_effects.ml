@@ -1,0 +1,432 @@
+(* The effect & interference analysis, its runtime scheduler, and the
+   verifier's independent schedule check.
+
+   Three layers under test:
+
+   - soundness of the static footprints: every document the evaluator
+     actually observes (instrumented via the Env.observe hook) must be
+     covered by the analyzed read footprint of the query body;
+   - schedule equivalence: executing a plan with the overlap scheduler
+     (parallel + batched envelopes) must be indistinguishable from
+     sequential execution — same values, same post-run document state,
+     and on a faulty wire byte-identical messages;
+   - the verifier's re-derivation: hand-made schedules that overlap
+     interfering (write-touching) calls are rejected with the
+     schedule-interference rule. *)
+
+module Ast = Xd_lang.Ast
+module S = Xd_core.Strategy
+module E = Xd_core.Executor
+module Ef = Xd_effects.Effects
+module F = Xd_xrpc.Fault
+module M = Xd_xrpc.Message
+open Util
+
+let make_net = Gen_queries.make_net
+let arb_query = Gen_queries.arb_query
+let parse = Xd_lang.Parser.parse_query
+
+(* ---- footprint unit tests ----------------------------------------------- *)
+
+let fp_of src =
+  let q = parse src in
+  let res = Ef.analyze q in
+  match Ef.footprint_of res q.Ast.body with
+  | Some fp -> fp
+  | None -> Alcotest.fail "no footprint for the query body"
+
+let reads_docs fp = List.map fst (Ef.reads fp)
+let writes_docs fp = List.map fst (Ef.writes fp)
+
+let footprint_reads () =
+  let fp = fp_of {|doc("xrpc://peerA/students.xml")/child::people|} in
+  check_bool "pure" (Ef.pure fp);
+  check_slist "read doc" [ "peerA/students.xml" ] (reads_docs fp);
+  (* a relative URI resolves against the analysis site (client) *)
+  let fp = fp_of {|doc("local.xml")/child::conf|} in
+  check_slist "client-relative doc" [ "client/local.xml" ] (reads_docs fp)
+
+let footprint_writes () =
+  let fp =
+    fp_of {|delete node doc("xrpc://peerA/students.xml")//child::person|}
+  in
+  check_bool "not pure" (not (Ef.pure fp));
+  check_slist "write doc" [ "peerA/students.xml" ] (writes_docs fp)
+
+let footprint_interference () =
+  let reader = fp_of {|doc("xrpc://peerA/students.xml")//child::person|} in
+  let writer =
+    fp_of {|delete node doc("xrpc://peerA/students.xml")//child::person|}
+  in
+  let other = fp_of {|doc("xrpc://peerB/course.xml")//child::exam|} in
+  check_bool "read-read never interferes" (not (Ef.interferes reader other));
+  check_bool "write vs overlapping read" (Ef.interferes reader writer);
+  check_bool "interference commutes" (Ef.interferes writer reader);
+  check_bool "write vs disjoint document" (not (Ef.interferes writer other))
+
+(* ancestor/descendant conservatism: every doc() use reads the document
+   root, and a write anywhere below the root stands in a descendant
+   relation to it — so a writer interferes with ANY reader of the same
+   document, even under sibling-name-disjoint paths. Only distinct
+   documents are provably safe. *)
+let footprint_disjoint_paths () =
+  let w =
+    fp_of
+      {|delete node doc("xrpc://peerA/students.xml")/child::people/child::person|}
+  in
+  let r_sibling =
+    fp_of {|doc("xrpc://peerA/students.xml")/child::archive/child::box|}
+  in
+  check_bool "same-document reader still interferes (root is an ancestor)"
+    (Ef.interferes w r_sibling)
+
+(* ---- scheduling unit tests ---------------------------------------------- *)
+
+let plan_fanout =
+  {|(execute at {"peerA"} function ()
+       { count(doc("xrpc://peerA/students.xml")//child::person) },
+     execute at {"peerB"} function ()
+       { count(doc("xrpc://peerB/course.xml")//child::exam) })|}
+
+let plan_same_peer =
+  {|(execute at {"peerA"} function ()
+       { count(doc("xrpc://peerA/students.xml")//child::person) },
+     execute at {"peerA"} function ()
+       { count(doc("xrpc://peerA/students.xml")//child::age) },
+     execute at {"peerB"} function ()
+       { count(doc("xrpc://peerB/course.xml")//child::exam) })|}
+
+let plan_interfering =
+  {|(execute at {"peerA"} function ()
+       { count(doc("xrpc://peerA/students.xml")//child::person) },
+     execute at {"peerA"} function ()
+       { delete node doc("xrpc://peerA/students.xml")//child::tutor })|}
+
+let schedule_of src =
+  let q = parse src in
+  (q, Ef.schedule (Ef.analyze q) q)
+
+let schedule_groups () =
+  let q, groups = schedule_of plan_fanout in
+  check_int "one group" 1 (List.length groups);
+  let g = List.hd groups in
+  check_int "two members" 2 (List.length g.Ef.members);
+  check_int "anchored at the Seq" q.Ast.body.Ast.id g.Ef.anchor;
+  (* the interfering pair must not be grouped: the write member is not
+     schedulable *)
+  let _, groups = schedule_of plan_interfering in
+  check_int "no group over an updating call" 0 (List.length groups)
+
+let run_plan ?fault ?record ~parallel src =
+  let net, client = make_net ?fault () in
+  let plan = Xd_core.Decompose.plan_of_query S.By_projection (parse src) in
+  let r = E.run_plan ?record ~parallel net ~client plan in
+  (net, r)
+
+let makespan_max_not_sum () =
+  let _, rs = run_plan ~parallel:false plan_fanout in
+  let _, rp = run_plan ~parallel:true plan_fanout in
+  check_bool "results agree"
+    (Xd_lang.Value.deep_equal rs.E.value rp.E.value);
+  let ts = rs.E.timing and tp = rp.E.timing in
+  check_bool "parallel wire time < sequential"
+    (tp.E.network_s < ts.E.network_s);
+  (* the saved time is exactly the sequential sum minus the critical path *)
+  Alcotest.check (Alcotest.float 1e-9) "saved = sum - max"
+    (ts.E.network_s -. tp.E.network_s)
+    tp.E.sched_saved_s;
+  check_int "one overlap group" 1 tp.E.sched_groups;
+  check_int "two overlapped calls" 2 tp.E.sched_overlapped;
+  check_int "sequential run schedules nothing" 0 ts.E.sched_groups
+
+let batching_one_envelope_per_peer () =
+  let _, rs = run_plan ~parallel:false plan_same_peer in
+  let _, rp = run_plan ~parallel:true plan_same_peer in
+  check_bool "results agree"
+    (Xd_lang.Value.deep_equal rs.E.value rp.E.value);
+  let tp = rp.E.timing in
+  (* two peerA calls coalesce into one envelope; the peerB call stays a
+     singleton *)
+  check_int "one batched envelope" 1 tp.E.batch_envelopes;
+  check_int "two calls travelled batched" 2 tp.E.batch_calls;
+  check_int "three remote calls in total" 3 tp.E.calls;
+  (* one round trip per peer: 2 request/response pairs instead of 3 *)
+  check_int "message count drops" (rs.E.timing.E.messages - 2) tp.E.messages
+
+let per_peer_call_counters () =
+  let net, rp = run_plan ~parallel:true plan_same_peer in
+  let stats = net.Xd_xrpc.Network.stats in
+  check_int "calls total" 3 rp.E.timing.E.calls;
+  check_int "calls to peerA" 2 (Xd_xrpc.Stats.calls_to stats "peerA");
+  check_int "calls to peerB" 1 (Xd_xrpc.Stats.calls_to stats "peerB")
+
+let no_parallel_wire_identical () =
+  (* on a fault-free wire the batched messages differ; with --no-parallel
+     the wire must be byte-identical to the baseline *)
+  let wire src parallel =
+    let record = ref [] in
+    let _ = run_plan ~record ~parallel src in
+    List.rev_map (fun r -> r.Xd_xrpc.Session.text) !record
+  in
+  check_bool "no-parallel wire = baseline wire"
+    (wire plan_same_peer false = wire plan_same_peer false)
+
+(* ---- verifier: schedule vetting ----------------------------------------- *)
+
+let exec_ids body =
+  let acc = ref [] in
+  let rec go (e : Ast.expr) =
+    (match e.Ast.desc with
+    | Ast.Execute_at _ -> acc := e.Ast.id :: !acc
+    | _ -> ());
+    List.iter go (Ast.children e)
+  in
+  go body;
+  List.rev !acc
+
+let has_sched_error report =
+  List.exists
+    (fun d -> Xd_verify.Diag.rule_name d.Xd_verify.Diag.rule = "schedule-interference")
+    (Xd_verify.Verify.errors report)
+
+let verifier_rejects_interference () =
+  let q = parse plan_interfering in
+  let members = exec_ids q.Ast.body in
+  check_int "two calls" 2 (List.length members);
+  let schedule = [ (q.Ast.body.Ast.id, members) ] in
+  let report = Xd_verify.Verify.verify ~schedule S.By_projection q in
+  check_bool "interfering schedule rejected" (has_sched_error report);
+  (* the same plan without a schedule is none of the verifier's business *)
+  let report = Xd_verify.Verify.verify S.By_projection q in
+  check_bool "no schedule, no finding" (not (has_sched_error report))
+
+let verifier_accepts_disjoint () =
+  let q = parse plan_fanout in
+  let schedule = [ (q.Ast.body.Ast.id, exec_ids q.Ast.body) ] in
+  let report = Xd_verify.Verify.verify ~schedule S.By_projection q in
+  check_bool "non-interfering schedule passes" (not (has_sched_error report))
+
+let executor_runs_own_schedule () =
+  (* the full pipeline: plan_schedule derives the groups, the verifier
+     vets them, the session runs them — and an interfering plan never
+     produces a schedule in the first place *)
+  let net, client = make_net () in
+  let plan = Xd_core.Decompose.plan_of_query S.By_projection (parse plan_fanout) in
+  check_int "fan-out plan schedules one group" 1
+    (List.length (E.plan_schedule ~client plan));
+  let plan = Xd_core.Decompose.plan_of_query S.By_projection (parse plan_interfering) in
+  check_int "interfering plan schedules nothing" 0
+    (List.length (E.plan_schedule ~client plan));
+  ignore net
+
+(* updating plans still work under the scheduler, and leave the same
+   document state as the sequential baseline *)
+let world_state net =
+  List.map
+    (fun (host, name) ->
+      let peer = Xd_xrpc.Network.find_peer net host in
+      Xd_xml.Serializer.doc (Option.get (Xd_xrpc.Peer.find_doc peer name)))
+    [ ("peerA", "students.xml"); ("peerB", "course.xml") ]
+
+let updates_unchanged_by_scheduler () =
+  let run parallel =
+    let net, r = run_plan ~parallel plan_interfering in
+    (r.E.value, world_state net)
+  in
+  let vs, ss = run false in
+  let vp, sp = run true in
+  check_bool "values agree" (Xd_lang.Value.deep_equal vs vp);
+  check_bool "post-update document state agrees" (ss = sp)
+
+(* ---- constfold satellites ----------------------------------------------- *)
+
+let constfold_string_join () =
+  let const src =
+    Xd_core.Constfold.const_string (parse src).Ast.body
+  in
+  check_bool "nested concat folds"
+    (const {|concat("pe", concat("er", "1"))|} = Some "peer1");
+  check_bool "string-join over a literal sequence folds"
+    (const {|string-join(("pe", "er", "1"), "")|} = Some "peer1");
+  check_bool "string-join with separator folds"
+    (const {|string-join(("a", "b"), "-")|} = Some "a-b");
+  check_bool "nested sequences flatten"
+    (const {|string-join(("a", ("b", "c")), "")|} = Some "abc");
+  check_bool "string-join of concat folds"
+    (const {|string-join((concat("a", "b"), "c"), "")|} = Some "abc");
+  check_bool "non-literal member refuses to fold"
+    (const {|string-join(("a", string(doc("d.xml"))), "")|} = None)
+
+let constfold_hosts_in_plans () =
+  (* a host computed by string-join is treated like a written-out one:
+     the decomposed plan schedules and batches it *)
+  let src =
+    {|(execute at {string-join(("peer", "A"), "")} function ()
+         { count(doc("xrpc://peerA/students.xml")//child::person) },
+       execute at {concat("peer", "A")} function ()
+         { count(doc("xrpc://peerA/students.xml")//child::age) })|}
+  in
+  let plan = Xd_core.Decompose.plan_of_query S.By_projection (parse src) in
+  let net, client = make_net () in
+  let r = E.run_plan ~parallel:true net ~client plan in
+  check_int "folded hosts batch together" 1 r.E.timing.E.batch_envelopes;
+  ignore net
+
+(* ---- QCheck: footprint soundness ---------------------------------------- *)
+
+(* Canonical key of a doc() URI, mirroring the analysis's keying. *)
+let canonical uri =
+  match Xd_dgraph.Dgraph.split_xrpc_uri uri with
+  | Some (h, n) -> h ^ "/" ^ n
+  | None -> "client/" ^ uri
+
+(* Evaluate [q] locally with every axis step instrumented: the returned
+   set holds the canonical keys of every document whose nodes the
+   evaluator actually touched. *)
+let observed_docs net client (q : Ast.query) =
+  let keymap = Hashtbl.create 8 in
+  let observed = Hashtbl.create 8 in
+  let resolve_doc env uri =
+    let d =
+      match Xd_dgraph.Dgraph.split_xrpc_uri uri with
+      | Some (host, name) -> (
+        let peer = Xd_xrpc.Network.find_peer net host in
+        match Xd_xrpc.Peer.find_doc peer name with
+        | Some d -> d
+        | None -> Xd_lang.Env.dynamic_error "document %S not found" name)
+      | None -> Xd_lang.Env.default_resolve_doc env uri
+    in
+    Hashtbl.replace keymap (X.Doc.id d) (canonical uri);
+    d
+  in
+  let observe n =
+    match Hashtbl.find_opt keymap (X.Doc.id (X.Node.doc n)) with
+    | Some key -> Hashtbl.replace observed key ()
+    | None -> () (* constructed / shredded node: not a stored document *)
+  in
+  let env =
+    Xd_lang.Env.create ~funcs:q.Ast.funcs ~resolve_doc ~observe
+      (Xd_xrpc.Peer.store client)
+  in
+  ignore (Xd_lang.Eval.eval env q.Ast.body);
+  Hashtbl.fold (fun k () acc -> k :: acc) observed []
+
+let prop_footprint_soundness =
+  qtest ~count:600 "observed documents are in the read footprint" arb_query
+    (fun q ->
+      let net, client = make_net () in
+      match observed_docs net client q with
+      | exception _ -> QCheck.assume_fail () (* ill-typed random query *)
+      | observed -> (
+        let res = Ef.analyze ~self:"client" q in
+        match Ef.footprint_of res q.Ast.body with
+        | None -> false (* the body must always carry a footprint *)
+        | Some fp ->
+          Ef.reads_any fp
+          || List.for_all
+               (fun key -> List.mem_assoc key (Ef.reads fp))
+               observed))
+
+(* ---- QCheck: schedule equivalence --------------------------------------- *)
+
+(* Decomposed random queries, executed with and without the scheduler:
+   same value, same document state. The decomposer emits the execute-at
+   structure; whatever the analysis finds schedulable must not change
+   anything observable. *)
+let prop_schedule_equivalence =
+  qtest ~count:300 "parallel/batched = sequential (random queries)"
+    arb_query (fun q ->
+      let run parallel =
+        let net, client = make_net () in
+        let r = E.run ~parallel net ~client S.By_projection q in
+        (r.E.value, world_state net)
+      in
+      match run false with
+      | exception _ -> QCheck.assume_fail ()
+      | vs, ss ->
+        let vp, sp = run true in
+        Xd_lang.Value.deep_equal vs vp && ss = sp)
+
+(* On a faulty wire the scheduler must disable itself entirely: the
+   recorded messages are byte-identical to the sequential baseline, so a
+   seeded fault schedule hits the same bytes in the same order. *)
+let arb_fault_case =
+  let open QCheck.Gen in
+  let gen =
+    let* spec = oneofl [ "drop@0.3#2"; "dup@0.4"; "peerA:truncate@0.5#1"; "delay=0.2@0.5" ] in
+    let* seed = int_bound 9999 in
+    return (spec, seed)
+  in
+  QCheck.make
+    ~print:(fun (spec, seed) -> Printf.sprintf "spec %S, seed %d" spec seed)
+    gen
+
+let fault_of spec seed =
+  match F.parse spec with
+  | Ok s -> F.create ~seed s
+  | Error e -> Alcotest.failf "unparsable spec %S: %s" spec e
+
+let prop_faulty_wire_identical =
+  qtest ~count:150 "faulty wire: scheduler off, wire byte-identical"
+    arb_fault_case (fun (spec, seed) ->
+      let wire parallel =
+        let record = ref [] in
+        let outcome =
+          match
+            run_plan ~fault:(fault_of spec seed) ~record ~parallel
+              plan_same_peer
+          with
+          | _, r -> `Value (Xd_lang.Value.serialize r.E.value)
+          | exception M.Xrpc_fault { code; _ } ->
+            `Fault (M.fault_code_to_string code)
+          | exception M.Xrpc_timeout _ -> `Timeout
+        in
+        ( outcome,
+          List.rev_map
+            (fun r ->
+              match r.Xd_xrpc.Session.dir with
+              | `Request h -> ("req:" ^ h, r.Xd_xrpc.Session.text)
+              | `Response h -> ("resp:" ^ h, r.Xd_xrpc.Session.text))
+            !record )
+      in
+      wire false = wire true)
+
+(* ---- suite -------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "xd_effects"
+    [
+      ( "footprints",
+        [
+          tc "reads" footprint_reads;
+          tc "writes" footprint_writes;
+          tc "interference" footprint_interference;
+          tc "disjoint paths" footprint_disjoint_paths;
+        ] );
+      ( "scheduler",
+        [
+          tc "groups" schedule_groups;
+          tc "makespan = max not sum" makespan_max_not_sum;
+          tc "one envelope per peer" batching_one_envelope_per_peer;
+          tc "per-peer call counters" per_peer_call_counters;
+          tc "no-parallel wire identical" no_parallel_wire_identical;
+          tc "updates unchanged" updates_unchanged_by_scheduler;
+        ] );
+      ( "verifier",
+        [
+          tc "rejects interference" verifier_rejects_interference;
+          tc "accepts disjoint" verifier_accepts_disjoint;
+          tc "executor schedules safely" executor_runs_own_schedule;
+        ] );
+      ( "constfold",
+        [
+          tc "string-join folding" constfold_string_join;
+          tc "folded hosts in plans" constfold_hosts_in_plans;
+        ] );
+      ( "properties",
+        [
+          prop_footprint_soundness;
+          prop_schedule_equivalence;
+          prop_faulty_wire_identical;
+        ] );
+    ]
