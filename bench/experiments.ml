@@ -544,6 +544,144 @@ let write_effects_json ~path ~persons rows =
   output_string oc (effects_json ~persons rows);
   close_out oc
 
+(* ---- topo: dynamic topology — forwarding & replica failover --------------- *)
+
+(* The robustness story of the peer catalog, on one read-only call to the
+   people owner: a moved document costs one extra redirect round trip; a
+   down owner without replicas degrades to data shipping (the whole
+   document crosses the wire); the same down owner *with* a catalogued
+   replica fails over and ships only the answer. *)
+
+type topo_row = {
+  tp_name : string;
+  tp_net_s : float; (* simulated wire time *)
+  tp_messages : int;
+  tp_message_bytes : int;
+  tp_document_bytes : int;
+  tp_forwarded : int;
+  tp_failovers : int;
+  tp_fallbacks : int;
+}
+
+let topo_query =
+  {|execute at {"peer1"} function ()
+      { count(doc("xrpc://peer1/xmk.xml")/descendant::person) }|}
+
+let topo ~persons () =
+  let run ~fault ~catalog ~churn ~replicate =
+    let fault =
+      match fault with
+      | None -> Xd_xrpc.Fault.none
+      | Some s -> (
+        match Xd_xrpc.Fault.parse s with
+        | Ok spec -> Xd_xrpc.Fault.create ~seed:0 spec
+        | Error e -> failwith e)
+    in
+    let net = Xd_xrpc.Network.create ~fault () in
+    let client = Xd_xrpc.Network.new_peer net "client" in
+    let peer1 = Xd_xrpc.Network.new_peer net "peer1" in
+    let peer2 = Xd_xrpc.Network.new_peer net "peer2" in
+    ignore
+      (Xd_xmark.Generator.load_pair ~persons ~people_peer:peer1
+         ~auctions_peer:peer2 ~people_doc:"xmk.xml"
+         ~auctions_doc:"xmk.auctions.xml" ());
+    if replicate then
+      (* the replica peer holds its own copy of the people document *)
+      ignore
+        (Xd_xmark.Generator.load_pair ~persons ~people_peer:peer2
+           ~auctions_peer:peer2 ~people_doc:"xmk.xml"
+           ~auctions_doc:"xmk.auctions.xml" ());
+    (match catalog with
+    | None -> ()
+    | Some spec -> (
+      match Xd_topo.Catalog.of_spec spec with
+      | Ok cat -> Xd_xrpc.Network.set_catalog net cat
+      | Error e -> failwith e));
+    (match churn with
+    | None -> ()
+    | Some spec -> (
+      match Xd_topo.Churn.parse spec with
+      | Ok events -> Xd_xrpc.Network.set_churn net (Xd_topo.Churn.create events)
+      | Error e -> failwith e));
+    let plan =
+      Xd_core.Decompose.plan_of_query S.By_projection
+        (Xd_lang.Parser.parse_query topo_query)
+    in
+    E.run_plan net ~client plan
+  in
+  let reference = (run ~fault:None ~catalog:None ~churn:None ~replicate:false).E.value in
+  List.map
+    (fun (name, fault, catalog, churn, replicate) ->
+      let r = run ~fault ~catalog ~churn ~replicate in
+      if not (Xd_lang.Value.deep_equal r.E.value reference) then
+        failwith (name ^ ": diverges from the owner-up result");
+      let t = r.E.timing in
+      {
+        tp_name = name;
+        tp_net_s = t.E.network_s;
+        tp_messages = t.E.messages;
+        tp_message_bytes = t.E.message_bytes;
+        tp_document_bytes = t.E.document_bytes;
+        tp_forwarded = t.E.forwarded;
+        tp_failovers = t.E.topo_failovers;
+        tp_fallbacks = t.E.fallbacks;
+      })
+    [
+      ("direct (owner up)", None, None, None, false);
+      ( "forward (doc moved)",
+        None,
+        Some "peer1/xmk.xml",
+        Some "1:move=xmk.xml/peer2",
+        true );
+      ("degrade (owner down)", Some "peer1:down", None, None, false);
+      ( "failover (replica)",
+        Some "peer1:down",
+        Some "peer1/xmk.xml+peer2",
+        None,
+        true );
+    ]
+
+let print_topo rows =
+  print_endline
+    "== Topo: catalog forwarding & replica failover (one read-only call) ==";
+  print_endline
+    "   expected shape: forward costs one redirect round trip; degrade ships \
+     the document, failover ships only the answer";
+  Printf.printf "%-22s %10s %8s %10s %10s %5s %5s %5s\n" "scenario" "net(ms)"
+    "msgs" "msg B" "doc B" "fwd" "fail" "degr";
+  List.iter
+    (fun r ->
+      Printf.printf "%-22s %10.3f %8d %10d %10d %5d %5d %5d\n" r.tp_name
+        (r.tp_net_s *. 1000.) r.tp_messages r.tp_message_bytes
+        r.tp_document_bytes r.tp_forwarded r.tp_failovers r.tp_fallbacks)
+    rows;
+  print_newline ()
+
+let topo_json ~persons rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"topo-forwarding-failover\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"persons\": %d,\n" persons);
+  Buffer.add_string b "  \"scenarios\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"network_s\": %.6f, \"messages\": %d,\n\
+           \     \"message_bytes\": %d, \"document_bytes\": %d,\n\
+           \     \"forwarded\": %d, \"failovers\": %d, \"fallbacks\": %d}%s\n"
+           r.tp_name r.tp_net_s r.tp_messages r.tp_message_bytes
+           r.tp_document_bytes r.tp_forwarded r.tp_failovers r.tp_fallbacks
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_topo_json ~path ~persons rows =
+  let oc = open_out path in
+  output_string oc (topo_json ~persons rows);
+  close_out oc
+
 (* Sanity: all strategies produce the reference result. *)
 let verify ~persons () =
   let setup = make_setup ~persons in

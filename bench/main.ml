@@ -49,6 +49,13 @@ let run_effects () =
   Experiments.write_effects_json ~path:"BENCH_effects.json" ~persons rows;
   print_endline "   (written to BENCH_effects.json)\n"
 
+let run_topo () =
+  let persons = !base_scale * 2 in
+  let rows = Experiments.topo ~persons () in
+  Experiments.print_topo rows;
+  Experiments.write_topo_json ~path:"BENCH_topo.json" ~persons rows;
+  print_endline "   (written to BENCH_topo.json)\n"
+
 let run_verify () = Experiments.verify ~persons:(!base_scale * 2) ()
 let run_workloads () = Experiments.workload_suite ~persons:(!base_scale * 2) ()
 
@@ -130,6 +137,7 @@ let all () =
   run_fig10_11 ();
   run_workloads ();
   run_effects ();
+  run_topo ();
   run_ablations ()
 
 let () =
@@ -159,10 +167,11 @@ let () =
         | "verify" -> run_verify ()
         | "workloads" -> run_workloads ()
         | "effects" -> run_effects ()
+        | "topo" -> run_topo ()
         | "micro" -> micro ()
         | other ->
           Printf.eprintf
-            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|verify|micro|all)\n"
+            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|verify|micro|all)\n"
             other;
           exit 1)
       cmds

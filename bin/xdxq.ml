@@ -6,7 +6,8 @@
           [--verify-plan] [--plan] [--force]
           [--fault-spec SPEC] [--fault-seed N] [--timeout S] [--retries N]
           [--txn] [--journal-dir DIR] [--trace] [--trace-out FILE]
-          [--trace-format jsonl|chrome] [--metrics] QUERY
+          [--trace-format jsonl|chrome] [--metrics]
+          [--catalog SPEC] [--topo-churn SPEC] [--show-catalog] QUERY
 
    QUERY is a file name, or a literal query with --query. Documents are
    loaded onto named peers; the query addresses them as
@@ -179,6 +180,33 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let catalog_arg =
+  let doc =
+    "Install a dynamic-topology catalog: ';'-separated \
+     OWNER/DOC[+REPLICA...] entries mapping documents to owning peers \
+     (e.g. 'peer1/d.xml+peer2;peer2/e.xml'). Computed execute-at hosts \
+     resolve against it at call time; peers forward calls for documents \
+     they no longer own; reads fail over to replicas of down owners."
+  in
+  Arg.(value & opt (some string) None & info [ "catalog" ] ~docv:"SPEC" ~doc)
+
+let topo_churn_arg =
+  let doc =
+    "Scripted membership churn over the catalog (requires --catalog). \
+     SPEC is ';'-separated N:EVENT rules fired when the N-th message \
+     hits the wire, with EVENT one of move=DOC/PEER, join=PEER, \
+     leave=PEER, down=PEER, up=PEER (e.g. '2:move=d.xml/peer2')."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "topo-churn" ] ~docv:"SPEC" ~doc)
+
+let show_catalog_arg =
+  let doc =
+    "Print the catalog (entries, members, epoch) after executing — \
+     post-churn state, when --topo-churn fired events."
+  in
+  Arg.(value & flag & info [ "show-catalog" ] ~doc)
+
 let query_string_arg =
   let doc = "Give the query inline instead of in a file." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
@@ -210,8 +238,8 @@ let parse_doc_spec s =
 
 let run docs strategy explain stats code_motion types effects no_parallel
     no_typing verify_plan as_plan force fault_spec fault_seed timeout_s
-    retries txn journal_dir trace trace_out trace_format metrics query_string
-    query_file =
+    retries txn journal_dir trace trace_out trace_format metrics catalog_spec
+    topo_churn show_catalog query_string query_file =
   let typing = not no_typing in
   let query_src =
     match (query_string, query_file) with
@@ -235,6 +263,28 @@ let run docs strategy explain stats code_motion types effects no_parallel
           exit 1)
     in
     let net = Xd_xrpc.Network.create ~fault ?journal_dir () in
+    (match catalog_spec with
+    | None ->
+      if Option.is_some topo_churn then begin
+        prerr_endline "bad --topo-churn: requires --catalog";
+        exit 1
+      end
+    | Some s -> (
+      match Xd_topo.Catalog.of_spec s with
+      | Error e ->
+        Printf.eprintf "bad --catalog: %s\n" e;
+        exit 1
+      | Ok cat -> (
+        Xd_xrpc.Network.set_catalog net cat;
+        match topo_churn with
+        | None -> ()
+        | Some cs -> (
+          match Xd_topo.Churn.parse cs with
+          | Error e ->
+            Printf.eprintf "bad --topo-churn: %s\n" e;
+            exit 1
+          | Ok events ->
+            Xd_xrpc.Network.set_churn net (Xd_topo.Churn.create events)))));
     let client = Xd_xrpc.Network.new_peer net "client" in
     let tracer =
       if trace || trace_out <> None then Some (Xd_obs.Trace.create ())
@@ -328,7 +378,10 @@ let run docs strategy explain stats code_motion types effects no_parallel
       in
       if explain then Format.printf "%a@." Xd_core.Decompose.explain plan;
       if verify_plan then begin
-        let report = Xd_core.Executor.verify_plan ~client plan in
+        let report =
+          Xd_core.Executor.verify_plan
+            ?catalog:net.Xd_xrpc.Network.catalog ~client plan
+        in
         Format.printf "%a@." Xd_verify.Verify.pp_report report
       end;
       match
@@ -364,6 +417,10 @@ let run docs strategy explain stats code_motion types effects no_parallel
         1
       | r ->
         print_endline (Xd_lang.Value.serialize r.Xd_core.Executor.value);
+        if show_catalog then
+          Option.iter
+            (Format.printf "%a@." Xd_topo.Catalog.pp)
+            net.Xd_xrpc.Network.catalog;
         if stats then begin
           if Xd_xrpc.Stats.is_empty net.Xd_xrpc.Network.stats then
             Printf.eprintf "strategy: %s\n(no remote activity)\n"
@@ -396,6 +453,22 @@ let run docs strategy explain stats code_motion types effects no_parallel
             Printf.eprintf "txn: staged %d, commits %d, aborts %d\n"
               t.Xd_core.Executor.txn_staged t.Xd_core.Executor.txn_commits
               t.Xd_core.Executor.txn_aborts;
+          if
+            t.Xd_core.Executor.topo_resolutions > 0
+            || t.Xd_core.Executor.forwarded > 0
+            || t.Xd_core.Executor.topo_failovers > 0
+            || t.Xd_core.Executor.topo_epoch_aborts > 0
+          then
+            Printf.eprintf
+              "topo: resolutions %d, forwarded %d, failovers %d, \
+               epoch-aborts %d\n"
+              t.Xd_core.Executor.topo_resolutions
+              t.Xd_core.Executor.forwarded
+              t.Xd_core.Executor.topo_failovers
+              t.Xd_core.Executor.topo_epoch_aborts;
+          (match Xd_xrpc.Stats.down_peers net.Xd_xrpc.Network.stats with
+          | [] -> ()
+          | ps -> Printf.eprintf "peers down: %s\n" (String.concat ", " ps));
           if t.Xd_core.Executor.sched_groups > 0 then
             Printf.eprintf
               "sched: groups %d, overlapped calls %d, saved %.3fms \
@@ -421,6 +494,7 @@ let cmd =
       $ no_typing_arg $ verify_plan_arg $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg
-      $ trace_format_arg $ metrics_arg $ query_string_arg $ query_file_arg)
+      $ trace_format_arg $ metrics_arg $ catalog_arg $ topo_churn_arg
+      $ show_catalog_arg $ query_string_arg $ query_file_arg)
 
 let () = exit (Cmd.eval' cmd)

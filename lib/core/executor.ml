@@ -30,6 +30,10 @@ type timing = {
   sched_saved_s : float; (* simulated wire time saved by overlap *)
   batch_envelopes : int; (* coalesced multi-call request envelopes *)
   batch_calls : int; (* calls that travelled inside batch envelopes *)
+  forwarded : int; (* <forward> redirects followed *)
+  topo_resolutions : int; (* computed hosts resolved via the catalog *)
+  topo_failovers : int; (* calls re-routed to a replica of a down owner *)
+  topo_epoch_aborts : int; (* prepares refused on an epoch mismatch *)
 }
 
 let total_time t =
@@ -47,10 +51,11 @@ type run = {
 
 exception Plan_rejected of Xd_verify.Verify.report
 
-let verify_plan ?schedule ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) =
+let verify_plan ?schedule ?catalog ~(client : Xd_xrpc.Peer.t)
+    (plan : Decompose.plan) =
   Xd_verify.Verify.verify
     ~self:(Xd_xrpc.Peer.name client)
-    ?schedule plan.Decompose.strategy plan.Decompose.query
+    ?schedule ?catalog plan.Decompose.strategy plan.Decompose.query
 
 (* The effect analysis's overlap schedule for a plan, as this client
    would run it: [(anchor, members)] pairs of Seq/Let/For anchor vertices
@@ -119,7 +124,11 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
   (* the overlap schedule rides into both the verifier (which re-derives
      the footprints and vets it) and the session (which executes it) *)
   let schedule = if parallel then plan_schedule ~client plan else [] in
-  let report = verify_plan ~schedule ~client plan in
+  (* the verifier judges the plan against the very catalog the session
+     will resolve hosts with *)
+  let report =
+    verify_plan ~schedule ?catalog:net.Xd_xrpc.Network.catalog ~client plan
+  in
   if (not force) && not (Xd_verify.Verify.ok report) then
     raise (Plan_rejected report);
   let strategy = plan.Decompose.strategy in
@@ -191,6 +200,10 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
       sched_saved_s = St.sched_saved_s stats;
       batch_envelopes = St.batch_envelopes stats;
       batch_calls = St.batch_calls stats;
+      forwarded = St.forwarded stats;
+      topo_resolutions = St.topo_resolutions stats;
+      topo_failovers = St.topo_failovers stats;
+      topo_epoch_aborts = St.topo_epoch_aborts stats;
     }
   in
   { value; plan; timing; trace_root }

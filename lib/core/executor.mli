@@ -30,6 +30,13 @@ type timing = {
       (** simulated wire time saved by overlap (sum − critical path) *)
   batch_envelopes : int;  (** coalesced multi-call request envelopes sent *)
   batch_calls : int;  (** calls that travelled inside batch envelopes *)
+  forwarded : int;  (** [<forward>] redirects followed *)
+  topo_resolutions : int;
+      (** computed execute-at hosts resolved via the catalog *)
+  topo_failovers : int;
+      (** calls re-routed to a replica because the owner was down *)
+  topo_epoch_aborts : int;
+      (** 2PC prepares participants refused on an epoch mismatch *)
 }
 
 val total_time : timing -> float
@@ -50,13 +57,16 @@ exception Plan_rejected of Xd_verify.Verify.report
     distributed would silently diverge from the local semantics. *)
 
 val verify_plan :
-  ?schedule:(int * int list) list -> client:Xd_xrpc.Peer.t ->
-  Decompose.plan -> Xd_verify.Verify.report
+  ?schedule:(int * int list) list -> ?catalog:Xd_topo.Catalog.t ->
+  client:Xd_xrpc.Peer.t -> Decompose.plan -> Xd_verify.Verify.report
 (** Run the static verifier on a plan as this client would see it (calls
     targeting the client's own peer name are local evaluation).
     [schedule] additionally submits an overlap schedule for vetting: the
     verifier re-derives every member's effect footprint and rejects
-    non-read-only or interfering members. *)
+    non-read-only or interfering members. [catalog] is the topology
+    catalog the plan will run against: it tightens the computed-host
+    warning into a checked judgment (see {!Xd_verify.Verify.verify}).
+    {!run_plan} passes the network's installed catalog automatically. *)
 
 val plan_schedule :
   client:Xd_xrpc.Peer.t -> Decompose.plan -> (int * int list) list

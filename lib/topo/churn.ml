@@ -1,0 +1,87 @@
+type event =
+  | Move of { doc : string; owner : string }
+  | Join of string
+  | Leave of string
+  | Down of string
+  | Up of string
+
+type t = { mutable pending : (int * event) list (* sorted by trigger count *) }
+
+let empty = { pending = [] }
+
+let create rules =
+  { pending = List.stable_sort (fun (a, _) (b, _) -> compare a b) rules }
+
+let apply cat = function
+  | Move { doc; owner } -> Catalog.move cat ~doc ~owner
+  | Join p -> Catalog.join cat p
+  | Leave p -> Catalog.leave cat p
+  | Down p -> Catalog.mark_down cat p
+  | Up p -> Catalog.mark_up cat p
+
+let tick t cat ~count =
+  let fired, pending = List.partition (fun (at, _) -> at <= count) t.pending in
+  t.pending <- pending;
+  List.map
+    (fun (_, ev) ->
+      apply cat ev;
+      ev)
+    fired
+
+let event_to_string = function
+  | Move { doc; owner } -> Printf.sprintf "move %s -> %s" doc owner
+  | Join p -> "join " ^ p
+  | Leave p -> "leave " ^ p
+  | Down p -> "down " ^ p
+  | Up p -> "up " ^ p
+
+let parse s =
+  let rules = ref [] in
+  let err = ref None in
+  let fail fmt = Format.kasprintf (fun m -> if !err = None then err := Some m) fmt in
+  String.split_on_char ';' s
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" then
+           match String.index_opt item ':' with
+           | None -> fail "rule %S: expected N:EVENT" item
+           | Some i -> (
+             let count = String.sub item 0 i in
+             let ev = String.sub item (i + 1) (String.length item - i - 1) in
+             match int_of_string_opt count with
+             | None -> fail "rule %S: bad message count %S" item count
+             | Some n when n < 1 -> fail "rule %S: message counts are 1-based" item
+             | Some n -> (
+               let kind, arg =
+                 match String.index_opt ev '=' with
+                 | None -> (ev, "")
+                 | Some j ->
+                   ( String.sub ev 0 j,
+                     String.sub ev (j + 1) (String.length ev - j - 1) )
+               in
+               let peer_event mk =
+                 if arg = "" then fail "rule %S: %s needs =PEER" item kind
+                 else rules := (n, mk arg) :: !rules
+               in
+               match kind with
+               | "join" -> peer_event (fun p -> Join p)
+               | "leave" -> peer_event (fun p -> Leave p)
+               | "down" -> peer_event (fun p -> Down p)
+               | "up" -> peer_event (fun p -> Up p)
+               | "move" -> (
+                 match String.index_opt arg '/' with
+                 | Some j when j > 0 && j < String.length arg - 1 ->
+                   rules :=
+                     ( n,
+                       Move
+                         {
+                           doc = String.sub arg 0 j;
+                           owner =
+                             String.sub arg (j + 1) (String.length arg - j - 1);
+                         } )
+                     :: !rules
+                 | _ -> fail "rule %S: move needs =DOC/PEER" item)
+               | _ ->
+                 fail "rule %S: unknown event %S (move|join|leave|down|up)" item
+                   kind)));
+  match !err with Some m -> Error m | None -> Ok (List.rev !rules)

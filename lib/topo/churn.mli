@@ -1,0 +1,30 @@
+(** Deterministic membership churn: a script of catalog events, each fired
+    just before the N-th wire message of the run. Message counts (not wall
+    clocks) key the schedule so runs replay bit-for-bit — the same discipline
+    as the seeded fault model ([--fault-spec]). *)
+
+type event =
+  | Move of { doc : string; owner : string }
+  | Join of string
+  | Leave of string
+  | Down of string
+  | Up of string
+
+type t
+
+val empty : t
+
+(** [parse s] reads the [--topo-churn] mini-language: ';'-separated
+    [N:EVENT] rules where [EVENT] is [move=DOC/PEER], [join=PEER],
+    [leave=PEER], [down=PEER] or [up=PEER], e.g.
+    ["1:move=d.xml/peer2;5:leave=peer1"]. Counts are 1-based. *)
+val parse : string -> ((int * event) list, string) result
+
+val create : (int * event) list -> t
+val apply : Catalog.t -> event -> unit
+
+(** [tick t cat ~count] fires (and removes) every rule whose trigger count is
+    [<= count], applying it to [cat]; returns the fired events in order. *)
+val tick : t -> Catalog.t -> count:int -> event list
+
+val event_to_string : event -> string

@@ -29,6 +29,13 @@ type ctx = {
   g : Dg.t;
   funcs : Ast.func list;
   self : string; (* the client peer's name; "" matches the session default *)
+  catalog : Xd_topo.Catalog.t option;
+      (* the topology catalog the plan will run against, when one is
+         installed. It upgrades two judgments: a computed [execute at]
+         host becomes checkable (the runtime resolves it against the
+         same catalog), and relative document names inside remote bodies
+         resolve to their catalogued owner instead of "whoever
+         evaluates". *)
   atomic : int -> bool;
       (* independently re-derived typing fact: the vertex provably
          produces only atomic values. A message carrying only atoms is an
@@ -228,15 +235,87 @@ let rec check_host ctx h (e : Ast.expr) =
                  d.Dg.site
                  "body shipped to %s reads %s, owned by %s: the call does \
                   not execute where its data lives" h u h')
-          | None ->
-            add ctx
-              (Diag.make ~host:h ~severity:Diag.Error Diag.Host_consistency
-                 d.Dg.site
-                 "body shipped to %s reads document %s, a name that \
-                  resolves against the local store of whichever peer \
-                  evaluates it" h u)))
+          | None -> (
+            match ctx.catalog with
+            | Some cat when Xd_topo.Catalog.resolve cat u <> None ->
+              if not (Xd_topo.Catalog.serves cat ~peer:h ~doc:u) then
+                add ctx
+                  (Diag.make ~host:h ~severity:Diag.Error
+                     Diag.Host_consistency d.Dg.site
+                     "body shipped to %s reads document %s, which the \
+                      catalog assigns to %s: %s can never own that data"
+                     h u
+                     (match Xd_topo.Catalog.owner_of cat u with
+                     | Some o -> o
+                     | None -> "another peer")
+                     h)
+            | _ ->
+              add ctx
+                (Diag.make ~host:h ~severity:Diag.Error Diag.Host_consistency
+                   d.Dg.site
+                   "body shipped to %s reads document %s, a name that \
+                    resolves against the local store of whichever peer \
+                    evaluates it" h u))))
       (Dg.direct_uri_deps_of_vertex e);
     List.iter (check_host ctx h) (Ast.children e)
+
+(* ---- computed-host judgment against the catalog ---------------------- *)
+
+(* Direct document dependencies of a remote body, nested remote bodies
+   excluded (they route against their own target). *)
+let body_doc_deps (body : Ast.expr) =
+  let deps = ref [] in
+  let rec go (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Execute_at x ->
+      go x.Ast.host;
+      List.iter (fun (_, a) -> go a) x.Ast.params
+    | _ ->
+      deps := Dg.direct_uri_deps_of_vertex e @ !deps;
+      List.iter go (Ast.children e)
+  in
+  go body;
+  !deps
+
+(* What the runtime's call-time resolution will conclude for a computed
+   host: [`Owner o] — every document the body touches is catalogued and
+   owned by the single peer [o] (the session routes there, so the plan
+   is judged as if [o] were written literally); [`Clean] — the body
+   touches no routable data at all, any host gives the same answer;
+   [`Split owners] — provably no single peer owns everything the body
+   reads; [`Unknown] — at least one dependency escapes the catalog
+   (computed URI or uncatalogued name), so the static judgment stays the
+   old warning. *)
+let judge_computed_host cat (x : Ast.execute_at) =
+  let unknown = ref false in
+  let owners =
+    List.filter_map
+      (fun d ->
+        match d.Dg.uri with
+        | Dg.Constr -> None
+        | Dg.Wildcard ->
+          unknown := true;
+          None
+        | Dg.Uri u -> (
+          let name =
+            match Dg.split_xrpc_uri u with Some (_, n) -> n | None -> u
+          in
+          match Xd_topo.Catalog.owner_of cat name with
+          | Some o -> Some o
+          | None -> (
+            match Dg.split_xrpc_uri u with
+            | Some (h, _) -> Some h (* uncatalogued but host-pinned *)
+            | None ->
+              unknown := true;
+              None)))
+      (body_doc_deps x.Ast.body)
+    |> List.sort_uniq compare
+  in
+  match owners with
+  | _ :: _ :: _ -> `Split owners
+  | _ when !unknown -> `Unknown
+  | [ o ] -> `Owner o
+  | [] -> `Clean
 
 (* ---- the interpreter ------------------------------------------------- *)
 
@@ -418,13 +497,39 @@ and eval_execute_at ctx env site (e : Ast.expr) (x : Ast.execute_at) =
     let h, known =
       match host_desc with
       | Ast.Literal (Ast.A_string h) -> (h, true)
-      | _ ->
+      | _ -> (
         ignore (eval ctx env site x.Ast.host);
-        add ctx
-          (Diag.make ~exec:e.Ast.id ~severity:Diag.Warning
-             Diag.Host_consistency e.Ast.id
-             "cannot statically resolve the target host of this execute-at");
-        ("?", false)
+        match ctx.catalog with
+        | Some cat when not (Xd_topo.Catalog.trivial cat) -> (
+          (* the runtime resolves computed hosts against this same
+             catalog at call time (Session.execute_at), so the warning
+             tightens into a checked judgment *)
+          match judge_computed_host cat x with
+          | `Owner o -> (o, true)
+          | `Clean -> ("?", false)
+          | `Split owners ->
+            add ctx
+              (Diag.make ~exec:e.Ast.id ~severity:Diag.Error
+                 Diag.Host_consistency e.Ast.id
+                 "no single peer owns every document this execute-at's \
+                  body reads (the catalog maps them to %s): no computed \
+                  host can execute where all its data lives"
+                 (String.concat ", " owners));
+            ("?", false)
+          | `Unknown ->
+            add ctx
+              (Diag.make ~exec:e.Ast.id ~severity:Diag.Warning
+                 Diag.Host_consistency e.Ast.id
+                 "cannot statically resolve the target host of this \
+                  execute-at");
+            ("?", false))
+        | _ ->
+          add ctx
+            (Diag.make ~exec:e.Ast.id ~severity:Diag.Warning
+               Diag.Host_consistency e.Ast.id
+               "cannot statically resolve the target host of this \
+                execute-at");
+          ("?", false))
     in
     if known then check_host ctx h x.Ast.body;
     let origin = { Prov.exec = e.Ast.id; host = h } in
@@ -467,8 +572,8 @@ and eval_execute_at ctx env site (e : Ast.expr) (x : Ast.execute_at) =
       Prov.crossed
         (if pb.Prov.tainted || pb.Prov.disordered then Prov.taint res else res)
 
-let run ~strategy ~g ~funcs ?(self = "") ?(atomic = fun _ -> false)
+let run ~strategy ~g ~funcs ?(self = "") ?(atomic = fun _ -> false) ?catalog
     (e : Ast.expr) =
-  let ctx = { strategy; g; funcs; self; atomic; diags = [] } in
+  let ctx = { strategy; g; funcs; self; catalog; atomic; diags = [] } in
   ignore (eval ctx Smap.empty self e);
   List.rev ctx.diags

@@ -19,6 +19,7 @@ val run :
   funcs:Ast.func list ->
   ?self:string ->
   ?atomic:(int -> bool) ->
+  ?catalog:Xd_topo.Catalog.t ->
   Ast.expr ->
   Diag.t list
 (** [run ~strategy ~g ~funcs ?self e] interprets [e] — [g] must be
@@ -30,4 +31,13 @@ val run :
     atomic values — under which execute-at parameters and results cross
     the wire as exact values with no copy provenance; callers must
     derive it independently (see [Xd_types.Infer]), never accept it from
-    the decomposer. *)
+    the decomposer.
+
+    [catalog], when given and non-trivial, is the topology catalog the
+    plan will execute against. It tightens two judgments: a computed
+    [execute at] host whose body's documents all resolve to one
+    catalogued owner verifies cleanly (the runtime routes there), one
+    whose documents provably span several owners is a [host-consistency]
+    error, and relative document names inside remote bodies check
+    against the catalogued owner/replicas instead of erroring as
+    locally-resolved names. *)

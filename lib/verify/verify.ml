@@ -97,7 +97,7 @@ let check_schedule ?self (q : Ast.query) (schedule : (int * int list) list) =
         unit_diags @ pair_diags fps)
       groups
 
-let verify ?self ?(schedule = []) strategy (q : Ast.query) : report =
+let verify ?self ?(schedule = []) ?catalog strategy (q : Ast.query) : report =
   (* typing facts are re-derived here, from the plan as given — the
      verifier never accepts the decomposer's typing. A proven-atomic
      execute-at parameter or result crosses the wire as an exact value
@@ -108,7 +108,7 @@ let verify ?self ?(schedule = []) strategy (q : Ast.query) : report =
   let atomic = Xd_types.Infer.atomic_fact (Xd_types.Infer.infer_query q) in
   let run_body body =
     let g = Dg.build body in
-    Absint.run ~strategy ~g ~funcs:q.Ast.funcs ?self ~atomic body
+    Absint.run ~strategy ~g ~funcs:q.Ast.funcs ?self ~atomic ?catalog body
   in
   let main = run_body q.Ast.body in
   (* function bodies execute wherever the module ships: check each one

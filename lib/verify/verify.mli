@@ -12,12 +12,20 @@
 type report = { strategy : Xd_xrpc.Strategy.t; diags : Diag.t list }
 
 val verify :
-  ?self:string -> ?schedule:(int * int list) list -> Xd_xrpc.Strategy.t ->
+  ?self:string -> ?schedule:(int * int list) list ->
+  ?catalog:Xd_topo.Catalog.t -> Xd_xrpc.Strategy.t ->
   Xd_lang.Ast.query -> report
 (** [verify ?self ?schedule strategy q] checks [q] under [strategy].
     [self] is the client peer's name ([execute at] targeting it is local
     evaluation, not a message; defaults to [""], the session-local
     pseudo-host).
+
+    [catalog] is the topology catalog the plan will run against, when
+    dynamic topology is active. A non-trivial catalog tightens the
+    computed-host warning into a checked judgment: clean pass when every
+    document a computed-host body touches resolves to one catalogued
+    owner, [host-consistency] error when the documents provably span
+    several owners (see {!Absint.run}).
 
     [schedule] is a proposed overlap schedule ([(anchor, members)] pairs
     of Seq/Let/For anchor and [execute at] member vertex ids, as produced

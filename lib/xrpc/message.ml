@@ -72,15 +72,24 @@ type fault_code =
   | App_dynamic (* XQuery dynamic error raised by the remote body *)
   | App_type (* XQuery type error raised by the remote body *)
   | Txn_aborted (* the distributed transaction was aborted by 2PC *)
+  | Topo_unroutable (* forwarding could not reach an owner (hop limit
+                       exhausted or a redirect loop) *)
 
 exception
   Xrpc_fault of { host : string; code : fault_code; reason : string }
 
 exception Xrpc_timeout of { host : string; attempts : int }
 
+(* A well-formed <forward> redirect answer: the callee no longer owns the
+   data; the caller should re-resolve and retry at [owner]. Raised by the
+   response shredder, consumed by Session's forwarding loop. *)
+exception Xrpc_forward of { doc : string; owner : string; epoch : int }
+
 let retryable = function
   | Transport_corrupt | Transport_timeout -> true
-  | Protocol_malformed | App_dynamic | App_type | Txn_aborted -> false
+  | Protocol_malformed | App_dynamic | App_type | Txn_aborted
+  | Topo_unroutable ->
+    false
 
 let fault_code_to_string = function
   | Transport_corrupt -> "xrpc:transport.corrupt"
@@ -89,6 +98,7 @@ let fault_code_to_string = function
   | App_dynamic -> "xrpc:app.dynamic-error"
   | App_type -> "xrpc:app.type-error"
   | Txn_aborted -> "xrpc:txn.aborted"
+  | Topo_unroutable -> "xrpc:topo.unroutable"
 
 let fault_code_of_string = function
   | "xrpc:transport.corrupt" -> Transport_corrupt
@@ -97,6 +107,7 @@ let fault_code_of_string = function
   | "xrpc:app.dynamic-error" -> App_dynamic
   | "xrpc:app.type-error" -> App_type
   | "xrpc:txn.aborted" -> Txn_aborted
+  | "xrpc:topo.unroutable" -> Topo_unroutable
   | s -> protocol_error "unknown fault code %S" s
 
 (* SOAP 1.2 top-level role: sender faults are the caller's doing,
@@ -104,7 +115,7 @@ let fault_code_of_string = function
 let fault_role = function
   | Protocol_malformed -> "env:Sender"
   | Transport_corrupt | Transport_timeout | App_dynamic | App_type
-  | Txn_aborted ->
+  | Txn_aborted | Topo_unroutable ->
     "env:Receiver"
 
 (* ------------------------------------------------------------------ *)
@@ -258,12 +269,18 @@ let txn_ack_of_string = function
   | "aborted" -> Ack_aborted
   | s -> protocol_error "unknown transaction ack state %S" s
 
-let write_txn_control ~action ~txn =
+(* [epoch] rides only on <prepare> under dynamic topology: the participant
+   refuses to prepare when its catalog epoch has moved on (PROTOCOL.md,
+   "Topology & forwarding"). Absent epoch = static build, byte-identical. *)
+let write_txn_control ?epoch ~action ~txn () =
   let buf = Buffer.create 160 in
   Buffer.add_string buf
     "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><";
   Buffer.add_string buf (txn_action_to_string action);
   buf_attr buf "txn" txn;
+  (match epoch with
+  | Some e -> buf_attr buf "epoch" (string_of_int e)
+  | None -> ());
   Buffer.add_string buf "/></env:Body></env:Envelope>";
   Buffer.contents buf
 
@@ -273,6 +290,57 @@ let write_txn_ack ~txn ~ack =
     "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><txn-ack";
   buf_attr buf "txn" txn;
   buf_attr buf "state" (txn_ack_to_string ack);
+  Buffer.add_string buf "/></env:Body></env:Envelope>";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Topology envelopes (PROTOCOL.md, "Topology & forwarding").          *)
+(* ------------------------------------------------------------------ *)
+
+(* A peer that no longer owns [doc] answers a request with a redirect in
+   response position instead of evaluating: the caller re-resolves and
+   retries at [owner]. [epoch] is the answering peer's catalog version, so
+   the caller can tell a fresh redirect from a stale one. *)
+let forward_body ~doc ~owner ~epoch =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "<forward";
+  buf_attr buf "doc" doc;
+  buf_attr buf "owner" owner;
+  buf_attr buf "epoch" (string_of_int epoch);
+  Buffer.add_string buf "/>";
+  Buffer.contents buf
+
+(* The catalog itself as an envelope: how a replicated registry travels
+   between peers (and how [--show-catalog] round-trips in tests). *)
+let catalog_body cat =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<catalog";
+  buf_attr buf "epoch" (string_of_int (Xd_topo.Catalog.epoch cat));
+  Buffer.add_string buf ">";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf "<entry";
+      buf_attr buf "doc" e.Xd_topo.Catalog.doc;
+      buf_attr buf "owner" e.Xd_topo.Catalog.owner;
+      if e.Xd_topo.Catalog.replicas <> [] then
+        buf_attr buf "replicas" (String.concat " " e.Xd_topo.Catalog.replicas);
+      Buffer.add_string buf "/>")
+    (Xd_topo.Catalog.entries cat);
+  List.iter
+    (fun (p, up) ->
+      Buffer.add_string buf "<member";
+      buf_attr buf "peer" p;
+      buf_attr buf "up" (if up then "true" else "false");
+      Buffer.add_string buf "/>")
+    (Xd_topo.Catalog.members cat);
+  Buffer.add_string buf "</catalog>";
+  Buffer.contents buf
+
+let write_catalog_ack ~epoch =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><catalog-ack";
+  buf_attr buf "epoch" (string_of_int epoch);
   Buffer.add_string buf "/></env:Body></env:Envelope>";
   Buffer.contents buf
 
@@ -646,6 +714,68 @@ let parse_fault fault_node =
 (* Read a <txn-ack> element back into (txn, ack). *)
 let parse_txn_ack n =
   (req_attr n "txn", txn_ack_of_string (req_attr n "state"))
+
+(* A complete <forward> envelope (response position). *)
+let write_forward ~doc ~owner ~epoch =
+  envelope (forward_body ~doc ~owner ~epoch)
+
+let int_attr n name =
+  let v = req_attr n name in
+  match int_of_string_opt v with
+  | Some i -> i
+  | None ->
+    protocol_error "malformed XRPC message: bad %s %S on <%s>" name v
+      (X.Node.name n)
+
+(* Read a <forward> element back into (doc, owner, epoch). A redirect whose
+   own structure is broken is a protocol error — the caller answers or
+   raises a typed fault, never a leaked exception. *)
+let parse_forward n =
+  let doc = req_attr n "doc" and owner = req_attr n "owner" in
+  let epoch = int_attr n "epoch" in
+  if owner = "" then protocol_error "malformed <forward>: empty owner";
+  (doc, owner, epoch)
+
+(* A complete <catalog> envelope. *)
+let write_catalog cat = envelope (catalog_body cat)
+
+(* Read a <catalog> element back into a fresh Catalog.t. *)
+let parse_catalog n =
+  let epoch = int_attr n "epoch" in
+  let entries =
+    List.map
+      (fun e ->
+        let replicas =
+          match attr_of e "replicas" with
+          | None | Some "" -> []
+          | Some s ->
+            List.filter (fun r -> r <> "") (String.split_on_char ' ' s)
+        in
+        {
+          Xd_topo.Catalog.doc = req_attr e "doc";
+          owner = req_attr e "owner";
+          replicas;
+        })
+      (children_named n "entry")
+  in
+  let members =
+    List.map
+      (fun m ->
+        let up =
+          match req_attr m "up" with
+          | "true" -> true
+          | "false" -> false
+          | v -> protocol_error "malformed <member>: bad up %S" v
+        in
+        (req_attr m "peer", up))
+      (children_named n "member")
+  in
+  List.iter
+    (fun e ->
+      if e.Xd_topo.Catalog.owner = "" || e.Xd_topo.Catalog.doc = "" then
+        protocol_error "malformed <entry>: empty doc or owner")
+    entries;
+  Xd_topo.Catalog.of_parts ~epoch ~entries ~members
 
 (* Copy the children of a parsed message node into a fresh document. *)
 let copy_children_to_doc ?uri n =

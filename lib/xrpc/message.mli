@@ -45,6 +45,9 @@ type fault_code =
   | App_dynamic
   | App_type
   | Txn_aborted  (** the distributed transaction was aborted by 2PC *)
+  | Topo_unroutable
+      (** forwarding could not reach an owner: hop limit exhausted or a
+          redirect loop (PROTOCOL.md, "Topology & forwarding") *)
 
 exception
   Xrpc_fault of { host : string; code : fault_code; reason : string }
@@ -53,6 +56,11 @@ exception
 exception Xrpc_timeout of { host : string; attempts : int }
 (** No response from [host] within the per-call timeout, after
     [attempts] total sends. *)
+
+exception Xrpc_forward of { doc : string; owner : string; epoch : int }
+(** A parsed [<forward>] redirect answer: the callee no longer owns
+    [doc]; re-resolve and retry at [owner]. Raised by the response
+    shredder, consumed by {!Session}'s forwarding loop. *)
 
 val retryable : fault_code -> bool
 val fault_code_to_string : fault_code -> string
@@ -86,8 +94,38 @@ type txn_ack = Ack_prepared | Ack_committed | Ack_aborted
 
 val txn_ack_to_string : txn_ack -> string
 val txn_ack_of_string : string -> txn_ack
-val write_txn_control : action:txn_action -> txn:string -> string
+val write_txn_control :
+  ?epoch:int -> action:txn_action -> txn:string -> unit -> string
+(** [epoch] rides only on [<prepare>] under dynamic topology: a
+    participant whose catalog epoch differs votes abort. Absent epoch =
+    static build, byte-identical wire. *)
+
 val write_txn_ack : txn:string -> ack:txn_ack -> string
+
+(** {2 Topology envelopes} (PROTOCOL.md, "Topology & forwarding") *)
+
+val forward_body : doc:string -> owner:string -> epoch:int -> string
+(** Just the [<forward doc owner epoch>] element (response position):
+    the answering peer no longer owns [doc]. *)
+
+val write_forward : doc:string -> owner:string -> epoch:int -> string
+
+val parse_forward : Xd_xml.Node.t -> string * string * int
+(** Read a [<forward>] element back into (doc, owner, epoch). Raises
+    {!Protocol_error} on missing attributes, a bad epoch or an empty
+    owner — malformed redirects become typed faults, never leaked
+    exceptions. *)
+
+val catalog_body : Xd_topo.Catalog.t -> string
+val write_catalog : Xd_topo.Catalog.t -> string
+
+val parse_catalog : Xd_xml.Node.t -> Xd_topo.Catalog.t
+(** Read a [<catalog>] element back into a fresh catalog. Raises
+    {!Protocol_error} on malformed entries/members. *)
+
+val write_catalog_ack : epoch:int -> string
+(** The [<catalog-ack epoch>] envelope a peer answers a catalog push
+    with. *)
 
 (** {2 Tracing header}
 

@@ -19,6 +19,9 @@ type t = {
   mutable fault : Fault.t;
   journal_dir : string option;
   journals : (string, Journal.t) Hashtbl.t;
+  mutable catalog : Xd_topo.Catalog.t option;
+  mutable churn : Xd_topo.Churn.t;
+  mutable sent : int;
 }
 
 let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4)
@@ -31,9 +34,23 @@ let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4)
     fault;
     journal_dir;
     journals = Hashtbl.create 8;
+    catalog = None;
+    churn = Xd_topo.Churn.empty;
+    sent = 0;
   }
 
 let faulty t = Fault.enabled t.fault
+let set_catalog t cat = t.catalog <- Some cat
+let set_churn t churn = t.churn <- churn
+
+(* Dynamic topology is in force only for a non-trivial catalog: an absent
+   or empty catalog leaves every session behavior (routing, epoch attrs,
+   batching) untouched, so the wire stays byte-identical to the static
+   build. *)
+let topo_active t =
+  match t.catalog with
+  | Some cat -> not (Xd_topo.Catalog.trivial cat)
+  | None -> false
 
 (* The outage is over: subsequent messages are delivered faithfully. Used
    by recovery drivers (and tests) to model "the network came back". *)
@@ -94,6 +111,16 @@ type delivery = Delivered of { text : string; duplicated : bool } | Dropped
    the header not been there. This keeps byte accounting and the seeded
    fault schedule identical with tracing on or off. *)
 let send ?meta t ~dst text =
+  (* Scripted membership churn fires on message counts, just before the
+     triggering message is handled: an event scheduled at N affects how the
+     N-th message is routed/answered. Deterministic by construction. *)
+  t.sent <- t.sent + 1;
+  (match t.catalog with
+  | Some cat ->
+    List.iter
+      (fun _ev -> Stats.incr_churn_events t.stats)
+      (Xd_topo.Churn.tick t.churn cat ~count:t.sent)
+  | None -> ());
   let at, hlen = match meta with None -> (0, 0) | Some (a, l) -> (a, l) in
   let bytes = String.length text - hlen in
   transfer ~kind:`Message t bytes;

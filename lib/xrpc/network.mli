@@ -17,6 +17,9 @@ type t = {
   mutable fault : Fault.t;
   journal_dir : string option;
   journals : (string, Journal.t) Hashtbl.t;
+  mutable catalog : Xd_topo.Catalog.t option;
+  mutable churn : Xd_topo.Churn.t;
+  mutable sent : int;  (** messages put on the wire; keys churn schedules *)
 }
 
 val create :
@@ -27,6 +30,18 @@ val create :
 
 val faulty : t -> bool
 (** Whether a non-empty fault schedule is installed. *)
+
+val set_catalog : t -> Xd_topo.Catalog.t -> unit
+(** Install the peer catalog (the authoritative replicated registry). *)
+
+val set_churn : t -> Xd_topo.Churn.t -> unit
+(** Install a scripted churn schedule; events fire on wire-message counts
+    (see {!Xd_topo.Churn}) and mutate the installed catalog. *)
+
+val topo_active : t -> bool
+(** Dynamic topology is in force: a non-trivial catalog is installed.
+    False for an absent or empty catalog — in that case every session
+    behavior is byte-identical to the static build. *)
 
 val heal : t -> unit
 (** Remove the fault layer: the outage is over. Crash-restarted peers keep

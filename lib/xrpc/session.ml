@@ -20,7 +20,14 @@ type recorded = { dir : [ `Request of string | `Response of string ]; text : str
    every update-carrying request of the query, and the participants are
    collected from response acknowledgements (transitively — a server that
    fanned out reports its own participants back). *)
-type coord = { txn_id : string; mutable participants : string list }
+type coord = {
+  txn_id : string;
+  mutable participants : string list;
+  epoch : int option;
+      (* catalog epoch when the transaction started (dynamic topology
+         only): <prepare> carries it, participants whose catalog moved
+         on vote abort *)
+}
 
 type t = {
   net : Network.t;
@@ -121,6 +128,73 @@ let span_note session ~cat name =
 
 let recorded session = Option.map (fun r -> List.rev !r) session.record
 
+(* ---------------- retry backoff ---------------------------------------- *)
+
+(* FNV-1a over [s], folded to 16 bits. Hand-rolled (not Hashtbl.hash) so
+   the jittered schedule is pinnable across OCaml versions/platforms. *)
+let fnv16 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.logand !h 0xffffL)
+
+(* Deterministic per-request jitter on the exponential backoff: attempt n
+   (n >= 2) waits base * [1, 2) where base doubles per retry and the
+   fraction is keyed on (request id, attempt). Retries of one overlap
+   group thus spread out instead of storming a recovering peer in
+   lockstep, and a given request replays the same schedule every run. *)
+let backoff_s ~key ~attempt =
+  let base = 0.05 *. (2. ** float_of_int (attempt - 2)) in
+  let jitter =
+    float_of_int (fnv16 (Printf.sprintf "%s#%d" key attempt)) /. 65536.
+  in
+  base *. (1. +. jitter)
+
+(* ---------------- dynamic topology helpers ----------------------------- *)
+
+(* Redirect chains are bounded: after [max_forward_hops] unanswered
+   redirects the call fails with xrpc:topo.unroutable. *)
+let max_forward_hops = 4
+
+(* The document names a body touches, as catalog keys: relative doc()
+   names stay as-is, xrpc:// URIs lose their host part (ownership is the
+   catalog's call, not the URI author's). Nested execute-at bodies are
+   skipped — their documents are the nested call's routing problem. *)
+let body_doc_names (body : Ast.expr) =
+  let acc = ref [] in
+  let rec go (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Execute_at x ->
+      List.iter go (x.Ast.host :: List.map snd x.Ast.params)
+    | _ ->
+      List.iter
+        (fun (d : Xd_dgraph.Dgraph.uri_dep) ->
+          match d.Xd_dgraph.Dgraph.uri with
+          | Xd_dgraph.Dgraph.Uri u ->
+            let name =
+              match Xd_dgraph.Dgraph.split_xrpc_uri u with
+              | Some (_, n) -> n
+              | None -> u
+            in
+            if not (List.mem name !acc) then acc := name :: !acc
+          | Xd_dgraph.Dgraph.Wildcard | Xd_dgraph.Dgraph.Constr -> ())
+        (Xd_dgraph.Dgraph.direct_uri_deps_of_vertex e);
+      List.iter go (Ast.children e)
+  in
+  go body;
+  List.rev !acc
+
+(* The single catalogued owner of every document in [docs], if there is
+   one. None when no doc is catalogued or the owners disagree — then the
+   computed host stands as evaluated. *)
+let catalog_owner cat docs =
+  let owners =
+    List.sort_uniq compare (List.filter_map (Xd_topo.Catalog.owner_of cat) docs)
+  in
+  match owners with [ o ] -> Some o | _ -> None
+
 (* This peer's transaction journal — owned by the network so that every
    session serving the peer (and any later recovery session) shares it. *)
 let journal session = Network.journal session.net (Peer.name session.self)
@@ -172,6 +246,22 @@ and resolve_doc session env uri =
       | Some d -> d
       | None -> Env.dynamic_error "document %S not found at %s" doc_name host
     else
+      (* Replica shortcut (dynamic topology): when the catalog lists this
+         peer as a replica of the named document and a local copy exists,
+         serve it instead of shipping the whole document over the wire —
+         replicas serve reads, which is what makes failover cheap. *)
+      match
+        match session.net.Network.catalog with
+        | Some cat
+          when Network.topo_active session.net
+               && Xd_topo.Catalog.serves cat
+                    ~peer:(Peer.name session.self)
+                    ~doc:doc_name ->
+          Peer.find_doc session.self doc_name
+        | _ -> None
+      with
+      | Some d -> d
+      | None -> (
       match Hashtbl.find_opt session.fetched uri with
       | Some d -> d
       | None ->
@@ -197,7 +287,7 @@ and resolve_doc session env uri =
               X.Parser.parse ~store:(Peer.store session.self) ~uri text)
         in
         Hashtbl.replace session.fetched uri d;
-        d)
+        d))
 
 (* The endpoint used to marshal/shred one exchange: the session-wide one
    under bulk RPC (fragments cached across the calls of the session), or a
@@ -241,8 +331,8 @@ and param_node_sets (x : Ast.execute_at) args =
 (* The inner <request> element of one call — standalone inside its own
    envelope for a plain call, or stacked with its siblings inside one
    <batch> envelope by the scheduler. *)
-and request_body session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
-    ~funcs =
+and request_body session ~ep ~host ?req_id ?txn ?epoch (x : Ast.execute_at)
+    ~args ~funcs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "<request";
   Message.buf_attr buf "passing" (Message.passing_to_string session.passing);
@@ -256,6 +346,11 @@ and request_body session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
      PUL under this id instead of applying it *)
   (match txn with
   | Some t -> Message.buf_attr buf "txn" t
+  | None -> ());
+  (* only stamped under dynamic topology (non-trivial catalog): the
+     caller's catalog version when it routed this call *)
+  (match epoch with
+  | Some e -> Message.buf_attr buf "epoch" (string_of_int e)
   | None -> ());
   Message.buf_attr buf "static-base-uri" "xdx://static/";
   Message.buf_attr buf "default-collation" "codepoint";
@@ -319,8 +414,9 @@ and request_body session ~ep ~host ?req_id ?txn (x : Ast.execute_at) ~args
   Buffer.add_string buf "</request>";
   Buffer.contents buf
 
-and build_request session ~ep ~host ?req_id ?txn x ~args ~funcs =
-  Message.envelope (request_body session ~ep ~host ?req_id ?txn x ~args ~funcs)
+and build_request session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs =
+  Message.envelope
+    (request_body session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs)
 
 (* ---------------- server side ----------------------------------------- *)
 
@@ -415,11 +511,28 @@ and handle_request_exn session ~client_name request_text =
       ]
   with
   | Some (action, n) ->
-    handle_txn_control session action (Message.req_attr n "txn")
+    handle_txn_control session action
+      (Message.req_attr n "txn")
+      ~epoch:(Message.attr_of n "epoch")
   | None -> (
     match Message.find_child body "batch" with
     | Some batch -> handle_batch session ~client_name batch
     | None -> (
+      (* a catalog push: validate it and ack with our view of its epoch —
+         the in-process network already shares the authoritative catalog,
+         so accepting is acking *)
+      match Message.find_child body "catalog" with
+      | Some c ->
+        let cat = Message.parse_catalog c in
+        Message.write_catalog_ack ~epoch:(Xd_topo.Catalog.epoch cat)
+      | None ->
+      (* a <forward> is a response-position envelope; one arriving as a
+         request is ill-formed protocol content and answered with a typed
+         fault like any other (satellite: message tolerance) *)
+      if Message.find_child body "forward" <> None then
+        Message.protocol_error
+          "unexpected <forward> in request position (redirects are \
+           responses)";
       let req =
         match Message.find_child body "request" with
         | Some r -> r
@@ -485,7 +598,7 @@ and handle_batch session ~client_name batch =
    messages need no dedup: a duplicated or retried prepare/commit/abort
    re-acks the same way. Unknown transactions vote no / ack aborted —
    presumed abort. *)
-and handle_txn_control session action txn =
+and handle_txn_control session action txn ~epoch =
   let stats = session.net.Network.stats in
   let j = journal session in
   traced session ~cat:"txn" (Message.txn_action_to_string action) @@ fun tsp ->
@@ -497,7 +610,26 @@ and handle_txn_control session action txn =
   in
   match action with
   | Message.Prepare ->
-    if Journal.prepare j ~txn then ack Message.Ack_prepared
+    (* Under dynamic topology <prepare> carries the coordinator's catalog
+       epoch from when the transaction started; if ownership has moved
+       since, some staged PUL may sit at a peer that no longer owns its
+       target — vote abort, the staged state is released and every store
+       stays untouched (presumed abort does the rest). *)
+    let stale =
+      match (epoch, session.net.Network.catalog) with
+      | Some e, Some cat when Network.topo_active session.net -> (
+        match int_of_string_opt e with
+        | Some e -> e <> Xd_topo.Catalog.epoch cat
+        | None -> Message.protocol_error "bad epoch %S on <prepare>" e)
+      | _ -> false
+    in
+    if stale then begin
+      Stats.incr_topo_epoch_aborts stats;
+      Trace.add_attr tsp "stale-epoch" (Trace.B true);
+      Journal.abort j ~txn;
+      ack Message.Ack_aborted
+    end
+    else if Journal.prepare j ~txn then ack Message.Ack_prepared
     else ack Message.Ack_aborted
   | Message.Abort ->
     Journal.abort j ~txn;
@@ -549,11 +681,50 @@ and handle_parsed session ~client_name ~ep ?req_id req =
             Message.shred_sequence ep ~from_host:client_name seq ))
         (Message.children_named call "sequence")
   in
+  (* Dynamic topology, callee side: before evaluating, check that this
+     peer still serves every document the body touches — the owner for
+     updates, owner-or-replica for reads. If ownership moved away, answer
+     with a <forward> redirect instead of evaluating against data we no
+     longer own; the caller re-resolves and retries (PROTOCOL.md,
+     "Topology & forwarding"). Idempotent, so dedup replay is safe. *)
+  let forward =
+    match session.net.Network.catalog with
+    | Some cat when Network.topo_active session.net ->
+      let body = Xd_lang.Parser.parse_expr_string body_text in
+      let updates = Ast.contains_update body in
+      let self = Peer.name session.self in
+      List.find_map
+        (fun doc ->
+          match Xd_topo.Catalog.resolve cat doc with
+          | Some e
+            when (if updates then e.Xd_topo.Catalog.owner <> self
+                  else not (Xd_topo.Catalog.serves cat ~peer:self ~doc)) ->
+            Some (doc, e.Xd_topo.Catalog.owner)
+          | _ -> None)
+        (body_doc_names body)
+    | _ -> None
+  in
+  match forward with
+  | Some (doc, owner) ->
+    let epoch =
+      match session.net.Network.catalog with
+      | Some cat -> Xd_topo.Catalog.epoch cat
+      | None -> 0
+    in
+    let sp = span_note session ~cat:"topo" "forward" in
+    Trace.add_attr sp "doc" (Trace.S doc);
+    Trace.add_attr sp "owner" (Trace.S owner);
+    Trace.add_attr sp "epoch" (Trace.I epoch);
+    Trace.finish session.tracer sp;
+    Message.forward_body ~doc ~owner ~epoch
+  | None ->
   (* while a txn-tagged request evaluates, the transaction is in scope so
      nested outgoing calls propagate the id; its participants (this peer's
      own fan-out) are reported back in the response *)
   let tcoord =
-    Option.map (fun t -> { txn_id = t; participants = [] }) txn_attr
+    Option.map
+      (fun t -> { txn_id = t; participants = []; epoch = None })
+      txn_attr
   in
   let staged = ref 0 in
   let result =
@@ -741,11 +912,28 @@ and shred_response session ~ep ~host response_text :
       match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
       | Some resp -> shred_response_node session ~ep ~host resp
       | None -> (
-        match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
+        match find_path [ "env:Envelope"; "env:Body"; "forward" ] root with
         | Some f ->
-          let code, reason = Message.parse_fault f in
-          raise (Message.Xrpc_fault { host; code; reason })
-        | None -> corrupt "response is neither <response> nor <env:Fault>"))
+          (* a redirect: the callee no longer owns the data. A malformed
+             one is a non-retryable protocol fault (typed, never a leaked
+             exception); a well-formed one raises for the forwarding
+             loop in execute_at. *)
+          let doc, owner, epoch =
+            try Message.parse_forward f
+            with Message.Protocol_error m ->
+              raise
+                (Message.Xrpc_fault
+                   { host; code = Message.Protocol_malformed; reason = m })
+          in
+          raise (Message.Xrpc_forward { doc; owner; epoch })
+        | None -> (
+          match
+            find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root
+          with
+          | Some f ->
+            let code, reason = Message.parse_fault f in
+            raise (Message.Xrpc_fault { host; code; reason })
+          | None -> corrupt "response is neither <response> nor <env:Fault>")))
 
 (* Shred a <batch> response: one value per slot, in request order. A
    faulted slot raises after its predecessors shredded — exactly the
@@ -847,112 +1035,249 @@ and send_on_wire session ~dst ?hdr_span text =
   | Network.Delivered _ -> ());
   r
 
+(* One complete exchange with [host]: request build, send, retries.
+   Returns the shredded value, a <forward> redirect, or `Down after the
+   retry budget is exhausted on retryable failures (non-retryable faults
+   raise immediately). *)
+and call_host session env (x : Ast.execute_at) ~host ~args =
+  let stats = session.net.Network.stats in
+  traced session ~cat:"call" ("call " ^ host) @@ fun call_sp ->
+  Trace.add_attr call_sp "host" (Trace.S host);
+  Stats.incr_call ~peer:host stats;
+  let funcs = Env.func_list env in
+  let ep = call_endpoint session in
+  let req_id =
+    (* only on a faulty wire: fault-free traffic stays byte-identical *)
+    if Network.faulty session.net then begin
+      session.next_req <- session.next_req + 1;
+      Some (Printf.sprintf "%s:%d" (Peer.name session.self) session.next_req)
+    end
+    else None
+  in
+  let txn = Option.map (fun c -> c.txn_id) session.txn in
+  let epoch =
+    (* only under dynamic topology: the catalog version this call was
+       routed with *)
+    match session.net.Network.catalog with
+    | Some cat when Network.topo_active session.net ->
+      Some (Xd_topo.Catalog.epoch cat)
+    | _ -> None
+  in
+  let req_text =
+    traced session ~cat:"serialize" "request" @@ fun _ ->
+    Stats.time_serialize stats (fun () ->
+        build_request session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs)
+  in
+  (match session.record with
+  | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
+  | None -> ());
+  let srv = server_session session host in
+  let self_name = Peer.name session.self in
+  let attempts = session.retries + 1 in
+  (* jitter key: the request id when there is one (faulty wire — the only
+     place retries can happen), else the host *)
+  let backoff_key = Option.value ~default:host req_id in
+  let timed_out () =
+    Stats.incr_timeouts stats;
+    Stats.add_network_s stats session.timeout_s
+  in
+  (* Each attempt is its own span — a sibling of its predecessors under
+     the call span, never nested — carrying retry=N and whatever went
+     wrong; the wire header names the attempt, so server-side spans
+     attach to the attempt that actually delivered. *)
+  let rec attempt n last =
+    if n > attempts then `Down last
+    else begin
+      if n > 1 then begin
+        Stats.incr_retries stats;
+        (* deterministic jittered exponential backoff, charged to the
+           wire clock *)
+        Stats.add_network_s stats (backoff_s ~key:backoff_key ~attempt:n)
+      end;
+      let outcome =
+        traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
+        @@ fun asp ->
+        Trace.add_attr asp "retry" (Trace.I (n - 1));
+        match send_on_wire session ~dst:host ?hdr_span:asp req_text with
+        | Network.Dropped ->
+          timed_out ();
+          Trace.add_attr asp "timeout" (Trace.B true);
+          `Retry `Timeout
+        | Network.Delivered { text = delivered; duplicated } -> (
+          let resp_text =
+            handle_request srv ~client_name:self_name delivered
+          in
+          (* a duplicated request reaches the server twice; the second
+             copy is answered from the dedup cache and its reply ignored *)
+          if duplicated then
+            ignore (handle_request srv ~client_name:self_name delivered);
+          (match session.record with
+          | Some r ->
+            r := { dir = `Response resp_text; text = resp_text } :: !r
+          | None -> ());
+          match send_on_wire session ~dst:self_name resp_text with
+          | Network.Dropped ->
+            timed_out ();
+            Trace.add_attr asp "timeout" (Trace.B true);
+            `Retry `Timeout
+          | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
+            match shred_response session ~ep ~host resp_delivered with
+            | v, tinfo ->
+              (* collect transaction participants: the callee (if it
+                 staged anything) plus whatever its own fan-out staged *)
+              (match session.txn, tinfo with
+              | Some c, Some (staged, nested) ->
+                let addp h =
+                  if h <> "" && not (List.mem h c.participants) then
+                    c.participants <- c.participants @ [ h ]
+                in
+                if staged > 0 then addp host;
+                List.iter addp nested
+              | _ -> ());
+              `Done (`Value v)
+            | exception Message.Xrpc_forward { doc; owner; epoch } ->
+              Trace.add_attr asp "forwarded" (Trace.B true);
+              `Done (`Forward (doc, owner, epoch))
+            | exception Message.Xrpc_fault { host = _; code; reason }
+              when Message.retryable code ->
+              Trace.add_attr asp "fault"
+                (Trace.S (Message.fault_code_to_string code));
+              `Retry (`Fault (code, reason))))
+      in
+      match outcome with `Done r -> r | `Retry last -> attempt (n + 1) last
+    end
+  in
+  attempt 1 `Timeout
+
+(* A live replacement peer for a call whose owner is down: some live,
+   not-yet-tried peer that serves (owns or replicates) *every* document
+   the body touches. None when any touched document is uncatalogued, the
+   body touches no documents, or no such peer remains. *)
+and failover_target session (x : Ast.execute_at) ~visited down_host =
+  match session.net.Network.catalog with
+  | Some cat when Network.topo_active session.net -> (
+    let docs = body_doc_names x.Ast.body in
+    let entries = List.filter_map (Xd_topo.Catalog.resolve cat) docs in
+    if entries = [] || List.length entries < List.length docs then None
+    else
+      let serving (e : Xd_topo.Catalog.entry) = e.owner :: e.replicas in
+      let candidates =
+        List.fold_left
+          (fun acc e -> List.filter (fun p -> List.mem p (serving e)) acc)
+          (serving (List.hd entries))
+          (List.tl entries)
+      in
+      let dead p =
+        p = down_host || p = Peer.name session.self || List.mem p visited
+        || not (Xd_topo.Catalog.is_up cat p)
+      in
+      List.sort_uniq compare candidates
+      |> List.find_opt (fun p -> not (dead p)))
+  | _ -> None
+
 and execute_at session env (x : Ast.execute_at) ~host ~args =
   if host = "" || host = Peer.name session.self then
     (* local execution: plain evaluation, full fidelity *)
     Eval.local_execute_at env x ~host ~args
   else begin
     let stats = session.net.Network.stats in
-    traced session ~cat:"call" ("call " ^ host) @@ fun call_sp ->
-    Trace.add_attr call_sp "host" (Trace.S host);
-    Stats.incr_call ~peer:host stats;
-    let funcs = Env.func_list env in
-    let ep = call_endpoint session in
-    let req_id =
-      (* only on a faulty wire: fault-free traffic stays byte-identical *)
-      if Network.faulty session.net then begin
-        session.next_req <- session.next_req + 1;
-        Some (Printf.sprintf "%s:%d" (Peer.name session.self) session.next_req)
-      end
-      else None
+    let catalog = session.net.Network.catalog in
+    let topo = Network.topo_active session.net in
+    (* Runtime host resolution: a *computed* host is checked against the
+       catalog at call time — when every document the body touches has
+       one catalogued owner, the call is routed there, whatever the host
+       expression evaluated to. Literal hosts route as written (the
+       verifier vouched for them statically). *)
+    let host =
+      match catalog with
+      | Some cat
+        when topo
+             && not
+                  (match x.Ast.host.Ast.desc with
+                  | Ast.Literal (Ast.A_string _) -> true
+                  | _ -> false) -> (
+        match catalog_owner cat (body_doc_names x.Ast.body) with
+        | Some owner ->
+          Stats.incr_topo_resolutions stats;
+          if owner <> host then begin
+            let sp = span_note session ~cat:"topo" "resolve" in
+            Trace.add_attr sp "computed" (Trace.S host);
+            Trace.add_attr sp "owner" (Trace.S owner);
+            Trace.finish session.tracer sp
+          end;
+          owner
+        | None -> host)
+      | _ -> host
     in
-    let txn = Option.map (fun c -> c.txn_id) session.txn in
-    let req_text =
-      traced session ~cat:"serialize" "request" @@ fun _ ->
-      Stats.time_serialize stats (fun () ->
-          build_request session ~ep ~host ?req_id ?txn x ~args ~funcs)
-    in
-    (match session.record with
-    | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
-    | None -> ());
-    let srv = server_session session host in
-    let self_name = Peer.name session.self in
-    let attempts = session.retries + 1 in
-    let timed_out () =
-      Stats.incr_timeouts stats;
-      Stats.add_network_s stats session.timeout_s
-    in
-    (* Each attempt is its own span — a sibling of its predecessors under
-       the call span, never nested — carrying retry=N and whatever went
-       wrong; the wire header names the attempt, so server-side spans
-       attach to the attempt that actually delivered. *)
-    let rec attempt n last =
-      if n > attempts then
-        (* out of attempts on retryable failures only — non-retryable
-           faults raise immediately below *)
-        if degradable x then degrade session env x ~host ~args
-        else
-          match last with
-          | `Fault (code, reason) ->
-            raise (Message.Xrpc_fault { host; code; reason })
-          | `Timeout -> raise (Message.Xrpc_timeout { host; attempts })
-      else begin
-        if n > 1 then begin
-          Stats.incr_retries stats;
-          (* deterministic exponential backoff, charged to the wire clock *)
-          Stats.add_network_s stats (0.05 *. (2. ** float_of_int (n - 2)))
-        end;
-        let outcome =
-          traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
-          @@ fun asp ->
-          Trace.add_attr asp "retry" (Trace.I (n - 1));
-          match send_on_wire session ~dst:host ?hdr_span:asp req_text with
-          | Network.Dropped ->
-            timed_out ();
-            Trace.add_attr asp "timeout" (Trace.B true);
-            `Retry `Timeout
-          | Network.Delivered { text = delivered; duplicated } -> (
-            let resp_text =
-              handle_request srv ~client_name:self_name delivered
-            in
-            (* a duplicated request reaches the server twice; the second
-               copy is answered from the dedup cache and its reply ignored *)
-            if duplicated then
-              ignore (handle_request srv ~client_name:self_name delivered);
-            (match session.record with
-            | Some r ->
-              r := { dir = `Response resp_text; text = resp_text } :: !r
-            | None -> ());
-            match send_on_wire session ~dst:self_name resp_text with
-            | Network.Dropped ->
-              timed_out ();
-              Trace.add_attr asp "timeout" (Trace.B true);
-              `Retry `Timeout
-            | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
-              match shred_response session ~ep ~host resp_delivered with
-              | v, tinfo ->
-                (* collect transaction participants: the callee (if it
-                   staged anything) plus whatever its own fan-out staged *)
-                (match session.txn, tinfo with
-                | Some c, Some (staged, nested) ->
-                  let addp h =
-                    if h <> "" && not (List.mem h c.participants) then
-                      c.participants <- c.participants @ [ h ]
-                  in
-                  if staged > 0 then addp host;
-                  List.iter addp nested
-                | _ -> ());
-                `Done v
-              | exception Message.Xrpc_fault { host = _; code; reason }
-                when Message.retryable code ->
-                Trace.add_attr asp "fault"
-                  (Trace.S (Message.fault_code_to_string code));
-                `Retry (`Fault (code, reason))))
+    (* The forwarding/failover loop: follow <forward> redirects (bounded
+       hops, loop detection via the visited set), re-resolving each one
+       against the catalog; when a peer stays down, fail over to a live
+       replica for read-only bodies, else degrade/raise exactly as the
+       static build would. *)
+    let rec drive ~hops ~visited host =
+      match call_host session env x ~host ~args with
+      | `Value v ->
+        Stats.set_peer_up ~peer:host stats true;
+        v
+      | `Forward (doc, fwd_owner, fwd_epoch) ->
+        Stats.incr_forwarded stats;
+        let sp = span_note session ~cat:"topo" "forward" in
+        Trace.add_attr sp "from" (Trace.S host);
+        Trace.add_attr sp "doc" (Trace.S doc);
+        Trace.add_attr sp "owner" (Trace.S fwd_owner);
+        Trace.add_attr sp "epoch" (Trace.I fwd_epoch);
+        Trace.finish session.tracer sp;
+        (* re-resolve against our catalog; the redirect's claimed owner
+           is the fallback when the document is not (or no longer)
+           catalogued here *)
+        let owner =
+          match catalog with
+          | Some cat ->
+            Option.value ~default:fwd_owner (Xd_topo.Catalog.owner_of cat doc)
+          | None -> fwd_owner
         in
-        match outcome with `Done v -> v | `Retry last -> attempt (n + 1) last
-      end
+        let unroutable reason =
+          raise
+            (Message.Xrpc_fault
+               { host; code = Message.Topo_unroutable; reason })
+        in
+        if hops <= 0 then
+          unroutable
+            (Printf.sprintf
+               "forward hop limit (%d) exhausted chasing %s" max_forward_hops
+               doc)
+        else if List.mem owner (host :: visited) then
+          unroutable
+            (Printf.sprintf "forward loop: %s already answered for %s" owner
+               doc)
+        else drive ~hops:(hops - 1) ~visited:(host :: visited) owner
+      | `Down last -> (
+        Stats.set_peer_up ~peer:host stats false;
+        (match catalog with
+        | Some cat -> Xd_topo.Catalog.mark_down cat host
+        | None -> ());
+        match failover_target session x ~visited host with
+        | Some replica when degradable x ->
+          Stats.incr_topo_failovers stats;
+          let sp = span_note session ~cat:"topo" "failover" in
+          Trace.add_attr sp "down" (Trace.S host);
+          Trace.add_attr sp "replica" (Trace.S replica);
+          Trace.finish session.tracer sp;
+          drive ~hops ~visited:(host :: visited) replica
+        | _ -> (
+          (* out of attempts on retryable failures only — non-retryable
+             faults raised inside call_host *)
+          if degradable x then degrade session env x ~host ~args
+          else
+            match last with
+            | `Fault (code, reason) ->
+              raise (Message.Xrpc_fault { host; code; reason })
+            | `Timeout ->
+              raise
+                (Message.Xrpc_timeout
+                   { host; attempts = session.retries + 1 })))
     in
-    attempt 1 `Timeout
+    drive ~hops:max_forward_hops ~visited:[] host
   end
 
 (* ---------------- dependency-aware scheduler --------------------------- *)
@@ -1051,7 +1376,11 @@ and run_group session (units : (Env.t * Ast.expr) list) : Value.t list =
     Stats.add_sched_group stats ~overlapped:n ~saved_s:(sum -. m);
     vs
   in
-  if Network.faulty session.net then
+  if Network.faulty session.net || Network.topo_active session.net then
+    (* Sequential wire units (still overlapped on the clock): the retry
+       machinery needs each call to own its round trip, and under dynamic
+       topology each call must be free to chase forwards and fail over on
+       its own — a <batch> envelope can do neither. *)
     finish (List.map (fun (env, e) -> unit (fun () -> Eval.eval env e)) units)
   else begin
     (* pre-evaluate hosts and arguments in sequential order, then bucket
@@ -1273,7 +1602,7 @@ let parse_txn_response session ~host text =
    regime as a data call. Control messages are idempotent, so they carry
    no request-id and never consult the dedup cache: a duplicated commit
    simply re-acks. *)
-let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
+let txn_rpc session ~host ?epoch action txn : (Message.txn_ack, exn) result =
   let stats = session.net.Network.stats in
   traced session ~cat:"txn.rpc"
     (Message.txn_action_to_string action ^ " " ^ host)
@@ -1283,7 +1612,7 @@ let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
   let req_text =
     traced session ~cat:"serialize" "control" @@ fun _ ->
     Stats.time_serialize stats (fun () ->
-        Message.write_txn_control ~action ~txn)
+        Message.write_txn_control ?epoch ~action ~txn ())
   in
   (match session.record with
   | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
@@ -1304,7 +1633,11 @@ let txn_rpc session ~host action txn : (Message.txn_ack, exn) result =
     else begin
       if n > 1 then begin
         Stats.incr_retries stats;
-        Stats.add_network_s stats (0.05 *. (2. ** float_of_int (n - 2)))
+        Stats.add_network_s stats
+          (backoff_s
+             ~key:
+               (txn ^ "/" ^ Message.txn_action_to_string action ^ "@" ^ host)
+             ~attempt:n)
       end;
       let outcome =
         traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
@@ -1396,7 +1729,7 @@ let commit_txn session (env : Env.t) (c : coord) =
       | None ->
         List.find_map
           (fun host ->
-            match txn_rpc session ~host Message.Prepare txn with
+            match txn_rpc session ~host ?epoch:c.epoch Message.Prepare txn with
             | Ok Message.Ack_prepared -> None
             | Ok _ ->
               Some
@@ -1478,7 +1811,17 @@ let execute session (q : Ast.query) =
    atomically through 2PC when evaluation completes. *)
 let execute_txn session (q : Ast.query) =
   let env = env_for session ~funcs:q.Ast.funcs in
-  let c = { txn_id = fresh_txn session; participants = [] } in
+  (* Under dynamic topology, pin the catalog epoch at transaction start:
+     <prepare> carries it, so any ownership movement during evaluation
+     makes every participant vote abort — updates refuse to commit across
+     an epoch change. *)
+  let epoch =
+    match session.net.Network.catalog with
+    | Some cat when Network.topo_active session.net ->
+      Some (Xd_topo.Catalog.epoch cat)
+    | _ -> None
+  in
+  let c = { txn_id = fresh_txn session; participants = []; epoch } in
   session.txn <- Some c;
   Fun.protect
     ~finally:(fun () -> session.txn <- None)

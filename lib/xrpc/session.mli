@@ -64,6 +64,15 @@ val create :
 
 val recorded : t -> recorded list option
 
+val backoff_s : key:string -> attempt:int -> float
+(** Deterministic jittered exponential backoff charged before re-send
+    [attempt] (attempt 2 is the first retry): the base
+    [0.05 * 2^(attempt-2)] seconds stretched by a factor in [1, 2)
+    derived from an FNV-1a hash of ["key#attempt"]. The key is the
+    request-id when one is assigned (faulty wire), so concurrent retries
+    of different requests decorrelate while any one request's schedule
+    replays exactly. Exposed for the pinning unit test. *)
+
 val set_current_span : t -> Xd_obs.Trace.span option -> unit
 (** Set the ambient span new spans parent under — the executor installs
     its per-query root span here. [None] detaches (spans started while

@@ -34,6 +34,11 @@ type t = {
   txn_staged : M.counter;
   txn_commits : M.counter;
   txn_aborts : M.counter;
+  forwarded : M.counter; (* <forward> redirects followed by callers *)
+  topo_resolutions : M.counter; (* computed hosts resolved via the catalog *)
+  topo_failovers : M.counter; (* reads re-routed to a replica of a down owner *)
+  topo_epoch_aborts : M.counter; (* 2PC prepares refused on an epoch mismatch *)
+  topo_churn_events : M.counter; (* scripted membership events fired *)
   remote_clamps : M.counter;
   hist_serialize : M.histogram;
   hist_shred : M.histogram;
@@ -70,6 +75,11 @@ let create () =
     txn_staged = M.counter reg "txn.staged";
     txn_commits = M.counter reg "txn.commits";
     txn_aborts = M.counter reg "txn.aborts";
+    forwarded = M.counter reg "xrpc.forwarded";
+    topo_resolutions = M.counter reg "topo.resolutions";
+    topo_failovers = M.counter reg "topo.failovers";
+    topo_epoch_aborts = M.counter reg "topo.epoch_aborts";
+    topo_churn_events = M.counter reg "topo.churn_events";
     remote_clamps = M.counter reg "time.remote_clamps";
     hist_serialize = M.histogram reg "hist.serialize_s";
     hist_shred = M.histogram reg "hist.shred_s";
@@ -109,6 +119,24 @@ let dedup_evictions t = M.counter_value t.dedup_evictions
 let txn_staged t = M.counter_value t.txn_staged
 let txn_commits t = M.counter_value t.txn_commits
 let txn_aborts t = M.counter_value t.txn_aborts
+let forwarded t = M.counter_value t.forwarded
+let topo_resolutions t = M.counter_value t.topo_resolutions
+let topo_failovers t = M.counter_value t.topo_failovers
+let topo_epoch_aborts t = M.counter_value t.topo_epoch_aborts
+let topo_churn_events t = M.counter_value t.topo_churn_events
+
+let peer_up_prefix = "xrpc.peer_up{peer="
+
+let down_peers t =
+  let pl = String.length peer_up_prefix in
+  List.filter_map
+    (fun n ->
+      if String.length n > pl + 1 && String.sub n 0 pl = peer_up_prefix then
+        if M.gauge_value (M.gauge t.reg n) < 0.5 then
+          Some (String.sub n pl (String.length n - pl - 1))
+        else None
+      else None)
+    (M.names t.reg)
 let remote_clamps t = M.counter_value t.remote_clamps
 let total_bytes t = message_bytes t + document_bytes t
 
@@ -162,6 +190,17 @@ let incr_dedup_evictions t = M.incr t.dedup_evictions
 let add_txn_staged t n = M.incr ~by:n t.txn_staged
 let incr_txn_commits t = M.incr t.txn_commits
 let incr_txn_aborts t = M.incr t.txn_aborts
+let incr_forwarded t = M.incr t.forwarded
+let incr_topo_resolutions t = M.incr t.topo_resolutions
+let incr_topo_failovers t = M.incr t.topo_failovers
+let incr_topo_epoch_aborts t = M.incr t.topo_epoch_aborts
+let incr_churn_events t = M.incr t.topo_churn_events
+
+(* Per-peer liveness: 1 after the last exchange with the peer succeeded,
+   0 after it exhausted its retry budget. Peers never contacted have no
+   gauge at all, which keeps fault-free dumps unchanged. *)
+let set_peer_up ~peer t up =
+  M.set (M.gauge t.reg (peer_up_prefix ^ peer ^ "}")) (if up then 1. else 0.)
 
 (* Timed scopes *)
 let now () = Unix.gettimeofday ()
@@ -205,6 +244,13 @@ let pp fmt t =
   if txn_staged t + txn_commits t + txn_aborts t > 0 then
     Fmt.pf fmt " | txn: staged=%d commits=%d aborts=%d" (txn_staged t)
       (txn_commits t) (txn_aborts t);
+  if forwarded t + topo_resolutions t + topo_failovers t + topo_epoch_aborts t
+     > 0
+  then
+    Fmt.pf fmt " | topo: resolutions=%d forwarded=%d failovers=%d \
+                epoch-aborts=%d"
+      (topo_resolutions t) (forwarded t) (topo_failovers t)
+      (topo_epoch_aborts t);
   if sched_groups t > 0 then
     Fmt.pf fmt " | sched: groups=%d overlapped=%d saved=%.4fs"
       (sched_groups t) (sched_overlapped t) (sched_saved_s t);

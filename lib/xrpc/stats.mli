@@ -85,6 +85,25 @@ val txn_commits : t -> int  (** distributed transactions committed *)
 
 val txn_aborts : t -> int  (** distributed transactions aborted *)
 
+val forwarded : t -> int
+(** [<forward>] redirects followed by callers *)
+
+val topo_resolutions : t -> int
+(** computed execute-at hosts resolved via the catalog *)
+
+val topo_failovers : t -> int
+(** reads re-routed to a replica because the owner was down *)
+
+val topo_epoch_aborts : t -> int
+(** 2PC prepares a participant refused on an epoch mismatch *)
+
+val topo_churn_events : t -> int
+(** scripted membership events fired *)
+
+val down_peers : t -> string list
+(** peers whose [xrpc.peer_up{peer=...}] gauge currently reads 0 (last
+    exchange exhausted its retries), sorted by name *)
+
 val remote_clamps : t -> int
 (** times {!time_remote} clamped a negative remote-exec residue to 0 —
     nonzero values point at double-counted nested buckets. *)
@@ -115,6 +134,15 @@ val incr_dedup_evictions : t -> unit
 val add_txn_staged : t -> int -> unit
 val incr_txn_commits : t -> unit
 val incr_txn_aborts : t -> unit
+val incr_forwarded : t -> unit
+val incr_topo_resolutions : t -> unit
+val incr_topo_failovers : t -> unit
+val incr_topo_epoch_aborts : t -> unit
+val incr_churn_events : t -> unit
+
+val set_peer_up : peer:string -> t -> bool -> unit
+(** Record peer liveness in the [xrpc.peer_up{peer=...}] gauge: 1 after a
+    successful exchange, 0 after a call exhausted its retry budget. *)
 
 (** {2 Timed scopes} *)
 

@@ -1,0 +1,113 @@
+Dynamic topology from the command line: --catalog installs a peer catalog,
+--topo-churn replays a membership-change script against it, --show-catalog
+dumps the final state.
+
+  $ cat > d.xml <<'EOF'
+  > <r><x>1</x><x>2</x><x>3</x></r>
+  > EOF
+  $ cat > e.xml <<'EOF'
+  > <r><y>1</y></r>
+  > EOF
+
+A quiet catalog changes nothing visible: a literal host that owns its
+data routes as before, and no topo counter moves.
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --catalog 'peer1/d.xml' --stats \
+  >   -q 'execute at {"peer1"} function () { count(doc("d.xml")/child::r/child::x) }' \
+  >   2>&1 | grep -E '^[0-9]|^topo:|^peers down:'
+  3
+
+A computed host is resolved against the catalog at call time: the verifier
+knows the owner statically and the session routes there.
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --catalog 'peer1/d.xml' --stats \
+  >   -q 'let $h := "peer1" return execute at {$h} function () { count(doc("d.xml")/child::r/child::x) }' \
+  >   2>&1 | grep -E '^[0-9]|^topo:|^peers down:'
+  3
+  topo: resolutions 1, forwarded 0, failovers 0, epoch-aborts 0
+
+Ownership churn mid-call: the document moves to peer2 after the first
+message, the stale owner answers with a typed redirect, and the caller
+follows it. --show-catalog prints the post-churn catalog (epoch bumped).
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --doc peer2/d.xml=d.xml \
+  >   --catalog 'peer1/d.xml' --topo-churn '1:move=d.xml/peer2' --stats --show-catalog \
+  >   -q 'execute at {"peer1"} function () { count(doc("d.xml")/child::r/child::x) }' \
+  >   2>&1 | grep -E '^[0-9]|^topo:|^peers down:|catalog|doc|member'
+  3
+  catalog epoch 1
+    doc d.xml owner peer2
+    member peer1 up
+    member peer2 up
+  messages: 4 (1232 bytes), documents fetched: 0 bytes
+  topo: resolutions 0, forwarded 1, failovers 0, epoch-aborts 0
+
+Failover: the owner is down, but the catalog lists a live replica — the
+caller re-resolves and the replica serves the call. Only the answer
+crosses the wire, not the document.
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --doc peer2/d.xml=d.xml \
+  >   --catalog 'peer1/d.xml+peer2' --fault-spec 'peer1:down' --stats \
+  >   -q 'execute at {"peer1"} function () { count(doc("d.xml")/child::r/child::x) }' \
+  >   2>&1 | grep -E '^[0-9]|^topo:|^peers down:'
+  3
+  topo: resolutions 0, forwarded 0, failovers 1, epoch-aborts 0
+  peers down: peer1
+
+Epoch fencing: a membership change between staging and prepare makes the
+participants vote abort — 2PC refuses to commit across a topology it no
+longer agrees on.
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --catalog 'peer1/d.xml' \
+  >   --topo-churn '2:join=peer3' --txn \
+  >   -q 'insert node <y/> into doc("xrpc://peer1/d.xml")/child::r'
+  xrpc fault from peer1: xrpc:txn.aborted: participant voted to abort
+  [1]
+
+The verifier judges literal hosts against the catalog too: shipping a body
+to a peer the catalog says can never own its data is a checked error.
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --doc peer2/e.xml=e.xml \
+  >   --catalog 'peer1/d.xml' --verify-plan \
+  >   -q 'execute at {"peer2"} function () { count(doc("d.xml")/child::r/child::x) }'
+  pass-by-projection plan: 1 error, 0 warnings
+    error[host-consistency] v3: body shipped to peer2 reads document d.xml, which the catalog assigns to peer1: peer2 can never own that data
+  plan rejected by the distribution-safety verifier:
+    error[host-consistency] v3: body shipped to peer2 reads document d.xml, which the catalog assigns to peer1: peer2 can never own that data
+  (re-run with --force to execute anyway)
+  [1]
+
+And a body whose documents the catalog splits across owners cannot have a
+single correct computed host:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --doc peer2/e.xml=e.xml \
+  >   --catalog 'peer1/d.xml;peer2/e.xml' --verify-plan \
+  >   -q 'let $h := "peer1" return execute at {$h} function () { count(doc("d.xml")/child::r/child::x) + count(doc("e.xml")/child::r/child::y) }'
+  pass-by-projection plan: 1 error, 0 warnings
+    error[host-consistency] v14: no single peer owns every document this execute-at's body reads (the catalog maps them to peer1, peer2): no computed host can execute where all its data lives (call v14)
+  plan rejected by the distribution-safety verifier:
+    error[host-consistency] v14: no single peer owns every document this execute-at's body reads (the catalog maps them to peer1, peer2): no computed host can execute where all its data lives (call v14)
+  (re-run with --force to execute anyway)
+  [1]
+
+Malformed specs are rejected up front:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --catalog 'nonsense' \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)'
+  bad --catalog: entry "nonsense": expected OWNER/DOC[+REPLICA...]
+  [1]
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --topo-churn '1:join=peer2' \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)'
+  bad --topo-churn: requires --catalog
+  [1]
+
+An empty catalog is trivial: the wire is byte-identical to a run without
+one.
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep '^messages:'
+  messages: 2 (657 bytes), documents fetched: 0 bytes
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --catalog '' --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 | grep '^messages:'
+  messages: 2 (657 bytes), documents fetched: 0 bytes

@@ -92,6 +92,10 @@ names and kinds are pinned:
   gauge      time.remote_exec_s
   gauge      time.serialize_s
   gauge      time.shred_s
+  counter    topo.churn_events
+  counter    topo.epoch_aborts
+  counter    topo.failovers
+  counter    topo.resolutions
   counter    txn.aborts
   counter    txn.commits
   counter    txn.staged
@@ -107,7 +111,9 @@ names and kinds are pinned:
   counter    xrpc.fallbacks
   counter    xrpc.faults
   counter    xrpc.faults.drop
+  counter    xrpc.forwarded
   counter    xrpc.messages
+  gauge      xrpc.peer_up{peer=peer1}
   counter    xrpc.retries
   counter    xrpc.timeouts
 

@@ -454,6 +454,100 @@ let test_malformed_rejected () =
     (is_fault M.Protocol_malformed
        "<env:Envelope><env:Body><request passing=\"by-wormhole\"><query>1</query><call/></request></env:Body></env:Envelope>")
 
+(* ---- topology envelopes ------------------------------------------------------ *)
+
+let first_elem txt =
+  let root = X.Node.doc_node (X.Parser.parse_doc ~strip_ws:false txt) in
+  List.find
+    (fun c -> X.Node.kind c = X.Node.Element)
+    (X.Node.children root)
+
+let test_forward_roundtrip () =
+  let d, o, e =
+    M.parse_forward
+      (first_elem (M.forward_body ~doc:"d.xml" ~owner:"peer2" ~epoch:3))
+  in
+  check_string "doc" "d.xml" d;
+  check_string "owner" "peer2" o;
+  check_int "epoch" 3 e
+
+let test_malformed_forward () =
+  (* a redirect whose own structure is broken is a protocol error, never a
+     leaked native exception *)
+  let bad txt =
+    match M.parse_forward (first_elem txt) with
+    | exception M.Protocol_error _ -> true
+    | _ -> false
+  in
+  check_bool "missing owner" (bad {|<forward doc="d.xml" epoch="1"/>|});
+  check_bool "empty owner"
+    (bad {|<forward doc="d.xml" owner="" epoch="1"/>|});
+  check_bool "bad epoch"
+    (bad {|<forward doc="d.xml" owner="p" epoch="soon"/>|});
+  check_bool "missing epoch" (bad {|<forward doc="d.xml" owner="p"/>|});
+  check_bool "missing doc" (bad {|<forward owner="p" epoch="1"/>|})
+
+let test_catalog_roundtrip () =
+  let cat =
+    match Xd_topo.Catalog.of_spec "peer1/d.xml+peer2+peer3;peer2/e.xml" with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  Xd_topo.Catalog.move cat ~doc:"e.xml" ~owner:"peer1";
+  Xd_topo.Catalog.mark_down cat "peer3";
+  let cat' = M.parse_catalog (first_elem (M.catalog_body cat)) in
+  check_int "epoch survives" (Xd_topo.Catalog.epoch cat)
+    (Xd_topo.Catalog.epoch cat');
+  check_bool "entries survive"
+    (Xd_topo.Catalog.entries cat = Xd_topo.Catalog.entries cat');
+  check_bool "members and liveness survive"
+    (Xd_topo.Catalog.members cat = Xd_topo.Catalog.members cat')
+
+let test_malformed_catalog () =
+  let bad txt =
+    match M.parse_catalog (first_elem txt) with
+    | exception M.Protocol_error _ -> true
+    | _ -> false
+  in
+  check_bool "bad epoch" (bad {|<catalog epoch="x"/>|});
+  check_bool "missing epoch" (bad {|<catalog/>|});
+  check_bool "entry missing owner"
+    (bad {|<catalog epoch="0"><entry doc="d.xml"/></catalog>|});
+  check_bool "entry empty doc"
+    (bad {|<catalog epoch="0"><entry doc="" owner="p"/></catalog>|});
+  check_bool "member bad up"
+    (bad
+       {|<catalog epoch="0"><member peer="p" up="maybe"/></catalog>|});
+  check_bool "member missing peer"
+    (bad {|<catalog epoch="0"><member up="true"/></catalog>|})
+
+let test_malformed_topo_envelopes_answered_with_faults () =
+  (* over the wire, broken topology envelopes come back as typed
+     <env:Fault>s from the server, like every other malformed message *)
+  let net, client, _ = setup () in
+  let session = Xd_xrpc.Session.create net client M.By_fragment in
+  let respond txt =
+    Xd_xrpc.Session.handle_request session ~client_name:"client" txt
+  in
+  let env body = "<env:Envelope><env:Body>" ^ body ^ "</env:Body></env:Envelope>" in
+  check_bool "forward in request position is malformed"
+    (contains
+       (respond (env {|<forward doc="d.xml" owner="p" epoch="1"/>|}))
+       "xrpc:protocol.malformed");
+  check_bool "catalog push with bad epoch is malformed"
+    (contains
+       (respond (env {|<catalog epoch="soon"/>|}))
+       "xrpc:protocol.malformed");
+  check_bool "catalog push with broken entry is malformed"
+    (contains
+       (respond (env {|<catalog epoch="0"><entry doc="d.xml"/></catalog>|}))
+       "xrpc:protocol.malformed");
+  check_bool "well-formed catalog push is acked with its epoch"
+    (contains
+       (respond
+          (env {|<catalog epoch="7"><entry doc="d.xml" owner="p"/></catalog>|}))
+       {|<catalog-ack epoch="7"|})
+
 (* ---- the optional <trace> telemetry header -------------------------------- *)
 
 let test_trace_header_roundtrip () =
@@ -578,6 +672,15 @@ let () =
           tc "fn:id on shipped nodes" test_id_on_shipped_nodes;
         ] );
       ("robustness", [ tc "malformed" test_malformed_rejected ]);
+      ( "topology",
+        [
+          tc "forward round trip" test_forward_roundtrip;
+          tc "malformed forward" test_malformed_forward;
+          tc "catalog round trip" test_catalog_roundtrip;
+          tc "malformed catalog" test_malformed_catalog;
+          tc "malformed envelopes answered with faults"
+            test_malformed_topo_envelopes_answered_with_faults;
+        ] );
       ( "tracing",
         [
           tc "header round trip" test_trace_header_roundtrip;
