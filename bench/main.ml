@@ -56,6 +56,16 @@ let run_topo () =
   Experiments.write_topo_json ~path:"BENCH_topo.json" ~persons rows;
   print_endline "   (written to BENCH_topo.json)\n"
 
+let run_overload () =
+  (* floor at 200 arrivals: below that the FIFO backlog never outgrows
+     the deadline and the saturation comparison is vacuous (the requests
+     are cheap — sim-clock only — so the floor costs nothing) *)
+  let requests = max 200 (!base_scale * 5) in
+  let rows = Experiments.overload ~requests () in
+  Experiments.print_overload rows;
+  Experiments.write_overload_json ~path:"BENCH_overload.json" rows;
+  print_endline "   (written to BENCH_overload.json)\n"
+
 let run_verify () = Experiments.verify ~persons:(!base_scale * 2) ()
 let run_workloads () = Experiments.workload_suite ~persons:(!base_scale * 2) ()
 
@@ -138,7 +148,15 @@ let all () =
   run_workloads ();
   run_effects ();
   run_topo ();
+  run_overload ();
   run_ablations ()
+
+(* One cheap pass over every experiment — the @bench-smoke alias. Tiny
+   scale, every code path: catches bit-rot in the harness without the
+   minutes a full run takes. *)
+let smoke () =
+  base_scale := 4;
+  all ()
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -168,10 +186,12 @@ let () =
         | "workloads" -> run_workloads ()
         | "effects" -> run_effects ()
         | "topo" -> run_topo ()
+        | "overload" -> run_overload ()
+        | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other ->
           Printf.eprintf
-            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|verify|micro|all)\n"
+            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|overload|smoke|verify|micro|all)\n"
             other;
           exit 1)
       cmds

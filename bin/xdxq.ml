@@ -207,6 +207,58 @@ let show_catalog_arg =
   in
   Arg.(value & flag & info [ "show-catalog" ] ~doc)
 
+let peer_capacity_arg =
+  let doc =
+    "Give every peer a bounded-capacity server model: N concurrent \
+     service slots on the simulated clock. Admitted requests queue \
+     (bounded by --queue-cap) and are charged their queueing delay; a \
+     full queue sheds with a retryable xrpc:server.overloaded fault \
+     carrying a server-suggested retry-after. 0 (the default) disables \
+     the model and keeps the wire byte-identical."
+  in
+  Arg.(value & opt int 0 & info [ "peer-capacity" ] ~docv:"N" ~doc)
+
+let queue_cap_arg =
+  let doc =
+    "Admission queue bound per peer (waiting requests beyond the busy \
+     slots; requires --peer-capacity)."
+  in
+  Arg.(value & opt int 8 & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let service_time_arg =
+  let doc =
+    "Minimum service time per admitted call unit in simulated seconds \
+     (requires --peer-capacity)."
+  in
+  Arg.(
+    value & opt float 0.001 & info [ "service-time" ] ~docv:"SECONDS" ~doc)
+
+let deadline_arg =
+  let doc =
+    "End-to-end deadline budget for the query in simulated seconds. \
+     Every message carries the remaining budget, decremented across \
+     every hop; callees refuse work the budget cannot cover with a \
+     non-retryable xrpc:deadline.exceeded fault."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let retry_budget_arg =
+  let doc =
+    "Shared retry pool for the whole query execution: all calls of the \
+     plan draw re-sends from this one budget (per-call --retries still \
+     applies on top)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "retry-budget" ] ~docv:"N" ~doc)
+
+let show_breakers_arg =
+  let doc =
+    "Print the per-peer circuit-breaker states after executing \
+     (requires --peer-capacity)."
+  in
+  Arg.(value & flag & info [ "show-breakers" ] ~doc)
+
 let query_string_arg =
   let doc = "Give the query inline instead of in a file." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"QUERY" ~doc)
@@ -239,7 +291,8 @@ let parse_doc_spec s =
 let run docs strategy explain stats code_motion types effects no_parallel
     no_typing verify_plan as_plan force fault_spec fault_seed timeout_s
     retries txn journal_dir trace trace_out trace_format metrics catalog_spec
-    topo_churn show_catalog query_string query_file =
+    topo_churn show_catalog peer_capacity queue_cap service_time deadline
+    retry_budget show_breakers query_string query_file =
   let typing = not no_typing in
   let query_src =
     match (query_string, query_file) with
@@ -285,6 +338,24 @@ let run docs strategy explain stats code_motion types effects no_parallel
             exit 1
           | Ok events ->
             Xd_xrpc.Network.set_churn net (Xd_topo.Churn.create events)))));
+    if peer_capacity < 0 then begin
+      prerr_endline "bad --peer-capacity: must be >= 0";
+      exit 1
+    end;
+    if peer_capacity > 0 then begin
+      match
+        Xd_xrpc.Overload.create ~capacity:peer_capacity ~queue_cap
+          ~service_s:service_time ()
+      with
+      | ov -> Xd_xrpc.Network.set_overload net ov
+      | exception Invalid_argument m ->
+        Printf.eprintf "bad overload config: %s\n" m;
+        exit 1
+    end
+    else if show_breakers then begin
+      prerr_endline "bad --show-breakers: requires --peer-capacity";
+      exit 1
+    end;
     let client = Xd_xrpc.Network.new_peer net "client" in
     let tracer =
       if trace || trace_out <> None then Some (Xd_obs.Trace.create ())
@@ -309,6 +380,14 @@ let run docs strategy explain stats code_motion types effects no_parallel
       if metrics then
         Format.eprintf "%a@?" Xd_obs.Metrics.dump
           (Xd_xrpc.Stats.registry net.Xd_xrpc.Network.stats)
+    in
+    (* breaker states are worth seeing on failed runs too — an open
+       breaker is usually why the run failed *)
+    let print_breakers () =
+      if show_breakers then
+        Option.iter
+          (Format.printf "%a" Xd_xrpc.Overload.pp_breakers)
+          net.Xd_xrpc.Network.overload
     in
     let load spec =
       match parse_doc_spec spec with
@@ -385,7 +464,7 @@ let run docs strategy explain stats code_motion types effects no_parallel
         Format.printf "%a@." Xd_verify.Verify.pp_report report
       end;
       match
-        Xd_core.Executor.run_plan ~timeout_s ~retries
+        Xd_core.Executor.run_plan ~timeout_s ~retries ?deadline ?retry_budget
           ~txn:(if txn then `Always else `Auto)
           ~parallel:(not no_parallel) ~force ?trace:tracer net ~client plan
       with
@@ -406,12 +485,14 @@ let run docs strategy explain stats code_motion types effects no_parallel
         Printf.eprintf "xrpc fault from %s: %s: %s\n" host
           (Xd_xrpc.Message.fault_code_to_string code)
           reason;
+        print_breakers ();
         export_trace ();
         dump_metrics ();
         1
       | exception Xd_xrpc.Message.Xrpc_timeout { host; attempts } ->
         Printf.eprintf "xrpc timeout: %s did not answer (%d attempts)\n" host
           attempts;
+        print_breakers ();
         export_trace ();
         dump_metrics ();
         1
@@ -477,9 +558,33 @@ let run docs strategy explain stats code_motion types effects no_parallel
               t.Xd_core.Executor.sched_overlapped
               (t.Xd_core.Executor.sched_saved_s *. 1000.)
               t.Xd_core.Executor.batch_envelopes
-              t.Xd_core.Executor.batch_calls
+              t.Xd_core.Executor.batch_calls;
+          if
+            t.Xd_core.Executor.ov_admitted > 0
+            || t.Xd_core.Executor.ov_shed > 0
+            || t.Xd_core.Executor.ov_deadline_rejects > 0
+          then
+            Printf.eprintf
+              "overload: admitted %d, shed %d, deadline-rejects %d, \
+               queue-wait %.3fms (sim)\n"
+              t.Xd_core.Executor.ov_admitted t.Xd_core.Executor.ov_shed
+              t.Xd_core.Executor.ov_deadline_rejects
+              (t.Xd_core.Executor.ov_queue_wait_s *. 1000.);
+          if
+            t.Xd_core.Executor.breaker_opens > 0
+            || t.Xd_core.Executor.breaker_shed > 0
+            || t.Xd_core.Executor.breaker_probes > 0
+            || t.Xd_core.Executor.retry_budget_stops > 0
+          then
+            Printf.eprintf
+              "breaker: opens %d, shed %d, probes %d, budget-stops %d\n"
+              t.Xd_core.Executor.breaker_opens
+              t.Xd_core.Executor.breaker_shed
+              t.Xd_core.Executor.breaker_probes
+              t.Xd_core.Executor.retry_budget_stops
           end
         end;
+        print_breakers ();
         export_trace ();
         dump_metrics ();
         0))
@@ -495,6 +600,8 @@ let cmd =
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg
       $ trace_format_arg $ metrics_arg $ catalog_arg $ topo_churn_arg
-      $ show_catalog_arg $ query_string_arg $ query_file_arg)
+      $ show_catalog_arg $ peer_capacity_arg $ queue_cap_arg
+      $ service_time_arg $ deadline_arg $ retry_budget_arg
+      $ show_breakers_arg $ query_string_arg $ query_file_arg)
 
 let () = exit (Cmd.eval' cmd)

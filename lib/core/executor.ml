@@ -34,6 +34,14 @@ type timing = {
   topo_resolutions : int; (* computed hosts resolved via the catalog *)
   topo_failovers : int; (* calls re-routed to a replica of a down owner *)
   topo_epoch_aborts : int; (* prepares refused on an epoch mismatch *)
+  ov_admitted : int; (* requests admitted by the bounded-capacity model *)
+  ov_shed : int; (* requests shed on a full admission queue *)
+  ov_deadline_rejects : int; (* requests refused past their budget *)
+  ov_queue_wait_s : float; (* queueing delay charged to the sim clock *)
+  breaker_opens : int; (* circuit-breaker closed->open transitions *)
+  breaker_shed : int; (* calls shed locally by an open breaker *)
+  breaker_probes : int; (* half-open probes let through *)
+  retry_budget_stops : int; (* retries skipped on a spent budget *)
 }
 
 let total_time t =
@@ -118,9 +126,10 @@ let txn_needed ~self (q : Ast.query) =
    runs first: a plan with error-severity findings is refused unless
    [~force:true] — distributed execution of such a plan would silently
    diverge from the local reference semantics. *)
-let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
-    ?(parallel = true) ?(force = false) ?trace (net : Xd_xrpc.Network.t)
-    ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) : run =
+let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
+    ?retry_budget ?(txn = `Auto) ?(parallel = true) ?(force = false) ?trace
+    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
+    (plan : Decompose.plan) : run =
   (* the overlap schedule rides into both the verifier (which re-derives
      the footprints and vets it) and the session (which executes it) *)
   let schedule = if parallel then plan_schedule ~client plan else [] in
@@ -139,8 +148,12 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
       Xd_obs.Trace.set_sim tr (fun () -> Xd_xrpc.Stats.network_s stats))
     trace;
   let session =
+    (* the retry budget is a shared pool: one counter for the whole plan
+       execution, drawn on by every session of the fan-out *)
     Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries ?dedup_cap
-      ~schedule ?tracer:trace net client
+      ~schedule ?deadline
+      ?retry_budget:(Option.map ref retry_budget)
+      ?tracer:trace net client
       (Strategy.passing strategy)
   in
   let use_txn =
@@ -204,16 +217,24 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?(txn = `Auto)
       topo_resolutions = St.topo_resolutions stats;
       topo_failovers = St.topo_failovers stats;
       topo_epoch_aborts = St.topo_epoch_aborts stats;
+      ov_admitted = St.ov_admitted stats;
+      ov_shed = St.ov_shed stats;
+      ov_deadline_rejects = St.ov_deadline_rejects stats;
+      ov_queue_wait_s = St.ov_queue_wait_s stats;
+      breaker_opens = St.breaker_opens stats;
+      breaker_shed = St.breaker_shed stats;
+      breaker_probes = St.breaker_probes stats;
+      retry_budget_stops = St.retry_budget_stops stats;
     }
   in
   { value; plan; timing; trace_root }
 
-let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?parallel
-    ?code_motion ?force ?trace (net : Xd_xrpc.Network.t)
+let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline ?retry_budget
+    ?txn ?parallel ?code_motion ?force ?trace (net : Xd_xrpc.Network.t)
     ~(client : Xd_xrpc.Peer.t) (strategy : Strategy.t) (q : Ast.query) : run =
   let plan = Decompose.decompose ?code_motion strategy q in
-  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?txn ?parallel ?force
-    ?trace net ~client plan
+  run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
+    ?retry_budget ?txn ?parallel ?force ?trace net ~client plan
 
 (* Coordinator crash recovery: a fresh session for the client re-drives
    every transaction its journal shows as begun but unresolved. The

@@ -37,6 +37,20 @@ type timing = {
       (** calls re-routed to a replica because the owner was down *)
   topo_epoch_aborts : int;
       (** 2PC prepares participants refused on an epoch mismatch *)
+  ov_admitted : int;
+      (** requests admitted by the bounded-capacity model *)
+  ov_shed : int;  (** requests shed on a full admission queue *)
+  ov_deadline_rejects : int;
+      (** requests refused because the remaining deadline budget could
+          not cover them (server gate + caller pre-send expiries) *)
+  ov_queue_wait_s : float;
+      (** queueing delay charged to the simulated clock *)
+  breaker_opens : int;  (** circuit-breaker closed→open transitions *)
+  breaker_shed : int;
+      (** calls shed locally by an open breaker (never on the wire) *)
+  breaker_probes : int;  (** half-open probe calls let through *)
+  retry_budget_stops : int;
+      (** retries skipped because the shared per-query pool was spent *)
 }
 
 val total_time : timing -> float
@@ -87,6 +101,8 @@ val run_plan :
   ?timeout_s:float ->
   ?retries:int ->
   ?dedup_cap:int ->
+  ?deadline:float ->
+  ?retry_budget:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
   ?parallel:bool ->
   ?force:bool ->
@@ -102,6 +118,13 @@ val run_plan :
     [`Always] runs the query through {!Xd_xrpc.Session.execute_txn},
     [`Off] never does, and [`Auto] (the default) consults {!txn_needed}
     so that single-site queries keep a wire identical to [`Off].
+
+    [deadline] gives the query an end-to-end budget in simulated
+    seconds, propagated on every message and enforced at every hop
+    (PROTOCOL.md, "Deadlines & overload"); [retry_budget] caps the
+    total retries of the whole plan execution in one shared pool —
+    both default to absent, leaving the wire byte-identical to a build
+    without the overload layer.
 
     [parallel] (default true) computes the effect-analysis overlap
     schedule ({!plan_schedule}), has the verifier vet it, and passes it
@@ -123,6 +146,8 @@ val run :
   ?timeout_s:float ->
   ?retries:int ->
   ?dedup_cap:int ->
+  ?deadline:float ->
+  ?retry_budget:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
   ?parallel:bool ->
   ?code_motion:bool ->

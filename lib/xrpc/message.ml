@@ -74,6 +74,10 @@ type fault_code =
   | Txn_aborted (* the distributed transaction was aborted by 2PC *)
   | Topo_unroutable (* forwarding could not reach an owner (hop limit
                        exhausted or a redirect loop) *)
+  | Server_overloaded (* admission queue full: the peer sheds the request
+                         and suggests a retry-after delay *)
+  | Deadline_exceeded (* the remaining deadline budget cannot cover the
+                         call's minimum service time *)
 
 exception
   Xrpc_fault of { host : string; code : fault_code; reason : string }
@@ -85,10 +89,13 @@ exception Xrpc_timeout of { host : string; attempts : int }
    response shredder, consumed by Session's forwarding loop. *)
 exception Xrpc_forward of { doc : string; owner : string; epoch : int }
 
+(* Server_overloaded is retryable — the queue drains; the server even
+   suggests when (retry-after). Deadline_exceeded is not: the budget only
+   shrinks, so the retry would be rejected harder. *)
 let retryable = function
-  | Transport_corrupt | Transport_timeout -> true
+  | Transport_corrupt | Transport_timeout | Server_overloaded -> true
   | Protocol_malformed | App_dynamic | App_type | Txn_aborted
-  | Topo_unroutable ->
+  | Topo_unroutable | Deadline_exceeded ->
     false
 
 let fault_code_to_string = function
@@ -99,6 +106,8 @@ let fault_code_to_string = function
   | App_type -> "xrpc:app.type-error"
   | Txn_aborted -> "xrpc:txn.aborted"
   | Topo_unroutable -> "xrpc:topo.unroutable"
+  | Server_overloaded -> "xrpc:server.overloaded"
+  | Deadline_exceeded -> "xrpc:deadline.exceeded"
 
 let fault_code_of_string = function
   | "xrpc:transport.corrupt" -> Transport_corrupt
@@ -108,6 +117,8 @@ let fault_code_of_string = function
   | "xrpc:app.type-error" -> App_type
   | "xrpc:txn.aborted" -> Txn_aborted
   | "xrpc:topo.unroutable" -> Topo_unroutable
+  | "xrpc:server.overloaded" -> Server_overloaded
+  | "xrpc:deadline.exceeded" -> Deadline_exceeded
   | s -> protocol_error "unknown fault code %S" s
 
 (* SOAP 1.2 top-level role: sender faults are the caller's doing,
@@ -115,7 +126,7 @@ let fault_code_of_string = function
 let fault_role = function
   | Protocol_malformed -> "env:Sender"
   | Transport_corrupt | Transport_timeout | App_dynamic | App_type
-  | Txn_aborted | Topo_unroutable ->
+  | Txn_aborted | Topo_unroutable | Server_overloaded | Deadline_exceeded ->
     "env:Receiver"
 
 (* ------------------------------------------------------------------ *)
@@ -224,10 +235,42 @@ let envelope body =
   "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body>"
   ^ body ^ "</env:Body></env:Envelope>"
 
+(* Deadline and retry-after ride the wire as fixed-width attributes, so
+   their byte cost is deterministic and they can be re-stamped in place on
+   every retry attempt without reserializing the message (PROTOCOL.md,
+   "Deadlines & overload"). Like the <trace> header they are invisible to
+   the fault schedule — installing a deadline must not shift which
+   messages an existing fault spec hits — but unlike <trace> they ARE
+   billed: the budget is real protocol payload. *)
+
+let deadline_width = 15 (* "00000000.100000" — %015.6f *)
+let deadline_value s = Printf.sprintf "%0*.6f" deadline_width (Float.max 0. s)
+let deadline_marker = " deadline=\""
+let deadline_attr_len = String.length deadline_marker + deadline_width + 1
+
+let retry_after_width = 8 (* "000.0500" — %08.4f *)
+
+let retry_after_value s =
+  Printf.sprintf "%0*.4f" retry_after_width (Float.max 0. s)
+
+let retry_after_marker = " retry-after=\""
+
+let buf_deadline buf s =
+  Buffer.add_string buf deadline_marker;
+  Buffer.add_string buf (deadline_value s);
+  Buffer.add_char buf '"'
+
 (* Just the <env:Fault> element (PROTOCOL.md, "Faults"). *)
-let fault_body ~code ~reason =
+let fault_body ?retry_after ~code ~reason () =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "<env:Fault><env:Code><env:Value>";
+  Buffer.add_string buf "<env:Fault";
+  (match retry_after with
+  | Some s ->
+    Buffer.add_string buf retry_after_marker;
+    Buffer.add_string buf (retry_after_value s);
+    Buffer.add_char buf '"'
+  | None -> ());
+  Buffer.add_string buf "><env:Code><env:Value>";
   Buffer.add_string buf (fault_role code);
   Buffer.add_string buf "</env:Value><env:Subcode><env:Value>";
   Buffer.add_string buf (fault_code_to_string code);
@@ -238,7 +281,8 @@ let fault_body ~code ~reason =
   Buffer.contents buf
 
 (* A complete <env:Fault> response envelope. *)
-let write_fault ~code ~reason = envelope (fault_body ~code ~reason)
+let write_fault ?retry_after ~code ~reason () =
+  envelope (fault_body ?retry_after ~code ~reason ())
 
 (* ------------------------------------------------------------------ *)
 (* Transaction control envelopes (PROTOCOL.md, "Transactions").        *)
@@ -271,8 +315,10 @@ let txn_ack_of_string = function
 
 (* [epoch] rides only on <prepare> under dynamic topology: the participant
    refuses to prepare when its catalog epoch has moved on (PROTOCOL.md,
-   "Topology & forwarding"). Absent epoch = static build, byte-identical. *)
-let write_txn_control ?epoch ~action ~txn () =
+   "Topology & forwarding"). Absent epoch = static build, byte-identical.
+   [deadline] rides 2PC control only when the query has a budget — control
+   messages consume it like any other hop. *)
+let write_txn_control ?epoch ?deadline ~action ~txn () =
   let buf = Buffer.create 160 in
   Buffer.add_string buf
     "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"><env:Body><";
@@ -281,6 +327,7 @@ let write_txn_control ?epoch ~action ~txn () =
   (match epoch with
   | Some e -> buf_attr buf "epoch" (string_of_int e)
   | None -> ());
+  (match deadline with Some s -> buf_deadline buf s | None -> ());
   Buffer.add_string buf "/></env:Body></env:Envelope>";
   Buffer.contents buf
 
@@ -408,6 +455,71 @@ let peek_trace_header text =
             && Xd_obs.Trace.valid_id span_id
           then Some (trace_id, span_id)
           else None))
+
+(* ---- deadline & retry-after wire fields (PROTOCOL.md, "Deadlines &
+   overload") ---- *)
+
+let find_sub_from text from sub =
+  let n = String.length text and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub text i m = sub then Some i
+    else go (i + 1)
+  in
+  go (Stdlib.max 0 from)
+
+(* Re-stamp the (first, i.e. the envelope's own) deadline attribute with
+   the budget remaining *now* — called once per send attempt, after the
+   wire time of this very message has been pre-subtracted, so the value
+   the callee reads is exactly its budget at receipt. Returns the byte
+   range of the whole attribute so the sender can hide it from the fault
+   schedule. *)
+let patch_deadline text ~remaining =
+  match find_sub text deadline_marker with
+  | None -> (text, None)
+  | Some i ->
+    let vstart = i + String.length deadline_marker in
+    if String.length text < vstart + deadline_width + 1 then (text, None)
+    else begin
+      let b = Bytes.of_string text in
+      Bytes.blit_string (deadline_value remaining) 0 b vstart deadline_width;
+      (Bytes.to_string b, Some (i, deadline_attr_len))
+    end
+
+(* Fixed-width attribute value: digits and exactly one dot. *)
+let overload_value_ok text vstart width =
+  String.length text >= vstart + width + 1
+  && text.[vstart + width] = '"'
+  &&
+  let ok = ref true and dots = ref 0 in
+  for k = vstart to vstart + width - 1 do
+    match text.[k] with
+    | '0' .. '9' -> ()
+    | '.' -> incr dots
+    | _ -> ok := false
+  done;
+  !ok && !dots = 1
+
+(* Byte ranges of every deadline / retry-after attribute in [text], sorted
+   by position — the fault schedule must not see these bytes, or turning
+   on deadlines would shift which messages an existing spec hits. Only
+   consulted when the overload layer is active. *)
+let overload_ranges text =
+  let collect marker width acc =
+    let mlen = String.length marker in
+    let rec go from acc =
+      match find_sub_from text from marker with
+      | None -> acc
+      | Some i ->
+        if overload_value_ok text (i + mlen) width then
+          go (i + mlen + width + 1) ((i, mlen + width + 1) :: acc)
+        else go (i + mlen) acc
+    in
+    go 0 acc
+  in
+  collect deadline_marker deadline_width []
+  |> collect retry_after_marker retry_after_width
+  |> List.sort compare
 
 (* The node used for structural shipping: attributes travel with their
    owner element. *)
@@ -686,6 +798,26 @@ let req_attr n name =
   | None ->
     protocol_error "malformed XRPC message: missing attribute %s on <%s>"
       name (X.Node.name n)
+
+(* An on-the-wire budget must be a finite non-negative float; anything
+   else is ill-formed protocol content and answers with
+   xrpc:protocol.malformed (never an exception, never silently ignored). *)
+let budget_attr n name =
+  match attr_of n name with
+  | None -> None
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some s when s >= 0. && Float.is_finite s -> Some s
+    | _ ->
+      protocol_error "malformed XRPC message: bad %s %S on <%s>" name v
+        (X.Node.name n))
+
+(* The deadline attribute of a parsed request / batch / 2PC control
+   element, if any. *)
+let parse_deadline n = budget_attr n "deadline"
+
+(* The retry-after suggestion on a parsed <env:Fault>, if any. *)
+let parse_retry_after fault_node = budget_attr fault_node "retry-after"
 
 (* Read an <env:Fault> element back into (code, reason). A fault whose
    own structure is broken is itself a protocol error. *)

@@ -48,6 +48,13 @@ type fault_code =
   | Topo_unroutable
       (** forwarding could not reach an owner: hop limit exhausted or a
           redirect loop (PROTOCOL.md, "Topology & forwarding") *)
+  | Server_overloaded
+      (** the peer's admission queue is full; retryable, with a
+          server-suggested retry-after delay (PROTOCOL.md, "Deadlines &
+          overload") *)
+  | Deadline_exceeded
+      (** the remaining deadline budget cannot cover the call's minimum
+          service time; never retryable — budgets only shrink *)
 
 exception
   Xrpc_fault of { host : string; code : fault_code; reason : string }
@@ -72,11 +79,14 @@ val envelope : string -> string
 (** Wrap body content in the SOAP
     [<env:Envelope>]/[<env:Body>] scaffolding shared by every message. *)
 
-val fault_body : code:fault_code -> reason:string -> string
+val fault_body :
+  ?retry_after:float -> code:fault_code -> reason:string -> unit -> string
 (** Just the [<env:Fault>] element — embedded per-call inside batch
-    responses. *)
+    responses. [retry_after] stamps the fixed-width server backoff
+    suggestion (overload faults only). *)
 
-val write_fault : code:fault_code -> reason:string -> string
+val write_fault :
+  ?retry_after:float -> code:fault_code -> reason:string -> unit -> string
 (** A complete [<env:Fault>] response envelope. *)
 
 (** {2 Transaction control} (PROTOCOL.md, "Transactions")
@@ -95,9 +105,15 @@ type txn_ack = Ack_prepared | Ack_committed | Ack_aborted
 val txn_ack_to_string : txn_ack -> string
 val txn_ack_of_string : string -> txn_ack
 val write_txn_control :
-  ?epoch:int -> action:txn_action -> txn:string -> unit -> string
+  ?epoch:int ->
+  ?deadline:float ->
+  action:txn_action ->
+  txn:string ->
+  unit ->
+  string
 (** [epoch] rides only on [<prepare>] under dynamic topology: a
-    participant whose catalog epoch differs votes abort. Absent epoch =
+    participant whose catalog epoch differs votes abort. [deadline]
+    rides 2PC control only when the query has a budget. Absent both =
     static build, byte-identical wire. *)
 
 val write_txn_ack : txn:string -> ack:txn_ack -> string
@@ -155,6 +171,44 @@ val parse_txn_ack : Xd_xml.Node.t -> string * txn_ack
 
 val parse_fault : Xd_xml.Node.t -> fault_code * string
 (** Read an [<env:Fault>] element back into (code, reason). *)
+
+(** {2 Deadlines & overload} (PROTOCOL.md, "Deadlines & overload")
+
+    Deadline and retry-after budgets ride the wire as fixed-width
+    attributes: deterministic byte cost, re-stampable in place per retry
+    attempt. Like the [<trace>] header they are invisible to the fault
+    schedule — installing a deadline must not shift which messages an
+    existing fault spec hits — but unlike [<trace>] they {e are} billed:
+    the budget is real protocol payload. *)
+
+val deadline_value : float -> string
+(** ["%015.6f"] of the budget in simulated seconds, clamped at 0. *)
+
+val retry_after_value : float -> string
+(** ["%08.4f"] of the suggested delay, clamped at 0. *)
+
+val buf_deadline : Buffer.t -> float -> unit
+(** Append [ deadline="…"] (fixed width) to a message under
+    construction. *)
+
+val patch_deadline : string -> remaining:float -> string * (int * int) option
+(** Re-stamp the message's (first) deadline attribute with the budget
+    remaining now; returns the attribute's byte range for
+    {!Network.send}'s [~hidden]. Identity on messages without one. *)
+
+val overload_ranges : string -> (int * int) list
+(** Byte ranges of every fixed-width deadline / retry-after attribute in
+    the message, sorted by position — the fault schedule's blind spots.
+    Only consulted when the overload layer is active. *)
+
+val parse_deadline : Xd_xml.Node.t -> float option
+(** The [deadline] attribute of a parsed request / batch / 2PC control
+    element. Raises {!Protocol_error} on a malformed or negative value —
+    typed [xrpc:protocol.malformed] faults, never silent ignores. *)
+
+val parse_retry_after : Xd_xml.Node.t -> float option
+(** The [retry-after] suggestion on a parsed [<env:Fault>]. Raises
+    {!Protocol_error} on a malformed or negative value. *)
 
 type foreign = { from_host : string; remote_did : int; omap : int array }
 (** Provenance of a document shredded from a remote fragment:

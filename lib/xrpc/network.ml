@@ -22,6 +22,7 @@ type t = {
   mutable catalog : Xd_topo.Catalog.t option;
   mutable churn : Xd_topo.Churn.t;
   mutable sent : int;
+  mutable overload : Overload.t option;
 }
 
 let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4)
@@ -37,11 +38,24 @@ let create ?(bandwidth_bytes_per_s = 1e9 /. 8.) ?(latency_s = 1e-4)
     catalog = None;
     churn = Xd_topo.Churn.empty;
     sent = 0;
+    overload = None;
   }
 
 let faulty t = Fault.enabled t.fault
 let set_catalog t cat = t.catalog <- Some cat
 let set_churn t churn = t.churn <- churn
+let set_overload t ov = t.overload <- Some ov
+
+(* The admission layer is in force only when explicitly installed
+   (--peer-capacity & co.); without it no deadline/queue arithmetic runs
+   and the wire stays byte-identical to the unprotected build. *)
+let overload_active t = Option.is_some t.overload
+
+(* Pure wire time of a message of [bytes] — what a send of it would charge
+   the simulated clock. Used to pre-subtract a message's own transmission
+   from the deadline budget it carries. *)
+let wire_s t bytes =
+  t.latency_s +. (float_of_int bytes /. t.bandwidth_bytes_per_s)
 
 (* Dynamic topology is in force only for a non-trivial catalog: an absent
    or empty catalog leaves every session behavior (routing, epoch attrs,
@@ -109,8 +123,15 @@ type delivery = Delivered of { text : string; duplicated : bool } | Dropped
    the fault layer's length-dependent decisions, and a truncation fault
    cuts the payload at the same payload offset it would have used had
    the header not been there. This keeps byte accounting and the seeded
-   fault schedule identical with tracing on or off. *)
-let send ?meta t ~dst text =
+   fault schedule identical with tracing on or off.
+
+   [hidden], when given, lists further (at, len) substrings — the
+   fixed-width deadline / retry-after attributes — that ARE billed (the
+   budget is protocol payload) but are likewise invisible to the fault
+   layer: same decisions, and truncation offsets mapped past them, as on
+   a wire without deadlines. Ranges must be sorted and disjoint from
+   each other and from [meta]. *)
+let send ?meta ?(hidden = []) t ~dst text =
   (* Scripted membership churn fires on message counts, just before the
      triggering message is handled: an event scheduled at N affects how the
      N-th message is routed/answered. Deterministic by construction. *)
@@ -123,10 +144,16 @@ let send ?meta t ~dst text =
   | None -> ());
   let at, hlen = match meta with None -> (0, 0) | Some (a, l) -> (a, l) in
   let bytes = String.length text - hlen in
+  let hidden_len = List.fold_left (fun acc (_, l) -> acc + l) 0 hidden in
+  (* every range the fault layer must not see, ascending; [meta]'s is the
+     only unbilled one *)
+  let blind =
+    List.sort compare (if hlen > 0 then (at, hlen) :: hidden else hidden)
+  in
   transfer ~kind:`Message t bytes;
   if not (Fault.enabled t.fault) then Delivered { text; duplicated = false }
   else
-    match Fault.decide t.fault ~dst ~len:bytes with
+    match Fault.decide t.fault ~dst ~len:(bytes - hidden_len) with
     | Fault.Pass -> Delivered { text; duplicated = false }
     | Fault.Drop_msg ->
       Stats.incr_faults ~kind:"drop" t.stats;
@@ -137,11 +164,15 @@ let send ?meta t ~dst text =
       Delivered { text; duplicated = true }
     | Fault.Truncate_at n ->
       Stats.incr_faults ~kind:"truncate" t.stats;
-      (* Cut at the fault layer's payload offset: before the header the
-         raw and payload offsets coincide (the header is lost with the
-         tail — the call degrades to untraced); past it the header rides
-         along whole. *)
-      let cut = if n <= at then n else n + hlen in
+      (* Cut at the fault layer's payload offset, mapped past every blind
+         range in ascending order: a range before the cut rides along (or
+         is lost) whole, one after it is untouched — the same payload
+         bytes survive as on a wire without headers or deadlines. *)
+      let cut =
+        List.fold_left
+          (fun c (a, l) -> if c <= a then c else c + l)
+          n blind
+      in
       Delivered { text = String.sub text 0 cut; duplicated = false }
     | Fault.Delay_by s ->
       Stats.incr_faults ~kind:"delay" t.stats;

@@ -20,6 +20,8 @@ type t = {
   mutable catalog : Xd_topo.Catalog.t option;
   mutable churn : Xd_topo.Churn.t;
   mutable sent : int;  (** messages put on the wire; keys churn schedules *)
+  mutable overload : Overload.t option;
+      (** bounded-capacity admission model, when installed *)
 }
 
 val create :
@@ -43,6 +45,21 @@ val topo_active : t -> bool
     False for an absent or empty catalog — in that case every session
     behavior is byte-identical to the static build. *)
 
+val set_overload : t -> Overload.t -> unit
+(** Install the bounded-capacity admission model
+    ([--peer-capacity]/[--queue-cap]/[--service-time]). *)
+
+val overload_active : t -> bool
+(** Whether the admission layer is installed. Without it no queue or
+    breaker arithmetic runs and the wire stays byte-identical to the
+    unprotected build. *)
+
+val wire_s : t -> int -> float
+(** Pure wire time of a message of that many bytes (latency +
+    bytes/bandwidth) — what sending it will charge the simulated clock.
+    Used to pre-subtract a message's own transmission from the deadline
+    budget it carries. *)
+
 val heal : t -> unit
 (** Remove the fault layer: the outage is over. Crash-restarted peers keep
     their (replayed) journals; subsequent messages are all delivered. *)
@@ -58,7 +75,9 @@ val transfer : ?kind:[ `Message | `Document ] -> t -> int -> unit
 
 type delivery = Delivered of { text : string; duplicated : bool } | Dropped
 
-val send : ?meta:int * int -> t -> dst:string -> string -> delivery
+val send :
+  ?meta:int * int -> ?hidden:(int * int) list -> t -> dst:string -> string ->
+  delivery
 (** Put one XRPC message on the wire towards peer [dst]. The sender
     always pays for the transmission; the fault layer decides what
     arrives: the full text, a truncated prefix, two copies
@@ -69,4 +88,10 @@ val send : ?meta:int * int -> t -> dst:string -> string -> delivery
     injected [<trace>] header, [len] bytes at offset [at]). Telemetry
     rides for free: billed bytes, fault decisions and truncation offsets
     are computed as if it were absent, so tracing cannot perturb
-    accounting or a seeded fault schedule. *)
+    accounting or a seeded fault schedule.
+
+    [hidden] lists further sorted disjoint ranges — the fixed-width
+    deadline / retry-after attributes — that {e are} billed but are
+    likewise invisible to the fault layer ({!Message.overload_ranges}),
+    so installing deadlines cannot perturb a seeded fault schedule
+    either. *)

@@ -1,6 +1,10 @@
 (* A peer: a named XQuery engine owning a document store. Peers host the
    documents addressed as xrpc://<name>/<doc> and execute the function
-   bodies shipped to them. *)
+   bodies shipped to them. The peer's name is also the key every
+   cross-cutting layer files it under: the fault schedule, the topology
+   catalog, and the overload model's admission slots and circuit
+   breakers are all per-peer-name state held elsewhere — a peer object
+   itself stays just engine + store. *)
 
 module X = Xd_xml
 

@@ -60,6 +60,21 @@ type t = {
       (* effect-analysis schedule, coordinator only: anchor (Seq/Let/For)
          vertex id -> overlap groups, each the consecutive Execute_at
          vertex ids of one group in sequential evaluation order *)
+  deadline_rel : float option;
+      (* coordinator only: the query's total budget in simulated seconds;
+         pinned to an absolute deadline lazily at first use, because the
+         executor resets the stats clock after creating the session *)
+  mutable deadline_at : float option;
+      (* the absolute simulated-clock deadline in scope: pinned from
+         [deadline_rel] on the coordinator, set per-request on a server
+         session from the wire attribute (scoped by the admission gate) *)
+  retry_budget : int ref option;
+      (* per-query retry budget, shared by reference with every server
+         session of one plan execution: retries anywhere in the fan-out
+         draw from the same pool *)
+  mutable retry_after_hint : float option;
+      (* the retry-after suggestion parsed off the most recent fault
+         response; consumed (and cleared) by the next backoff charge *)
   tracer : Trace.t option; (* shared across every session of one run *)
   mutable cur : Trace.span option;
       (* the ambient span new spans parent under: the executor's root on
@@ -67,8 +82,8 @@ type t = {
 }
 
 let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
-    ?(retries = 2) ?(dedup_cap = 256) ?(schedule = []) ?tracer net self
-    passing =
+    ?(retries = 2) ?(dedup_cap = 256) ?(schedule = []) ?deadline ?retry_budget
+    ?tracer net self passing =
   let sched = Hashtbl.create (max 1 (List.length schedule)) in
   List.iter
     (fun (anchor, members) ->
@@ -97,6 +112,10 @@ let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
     txn = None;
     next_txn = 0;
     sched;
+    deadline_rel = deadline;
+    deadline_at = None;
+    retry_budget;
+    retry_after_hint = None;
     tracer;
     cur = None;
   }
@@ -151,6 +170,62 @@ let backoff_s ~key ~attempt =
     float_of_int (fnv16 (Printf.sprintf "%s#%d" key attempt)) /. 65536.
   in
   base *. (1. +. jitter)
+
+(* ---------------- deadline budget -------------------------------------- *)
+
+(* The absolute deadline in scope, if any. A coordinator's relative
+   budget is pinned against the simulated clock at first use — after the
+   executor's stats reset — and a server session carries the absolute
+   deadline its admission gate installed for the current request. *)
+let deadline_now session =
+  match session.deadline_at with
+  | Some _ as d -> d
+  | None -> (
+    match session.deadline_rel with
+    | None -> None
+    | Some rel ->
+      let d = Stats.network_s session.net.Network.stats +. rel in
+      session.deadline_at <- Some d;
+      Some d)
+
+let deadline_active session =
+  session.deadline_at <> None || session.deadline_rel <> None
+
+(* Charge one backoff wait to the simulated clock, honoring a server's
+   retry-after suggestion when it exceeds our own jittered schedule. The
+   hint is single-use: it belongs to the fault that carried it. *)
+let charge_backoff session ~key ~attempt =
+  let stats = session.net.Network.stats in
+  let backoff = backoff_s ~key ~attempt in
+  let wait =
+    match session.retry_after_hint with
+    | Some ra -> Float.max backoff ra
+    | None -> backoff
+  in
+  session.retry_after_hint <- None;
+  Stats.add_network_s stats wait
+
+(* The shared per-query retry pool: [true] when this retry may proceed
+   (and is charged), [false] when the pool is spent. *)
+let retry_allowed session =
+  match session.retry_budget with
+  | None -> true
+  | Some b ->
+    if !b > 0 then begin
+      decr b;
+      true
+    end
+    else begin
+      Stats.incr_retry_budget_stops session.net.Network.stats;
+      false
+    end
+
+(* Raise the typed non-retryable expiry fault: budgets only shrink, so a
+   call whose budget is gone can never succeed by waiting. *)
+let raise_expired session ~host reason =
+  Stats.incr_deadline_rejects session.net.Network.stats;
+  raise
+    (Message.Xrpc_fault { host; code = Message.Deadline_exceeded; reason })
 
 (* ---------------- dynamic topology helpers ----------------------------- *)
 
@@ -230,7 +305,8 @@ let rec server_session session host =
       create ?record:session.record ~bulk:session.bulk ?schema:session.schema
         ~depth:(session.depth + 1) ~timeout_s:session.timeout_s
         ~retries:session.retries ~dedup_cap:session.dedup_cap
-        ?tracer:session.tracer session.net peer session.passing
+        ?retry_budget:session.retry_budget ?tracer:session.tracer session.net
+        peer session.passing
     in
     Hashtbl.replace session.remote_sessions host s;
     s
@@ -331,8 +407,8 @@ and param_node_sets (x : Ast.execute_at) args =
 (* The inner <request> element of one call — standalone inside its own
    envelope for a plain call, or stacked with its siblings inside one
    <batch> envelope by the scheduler. *)
-and request_body session ~ep ~host ?req_id ?txn ?epoch (x : Ast.execute_at)
-    ~args ~funcs =
+and request_body session ~ep ~host ?req_id ?txn ?epoch ?(in_batch = false)
+    (x : Ast.execute_at) ~args ~funcs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "<request";
   Message.buf_attr buf "passing" (Message.passing_to_string session.passing);
@@ -352,6 +428,15 @@ and request_body session ~ep ~host ?req_id ?txn ?epoch (x : Ast.execute_at)
   (match epoch with
   | Some e -> Message.buf_attr buf "epoch" (string_of_int e)
   | None -> ());
+  (* only stamped when the query carries a deadline budget: the value is
+     re-patched with the remaining budget at each send. The admission
+     unit is the outermost element, so batch slots leave the budget to
+     their envelope. *)
+  (match (in_batch, deadline_now session) with
+  | false, Some d ->
+    Message.buf_deadline buf
+      (d -. Stats.network_s session.net.Network.stats)
+  | _ -> ());
   Message.buf_attr buf "static-base-uri" "xdx://static/";
   Message.buf_attr buf "default-collation" "codepoint";
   Message.buf_attr buf "current-dateTime" "2009-03-29T00:00:00Z";
@@ -485,7 +570,79 @@ and handle_request_guarded session ~client_name request_text =
       Trace.add_attr session.cur "fault"
         (Trace.S (Message.fault_code_to_string code));
       traced session ~cat:"serialize" "fault" @@ fun _ ->
-      Stats.time_serialize stats (fun () -> Message.write_fault ~code ~reason))
+      Stats.time_serialize stats (fun () ->
+          Message.write_fault ~code ~reason ()))
+
+(* The admission + deadline gate. Every unit of real work — a <request>,
+   a whole <batch> (units = its call count) or a 2PC control message —
+   passes here before anything else runs: work whose deadline budget is
+   already spent is refused outright (the dedup cache is not even
+   consulted), a full admission queue sheds with a server-suggested
+   retry-after, and admitted work is charged its queueing delay on the
+   simulated clock. Catalog pushes are exempt — membership maintenance
+   must keep flowing on an overloaded peer. With no overload model
+   installed only the hard expiry check runs, and with no deadline
+   attribute either the gate costs one attribute probe. *)
+and admission_gate session node ~units k =
+  let stats = session.net.Network.stats in
+  let now = Stats.network_s stats in
+  let remaining = Message.parse_deadline node in
+  let abs = Option.map (fun r -> now +. r) remaining in
+  let refuse code ?retry_after reason =
+    (match code with
+    | Message.Server_overloaded ->
+      Stats.incr_ov_shed stats;
+      Stats.incr_faults ~kind:"overload" stats
+    | _ ->
+      Stats.incr_deadline_rejects stats;
+      Stats.incr_faults ~kind:"deadline" stats);
+    Trace.add_attr session.cur "fault"
+      (Trace.S (Message.fault_code_to_string code));
+    traced session ~cat:"serialize" "fault" @@ fun _ ->
+    Stats.time_serialize stats (fun () ->
+        Message.write_fault ?retry_after ~code ~reason ())
+  in
+  let verdict =
+    match session.net.Network.overload with
+    | None -> (
+      (* no admission model installed: only the hard expiry gate runs *)
+      match remaining with
+      | Some r when r <= 0. ->
+        `Refused
+          (refuse Message.Deadline_exceeded
+             "deadline budget exhausted before evaluation began")
+      | _ -> `Go)
+    | Some ov -> (
+      let peer = Peer.name session.self in
+      match Overload.admit ov ~peer ~now ?deadline:remaining ~units () with
+      | Overload.Hopeless { needed_s } ->
+        `Refused
+          (refuse Message.Deadline_exceeded
+             (Printf.sprintf
+                "remaining budget cannot cover queue wait + service \
+                 (%.6fs needed)"
+                needed_s))
+      | Overload.Busy { retry_after_s } ->
+        `Refused
+          (refuse Message.Server_overloaded ~retry_after:retry_after_s
+             (Printf.sprintf "admission queue full at %s" peer))
+      | Overload.Admit { wait_s; depth; start = _; finish = _ } ->
+        Stats.add_admitted stats ~wait_s;
+        Stats.set_queue_depth ~peer stats depth;
+        if wait_s > 0. then Stats.add_network_s stats wait_s;
+        `Go)
+  in
+  match verdict with
+  | `Refused fault -> fault
+  | `Go ->
+    (* scope the request's absolute deadline onto this server session:
+       nested outgoing calls see (and re-stamp) the shrinking budget *)
+    let prev = session.deadline_at in
+    Fun.protect
+      ~finally:(fun () -> session.deadline_at <- prev)
+      (fun () ->
+        session.deadline_at <- abs;
+        k ())
 
 and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
@@ -511,12 +668,16 @@ and handle_request_exn session ~client_name request_text =
       ]
   with
   | Some (action, n) ->
-    handle_txn_control session action
-      (Message.req_attr n "txn")
-      ~epoch:(Message.attr_of n "epoch")
+    admission_gate session n ~units:1 (fun () ->
+        handle_txn_control session action
+          (Message.req_attr n "txn")
+          ~epoch:(Message.attr_of n "epoch"))
   | None -> (
     match Message.find_child body "batch" with
-    | Some batch -> handle_batch session ~client_name batch
+    | Some batch ->
+      admission_gate session batch
+        ~units:(max 1 (List.length (Message.children_named batch "request")))
+        (fun () -> handle_batch session ~client_name batch)
     | None -> (
       (* a catalog push: validate it and ack with our view of its epoch —
          the in-process network already shares the authoritative catalog,
@@ -540,6 +701,7 @@ and handle_request_exn session ~client_name request_text =
           Message.protocol_error
             "XRPC message without <env:Envelope>/<env:Body>/<request>"
       in
+      admission_gate session req ~units:1 @@ fun () ->
       let ep = call_endpoint session in
       let req_id = Message.attr_of req "request-id" in
       match Option.bind req_id (Hashtbl.find_opt session.replied) with
@@ -573,15 +735,23 @@ and handle_batch session ~client_name batch =
   @@ fun bsp ->
   Trace.add_attr bsp "calls" (Trace.I (List.length reqs));
   let slot req =
-    let ep = call_endpoint session in
-    match handle_parsed session ~client_name ~ep req with
-    | resp -> resp
-    | exception e -> (
-      match fault_of_exn e with
-      | None -> raise e
-      | Some (code, reason) ->
-        Stats.incr_faults ~kind:"app" stats;
-        Message.fault_body ~code ~reason)
+    (* a nested call of an earlier slot may have burned the envelope's
+       whole budget: remaining slots are answered late, not evaluated *)
+    match deadline_now session with
+    | Some d when Stats.network_s stats >= d ->
+      Stats.incr_deadline_rejects stats;
+      Message.fault_body ~code:Message.Deadline_exceeded
+        ~reason:"batch slot reached past the deadline budget" ()
+    | _ -> (
+      let ep = call_endpoint session in
+      match handle_parsed session ~client_name ~ep req with
+      | resp -> resp
+      | exception e -> (
+        match fault_of_exn e with
+        | None -> raise e
+        | Some (code, reason) ->
+          Stats.incr_faults ~kind:"app" stats;
+          Message.fault_body ~code ~reason ()))
   in
   (* slots evaluate in request order — the order the sequential run would
      have issued the calls in *)
@@ -932,6 +1102,7 @@ and shred_response session ~ep ~host response_text :
           with
           | Some f ->
             let code, reason = Message.parse_fault f in
+            session.retry_after_hint <- Message.parse_retry_after f;
             raise (Message.Xrpc_fault { host; code; reason })
           | None -> corrupt "response is neither <response> nor <env:Fault>")))
 
@@ -971,6 +1142,7 @@ and shred_batch_response session ~ep ~host ~calls response_text :
               fst (shred_response_node session ~ep ~host slot) :: acc
             | "env:Fault" ->
               let code, reason = Message.parse_fault slot in
+              session.retry_after_hint <- Message.parse_retry_after slot;
               raise (Message.Xrpc_fault { host; code; reason })
             | other -> corrupt ("unexpected batch slot <" ^ other ^ ">"))
           [] slots
@@ -979,6 +1151,7 @@ and shred_batch_response session ~ep ~host ~calls response_text :
         match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
         | Some f ->
           let code, reason = Message.parse_fault f in
+          session.retry_after_hint <- Message.parse_retry_after f;
           raise (Message.Xrpc_fault { host; code; reason })
         | None -> corrupt "response is neither <batch> nor <env:Fault>"))
 
@@ -1019,6 +1192,31 @@ and degrade session env (x : Ast.execute_at) ~host ~args =
    parent under that exact attempt. *)
 and send_on_wire session ~dst ?hdr_span text =
   traced session ~cat:"network" ("send " ^ dst) @@ fun nsp ->
+  (* Re-stamp the remaining deadline budget as of *now*, pre-subtracting
+     this message's own wire time: the receiver's budget then equals the
+     sender's budget at the moment of receipt, so budgets are strictly
+     monotone across hops. Fixed width, so patching never changes the
+     message length (retries re-patch the same bytes in place). *)
+  let text =
+    match deadline_now session with
+    | None -> text
+    | Some d ->
+      let remaining =
+        d
+        -. Stats.network_s session.net.Network.stats
+        -. Network.wire_s session.net (String.length text)
+      in
+      fst (Message.patch_deadline text ~remaining)
+  in
+  (* deadline / retry-after attributes are billed but invisible to the
+     fault schedule; only scan for them when the feature is in force.
+     Ranges are computed on the final text — after any trace-header
+     injection, which shifts offsets. *)
+  let hidden t =
+    if deadline_active session || Network.overload_active session.net then
+      Message.overload_ranges t
+    else []
+  in
   let r =
     match (session.tracer, hdr_span) with
     | Some _, Some (s : Trace.span) ->
@@ -1027,8 +1225,8 @@ and send_on_wire session ~dst ?hdr_span text =
           ~span_id:s.Trace.span_id
       in
       let text, at, len = Message.inject_trace_header text ~header in
-      Network.send ~meta:(at, len) session.net ~dst text
-    | _ -> Network.send session.net ~dst text
+      Network.send ~meta:(at, len) ~hidden:(hidden text) session.net ~dst text
+    | _ -> Network.send ~hidden:(hidden text) session.net ~dst text
   in
   (match r with
   | Network.Dropped -> Trace.add_attr nsp "dropped" (Trace.B true)
@@ -1074,9 +1272,16 @@ and call_host session env (x : Ast.execute_at) ~host ~args =
   let srv = server_session session host in
   let self_name = Peer.name session.self in
   let attempts = session.retries + 1 in
-  (* jitter key: the request id when there is one (faulty wire — the only
-     place retries can happen), else the host *)
-  let backoff_key = Option.value ~default:host req_id in
+  (* Jitter key: (request id, destination host) when there is an id
+     (faulty wire — the only place retries can happen), else the host.
+     The host must be part of the key: the same logical request can be
+     re-driven at a different peer after a forward or failover, and
+     keying on the id alone would replay the identical jitter fractions
+     at the new hop instead of re-randomizing them per (id, hop). *)
+  let backoff_key =
+    match req_id with Some id -> id ^ "@" ^ host | None -> host
+  in
+  session.retry_after_hint <- None;
   let timed_out () =
     Stats.incr_timeouts stats;
     Stats.add_network_s stats session.timeout_s
@@ -1087,13 +1292,24 @@ and call_host session env (x : Ast.execute_at) ~host ~args =
      attach to the attempt that actually delivered. *)
   let rec attempt n last =
     if n > attempts then `Down last
+    else if n > 1 && not (retry_allowed session) then
+      (* the shared per-query retry pool is spent: stop retrying
+         everywhere, surface the last failure *)
+      `Down last
     else begin
       if n > 1 then begin
         Stats.incr_retries stats;
         (* deterministic jittered exponential backoff, charged to the
-           wire clock *)
-        Stats.add_network_s stats (backoff_s ~key:backoff_key ~attempt:n)
+           wire clock; a server-suggested retry-after can stretch it *)
+        charge_backoff session ~key:backoff_key ~attempt:n
       end;
+      (match deadline_now session with
+      | Some d when Stats.network_s stats >= d ->
+        (* the budget ran out (e.g. while backing off): the call can
+           never complete in time, so nothing further goes on the wire *)
+        raise_expired session ~host
+          (Printf.sprintf "deadline budget exhausted before attempt %d" n)
+      | _ -> ());
       let outcome =
         traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
         @@ fun asp ->
@@ -1214,10 +1430,64 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
        against the catalog; when a peer stays down, fail over to a live
        replica for read-only bodies, else degrade/raise exactly as the
        static build would. *)
+    (* Per-peer circuit breaker (overload model only). An open breaker
+       sheds the call locally — it never touches the wire — and the shed
+       call falls through the same ladder a down peer uses: replica
+       failover, local degradation, or a typed overload fault. Half-open
+       breakers let one deterministic probe through. *)
+    let breaker_verdict host =
+      match session.net.Network.overload with
+      | None -> `Proceed
+      | Some ov -> (
+        match
+          Overload.breaker_check ov ~peer:host ~now:(Stats.network_s stats)
+        with
+        | Overload.Proceed -> `Proceed
+        | Overload.Probe ->
+          Stats.incr_breaker_probes stats;
+          `Proceed
+        | Overload.Shed { until } ->
+          Stats.incr_breaker_shed stats;
+          `Shed until)
+    in
+    let breaker_failure host =
+      match session.net.Network.overload with
+      | None -> ()
+      | Some ov ->
+        let before = Overload.breaker_opens ov in
+        Overload.breaker_failure ov ~peer:host ~now:(Stats.network_s stats);
+        if Overload.breaker_opens ov > before then
+          Stats.incr_breaker_opens stats
+    in
     let rec drive ~hops ~visited host =
+      match breaker_verdict host with
+      | `Shed until -> (
+        let sp = span_note session ~cat:"overload" "breaker shed" in
+        Trace.add_attr sp "host" (Trace.S host);
+        Trace.finish session.tracer sp;
+        match failover_target session x ~visited host with
+        | Some replica when degradable x ->
+          Stats.incr_topo_failovers stats;
+          drive ~hops ~visited:(host :: visited) replica
+        | _ ->
+          if degradable x then degrade session env x ~host ~args
+          else
+            raise
+              (Message.Xrpc_fault
+                 {
+                   host;
+                   code = Message.Server_overloaded;
+                   reason =
+                     Printf.sprintf
+                       "circuit breaker open for %s until t=%.3fs" host until;
+                 }))
+      | `Proceed -> (
       match call_host session env x ~host ~args with
       | `Value v ->
         Stats.set_peer_up ~peer:host stats true;
+        (match session.net.Network.overload with
+        | Some ov -> Overload.breaker_success ov ~peer:host
+        | None -> ());
         v
       | `Forward (doc, fwd_owner, fwd_epoch) ->
         Stats.incr_forwarded stats;
@@ -1253,6 +1523,7 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
         else drive ~hops:(hops - 1) ~visited:(host :: visited) owner
       | `Down last -> (
         Stats.set_peer_up ~peer:host stats false;
+        breaker_failure host;
         (match catalog with
         | Some cat -> Xd_topo.Catalog.mark_down cat host
         | None -> ());
@@ -1275,7 +1546,7 @@ and execute_at session env (x : Ast.execute_at) ~host ~args =
             | `Timeout ->
               raise
                 (Message.Xrpc_timeout
-                   { host; attempts = session.retries + 1 })))
+                   { host; attempts = session.retries + 1 }))))
     in
     drive ~hops:max_forward_hops ~visited:[] host
   end
@@ -1306,11 +1577,18 @@ and batch_call session env ~host
         Buffer.add_string buf "<batch";
         Message.buf_attr buf "caller" (Peer.name session.self);
         Message.buf_attr buf "calls" (string_of_int n);
+        (* the envelope is the admission unit: it carries the budget for
+           all its slots (re-patched at send), and the slots carry none *)
+        (match deadline_now session with
+        | Some d ->
+          Message.buf_deadline buf (d -. Stats.network_s stats)
+        | None -> ());
         Buffer.add_char buf '>';
         List.iter
           (fun (x, args) ->
             Buffer.add_string buf
-              (request_body session ~ep ~host ?txn x ~args ~funcs))
+              (request_body session ~ep ~host ?txn ~in_batch:true x ~args
+                 ~funcs))
           items;
         Buffer.add_string buf "</batch>";
         Message.envelope (Buffer.contents buf))
@@ -1376,11 +1654,17 @@ and run_group session (units : (Env.t * Ast.expr) list) : Value.t list =
     Stats.add_sched_group stats ~overlapped:n ~saved_s:(sum -. m);
     vs
   in
-  if Network.faulty session.net || Network.topo_active session.net then
+  if
+    Network.faulty session.net
+    || Network.topo_active session.net
+    || Network.overload_active session.net
+  then
     (* Sequential wire units (still overlapped on the clock): the retry
-       machinery needs each call to own its round trip, and under dynamic
+       machinery needs each call to own its round trip, under dynamic
        topology each call must be free to chase forwards and fail over on
-       its own — a <batch> envelope can do neither. *)
+       its own, and under admission control each call must own its
+       retry-after/backoff loop when shed — a <batch> envelope can do
+       none of these. *)
     finish (List.map (fun (env, e) -> unit (fun () -> Eval.eval env e)) units)
   else begin
     (* pre-evaluate hosts and arguments in sequential order, then bucket
@@ -1588,7 +1872,11 @@ let parse_txn_response session ~host text =
         | None -> (
           match find_path [ "env:Envelope"; "env:Body"; "env:Fault" ] root with
           | Some f -> (
-            match Message.parse_fault f with
+            match
+              let code, reason = Message.parse_fault f in
+              session.retry_after_hint <- Message.parse_retry_after f;
+              (code, reason)
+            with
             | code, reason when Message.retryable code -> `Retry (code, reason)
             | code, reason -> `Fatal (Message.Xrpc_fault { host; code; reason })
             | exception Message.Protocol_error m ->
@@ -1609,10 +1897,16 @@ let txn_rpc session ~host ?epoch action txn : (Message.txn_ack, exn) result =
   @@ fun csp ->
   Trace.add_attr csp "txn" (Trace.S txn);
   Trace.add_attr csp "host" (Trace.S host);
+  (* 2PC control consumes deadline budget like any other hop: the value
+     here is a placeholder, re-patched with the remaining budget at each
+     send *)
+  let deadline =
+    Option.map (fun d -> d -. Stats.network_s stats) (deadline_now session)
+  in
   let req_text =
     traced session ~cat:"serialize" "control" @@ fun _ ->
     Stats.time_serialize stats (fun () ->
-        Message.write_txn_control ?epoch ~action ~txn ())
+        Message.write_txn_control ?epoch ?deadline ~action ~txn ())
   in
   (match session.record with
   | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
@@ -1620,25 +1914,44 @@ let txn_rpc session ~host ?epoch action txn : (Message.txn_ack, exn) result =
   let srv = server_session session host in
   let self_name = Peer.name session.self in
   let attempts = session.retries + 1 in
+  session.retry_after_hint <- None;
   let timed_out () =
     Stats.incr_timeouts stats;
     Stats.add_network_s stats session.timeout_s
   in
+  let out_of_attempts last =
+    Error
+      (match last with
+      | `Timeout -> Message.Xrpc_timeout { host; attempts }
+      | `Fault (code, reason) -> Message.Xrpc_fault { host; code; reason })
+  in
   let rec attempt n last =
-    if n > attempts then
-      Error
-        (match last with
-        | `Timeout -> Message.Xrpc_timeout { host; attempts }
-        | `Fault (code, reason) -> Message.Xrpc_fault { host; code; reason })
+    if n > attempts then out_of_attempts last
+    else if n > 1 && not (retry_allowed session) then
+      (* the shared per-query retry pool is spent *)
+      out_of_attempts last
     else begin
       if n > 1 then begin
         Stats.incr_retries stats;
-        Stats.add_network_s stats
-          (backoff_s
-             ~key:
-               (txn ^ "/" ^ Message.txn_action_to_string action ^ "@" ^ host)
-             ~attempt:n)
+        charge_backoff session
+          ~key:(txn ^ "/" ^ Message.txn_action_to_string action ^ "@" ^ host)
+          ~attempt:n
       end;
+      match deadline_now session with
+      | Some d when Stats.network_s stats >= d ->
+        Stats.incr_deadline_rejects stats;
+        Error
+          (Message.Xrpc_fault
+             {
+               host;
+               code = Message.Deadline_exceeded;
+               reason =
+                 Printf.sprintf
+                   "deadline budget exhausted before 2PC %s attempt %d"
+                   (Message.txn_action_to_string action)
+                   n;
+             })
+      | _ ->
       let outcome =
         traced session ~cat:"attempt" (Printf.sprintf "attempt %d" n)
         @@ fun asp ->

@@ -18,7 +18,8 @@ val create :
   ?record:recorded list ref -> ?bulk:bool ->
   ?schema:(string -> string list) -> ?depth:int -> ?timeout_s:float ->
   ?retries:int -> ?dedup_cap:int -> ?schedule:(int * int list) list ->
-  ?tracer:Xd_obs.Trace.t -> Network.t -> Peer.t -> Message.passing -> t
+  ?deadline:float -> ?retry_budget:int ref -> ?tracer:Xd_obs.Trace.t ->
+  Network.t -> Peer.t -> Message.passing -> t
 (** A session for one querying peer. [record] captures every message (for
     tests and demos); [bulk] (default true) enables session-wide fragment
     caching — the wire behaviour of the paper's bulk RPC; disabling it is
@@ -42,6 +43,24 @@ val create :
     [dedup_cap] (default 256) bounds the server-side response cache that
     backs exactly-once replay of request-ids; the oldest entries are
     evicted FIFO and counted in {!Stats}.
+
+    [deadline], when given, is the query's end-to-end budget in
+    simulated seconds (PROTOCOL.md, "Deadlines & overload"): every
+    outgoing message carries the remaining budget as a fixed-width
+    [deadline] attribute, pre-subtracting its own wire time, so the
+    receiver's budget equals the sender's at the moment of receipt.
+    Callees refuse work the budget can no longer cover with a typed
+    non-retryable [xrpc:deadline.exceeded] fault, and the caller stops
+    (re)sending once the budget is gone. Absent (default), no deadline
+    attribute is ever stamped and the wire is byte-identical to a build
+    without the feature.
+
+    [retry_budget], when given, is a shared pool of retries for the
+    whole plan execution: every session of the fan-out (this one and all
+    its server sessions) draws from the same counter, and once it is
+    spent no call retries again — the last failure surfaces through the
+    usual degradation ladder. Absent, each call retries up to [retries]
+    independently.
 
     [schedule] is the effect analysis's overlap schedule (from
     {!Xd_effects.Effects.schedule}, passed structurally to keep the
@@ -68,10 +87,14 @@ val backoff_s : key:string -> attempt:int -> float
 (** Deterministic jittered exponential backoff charged before re-send
     [attempt] (attempt 2 is the first retry): the base
     [0.05 * 2^(attempt-2)] seconds stretched by a factor in [1, 2)
-    derived from an FNV-1a hash of ["key#attempt"]. The key is the
-    request-id when one is assigned (faulty wire), so concurrent retries
-    of different requests decorrelate while any one request's schedule
-    replays exactly. Exposed for the pinning unit test. *)
+    derived from an FNV-1a hash of ["key#attempt"]. The key is
+    ["<request-id>@<host>"] when an id is assigned (faulty wire) — the
+    hop is part of the key, so the same logical request re-driven at a
+    different peer after a forward/failover draws fresh jitter instead
+    of replaying the first hop's schedule — else just the host.
+    Concurrent retries of different requests decorrelate while any one
+    (request, hop)'s schedule replays exactly. Exposed for the pinning
+    unit test. *)
 
 val set_current_span : t -> Xd_obs.Trace.span option -> unit
 (** Set the ambient span new spans parent under — the executor installs

@@ -40,6 +40,18 @@ type t = {
   topo_epoch_aborts : M.counter; (* 2PC prepares refused on an epoch mismatch *)
   topo_churn_events : M.counter; (* scripted membership events fired *)
   remote_clamps : M.counter;
+  (* The overload/breaker buckets register lazily, on first write: runs
+     without the overload layer never touch them, so their registry
+     dumps (and the cram tests pinning those) stay byte-identical to a
+     build without the feature. *)
+  ov_admitted : M.counter Lazy.t; (* admitted by the capacity model *)
+  ov_shed : M.counter Lazy.t; (* shed on a full admission queue *)
+  ov_deadline_rejects : M.counter Lazy.t; (* budget < wait + service *)
+  ov_queue_wait_s : M.gauge Lazy.t; (* total queueing delay charged *)
+  breaker_opens : M.counter Lazy.t; (* closed->open transitions *)
+  breaker_shed : M.counter Lazy.t; (* shed locally by an open breaker *)
+  breaker_probes : M.counter Lazy.t; (* half-open probes let through *)
+  retry_budget_stops : M.counter Lazy.t; (* retries skipped: pool spent *)
   hist_serialize : M.histogram;
   hist_shred : M.histogram;
   hist_remote : M.histogram;
@@ -81,6 +93,14 @@ let create () =
     topo_epoch_aborts = M.counter reg "topo.epoch_aborts";
     topo_churn_events = M.counter reg "topo.churn_events";
     remote_clamps = M.counter reg "time.remote_clamps";
+    ov_admitted = lazy (M.counter reg "overload.admitted");
+    ov_shed = lazy (M.counter reg "overload.shed");
+    ov_deadline_rejects = lazy (M.counter reg "overload.deadline_rejects");
+    ov_queue_wait_s = lazy (M.gauge reg "overload.queue_wait_s");
+    breaker_opens = lazy (M.counter reg "overload.breaker.opens");
+    breaker_shed = lazy (M.counter reg "overload.breaker.shed");
+    breaker_probes = lazy (M.counter reg "overload.breaker.probes");
+    retry_budget_stops = lazy (M.counter reg "overload.retry_budget_stops");
     hist_serialize = M.histogram reg "hist.serialize_s";
     hist_shred = M.histogram reg "hist.shred_s";
     hist_remote = M.histogram reg "hist.remote_exec_s";
@@ -138,6 +158,28 @@ let down_peers t =
       else None)
     (M.names t.reg)
 let remote_clamps t = M.counter_value t.remote_clamps
+
+(* Readers of the lazy buckets must not force them: forcing registers
+   the metric, and a mere read (the executor snapshots every bucket on
+   every run) must leave a feature-less registry dump untouched. *)
+let lazy_counter l = if Lazy.is_val l then M.counter_value (Lazy.force l) else 0
+
+let lazy_gauge l = if Lazy.is_val l then M.gauge_value (Lazy.force l) else 0.
+
+let ov_admitted t = lazy_counter t.ov_admitted
+let ov_shed t = lazy_counter t.ov_shed
+let ov_deadline_rejects t = lazy_counter t.ov_deadline_rejects
+let ov_queue_wait_s t = lazy_gauge t.ov_queue_wait_s
+let breaker_opens t = lazy_counter t.breaker_opens
+let breaker_shed t = lazy_counter t.breaker_shed
+let breaker_probes t = lazy_counter t.breaker_probes
+let retry_budget_stops t = lazy_counter t.retry_budget_stops
+
+let queue_depth_prefix = "overload.queue_depth{peer="
+
+let set_queue_depth ~peer t depth =
+  M.set (M.gauge t.reg (queue_depth_prefix ^ peer ^ "}")) (float_of_int depth)
+
 let total_bytes t = message_bytes t + document_bytes t
 
 let is_empty t =
@@ -146,6 +188,7 @@ let is_empty t =
   && faults t + timeouts t + retries t + fallbacks t + dedup_hits t
      + dedup_evictions t = 0
   && txn_staged t + txn_commits t + txn_aborts t = 0
+  && ov_admitted t + ov_shed t + ov_deadline_rejects t + breaker_shed t = 0
 
 (* Writers *)
 let add_message t ~bytes =
@@ -195,6 +238,17 @@ let incr_topo_resolutions t = M.incr t.topo_resolutions
 let incr_topo_failovers t = M.incr t.topo_failovers
 let incr_topo_epoch_aborts t = M.incr t.topo_epoch_aborts
 let incr_churn_events t = M.incr t.topo_churn_events
+
+let add_admitted t ~wait_s =
+  M.incr (Lazy.force t.ov_admitted);
+  M.add (Lazy.force t.ov_queue_wait_s) wait_s
+
+let incr_ov_shed t = M.incr (Lazy.force t.ov_shed)
+let incr_deadline_rejects t = M.incr (Lazy.force t.ov_deadline_rejects)
+let incr_breaker_opens t = M.incr (Lazy.force t.breaker_opens)
+let incr_breaker_shed t = M.incr (Lazy.force t.breaker_shed)
+let incr_breaker_probes t = M.incr (Lazy.force t.breaker_probes)
+let incr_retry_budget_stops t = M.incr (Lazy.force t.retry_budget_stops)
 
 (* Per-peer liveness: 1 after the last exchange with the peer succeeded,
    0 after it exhausted its retry budget. Peers never contacted have no
@@ -256,4 +310,15 @@ let pp fmt t =
       (sched_groups t) (sched_overlapped t) (sched_saved_s t);
   if batch_envelopes t > 0 then
     Fmt.pf fmt " | batch: envelopes=%d calls=%d" (batch_envelopes t)
-      (batch_calls t)
+      (batch_calls t);
+  if ov_admitted t + ov_shed t + ov_deadline_rejects t > 0 then
+    Fmt.pf fmt
+      " | overload: admitted=%d shed=%d deadline-rejects=%d queue-wait=%.4fs"
+      (ov_admitted t) (ov_shed t) (ov_deadline_rejects t) (ov_queue_wait_s t);
+  if
+    breaker_opens t + breaker_shed t + breaker_probes t
+    + retry_budget_stops t > 0
+  then
+    Fmt.pf fmt " | breaker: opens=%d shed=%d probes=%d budget-stops=%d"
+      (breaker_opens t) (breaker_shed t) (breaker_probes t)
+      (retry_budget_stops t)

@@ -108,6 +108,32 @@ val remote_clamps : t -> int
 (** times {!time_remote} clamped a negative remote-exec residue to 0 —
     nonzero values point at double-counted nested buckets. *)
 
+val ov_admitted : t -> int
+(** requests admitted by the bounded-capacity model *)
+
+val ov_shed : t -> int
+(** requests shed on a full admission queue ([xrpc:server.overloaded]) *)
+
+val ov_deadline_rejects : t -> int
+(** requests rejected because the remaining deadline budget could not
+    cover queue wait + service time ([xrpc:deadline.exceeded]), plus
+    caller-side pre-send expiries *)
+
+val ov_queue_wait_s : t -> float
+(** total queueing delay charged to the simulated clock *)
+
+val breaker_opens : t -> int
+(** circuit-breaker closed→open transitions *)
+
+val breaker_shed : t -> int
+(** calls shed locally by an open breaker (never put on the wire) *)
+
+val breaker_probes : t -> int
+(** half-open probe calls let through *)
+
+val retry_budget_stops : t -> int
+(** retries skipped because the per-query retry budget was spent *)
+
 val total_bytes : t -> int
 
 (** {2 Writers} *)
@@ -139,6 +165,20 @@ val incr_topo_resolutions : t -> unit
 val incr_topo_failovers : t -> unit
 val incr_topo_epoch_aborts : t -> unit
 val incr_churn_events : t -> unit
+
+val add_admitted : t -> wait_s:float -> unit
+(** Count one admission, accumulating its queueing delay. *)
+
+val incr_ov_shed : t -> unit
+val incr_deadline_rejects : t -> unit
+val incr_breaker_opens : t -> unit
+val incr_breaker_shed : t -> unit
+val incr_breaker_probes : t -> unit
+val incr_retry_budget_stops : t -> unit
+
+val set_queue_depth : peer:string -> t -> int -> unit
+(** Record the admission-queue depth a request found, in the
+    [overload.queue_depth{peer=...}] gauge. *)
 
 val set_peer_up : peer:string -> t -> bool -> unit
 (** Record peer liveness in the [xrpc.peer_up{peer=...}] gauge: 1 after a

@@ -1,0 +1,75 @@
+Deadline propagation, admission control and circuit breakers from the
+command line: --deadline gives the query an end-to-end budget enforced
+at every hop; --peer-capacity/--queue-cap/--service-time bound each
+peer's concurrency on the simulated clock; --show-breakers prints the
+per-peer breaker states.
+
+  $ cat > d.xml <<'EOF'
+  > <r><x>1</x><x>2</x><x>3</x></r>
+  > EOF
+
+A budget the first hop cannot cover is refused before any evaluation,
+with the typed non-retryable fault:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --deadline 0.0001 \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)'
+  xrpc fault from peer1: xrpc:deadline.exceeded: deadline budget exhausted before evaluation began
+  [1]
+
+A comfortable budget admits the call; the stats account the admission
+and (zero) queueing delay:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --peer-capacity 2 --deadline 0.5 \
+  >   --stats -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 \
+  >   | grep -E '^[0-9]|^overload:'
+  3
+  overload: admitted 1, shed 0, deadline-rejects 0, queue-wait 0.000ms (sim)
+
+A full admission queue sheds with the retryable xrpc:server.overloaded
+fault carrying the server's retry-after suggestion: the client backs
+off by it and the retry is admitted — both calls still answer:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --peer-capacity 1 --queue-cap 0 \
+  >   --service-time 0.05 --stats --plan \
+  >   -q '(execute at {"peer1"} function () { 1 }, execute at {"peer1"} function () { 2 })' 2>&1 \
+  >   | grep -E '^[0-9]|^faults:|^overload:'
+  1 2
+  faults: injected 1, timeouts 0, retries 1, fallbacks 0, dedup-hits 0
+  overload: admitted 2, shed 1, deadline-rejects 0, queue-wait 0.000ms (sim)
+
+Repeated failures to a dead peer open its circuit breaker (threshold
+3): the fourth call never touches the wire — it is shed locally and
+falls through the degradation ladder, so every read-only body still
+answers. --show-breakers prints the post-run state:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'peer1:down' \
+  >   --peer-capacity 2 --show-breakers --stats --plan \
+  >   -q '(execute at {"peer1"} function () { 1 }, execute at {"peer1"} function () { 2 },
+  >        execute at {"peer1"} function () { 3 }, execute at {"peer1"} function () { 4 })' 2>&1 \
+  >   | grep -E '^[0-9]|^peer1:|^faults:|^breaker:'
+  1 2 3 4
+  peer1: open until 3.293s (1 opens)
+  faults: injected 9, timeouts 9, retries 6, fallbacks 4, dedup-hits 0
+  breaker: opens 1, shed 1, probes 0, budget-stops 0
+
+A shared --retry-budget caps re-sends across the whole plan: with one
+retry in the pool the second attempt consumes it and the third is
+skipped (budget-stops), the call degrading as usual:
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'peer1:down' \
+  >   --retry-budget 1 --stats \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 \
+  >   | grep -E '^[0-9]|^faults:|^breaker:'
+  3
+  faults: injected 2, timeouts 2, retries 1, fallbacks 1, dedup-hits 0
+  breaker: opens 0, shed 0, probes 0, budget-stops 1
+
+Without any overload flag the layer leaves no trace at all: not even
+its metrics register (the registry dump is byte-identical to a build
+without the layer, as is the wire):
+
+  $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --metrics \
+  >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 \
+  >   | grep -c 'overload'
+  0
+  [1]

@@ -454,6 +454,110 @@ let test_malformed_rejected () =
     (is_fault M.Protocol_malformed
        "<env:Envelope><env:Body><request passing=\"by-wormhole\"><query>1</query><call/></request></env:Body></env:Envelope>")
 
+(* ---- deadlines & retry-after (PROTOCOL.md, "Deadlines & overload") --------- *)
+
+(* The request a session with a budget actually puts on the wire. *)
+let deadline_request () =
+  let net, client, _ = setup () in
+  let record = ref [] in
+  let session =
+    Xd_xrpc.Session.create ~record ~deadline:5.0 net client M.By_fragment
+  in
+  ignore
+    (Xd_xrpc.Session.execute session
+       (Xd_lang.Parser.parse_query
+          {|execute at {"example.org"} function () { 1 }|}));
+  List.hd (messages (List.rev !record))
+
+let server_fault_of txt =
+  let net, client, _ = setup () in
+  let session = Xd_xrpc.Session.create net client M.By_fragment in
+  let resp = Xd_xrpc.Session.handle_request session ~client_name:"client" txt in
+  let root = X.Node.doc_node (X.Parser.parse_doc ~strip_ws:false resp) in
+  let rec find n = function
+    | [] -> Some n
+    | name :: rest -> (
+      match
+        List.find_opt
+          (fun c -> X.Node.kind c = X.Node.Element && X.Node.name c = name)
+          (X.Node.children n)
+      with
+      | Some c -> find c rest
+      | None -> None)
+  in
+  match find root [ "env:Envelope"; "env:Body"; "env:Fault" ] with
+  | Some f -> Some (fst (M.parse_fault f))
+  | None -> None
+
+let test_deadline_on_wire () =
+  let req = deadline_request () in
+  check_bool "fixed-width attribute stamped"
+    (contains req " deadline=\"00000005.000000\"");
+  (* the hidden ranges the fault layer must skip cover exactly that
+     attribute *)
+  check_bool "one hidden range" (List.length (M.overload_ranges req) = 1)
+
+let test_malformed_deadline () =
+  let req = deadline_request () in
+  let swap value =
+    (* splice a same-width replacement over the stamped 15-char value *)
+    let marker = " deadline=\"" in
+    let rec find i =
+      if String.sub req i (String.length marker) = marker then
+        i + String.length marker
+      else find (i + 1)
+    in
+    let at = find 0 in
+    String.sub req 0 at ^ value
+    ^ String.sub req (at + 15) (String.length req - at - 15)
+  in
+  check_bool "garbage deadline answered with protocol.malformed"
+    (server_fault_of (swap "not-a-number!!!") = Some M.Protocol_malformed);
+  check_bool "negative deadline answered with protocol.malformed"
+    (server_fault_of (swap "-0000005.000000") = Some M.Protocol_malformed);
+  check_bool "control: the unmangled request is answered"
+    (server_fault_of req = None)
+
+let test_malformed_retry_after () =
+  let fault_elem txt =
+    let root = X.Node.doc_node (X.Parser.parse_doc ~strip_ws:false txt) in
+    let rec dig n =
+      if X.Node.kind n = X.Node.Element && X.Node.name n = "env:Fault" then
+        Some n
+      else List.find_map dig (X.Node.children n)
+    in
+    Option.get (dig root)
+  in
+  let good =
+    M.write_fault ~retry_after:0.25 ~code:M.Server_overloaded
+      ~reason:"queue full" ()
+  in
+  (match M.parse_retry_after (fault_elem good) with
+  | Some s -> check_bool "retry-after round-trips" (Float.abs (s -. 0.25) < 1e-9)
+  | None -> check_bool "retry-after present" false);
+  check_bool "overloaded is retryable" (M.retryable M.Server_overloaded);
+  check_bool "deadline.exceeded is not" (not (M.retryable M.Deadline_exceeded));
+  (* a corrupted or negative suggestion is a protocol error, never a
+     silent ignore or a leaked native exception *)
+  let mangle value =
+    let marker = " retry-after=\"" in
+    let rec find i =
+      if String.sub good i (String.length marker) = marker then
+        i + String.length marker
+      else find (i + 1)
+    in
+    let at = find 0 in
+    String.sub good 0 at ^ value
+    ^ String.sub good (at + 8) (String.length good - at - 8)
+  in
+  let rejects value =
+    match M.parse_retry_after (fault_elem (mangle value)) with
+    | exception M.Protocol_error _ -> true
+    | _ -> false
+  in
+  check_bool "garbage retry-after rejected" (rejects "huh?!%$#");
+  check_bool "negative retry-after rejected" (rejects "-00.2500")
+
 (* ---- topology envelopes ------------------------------------------------------ *)
 
 let first_elem txt =
@@ -671,7 +775,13 @@ let () =
           tc "schema-aware" test_schema_aware_projection;
           tc "fn:id on shipped nodes" test_id_on_shipped_nodes;
         ] );
-      ("robustness", [ tc "malformed" test_malformed_rejected ]);
+      ( "robustness",
+        [
+          tc "malformed" test_malformed_rejected;
+          tc "malformed deadline" test_malformed_deadline;
+          tc "malformed retry-after" test_malformed_retry_after;
+          tc "deadline on the wire" test_deadline_on_wire;
+        ] );
       ( "topology",
         [
           tc "forward round trip" test_forward_roundtrip;

@@ -364,6 +364,15 @@ let test_backoff_pinned () =
   close "req-1 attempt 3" 0.11533050537109375 (b "req-1" 3);
   close "req-2 attempt 2" 0.069293975830078125 (b "req-2" 2);
   close "peer1 attempt 2" 0.093427276611328131 (b "peer1" 2);
+  (* the retry layer keys by "<request-id>@<host>": the same request
+     re-driven at another hop (forward / failover) draws fresh jitter
+     instead of replaying the first hop's schedule *)
+  close "req-1@peer1 attempt 2" 0.066692352294921875 (b "req-1@peer1" 2);
+  close "req-1@peer2 attempt 2" 0.079545593261718756 (b "req-1@peer2" 2);
+  close "req-1@peer1 attempt 3" 0.132720947265625 (b "req-1@peer1" 3);
+  close "req-1@peer2 attempt 3" 0.15975494384765626 (b "req-1@peer2" 3);
+  check_bool "hops decorrelate"
+    (b "req-1@peer1" 2 <> b "req-1@peer2" 2);
   (* same key and attempt always replay the same backoff *)
   check_bool "deterministic" (b "req-1" 2 = b "req-1" 2)
 
