@@ -716,12 +716,8 @@ let overload_capacity = 2
 let overload_service_s = 0.01
 let overload_deadline_s = 0.1
 
-let percentile sorted p =
-  match Array.length sorted with
-  | 0 -> 0.
-  | n ->
-    let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) idx))
+(* one shared definition of p50/p95/p99 (also used by --explain) *)
+let percentile = Xd_obs.Quantile.percentile
 
 let overload_run ~shedding ~load ~requests =
   let net = Xd_xrpc.Network.create () in

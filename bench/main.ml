@@ -172,6 +172,10 @@ let () =
   in
   match parse (List.tl args) with
   | [] | [ "all" ] -> all ()
+  | [ "regress"; base; cur ] -> exit (Regress.regress base cur)
+  | "regress" :: _ ->
+    prerr_endline "usage: bench regress BASE.json CUR.json";
+    exit 2
   | cmds ->
     List.iter
       (function
@@ -191,7 +195,7 @@ let () =
         | "micro" -> micro ()
         | other ->
           Printf.eprintf
-            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|overload|smoke|verify|micro|all)\n"
+            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|overload|smoke|verify|micro|all|regress)\n"
             other;
           exit 1)
       cmds

@@ -1,0 +1,288 @@
+(* `bench regress BASE CUR` — the perf regression gate.
+
+   Diffs two BENCH_*.json records (effects / topo / overload) metric by
+   metric against per-metric tolerance thresholds and exits non-zero on
+   any regression. Every metric in those files is simulated-clock or
+   count based, so smoke-scale baselines are bit-stable across machines
+   and can be checked in (bench/baselines/); the @bench-regress alias
+   re-runs the smoke-scale experiments and gates fresh output against
+   them.
+
+   No JSON library is assumed (same stance as Xd_obs.Sink on the write
+   side): a ~60-line recursive-descent parser covers the subset the
+   bench writers emit. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+(* ---- minimal JSON parser --------------------------------------------------- *)
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 't' -> Buffer.add_char b '\t'
+             | 'r' -> Buffer.add_char b '\r'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+               (* the bench writers only emit ASCII; decode to '?' *)
+               pos := !pos + 4;
+               Buffer.add_char b '?'
+             | c -> fail (Printf.sprintf "bad escape %C" c));
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---- the gate -------------------------------------------------------------- *)
+
+(* Direction of goodness per metric. Tolerances sit below the 20%
+   regression the acceptance bar injects; count metrics are exact (the
+   simulation is deterministic — any drift is a behaviour change and
+   should either fail the gate or update the baseline). *)
+type direction = Lower_better | Higher_better
+
+type rule = { metric : string; dir : direction; rel_tol : float; abs_slack : float }
+
+let rules =
+  [
+    (* effects-overlap-batching *)
+    { metric = "seq_network_s"; dir = Lower_better; rel_tol = 0.10; abs_slack = 1e-6 };
+    { metric = "par_network_s"; dir = Lower_better; rel_tol = 0.10; abs_slack = 1e-6 };
+    { metric = "seq_messages"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "par_messages"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "calls"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "sched_groups"; dir = Higher_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "sched_overlapped"; dir = Higher_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "sched_saved_s"; dir = Higher_better; rel_tol = 0.10; abs_slack = 1e-6 };
+    { metric = "batch_envelopes"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "batch_calls"; dir = Higher_better; rel_tol = 0.0; abs_slack = 0.0 };
+    (* topo-forwarding-failover *)
+    { metric = "network_s"; dir = Lower_better; rel_tol = 0.10; abs_slack = 1e-6 };
+    { metric = "messages"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "message_bytes"; dir = Lower_better; rel_tol = 0.10; abs_slack = 0.0 };
+    { metric = "document_bytes"; dir = Lower_better; rel_tol = 0.10; abs_slack = 0.0 };
+    { metric = "forwarded"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "failovers"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "fallbacks"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    (* overload-shedding *)
+    { metric = "goodput"; dir = Higher_better; rel_tol = 0.10; abs_slack = 0.0 };
+    { metric = "ok"; dir = Higher_better; rel_tol = 0.10; abs_slack = 0.0 };
+    { metric = "late"; dir = Lower_better; rel_tol = 0.15; abs_slack = 1.0 };
+    { metric = "p50_ms"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
+    { metric = "p95_ms"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
+    { metric = "p99_ms"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
+  ]
+
+let obj_assoc k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* The row array, whatever the experiment named it. *)
+let rows_of j =
+  let candidates = [ "workloads"; "scenarios"; "rows" ] in
+  let rec pick = function
+    | [] -> []
+    | k :: rest -> (
+      match obj_assoc k j with Some (Arr rs) -> rs | _ -> pick rest)
+  in
+  pick candidates
+
+(* A stable identity for a row: "name", or (load, shedding). *)
+let row_key r =
+  match obj_assoc "name" r with
+  | Some (Str s) -> s
+  | _ -> (
+    let load =
+      match obj_assoc "load" r with Some (Num f) -> Printf.sprintf "%.2f" f | _ -> "?"
+    in
+    let shed =
+      match obj_assoc "shedding" r with
+      | Some (Bool b) -> string_of_bool b
+      | _ -> "?"
+    in
+    Printf.sprintf "load=%s shedding=%s" load shed)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Compare one (base, cur) row pair; returns regression descriptions. *)
+let diff_row key base cur =
+  List.filter_map
+    (fun { metric; dir; rel_tol; abs_slack } ->
+      match (obj_assoc metric base, obj_assoc metric cur) with
+      | Some (Num b), Some (Num c) ->
+        let delta = match dir with Lower_better -> c -. b | Higher_better -> b -. c in
+        let budget = (rel_tol *. Float.abs b) +. abs_slack in
+        if delta > budget then
+          Some
+            (Printf.sprintf
+               "REGRESSION [%s] %s: %g -> %g (worse by %g, budget %g)" key
+               metric b c delta budget)
+        else None
+      | _ -> None)
+    rules
+
+let regress base_path cur_path =
+  let load path =
+    try parse_json (read_file path) with
+    | Parse_error m ->
+      Printf.eprintf "bench regress: %s: %s\n" path m;
+      exit 2
+    | Sys_error m ->
+      Printf.eprintf "bench regress: %s\n" m;
+      exit 2
+  in
+  let base = load base_path in
+  let cur = load cur_path in
+  let base_rows = List.map (fun r -> (row_key r, r)) (rows_of base) in
+  let cur_rows = List.map (fun r -> (row_key r, r)) (rows_of cur) in
+  let failures = ref [] in
+  let add f = failures := f :: !failures in
+  List.iter
+    (fun (key, b) ->
+      match List.assoc_opt key cur_rows with
+      | None -> add (Printf.sprintf "REGRESSION [%s]: row missing from %s" key cur_path)
+      | Some c -> List.iter add (diff_row key b c))
+    base_rows;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key base_rows) then
+        Printf.printf "note: [%s] not in baseline %s (new row, not gated)\n" key
+          base_path)
+    cur_rows;
+  match List.rev !failures with
+  | [] ->
+    Printf.printf "bench regress: %s vs %s: %d rows ok\n" base_path cur_path
+      (List.length base_rows);
+    0
+  | fs ->
+    List.iter print_endline fs;
+    Printf.printf "bench regress: %s vs %s: %d regression(s)\n" base_path
+      cur_path (List.length fs);
+    1

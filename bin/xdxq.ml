@@ -48,7 +48,12 @@ let strategy_arg =
     & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc)
 
 let explain_arg =
-  let doc = "Print the decomposed plan before executing." in
+  let doc =
+    "Print the decomposed plan before executing, then an explain-analyze \
+     table after it: per d-graph vertex, the cost model's estimated wire \
+     bytes next to the measured actuals (folded from an internal trace), \
+     with misestimate ratios — vertices off by more than 4x are flagged."
+  in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
 let stats_arg =
@@ -180,6 +185,28 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let metrics_format_arg =
+  let doc =
+    "Metrics output format: $(b,dump) (the legacy registry dump) or \
+     $(b,prom) (Prometheus/OpenMetrics text exposition; each histogram \
+     carries the trace id of its extreme observation as an exemplar, \
+     when the run was traced)."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("dump", `Dump); ("prom", `Prom) ]) `Dump
+    & info [ "metrics-format" ] ~docv:"FORMAT" ~doc)
+
+let query_log_arg =
+  let doc =
+    "Append one structured JSON record per executed query to FILE: the \
+     strategy chosen, the cost-model estimate (total and per vertex), \
+     measured transfer/time actuals, fault/retry/shed counts, and the \
+     catalog epoch."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "query-log" ] ~docv:"FILE" ~doc)
+
 let catalog_arg =
   let doc =
     "Install a dynamic-topology catalog: ';'-separated \
@@ -290,9 +317,10 @@ let parse_doc_spec s =
 
 let run docs strategy explain stats code_motion types effects no_parallel
     no_typing verify_plan as_plan force fault_spec fault_seed timeout_s
-    retries txn journal_dir trace trace_out trace_format metrics catalog_spec
-    topo_churn show_catalog peer_capacity queue_cap service_time deadline
-    retry_budget show_breakers query_string query_file =
+    retries txn journal_dir trace trace_out trace_format metrics
+    metrics_format query_log catalog_spec topo_churn show_catalog
+    peer_capacity queue_cap service_time deadline retry_budget show_breakers
+    query_string query_file =
   let typing = not no_typing in
   let query_src =
     match (query_string, query_file) with
@@ -357,29 +385,43 @@ let run docs strategy explain stats code_motion types effects no_parallel
       exit 1
     end;
     let client = Xd_xrpc.Network.new_peer net "client" in
+    (* --explain needs the span tree to fold measured per-vertex actuals,
+       so it runs the query under an internal tracer; the trace is only
+       *exported* when the user asked for it *)
+    let user_trace = trace || trace_out <> None in
     let tracer =
-      if trace || trace_out <> None then Some (Xd_obs.Trace.create ())
-      else None
+      if user_trace || explain then Some (Xd_obs.Trace.create ()) else None
     in
     (* the trace is exported even when execution ends in a typed fault or
        timeout — failed runs are the ones worth looking at *)
     let export_trace () =
-      match tracer with
-      | None -> ()
-      | Some tr -> (
-        let contents =
-          match trace_format with
-          | `Jsonl -> Xd_obs.Sink.jsonl tr
-          | `Chrome -> Xd_obs.Sink.chrome tr
-        in
-        match trace_out with
-        | Some path -> Xd_obs.Sink.write_file path contents
-        | None -> prerr_string contents)
+      if user_trace then
+        match tracer with
+        | None -> ()
+        | Some tr -> (
+          let contents =
+            match trace_format with
+            | `Jsonl -> Xd_obs.Sink.jsonl tr
+            | `Chrome -> Xd_obs.Sink.chrome tr
+          in
+          match trace_out with
+          | Some path -> Xd_obs.Sink.write_file path contents
+          | None -> prerr_string contents)
     in
     let dump_metrics () =
       if metrics then
-        Format.eprintf "%a@?" Xd_obs.Metrics.dump
-          (Xd_xrpc.Stats.registry net.Xd_xrpc.Network.stats)
+        let registry = Xd_xrpc.Stats.registry net.Xd_xrpc.Network.stats in
+        match metrics_format with
+        | `Dump -> Format.eprintf "%a@?" Xd_obs.Metrics.dump registry
+        | `Prom -> Format.eprintf "%a@?" Xd_obs.Metrics.prom registry
+    in
+    let trace_id () =
+      match tracer with
+      | None -> None
+      | Some tr -> (
+        match Xd_obs.Trace.spans tr with
+        | [] -> None
+        | s :: _ -> Some s.Xd_obs.Trace.trace_id)
     in
     (* breaker states are worth seeing on failed runs too — an open
        breaker is usually why the run failed *)
@@ -456,6 +498,222 @@ let run docs strategy explain stats code_motion types effects no_parallel
         else Xd_core.Decompose.decompose ~code_motion ~typing strategy q
       in
       if explain then Format.printf "%a@." Xd_core.Decompose.explain plan;
+      (* the cost model's prediction, taken before execution (updates can
+         change document sizes): feeds the explain-analyze table and the
+         query log *)
+      let est = Xd_core.Cost.estimate ~typing net plan in
+      let log_query status =
+        match query_log with
+        | None -> ()
+        | Some path ->
+          let s = net.Xd_xrpc.Network.stats in
+          let open Xd_obs.Sink in
+          let field k v = jstr k ^ ":" ^ v in
+          let ints =
+            List.map (fun (k, v) -> field k (string_of_int v))
+          in
+          let per_vertex =
+            "{"
+            ^ String.concat ","
+                (List.map
+                   (fun (v, b) ->
+                     jstr (string_of_int v) ^ ":" ^ string_of_int b)
+                   est.Xd_core.Cost.per_vertex)
+            ^ "}"
+          in
+          let fields =
+            [
+              field "status" (jstr status);
+              field "strategy"
+                (jstr
+                   (Xd_core.Strategy.to_string
+                      plan.Xd_core.Decompose.strategy));
+              field "est_total" (string_of_int (Xd_core.Cost.total est));
+              field "est_per_vertex" per_vertex;
+            ]
+            @ ints
+                [
+                  ("message_bytes", Xd_xrpc.Stats.message_bytes s);
+                  ("document_bytes", Xd_xrpc.Stats.document_bytes s);
+                  ("messages", Xd_xrpc.Stats.messages s);
+                  ("calls", Xd_xrpc.Stats.calls s);
+                ]
+            @ [
+                field "serialize_s" (jfloat (Xd_xrpc.Stats.serialize_s s));
+                field "shred_s" (jfloat (Xd_xrpc.Stats.shred_s s));
+                field "remote_s" (jfloat (Xd_xrpc.Stats.remote_exec_s s));
+                field "network_s" (jfloat (Xd_xrpc.Stats.network_s s));
+              ]
+            @ ints
+                [
+                  ("faults", Xd_xrpc.Stats.faults s);
+                  ("timeouts", Xd_xrpc.Stats.timeouts s);
+                  ("retries", Xd_xrpc.Stats.retries s);
+                  ("fallbacks", Xd_xrpc.Stats.fallbacks s);
+                  ( "shed",
+                    Xd_xrpc.Stats.ov_shed s + Xd_xrpc.Stats.breaker_shed s
+                  );
+                  ("forwarded", Xd_xrpc.Stats.forwarded s);
+                  ("failovers", Xd_xrpc.Stats.topo_failovers s);
+                ]
+            @ [
+                field "catalog_epoch"
+                  (match net.Xd_xrpc.Network.catalog with
+                  | None -> "null"
+                  | Some c -> string_of_int (Xd_topo.Catalog.epoch c));
+              ]
+            @ (match trace_id () with
+              | None -> []
+              | Some tid -> [ field "trace" (jstr tid) ])
+          in
+          append_file path ("{" ^ String.concat "," fields ^ "}\n")
+      in
+      (* per-vertex explain-analyze: join the cost model's per-vertex
+         predictions with the measured actuals the profiler folds out of
+         the span tree. Vertex ids are execute-at body ids; -1 is the
+         client's own (unattributed) work. *)
+      let explain_analyze () =
+        match tracer with
+        | None -> ()
+        | Some tr ->
+          let module Ast = Xd_lang.Ast in
+          let module P = Xd_obs.Profile in
+          let prof = P.of_spans (Xd_obs.Trace.spans tr) in
+          let compact s =
+            let b = Buffer.create (String.length s) in
+            let ws = ref false in
+            String.iter
+              (fun c ->
+                match c with
+                | ' ' | '\n' | '\t' ->
+                  if not !ws then Buffer.add_char b ' ';
+                  ws := true
+                | c ->
+                  Buffer.add_char b c;
+                  ws := false)
+              s;
+            let s = Buffer.contents b in
+            if String.length s > 36 then String.sub s 0 33 ^ "..." else s
+          in
+          let labels = Hashtbl.create 8 in
+          let rec walk (e : Ast.expr) =
+            (match e.Ast.desc with
+            | Ast.Execute_at x ->
+              let host =
+                match x.Ast.host.Ast.desc with
+                | Ast.Literal (Ast.A_string h) -> h
+                | _ -> "(computed)"
+              in
+              Hashtbl.replace labels x.Ast.body.Ast.id
+                (host ^ ": " ^ compact (Xd_lang.Pp.expr_to_string x.Ast.body))
+            | _ -> ());
+            List.iter walk (Ast.children e)
+          in
+          let q = plan.Xd_core.Decompose.query in
+          walk q.Ast.body;
+          List.iter (fun (f : Ast.func) -> walk f.Ast.f_body) q.Ast.funcs;
+          let est_of = Hashtbl.create 8 in
+          List.iter
+            (fun (v, b) -> Hashtbl.replace est_of v b)
+            est.Xd_core.Cost.per_vertex;
+          let vertices =
+            let vs = Hashtbl.create 8 in
+            List.iter
+              (fun (v, _) -> Hashtbl.replace vs v ())
+              est.Xd_core.Cost.per_vertex;
+            List.iter
+              (fun (r : P.row) -> Hashtbl.replace vs r.P.vertex ())
+              (P.rows prof);
+            Hashtbl.fold (fun v () acc -> v :: acc) vs []
+            |> List.sort compare
+          in
+          let notes (r : P.row) =
+            List.filter_map
+              (fun (k, n) ->
+                if n > 0 then Some (Printf.sprintf "%s=%d" k n) else None)
+              [
+                ("retries", r.P.retries);
+                ("timeouts", r.P.timeouts);
+                ("fallbacks", r.P.fallbacks);
+                ("forwards", r.P.forwards);
+                ("failovers", r.P.failovers);
+                ("shed", r.P.shed);
+              ]
+            |> String.concat ","
+          in
+          let row_line name est_s (r : P.row) label =
+            let ratio =
+              match est_s with
+              | Some e when e > 0 && r.P.bytes > 0 ->
+                let x = float_of_int r.P.bytes /. float_of_int e in
+                Printf.sprintf "%.2f%s" x
+                  (if x > 4.0 || x < 0.25 then " !" else "")
+              | Some e when e > 0 -> "0.00"
+              | Some _ | None -> if r.P.bytes > 0 then "?" else "-"
+            in
+            let n = notes r in
+            let suffix =
+              match (label, n) with
+              | "", "" -> ""
+              | l, "" -> "  " ^ l
+              | l, n -> "  " ^ l ^ "  [" ^ n ^ "]"
+            in
+            Printf.printf "%7s %9s %9d %8s %6d %10.3f %9.3f %9.3f %9.3f%s\n"
+              name
+              (match est_s with Some e -> string_of_int e | None -> "-")
+              r.P.bytes ratio r.P.calls
+              (r.P.wire_s *. 1000.)
+              (r.P.serialize_s *. 1000.)
+              (r.P.shred_s *. 1000.)
+              (r.P.remote_s *. 1000.)
+              suffix
+          in
+          Printf.printf
+            "\nexplain analyze (cost model vs measured, per vertex):\n";
+          Printf.printf "%7s %9s %9s %8s %6s %10s %9s %9s %9s  %s\n"
+            "vertex" "est B" "act B" "ratio" "calls" "wire ms" "ser ms"
+            "shred ms" "rem ms" "at: body";
+          List.iter
+            (fun v ->
+              let r =
+                match P.find prof v with
+                | Some r -> r
+                | None ->
+                  (* estimated but never executed (e.g. shed, fallback):
+                     an all-zero row keeps the prediction visible *)
+                  {
+                    P.vertex = v;
+                    serialize_s = 0.;
+                    shred_s = 0.;
+                    remote_s = 0.;
+                    wire_s = 0.;
+                    server_s = 0.;
+                    queue_wait_s = 0.;
+                    bytes = 0;
+                    calls = 0;
+                    retries = 0;
+                    timeouts = 0;
+                    fallbacks = 0;
+                    forwards = 0;
+                    failovers = 0;
+                    shed = 0;
+                  }
+              in
+              let label =
+                if v = P.local_vertex then "client: (local)"
+                else
+                  Option.value ~default:"?"
+                    (Hashtbl.find_opt labels v)
+              in
+              row_line (string_of_int v) (Hashtbl.find_opt est_of v) r label)
+            vertices;
+          let tot = P.totals prof in
+          let est_total =
+            List.fold_left (fun a (_, b) -> a + b) 0
+              est.Xd_core.Cost.per_vertex
+          in
+          row_line "total" (Some est_total) tot ""
+      in
       if verify_plan then begin
         let report =
           Xd_core.Executor.verify_plan
@@ -488,6 +746,7 @@ let run docs strategy explain stats code_motion types effects no_parallel
         print_breakers ();
         export_trace ();
         dump_metrics ();
+        log_query "fault";
         1
       | exception Xd_xrpc.Message.Xrpc_timeout { host; attempts } ->
         Printf.eprintf "xrpc timeout: %s did not answer (%d attempts)\n" host
@@ -495,9 +754,11 @@ let run docs strategy explain stats code_motion types effects no_parallel
         print_breakers ();
         export_trace ();
         dump_metrics ();
+        log_query "timeout";
         1
       | r ->
         print_endline (Xd_lang.Value.serialize r.Xd_core.Executor.value);
+        if explain then explain_analyze ();
         if show_catalog then
           Option.iter
             (Format.printf "%a@." Xd_topo.Catalog.pp)
@@ -587,6 +848,7 @@ let run docs strategy explain stats code_motion types effects no_parallel
         print_breakers ();
         export_trace ();
         dump_metrics ();
+        log_query "ok";
         0))
 
 let cmd =
@@ -599,7 +861,8 @@ let cmd =
       $ no_typing_arg $ verify_plan_arg $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg
-      $ trace_format_arg $ metrics_arg $ catalog_arg $ topo_churn_arg
+      $ trace_format_arg $ metrics_arg $ metrics_format_arg $ query_log_arg
+      $ catalog_arg $ topo_churn_arg
       $ show_catalog_arg $ peer_capacity_arg $ queue_cap_arg
       $ service_time_arg $ deadline_arg $ retry_budget_arg
       $ show_breakers_arg $ query_string_arg $ query_file_arg)

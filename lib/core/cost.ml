@@ -30,6 +30,11 @@ type estimate = {
       (* transfer the overlap schedule takes off the critical path:
          within a group, per-peer batched round trips run concurrently,
          so the group costs its most expensive peer, not the sum *)
+  per_vertex : (int * int) list;
+      (* estimated wire bytes per d-graph vertex (execute-at body id),
+         ascending; vertex -1 is the client's own document fetches. The
+         key matches the [vertex] span attribute, so --explain can put
+         these predictions next to the profiler's measured actuals. *)
 }
 
 let total e =
@@ -122,6 +127,14 @@ let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
     let cur = Option.value ~default:0.0 (Hashtbl.find_opt resp_by_body body_id) in
     Hashtbl.replace resp_by_body body_id (cur +. b)
   in
+  (* per-vertex wire-byte buckets for --explain: responses and fetches
+     keyed by the execute-at body id the work runs under, -1 for the
+     client's own fetches — the same attribution the span profiler uses *)
+  let vertex_bytes = Hashtbl.create 8 in
+  let add_vertex v b =
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt vertex_bytes v) in
+    Hashtbl.replace vertex_bytes v (cur +. b)
+  in
   let seen_fetch = Hashtbl.create 8 in
   let seen_atomic = Hashtbl.create 8 in
   List.iter
@@ -139,22 +152,39 @@ let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
                per referenced document *)
             if not (Hashtbl.mem seen_atomic body_id) then begin
               Hashtbl.replace seen_atomic body_id ();
-              add_resp body_id (float_of_int (atom_bytes * max n 1))
+              let b = float_of_int (atom_bytes * max n 1) in
+              add_resp body_id b;
+              add_vertex body_id b
             end
           | Some None ->
             (* atomic but unbounded (e.g. one string per selected node):
                far below any subtree-shipping reduction factor *)
-            add_resp body_id (float_of_int (max atom_bytes (bytes / 20)))
+            let b = float_of_int (max atom_bytes (bytes / 20)) in
+            add_resp body_id b;
+            add_vertex body_id b
           | None ->
-            add_resp body_id (reduction_factor strategy *. float_of_int bytes))
+            let b = reduction_factor strategy *. float_of_int bytes in
+            add_resp body_id b;
+            add_vertex body_id b)
         | _ ->
           (* fetched whole (by the client, or by a foreign server) *)
           let key = (uri, Option.map fst ctx) in
           if not (Hashtbl.mem seen_fetch key) then begin
             Hashtbl.replace seen_fetch key ();
-            fetched := !fetched + bytes
+            fetched := !fetched + bytes;
+            add_vertex
+              (match ctx with Some (_, body_id) -> body_id | None -> -1)
+              (float_of_int bytes)
           end))
     sites;
+  (* envelope overhead lands on the vertex issuing the call *)
+  Ast.iter
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.Execute_at x ->
+        add_vertex x.Ast.body.Ast.id (float_of_int envelope_overhead)
+      | _ -> ())
+    q.Ast.body;
   let responses = Hashtbl.fold (fun _ b acc -> acc +. b) resp_by_body 0.0 in
   (* overlap schedule: within a group the per-peer batched round trips run
      concurrently, so a group's transfer sits on the critical path of its
@@ -213,6 +243,9 @@ let estimate ?(typing = true) net (plan : Decompose.plan) : estimate =
     response_bytes_est = int_of_float responses;
     overhead_bytes = calls * envelope_overhead;
     overlap_saved_bytes = int_of_float overlap_saved;
+    per_vertex =
+      Hashtbl.fold (fun v b acc -> (v, int_of_float b) :: acc) vertex_bytes []
+      |> List.sort compare;
   }
 
 (* Estimate every strategy (sharing nothing: each gets its own plan). *)

@@ -16,6 +16,12 @@ type estimate = {
           concurrently and same-peer calls share one envelope, so the
           group costs its most expensive peer instead of the sum. Zero
           when the plan has no overlap groups. *)
+  per_vertex : (int * int) list;
+      (** estimated wire bytes per d-graph vertex (execute-at body id),
+          ascending; vertex [-1] is the client's own document fetches.
+          The id matches the [vertex] attribute the runtime stamps on
+          call spans, so [--explain] joins these predictions with
+          {!Xd_obs.Profile} actuals. *)
 }
 
 val total : estimate -> int

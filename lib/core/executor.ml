@@ -171,11 +171,18 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
   Xd_obs.Trace.add_attr trace_root "strategy"
     (Xd_obs.Trace.S (Strategy.to_string strategy));
   Xd_xrpc.Session.set_current_span session trace_root;
+  (* a traced run's histogram observations carry its trace id as an
+     exemplar; untraced runs leave the registry byte-identical *)
+  Xd_xrpc.Stats.set_exemplar stats
+    (Option.map
+       (fun (s : Xd_obs.Trace.span) -> s.Xd_obs.Trace.trace_id)
+       trace_root);
   let t0 = Unix.gettimeofday () in
   let value =
     Fun.protect
       ~finally:(fun () ->
         Xd_xrpc.Session.set_current_span session None;
+        Xd_xrpc.Stats.set_exemplar stats None;
         Xd_obs.Trace.finish trace trace_root)
       (fun () ->
         if use_txn then

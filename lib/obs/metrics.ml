@@ -12,6 +12,11 @@ type histogram = {
   counts : int array; (* per-bucket (non-cumulative); last = +inf *)
   mutable sum : float;
   mutable n : int;
+  (* exemplar: the extreme (max) observation seen since the last reset,
+     together with the trace id that produced it — the hook that links a
+     p99 outlier in an exposition back to its trace. *)
+  mutable ex_value : float;
+  mutable ex_trace : string option;
 }
 
 type metric =
@@ -65,13 +70,20 @@ let histogram ?(buckets = default_buckets) t name =
   let make () =
     let bounds = Array.of_list (List.sort_uniq compare buckets) in
     Histogram
-      { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.; n = 0 }
+      {
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.;
+        n = 0;
+        ex_value = neg_infinity;
+        ex_trace = None;
+      }
   in
   match register t name "histogram" make with
   | Histogram h -> h
   | _ -> assert false
 
-let observe h v =
+let observe ?exemplar h v =
   let rec bucket i =
     if i >= Array.length h.bounds then i
     else if v <= h.bounds.(i) then i
@@ -80,7 +92,15 @@ let observe h v =
   let i = bucket 0 in
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
-  h.n <- h.n + 1
+  h.n <- h.n + 1;
+  match exemplar with
+  | Some tid when v >= h.ex_value ->
+      h.ex_value <- v;
+      h.ex_trace <- Some tid
+  | _ -> ()
+
+let exemplar h =
+  match h.ex_trace with None -> None | Some tid -> Some (tid, h.ex_value)
 
 let hist_count h = h.n
 let hist_sum h = h.sum
@@ -108,7 +128,9 @@ let reset t =
       | Histogram h ->
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.sum <- 0.;
-          h.n <- 0)
+          h.n <- 0;
+          h.ex_value <- neg_infinity;
+          h.ex_trace <- None)
     t.tbl
 
 let names t =
@@ -131,3 +153,113 @@ let dump ppf t =
                (fun (b, n) -> Format.fprintf ppf " %a:%d" pp_bound b n)
                (hist_buckets h);
              Format.fprintf ppf "@.")
+
+(* ---- Prometheus text exposition ----------------------------------------
+
+   Registry names are dotted and may carry a label suffix in the
+   [name{key=value}] form that the labeled-metric helpers use
+   (e.g. [xrpc.peer_up{peer=hostA}]). The exposition sanitizes the base
+   name (dots become underscores), turns the suffix into proper
+   Prometheus labels, renders histograms as cumulative [_bucket]/[_sum]/
+   [_count] series, and appends the exemplar (OpenMetrics style) to the
+   [+Inf] bucket so an outlier links back to its trace. *)
+
+let prom_name s =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    s
+
+(* Split ["name{k=v,k2=v2}"] into the sanitized base name and its label
+   pairs; names without a suffix get no labels. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (prom_name name, [])
+  | Some i ->
+      let base = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      let rest =
+        match String.rindex_opt rest '}' with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      let labels =
+        String.split_on_char ',' rest
+        |> List.filter_map (fun kv ->
+               match String.index_opt kv '=' with
+               | None -> None
+               | Some e ->
+                   Some
+                     ( prom_name (String.sub kv 0 e),
+                       String.sub kv (e + 1) (String.length kv - e - 1) ))
+      in
+      (prom_name base, labels)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=\"" ^ prom_escape v ^ "\"") labels)
+      ^ "}"
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" f
+
+let prom ppf t =
+  let last_type = ref "" in
+  let emit_type base kind =
+    let key = base ^ "/" ^ kind in
+    if !last_type <> key then begin
+      last_type := key;
+      Format.fprintf ppf "# TYPE %s %s@." base kind
+    end
+  in
+  names t
+  |> List.iter (fun name ->
+         let base, labels = split_labels name in
+         match Hashtbl.find t.tbl name with
+         | Counter c ->
+             emit_type base "counter";
+             Format.fprintf ppf "%s%s %d@." base (prom_labels labels) c.c
+         | Gauge g ->
+             emit_type base "gauge";
+             Format.fprintf ppf "%s%s %s@." base (prom_labels labels)
+               (prom_float g.g)
+         | Histogram h ->
+             emit_type base "histogram";
+             List.iter
+               (fun (bound, cum) ->
+                 let le = ("le", prom_float bound) in
+                 let ex =
+                   (* exemplar rides the +Inf bucket: the one bucket every
+                      observation (the extreme included) falls under *)
+                   if bound = infinity then
+                     match exemplar h with
+                     | Some (tid, v) ->
+                         Printf.sprintf " # {trace_id=\"%s\"} %s"
+                           (prom_escape tid) (prom_float v)
+                     | None -> ""
+                   else ""
+                 in
+                 Format.fprintf ppf "%s_bucket%s %d%s@." base
+                   (prom_labels (labels @ [ le ]))
+                   cum ex)
+               (hist_buckets h);
+             Format.fprintf ppf "%s_sum%s %s@." base (prom_labels labels)
+               (prom_float h.sum);
+             Format.fprintf ppf "%s_count%s %d@." base (prom_labels labels)
+               h.n)

@@ -44,9 +44,19 @@ val histogram : ?buckets:float list -> t -> string -> histogram
     1us .. 10s in decades. Bounds given on a later registration of an
     existing name are ignored. *)
 
-val observe : histogram -> float -> unit
+val observe : ?exemplar:string -> histogram -> float -> unit
+(** Record an observation. When [exemplar] carries a trace id and the
+    observation is the extreme (max) seen since the last reset, the pair
+    is retained and surfaced by {!exemplar} and the {!prom} exposition —
+    so a tail-latency outlier links back to the trace that produced it.
+    Without [exemplar] the histogram state is exactly as before. *)
+
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+val exemplar : histogram -> (string * float) option
+(** The retained [(trace_id, value)] exemplar, if any observation since
+    the last reset carried one. *)
 
 val hist_buckets : histogram -> (float * int) list
 (** Cumulative [(upper_bound, count <= bound)] pairs; the +inf bucket is
@@ -67,3 +77,10 @@ val dump : Format.formatter -> t -> unit
     gauge      time.network_s = 0.000813
     histogram  time.serialize_s count=4 sum=0.000217 | le1e-06:0 ... inf:4
     v} *)
+
+val prom : Format.formatter -> t -> unit
+(** Prometheus text exposition: dotted names sanitized to underscores, a
+    [name{key=value}] registry suffix rendered as proper labels,
+    histograms as cumulative [_bucket{le="…"}]/[_sum]/[_count] series,
+    and the retained exemplar appended OpenMetrics-style
+    ([… # {trace_id="…"} value]) to the [+Inf] bucket. *)

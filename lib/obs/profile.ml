@@ -1,0 +1,218 @@
+(* Fold a finished span tree into a per-plan-vertex profile.
+
+   Attribution: client call spans carry a [vertex] attribute — the
+   execute-at body's d-graph vertex id, the same key Cost's per-vertex
+   estimates use — and every other span belongs to the nearest ancestor
+   carrying one (server-side spans connect through the <trace> header's
+   Remote parent linkage, so a peer's evaluate/serialize/shred work lands
+   under the attempt that delivered the request). Spans with no such
+   ancestor — the root, local evaluation, document fetches by the
+   data-shipping client — fold into the pseudo-vertex {!local_vertex}.
+
+   The time buckets come from the [busy_s] attributes the runtime stamps
+   on its accounting regions: the exact Stats delta each region charged,
+   not the span's wall interval (a separate clock read that drifts). A
+   remote region's delta includes the charges of remote regions nested
+   under it, so the self amount is its delta minus its nearest remote
+   descendants'; with that subtraction the per-vertex sums reconcile
+   with the registry totals to float rounding, which the test suite
+   checks over generated query/fault/churn/overload schedules. Wire time
+   ([wire_s]) is the simulated-clock interval of network spans and is
+   informational only: group overlap rewinds the clock and timeouts bill
+   it outside any span, so it does not decompose per-span. *)
+
+type row = {
+  vertex : int;
+  mutable serialize_s : float;
+  mutable shred_s : float;
+  mutable remote_s : float;
+  mutable wire_s : float; (* sim-clock interval of network spans *)
+  mutable server_s : float; (* wall interval of server handle spans *)
+  mutable queue_wait_s : float;
+  mutable bytes : int; (* wire bytes billed inside network spans *)
+  mutable calls : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable fallbacks : int;
+  mutable forwards : int;
+  mutable failovers : int;
+  mutable shed : int; (* breaker + admission-queue refusals *)
+}
+
+let local_vertex = -1
+
+type t = { rows : row list (* ascending vertex; local_vertex first *) }
+
+let empty_row vertex =
+  {
+    vertex;
+    serialize_s = 0.;
+    shred_s = 0.;
+    remote_s = 0.;
+    wire_s = 0.;
+    server_s = 0.;
+    queue_wait_s = 0.;
+    bytes = 0;
+    calls = 0;
+    retries = 0;
+    timeouts = 0;
+    fallbacks = 0;
+    forwards = 0;
+    failovers = 0;
+    shed = 0;
+  }
+
+let attr_i (s : Trace.span) key =
+  List.fold_left
+    (fun acc (k, v) ->
+      match v with Trace.I i when k = key -> acc + i | _ -> acc)
+    0 s.Trace.attrs
+
+let attr_f (s : Trace.span) key =
+  List.fold_left
+    (fun acc (k, v) ->
+      match v with Trace.F f when k = key -> acc +. f | _ -> acc)
+    0. s.Trace.attrs
+
+let has_attr (s : Trace.span) key =
+  List.mem_assoc key s.Trace.attrs
+
+let attr_is (s : Trace.span) key value =
+  List.exists
+    (fun (k, v) -> k = key && match v with Trace.S x -> x = value | _ -> false)
+    s.Trace.attrs
+
+let of_spans (spans : Trace.span list) : t =
+  let by_id = Hashtbl.create (List.length spans * 2) in
+  List.iter (fun (s : Trace.span) -> Hashtbl.replace by_id s.Trace.span_id s) spans;
+  (* nearest ancestor-or-self with a [vertex] attribute, memoized *)
+  let vcache = Hashtbl.create 64 in
+  let rec vertex_of (s : Trace.span) =
+    match Hashtbl.find_opt vcache s.Trace.span_id with
+    | Some v -> v
+    | None ->
+        let v =
+          if has_attr s "vertex" then attr_i s "vertex"
+          else
+            match s.Trace.parent_id with
+            | Some p -> (
+                match Hashtbl.find_opt by_id p with
+                | Some parent -> vertex_of parent
+                | None -> local_vertex)
+            | None -> local_vertex
+        in
+        Hashtbl.replace vcache s.Trace.span_id v;
+        v
+  in
+  (* nearest strict remote-category ancestor, for remote self-time *)
+  let rec remote_parent (s : Trace.span) =
+    match s.Trace.parent_id with
+    | None -> None
+    | Some p -> (
+        match Hashtbl.find_opt by_id p with
+        | None -> None
+        | Some parent ->
+            if parent.Trace.cat = "remote" then Some parent
+            else remote_parent parent)
+  in
+  let remote_self = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.cat = "remote" then begin
+        let busy = attr_f s "busy_s" in
+        Hashtbl.replace remote_self s.Trace.span_id
+          (busy
+          +. (try Hashtbl.find remote_self s.Trace.span_id with Not_found -> 0.));
+        match remote_parent s with
+        | Some a ->
+            Hashtbl.replace remote_self a.Trace.span_id
+              ((try Hashtbl.find remote_self a.Trace.span_id
+                with Not_found -> 0.)
+              -. busy)
+        | None -> ()
+      end)
+    spans;
+  let rows = Hashtbl.create 16 in
+  let row v =
+    match Hashtbl.find_opt rows v with
+    | Some r -> r
+    | None ->
+        let r = empty_row v in
+        Hashtbl.replace rows v r;
+        r
+  in
+  List.iter
+    (fun (s : Trace.span) ->
+      let r = row (vertex_of s) in
+      r.queue_wait_s <- r.queue_wait_s +. attr_f s "queue_wait_s";
+      (* admission-queue refusals surface as a fault attribute on the
+         serving peer's handle span (the client's attempt span echoes the
+         same code — counting both would double) *)
+      if s.Trace.cat = "server" && attr_is s "fault" "xrpc:server.overloaded"
+      then r.shed <- r.shed + 1;
+      (match s.Trace.cat with
+      | "serialize" -> r.serialize_s <- r.serialize_s +. attr_f s "busy_s"
+      | "shred" -> r.shred_s <- r.shred_s +. attr_f s "busy_s"
+      | "remote" ->
+          r.remote_s <-
+            r.remote_s
+            +. (try Hashtbl.find remote_self s.Trace.span_id
+                with Not_found -> 0.)
+      | "network" ->
+          r.bytes <- r.bytes + attr_i s "bytes";
+          if
+            (not (Float.is_nan s.Trace.end_sim))
+            && not (Float.is_nan s.Trace.start_sim)
+          then r.wire_s <- r.wire_s +. (s.Trace.end_sim -. s.Trace.start_sim)
+      | "server" ->
+          if
+            (not (Float.is_nan s.Trace.end_wall))
+            && not (Float.is_nan s.Trace.start_wall)
+          then
+            r.server_s <- r.server_s +. (s.Trace.end_wall -. s.Trace.start_wall)
+      | "call" -> r.calls <- r.calls + (if has_attr s "calls" then attr_i s "calls" else 1)
+      | "attempt" ->
+          if attr_i s "retry" > 0 then r.retries <- r.retries + 1;
+          if has_attr s "timeout" then r.timeouts <- r.timeouts + 1
+      | "fallback" -> r.fallbacks <- r.fallbacks + 1
+      | "topo" -> (
+          match s.Trace.name with
+          | "forward" ->
+              (* only the caller-side note (it carries [from]); the
+                 serving peer notes the same redirect without one *)
+              if has_attr s "from" then r.forwards <- r.forwards + 1
+          | "failover" -> r.failovers <- r.failovers + 1
+          | _ -> ())
+      | "overload" ->
+          if s.Trace.name = "breaker shed" then r.shed <- r.shed + 1
+      | _ -> ()))
+    spans;
+  let rows = Hashtbl.fold (fun _ r acc -> r :: acc) rows [] in
+  { rows = List.sort (fun a b -> compare a.vertex b.vertex) rows }
+
+let rows t = t.rows
+
+let find t vertex = List.find_opt (fun r -> r.vertex = vertex) t.rows
+
+(* Column-wise sum across every row — what the reconciliation property
+   compares against the registry totals. *)
+let totals t =
+  let acc = empty_row local_vertex in
+  List.iter
+    (fun r ->
+      acc.serialize_s <- acc.serialize_s +. r.serialize_s;
+      acc.shred_s <- acc.shred_s +. r.shred_s;
+      acc.remote_s <- acc.remote_s +. r.remote_s;
+      acc.wire_s <- acc.wire_s +. r.wire_s;
+      acc.server_s <- acc.server_s +. r.server_s;
+      acc.queue_wait_s <- acc.queue_wait_s +. r.queue_wait_s;
+      acc.bytes <- acc.bytes + r.bytes;
+      acc.calls <- acc.calls + r.calls;
+      acc.retries <- acc.retries + r.retries;
+      acc.timeouts <- acc.timeouts + r.timeouts;
+      acc.fallbacks <- acc.fallbacks + r.fallbacks;
+      acc.forwards <- acc.forwards + r.forwards;
+      acc.failovers <- acc.failovers + r.failovers;
+      acc.shed <- acc.shed + r.shed)
+    t.rows;
+  acc

@@ -1,0 +1,49 @@
+(** Per-plan-vertex profile folded from a finished span tree.
+
+    Client call spans carry a [vertex] attribute (the execute-at body's
+    d-graph vertex id — the same key the cost model's per-vertex
+    estimates use); every other span is attributed to its nearest
+    ancestor carrying one, across peers via the [<trace>] header
+    linkage. Spans with no such ancestor (root, local evaluation, the
+    data-shipping client's document fetches) fold into
+    {!local_vertex}.
+
+    Time buckets come from the [busy_s] attributes the runtime stamps on
+    its accounting regions — the exact Stats deltas — so
+    {!totals}.[serialize_s]/[shred_s]/[remote_s]/[bytes]/[calls]/
+    [fallbacks] reconcile with the registry totals to float rounding.
+    [wire_s] and [server_s] are span intervals and informational. *)
+
+type row = {
+  vertex : int;
+  mutable serialize_s : float;
+  mutable shred_s : float;
+  mutable remote_s : float;  (** self remote-exec time (nested removed) *)
+  mutable wire_s : float;  (** sim-clock interval of network spans *)
+  mutable server_s : float;  (** wall interval of server handle spans *)
+  mutable queue_wait_s : float;  (** admission-queue delay charged *)
+  mutable bytes : int;  (** wire bytes billed inside network spans *)
+  mutable calls : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable fallbacks : int;  (** degradations to data shipping *)
+  mutable forwards : int;  (** redirects followed (caller side) *)
+  mutable failovers : int;  (** reads re-routed to a replica *)
+  mutable shed : int;  (** breaker + admission-queue refusals *)
+}
+
+type t
+
+val local_vertex : int
+(** The pseudo-vertex ([-1]) holding unattributed (client-local) work. *)
+
+val of_spans : Trace.span list -> t
+(** Fold finished spans (as returned by {!Trace.spans}) into a profile. *)
+
+val rows : t -> row list
+(** Rows in ascending vertex order ({!local_vertex} first, if present). *)
+
+val find : t -> int -> row option
+
+val totals : t -> row
+(** Column-wise sum across every row (its [vertex] is {!local_vertex}). *)

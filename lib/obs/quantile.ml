@@ -1,0 +1,14 @@
+(* Nearest-rank percentiles, shared by the bench harness and the
+   --explain report so p50/p95/p99 mean the same thing everywhere. *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n ->
+      let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) idx))
+
+let of_list xs p =
+  let sorted = Array.of_list xs in
+  Array.sort compare sorted;
+  percentile sorted p

@@ -1,0 +1,10 @@
+(** Nearest-rank percentile over float samples — the single definition
+    of p50/p95/p99 used by both the bench harness and the [--explain]
+    report. An empty sample yields [0.]. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] over an ascending-sorted array;
+    [p] in percent (e.g. [95.]). *)
+
+val of_list : float list -> float -> float
+(** Sorts a copy, then {!percentile}. *)

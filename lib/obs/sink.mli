@@ -4,6 +4,12 @@
     full string escaping, so the output loads in [jq], Perfetto and
     [chrome://tracing]. *)
 
+val jstr : string -> string
+(** JSON string literal with full escaping. *)
+
+val jfloat : float -> string
+(** JSON number; nan/±inf render as [null]. *)
+
 val jsonl : Trace.t -> string
 (** One JSON object per line per completed span, oldest first. Fields:
     [trace], [span], [parent] (absent on roots), [name], [cat], [peer],
@@ -19,3 +25,7 @@ val chrome : Trace.t -> string
 
 val write_file : string -> string -> unit
 (** [write_file path contents] — create/truncate [path]. *)
+
+val append_file : string -> string -> unit
+(** [append_file path contents] — create or append to [path] (the
+    query-log sink: one JSON record per line per query). *)

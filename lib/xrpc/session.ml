@@ -145,6 +145,55 @@ let span_note session ~cat name =
     ~parent:(Trace.ambient session.cur)
     ~peer:(Peer.name session.self) ~cat name
 
+(* Record on [sp] how far a Stats reader moved across [f] — the exact
+   amount the region charged to its bucket. Span wall clocks are
+   separate gettimeofday reads and drift against the gauges; the deltas
+   are what lets Profile reconcile per-vertex sums with the registry
+   totals to the float, not to a tolerance. No-ops when untraced. *)
+let attr_delta_f sp key reader f =
+  match sp with
+  | None -> f ()
+  | Some _ ->
+      let before = reader () in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.add_attr sp key (Trace.F (reader () -. before)))
+        f
+
+(* Same for integer counters — used to stamp network spans with the
+   bytes they billed (retransmissions included, since the delta spans
+   the whole exchange). *)
+let attr_delta_i sp key reader f =
+  match sp with
+  | None -> f ()
+  | Some _ ->
+      let before = reader () in
+      Fun.protect
+        ~finally:(fun () -> Trace.add_attr sp key (Trace.I (reader () - before)))
+        f
+
+(* Traced accounting regions: a span in the matching category whose
+   [busy_s] attribute carries the exact bucket delta the region charged.
+   (A remote span's delta includes nested remote charges — Profile
+   subtracts descendant remote spans to recover the self amount.) *)
+let ser_traced session name f =
+  let stats = session.net.Network.stats in
+  traced session ~cat:"serialize" name @@ fun sp ->
+  attr_delta_f sp "busy_s" (fun () -> Stats.serialize_s stats) @@ fun () ->
+  Stats.time_serialize stats f
+
+let shred_traced session name f =
+  let stats = session.net.Network.stats in
+  traced session ~cat:"shred" name @@ fun sp ->
+  attr_delta_f sp "busy_s" (fun () -> Stats.shred_s stats) @@ fun () ->
+  Stats.time_shred stats f
+
+let remote_traced session name f =
+  let stats = session.net.Network.stats in
+  traced session ~cat:"remote" name @@ fun sp ->
+  attr_delta_f sp "busy_s" (fun () -> Stats.remote_exec_s stats) @@ fun () ->
+  Stats.time_remote stats f
+
 let recorded session = Option.map (fun r -> List.rev !r) session.record
 
 (* ---------------- retry backoff ---------------------------------------- *)
@@ -352,13 +401,19 @@ and resolve_doc session env uri =
             Env.dynamic_error "document %S not found at %s" doc_name host
         in
         let text =
-          traced ~peer:host session ~cat:"serialize" "document" @@ fun _ ->
+          traced ~peer:host session ~cat:"serialize" "document" @@ fun ssp ->
+          attr_delta_f ssp "busy_s" (fun () -> Stats.serialize_s stats)
+          @@ fun () ->
           Stats.time_serialize stats (fun () -> X.Serializer.doc doc)
         in
-        (traced session ~cat:"network" ("ship " ^ doc_name) @@ fun _ ->
+        (traced session ~cat:"network" ("ship " ^ doc_name) @@ fun nsp ->
+         attr_delta_i nsp "bytes" (fun () -> Stats.total_bytes stats)
+         @@ fun () ->
          Network.transfer ~kind:`Document session.net (String.length text));
         let d =
-          traced session ~cat:"shred" "document" @@ fun _ ->
+          traced session ~cat:"shred" "document" @@ fun hsp ->
+          attr_delta_f hsp "busy_s" (fun () -> Stats.shred_s stats)
+          @@ fun () ->
           Stats.time_shred stats (fun () ->
               X.Parser.parse ~store:(Peer.store session.self) ~uri text)
         in
@@ -529,8 +584,13 @@ and handle_request session ~client_name request_text =
       ~parent:(Trace.Remote { trace_id; span_id })
       ~peer:(Peer.name session.self) ~cat:"server" "handle"
       (fun sp ->
-        with_cur session sp (fun () ->
-            handle_request_guarded session ~client_name request_text))
+        Trace.add_attr sp "bytes" (Trace.I (String.length request_text));
+        let resp =
+          with_cur session sp (fun () ->
+              handle_request_guarded session ~client_name request_text)
+        in
+        Trace.add_attr sp "resp_bytes" (Trace.I (String.length resp));
+        resp)
   | _ -> handle_request_guarded session ~client_name request_text
 
 (* Map an evaluation/parse failure to its protocol fault code and reason;
@@ -569,8 +629,7 @@ and handle_request_guarded session ~client_name request_text =
       Stats.incr_faults ~kind:"app" stats;
       Trace.add_attr session.cur "fault"
         (Trace.S (Message.fault_code_to_string code));
-      traced session ~cat:"serialize" "fault" @@ fun _ ->
-      Stats.time_serialize stats (fun () ->
+      ser_traced session "fault" (fun () ->
           Message.write_fault ~code ~reason ()))
 
 (* The admission + deadline gate. Every unit of real work — a <request>,
@@ -598,8 +657,7 @@ and admission_gate session node ~units k =
       Stats.incr_faults ~kind:"deadline" stats);
     Trace.add_attr session.cur "fault"
       (Trace.S (Message.fault_code_to_string code));
-    traced session ~cat:"serialize" "fault" @@ fun _ ->
-    Stats.time_serialize stats (fun () ->
+    ser_traced session "fault" (fun () ->
         Message.write_fault ?retry_after ~code ~reason ())
   in
   let verdict =
@@ -629,7 +687,12 @@ and admission_gate session node ~units k =
       | Overload.Admit { wait_s; depth; start = _; finish = _ } ->
         Stats.add_admitted stats ~wait_s;
         Stats.set_queue_depth ~peer stats depth;
-        if wait_s > 0. then Stats.add_network_s stats wait_s;
+        if wait_s > 0. then begin
+          Stats.add_network_s stats wait_s;
+          (* bill the queueing delay to the span handling this request,
+             so profiles attribute it to the vertex that caused it *)
+          Trace.add_attr session.cur "queue_wait_s" (Trace.F wait_s)
+        end;
         `Go)
   in
   match verdict with
@@ -647,8 +710,7 @@ and admission_gate session node ~units k =
 and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
   let body =
-    traced session ~cat:"shred" "request" @@ fun _ ->
-    Stats.time_shred stats (fun () ->
+    shred_traced session "request" (fun () ->
         let mdoc = X.Parser.parse_doc ~strip_ws:false request_text in
         let root = X.Node.doc_node mdoc in
         match find_path [ "env:Envelope"; "env:Body" ] root with
@@ -775,8 +837,7 @@ and handle_txn_control session action txn ~epoch =
   Trace.add_attr tsp "txn" (Trace.S txn);
   let ack a =
     Trace.add_attr tsp "ack" (Trace.S (Message.txn_ack_to_string a));
-    traced session ~cat:"serialize" "ack" @@ fun _ ->
-    Stats.time_serialize stats (fun () -> Message.write_txn_ack ~txn ~ack:a)
+    ser_traced session "ack" (fun () -> Message.write_txn_ack ~txn ~ack:a)
   in
   match action with
   | Message.Prepare ->
@@ -811,21 +872,17 @@ and handle_txn_control session action txn ~epoch =
       Message.protocol_error
         "commit for unknown or aborted transaction %s" txn
     | `Apply puls ->
-      (traced session ~cat:"remote" "apply staged" @@ fun _ ->
-       Stats.time_remote stats (fun () ->
-           ignore
-             (Xd_lang.Update.apply_staged (Peer.store session.self) puls)));
+      remote_traced session "apply staged" (fun () ->
+          ignore (Xd_lang.Update.apply_staged (Peer.store session.self) puls));
       Journal.committed j ~txn;
       ack Message.Ack_committed)
 
 and handle_parsed session ~client_name ~ep ?req_id req =
-  let stats = session.net.Network.stats in
   let passing = Message.passing_of_string (Message.req_attr req "passing") in
   let txn_attr = Message.attr_of req "txn" in
-  (traced session ~cat:"shred" "fragments" @@ fun _ ->
-   Stats.time_shred stats (fun () ->
-       Message.shred_fragments ep ~from_host:client_name
-         (Message.find_child req "fragments")));
+  shred_traced session "fragments" (fun () ->
+      Message.shred_fragments ep ~from_host:client_name
+        (Message.find_child req "fragments"));
   (* module: parse and cache the caller's function definitions *)
   (match Message.find_child req "module" with
   | Some m ->
@@ -898,8 +955,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
   in
   let staged = ref 0 in
   let result =
-    traced session ~cat:"remote" "evaluate" @@ fun _ ->
-    Stats.time_remote stats (fun () ->
+    remote_traced session "evaluate" (fun () ->
         let body = Xd_lang.Parser.parse_expr_string body_text in
         let vars =
           List.fold_left
@@ -932,8 +988,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
             v))
   in
   (* response *)
-  traced session ~cat:"serialize" "response" @@ fun _ ->
-  Stats.time_serialize stats (fun () ->
+  ser_traced session "response" (fun () ->
       let result_nodes =
         List.filter_map
           (function Value.N n -> Some n | Value.A _ -> None)
@@ -1066,13 +1121,11 @@ and shred_response_node _session ~ep ~host resp :
 
 and shred_response session ~ep ~host response_text :
     Value.t * (int * string list) option =
-  let stats = session.net.Network.stats in
   let corrupt reason =
     raise
       (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
   in
-  traced session ~cat:"shred" "response" @@ fun _ ->
-  Stats.time_shred stats (fun () ->
+  shred_traced session "response" (fun () ->
       let root =
         match X.Parser.parse_doc ~strip_ws:false response_text with
         | mdoc -> X.Node.doc_node mdoc
@@ -1111,13 +1164,11 @@ and shred_response session ~ep ~host response_text :
    state a sequential run would have reached when that call failed. *)
 and shred_batch_response session ~ep ~host ~calls response_text :
     Value.t list =
-  let stats = session.net.Network.stats in
   let corrupt reason =
     raise
       (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
   in
-  traced session ~cat:"shred" "batch response" @@ fun _ ->
-  Stats.time_shred stats (fun () ->
+  shred_traced session "batch response" (fun () ->
       let root =
         match X.Parser.parse_doc ~strip_ws:false response_text with
         | mdoc -> X.Node.doc_node mdoc
@@ -1191,7 +1242,9 @@ and degrade session env (x : Ast.execute_at) ~host ~args =
    <trace> header — the attempt span, so the receiving peer's spans
    parent under that exact attempt. *)
 and send_on_wire session ~dst ?hdr_span text =
+  let stats = session.net.Network.stats in
   traced session ~cat:"network" ("send " ^ dst) @@ fun nsp ->
+  attr_delta_i nsp "bytes" (fun () -> Stats.total_bytes stats) @@ fun () ->
   (* Re-stamp the remaining deadline budget as of *now*, pre-subtracting
      this message's own wire time: the receiver's budget then equals the
      sender's budget at the moment of receipt, so budgets are strictly
@@ -1241,6 +1294,9 @@ and call_host session env (x : Ast.execute_at) ~host ~args =
   let stats = session.net.Network.stats in
   traced session ~cat:"call" ("call " ^ host) @@ fun call_sp ->
   Trace.add_attr call_sp "host" (Trace.S host);
+  (* the d-graph vertex (execute-at body id) this call materializes —
+     the join key between Cost's per-vertex estimates and the profile *)
+  Trace.add_attr call_sp "vertex" (Trace.I x.Ast.body.Ast.id);
   Stats.incr_call ~peer:host stats;
   let funcs = Env.func_list env in
   let ep = call_endpoint session in
@@ -1262,8 +1318,7 @@ and call_host session env (x : Ast.execute_at) ~host ~args =
     | _ -> None
   in
   let req_text =
-    traced session ~cat:"serialize" "request" @@ fun _ ->
-    Stats.time_serialize stats (fun () ->
+    ser_traced session "request" (fun () ->
         build_request session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs)
   in
   (match session.record with
@@ -1566,13 +1621,24 @@ and batch_call session env ~host
   @@ fun bsp ->
   Trace.add_attr bsp "host" (Trace.S host);
   Trace.add_attr bsp "calls" (Trace.I n);
+  (* a batch materializes several vertices in one envelope; its shared
+     costs are attributed to the first member's vertex, and the full
+     membership rides along for the profile's benefit *)
+  (match items with
+  | (x, _) :: _ -> Trace.add_attr bsp "vertex" (Trace.I x.Ast.body.Ast.id)
+  | [] -> ());
+  Trace.add_attr bsp "vertices"
+    (Trace.S
+       (String.concat ","
+          (List.map
+             (fun ((x : Ast.execute_at), _) -> string_of_int x.Ast.body.Ast.id)
+             items)));
   let funcs = Env.func_list env in
   let ep = call_endpoint session in
   let txn = Option.map (fun c -> c.txn_id) session.txn in
   List.iter (fun _ -> Stats.incr_call ~peer:host stats) items;
   let req_text =
-    traced session ~cat:"serialize" "batch request" @@ fun _ ->
-    Stats.time_serialize stats (fun () ->
+    ser_traced session "batch request" (fun () ->
         let buf = Buffer.create 1024 in
         Buffer.add_string buf "<batch";
         Message.buf_attr buf "caller" (Peer.name session.self);
@@ -1853,9 +1919,7 @@ and apply_updates session (env : Env.t) =
 (* Parse a control-message reply: an ack, a retryable condition, or a
    fatal typed exception. *)
 let parse_txn_response session ~host text =
-  let stats = session.net.Network.stats in
-  traced session ~cat:"shred" "ack" @@ fun _ ->
-  Stats.time_shred stats (fun () ->
+  shred_traced session "ack" (fun () ->
       match X.Parser.parse_doc ~strip_ws:false text with
       | exception X.Parser.Error (m, pos) ->
         `Retry
@@ -1904,8 +1968,7 @@ let txn_rpc session ~host ?epoch action txn : (Message.txn_ack, exn) result =
     Option.map (fun d -> d -. Stats.network_s stats) (deadline_now session)
   in
   let req_text =
-    traced session ~cat:"serialize" "control" @@ fun _ ->
-    Stats.time_serialize stats (fun () ->
+    ser_traced session "control" (fun () ->
         Message.write_txn_control ?epoch ?deadline ~action ~txn ())
   in
   (match session.record with

@@ -56,9 +56,20 @@ type t = {
   hist_shred : M.histogram;
   hist_remote : M.histogram;
   hist_message_bytes : M.histogram;
+  (* trace id of the run in flight, if it is traced: observations made
+     while set carry it as a histogram exemplar, so a tail outlier in an
+     exposition links back to its trace. *)
+  mutable exemplar : string option;
 }
 
 let byte_buckets = [ 128.; 512.; 2048.; 8192.; 32768.; 131072.; 524288. ]
+
+(* The default decade ladder quantizes sub-millisecond simulated service
+   times into one or two edges; a 1-2-5 ladder keeps adjacent
+   percentiles in distinct buckets down to a microsecond. *)
+let time_buckets =
+  [ 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+    1e-2; 2e-2; 5e-2; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10. ]
 
 let create () =
   let reg = M.create () in
@@ -101,12 +112,15 @@ let create () =
     breaker_shed = lazy (M.counter reg "overload.breaker.shed");
     breaker_probes = lazy (M.counter reg "overload.breaker.probes");
     retry_budget_stops = lazy (M.counter reg "overload.retry_budget_stops");
-    hist_serialize = M.histogram reg "hist.serialize_s";
-    hist_shred = M.histogram reg "hist.shred_s";
-    hist_remote = M.histogram reg "hist.remote_exec_s";
+    hist_serialize = M.histogram ~buckets:time_buckets reg "hist.serialize_s";
+    hist_shred = M.histogram ~buckets:time_buckets reg "hist.shred_s";
+    hist_remote = M.histogram ~buckets:time_buckets reg "hist.remote_exec_s";
     hist_message_bytes = M.histogram ~buckets:byte_buckets reg
         "hist.message_bytes";
+    exemplar = None;
   }
+
+let set_exemplar t tid = t.exemplar <- tid
 
 let registry t = t.reg
 let reset t = M.reset t.reg
@@ -194,7 +208,7 @@ let is_empty t =
 let add_message t ~bytes =
   M.incr ~by:bytes t.message_bytes;
   M.incr t.messages;
-  M.observe t.hist_message_bytes (float_of_int bytes)
+  M.observe ?exemplar:t.exemplar t.hist_message_bytes (float_of_int bytes)
 
 let add_document t ~bytes =
   M.incr ~by:bytes t.document_bytes;
@@ -259,16 +273,16 @@ let set_peer_up ~peer t up =
 (* Timed scopes *)
 let now () = Unix.gettimeofday ()
 
-let timed g h f =
+let timed t g h f =
   let t0 = now () in
   let r = f () in
   let d = now () -. t0 in
   M.add g d;
-  M.observe h d;
+  M.observe ?exemplar:t.exemplar h d;
   r
 
-let time_serialize t f = timed t.serialize_s t.hist_serialize f
-let time_shred t f = timed t.shred_s t.hist_shred f
+let time_serialize t f = timed t t.serialize_s t.hist_serialize f
+let time_shred t f = timed t t.shred_s t.hist_shred f
 
 let time_remote t f =
   (* remote exec excludes nested (de)serialize/shred costs, which the inner
@@ -282,7 +296,7 @@ let time_remote t f =
   if residue < 0. then M.incr t.remote_clamps;
   let d = Float.max 0. residue in
   M.add t.remote_exec_s d;
-  M.observe t.hist_remote d;
+  M.observe ?exemplar:t.exemplar t.hist_remote d;
   r
 
 let pp fmt t =

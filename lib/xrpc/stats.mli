@@ -184,6 +184,13 @@ val set_peer_up : peer:string -> t -> bool -> unit
 (** Record peer liveness in the [xrpc.peer_up{peer=...}] gauge: 1 after a
     successful exchange, 0 after a call exhausted its retry budget. *)
 
+val set_exemplar : t -> string option -> unit
+(** Install (or clear) the trace id of the run in flight. While set,
+    every histogram observation carries it as an exemplar, so a tail
+    outlier in a [--metrics-format prom] exposition links back to its
+    trace. Untraced runs keep this [None] and the registry stays
+    byte-identical. *)
+
 (** {2 Timed scopes} *)
 
 val now : unit -> float

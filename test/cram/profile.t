@@ -1,0 +1,136 @@
+The query profiler: --explain's per-vertex explain-analyze table,
+--metrics-format prom with exemplars, the --query-log JSONL sink, and
+the bench regression gate.
+
+  $ ../../bin/xdx_gen.exe --persons 10 --seed 7 --out-people people.xml --out-auctions auctions.xml >/dev/null 2>&1
+
+--explain joins the cost model's per-vertex byte predictions with the
+measured actuals the profiler folds out of an internal trace. The
+misestimate story of the typed cost model, on the count-of-remote-data
+plan: priced *without* typing the model expects a document-fraction
+response and is off by >4x — flagged; priced with the PR 5 typing the
+same vertex is a 64-byte atomic response plus envelope, well inside the
+band. Wall-clock milliseconds are normalized; bytes, counts, ratios and
+the sim-clock schedule are deterministic and pinned.
+
+  $ P='string((execute at {"peer1"} function () { count(doc("xrpc://peer1/people.xml")//person) }))'
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --plan --no-typing --explain -q "$P" \
+  >   | sed -n '/explain analyze/,$p' | sed -E 's/[0-9]+\.[0-9]{3}/T/g'
+  explain analyze (cost model vs measured, per vertex):
+   vertex     est B     act B    ratio  calls    wire ms    ser ms  shred ms    rem ms  at: body
+       -1         -         0        -      0      T     T     T     T  client: (local)
+        6      9643       607   0.06 !      1      T     T     T     T  peer1: count(doc("xrpc://peer1/people.xm...
+    total      9643       607   0.06 !      1      T     T     T     T
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --plan --explain -q "$P" \
+  >   | sed -n '/explain analyze/,$p' | sed -E 's/[0-9]+\.[0-9]{3}/T/g'
+  explain analyze (cost model vs measured, per vertex):
+   vertex     est B     act B    ratio  calls    wire ms    ser ms  shred ms    rem ms  at: body
+       -1         -         0        -      0      T     T     T     T  client: (local)
+        6       464       607     1.31      1      T     T     T     T  peer1: count(doc("xrpc://peer1/people.xm...
+    total       464       607     1.31      1      T     T     T     T
+
+--metrics-format prom renders the registry as a Prometheus/OpenMetrics
+text exposition. The message-bytes histogram is fully deterministic;
+its +Inf bucket carries the trace id of the extreme observation as an
+exemplar when the run was traced:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value \
+  >   --trace --trace-out /dev/null --metrics --metrics-format prom -q "$P" 2>&1 1>/dev/null \
+  >   | grep '^# TYPE'
+  # TYPE hist_message_bytes histogram
+  # TYPE hist_remote_exec_s histogram
+  # TYPE hist_serialize_s histogram
+  # TYPE hist_shred_s histogram
+  # TYPE sched_groups counter
+  # TYPE sched_overlapped_calls counter
+  # TYPE sched_saved_s gauge
+  # TYPE time_network_s gauge
+  # TYPE time_remote_clamps counter
+  # TYPE time_remote_exec_s gauge
+  # TYPE time_serialize_s gauge
+  # TYPE time_shred_s gauge
+  # TYPE topo_churn_events counter
+  # TYPE topo_epoch_aborts counter
+  # TYPE topo_failovers counter
+  # TYPE topo_resolutions counter
+  # TYPE txn_aborts counter
+  # TYPE txn_commits counter
+  # TYPE txn_staged counter
+  # TYPE xrpc_batch_calls counter
+  # TYPE xrpc_batch_envelopes counter
+  # TYPE xrpc_bytes_document counter
+  # TYPE xrpc_bytes_message counter
+  # TYPE xrpc_calls counter
+  # TYPE xrpc_dedup_evictions counter
+  # TYPE xrpc_dedup_hits counter
+  # TYPE xrpc_documents_fetched counter
+  # TYPE xrpc_fallbacks counter
+  # TYPE xrpc_faults counter
+  # TYPE xrpc_forwarded counter
+  # TYPE xrpc_messages counter
+  # TYPE xrpc_peer_up gauge
+  # TYPE xrpc_retries counter
+  # TYPE xrpc_timeouts counter
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value \
+  >   --trace --trace-out /dev/null --metrics --metrics-format prom -q "$P" 2>&1 1>/dev/null \
+  >   | grep 'hist_message_bytes' | sed -E 's/trace_id="[0-9a-f]+"/trace_id="TID"/'
+  # TYPE hist_message_bytes histogram
+  hist_message_bytes_bucket{le="128"} 0
+  hist_message_bytes_bucket{le="512"} 2
+  hist_message_bytes_bucket{le="2048"} 2
+  hist_message_bytes_bucket{le="8192"} 2
+  hist_message_bytes_bucket{le="32768"} 2
+  hist_message_bytes_bucket{le="131072"} 2
+  hist_message_bytes_bucket{le="524288"} 2
+  hist_message_bytes_bucket{le="+Inf"} 2 # {trace_id="TID"} 452
+  hist_message_bytes_sum 671
+  hist_message_bytes_count 2
+
+An untraced run carries no exemplars (and the registry is otherwise
+identical — tracing is byte-invisible):
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value \
+  >   --metrics --metrics-format prom -q "$P" 2>&1 1>/dev/null | grep -c '# {'
+  0
+  [1]
+
+--query-log appends one JSON record per query: strategy, the cost
+model's estimate (total and per vertex), measured actuals, fault /
+retry / shed counts and the catalog epoch. Wall-clock seconds and the
+trace id are normalized:
+
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --plan \
+  >   --query-log q.jsonl -q "$P" >/dev/null
+  $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value --plan --explain \
+  >   --query-log q.jsonl -q "$P" >/dev/null
+  $ sed -E -e 's/"(serialize_s|shred_s|remote_s|network_s)":[0-9.e+-]+/"\1":W/g' \
+  >   -e 's/"trace":"[0-9a-f]+"/"trace":"TID"/' q.jsonl
+  {"status":"ok","strategy":"pass-by-value","est_total":464,"est_per_vertex":{"6":464},"message_bytes":607,"document_bytes":0,"messages":2,"calls":1,"serialize_s":W,"shred_s":W,"remote_s":W,"network_s":W,"faults":0,"timeouts":0,"retries":0,"fallbacks":0,"shed":0,"forwarded":0,"failovers":0,"catalog_epoch":null}
+  {"status":"ok","strategy":"pass-by-value","est_total":464,"est_per_vertex":{"6":464},"message_bytes":607,"document_bytes":0,"messages":2,"calls":1,"serialize_s":W,"shred_s":W,"remote_s":W,"network_s":W,"faults":0,"timeouts":0,"retries":0,"fallbacks":0,"shed":0,"forwarded":0,"failovers":0,"catalog_epoch":null,"trace":"TID"}
+
+bench regress diffs two BENCH_*.json files against per-metric
+tolerances and exits non-zero on regression — here a >=20% goodput drop
+and a p95 blowup on one row:
+
+  $ cat > base.json <<'EOF'
+  > {"experiment": "overload-shedding",
+  >  "rows": [
+  >   {"load": 1.00, "shedding": true, "offered": 100, "ok": 100, "late": 0,
+  >    "shed": 0, "goodput": 1.0000, "p50_ms": 10.0, "p95_ms": 20.0, "p99_ms": 30.0},
+  >   {"load": 2.00, "shedding": true, "offered": 100, "ok": 60, "late": 0,
+  >    "shed": 40, "goodput": 0.6000, "p50_ms": 30.0, "p95_ms": 60.0, "p99_ms": 80.0}
+  > ]}
+  > EOF
+  $ sed -e 's/"goodput": 0.6000/"goodput": 0.4500/' -e 's/"p95_ms": 60.0/"p95_ms": 90.0/' \
+  >   -e 's/"ok": 60/"ok": 45/' base.json > cur.json
+  $ ../../bench/main.exe regress base.json base.json
+  bench regress: base.json vs base.json: 2 rows ok
+  $ ../../bench/main.exe regress base.json cur.json
+  REGRESSION [load=2.00 shedding=true] goodput: 0.6 -> 0.45 (worse by 0.15, budget 0.06)
+  REGRESSION [load=2.00 shedding=true] ok: 60 -> 45 (worse by 15, budget 6)
+  REGRESSION [load=2.00 shedding=true] p95_ms: 60 -> 90 (worse by 30, budget 9.01)
+  bench regress: base.json vs cur.json: 3 regression(s)
+  [1]

@@ -9,31 +9,34 @@ as JSONL or Chrome trace_event JSON; --metrics dumps the full registry.
 
 A dropped-then-retried call, traced as JSONL (one object per completed
 span, oldest first). Span/trace ids and clock values are run-dependent
-and normalized away; the schema — field names, span names, categories,
-peers, parentage and attributes — is pinned. Note the two attempt spans
-(the retry is its own span with retry=1), the dropped send, and the
-server-side spans parented under the client's attempt via the wire's
-<trace> header:
+and normalized away (as are the wall-clock busy_s accounting deltas);
+the schema — field names, span names, categories, peers, parentage and
+attributes — is pinned. Note the two attempt spans (the retry is its
+own span with retry=1), the dropped send, the byte counts on network
+and server spans, the vertex attribute on the call span (the profiler's
+attribution key), and the server-side spans parented under the client's
+attempt via the wire's <trace> header:
 
   $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'drop@1#1' \
   >   --trace --trace-out t.jsonl \
   >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)'
   3
   $ sed -E -e 's/"(trace|span|parent)":"[0-9a-f]+"/"\1":"ID"/g' \
-  >   -e 's/"(wall_start|wall_end|sim_start|sim_end)":[0-9.e+-]+/"\1":T/g' t.jsonl
-  {"trace":"ID","span":"ID","parent":"ID","name":"request","cat":"serialize","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"send peer1","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"dropped":true}}
+  >   -e 's/"(wall_start|wall_end|sim_start|sim_end)":[0-9.e+-]+/"\1":T/g' \
+  >   -e 's/"busy_s":[0-9.e+-]+/"busy_s":D/g' t.jsonl
+  {"trace":"ID","span":"ID","parent":"ID","name":"request","cat":"serialize","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"busy_s":D}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"send peer1","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"dropped":true,"bytes":455}}
   {"trace":"ID","span":"ID","parent":"ID","name":"attempt 1","cat":"attempt","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"retry":0,"timeout":true}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"send peer1","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"request","cat":"shred","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"fragments","cat":"shred","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"evaluate","cat":"remote","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"response","cat":"serialize","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"handle","cat":"server","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"send client","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"response","cat":"shred","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"send peer1","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"bytes":455}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"request","cat":"shred","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"busy_s":D}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"fragments","cat":"shred","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"busy_s":D}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"evaluate","cat":"remote","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"busy_s":D}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"response","cat":"serialize","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"busy_s":D}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"handle","cat":"server","peer":"peer1","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"bytes":510,"resp_bytes":224}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"send client","cat":"network","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"bytes":224}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"response","cat":"shred","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"busy_s":D}}
   {"trace":"ID","span":"ID","parent":"ID","name":"attempt 2","cat":"attempt","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"retry":1}}
-  {"trace":"ID","span":"ID","parent":"ID","name":"call peer1","cat":"call","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"host":"peer1"}}
+  {"trace":"ID","span":"ID","parent":"ID","name":"call peer1","cat":"call","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"host":"peer1","vertex":5}}
   {"trace":"ID","span":"ID","name":"execute","cat":"query","peer":"client","wall_start":T,"wall_end":T,"sim_start":T,"sim_end":T,"attrs":{"strategy":"pass-by-projection"}}
 
 The same run exports as Chrome trace_event JSON — thread-name metadata
