@@ -844,6 +844,204 @@ let write_overload_json ~path rows =
   output_string oc (overload_json rows);
   close_out oc
 
+(* ---- codec: compiled wire-shape codecs — shred/serialize fast paths ------- *)
+
+(* The ablation of the static wire-shape analysis: every workload runs
+   codec-off (generic XML writer + tree-parse shred) and codec-on
+   (compiled string-builder encoders, flat atomic decoders, event-based
+   shredding) on identical fresh networks. The wire must be
+   byte-identical and the values deep-equal — the codecs only buy time,
+   never bytes. Timing buckets are wall-clock, so each workload is
+   iterated and summed; the headline number is the shred speedup on the
+   atomic-scan workload. *)
+
+type codec_row = {
+  cd_name : string;
+  cd_iters : int;
+  cd_wire_bytes : int; (* one iteration's message bytes (on == off) *)
+  cd_messages : int;
+  cd_calls : int;
+  cd_compiled : int; (* codec-on counters, one iteration *)
+  cd_decodes : int;
+  cd_event_shreds : int;
+  cd_bailouts : int;
+  cd_gen_serialize_s : float; (* median iteration x iters (robust total) *)
+  cd_cod_serialize_s : float;
+  cd_gen_shred_s : float;
+  cd_cod_shred_s : float;
+}
+
+let codec_speedup gen cod = if cod > 0. then gen /. cod else Float.nan
+
+(* Hand-written plans (like the effects workloads): the call-site shapes
+   under test are the plan's own. The headline workload runs on 4x the
+   sweep's documents: the timing buckets are wall-clock, so the response
+   work has to dwarf per-run fixed costs (codec compilation, GC
+   spillover, scheduler noise) for the speedup to be a property of the
+   codec rather than of the machine. *)
+let codec_workloads =
+  [
+    (* big all-atomic response: the compiled flat decoder replaces a full
+       XML parse + tree walk of the response — the headline fast path.
+       Leaf scans (age/name/emailaddress/street/city) keep the wire
+       tag-dense: many small atomic-value elements is exactly where a
+       node-per-element parse pays most per byte *)
+    ( "atomic scan",
+      8,
+      {|(execute at {"peer1"} function ()
+           { data(doc("xrpc://peer1/xmk.xml")/descendant::age) },
+         execute at {"peer1"} function ()
+           { data(doc("xrpc://peer1/xmk.xml")/descendant::name
+                  | doc("xrpc://peer1/xmk.xml")/descendant::emailaddress) },
+         execute at {"peer1"} function ()
+           { data(doc("xrpc://peer1/xmk.xml")/descendant::street
+                  | doc("xrpc://peer1/xmk.xml")/descendant::city) })|}
+    );
+    (* atomic parameters: the compiled string-builder encoder emits the
+       whole request from precomputed constant segments *)
+    ( "atomic args",
+      1,
+      {|let $n := 40 return
+        execute at {"peer1"} function ($n := $n)
+          { count(doc("xrpc://peer1/xmk.xml")
+                  /descendant::person[descendant::age < $n]) }|} );
+    (* node-sequence response: the decoder bails to the generic path, but
+       the event shredder still routes every <copy> subtree straight
+       into the store during the one response parse *)
+    ( "node response",
+      4,
+      {|execute at {"peer1"} function ()
+          { doc("xrpc://peer1/xmk.xml")/descendant::person }|} );
+  ]
+
+let codec ~persons () =
+  let iters = 8 in
+  List.map
+    (fun (name, mult, src) ->
+      let plan () =
+        Xd_core.Decompose.plan_of_query S.By_value
+          (Xd_lang.Parser.parse_query src)
+      in
+      (* parallel off: the overlap scheduler coalesces same-peer calls
+         into batch envelopes, which stay on the generic writer by
+         design — the ablation under test is the per-call codec *)
+      let run codec =
+        let setup = make_setup ~persons:(persons * mult) in
+        let record = ref [] in
+        (* settle the allocation debt of document generation (and of the
+           previous run) now, outside the timed buckets: GC slices fire
+           on allocation, and the µs-scale buckets would otherwise be
+           charged for whoever allocated last *)
+        Gc.full_major ();
+        let r =
+          E.run_plan ~record ~codec ~parallel:false setup.net
+            ~client:setup.client (plan ())
+        in
+        (r, !record)
+      in
+      (* interleave the configs: background load drifts on wall-clock
+         scales, and a generic-then-compiled block order would hand one
+         config the quiet half of the machine *)
+      let pairs = List.init iters (fun _ -> (run false, run true)) in
+      let roff = List.map fst pairs and ron = List.map snd pairs in
+      let r0off, woff = List.hd roff and r0on, won = List.hd ron in
+      if not (Xd_lang.Value.deep_equal r0off.E.value r0on.E.value) then
+        failwith (name ^ ": codec-on run diverges from the generic result");
+      let text (m : Xd_xrpc.Session.recorded) = m.Xd_xrpc.Session.text in
+      if List.map text woff <> List.map text won then
+        failwith (name ^ ": codec-on wire differs from the generic wire");
+      (* median per-iteration bucket, not the sum: one GC pause or
+         scheduler stall inside a timed section would otherwise dominate
+         the whole comparison *)
+      let median f rs =
+        let a = Array.of_list (List.map (fun (r, _) -> f r.E.timing) rs) in
+        Array.sort compare a;
+        let n = Array.length a in
+        if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+      in
+      let sum f rs =
+        float_of_int iters *. median f rs
+      in
+      let t = r0on.E.timing in
+      {
+        cd_name = name;
+        cd_iters = iters;
+        cd_wire_bytes = t.E.message_bytes;
+        cd_messages = t.E.messages;
+        cd_calls = t.E.calls;
+        cd_compiled = t.E.codec_compiled;
+        cd_decodes = t.E.codec_decodes;
+        cd_event_shreds = t.E.codec_event_shreds;
+        cd_bailouts = t.E.codec_bailouts;
+        cd_gen_serialize_s = sum (fun t -> t.E.serialize_s) roff;
+        cd_cod_serialize_s = sum (fun t -> t.E.serialize_s) ron;
+        cd_gen_shred_s = sum (fun t -> t.E.shred_s) roff;
+        cd_cod_shred_s = sum (fun t -> t.E.shred_s) ron;
+      })
+    codec_workloads
+
+let print_codec ~persons rows =
+  print_endline
+    "== Codec: compiled wire-shape codecs (generic vs compiled, identical \
+     wire) ==";
+  print_endline
+    "   expected shape: all-atomic call sites compile; shred collapses to \
+     a flat scan; bailout paths stay correct";
+  Printf.printf "%-14s %8s %5s %5s %5s %5s %5s %10s %10s %8s %8s\n" "workload"
+    "wire B" "comp" "dec" "evt" "bail" "calls" "ser x" "shred x" "gen ms"
+    "cod ms";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %8d %5d %5d %5d %5d %5d %9.1fx %9.1fx %8.3f %8.3f\n"
+        r.cd_name r.cd_wire_bytes r.cd_compiled r.cd_decodes r.cd_event_shreds
+        r.cd_bailouts r.cd_calls
+        (codec_speedup r.cd_gen_serialize_s r.cd_cod_serialize_s)
+        (codec_speedup r.cd_gen_shred_s r.cd_cod_shred_s)
+        (r.cd_gen_shred_s *. 1000.) (r.cd_cod_shred_s *. 1000.))
+    rows;
+  (* the acceptance property, at benchmark scale only (smoke-scale totals
+     are microseconds of pure overhead): the compiled decoder must shred
+     the atomic-scan responses at least 5x faster than the generic parse *)
+  (match List.find_opt (fun r -> r.cd_name = "atomic scan") rows with
+  | Some r when persons >= 160 ->
+    let x = codec_speedup r.cd_gen_shred_s r.cd_cod_shred_s in
+    if not (x >= 5.0) then
+      failwith
+        (Printf.sprintf
+           "codec: atomic-scan shred speedup %.1fx below the 5x target" x)
+  | _ -> ());
+  print_newline ()
+
+let codec_json ~persons rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"codec-compiled-wire-shapes\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"persons\": %d,\n" persons);
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"iters\": %d, \"wire_bytes\": %d, \
+            \"messages\": %d, \"calls\": %d,\n\
+           \     \"codec_compiled\": %d, \"codec_decodes\": %d, \
+            \"codec_event_shreds\": %d, \"codec_bailouts\": %d,\n\
+           \     \"generic_serialize_s\": %.6f, \"codec_serialize_s\": %.6f,\n\
+           \     \"generic_shred_s\": %.6f, \"codec_shred_s\": %.6f}%s\n"
+           r.cd_name r.cd_iters r.cd_wire_bytes r.cd_messages r.cd_calls
+           r.cd_compiled r.cd_decodes r.cd_event_shreds r.cd_bailouts
+           r.cd_gen_serialize_s r.cd_cod_serialize_s r.cd_gen_shred_s
+           r.cd_cod_shred_s
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_codec_json ~path ~persons rows =
+  let oc = open_out path in
+  output_string oc (codec_json ~persons rows);
+  close_out oc
+
 (* Sanity: all strategies produce the reference result. *)
 let verify ~persons () =
   let setup = make_setup ~persons in

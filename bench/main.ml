@@ -66,6 +66,13 @@ let run_overload () =
   Experiments.write_overload_json ~path:"BENCH_overload.json" rows;
   print_endline "   (written to BENCH_overload.json)\n"
 
+let run_codec () =
+  let persons = !base_scale * 2 in
+  let rows = Experiments.codec ~persons () in
+  Experiments.print_codec ~persons rows;
+  Experiments.write_codec_json ~path:"BENCH_codec.json" ~persons rows;
+  print_endline "   (written to BENCH_codec.json)\n"
+
 let run_verify () = Experiments.verify ~persons:(!base_scale * 2) ()
 let run_workloads () = Experiments.workload_suite ~persons:(!base_scale * 2) ()
 
@@ -149,6 +156,7 @@ let all () =
   run_effects ();
   run_topo ();
   run_overload ();
+  run_codec ();
   run_ablations ()
 
 (* One cheap pass over every experiment — the @bench-smoke alias. Tiny
@@ -159,6 +167,11 @@ let smoke () =
   all ()
 
 let () =
+  (* bench hygiene: a roomy minor heap (4M words = 32MB) keeps minor
+     collections from firing inside the µs-scale timed buckets, where
+     their cost would be charged to whichever bucket happened to be
+     open. Affects every experiment equally. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> []
@@ -191,11 +204,12 @@ let () =
         | "effects" -> run_effects ()
         | "topo" -> run_topo ()
         | "overload" -> run_overload ()
+        | "codec" -> run_codec ()
         | "smoke" -> smoke ()
         | "micro" -> micro ()
         | other ->
           Printf.eprintf
-            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|overload|smoke|verify|micro|all|regress)\n"
+            "unknown experiment %S (fig7|fig8|fig9|fig10|fig11|ablation|workloads|effects|topo|overload|codec|smoke|verify|micro|all|regress)\n"
             other;
           exit 1)
       cmds

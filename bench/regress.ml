@@ -1,12 +1,14 @@
 (* `bench regress BASE CUR` — the perf regression gate.
 
-   Diffs two BENCH_*.json records (effects / topo / overload) metric by
-   metric against per-metric tolerance thresholds and exits non-zero on
-   any regression. Every metric in those files is simulated-clock or
-   count based, so smoke-scale baselines are bit-stable across machines
-   and can be checked in (bench/baselines/); the @bench-regress alias
-   re-runs the smoke-scale experiments and gates fresh output against
-   them.
+   Diffs two BENCH_*.json records (effects / topo / overload / codec)
+   metric by metric against per-metric tolerance thresholds and exits
+   non-zero on any regression. Nearly every metric in those files is
+   simulated-clock or count based, so smoke-scale baselines are
+   bit-stable across machines and can be checked in (bench/baselines/);
+   the codec timing buckets are the wall-clock exception and carry an
+   absolute slack sized to drown machine noise. The @bench-regress
+   alias re-runs the smoke-scale experiments and gates fresh output
+   against them.
 
    No JSON library is assumed (same stance as Xd_obs.Sink on the write
    side): a ~60-line recursive-descent parser covers the subset the
@@ -189,6 +191,20 @@ let rules =
     { metric = "forwarded"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
     { metric = "failovers"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
     { metric = "fallbacks"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    (* codec-compiled-wire-shapes: counts and wire bytes are exact (the
+       wire is byte-identical by construction — drift is a codec bug);
+       the timing buckets are the one wall-clock exception in these
+       files, so they get the 15% relative band plus an absolute slack
+       that swallows smoke-scale scheduling noise *)
+    { metric = "wire_bytes"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "codec_compiled"; dir = Higher_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "codec_decodes"; dir = Higher_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "codec_event_shreds"; dir = Higher_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "codec_bailouts"; dir = Lower_better; rel_tol = 0.0; abs_slack = 0.0 };
+    { metric = "generic_serialize_s"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
+    { metric = "codec_serialize_s"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
+    { metric = "generic_shred_s"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
+    { metric = "codec_shred_s"; dir = Lower_better; rel_tol = 0.15; abs_slack = 0.01 };
     (* overload-shedding *)
     { metric = "goodput"; dir = Higher_better; rel_tol = 0.10; abs_slack = 0.0 };
     { metric = "ok"; dir = Higher_better; rel_tol = 0.10; abs_slack = 0.0 };

@@ -2,8 +2,8 @@
    distribution strategy.
 
      xdxq [--doc HOST/NAME=FILE]... [--strategy STRAT] [--explain]
-          [--types] [--effects] [--no-parallel] [--no-typing]
-          [--verify-plan] [--plan] [--force]
+          [--types] [--effects] [--shapes] [--no-parallel] [--no-codec]
+          [--no-typing] [--verify-plan] [--plan] [--force]
           [--fault-spec SPEC] [--fault-seed N] [--timeout S] [--retries N]
           [--txn] [--journal-dir DIR] [--trace] [--trace-out FILE]
           [--trace-format jsonl|chrome] [--metrics]
@@ -81,6 +81,15 @@ let effects_arg =
   in
   Arg.(value & flag & info [ "effects" ] ~doc)
 
+let shapes_arg =
+  let doc =
+    "Print the static wire-shape analysis — the fixed envelope layout, \
+     then per call site the inferred parameter and response shapes and \
+     whether a compiled encoder/decoder applies — plus the codec-priced \
+     cost estimate, and exit without executing."
+  in
+  Arg.(value & flag & info [ "shapes" ] ~doc)
+
 let no_parallel_arg =
   let doc =
     "Disable the effect-analysis overlap schedule: every remote call runs \
@@ -88,6 +97,14 @@ let no_parallel_arg =
      envelopes. Reproduces the pre-scheduling baseline exactly."
   in
   Arg.(value & flag & info [ "no-parallel" ] ~doc)
+
+let no_codec_arg =
+  let doc =
+    "Disable the compiled wire-shape codecs: every message is written and \
+     shredded by the generic paths. The wire is byte-identical either \
+     way; this is the ablation baseline for 'bench codec'."
+  in
+  Arg.(value & flag & info [ "no-codec" ] ~doc)
 
 let no_typing_arg =
   let doc =
@@ -315,7 +332,8 @@ let parse_doc_spec s =
           String.sub target (sl + 1) (String.length target - sl - 1),
           file ))
 
-let run docs strategy explain stats code_motion types effects no_parallel
+let run docs strategy explain stats code_motion types effects shapes
+    no_parallel no_codec
     no_typing verify_plan as_plan force fault_spec fault_seed timeout_s
     retries txn journal_dir trace trace_out trace_format metrics
     metrics_format query_log catalog_spec topo_churn show_catalog
@@ -498,6 +516,16 @@ let run docs strategy explain stats code_motion types effects no_parallel
         else Xd_core.Decompose.decompose ~code_motion ~typing strategy q
       in
       if explain then Format.printf "%a@." Xd_core.Decompose.explain plan;
+      if shapes then begin
+        let sres = Xd_shape.Shape.analyze plan.Xd_core.Decompose.query in
+        Format.printf "%a" (fun fmt () -> Xd_shape.Shape.pp_dump fmt sres) ();
+        let est =
+          Xd_core.Cost.estimate ~typing
+            ~shapes:sres.Xd_shape.Shape.descriptors net plan
+        in
+        Format.printf "%a@." Xd_core.Cost.pp_estimate est;
+        exit 0
+      end;
       (* the cost model's prediction, taken before execution (updates can
          change document sizes): feeds the explain-analyze table and the
          query log *)
@@ -724,7 +752,8 @@ let run docs strategy explain stats code_motion types effects no_parallel
       match
         Xd_core.Executor.run_plan ~timeout_s ~retries ?deadline ?retry_budget
           ~txn:(if txn then `Always else `Auto)
-          ~parallel:(not no_parallel) ~force ?trace:tracer net ~client plan
+          ~parallel:(not no_parallel) ~codec:(not no_codec) ~force
+          ?trace:tracer net ~client plan
       with
       | exception Xd_core.Executor.Plan_rejected report ->
         Format.eprintf "plan rejected by the distribution-safety verifier:@.";
@@ -842,7 +871,17 @@ let run docs strategy explain stats code_motion types effects no_parallel
               t.Xd_core.Executor.breaker_opens
               t.Xd_core.Executor.breaker_shed
               t.Xd_core.Executor.breaker_probes
-              t.Xd_core.Executor.retry_budget_stops
+              t.Xd_core.Executor.retry_budget_stops;
+          if
+            t.Xd_core.Executor.codec_compiled > 0
+            || t.Xd_core.Executor.codec_bailouts > 0
+          then
+            Printf.eprintf
+              "codec: compiled %d, decodes %d, event-shreds %d, bailouts %d\n"
+              t.Xd_core.Executor.codec_compiled
+              t.Xd_core.Executor.codec_decodes
+              t.Xd_core.Executor.codec_event_shreds
+              t.Xd_core.Executor.codec_bailouts
           end
         end;
         print_breakers ();
@@ -857,7 +896,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ docs_arg $ strategy_arg $ explain_arg $ stats_arg
-      $ code_motion_arg $ types_arg $ effects_arg $ no_parallel_arg
+      $ code_motion_arg $ types_arg $ effects_arg $ shapes_arg
+      $ no_parallel_arg $ no_codec_arg
       $ no_typing_arg $ verify_plan_arg $ plan_arg $ force_arg
       $ fault_spec_arg $ fault_seed_arg $ timeout_arg $ retries_arg
       $ txn_arg $ journal_dir_arg $ trace_arg $ trace_out_arg

@@ -16,6 +16,12 @@ type estimate = {
           concurrently and same-peer calls share one envelope, so the
           group costs its most expensive peer instead of the sum. Zero
           when the plan has no overlap groups. *)
+  codec_saved_bytes : int;
+      (** effective transfer the compiled wire-shape codecs take off the
+          processing path, at a measured per-byte discount
+          ({!codec_discount}): response bytes moving through a compiled
+          decoder, request envelopes through a compiled encoder. Zero
+          unless {!estimate} was given the plan's descriptors. *)
   per_vertex : (int * int) list;
       (** estimated wire bytes per d-graph vertex (execute-at body id),
           ascending; vertex [-1] is the client's own document fetches.
@@ -25,22 +31,35 @@ type estimate = {
 }
 
 val total : estimate -> int
-(** [fetched + responses + overhead − overlap_saved]. *)
+(** [fetched + responses + overhead − overlap_saved − codec_saved]. *)
 
 val reduction_factor : Strategy.t -> float
 val envelope_overhead : int
+
+val codec_discount : float
+(** Per-byte discount for bytes handled by a compiled codec, measured on
+    [bench codec]: the event shredder / string-builder encoder's share
+    of a byte's serialize+shred cost against the generic paths. *)
 
 val atom_bytes : int
 (** Average serialized size of one atomic item in an XRPC response. *)
 
 val estimate :
-  ?typing:bool -> Xd_xrpc.Network.t -> Decompose.plan -> estimate
+  ?typing:bool -> ?shapes:Xd_shape.Shape.descriptor list ->
+  Xd_xrpc.Network.t -> Decompose.plan -> estimate
 (** [?typing] (default [true]) sizes owner-executed responses with the
     static type and cardinality of the execute-at body
     ({!Xd_types.Infer}): a provably atomic body with a cardinality bound
     costs a fixed [atom_bytes × bound] response regardless of document
     size; unbounded atomic bodies cost a small fraction of the document.
-    Non-atomic bodies keep the per-strategy {!reduction_factor}. *)
+    Non-atomic bodies keep the per-strategy {!reduction_factor}.
+
+    [?shapes] (default absent) prices the plan's compiled codecs: call
+    sites whose wire-shape descriptor admits a compiled encoder/decoder
+    are charged {!codec_discount} less per byte they handle, reported in
+    [codec_saved_bytes]. Absent, the estimate is identical to a
+    codec-less build ({!estimate_all} / {!choose} never pass it, so
+    strategy ranking is unaffected). *)
 
 val estimate_all :
   ?code_motion:bool -> ?typing:bool -> Xd_xrpc.Network.t ->

@@ -42,6 +42,10 @@ type timing = {
   breaker_shed : int; (* calls shed locally by an open breaker *)
   breaker_probes : int; (* half-open probes let through *)
   retry_budget_stops : int; (* retries skipped on a spent budget *)
+  codec_compiled : int; (* requests emitted by a compiled encoder *)
+  codec_decodes : int; (* responses read by a compiled decoder *)
+  codec_event_shreds : int; (* subtrees shredded by the event fast path *)
+  codec_bailouts : int; (* compiled attempts that fell back to generic *)
 }
 
 let total_time t =
@@ -59,11 +63,11 @@ type run = {
 
 exception Plan_rejected of Xd_verify.Verify.report
 
-let verify_plan ?schedule ?catalog ~(client : Xd_xrpc.Peer.t)
+let verify_plan ?schedule ?shapes ?catalog ~(client : Xd_xrpc.Peer.t)
     (plan : Decompose.plan) =
   Xd_verify.Verify.verify
     ~self:(Xd_xrpc.Peer.name client)
-    ?schedule ?catalog plan.Decompose.strategy plan.Decompose.query
+    ?schedule ?shapes ?catalog plan.Decompose.strategy plan.Decompose.query
 
 (* The effect analysis's overlap schedule for a plan, as this client
    would run it: [(anchor, members)] pairs of Seq/Let/For anchor vertices
@@ -127,20 +131,35 @@ let txn_needed ~self (q : Ast.query) =
    [~force:true] — distributed execution of such a plan would silently
    diverge from the local reference semantics. *)
 let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
-    ?retry_budget ?(txn = `Auto) ?(parallel = true) ?(force = false) ?trace
-    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
-    (plan : Decompose.plan) : run =
+    ?retry_budget ?(txn = `Auto) ?(parallel = true) ?(codec = true)
+    ?(force = false) ?trace (net : Xd_xrpc.Network.t)
+    ~(client : Xd_xrpc.Peer.t) (plan : Decompose.plan) : run =
   (* the overlap schedule rides into both the verifier (which re-derives
      the footprints and vets it) and the session (which executes it) *)
   let schedule = if parallel then plan_schedule ~client plan else [] in
+  let strategy = plan.Decompose.strategy in
+  (* wire-shape analysis and codec generation — the descriptors codegen
+     consumed ride into the verifier, which re-derives each one with an
+     independent analysis run and rejects the plan on disagreement *)
+  let compiled_codec =
+    if codec then
+      let shapes = Xd_shape.Shape.analyze plan.Decompose.query in
+      Some
+        (Xd_xrpc.Codec.compile
+           ~passing:(Strategy.passing strategy)
+           ~caller:(Xd_xrpc.Peer.name client)
+           shapes plan.Decompose.query)
+    else None
+  in
   (* the verifier judges the plan against the very catalog the session
      will resolve hosts with *)
   let report =
-    verify_plan ~schedule ?catalog:net.Xd_xrpc.Network.catalog ~client plan
+    verify_plan ~schedule
+      ?shapes:(Option.map Xd_xrpc.Codec.descriptors compiled_codec)
+      ?catalog:net.Xd_xrpc.Network.catalog ~client plan
   in
   if (not force) && not (Xd_verify.Verify.ok report) then
     raise (Plan_rejected report);
-  let strategy = plan.Decompose.strategy in
   let stats = net.Xd_xrpc.Network.stats in
   (* the tracer's simulated clock is the run's accumulated wire time *)
   Option.iter
@@ -153,7 +172,7 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
     Xd_xrpc.Session.create ?record ?bulk ?timeout_s ?retries ?dedup_cap
       ~schedule ?deadline
       ?retry_budget:(Option.map ref retry_budget)
-      ?tracer:trace net client
+      ?codec:compiled_codec ?tracer:trace net client
       (Strategy.passing strategy)
   in
   let use_txn =
@@ -232,16 +251,21 @@ let run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
       breaker_shed = St.breaker_shed stats;
       breaker_probes = St.breaker_probes stats;
       retry_budget_stops = St.retry_budget_stops stats;
+      codec_compiled = St.codec_compiled stats;
+      codec_decodes = St.codec_decodes stats;
+      codec_event_shreds = St.codec_event_shreds stats;
+      codec_bailouts = St.codec_bailouts stats;
     }
   in
   { value; plan; timing; trace_root }
 
 let run ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline ?retry_budget
-    ?txn ?parallel ?code_motion ?force ?trace (net : Xd_xrpc.Network.t)
-    ~(client : Xd_xrpc.Peer.t) (strategy : Strategy.t) (q : Ast.query) : run =
+    ?txn ?parallel ?codec ?code_motion ?force ?trace
+    (net : Xd_xrpc.Network.t) ~(client : Xd_xrpc.Peer.t)
+    (strategy : Strategy.t) (q : Ast.query) : run =
   let plan = Decompose.decompose ?code_motion strategy q in
   run_plan ?record ?bulk ?timeout_s ?retries ?dedup_cap ?deadline
-    ?retry_budget ?txn ?parallel ?force ?trace net ~client plan
+    ?retry_budget ?txn ?parallel ?codec ?force ?trace net ~client plan
 
 (* Coordinator crash recovery: a fresh session for the client re-drives
    every transaction its journal shows as begun but unresolved. The

@@ -51,6 +51,14 @@ type timing = {
   breaker_probes : int;  (** half-open probe calls let through *)
   retry_budget_stops : int;
       (** retries skipped because the shared per-query pool was spent *)
+  codec_compiled : int;
+      (** requests emitted by a compiled wire-shape encoder *)
+  codec_decodes : int;
+      (** responses read by a compiled atomic-response decoder *)
+  codec_event_shreds : int;
+      (** fragment/copy subtrees shredded by the event fast path *)
+  codec_bailouts : int;
+      (** compiled-codec attempts that fell back to the generic path *)
 }
 
 val total_time : timing -> float
@@ -71,16 +79,21 @@ exception Plan_rejected of Xd_verify.Verify.report
     distributed would silently diverge from the local semantics. *)
 
 val verify_plan :
-  ?schedule:(int * int list) list -> ?catalog:Xd_topo.Catalog.t ->
+  ?schedule:(int * int list) list ->
+  ?shapes:Xd_shape.Shape.descriptor list ->
+  ?catalog:Xd_topo.Catalog.t ->
   client:Xd_xrpc.Peer.t -> Decompose.plan -> Xd_verify.Verify.report
 (** Run the static verifier on a plan as this client would see it (calls
     targeting the client's own peer name are local evaluation).
     [schedule] additionally submits an overlap schedule for vetting: the
     verifier re-derives every member's effect footprint and rejects
-    non-read-only or interfering members. [catalog] is the topology
-    catalog the plan will run against: it tightens the computed-host
-    warning into a checked judgment (see {!Xd_verify.Verify.verify}).
-    {!run_plan} passes the network's installed catalog automatically. *)
+    non-read-only or interfering members. [shapes] submits a compiled
+    codec's wire-shape descriptors: each is re-derived independently and
+    disagreement rejects the plan. [catalog] is the topology catalog the
+    plan will run against: it tightens the computed-host warning into a
+    checked judgment (see {!Xd_verify.Verify.verify}). {!run_plan}
+    passes the network's installed catalog and its codec's descriptors
+    automatically. *)
 
 val plan_schedule :
   client:Xd_xrpc.Peer.t -> Decompose.plan -> (int * int list) list
@@ -105,6 +118,7 @@ val run_plan :
   ?retry_budget:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
   ?parallel:bool ->
+  ?codec:bool ->
   ?force:bool ->
   ?trace:Xd_obs.Trace.t ->
   Xd_xrpc.Network.t ->
@@ -133,6 +147,14 @@ val run_plan :
     per peer into one batched envelope per round trip.
     [~parallel:false] reproduces the sequential baseline exactly.
 
+    [codec] (default true) runs the wire-shape analysis
+    ({!Xd_shape.Shape.analyze}) over the plan, compiles per-call-site
+    codecs from the descriptors ({!Xd_xrpc.Codec.compile}), has the
+    verifier re-derive and vet every descriptor, and installs the codecs
+    in the session. The wire stays byte-identical either way — compiled
+    paths are strict specializations with generic fallback —
+    so [~codec:false] is the ablation baseline for [bench codec].
+
     [trace] records the execution as a span tree in the given tracer
     (simulated clock pointed at the run's wire time, root span in
     [run.trace_root]); export with {!Xd_obs.Sink}. Tracing never
@@ -150,6 +172,7 @@ val run :
   ?retry_budget:int ->
   ?txn:[ `Auto | `Always | `Off ] ->
   ?parallel:bool ->
+  ?codec:bool ->
   ?code_motion:bool ->
   ?force:bool ->
   ?trace:Xd_obs.Trace.t ->

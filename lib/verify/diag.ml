@@ -18,6 +18,9 @@ type rule =
   | Schedule_interference
     (* an overlap-schedule member is not read-only, or two members'
        footprints may touch the same data *)
+  | Wire_shape
+    (* a compiled codec's wire-shape descriptor disagrees with the
+       verifier's independent re-derivation *)
 
 type severity = Error | Warning
 
@@ -42,6 +45,7 @@ let rule_name = function
   | Projection_coverage -> "projection-coverage"
   | Unknown_function -> "unknown-function"
   | Schedule_interference -> "schedule-interference"
+  | Wire_shape -> "wire-shape"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

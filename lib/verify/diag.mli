@@ -22,6 +22,9 @@ type rule =
   | Schedule_interference
       (** an overlap-schedule member is not read-only, or two members'
           effect footprints may touch the same data *)
+  | Wire_shape
+      (** a compiled codec's wire-shape descriptor disagrees with the
+          verifier's independent re-derivation of the same analysis *)
 
 type severity = Error | Warning
 

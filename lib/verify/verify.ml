@@ -97,7 +97,53 @@ let check_schedule ?self (q : Ast.query) (schedule : (int * int list) list) =
         unit_diags @ pair_diags fps)
       groups
 
-let verify ?self ?(schedule = []) ?catalog strategy (q : Ast.query) : report =
+(* Vet compiled-codec wire-shape descriptors against a re-derivation by
+   a second, independent run of the shape analysis — codegen never
+   trusts a descriptor only one derivation produced. A descriptor for a
+   call site the re-derivation does not know, or whose shapes disagree,
+   rejects the plan. (The re-derivation finding *more* call sites is
+   fine: those simply keep the generic codec.) *)
+let check_shapes (q : Ast.query) (claimed : Xd_shape.Shape.descriptor list) =
+  match claimed with
+  | [] -> []
+  | claimed ->
+    let module Sh = Xd_shape.Shape in
+    let own = Sh.analyze q in
+    List.filter_map
+      (fun (d : Sh.descriptor) ->
+        let diag fmt =
+          Diag.make ?host:d.Sh.host ~exec:d.Sh.exec ~severity:Diag.Error
+            Diag.Wire_shape d.Sh.vertex fmt
+        in
+        match Hashtbl.find_opt own.Sh.by_vertex d.Sh.vertex with
+        | None ->
+          Some
+            (diag
+               "compiled codec claims a wire-shape descriptor for v%d, but \
+                the re-derivation finds no such call site"
+               d.Sh.vertex)
+        | Some mine when not (Sh.descriptor_equal d mine) ->
+          Some
+            (diag
+               "wire-shape descriptor for v%d disagrees with the \
+                re-derivation: claimed params [%s] resp %s, derived params \
+                [%s] resp %s"
+               d.Sh.vertex
+               (String.concat "; "
+                  (List.map
+                     (fun (v, s) -> "$" ^ v ^ " : " ^ Sh.param_shape_to_string s)
+                     d.Sh.params))
+               (Sh.resp_shape_to_string d.Sh.resp)
+               (String.concat "; "
+                  (List.map
+                     (fun (v, s) -> "$" ^ v ^ " : " ^ Sh.param_shape_to_string s)
+                     mine.Sh.params))
+               (Sh.resp_shape_to_string mine.Sh.resp))
+        | Some _ -> None)
+      claimed
+
+let verify ?self ?(schedule = []) ?(shapes = []) ?catalog strategy
+    (q : Ast.query) : report =
   (* typing facts are re-derived here, from the plan as given — the
      verifier never accepts the decomposer's typing. A proven-atomic
      execute-at parameter or result crosses the wire as an exact value
@@ -120,7 +166,8 @@ let verify ?self ?(schedule = []) ?catalog strategy (q : Ast.query) : report =
     else []
   in
   let sched = check_schedule ?self q schedule in
-  { strategy; diags = Diag.dedup (main @ fns @ cov @ sched) }
+  let wire = check_shapes q shapes in
+  { strategy; diags = Diag.dedup (main @ fns @ cov @ sched @ wire) }
 
 let pp_report fmt r =
   let errs = List.length (errors r) and warns = List.length (warnings r) in

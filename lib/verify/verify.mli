@@ -13,6 +13,7 @@ type report = { strategy : Xd_xrpc.Strategy.t; diags : Diag.t list }
 
 val verify :
   ?self:string -> ?schedule:(int * int list) list ->
+  ?shapes:Xd_shape.Shape.descriptor list ->
   ?catalog:Xd_topo.Catalog.t -> Xd_xrpc.Strategy.t ->
   Xd_lang.Ast.query -> report
 (** [verify ?self ?schedule strategy q] checks [q] under [strategy].
@@ -34,7 +35,14 @@ val verify :
     run — never trusting the proposer — and reports a
     [schedule-interference] error for any member that is not provably
     read-only, lacks a derivable footprint, or may touch data another
-    member of its group accesses. *)
+    member of its group accesses.
+
+    [shapes] is the list of wire-shape descriptors a compiled codec was
+    generated from ({!Xd_xrpc.Codec.descriptors}). The verifier
+    re-derives every descriptor with its own {!Xd_shape.Shape.analyze}
+    run and reports a [wire-shape] error for any claimed descriptor the
+    re-derivation does not reproduce exactly — a plan whose codegen and
+    verification disagree on the message bytes never executes. *)
 
 val ok : report -> bool
 (** No error-severity findings (warnings don't gate execution). *)

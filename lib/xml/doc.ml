@@ -118,6 +118,11 @@ module Builder = struct
     List.iter (fun (an, av) -> b.attrs <- (idx, an, av) :: b.attrs) attrs;
     b.stack <- { p_kind = Element; p_name = name; p_idx = idx } :: b.stack
 
+  (* pre-order index of the innermost open node (the document node when
+     no element is open) — lets a streaming consumer key side tables by
+     the index an element will occupy in the finished document *)
+  let current_index b = current_parent b
+
   let end_element b =
     flush_text b;
     match b.stack with
@@ -205,6 +210,174 @@ module Builder = struct
       attr_owner;
       attr_name;
       attr_value;
+      attr_first;
+      attr_count;
+    }
+end
+
+(* Allocation-lean builder used by the XRPC event-shred fast path: the
+   pre-order arrays grow in place and the element stack of the decoding
+   state machine *is* an int array of open pre indexes — no per-node
+   list cells, no final reverse pass, no attribute sort (attributes
+   arrive grouped by owner in pre-order by construction). Given the
+   same call sequence it produces a document structurally identical to
+   {!Builder}'s (same arrays, same text coalescing) — a property the
+   differential tests pin. *)
+module Direct = struct
+  type b = {
+    d_uri : string option;
+    mutable kind : kind array;
+    mutable name : string array;
+    mutable value : string array;
+    mutable parent : int array;
+    mutable size : int array;
+    mutable count : int;
+    mutable a_owner : int array;
+    mutable a_name : string array;
+    mutable a_value : string array;
+    mutable a_count : int;
+    mutable stack : int array; (* open node pre indexes; stack.(0) = 0 *)
+    mutable depth : int;
+    tbuf : Buffer.t; (* coalesce adjacent text *)
+    mutable pending_text : bool;
+  }
+
+  let create ?uri () =
+    let b =
+      {
+        d_uri = uri;
+        kind = Array.make 64 Document;
+        name = Array.make 64 "";
+        value = Array.make 64 "";
+        parent = Array.make 64 (-1);
+        size = Array.make 64 0;
+        count = 1;
+        a_owner = Array.make 16 0;
+        a_name = Array.make 16 "";
+        a_value = Array.make 16 "";
+        a_count = 0;
+        stack = Array.make 32 0;
+        depth = 1;
+        tbuf = Buffer.create 64;
+        pending_text = false;
+      }
+    in
+    (* implicit document node at index 0; parent -1 is the initial fill *)
+    b
+
+  let grow_nodes b =
+    let cap = Array.length b.kind in
+    if b.count = cap then begin
+      let n = cap * 2 in
+      let g a fill =
+        let a' = Array.make n fill in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      b.kind <- g b.kind Document;
+      b.name <- g b.name "";
+      b.value <- g b.value "";
+      b.parent <- g b.parent (-1);
+      b.size <- g b.size 0
+    end
+
+  let push_node b kind name value =
+    grow_nodes b;
+    let idx = b.count in
+    b.kind.(idx) <- kind;
+    b.name.(idx) <- name;
+    b.value.(idx) <- value;
+    b.parent.(idx) <- b.stack.(b.depth - 1);
+    b.count <- idx + 1;
+    idx
+
+  let flush_text b =
+    if b.pending_text then begin
+      b.pending_text <- false;
+      let s = Buffer.contents b.tbuf in
+      Buffer.clear b.tbuf;
+      (* only nonempty runs are buffered, so s <> "" *)
+      ignore (push_node b Text "" s)
+    end
+
+  let start_element b name attrs =
+    flush_text b;
+    let idx = push_node b Element name "" in
+    List.iter
+      (fun (an, av) ->
+        let cap = Array.length b.a_owner in
+        if b.a_count = cap then begin
+          let n = cap * 2 in
+          let g a fill =
+            let a' = Array.make n fill in
+            Array.blit a 0 a' 0 cap;
+            a'
+          in
+          b.a_owner <- g b.a_owner 0;
+          b.a_name <- g b.a_name "";
+          b.a_value <- g b.a_value ""
+        end;
+        b.a_owner.(b.a_count) <- idx;
+        b.a_name.(b.a_count) <- an;
+        b.a_value.(b.a_count) <- av;
+        b.a_count <- b.a_count + 1)
+      attrs;
+    if b.depth = Array.length b.stack then begin
+      let s' = Array.make (b.depth * 2) 0 in
+      Array.blit b.stack 0 s' 0 b.depth;
+      b.stack <- s'
+    end;
+    b.stack.(b.depth) <- idx;
+    b.depth <- b.depth + 1
+
+  let end_element b =
+    flush_text b;
+    if b.depth <= 1 then
+      raise (Malformed "builder: end_element without matching start");
+    let idx = b.stack.(b.depth - 1) in
+    b.depth <- b.depth - 1;
+    b.size.(idx) <- b.count - idx - 1
+
+  let text b s =
+    if s <> "" then begin
+      Buffer.add_string b.tbuf s;
+      b.pending_text <- true
+    end
+
+  let comment b s =
+    flush_text b;
+    ignore (push_node b Comment "" s)
+
+  let pi b target data =
+    flush_text b;
+    ignore (push_node b Pi target data)
+
+  let finish b =
+    flush_text b;
+    if b.depth <> 1 then raise (Malformed "builder: unclosed elements at finish");
+    let n = b.count in
+    let sub a = Array.sub a 0 n in
+    let size = sub b.size in
+    size.(0) <- n - 1;
+    let na = b.a_count in
+    let attr_owner = Array.sub b.a_owner 0 na in
+    let attr_first = Array.make n (-1) in
+    let attr_count = Array.make n 0 in
+    for i = na - 1 downto 0 do
+      attr_first.(attr_owner.(i)) <- i;
+      attr_count.(attr_owner.(i)) <- attr_count.(attr_owner.(i)) + 1
+    done;
+    {
+      did = -1;
+      uri = b.d_uri;
+      kind = sub b.kind;
+      name = sub b.name;
+      value = sub b.value;
+      parent = sub b.parent;
+      size;
+      attr_owner;
+      attr_name = Array.sub b.a_name 0 na;
+      attr_value = Array.sub b.a_value 0 na;
       attr_first;
       attr_count;
     }

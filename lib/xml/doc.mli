@@ -52,9 +52,34 @@ module Builder : sig
   val comment : b -> string -> unit
   val pi : b -> string -> string -> unit
 
+  val current_index : b -> int
+  (** Pre-order index of the innermost open node (the document node when
+      no element is open). Lets a streaming consumer key side tables by
+      the index an element will occupy in the finished document. *)
+
   val finish : b -> t
   (** Freeze into a document. The result has [did = -1] until registered
       with {!Store.add}. @raise Malformed on unbalanced elements. *)
+end
+
+(** Allocation-lean array builder used by the XRPC event-shred fast
+    path: pre-order arrays grown in place, the element stack is an int
+    array of open pre indexes, attributes need no sort because they
+    arrive grouped by owner in pre-order. Same call sequence, same
+    coalescing rules, structurally identical result to {!Builder}. *)
+module Direct : sig
+  type b
+
+  val create : ?uri:string -> unit -> b
+  val start_element : b -> string -> (string * string) list -> unit
+  val end_element : b -> unit
+  val text : b -> string -> unit
+  val comment : b -> string -> unit
+  val pi : b -> string -> string -> unit
+
+  val finish : b -> t
+  (** Freeze into a document ([did = -1]).
+      @raise Malformed on unbalanced elements. *)
 end
 
 (** Declarative tree description, convenient in tests and generators. *)

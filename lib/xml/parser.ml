@@ -1,296 +1,24 @@
-(* A small, dependency-free XML parser sufficient for the XRPC message
-   formats and the benchmark documents: elements, attributes, character
-   data, CDATA, comments, processing instructions, the five predefined
-   entities and numeric character references. DOCTYPE declarations are
-   skipped. Namespace prefixes are kept as part of the name. *)
+(* The tree-building XML parser: a thin shell over the {!Event} core
+   that streams events into a {!Doc.Builder}. The grammar — elements,
+   attributes, character data, CDATA, comments, processing
+   instructions, entities, numeric character references — lives
+   entirely in {!Event}, so this parser and the XRPC codec's event
+   shred fast path agree byte-for-byte on what they accept. *)
 
-exception Error of string * int (* message, byte offset *)
+exception Error = Event.Error
 
-type state = {
-  src : string;
-  mutable pos : int;
-  strip_ws : bool;
-  b : Doc.Builder.b;
-}
-
-let fail st msg = raise (Error (msg, st.pos))
-let eof st = st.pos >= String.length st.src
-
-let peek st = if eof st then '\000' else st.src.[st.pos]
-
-let peek2 st =
-  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
-
-let advance st = st.pos <- st.pos + 1
-
-let expect st c =
-  if peek st = c then advance st
-  else fail st (Printf.sprintf "expected %C, found %C" c (peek st))
-
-let expect_str st s =
-  let n = String.length s in
-  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = s then
-    st.pos <- st.pos + n
-  else fail st (Printf.sprintf "expected %S" s)
-
-let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-
-let skip_ws st =
-  while (not (eof st)) && is_ws (peek st) do
-    advance st
-  done
-
-let is_name_start c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
-  || Char.code c >= 128
-
-let is_name_char c =
-  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
-
-let parse_name st =
-  let start = st.pos in
-  if not (is_name_start (peek st)) then fail st "expected name";
-  while (not (eof st)) && is_name_char (peek st) do
-    advance st
-  done;
-  String.sub st.src start (st.pos - start)
-
-let parse_reference st buf =
-  (* at '&' *)
-  advance st;
-  let start = st.pos in
-  while (not (eof st)) && peek st <> ';' do
-    advance st
-  done;
-  if eof st then fail st "unterminated entity reference";
-  let ent = String.sub st.src start (st.pos - start) in
-  advance st;
-  match ent with
-  | "lt" -> Buffer.add_char buf '<'
-  | "gt" -> Buffer.add_char buf '>'
-  | "amp" -> Buffer.add_char buf '&'
-  | "apos" -> Buffer.add_char buf '\''
-  | "quot" -> Buffer.add_char buf '"'
-  | _ ->
-    if String.length ent > 1 && ent.[0] = '#' then begin
-      let code =
-        try
-          if ent.[1] = 'x' || ent.[1] = 'X' then
-            int_of_string ("0x" ^ String.sub ent 2 (String.length ent - 2))
-          else int_of_string (String.sub ent 1 (String.length ent - 1))
-        with _ -> fail st ("bad character reference &" ^ ent ^ ";")
-      in
-      (* encode as UTF-8 *)
-      if code < 0x80 then Buffer.add_char buf (Char.chr code)
-      else if code < 0x800 then begin
-        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-      end
-      else if code < 0x10000 then begin
-        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-      end
-      else begin
-        Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-      end
-    end
-    else fail st ("unknown entity &" ^ ent ^ ";")
-
-let parse_attr_value st =
-  let quote = peek st in
-  if quote <> '"' && quote <> '\'' then fail st "expected attribute value";
-  advance st;
-  let buf = Buffer.create 16 in
-  let rec loop () =
-    if eof st then fail st "unterminated attribute value"
-    else if peek st = quote then advance st
-    else if peek st = '&' then begin
-      parse_reference st buf;
-      loop ()
-    end
-    else begin
-      Buffer.add_char buf (peek st);
-      advance st;
-      loop ()
-    end
-  in
-  loop ();
-  Buffer.contents buf
-
-let parse_attrs st =
-  let rec loop acc =
-    skip_ws st;
-    if peek st = '>' || peek st = '/' || peek st = '?' then List.rev acc
-    else begin
-      let name = parse_name st in
-      skip_ws st;
-      expect st '=';
-      skip_ws st;
-      let v = parse_attr_value st in
-      loop ((name, v) :: acc)
-    end
-  in
-  loop []
-
-let skip_until st stop =
-  let n = String.length stop in
-  let rec loop () =
-    if st.pos + n > String.length st.src then fail st ("expected " ^ stop)
-    else if String.sub st.src st.pos n = stop then st.pos <- st.pos + n
-    else begin
-      advance st;
-      loop ()
-    end
-  in
-  loop ()
-
-let read_until st stop =
-  let start = st.pos in
-  skip_until st stop;
-  String.sub st.src start (st.pos - start - String.length stop)
-
-let skip_doctype st =
-  (* at "<!DOCTYPE"; skip balancing '<'/'>' to handle internal subsets *)
-  let depth = ref 0 in
-  let continue = ref true in
-  while !continue do
-    if eof st then fail st "unterminated DOCTYPE"
-    else begin
-      (match peek st with
-      | '<' -> incr depth
-      | '>' -> if !depth = 0 then continue := false else decr depth
-      | '[' -> incr depth
-      | ']' -> decr depth
-      | _ -> ());
-      advance st
-    end
-  done
-
-let all_ws s =
-  let ok = ref true in
-  String.iter (fun c -> if not (is_ws c) then ok := false) s;
-  !ok
-
-let rec parse_content st =
-  if eof st then ()
-  else if peek st = '<' then begin
-    match peek2 st with
-    | '/' -> () (* end tag: caller handles *)
-    | '!' ->
-      if
-        st.pos + 3 < String.length st.src
-        && String.sub st.src st.pos 4 = "<!--"
-      then begin
-        st.pos <- st.pos + 4;
-        let c = read_until st "-->" in
-        Doc.Builder.comment st.b c;
-        parse_content st
-      end
-      else if
-        st.pos + 8 < String.length st.src
-        && String.sub st.src st.pos 9 = "<![CDATA["
-      then begin
-        st.pos <- st.pos + 9;
-        let c = read_until st "]]>" in
-        Doc.Builder.text st.b c;
-        parse_content st
-      end
-      else fail st "unexpected markup declaration in content"
-    | '?' ->
-      st.pos <- st.pos + 2;
-      let target = parse_name st in
-      skip_ws st;
-      let data = read_until st "?>" in
-      Doc.Builder.pi st.b target data;
-      parse_content st
-    | _ ->
-      parse_element st;
-      parse_content st
-  end
-  else begin
-    let buf = Buffer.create 32 in
-    let rec text_loop () =
-      if eof st || peek st = '<' then ()
-      else if peek st = '&' then begin
-        parse_reference st buf;
-        text_loop ()
-      end
-      else begin
-        Buffer.add_char buf (peek st);
-        advance st;
-        text_loop ()
-      end
-    in
-    text_loop ();
-    let s = Buffer.contents buf in
-    if not (st.strip_ws && all_ws s) then Doc.Builder.text st.b s;
-    parse_content st
-  end
-
-and parse_element st =
-  expect st '<';
-  let name = parse_name st in
-  let attrs = parse_attrs st in
-  Doc.Builder.start_element st.b name attrs;
-  if peek st = '/' then begin
-    advance st;
-    expect st '>';
-    Doc.Builder.end_element st.b
-  end
-  else begin
-    expect st '>';
-    parse_content st;
-    expect_str st "</";
-    let close = parse_name st in
-    if close <> name then
-      fail st (Printf.sprintf "mismatched end tag </%s> for <%s>" close name);
-    skip_ws st;
-    expect st '>';
-    Doc.Builder.end_element st.b
-  end
-
-let parse_prolog st =
-  let rec loop () =
-    skip_ws st;
-    if (not (eof st)) && peek st = '<' then
-      match peek2 st with
-      | '?' ->
-        st.pos <- st.pos + 2;
-        let _target = parse_name st in
-        skip_until st "?>";
-        loop ()
-      | '!' ->
-        if
-          st.pos + 3 < String.length st.src
-          && String.sub st.src st.pos 4 = "<!--"
-        then begin
-          st.pos <- st.pos + 4;
-          skip_until st "-->";
-          loop ()
-        end
-        else begin
-          expect_str st "<!";
-          let _ = parse_name st in
-          skip_doctype st;
-          loop ()
-        end
-      | _ -> ()
-  in
-  loop ()
-
-let parse_doc ?(strip_ws = true) ?uri src =
-  let st = { src; pos = 0; strip_ws; b = Doc.Builder.create ?uri () } in
-  parse_prolog st;
-  if eof st then fail st "no root element";
-  (* allow a forest at top level (used when shredding message fragments) *)
-  parse_content st;
-  skip_ws st;
-  if not (eof st) then fail st "trailing content after document";
-  Doc.Builder.finish st.b
+let parse_doc ?strip_ws ?uri src =
+  let b = Doc.Builder.create ?uri () in
+  Event.parse ?strip_ws
+    {
+      Event.start_element = (fun name attrs -> Doc.Builder.start_element b name attrs);
+      end_element = (fun _ -> Doc.Builder.end_element b);
+      text = (fun s -> Doc.Builder.text b s);
+      comment = (fun s -> Doc.Builder.comment b s);
+      pi = (fun target data -> Doc.Builder.pi b target data);
+    }
+    src;
+  Doc.Builder.finish b
 
 let parse ?strip_ws ~store ?uri src =
   Store.add store (parse_doc ?strip_ws ?uri src)

@@ -1,0 +1,441 @@
+(* Compiled per-call-site message codecs, generated from the wire-shape
+   descriptors of Xd_shape.Shape (à la XML::Compile's compileMessage).
+
+   Three specializations, all installed in Session *behind* the generic
+   path and all falling back to it — so compiled and generic wires are
+   byte-identical by construction, and any runtime shape the analysis
+   did not predict simply costs one `codec.bailouts` tick:
+
+   - a request encoder for call sites whose parameters are all provably
+     atomic: the message is a handful of precomputed constant segments
+     (envelope, attribute block, escaped query text, projection paths,
+     the constant <fragments></fragments>) around the dynamic atom
+     values and per-call envelope attributes (request-id, txn, epoch,
+     deadline — emitted with the same fixed-width formatting as the
+     generic writer);
+
+   - a response decoder for call sites whose response is provably
+     atomic: an exact prefix/suffix match around a flat scan of
+     <atomic> items. It accepts a strict subset of what the generic
+     parser accepts and agrees with it on every accepted byte string —
+     faults, forwards, txn attributes, trace headers and corruption all
+     miss the prefix and fall back;
+
+   - an event shredder for everything else: the message is parsed once
+     with the streaming Event core, and fragment/copy subtree content
+     is diverted straight into Doc.Direct pre-order/size arrays as the
+     events arrive — the decoder state machine *is* the element stack —
+     leaving the protocol skeleton (with empty fragment/copy elements)
+     as the message document plus a side table of prebuilt content
+     documents keyed by the host element's pre-order index. *)
+
+module X = Xd_xml
+module Value = Xd_lang.Value
+module Ast = Xd_lang.Ast
+module Shape = Xd_shape.Shape
+
+(* ---------------- envelope constants ---------------------------------- *)
+
+let env_open, env_close =
+  let s = Message.envelope "\x00" in
+  match String.index_opt s '\x00' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> invalid_arg "Codec: envelope probe"
+
+(* ---------------- compiled request encoders --------------------------- *)
+
+type compiled_call = {
+  cc_vertex : int;
+  cc_caller : string;
+      (** the session the encoder was compiled for — insurance against a
+          vertex-id collision handing one session another's codec *)
+  cc_head : string;  (** [<request passing=".." caller=".."] *)
+  cc_attrs_tail : string;  (** constant trailing attributes + [>] *)
+  cc_body : string;
+      (** [<query>..</query>] + optional projection paths + the constant
+          [<fragments></fragments>] + [<call>] *)
+  cc_params : (Ast.var * string) list;
+      (** per parameter: name and its [<sequence param="..">] opening *)
+}
+
+type compiled_resp = {
+  rd_vertex : int;
+  rd_prefix : string;  (** envelope + response head through [<sequence>] *)
+  rd_suffix : string;
+}
+
+type t = {
+  caller : string;
+  calls : (int, compiled_call) Hashtbl.t;
+  resps : (int, compiled_resp) Hashtbl.t;
+  shapes : Shape.result;  (** the descriptors codegen consumed *)
+}
+
+let descriptors c = c.shapes.Shape.descriptors
+let find_call c vertex = Hashtbl.find_opt c.calls vertex
+let find_resp c vertex = Hashtbl.find_opt c.resps vertex
+
+(* The constant attribute tail of every <request>, shared across sites. *)
+let attrs_tail =
+  let buf = Buffer.create 96 in
+  Message.buf_attr buf "static-base-uri" "xdx://static/";
+  Message.buf_attr buf "default-collation" "codepoint";
+  Message.buf_attr buf "current-dateTime" "2009-03-29T00:00:00Z";
+  Buffer.add_char buf '>';
+  Buffer.contents buf
+
+let compile_call ~passing ~caller (x : Ast.execute_at) (d : Shape.descriptor) =
+  let head = Buffer.create 64 in
+  Buffer.add_string head "<request";
+  Message.buf_attr head "passing" (Message.passing_to_string passing);
+  Message.buf_attr head "caller" caller;
+  let body = Buffer.create 256 in
+  Buffer.add_string body "<query>";
+  Message.buf_text body (Xd_lang.Pp.expr_to_string x.Ast.body);
+  Buffer.add_string body "</query>";
+  (if passing = Message.By_projection && x.Ast.result_paths <> ([], []) then begin
+     let u, r = x.Ast.result_paths in
+     Buffer.add_string body "<projection-paths>";
+     List.iter
+       (fun p ->
+         Buffer.add_string body "<used-path>";
+         Message.buf_text body p;
+         Buffer.add_string body "</used-path>")
+       u;
+     List.iter
+       (fun p ->
+         Buffer.add_string body "<returned-path>";
+         Message.buf_text body p;
+         Buffer.add_string body "</returned-path>")
+       r;
+     Buffer.add_string body "</projection-paths>"
+   end);
+  (* all parameters atomic: no node ever reaches the fragment planner,
+     so the fragments section is this constant under every passing *)
+  Buffer.add_string body "<fragments></fragments>";
+  Buffer.add_string body "<call>";
+  let params =
+    List.map
+      (fun (v, _) ->
+        let b = Buffer.create 24 in
+        Buffer.add_string b "<sequence";
+        Message.buf_attr b "param" v;
+        Buffer.add_char b '>';
+        (v, Buffer.contents b))
+      x.Ast.params
+  in
+  {
+    cc_vertex = d.Shape.vertex;
+    cc_caller = caller;
+    cc_head = Buffer.contents head;
+    cc_attrs_tail = attrs_tail;
+    cc_body = Buffer.contents body;
+    cc_params = params;
+  }
+
+let compile_resp ~passing (x : Ast.execute_at) (d : Shape.descriptor) =
+  (* a by-projection request without projection paths is answered with
+     by-fragment semantics, and the response says so (see Session's
+     server side) — result_paths is static, so the demotion is too *)
+  let resp_passing =
+    match passing with
+    | Message.By_projection when x.Ast.result_paths = ([], []) ->
+      Message.By_fragment
+    | p -> p
+  in
+  let b = Buffer.create 96 in
+  Buffer.add_string b env_open;
+  Buffer.add_string b "<response";
+  Message.buf_attr b "passing" (Message.passing_to_string resp_passing);
+  Buffer.add_string b "><fragments></fragments><sequence>";
+  {
+    rd_vertex = d.Shape.vertex;
+    rd_prefix = Buffer.contents b;
+    rd_suffix = "</sequence></response>" ^ env_close;
+  }
+
+let compile ~passing ~caller (shapes : Shape.result) (q : Ast.query) : t =
+  (* pair each descriptor with its execute-at AST node (by exec id) *)
+  let execs = Hashtbl.create 16 in
+  let rec walk (e : Ast.expr) =
+    (match e.Ast.desc with
+    | Ast.Execute_at x -> Hashtbl.replace execs e.Ast.id x
+    | _ -> ());
+    List.iter walk (Ast.children e)
+  in
+  walk q.Ast.body;
+  List.iter (fun f -> walk f.Ast.f_body) q.Ast.funcs;
+  let calls = Hashtbl.create 8 and resps = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Shape.descriptor) ->
+      match Hashtbl.find_opt execs d.Shape.exec with
+      | None -> ()
+      | Some x ->
+        if Shape.encoder_applicable d then
+          Hashtbl.replace calls d.Shape.vertex (compile_call ~passing ~caller x d);
+        if Shape.decoder_applicable d then
+          Hashtbl.replace resps d.Shape.vertex (compile_resp ~passing x d))
+    shapes.Shape.descriptors;
+  { caller; calls; resps; shapes }
+
+(* Atom runs per parameter, or None on any shape mismatch (node item,
+   parameter list drift) — the caller then takes the generic path. *)
+let rec atom_args (args : (Ast.var * Value.t) list) params =
+  match (args, params) with
+  | [], [] -> Some []
+  | (v, value) :: ar, (pv, popen) :: pr when String.equal v pv -> (
+    let rec atoms = function
+      | [] -> Some []
+      | Value.A a :: tl -> Option.map (fun r -> a :: r) (atoms tl)
+      | Value.N _ :: _ -> None
+    in
+    match (atoms value, atom_args ar pr) with
+    | Some aa, Some rest -> Some ((popen, aa) :: rest)
+    | _ -> None)
+  | _ -> None
+
+let encode_request cc ~caller ?req_id ?txn ?epoch ?deadline args =
+  if not (String.equal caller cc.cc_caller) then None
+  else
+  match atom_args args cc.cc_params with
+  | None -> None
+  | Some groups ->
+    let buf = Buffer.create (512 + String.length cc.cc_body) in
+    Buffer.add_string buf env_open;
+    Buffer.add_string buf cc.cc_head;
+    (match req_id with
+    | Some id -> Message.buf_attr buf "request-id" id
+    | None -> ());
+    (match txn with Some t -> Message.buf_attr buf "txn" t | None -> ());
+    (match epoch with
+    | Some e -> Message.buf_attr buf "epoch" (string_of_int e)
+    | None -> ());
+    (match deadline with
+    | Some d -> Message.buf_deadline buf d
+    | None -> ());
+    Buffer.add_string buf cc.cc_attrs_tail;
+    Buffer.add_string buf cc.cc_body;
+    List.iter
+      (fun (popen, atoms) ->
+        Buffer.add_string buf popen;
+        List.iter (Message.write_atom buf) atoms;
+        Buffer.add_string buf "</sequence>")
+      groups;
+    Buffer.add_string buf "</call></request>";
+    Buffer.add_string buf env_close;
+    Some (Buffer.contents buf)
+
+(* ---------------- compiled response decoder --------------------------- *)
+
+let sub_eq s at pat =
+  let n = String.length pat in
+  let rec go i = i = n || (s.[at + i] = pat.[i] && go (i + 1)) in
+  go 0
+
+(* Decode escaped character data in s.[p, stop): only the five
+   predefined entities; anything else (numeric refs, stray '&') bails to
+   the generic parser, which agrees on all five. The '&' search is
+   bounded by [stop] — [String.index_from_opt] would scan to the end of
+   the whole message on every entity-free atom, turning the flat decode
+   quadratic. *)
+let find_amp s p stop =
+  let rec go i =
+    if i >= stop then None else if s.[i] = '&' then Some i else go (i + 1)
+  in
+  go p
+
+(* Called only when an '&' is known to sit in [p, stop) — the entity-free
+   fast path is a plain [String.sub] at the caller. *)
+let decode_text s p stop =
+  let buf = Buffer.create (stop - p) in
+  let rec go p =
+    if p >= stop then Some (Buffer.contents buf)
+    else
+      match find_amp s p stop with
+      | Some a -> (
+        Buffer.add_substring buf s p (a - p);
+        match String.index_from_opt s a ';' with
+        | Some e when e < stop ->
+          let ent = String.sub s (a + 1) (e - a - 1) in
+          let decoded =
+            match ent with
+            | "lt" -> Some '<'
+            | "gt" -> Some '>'
+            | "amp" -> Some '&'
+            | "apos" -> Some '\''
+            | "quot" -> Some '"'
+            | _ -> None
+          in
+          (match decoded with
+          | Some c ->
+            Buffer.add_char buf c;
+            go (e + 1)
+          | None -> None)
+        | _ -> None)
+      | None ->
+        Buffer.add_substring buf s p (stop - p);
+        go stop
+  in
+  go p
+
+let atomic_open = "<atomic type=\""
+let atomic_open_len = String.length atomic_open
+let atomic_close = "</atomic>"
+let atomic_close_len = String.length atomic_close
+
+(* Scan the flat <atomic> items in text.[p, stop).
+
+   [amp] is the position of the next '&' at or beyond [p], or -1 when
+   there is none before the end of the message — maintained with one
+   memchr ([String.index_from_opt]) per consumed '&' rather than a
+   per-item bounded scan, so an entity-free response (the common case)
+   checks each value against it in O(1) and decodes with a single
+   [String.sub]. *)
+let rec decode_items text p stop ~amp acc =
+  if p = stop then Some (List.rev acc)
+  else if p + atomic_open_len <= stop && sub_eq text p atomic_open then begin
+    let tstart = p + atomic_open_len in
+    match String.index_from_opt text tstart '"' with
+    | Some tq when tq + 1 < stop && text.[tq + 1] = '>' -> (
+      (* the type name is dispatched in place — no substring allocation
+         per item on this innermost loop *)
+      let tylen = tq - tstart in
+      let ty_is pat =
+        String.length pat = tylen && sub_eq text tstart pat
+      in
+      let vstart = tq + 2 in
+      match String.index_from_opt text vstart '<' with
+      | Some vend when vend + atomic_close_len <= stop
+                       && sub_eq text vend atomic_close -> (
+        (* '&' can only sit in character data: one strictly before
+           [vend] is inside this value (the constant markup between
+           values never contains one — [sub_eq] would have failed). *)
+        let decoded =
+          if amp >= 0 && amp < vend then decode_text text vstart vend
+          else Some (String.sub text vstart (vend - vstart))
+        in
+        match decoded with
+        | None -> None
+        | Some s ->
+          let atom =
+            if ty_is "string" then Some (Value.String s)
+            else if ty_is "integer" then
+              Option.map (fun i -> Value.Integer i) (int_of_string_opt s)
+            else if ty_is "double" then
+              Option.map (fun f -> Value.Double f) (float_of_string_opt s)
+            else if ty_is "boolean" then
+              Some (Value.Boolean (String.equal s "true"))
+            else Some (Value.Untyped s)
+          in
+          (match atom with
+          | Some a ->
+            let next = vend + atomic_close_len in
+            let amp =
+              if amp >= 0 && amp < next then
+                match String.index_from_opt text next '&' with
+                | Some a -> a
+                | None -> -1
+              else amp
+            in
+            decode_items text next stop ~amp (Value.A a :: acc)
+          | None -> None))
+      | _ -> None)
+    | _ -> None
+  end
+  else None
+
+let decode_response rd text : Value.t option =
+  let n = String.length text in
+  let plen = String.length rd.rd_prefix and slen = String.length rd.rd_suffix in
+  if n < plen + slen then None
+  else if not (sub_eq text 0 rd.rd_prefix) then None
+  else if not (sub_eq text (n - slen) rd.rd_suffix) then None
+  else
+    let amp =
+      match String.index_from_opt text plen '&' with Some a -> a | None -> -1
+    in
+    decode_items text plen (n - slen) ~amp []
+
+(* ---------------- event shred fast path ------------------------------- *)
+
+(* Is this element protocol-positioned subtree content we can divert?
+   Only exact protocol positions route — a user element that happens to
+   be named "fragment" or "copy" sits inside an already-routed subtree
+   (fragment content, copy content) and never reaches this check. *)
+let routable name parent attrs =
+  match (name, parent) with
+  | "fragment", "fragments" -> true
+  | "copy", "sequence" -> (
+    match List.assoc_opt "kind" attrs with
+    | Some ("element" | "document") -> true
+    | _ -> false)
+  | _ -> false
+
+type route = {
+  rb : X.Doc.Direct.b;
+  mutable rdepth : int;  (** open elements inside the routed subtree *)
+  ridx : int;  (** the host element's pre index in the message doc *)
+}
+
+let event_parse text : X.Doc.t * (int, X.Doc.t) Hashtbl.t =
+  let mb = X.Doc.Builder.create () in
+  let prebuilt = Hashtbl.create 8 in
+  let route = ref None in
+  let stack = ref [] in
+  let handler =
+    {
+      X.Event.start_element =
+        (fun name attrs ->
+          match !route with
+          | Some r ->
+            r.rdepth <- r.rdepth + 1;
+            X.Doc.Direct.start_element r.rb name attrs
+          | None ->
+            X.Doc.Builder.start_element mb name attrs;
+            let parent = match !stack with p :: _ -> p | [] -> "" in
+            if routable name parent attrs then
+              route :=
+                Some
+                  {
+                    rb =
+                      X.Doc.Direct.create ?uri:(List.assoc_opt "base-uri" attrs)
+                        ();
+                    rdepth = 0;
+                    ridx = X.Doc.Builder.current_index mb;
+                  }
+            else stack := name :: !stack);
+      end_element =
+        (fun _name ->
+          match !route with
+          | Some r ->
+            if r.rdepth = 0 then begin
+              Hashtbl.replace prebuilt r.ridx (X.Doc.Direct.finish r.rb);
+              route := None;
+              X.Doc.Builder.end_element mb
+            end
+            else begin
+              r.rdepth <- r.rdepth - 1;
+              X.Doc.Direct.end_element r.rb
+            end
+          | None ->
+            (match !stack with _ :: tl -> stack := tl | [] -> ());
+            X.Doc.Builder.end_element mb);
+      text =
+        (fun s ->
+          match !route with
+          | Some r -> X.Doc.Direct.text r.rb s
+          | None -> X.Doc.Builder.text mb s);
+      comment =
+        (fun s ->
+          match !route with
+          | Some r -> X.Doc.Direct.comment r.rb s
+          | None -> X.Doc.Builder.comment mb s);
+      pi =
+        (fun target data ->
+          match !route with
+          | Some r -> X.Doc.Direct.pi r.rb target data
+          | None -> X.Doc.Builder.pi mb target data);
+    }
+  in
+  X.Event.parse ~strip_ws:false handler text;
+  (X.Doc.Builder.finish mb, prebuilt)

@@ -931,9 +931,19 @@ let copy_children_to_doc ?uri n =
   List.iter go (X.Node.children n);
   X.Doc.Builder.finish b
 
+(* The event shred fast path (Codec.event_parse) diverts fragment and
+   copy subtrees into side documents while the message itself is being
+   parsed, keyed by the pre-order index the host element occupies in
+   the message document. A shredder handed such a table uses the
+   prebuilt document instead of re-copying children node by node. *)
+let prebuilt_doc prebuilt n =
+  match prebuilt with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl (X.Node.index n)
+
 (* Shred the <fragments> section at an endpoint, registering provenance and
    origin entries. *)
-let shred_fragments ep ~from_host fragments_node =
+let shred_fragments ?prebuilt ep ~from_host fragments_node =
   match fragments_node with
   | None -> ()
   | Some fnode ->
@@ -946,7 +956,11 @@ let shred_fragments ep ~from_host fragments_node =
           | _ -> protocol_error "malformed okey %S" okey
         in
         let uri = attr_of frag "base-uri" in
-        let doc = copy_children_to_doc ?uri frag in
+        let doc =
+          match prebuilt_doc prebuilt frag with
+          | Some d -> d
+          | None -> copy_children_to_doc ?uri frag
+        in
         let n_local = X.Doc.n_nodes doc in
         let omap =
           match attr_of frag "omap" with
@@ -985,7 +999,7 @@ let shred_fragments ep ~from_host fragments_node =
       (children_named fnode "fragment")
 
 (* Resolve one marshaled item at the receiver. *)
-let shred_item ep ~from_host item : Value.t =
+let shred_item ?prebuilt ep ~from_host item : Value.t =
   match X.Node.name item with
   | "atomic" ->
     let ty = req_attr item "type" in
@@ -1002,14 +1016,17 @@ let shred_item ep ~from_host item : Value.t =
   | "copy" -> (
     let store = Peer.store ep.self in
     let uri = attr_of item "base-uri" in
+    let content_doc () =
+      match prebuilt_doc prebuilt item with
+      | Some d -> d
+      | None -> copy_children_to_doc ?uri item
+    in
     match req_attr item "kind" with
     | "element" ->
-      let doc = copy_children_to_doc ?uri item in
-      let doc = X.Store.add ~index_uri:false store doc in
+      let doc = X.Store.add ~index_uri:false store (content_doc ()) in
       [ Value.N (X.Node.of_tree doc 1) ]
     | "document" ->
-      let doc = copy_children_to_doc ?uri item in
-      let doc = X.Store.add ~index_uri:false store doc in
+      let doc = X.Store.add ~index_uri:false store (content_doc ()) in
       [ Value.N (X.Node.doc_node doc) ]
     | "text" ->
       let s = X.Node.string_value item in
@@ -1065,10 +1082,10 @@ let shred_item ep ~from_host item : Value.t =
   | other ->
     protocol_error "unexpected item element <%s> in message" other
 
-let shred_sequence ep ~from_host seq_node : Value.t =
+let shred_sequence ?prebuilt ep ~from_host seq_node : Value.t =
   List.concat_map
     (fun c ->
       match X.Node.kind c with
-      | X.Node.Element -> shred_item ep ~from_host c
+      | X.Node.Element -> shred_item ?prebuilt ep ~from_host c
       | _ -> [])
     (X.Node.children seq_node)

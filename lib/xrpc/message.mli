@@ -290,10 +290,18 @@ val req_attr : Xd_xml.Node.t -> string -> string
 val copy_children_to_doc : ?uri:string -> Xd_xml.Node.t -> Xd_xml.Doc.t
 
 val shred_fragments :
+  ?prebuilt:(int, Xd_xml.Doc.t) Hashtbl.t ->
   endpoint -> from_host:string -> Xd_xml.Node.t option -> unit
 (** Parse a [<fragments>] section into fresh documents with origin-derived
-    ids, registering provenance and origin entries. *)
+    ids, registering provenance and origin entries. [prebuilt] (from
+    [Codec.event_parse]) maps a fragment/copy element's pre-order index
+    in the message document to its content, already shredded during the
+    parse — when present it replaces the node-by-node child copy. *)
 
-val shred_item : endpoint -> from_host:string -> Xd_xml.Node.t -> Xd_lang.Value.t
+val shred_item :
+  ?prebuilt:(int, Xd_xml.Doc.t) Hashtbl.t ->
+  endpoint -> from_host:string -> Xd_xml.Node.t -> Xd_lang.Value.t
+
 val shred_sequence :
+  ?prebuilt:(int, Xd_xml.Doc.t) Hashtbl.t ->
   endpoint -> from_host:string -> Xd_xml.Node.t -> Xd_lang.Value.t

@@ -75,6 +75,11 @@ type t = {
   mutable retry_after_hint : float option;
       (* the retry-after suggestion parsed off the most recent fault
          response; consumed (and cleared) by the next backoff charge *)
+  codec : Codec.t option;
+      (* compiled per-call-site codecs from the wire-shape analysis;
+         shared with every server session of the plan (the same handle
+         serves both directions of an exchange). None = generic paths
+         only, wire and registry byte-identical to a codec-less build *)
   tracer : Trace.t option; (* shared across every session of one run *)
   mutable cur : Trace.span option;
       (* the ambient span new spans parent under: the executor's root on
@@ -83,7 +88,7 @@ type t = {
 
 let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
     ?(retries = 2) ?(dedup_cap = 256) ?(schedule = []) ?deadline ?retry_budget
-    ?tracer net self passing =
+    ?codec ?tracer net self passing =
   let sched = Hashtbl.create (max 1 (List.length schedule)) in
   List.iter
     (fun (anchor, members) ->
@@ -116,6 +121,7 @@ let create ?record ?(bulk = true) ?schema ?(depth = 0) ?(timeout_s = 1.0)
     deadline_at = None;
     retry_budget;
     retry_after_hint = None;
+    codec;
     tracer;
     cur = None;
   }
@@ -340,6 +346,22 @@ let remember_reply session id resp =
     end
   end
 
+(* Parse one incoming message. With a codec installed, the streaming
+   event parser shreds fragment/copy subtree content straight into
+   pre-order stores *during* the parse — no intermediate message-tree
+   copy — and hands the prebuilt documents to the shredders via the
+   side table. Without one (ablation, or a codec-less build), the
+   classic tree parse; either way the message document itself parses
+   identically. *)
+let parse_message session text =
+  match session.codec with
+  | None -> (X.Parser.parse_doc ~strip_ws:false text, None)
+  | Some _ ->
+    let mdoc, prebuilt = Codec.event_parse text in
+    let n = Hashtbl.length prebuilt in
+    if n > 0 then Stats.add_codec_event_shreds session.net.Network.stats n;
+    (mdoc, Some prebuilt)
+
 (* The server-side session object for calls from [session] to [host]:
    holds the server peer's endpoint (shredded parameters) and supports
    nested outgoing calls from that server. *)
@@ -354,8 +376,8 @@ let rec server_session session host =
       create ?record:session.record ~bulk:session.bulk ?schema:session.schema
         ~depth:(session.depth + 1) ~timeout_s:session.timeout_s
         ~retries:session.retries ~dedup_cap:session.dedup_cap
-        ?retry_budget:session.retry_budget ?tracer:session.tracer session.net
-        peer session.passing
+        ?retry_budget:session.retry_budget ?codec:session.codec
+        ?tracer:session.tracer session.net peer session.passing
     in
     Hashtbl.replace session.remote_sessions host s;
     s
@@ -558,6 +580,42 @@ and build_request session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs =
   Message.envelope
     (request_body session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs)
 
+(* The compiled encoder for one call, when the wire-shape analysis
+   produced one for this call site and nothing about the call needs the
+   generic writer. Module shipping mutates per-host state inside the
+   generic writer, so any call that still has to ship functions goes
+   generic (not a bailout — the shape analysis never claimed to cover
+   it). [None] from the encoder itself is a runtime shape mismatch and
+   counts as one. The two writers are byte-identical by construction;
+   the QCheck differential harness holds them to it. *)
+and compiled_request session ~host ?req_id ?txn ?epoch (x : Ast.execute_at)
+    ~args ~funcs =
+  match session.codec with
+  | None -> None
+  | Some c ->
+    if funcs <> [] && not (Hashtbl.mem session.funcs_shipped host) then None
+    else (
+      match Codec.find_call c x.Ast.body.Ast.id with
+      | None -> None
+      | Some cc -> (
+        let stats = session.net.Network.stats in
+        let deadline =
+          Option.map
+            (fun d -> d -. Stats.network_s stats)
+            (deadline_now session)
+        in
+        match
+          Codec.encode_request cc
+            ~caller:(Peer.name session.self)
+            ?req_id ?txn ?epoch ?deadline args
+        with
+        | Some text ->
+          Stats.incr_codec_compiled stats;
+          Some text
+        | None ->
+          Stats.incr_codec_bailouts stats;
+          None))
+
 (* ---------------- server side ----------------------------------------- *)
 
 and find_path names node =
@@ -709,12 +767,12 @@ and admission_gate session node ~units k =
 
 and handle_request_exn session ~client_name request_text =
   let stats = session.net.Network.stats in
-  let body =
+  let body, prebuilt =
     shred_traced session "request" (fun () ->
-        let mdoc = X.Parser.parse_doc ~strip_ws:false request_text in
+        let mdoc, prebuilt = parse_message session request_text in
         let root = X.Node.doc_node mdoc in
         match find_path [ "env:Envelope"; "env:Body" ] root with
-        | Some b -> b
+        | Some b -> (b, prebuilt)
         | None ->
           Message.protocol_error
             "XRPC message without <env:Envelope>/<env:Body>")
@@ -739,7 +797,7 @@ and handle_request_exn session ~client_name request_text =
     | Some batch ->
       admission_gate session batch
         ~units:(max 1 (List.length (Message.children_named batch "request")))
-        (fun () -> handle_batch session ~client_name batch)
+        (fun () -> handle_batch session ~client_name ?prebuilt batch)
     | None -> (
       (* a catalog push: validate it and ack with our view of its epoch —
          the in-process network already shares the authoritative catalog,
@@ -775,7 +833,8 @@ and handle_request_exn session ~client_name request_text =
         cached
       | None ->
         let resp =
-          Message.envelope (handle_parsed session ~client_name ~ep ?req_id req)
+          Message.envelope
+            (handle_parsed session ~client_name ~ep ?req_id ?prebuilt req)
         in
         (match req_id with
         | Some id -> remember_reply session id resp
@@ -787,7 +846,7 @@ and handle_request_exn session ~client_name request_text =
    inner <env:Fault> on failure — so one failing call never poisons its
    batch mates. Batches only travel on a fault-free wire, so slots carry
    no request-ids and need no dedup. *)
-and handle_batch session ~client_name batch =
+and handle_batch session ~client_name ?prebuilt batch =
   let stats = session.net.Network.stats in
   let reqs = Message.children_named batch "request" in
   if reqs = [] then
@@ -806,7 +865,7 @@ and handle_batch session ~client_name batch =
         ~reason:"batch slot reached past the deadline budget" ()
     | _ -> (
       let ep = call_endpoint session in
-      match handle_parsed session ~client_name ~ep req with
+      match handle_parsed session ~client_name ~ep ?prebuilt req with
       | resp -> resp
       | exception e -> (
         match fault_of_exn e with
@@ -877,11 +936,11 @@ and handle_txn_control session action txn ~epoch =
       Journal.committed j ~txn;
       ack Message.Ack_committed)
 
-and handle_parsed session ~client_name ~ep ?req_id req =
+and handle_parsed session ~client_name ~ep ?req_id ?prebuilt req =
   let passing = Message.passing_of_string (Message.req_attr req "passing") in
   let txn_attr = Message.attr_of req "txn" in
   shred_traced session "fragments" (fun () ->
-      Message.shred_fragments ep ~from_host:client_name
+      Message.shred_fragments ?prebuilt ep ~from_host:client_name
         (Message.find_child req "fragments"));
   (* module: parse and cache the caller's function definitions *)
   (match Message.find_child req "module" with
@@ -905,7 +964,7 @@ and handle_parsed session ~client_name ~ep ?req_id req =
       List.map
         (fun seq ->
           ( Message.req_attr seq "param",
-            Message.shred_sequence ep ~from_host:client_name seq ))
+            Message.shred_sequence ?prebuilt ep ~from_host:client_name seq ))
         (Message.children_named call "sequence")
   in
   (* Dynamic topology, callee side: before evaluating, check that this
@@ -1084,7 +1143,7 @@ and stage_updates session (env : Env.t) ~txn ~req_id =
    exception it describes. Alongside the value, returns the transaction
    acknowledgement (staged count + transitive participants) when the
    response carries one. *)
-and shred_response_node _session ~ep ~host resp :
+and shred_response_node _session ~ep ~host ?prebuilt resp :
     Value.t * (int * string list) option =
   let corrupt reason =
     raise
@@ -1110,30 +1169,58 @@ and shred_response_node _session ~ep ~host resp :
       in
       Some (staged, nested)
   in
-  Message.shred_fragments ep ~from_host:host
+  Message.shred_fragments ?prebuilt ep ~from_host:host
     (Message.find_child resp "fragments");
   let v =
     match Message.find_child resp "sequence" with
-    | Some seq -> Message.shred_sequence ep ~from_host:host seq
+    | Some seq -> Message.shred_sequence ?prebuilt ep ~from_host:host seq
     | None -> []
   in
   (v, tinfo)
 
-and shred_response session ~ep ~host response_text :
+(* Client-side response shredding. When the wire-shape analysis proved
+   this call site's response atomic, the compiled decoder runs first: an
+   exact prefix/suffix match around a flat <atomic> scan, agreeing with
+   the generic parser on every byte string it accepts. Anything it did
+   not predict — faults, forwards, txn attributes, trace headers,
+   corruption — misses the prefix and falls back (codec.bailouts). *)
+and shred_response session ?vertex ~ep ~host response_text :
+    Value.t * (int * string list) option =
+  let stats = session.net.Network.stats in
+  let compiled =
+    match (session.codec, vertex) with
+    | Some c, Some v -> Codec.find_resp c v
+    | _ -> None
+  in
+  match compiled with
+  | Some rd -> (
+    match
+      shred_traced session "response" (fun () ->
+          Codec.decode_response rd response_text)
+    with
+    | Some v ->
+      Stats.incr_codec_decodes stats;
+      (v, None)
+    | None ->
+      Stats.incr_codec_bailouts stats;
+      shred_response_generic session ~ep ~host response_text)
+  | None -> shred_response_generic session ~ep ~host response_text
+
+and shred_response_generic session ~ep ~host response_text :
     Value.t * (int * string list) option =
   let corrupt reason =
     raise
       (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
   in
   shred_traced session "response" (fun () ->
-      let root =
-        match X.Parser.parse_doc ~strip_ws:false response_text with
-        | mdoc -> X.Node.doc_node mdoc
+      let root, prebuilt =
+        match parse_message session response_text with
+        | mdoc, prebuilt -> (X.Node.doc_node mdoc, prebuilt)
         | exception X.Parser.Error (m, pos) ->
           corrupt (Printf.sprintf "unparsable response: %s (byte %d)" m pos)
       in
       match find_path [ "env:Envelope"; "env:Body"; "response" ] root with
-      | Some resp -> shred_response_node session ~ep ~host resp
+      | Some resp -> shred_response_node session ~ep ~host ?prebuilt resp
       | None -> (
         match find_path [ "env:Envelope"; "env:Body"; "forward" ] root with
         | Some f ->
@@ -1169,9 +1256,9 @@ and shred_batch_response session ~ep ~host ~calls response_text :
       (Message.Xrpc_fault { host; code = Message.Transport_corrupt; reason })
   in
   shred_traced session "batch response" (fun () ->
-      let root =
-        match X.Parser.parse_doc ~strip_ws:false response_text with
-        | mdoc -> X.Node.doc_node mdoc
+      let root, prebuilt =
+        match parse_message session response_text with
+        | mdoc, prebuilt -> (X.Node.doc_node mdoc, prebuilt)
         | exception X.Parser.Error (m, pos) ->
           corrupt (Printf.sprintf "unparsable response: %s (byte %d)" m pos)
       in
@@ -1190,7 +1277,7 @@ and shred_batch_response session ~ep ~host ~calls response_text :
           (fun acc slot ->
             match X.Node.name slot with
             | "response" ->
-              fst (shred_response_node session ~ep ~host slot) :: acc
+              fst (shred_response_node session ~ep ~host ?prebuilt slot) :: acc
             | "env:Fault" ->
               let code, reason = Message.parse_fault slot in
               session.retry_after_hint <- Message.parse_retry_after slot;
@@ -1319,7 +1406,12 @@ and call_host session env (x : Ast.execute_at) ~host ~args =
   in
   let req_text =
     ser_traced session "request" (fun () ->
-        build_request session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs)
+        match
+          compiled_request session ~host ?req_id ?txn ?epoch x ~args ~funcs
+        with
+        | Some text -> text
+        | None ->
+          build_request session ~ep ~host ?req_id ?txn ?epoch x ~args ~funcs)
   in
   (match session.record with
   | Some r -> r := { dir = `Request req_text; text = req_text } :: !r
@@ -1392,7 +1484,10 @@ and call_host session env (x : Ast.execute_at) ~host ~args =
             Trace.add_attr asp "timeout" (Trace.B true);
             `Retry `Timeout
           | Network.Delivered { text = resp_delivered; duplicated = _ } -> (
-            match shred_response session ~ep ~host resp_delivered with
+            match
+              shred_response session ~vertex:x.Ast.body.Ast.id ~ep ~host
+                resp_delivered
+            with
             | v, tinfo ->
               (* collect transaction participants: the callee (if it
                  staged anything) plus whatever its own fan-out staged *)

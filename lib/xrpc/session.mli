@@ -18,8 +18,8 @@ val create :
   ?record:recorded list ref -> ?bulk:bool ->
   ?schema:(string -> string list) -> ?depth:int -> ?timeout_s:float ->
   ?retries:int -> ?dedup_cap:int -> ?schedule:(int * int list) list ->
-  ?deadline:float -> ?retry_budget:int ref -> ?tracer:Xd_obs.Trace.t ->
-  Network.t -> Peer.t -> Message.passing -> t
+  ?deadline:float -> ?retry_budget:int ref -> ?codec:Codec.t ->
+  ?tracer:Xd_obs.Trace.t -> Network.t -> Peer.t -> Message.passing -> t
 (** A session for one querying peer. [record] captures every message (for
     tests and demos); [bulk] (default true) enables session-wide fragment
     caching — the wire behaviour of the paper's bulk RPC; disabling it is
@@ -74,6 +74,17 @@ val create :
     to the sequential run, so fault schedules replay exactly; results
     and update lists are identical either way. An empty schedule
     (default) is plain sequential evaluation.
+
+    [codec], when given, installs the compiled per-call-site codecs from
+    the wire-shape analysis (PROTOCOL.md, "Compiled codecs"): requests
+    whose parameters are provably atomic are emitted by specialized
+    encoders, provably-atomic responses are read by specialized decoders,
+    and every incoming message is parsed by the streaming event shredder
+    that diverts fragment/copy content straight into pre-order stores.
+    All three are strict specializations — the wire is byte-identical to
+    the generic paths, any runtime shape mismatch falls back (counted in
+    [codec.bailouts]), and the handle is shared with every server session
+    of the plan. Absent (default), generic paths only.
 
     [tracer], when given, records hierarchical spans for every call,
     attempt, (de)serialization, evaluation, fallback and 2PC exchange of

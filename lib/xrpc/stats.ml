@@ -52,6 +52,12 @@ type t = {
   breaker_shed : M.counter Lazy.t; (* shed locally by an open breaker *)
   breaker_probes : M.counter Lazy.t; (* half-open probes let through *)
   retry_budget_stops : M.counter Lazy.t; (* retries skipped: pool spent *)
+  (* The codec buckets are lazy for the same reason: codec-off runs (and
+     plans with no compilable call site) leave the registry untouched. *)
+  codec_compiled : M.counter Lazy.t; (* requests emitted by compiled encoders *)
+  codec_decodes : M.counter Lazy.t; (* responses read by compiled decoders *)
+  codec_event_shreds : M.counter Lazy.t; (* subtrees shredded by the event path *)
+  codec_bailouts : M.counter Lazy.t; (* compiled attempts that fell back *)
   hist_serialize : M.histogram;
   hist_shred : M.histogram;
   hist_remote : M.histogram;
@@ -112,6 +118,10 @@ let create () =
     breaker_shed = lazy (M.counter reg "overload.breaker.shed");
     breaker_probes = lazy (M.counter reg "overload.breaker.probes");
     retry_budget_stops = lazy (M.counter reg "overload.retry_budget_stops");
+    codec_compiled = lazy (M.counter reg "codec.compiled");
+    codec_decodes = lazy (M.counter reg "codec.decodes");
+    codec_event_shreds = lazy (M.counter reg "codec.event_shreds");
+    codec_bailouts = lazy (M.counter reg "codec.bailouts");
     hist_serialize = M.histogram ~buckets:time_buckets reg "hist.serialize_s";
     hist_shred = M.histogram ~buckets:time_buckets reg "hist.shred_s";
     hist_remote = M.histogram ~buckets:time_buckets reg "hist.remote_exec_s";
@@ -188,6 +198,10 @@ let breaker_opens t = lazy_counter t.breaker_opens
 let breaker_shed t = lazy_counter t.breaker_shed
 let breaker_probes t = lazy_counter t.breaker_probes
 let retry_budget_stops t = lazy_counter t.retry_budget_stops
+let codec_compiled t = lazy_counter t.codec_compiled
+let codec_decodes t = lazy_counter t.codec_decodes
+let codec_event_shreds t = lazy_counter t.codec_event_shreds
+let codec_bailouts t = lazy_counter t.codec_bailouts
 
 let queue_depth_prefix = "overload.queue_depth{peer="
 
@@ -263,6 +277,10 @@ let incr_breaker_opens t = M.incr (Lazy.force t.breaker_opens)
 let incr_breaker_shed t = M.incr (Lazy.force t.breaker_shed)
 let incr_breaker_probes t = M.incr (Lazy.force t.breaker_probes)
 let incr_retry_budget_stops t = M.incr (Lazy.force t.retry_budget_stops)
+let incr_codec_compiled t = M.incr (Lazy.force t.codec_compiled)
+let incr_codec_decodes t = M.incr (Lazy.force t.codec_decodes)
+let add_codec_event_shreds t n = M.incr ~by:n (Lazy.force t.codec_event_shreds)
+let incr_codec_bailouts t = M.incr (Lazy.force t.codec_bailouts)
 
 (* Per-peer liveness: 1 after the last exchange with the peer succeeded,
    0 after it exhausted its retry budget. Peers never contacted have no
@@ -335,4 +353,11 @@ let pp fmt t =
   then
     Fmt.pf fmt " | breaker: opens=%d shed=%d probes=%d budget-stops=%d"
       (breaker_opens t) (breaker_shed t) (breaker_probes t)
-      (retry_budget_stops t)
+      (retry_budget_stops t);
+  if
+    codec_compiled t + codec_decodes t + codec_event_shreds t
+    + codec_bailouts t > 0
+  then
+    Fmt.pf fmt " | codec: compiled=%d decodes=%d event-shreds=%d bailouts=%d"
+      (codec_compiled t) (codec_decodes t) (codec_event_shreds t)
+      (codec_bailouts t)

@@ -134,6 +134,20 @@ val breaker_probes : t -> int
 val retry_budget_stops : t -> int
 (** retries skipped because the per-query retry budget was spent *)
 
+val codec_compiled : t -> int
+(** requests emitted by a compiled (wire-shape-specialized) encoder *)
+
+val codec_decodes : t -> int
+(** responses read by a compiled atomic-response decoder *)
+
+val codec_event_shreds : t -> int
+(** fragment/copy subtrees shredded by the event fast path (no
+    intermediate message-tree copy) *)
+
+val codec_bailouts : t -> int
+(** compiled-codec attempts that fell back to the generic path on a
+    runtime shape mismatch *)
+
 val total_bytes : t -> int
 
 (** {2 Writers} *)
@@ -175,6 +189,10 @@ val incr_breaker_opens : t -> unit
 val incr_breaker_shed : t -> unit
 val incr_breaker_probes : t -> unit
 val incr_retry_budget_stops : t -> unit
+val incr_codec_compiled : t -> unit
+val incr_codec_decodes : t -> unit
+val add_codec_event_shreds : t -> int -> unit
+val incr_codec_bailouts : t -> unit
 
 val set_queue_depth : peer:string -> t -> int -> unit
 (** Record the admission-queue depth a request found, in the

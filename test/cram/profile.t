@@ -39,6 +39,8 @@ exemplar when the run was traced:
   $ ../../bin/xdxq.exe --doc peer1/people.xml=people.xml -s by-value \
   >   --trace --trace-out /dev/null --metrics --metrics-format prom -q "$P" 2>&1 1>/dev/null \
   >   | grep '^# TYPE'
+  # TYPE codec_compiled counter
+  # TYPE codec_decodes counter
   # TYPE hist_message_bytes histogram
   # TYPE hist_remote_exec_s histogram
   # TYPE hist_serialize_s histogram

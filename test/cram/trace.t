@@ -83,6 +83,8 @@ names and kinds are pinned:
   $ ../../bin/xdxq.exe --doc peer1/d.xml=d.xml --fault-spec 'drop@1#1' --metrics \
   >   -q 'count(doc("xrpc://peer1/d.xml")/child::r/child::x)' 2>&1 \
   >   | grep -E '^(counter|gauge|histogram)' | sed -E 's/ =.*| count=.*//'
+  counter    codec.compiled
+  counter    codec.decodes
   histogram  hist.message_bytes
   histogram  hist.remote_exec_s
   histogram  hist.serialize_s

@@ -452,7 +452,13 @@ let test_malformed_rejected () =
        "<env:Envelope><env:Body><request passing=\"by-fragment\"><query>1</query></request></env:Body></env:Envelope>");
   check_bool "bad passing mode"
     (is_fault M.Protocol_malformed
-       "<env:Envelope><env:Body><request passing=\"by-wormhole\"><query>1</query><call/></request></env:Body></env:Envelope>")
+       "<env:Envelope><env:Body><request passing=\"by-wormhole\"><query>1</query><call/></request></env:Body></env:Envelope>");
+  (* raw '<' inside an attribute value is ill-formed XML (production
+     [10]); both the tree and event parsers must reject it so the
+     compiled and generic paths agree on the rejection set *)
+  check_bool "raw '<' in attribute value"
+    (is_fault M.Transport_corrupt
+       "<env:Envelope><env:Body><request passing=\"by<value\"><query>1</query><call/></request></env:Body></env:Envelope>")
 
 (* ---- deadlines & retry-after (PROTOCOL.md, "Deadlines & overload") --------- *)
 

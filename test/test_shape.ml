@@ -1,0 +1,212 @@
+(* Differential testing of the compiled wire-shape codecs.
+
+   The codec contract (PROTOCOL.md, "Compiled codecs") is byte-identity:
+   a session with compiled codecs installed puts *exactly* the same
+   octets on the wire as one without, and computes the same value — the
+   compiled encoder/decoder are strict specializations with a generic
+   fallback, never a second dialect. This suite drives that contract
+   with random Gen_queries programs under every environment that bends
+   the wire: fault injection, topology churn, overload shedding and
+   distributed transactions.
+
+   Alongside byte-identity: shape-descriptor soundness (a plain run of
+   a compiled plan never takes the bailout path — the analysis never
+   over-claims) and the verifier's tamper rejection (a descriptor the
+   independent re-derivation cannot reproduce is a wire-shape error). *)
+
+module S = Xd_core.Strategy
+module E = Xd_core.Executor
+module Shape = Xd_shape.Shape
+open Util
+
+let make_net = Gen_queries.make_net
+let arb_query = Gen_queries.arb_query
+
+(* the profile/trace suites use the same duplicated corpus: churn needs
+   the moved document servable at both peers *)
+let students_xml =
+  {|<people>
+      <person id="s1"><name>Ann</name><tutor>Bob</tutor><id>1</id><age>23</age></person>
+      <person id="s2"><name>Bob</name><tutor>Zoe</tutor><id>2</id><age>35</age></person>
+      <person id="s3"><name>Cyd</name><tutor>Ann</tutor><id>3</id><age>29</age></person>
+      <person id="s4"><name>Dan</name><tutor>Cyd</tutor><id>4</id><age>41</age></person>
+    </people>|}
+
+(* One run of [q] with the codec on or off, capturing the exact wire.
+   [env] mutates the fresh network before execution. [fault] is a thunk:
+   Fault.t is stateful (per-rule limits, RNG position), so each run must
+   get a fresh instance or the second run sees a different schedule. *)
+let run_wire ?fault ?(env = fun _ -> ()) ?deadline ?txn ~codec q =
+  let fault = Option.map (fun f -> f ()) fault in
+  let net, client = make_net ?fault () in
+  env net;
+  let record = ref [] in
+  match E.run ~record ?deadline ?txn ~codec net ~client S.By_value q with
+  | r ->
+    Ok
+      ( Xd_lang.Value.serialize r.E.value,
+        List.map (fun m -> m.Xd_xrpc.Session.text) (List.rev !record),
+        r.E.timing )
+  | exception exn -> Error (Printexc.to_string exn)
+
+(* The property: same value, same wire, octet for octet — or the same
+   failure. [check] sees the codec-on timing for extra assertions. *)
+let differential ?fault ?env ?deadline ?txn ?(check = fun _ -> true) q =
+  match
+    ( run_wire ?fault ?env ?deadline ?txn ~codec:false q,
+      run_wire ?fault ?env ?deadline ?txn ~codec:true q )
+  with
+  | Ok (v_gen, wire_gen, _), Ok (v_cod, wire_cod, t_cod) ->
+    v_gen = v_cod && wire_gen = wire_cod && check t_cod
+  | Error _, Error _ -> true (* both fail; fault schedules are seeded *)
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let fault_of spec seed =
+  match Xd_xrpc.Fault.parse spec with
+  | Ok s -> Xd_xrpc.Fault.create ~seed s
+  | Error e -> failwith e
+
+(* ---- byte identity, plain wire --------------------------------------------- *)
+
+let prop_identity_plain =
+  qtest ~count:250 "codec on/off: identical wire and value (plain)" arb_query
+    (fun q ->
+      differential q ~check:(fun t ->
+          (* descriptor soundness: on a healthy wire a compiled call
+             site never takes the bailout path — a bailout here means
+             the analysis claimed a shape the runtime didn't have *)
+          t.E.codec_bailouts = 0
+          && t.E.codec_decodes <= t.E.calls
+          && t.E.codec_compiled <= t.E.calls))
+
+(* ---- byte identity under fault injection ----------------------------------- *)
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 9999)
+
+let arb_query_seed = QCheck.pair arb_query arb_seed
+
+let prop_identity_faults =
+  qtest ~count:250 "codec on/off: identical wire under faults"
+    arb_query_seed (fun (q, seed) ->
+      (* byte-identity makes the seeded fault schedule — which keys on
+         (destination, length) — take the same decisions in both runs,
+         so even the retry/dup traffic must match octet for octet *)
+      differential
+        ~fault:(fun () ->
+          fault_of "drop@0.2#2;dup@0.15#1;truncate@0.1#1" seed)
+        q)
+
+(* ---- byte identity under topology churn ------------------------------------ *)
+
+let arb_moves =
+  QCheck.make
+    ~print:(fun ms ->
+      String.concat ";"
+        (List.map (fun (n, b) -> Printf.sprintf "%d:%b" n b) ms))
+    QCheck.Gen.(list_size (int_bound 4) (pair (int_bound 6) bool))
+
+let churn_env moves net =
+  let b = Xd_xrpc.Network.find_peer net "peerB" in
+  ignore (Xd_xrpc.Peer.load_xml b ~doc_name:"students.xml" students_xml);
+  let cat = Xd_topo.Catalog.create () in
+  Xd_topo.Catalog.register cat ~doc:"students.xml" ~owner:"peerA" ();
+  Xd_topo.Catalog.register cat ~doc:"course.xml" ~owner:"peerB" ();
+  Xd_xrpc.Network.set_catalog net cat;
+  Xd_xrpc.Network.set_churn net
+    (Xd_topo.Churn.create
+       (List.map
+          (fun (n, to_b) ->
+            ( n,
+              Xd_topo.Churn.Move
+                {
+                  doc = "students.xml";
+                  owner = (if to_b then "peerB" else "peerA");
+                } ))
+          moves))
+
+let prop_identity_churn =
+  qtest ~count:150 "codec on/off: identical wire under churn"
+    (QCheck.pair arb_query arb_moves) (fun (q, moves) ->
+      (* forwards and failovers reshape the message flow, not the
+         bytes of any one message: redirected requests must still be
+         emitted identically by both writers *)
+      differential ~env:(churn_env moves) q)
+
+(* ---- byte identity under overload ------------------------------------------ *)
+
+let overload_env net =
+  Xd_xrpc.Network.set_overload net
+    (Xd_xrpc.Overload.create ~capacity:1 ~queue_cap:4 ~service_s:0.001 ())
+
+let prop_identity_overload =
+  qtest ~count:150 "codec on/off: identical wire under overload"
+    arb_query (fun q ->
+      (* deadline stamps are fixed-width (%015.6f) so the compiled
+         encoder's constant segments still line up; shedding decisions
+         key on sim-clock arrival order, identical across the runs *)
+      differential ~env:overload_env ~deadline:5.0 q)
+
+(* ---- byte identity under distributed transactions -------------------------- *)
+
+let prop_identity_txn =
+  qtest ~count:100 "codec on/off: identical wire under txn" arb_query
+    (fun q ->
+      (* txn attributes push responses off the compiled decoder's
+         accepted language: the bailout path must agree with the
+         generic parser on every message *)
+      differential ~txn:`Always q)
+
+(* ---- descriptor soundness and verifier tamper rejection -------------------- *)
+
+let plan_of q = Xd_core.Decompose.decompose S.By_value q
+
+let prop_analysis_deterministic =
+  qtest ~count:60 "shape analysis is deterministic" arb_query (fun q ->
+      let p = plan_of q in
+      let d1 = (Shape.analyze p.Xd_core.Decompose.query).Shape.descriptors in
+      let d2 = (Shape.analyze p.Xd_core.Decompose.query).Shape.descriptors in
+      List.length d1 = List.length d2
+      && List.for_all2 Shape.descriptor_equal d1 d2)
+
+let prop_verifier_rejects_tampered =
+  qtest ~count:150 "verifier rejects tampered descriptors" arb_query
+    (fun q ->
+      let p = plan_of q in
+      let sres = Shape.analyze p.Xd_core.Decompose.query in
+      match sres.Shape.descriptors with
+      | [] -> QCheck.assume_fail () (* no call sites to tamper with *)
+      | d :: rest ->
+        let net, client = make_net () in
+        ignore net;
+        (* the honest descriptors pass... *)
+        let honest =
+          E.verify_plan ~shapes:sres.Shape.descriptors ~client p
+        in
+        (* ...and a lie about the execution host must be caught by the
+           independent re-derivation (any field disagreement rejects) *)
+        let tampered =
+          {
+            d with
+            Shape.host =
+              (match d.Shape.host with
+              | Some h -> Some (h ^ "-tampered")
+              | None -> Some "tampered");
+          }
+        in
+        let report = E.verify_plan ~shapes:(tampered :: rest) ~client p in
+        Xd_verify.Verify.ok honest && not (Xd_verify.Verify.ok report))
+
+let () =
+  Alcotest.run "xd_shape"
+    [
+      ( "byte-identity",
+        [
+          prop_identity_plain;
+          prop_identity_faults;
+          prop_identity_churn;
+          prop_identity_overload;
+          prop_identity_txn;
+        ] );
+      ( "descriptors",
+        [ prop_analysis_deterministic; prop_verifier_rejects_tampered ] );
+    ]

@@ -245,6 +245,20 @@ let test_wide_document () =
   let r = List.hd (X.Node.children (X.Node.doc_node d)) in
   check_int "children intact" width (List.length (X.Node.children r))
 
+(* raw '<' inside an attribute value is ill-formed (XML production [10]);
+   the parser must reject it rather than silently absorb it, so the
+   generic and event parsers agree on the rejection set *)
+let test_raw_lt_in_attr () =
+  let rejects s =
+    match X.Parser.parse_doc s with
+    | _ -> false
+    | exception X.Parser.Error _ -> true
+  in
+  check_bool "plain value rejected" (rejects {|<a v="x<y"/>|});
+  check_bool "single-quoted rejected" (rejects {|<a v='x<y'/>|});
+  check_bool "after entity rejected" (rejects {|<a v="x&amp;<y"/>|});
+  check_bool "escaped accepted" (not (rejects {|<a v="x&lt;y"/>|}))
+
 (* random bytes through the parser must fail cleanly (Parser.Error), never
    crash or loop *)
 let prop_parser_total =
@@ -349,6 +363,7 @@ let () =
           tc "strip-ws" test_strip_ws;
           tc "doctype" test_doctype_and_decl;
           tc "errors" test_parse_errors;
+          tc "raw-lt-in-attr" test_raw_lt_in_attr;
           tc "text-coalescing" test_text_coalescing;
         ] );
       ("deep-equal", [ tc "cases" test_deep_equal ]);

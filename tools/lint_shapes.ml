@@ -1,0 +1,81 @@
+(* Source lint for the library tree, wired into `dune build @lint`.
+
+   The codec layer generates wire bytes from compiled closures, which
+   makes a handful of shortcuts uniquely dangerous there — and cheap to
+   ban everywhere:
+
+   - `Obj.magic`: defeats the type system; a shape descriptor that lies
+     about a value's type must be a bailout, never a cast.
+   - `Printf.printf` in lib/: libraries must not write to stdout; all
+     diagnostics go through Xd_obs or a Format.formatter the caller
+     picks (bin/ and bench/ own stdout, so they are not scanned).
+   - catch-all `with _ ->`: swallows Stack_overflow / Out_of_memory and
+     turns codec bugs into silent generic fallbacks instead of faults;
+     handlers must name the exceptions they mean.
+
+   Usage: lint_shapes.exe DIR...  — scans every .ml/.mli under each DIR
+   and exits non-zero with file:line diagnostics on any hit. *)
+
+let banned =
+  [
+    ("Obj.magic", "unsafe cast (use a typed bailout instead)");
+    ("Printf.printf", "stdout write in library code (use Xd_obs or a formatter)");
+    ("with _ ->", "catch-all exception handler (name the exceptions)");
+  ]
+
+let violations = ref 0
+
+let scan_line file lineno line =
+  List.iter
+    (fun (pat, why) ->
+      let plen = String.length pat in
+      let llen = String.length line in
+      let rec find i =
+        if i + plen > llen then ()
+        else if String.sub line i plen = pat then begin
+          incr violations;
+          Printf.eprintf "%s:%d: banned construct %S — %s\n" file lineno pat
+            why
+        end
+        else find (i + 1)
+      in
+      find 0)
+    banned
+
+let scan_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      try
+        while true do
+          incr lineno;
+          scan_line file !lineno (input_line ic)
+        done
+      with End_of_file -> ())
+
+let is_source file =
+  Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+
+let rec scan_dir dir =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then scan_dir path
+      else if is_source entry then scan_file path)
+    (Sys.readdir dir)
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ ->
+      prerr_endline "usage: lint_shapes.exe DIR...";
+      exit 2
+  in
+  List.iter scan_dir dirs;
+  if !violations > 0 then begin
+    Printf.eprintf "lint_shapes: %d violation(s)\n" !violations;
+    exit 1
+  end
